@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables repro report clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Benchmarks with the paper-vs-measured tables printed.
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# The whole paper in one run.
+repro:
+	$(PYTHON) examples/reproduce_paper.py
+
+# Shape-check battery via the CLI (exit code reflects pass/fail).
+report:
+	$(PYTHON) -m repro report
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info

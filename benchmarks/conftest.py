@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every module regenerates one of the paper's tables or figures (see
+DESIGN.md §3 for the experiment index), prints the same rows the paper
+reports side by side with the paper's numbers (run with ``-s`` to see
+them), and asserts the corresponding shape criteria so the harness doubles
+as a regression gate.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, ReproConfig
+from repro.core.cases import PAPER_CASES
+from repro.core.coexec import AllocationSite
+from repro.evaluation.figures import generate_coexec_figure
+
+
+@pytest.fixture(scope="session")
+def machine() -> Machine:
+    """Benchmark machine: small functional cap, full-size performance model."""
+    return Machine(config=ReproConfig(functional_elements_cap=1 << 18))
+
+
+def _coexec(machine, site, optimized):
+    return generate_coexec_figure(
+        machine, PAPER_CASES, site, optimized=optimized, trials=200,
+        verify=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def fig2a_data(machine):
+    return _coexec(machine, AllocationSite.A1, optimized=False)
+
+
+@pytest.fixture(scope="session")
+def fig2b_data(machine):
+    return _coexec(machine, AllocationSite.A1, optimized=True)
+
+
+@pytest.fixture(scope="session")
+def fig4a_data(machine):
+    return _coexec(machine, AllocationSite.A2, optimized=False)
+
+
+@pytest.fixture(scope="session")
+def fig4b_data(machine):
+    return _coexec(machine, AllocationSite.A2, optimized=True)

@@ -1,0 +1,63 @@
+"""Ablation A-HS: the host loop's ``simd`` modifier and schedule choice.
+
+Listing 7 marks the host loop ``for simd``; the NVHPC guide says the
+modifier "may provide tuning hints for CPU targets".  This ablation
+quantifies when it matters on Grace: wide-element reductions are
+stream-bound either way, but byte-element reductions (C2's host share)
+drop below the socket bandwidth without vectorization — the scalar loop
+becomes compute-bound.  A pathological worksharing schedule is measured
+alongside (the water-filling contention model).
+"""
+
+import pytest
+
+from repro.core.cases import C1, C2
+from repro.cpu.perf import estimate_cpu_reduction_time
+from repro.util.tables import AsciiTable
+from repro.util.units import gb_per_s
+
+
+def _host_bandwidth(machine, case, **kwargs):
+    timing = estimate_cpu_reduction_time(
+        machine.cpu, case.elements, case.element_type, **kwargs
+    )
+    return gb_per_s(case.input_bytes, timing.total)
+
+
+def _ablate(machine):
+    out = {}
+    for case in (C1, C2):
+        out[(case.name, "simd")] = _host_bandwidth(machine, case)
+        out[(case.name, "scalar")] = _host_bandwidth(machine, case,
+                                                     vectorized=False)
+        out[(case.name, "simd+static")] = _host_bandwidth(
+            machine, case, schedule_kind="static"
+        )
+        out[(case.name, "simd+bad-chunk")] = _host_bandwidth(
+            machine, case, schedule_kind="static", chunk=case.elements
+        )
+    return out
+
+
+def test_host_simd_and_schedule(benchmark, machine):
+    results = benchmark.pedantic(_ablate, args=(machine,), rounds=3,
+                                 iterations=1)
+    table = AsciiTable(["case", "variant", "host GB/s"])
+    for (case_name, variant), bw in results.items():
+        table.add_row([case_name, variant, f"{bw:.0f}"])
+    print()
+    print(table.render())
+
+    # int32: stream-bound either way — simd is a no-op at this size.
+    assert results[("C1", "scalar")] == pytest.approx(
+        results[("C1", "simd")], rel=0.02
+    )
+    # int8: the scalar loop retires one byte per core-cycle and falls
+    # below the socket's stream rate — simd matters.
+    assert results[("C2", "scalar")] < 0.55 * results[("C2", "simd")]
+    # The default static schedule matches the aggregate model.
+    assert results[("C1", "simd+static")] == pytest.approx(
+        results[("C1", "simd")], rel=0.02
+    )
+    # One-thread-takes-all serializes at the per-core cap (~40 GB/s).
+    assert results[("C1", "simd+bad-chunk")] < 0.12 * results[("C1", "simd")]

@@ -1,0 +1,53 @@
+"""Ablation A-V: the effect of the per-iteration element count V.
+
+Isolates the paper's central optimization at a fixed, saturating team
+count: the V = 1 kernel plateaus far below peak, and widening the
+per-thread access lifts the plateau until the in-flight cap (V = 4 for the
+32-bit types, V = 32 for int8).
+"""
+
+import pytest
+
+from repro.core.cases import C1, C2
+from repro.core.optimized import KernelConfig
+from repro.core.timing import measure_gpu_reduction
+from repro.util.tables import AsciiTable
+
+
+def _ablate(machine, case, teams):
+    out = {}
+    for v in (1, 2, 4, 8, 16, 32):
+        cfg = KernelConfig(teams=teams, v=v)
+        out[v] = measure_gpu_reduction(machine, case, cfg, trials=200,
+                                       verify=False).bandwidth_gbs
+    return out
+
+
+def test_vector_width_ablation_int32(benchmark, machine):
+    series = benchmark.pedantic(_ablate, args=(machine, C1, 65536),
+                                rounds=3, iterations=1)
+    table = AsciiTable(["V", "GB/s (C1, teams=65536)"])
+    for v, bw in series.items():
+        table.add_row([v, bw])
+    print()
+    print(table.render())
+
+    # V=1 leaves >50% of the achievable bandwidth on the table.
+    assert series[1] < 0.55 * series[4]
+    # V=4 saturates; wider V adds nothing for 4-byte elements.
+    assert series[8] == pytest.approx(series[4], rel=0.02)
+    assert series[32] == pytest.approx(series[4], rel=0.02)
+
+
+def test_vector_width_ablation_int8(benchmark, machine):
+    series = benchmark.pedantic(_ablate, args=(machine, C2, 65536),
+                                rounds=3, iterations=1)
+    table = AsciiTable(["V", "GB/s (C2, teams=65536)"])
+    for v, bw in series.items():
+        table.add_row([v, bw])
+    print()
+    print(table.render())
+
+    # int8 keeps gaining all the way to V=32 (the paper's chosen value).
+    assert series[32] > series[16] > series[8] > series[4] > series[1]
+    assert series[32] > 10 * series[1]

@@ -1,0 +1,73 @@
+"""Extension A-R: roofline placement across the paper's parameter space.
+
+Classifies each (teams, V) corner of Figure 1 by its binding ceiling,
+making the paper's "the increase turns a compute-bound kernel into a
+memory-bound kernel" narrative an explicit computed taxonomy.
+"""
+
+from repro.core.cases import C1, C2
+from repro.evaluation.roofline import roofline_point
+from repro.gpu.kernels import ReductionKernel
+from repro.openmp.runtime import LaunchGeometry
+from repro.util.tables import AsciiTable
+
+
+def _point(machine, case, teams, v, block=256):
+    kernel = ReductionKernel(
+        name="k",
+        geometry=LaunchGeometry(grid=max(1, teams // v), block=block,
+                                from_clause=True),
+        elements=case.elements,
+        elements_per_iteration=v,
+        element_type=case.element_type,
+        result_type=case.result_type,
+    )
+    return roofline_point(machine.gpu, kernel, machine.calibration)
+
+
+def _classify(machine):
+    out = {}
+    for case in (C1, C2):
+        for teams in (128, 1024, 8192, 65536):
+            for v in (1, 4, 32):
+                if teams < v:
+                    continue
+                out[(case.name, teams, v)] = _point(machine, case, teams, v)
+    # The heuristic baseline geometry as well.
+    out[("C1", "heuristic", 1)] = roofline_point(
+        machine.gpu,
+        ReductionKernel(
+            name="k",
+            geometry=LaunchGeometry(grid=C1.elements // 128, block=128,
+                                    from_clause=True),
+            elements=C1.elements,
+            elements_per_iteration=1,
+            element_type=C1.element_type,
+            result_type=C1.result_type,
+        ),
+        machine.calibration,
+    )
+    return out
+
+
+def test_roofline_taxonomy(benchmark, machine):
+    points = benchmark.pedantic(_classify, args=(machine,), rounds=3,
+                                iterations=1)
+    table = AsciiTable(["case", "teams", "v", "achieved GB/s", "binding",
+                        "geometry ceil", "memory ceil"])
+    for (case_name, teams, v), p in points.items():
+        table.add_row([case_name, teams, v, f"{p.achieved_gbs:.0f}",
+                       p.binding, f"{p.geometry_ceiling_gbs:.0f}",
+                       f"{p.memory_ceiling_gbs:.0f}"])
+    print()
+    print(table.render())
+
+    # The paper's transition: small teams are starved (geometry-bound),
+    # saturating teams with the right V sit on the memory roof.
+    assert points[("C1", 128, 4)].binding == "geometry"
+    assert points[("C1", 65536, 4)].binding == "memory"
+    # int8 at mid V is issue-bound (the widening overhead), at V=32 memory.
+    assert points[("C2", 65536, 4)].binding in ("issue", "geometry")
+    assert points[("C2", 65536, 32)].binding == "memory"
+    # The runtime-heuristic baseline dies in the per-block epilogue.
+    assert points[("C1", "heuristic", 1)].binding == "epilogue"

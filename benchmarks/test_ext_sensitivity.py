@@ -1,0 +1,31 @@
+"""Extension A-U: calibration-uncertainty sensitivity.
+
+Perturbs each scalar calibration knob by -20 % / +25 % and re-derives the
+paper's qualitative conclusions.  A reproduction whose claims only hold at
+the exact fitted constants would be fragile; this check demonstrates they
+do not.
+"""
+
+from repro.evaluation.sensitivity import run_sensitivity
+from repro.util.tables import AsciiTable
+
+
+def test_sensitivity(benchmark):
+    results = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+
+    table = AsciiTable([
+        "knob", "factor", "C1 speedup", "C1 best V", "C2 best V",
+        "C2 saturation", "C1 opt eff", "conclusions hold",
+    ])
+    for r in results:
+        table.add_row([
+            r.knob, r.factor, f"{r.c1_speedup:.2f}", r.c1_best_v,
+            r.c2_best_v, r.c2_saturation_teams,
+            f"{100 * r.c1_opt_efficiency:.1f}%", r.conclusions_hold,
+        ])
+    print()
+    print(table.render())
+
+    # Every single-knob perturbation preserves the qualitative story.
+    failing = [r for r in results if not r.conclusions_hold]
+    assert not failing, [f"{r.knob} x{r.factor}" for r in failing]

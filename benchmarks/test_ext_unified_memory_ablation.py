@@ -1,0 +1,87 @@
+"""Extension A-UM: unified memory vs explicit ``map`` copies.
+
+The paper runs the co-execution study only in UM mode (§IV).  This
+ablation quantifies what ``-gpu=mem:unified`` buys: without it, every
+trial's target region re-copies the GPU's slice over NVLink-C2C (the
+``map`` clause is a real transfer), capping the co-run at roughly the link
+bandwidth; with it (allocation at A1), pages migrate once and the devices
+stream their local memories.
+"""
+
+import pytest
+
+from repro.core.cases import C1
+from repro.core.coexec import AllocationSite, measure_coexec_sweep
+from repro.evaluation.figures import paper_optimized_config
+from repro.util.tables import AsciiTable
+
+
+def _run(machine):
+    cfg = paper_optimized_config(C1)
+    um = measure_coexec_sweep(machine, C1, AllocationSite.A1, cfg,
+                              verify=False)
+    explicit = measure_coexec_sweep(machine, C1, AllocationSite.A1, cfg,
+                                    verify=False, unified_memory=False)
+    return um, explicit
+
+
+def test_unified_memory_ablation(benchmark, machine):
+    um, explicit = benchmark.pedantic(_run, args=(machine,), rounds=3,
+                                      iterations=1)
+    table = AsciiTable(["p"] + [f"{p:.1f}" for p, _ in um.series()],
+                       float_format="{:.0f}")
+    table.add_row(["UM (A1) GB/s"] + [bw for _, bw in um.series()])
+    table.add_row(["explicit map GB/s"] + [bw for _, bw in explicit.series()])
+    print()
+    print(table.render())
+
+    # Without UM, every trial re-copies the GPU slice at link rate, so the
+    # GPU-side throughput can never exceed the ~450 GB/s link.
+    assert explicit.gpu_only.bandwidth_gbs < 1.05 * machine.link.bandwidth_gbs
+    # The UM co-run peak clearly beats the explicit-copy peak.
+    assert um.best().bandwidth_gbs > 3.0 * explicit.best().bandwidth_gbs
+    # Without migration state, the explicit path is p-symmetric around its
+    # CPU/GPU balance; its CPU-only endpoint equals the UM A2 local rate.
+    assert explicit.cpu_only.bandwidth_gbs == pytest.approx(
+        machine.cpu.stream_bandwidth_gbs, rel=0.02
+    )
+
+
+def test_access_counter_extension(benchmark, machine):
+    """GH200 access counters: migrate-back rescues the A1 CPU-only case.
+
+    With the policy enabled, pages the CPU keeps reading remotely migrate
+    home, so the CPU-only bandwidth recovers toward the local rate instead
+    of staying pinned at the C2C remote-read rate.
+    """
+    from repro.memory.unified import UnifiedMemoryManager
+
+    n_pages = 1024
+    page = machine.system.page_bytes
+
+    def cpu_only_bandwidths(threshold):
+        um = UnifiedMemoryManager(machine.system,
+                                  access_counter_threshold=threshold)
+        alloc = um.allocate(n_pages * page)
+        um.cpu_first_touch(alloc)
+        um.gpu_read(alloc)  # the p=0 iteration parks everything in HBM
+        rates = []
+        for _ in range(6):
+            plan = um.cpu_read(alloc)
+            rates.append(plan.effective_bandwidth_gbs(
+                machine.cpu.stream_bandwidth_gbs,
+                machine.link.remote_read_gbs,
+            ))
+        return rates
+
+    pinned = benchmark.pedantic(cpu_only_bandwidths, args=(None,),
+                                rounds=3, iterations=1)
+    rescued = cpu_only_bandwidths(3)
+    print()
+    print("CPU-only effective GB/s per trial, pages initially in HBM:")
+    print(f"  paper behaviour (no counters): {[round(r) for r in pinned]}")
+    print(f"  access counters (threshold 3): {[round(r) for r in rescued]}")
+
+    assert all(r == pytest.approx(machine.link.remote_read_gbs) for r in pinned)
+    assert rescued[-1] == pytest.approx(machine.cpu.stream_bandwidth_gbs)
+    assert rescued[0] == pytest.approx(machine.link.remote_read_gbs)

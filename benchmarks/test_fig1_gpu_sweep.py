@@ -1,0 +1,38 @@
+"""Figures 1a-1d: GB/s as a function of (teams, V) on the GPU.
+
+Experiment index: Fig 1a = C1 (int32), 1b = C2 (int8->int64),
+1c = C3 (float32), 1d = C4 (float64); teams in {128..65536}, V in {1..32},
+thread_limit = 256, N = 200 trials.
+"""
+
+import pytest
+
+from repro.core.cases import PAPER_CASES
+from repro.evaluation.figures import generate_figure1, render_figure1
+from repro.evaluation.paper_data import PAPER_SATURATION_TEAMS, PAPER_TABLE1
+
+_PANEL = {"C1": "1a", "C2": "1b", "C3": "1c", "C4": "1d"}
+
+
+@pytest.mark.parametrize("case", PAPER_CASES, ids=lambda c: _PANEL[c.name])
+def test_figure1_panel(benchmark, machine, case):
+    fig = benchmark.pedantic(
+        generate_figure1, args=(machine, case), kwargs={"trials": 200},
+        rounds=3, iterations=1,
+    )
+    print()
+    print(render_figure1(fig))
+    paper = PAPER_TABLE1[case.name]
+    print(
+        f"paper: saturation at {PAPER_SATURATION_TEAMS[case.name]} teams, "
+        f"best {paper.optimized_gbs:.0f} GB/s"
+    )
+
+    # Shape criteria (DESIGN.md §3 criterion 1).
+    best = fig.sweep.best()
+    assert best.bandwidth_gbs == pytest.approx(paper.optimized_gbs, rel=0.05)
+    sat = fig.saturation_teams()
+    paper_sat = PAPER_SATURATION_TEAMS[case.name]
+    assert paper_sat // 2 <= sat <= paper_sat * 2
+    env = fig.sweep.envelope()
+    assert all(b2 >= b1 * 0.98 for (_, b1), (_, b2) in zip(env, env[1:]))

@@ -1,0 +1,41 @@
+"""Figure 2b: optimized co-execution in UM mode, allocation at A1.
+
+Device kernels use the saturating parameters the paper selects in §IV.B:
+teams = 65536, V = 4 (C1/C3/C4) or V = 32 (C2).
+"""
+
+import pytest
+
+from repro.core.cases import PAPER_CASES
+from repro.core.coexec import AllocationSite
+from repro.evaluation.figures import generate_coexec_figure, render_coexec_figure
+from repro.evaluation.paper_data import (
+    PAPER_FIG2B_AVG_SPEEDUP,
+    PAPER_FIG2B_BEST_SPEEDUP,
+)
+
+
+def test_fig2b(benchmark, machine):
+    fig = benchmark.pedantic(
+        generate_coexec_figure,
+        args=(machine, PAPER_CASES, AllocationSite.A1, True),
+        kwargs={"trials": 200, "verify": False},
+        rounds=3, iterations=1,
+    )
+    print()
+    print(render_coexec_figure(fig))
+    print("paper best speedups over GPU-only:",
+          {k: f"x{v}" for k, v in sorted(PAPER_FIG2B_BEST_SPEEDUP.items())},
+          f"(avg x{PAPER_FIG2B_AVG_SPEEDUP})")
+
+    # Hump shape: best point strictly inside (0, 1) and above both
+    # endpoints, for every case.
+    for name, sweep in fig.sweeps.items():
+        best = sweep.best()
+        assert 0.0 < best.cpu_part < 1.0, name
+        assert best.bandwidth_gbs > sweep.gpu_only.bandwidth_gbs
+        assert best.bandwidth_gbs > sweep.cpu_only.bandwidth_gbs
+    # Average best speedup in the paper's band (~2.5; model ~2.2).
+    assert fig.average_best_speedup() == pytest.approx(
+        PAPER_FIG2B_AVG_SPEEDUP, rel=0.35
+    )

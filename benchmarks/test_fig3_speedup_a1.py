@@ -1,0 +1,32 @@
+"""Figure 3: optimized-over-baseline co-execution speedup vs p (A1).
+
+Paper: speedup ranges 0.996-10.654 and is significant when the GPU part
+accounts for at least 50% of the workload.
+"""
+
+from repro.evaluation.figures import generate_speedup_figure, render_speedup_figure
+from repro.evaluation.paper_data import PAPER_FIG3_RANGE
+
+
+def test_fig3(benchmark, fig2a_data, fig2b_data):
+    fig = benchmark.pedantic(
+        generate_speedup_figure, args=(fig2a_data, fig2b_data),
+        rounds=5, iterations=1,
+    )
+    print()
+    print(render_speedup_figure(fig))
+    print(f"paper range: {PAPER_FIG3_RANGE[0]} .. {PAPER_FIG3_RANGE[1]}")
+
+    lo, hi = fig.overall_range()
+    # No slowdown anywhere; large wins at GPU-heavy splits (the model
+    # overshoots the paper's 10.654 peak by <2x — see EXPERIMENTS.md).
+    assert lo >= 0.9
+    assert PAPER_FIG3_RANGE[1] * 0.5 <= hi <= PAPER_FIG3_RANGE[1] * 2.0
+    # Significance threshold: speedups fade toward 1 as the CPU share
+    # grows, and the big wins live at GPU-heavy splits.
+    for series in fig.series.values():
+        tail = [s for p, s in series if p >= 0.8]
+        assert all(s < 1.5 for s in tail)
+        head = [s for p, s in series if p <= 0.2]
+        assert max(head) > 2.0
+        assert max(head) >= max(tail)

@@ -1,0 +1,44 @@
+"""Figure 4a: baseline co-execution in UM mode, allocation at A2.
+
+The array is re-allocated (and re-initialized on the CPU) for every p, so
+the GPU part pays fault migration at each split.  Paper finding: the
+baseline co-run does "not achieve higher performance than the CPU-only
+execution".  The model reproduces the per-p migration penalty and the
+CPU-only endpoint at full local bandwidth; for C1/C4 (whose baseline
+kernels exceed the CPU's stream rate) it retains a mid-p optimum the paper
+does not show — a documented deviation (EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core.cases import PAPER_CASES
+from repro.core.coexec import AllocationSite
+from repro.evaluation.figures import generate_coexec_figure, render_coexec_figure
+
+
+def test_fig4a(benchmark, machine):
+    fig = benchmark.pedantic(
+        generate_coexec_figure,
+        args=(machine, PAPER_CASES, AllocationSite.A2, False),
+        kwargs={"trials": 200, "verify": False},
+        rounds=3, iterations=1,
+    )
+    print()
+    print(render_coexec_figure(fig))
+    print("paper: baseline A2 co-run never beats CPU-only")
+
+    for name, sweep in fig.sweeps.items():
+        cpu_only = sweep.cpu_only.bandwidth_gbs
+        # The A2 penalty: every mid-p point re-pays migration, so the
+        # best co-run gains far less than at A1 — bounded at <2x the
+        # CPU-only endpoint rather than the free-migration additive
+        # ideal (C1/C4 retain a mid-p optimum; see EXPERIMENTS.md).
+        assert sweep.best().bandwidth_gbs < 2.0 * cpu_only, name
+        # Curves converge to the CPU-only rate as p -> 1.
+        tail = [bw for p, bw in sweep.series() if p >= 0.9]
+        assert all(abs(bw / cpu_only - 1.0) < 0.25 for bw in tail), name
+    # For the slow baseline kernels (C2, C3) the CPU-only endpoint beats
+    # GPU-only outright — the paper's "no benefit" regime.
+    for name in ("C2", "C3"):
+        sweep = fig.sweeps[name]
+        assert sweep.cpu_only.bandwidth_gbs > 1.5 * sweep.gpu_only.bandwidth_gbs

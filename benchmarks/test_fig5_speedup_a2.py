@@ -1,0 +1,27 @@
+"""Figure 5: optimized-over-baseline co-execution speedup vs p (A2).
+
+Paper: range 0.998-6.729; significant when the GPU part is >= 90%.
+"""
+
+from repro.evaluation.figures import generate_speedup_figure, render_speedup_figure
+from repro.evaluation.paper_data import PAPER_FIG5_RANGE
+
+
+def test_fig5(benchmark, fig4a_data, fig4b_data):
+    fig = benchmark.pedantic(
+        generate_speedup_figure, args=(fig4a_data, fig4b_data),
+        rounds=5, iterations=1,
+    )
+    print()
+    print(render_speedup_figure(fig))
+    print(f"paper range: {PAPER_FIG5_RANGE[0]} .. {PAPER_FIG5_RANGE[1]}")
+
+    lo, hi = fig.overall_range()
+    assert lo >= 0.9  # optimized never loses to baseline
+    assert PAPER_FIG5_RANGE[1] * 0.5 <= hi <= PAPER_FIG5_RANGE[1] * 2.0
+    # The peak sits at the GPU-heaviest splits and decays faster than the
+    # A1 curves (migration throttles both flavours equally at mid p).
+    for series in fig.series.values():
+        peak_p = max(series, key=lambda ps: ps[1])[0]
+        assert peak_p <= 0.2
+        assert all(s < 1.3 for p, s in series if p >= 0.9)

@@ -1,0 +1,48 @@
+"""§III.C profiling observations: default grid sizes and team threads.
+
+The paper inspects the baseline launches with a profiler; here the trace
+plays that role.  Observables: grid = M / threads-per-team for C1/C3/C4,
+grid = 0xFFFFFF for C2, 128 threads per team in every case, and explicit
+``num_teams`` values always matching the launched grid.
+"""
+
+from repro import Machine, ReproConfig
+from repro.core.cases import C2, PAPER_CASES
+from repro.core.optimized import KernelConfig
+from repro.core.timing import measure_gpu_reduction
+from repro.util.tables import AsciiTable
+
+
+def _profile_baselines():
+    machine = Machine(config=ReproConfig(functional_elements_cap=1 << 16))
+    for case in PAPER_CASES:
+        measure_gpu_reduction(machine, case, trials=1, verify=False)
+    measure_gpu_reduction(machine, C2, KernelConfig(teams=65536, v=32),
+                          trials=1, verify=False)
+    return machine.trace
+
+
+def test_profiled_grid_sizes(benchmark):
+    trace = benchmark.pedantic(_profile_baselines, rounds=3, iterations=1)
+
+    table = AsciiTable(["launch", "grid", "block", "from num_teams clause"])
+    for rec in trace.kernel_launches:
+        table.add_row([rec.name, rec.grid, rec.block, rec.from_clause])
+    print()
+    print(table.render())
+
+    baselines = trace.kernel_launches[:4]
+    by_name = {r.name: r for r in baselines}
+    # C1/C3/C4: grid = M / 128.
+    for name, case in (("c1_baseline_v1", PAPER_CASES[0]),
+                       ("c3_baseline_v1", PAPER_CASES[2]),
+                       ("c4_baseline_v1", PAPER_CASES[3])):
+        assert by_name[name].grid == case.elements // 128
+    # C2: the 0xFFFFFF cap.
+    assert by_name["c2_baseline_v1"].grid == 0xFFFFFF
+    # 128 threads per team in any (baseline) case.
+    assert all(r.block == 128 for r in baselines)
+    assert all(not r.from_clause for r in baselines)
+    # The explicit launch matches its num_teams clause: 65536/32.
+    explicit = trace.kernel_launches[-1]
+    assert explicit.from_clause and explicit.grid == 2048

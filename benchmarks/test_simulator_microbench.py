@@ -1,0 +1,42 @@
+"""Microbenchmarks of the simulator itself (not a paper artifact).
+
+Keeps the reproduction usable: the analytic kernel model must evaluate in
+microseconds (the sweeps call it hundreds of times) and the vectorized
+functional executor must stream at NumPy-reduction speed.
+"""
+
+import numpy as np
+
+from repro.core.cases import C1
+from repro.gpu.exec_model import execute_reduction
+from repro.gpu.kernels import ReductionKernel
+from repro.gpu.perf import estimate_kernel_time
+from repro.hardware import hopper_gpu
+from repro.openmp.runtime import LaunchGeometry
+
+GPU = hopper_gpu()
+KERNEL = ReductionKernel(
+    name="k",
+    geometry=LaunchGeometry(grid=16384, block=256, from_clause=True),
+    elements=C1.elements,
+    elements_per_iteration=4,
+    element_type="int32",
+    result_type="int32",
+)
+
+
+def test_kernel_model_evaluation_speed(benchmark):
+    timing = benchmark(estimate_kernel_time, GPU, KERNEL)
+    assert timing.total > 0
+    # The whole (teams, V) sweep is 56 evaluations; each must be cheap.
+    assert benchmark.stats["mean"] < 1e-3
+
+
+def test_functional_executor_throughput(benchmark):
+    data = np.random.default_rng(0).integers(
+        -100, 100, size=1 << 20
+    ).astype(np.int32)
+    result = benchmark(execute_reduction, data, KERNEL)
+    assert result == data.sum(dtype=np.int32)
+    # Vectorized reduceat path: >100 M elements/s is comfortable.
+    assert benchmark.stats["mean"] < (1 << 20) / 1e8

@@ -1,0 +1,31 @@
+"""Table 1: baseline vs optimized reductions on the GPU.
+
+Regenerates the paper's headline table: baseline (runtime-heuristic
+geometry) and autotuned-optimized bandwidth, speedup, and efficiency for
+C1-C4 at N = 200 trials.
+"""
+
+import pytest
+
+from repro.evaluation.paper_data import PAPER_TABLE1
+from repro.evaluation.tables import generate_table1, render_table1
+
+
+def test_table1(benchmark, machine):
+    rows = benchmark.pedantic(
+        generate_table1, args=(machine,), rounds=3, iterations=1
+    )
+    print()
+    print(render_table1(rows))
+
+    for name, row in rows.items():
+        paper = PAPER_TABLE1[name]
+        # Who wins and by roughly what factor.
+        assert row.speedup == pytest.approx(paper.speedup, rel=0.15)
+        assert row.base_gbs == pytest.approx(paper.base_gbs, rel=0.10)
+        assert row.optimized_gbs == pytest.approx(paper.optimized_gbs, rel=0.05)
+        assert row.base_efficiency_pct < 17.0
+        assert 85.0 < row.optimized_efficiency_pct < 97.0
+    # Speedup ordering: C2 > C3 > C4 > C1.
+    speedups = {n: r.speedup for n, r in rows.items()}
+    assert speedups["C2"] > speedups["C3"] > speedups["C4"] > speedups["C1"]

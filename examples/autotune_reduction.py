@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Autotuning walkthrough: reproduce one Figure 1 panel and Table 1 row.
+
+Sweeps the paper's (teams, V) space for a chosen case, prints the figure's
+bandwidth matrix, finds the best configuration, and compares the resulting
+baseline/optimized/speedup numbers against the paper.
+
+Run:  python examples/autotune_reduction.py [C1|C2|C3|C4]
+"""
+
+import sys
+
+from repro import Machine
+from repro.core.cases import case_by_name
+from repro.core.timing import measure_gpu_reduction
+from repro.core.tuning import sweep_parameters
+from repro.evaluation.paper_data import PAPER_SATURATION_TEAMS, PAPER_TABLE1
+from repro.util.tables import AsciiTable
+
+
+def main(case_name: str = "C2") -> None:
+    machine = Machine()
+    case = case_by_name(case_name)
+    print(f"case: {case.describe()}\n")
+
+    sweep = sweep_parameters(machine, case)
+    teams_axis = [t for t, _ in sweep.envelope()]
+    table = AsciiTable(["V \\ teams"] + [str(t) for t in teams_axis],
+                       float_format="{:.0f}")
+    for v in sweep.v_values():
+        series = dict(sweep.series_for_v(v))
+        table.add_row([f"v{v}"] + [series.get(t, "-") for t in teams_axis])
+    print(table.render())
+
+    best = sweep.best()
+    print(f"\nbest configuration: {best.config.label()} "
+          f"-> {best.bandwidth_gbs:.0f} GB/s")
+    print(f"saturation (97% of peak) reached at ~"
+          f"{min(t for t, bw in sweep.envelope() if bw >= 0.97 * best.bandwidth_gbs)}"
+          f" teams (paper: {PAPER_SATURATION_TEAMS[case.name]})")
+
+    base = measure_gpu_reduction(machine, case)
+    opt = measure_gpu_reduction(machine, case, best.config)
+    paper = PAPER_TABLE1[case.name]
+    summary = AsciiTable(["", "measured", "paper"])
+    summary.add_row(["baseline GB/s", f"{base.bandwidth_gbs:.0f}",
+                     f"{paper.base_gbs:.0f}"])
+    summary.add_row(["optimized GB/s", f"{opt.bandwidth_gbs:.0f}",
+                     f"{paper.optimized_gbs:.0f}"])
+    summary.add_row(["speedup", f"{opt.bandwidth_gbs / base.bandwidth_gbs:.3f}",
+                     f"{paper.speedup:.3f}"])
+    summary.add_row(["efficiency %",
+                     f"{100 * opt.efficiency:.1f}",
+                     f"{paper.optimized_efficiency_pct}"])
+    print("\nTable 1 row:")
+    print(summary.render())
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "C2")

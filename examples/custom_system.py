@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Sensitivity study on a customized system.
+
+The hardware description is data, so "what if" questions are one-liners:
+what does the tuned reduction look like with half the SMs, a slower HBM
+stack, or a faster fault-migration path?  This is the library's value
+beyond the paper: the same models answer questions the testbed could not.
+
+Run:  python examples/custom_system.py
+"""
+
+from repro import Machine
+from repro.core.cases import C1
+from repro.core.coexec import AllocationSite, measure_coexec_sweep
+from repro.core.timing import measure_gpu_reduction
+from repro.core.tuning import autotune
+from repro.evaluation.figures import paper_optimized_config
+from repro.hardware import grace_hopper, hopper_gpu, nvlink_c2c
+from repro.hardware.hopper import HOPPER_HBM3
+from repro.hardware.spec import MemorySpec
+from repro.util.tables import AsciiTable
+import dataclasses
+
+
+def _tuned_row(name, machine):
+    best = autotune(machine, C1)
+    m = measure_gpu_reduction(machine, C1, best, verify=False)
+    return [name, best.label(), f"{m.bandwidth_gbs:.0f}",
+            f"{100 * m.efficiency:.1f}%"]
+
+
+def main() -> None:
+    table = AsciiTable(["system", "best config (C1)", "GB/s", "efficiency"])
+
+    # The paper's testbed.
+    table.add_row(_tuned_row("GH200 (paper)", Machine()))
+
+    # Half the SMs: saturation needs the same warp population, so the
+    # best team count should not shrink — the plateau does.
+    half_sms = grace_hopper().with_gpu(hopper_gpu(sms=66))
+    table.add_row(_tuned_row("H100 with 66 SMs", Machine(half_sms)))
+
+    # A hypothetical HBM at half bandwidth but same latency: the V-unroll
+    # matters less because the ceiling drops.
+    slow_hbm = dataclasses.replace(HOPPER_HBM3, peak_bandwidth_gbs=2011.35)
+    table.add_row(_tuned_row(
+        "half-bandwidth HBM", Machine(grace_hopper().with_gpu(hopper_gpu(memory=slow_hbm)))
+    ))
+    print(table.render())
+
+    # Link sensitivity: how much of the A1 co-execution win survives if
+    # fault migration were 4x faster (e.g. with prefetch hints)?
+    print("\nco-execution sensitivity to the migration path (case C1):")
+    link_table = AsciiTable(
+        ["migration GB/s", "GPU-only GB/s", "best co-run GB/s",
+         "speedup over GPU-only"]
+    )
+    for mig in (3.0, 12.0, 48.0, 200.0):
+        system = grace_hopper().with_link(nvlink_c2c(migration_gbs=mig))
+        machine = Machine(system)
+        sweep = measure_coexec_sweep(
+            machine, C1, AllocationSite.A1, paper_optimized_config(C1),
+            verify=False,
+        )
+        best = sweep.best()
+        link_table.add_row([
+            mig,
+            f"{sweep.gpu_only.bandwidth_gbs:.0f}",
+            f"{best.bandwidth_gbs:.0f}",
+            f"x{best.bandwidth_gbs / sweep.gpu_only.bandwidth_gbs:.2f}",
+        ])
+    print(link_table.render())
+    print("\n(faster migration mostly de-throttles the GPU-only endpoint, "
+          "so the *relative* co-execution win shrinks — the paper's 2.5x "
+          "headline is in large part a statement about UM fault costs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Full reproduction driver: regenerate every table and figure.
+
+Prints Table 1, the four Figure 1 panels, Figures 2a/2b/3/4a/4b/5, the
+Section IV aggregates, and the DESIGN.md §3 shape-check report — the whole
+paper in one run (~1 minute).
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro import Machine
+from repro.core.cases import PAPER_CASES
+from repro.core.coexec import AllocationSite
+from repro.evaluation.figures import (
+    chart_coexec_figure,
+    chart_figure1,
+    generate_coexec_figure,
+    generate_figure1,
+    generate_speedup_figure,
+    render_coexec_figure,
+    render_figure1,
+    render_speedup_figure,
+)
+from repro.evaluation.report import full_report
+from repro.evaluation.tables import generate_table1, render_table1
+
+
+def main() -> None:
+    machine = Machine()
+    print(f"machine: {machine.describe()}\n")
+
+    print("=" * 72)
+    print("Table 1 (measured vs paper)")
+    print("=" * 72)
+    print(render_table1(generate_table1(machine)))
+
+    for case in PAPER_CASES:
+        print()
+        print("=" * 72)
+        fig1 = generate_figure1(machine, case)
+        print(render_figure1(fig1))
+        print()
+        print(chart_figure1(fig1))
+
+    figures = {}
+    for site in (AllocationSite.A1, AllocationSite.A2):
+        for optimized in (False, True):
+            fig = generate_coexec_figure(
+                machine, PAPER_CASES, site, optimized, verify=False
+            )
+            figures[(site, optimized)] = fig
+            print()
+            print("=" * 72)
+            print(render_coexec_figure(fig))
+            print()
+            print(chart_coexec_figure(fig))
+
+    for site, fig_name in ((AllocationSite.A1, "3"), (AllocationSite.A2, "5")):
+        fig = generate_speedup_figure(
+            figures[(site, False)], figures[(site, True)]
+        )
+        print()
+        print("=" * 72)
+        print(render_speedup_figure(fig))
+
+    print()
+    print("=" * 72)
+    print("Shape-check report (DESIGN.md §3 criteria)")
+    print("=" * 72)
+    print(full_report(machine))
+
+
+if __name__ == "__main__":
+    main()

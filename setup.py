@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works on minimal
+offline environments whose setuptools lacks the `wheel` package needed for
+PEP 660 editable wheels (legacy `setup.py develop` path).
+"""
+
+from setuptools import setup
+
+setup()

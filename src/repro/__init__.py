@@ -1,0 +1,110 @@
+"""grace-reduce: sum reduction with OpenMP offload on a simulated GH200.
+
+Reproduction of Zheming Jin, *Sum Reduction with OpenMP Offload on NVIDIA
+Grace-Hopper System* (SC 2024).  The package builds every substrate the
+paper depends on — an OpenMP offload front end and runtime, a calibrated
+H100 performance model, a Grace CPU model, and a page-granular
+unified-memory subsystem — and reproduces each of the paper's tables and
+figures on top of them (see DESIGN.md and EXPERIMENTS.md).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import offload_sum
+>>> r = offload_sum(np.arange(1024, dtype=np.int32), teams=1024, v=4)
+>>> int(r.value)
+523776
+"""
+
+from ._version import __version__, VERSION
+from .config import DEFAULT_CONFIG, ReproConfig
+from .dtypes import (
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    INT8,
+    SCALAR_TYPES,
+    ScalarType,
+    scalar_type,
+)
+from .errors import (
+    CanonicalLoopError,
+    ClauseError,
+    CompileError,
+    DirectiveSyntaxError,
+    LaunchError,
+    MeasurementError,
+    MemoryModelError,
+    OpenMPError,
+    ReproError,
+    SpecError,
+    VerificationError,
+)
+from .hardware import GraceHopperSystem, grace_hopper
+from .core import (
+    C1,
+    C2,
+    C3,
+    C4,
+    PAPER_CASES,
+    AllocationSite,
+    Case,
+    KernelConfig,
+    Machine,
+    Measurement,
+    OffloadReducer,
+    OffloadResult,
+    autotune,
+    measure_coexec_sweep,
+    measure_gpu_reduction,
+    offload_sum,
+    sweep_parameters,
+    verify_result,
+)
+
+__all__ = [
+    "__version__",
+    "VERSION",
+    "ReproConfig",
+    "DEFAULT_CONFIG",
+    "ScalarType",
+    "scalar_type",
+    "SCALAR_TYPES",
+    "INT8",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "ReproError",
+    "SpecError",
+    "OpenMPError",
+    "DirectiveSyntaxError",
+    "ClauseError",
+    "CanonicalLoopError",
+    "CompileError",
+    "MemoryModelError",
+    "LaunchError",
+    "MeasurementError",
+    "VerificationError",
+    "GraceHopperSystem",
+    "grace_hopper",
+    "Case",
+    "C1",
+    "C2",
+    "C3",
+    "C4",
+    "PAPER_CASES",
+    "Machine",
+    "KernelConfig",
+    "offload_sum",
+    "OffloadReducer",
+    "OffloadResult",
+    "Measurement",
+    "measure_gpu_reduction",
+    "sweep_parameters",
+    "autotune",
+    "AllocationSite",
+    "measure_coexec_sweep",
+    "verify_result",
+]

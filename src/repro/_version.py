@@ -1,0 +1,6 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Version tuple for programmatic comparison, e.g. ``VERSION >= (1, 0)``.
+VERSION = tuple(int(part) for part in __version__.split("."))

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``describe``
+    Print the simulated system and calibration summary.
+``sum``
+    Reduce a synthetic workload (choose size/dtype/tuning parameters).
+``sweep CASE``
+    Regenerate one Figure 1 panel (C1..C4).
+``table1``
+    Regenerate Table 1 with paper-vs-measured columns.
+``coexec CASE``
+    Run the Listing 8 co-execution sweep at a chosen allocation site.
+``report``
+    Run the full shape-check battery (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .core.cases import case_by_name
+from .core.coexec import AllocationSite, measure_coexec_sweep
+from .core.machine import Machine
+from .core.optimized import KernelConfig
+from .core.reduce import offload_sum
+from .dtypes import scalar_type
+from .errors import ReproError
+from .evaluation.figures import (
+    generate_figure1,
+    paper_optimized_config,
+    render_figure1,
+)
+from .evaluation.report import full_report
+from .evaluation.tables import generate_table1, render_table1
+from .util.tables import AsciiTable
+from .util.units import format_bandwidth, format_time
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sum reduction with OpenMP offload on a simulated "
+                    "Grace-Hopper system (SC 2024 reproduction).",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--functional-cap", type=int, metavar="N", default=None,
+        help="cap the functionally-executed elements per workload "
+             "(performance numbers are unaffected; speeds up big runs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="print the simulated system")
+
+    p_sum = sub.add_parser("sum", help="offload a synthetic sum reduction")
+    p_sum.add_argument("--elements", type=int, default=1 << 24)
+    p_sum.add_argument("--dtype", default="int32",
+                       choices=["int8", "int32", "float32", "float64"])
+    p_sum.add_argument("--teams", type=int, default=None,
+                       help="explicit team count (omit for the baseline)")
+    p_sum.add_argument("--v", type=int, default=1,
+                       help="elements accumulated per loop iteration")
+    p_sum.add_argument("--threads", type=int, default=256)
+    p_sum.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser("sweep", help="regenerate a Figure 1 panel")
+    p_sweep.add_argument("case", choices=["C1", "C2", "C3", "C4"])
+    p_sweep.add_argument("--trials", type=int, default=200)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1")
+    p_t1.add_argument("--trials", type=int, default=200)
+
+    p_co = sub.add_parser("coexec", help="run the co-execution p sweep")
+    p_co.add_argument("case", choices=["C1", "C2", "C3", "C4"])
+    p_co.add_argument("--site", choices=["A1", "A2"], default="A1")
+    p_co.add_argument("--baseline", action="store_true",
+                      help="co-run the baseline kernel (default: optimized)")
+    p_co.add_argument("--no-unified-memory", action="store_true",
+                      help="explicit map copies instead of UM")
+    p_co.add_argument("--trials", type=int, default=200)
+
+    p_rep = sub.add_parser("report", help="run the shape-check battery")
+    p_rep.add_argument("--trials", type=int, default=200)
+    p_rep.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the full markdown report to FILE")
+    return parser
+
+
+def _cmd_describe(args, machine: Machine) -> int:
+    print(machine.describe())
+    print(f"peak GPU bandwidth: "
+          f"{format_bandwidth(machine.system.peak_gpu_bandwidth_gbs)}")
+    print(f"UM page size: {machine.system.page_bytes} bytes")
+    print(f"fault migration: "
+          f"{format_bandwidth(machine.link.migration_gbs)}; "
+          f"C2C remote reads: "
+          f"{format_bandwidth(machine.link.remote_read_gbs)}")
+    return 0
+
+
+def _cmd_sum(args, machine: Machine) -> int:
+    st = scalar_type(args.dtype)
+    rng = np.random.default_rng(args.seed)
+    if st.is_integer:
+        data = rng.integers(-100, 100, size=args.elements).astype(st.numpy)
+    else:
+        data = rng.random(args.elements).astype(st.numpy)
+    result = offload_sum(data, teams=args.teams, v=args.v,
+                         threads=args.threads, machine=machine)
+    geo = result.kernel.geometry
+    print(f"sum        = {result.value}")
+    print(f"geometry   = grid {geo.grid} x block {geo.block} "
+          f"(v={result.kernel.elements_per_iteration})")
+    print(f"kernel     = {format_time(result.seconds)}")
+    print(f"bandwidth  = {format_bandwidth(result.bandwidth_gbs)}")
+    return 0
+
+
+def _cmd_sweep(args, machine: Machine) -> int:
+    case = case_by_name(args.case)
+    fig = generate_figure1(machine, case, trials=args.trials)
+    print(render_figure1(fig))
+    return 0
+
+
+def _cmd_table1(args, machine: Machine) -> int:
+    print(render_table1(generate_table1(machine, trials=args.trials)))
+    return 0
+
+
+def _cmd_coexec(args, machine: Machine) -> int:
+    case = case_by_name(args.case)
+    config = None if args.baseline else paper_optimized_config(case)
+    sweep = measure_coexec_sweep(
+        machine,
+        case,
+        AllocationSite(args.site),
+        config,
+        trials=args.trials,
+        verify=False,
+        unified_memory=not args.no_unified_memory,
+    )
+    table = AsciiTable(["p"] + [f"{p:.1f}" for p, _ in sweep.series()],
+                       float_format="{:.0f}")
+    table.add_row(["GB/s"] + [bw for _, bw in sweep.series()])
+    print(table.render())
+    best = sweep.best()
+    print(f"best: p={best.cpu_part:.1f} -> "
+          f"{format_bandwidth(best.bandwidth_gbs)} "
+          f"(x{best.bandwidth_gbs / sweep.gpu_only.bandwidth_gbs:.3f} over "
+          f"GPU-only)")
+    return 0
+
+
+def _cmd_report(args, machine: Machine) -> int:
+    text = full_report(machine, trials=args.trials)
+    print(text)
+    if args.out:
+        from .evaluation.markdown import write_report
+
+        path = write_report(args.out, machine, trials=args.trials)
+        print(f"markdown report written to {path}")
+    return 0 if "FAIL" not in text else 1
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "sum": _cmd_sum,
+    "sweep": _cmd_sweep,
+    "table1": _cmd_table1,
+    "coexec": _cmd_coexec,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    config = None
+    if args.functional_cap is not None:
+        from .config import DEFAULT_CONFIG
+
+        config = DEFAULT_CONFIG.with_cap(args.functional_cap)
+    machine = Machine(config=config)
+    try:
+        return _COMMANDS[args.command](args, machine)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""An NVHPC-flavoured OpenMP offload front end (model).
+
+Mirrors the toolchain behaviour the paper depends on:
+
+* command-line flags (``-O3``, ``-mp=gpu``, ``-gpu=mem:unified``) — the UM
+  switch changes how data clauses lower (§IV.A);
+* canonical-loop diagnostics, including the vendor-specific rejection of
+  Listing 4's ``i = i + V`` increment ("the loop increment is not in a
+  supported form");
+* lowering of an annotated reduction loop to a
+  :class:`~repro.gpu.kernels.ReductionKernel` via the device runtime's
+  launch resolution.
+"""
+
+from .flags import CompilerFlags
+from .diagnostics import Diagnostic, Severity
+from .nvhpc import NvhpcCompiler, CompiledReduction, ReductionLoopProgram
+
+__all__ = [
+    "CompilerFlags",
+    "Diagnostic",
+    "Severity",
+    "NvhpcCompiler",
+    "CompiledReduction",
+    "ReductionLoopProgram",
+]

@@ -1,0 +1,34 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One front-end message."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.severity.value} [{self.code}]: {self.message}"
+
+
+#: Diagnostic code for the vendor's unsupported-increment rejection — the
+#: behaviour the paper reports for Listing 4.
+UNSUPPORTED_INCREMENT = "NVHPC-OMP-134"
+
+#: Diagnostic code for non-canonical loops (standard violation).
+NON_CANONICAL_LOOP = "OMP-CANON-001"

@@ -1,0 +1,71 @@
+"""Compiler command-line flags (the subset the paper uses)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from ..errors import CompileError
+
+__all__ = ["CompilerFlags"]
+
+
+@dataclass(frozen=True)
+class CompilerFlags:
+    """Parsed NVHPC-style flags.
+
+    The paper compiles with ``-O3`` and the OpenMP GPU target, adding
+    ``-gpu=mem:unified`` for the Section IV experiments.
+    """
+
+    optimization: int = 3
+    mp_target: str = "gpu"       # -mp=gpu | -mp=multicore
+    unified_memory: bool = False  # -gpu=mem:unified
+    raw: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.optimization <= 4:
+            raise CompileError(f"unsupported optimization level -O{self.optimization}")
+        if self.mp_target not in ("gpu", "multicore"):
+            raise CompileError(f"unsupported -mp target {self.mp_target!r}")
+
+    @classmethod
+    def parse(cls, argv: Iterable[str]) -> "CompilerFlags":
+        """Parse a flag list like ``["-O3", "-mp=gpu", "-gpu=mem:unified"]``."""
+        optimization = 2
+        mp_target = "gpu"
+        unified = False
+        raw = tuple(argv)
+        for arg in raw:
+            if arg.startswith("-O"):
+                level = arg[2:]
+                if not level.isdigit():
+                    raise CompileError(f"malformed optimization flag {arg!r}")
+                optimization = int(level)
+            elif arg.startswith("-mp"):
+                _, _, target = arg.partition("=")
+                mp_target = target or "gpu"
+            elif arg.startswith("-gpu="):
+                options = arg[len("-gpu="):].split(",")
+                for opt in options:
+                    if opt == "mem:unified":
+                        unified = True
+                    elif opt in ("mem:separate", "mem:managed"):
+                        unified = opt == "mem:managed"
+                    else:
+                        raise CompileError(f"unknown -gpu option {opt!r}")
+            else:
+                raise CompileError(f"unknown flag {arg!r}")
+        return cls(
+            optimization=optimization,
+            mp_target=mp_target,
+            unified_memory=unified,
+            raw=raw,
+        )
+
+    def render(self) -> str:
+        """Canonical command-line form."""
+        parts = [f"-O{self.optimization}", f"-mp={self.mp_target}"]
+        if self.unified_memory:
+            parts.append("-gpu=mem:unified")
+        return " ".join(parts)

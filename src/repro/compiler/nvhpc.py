@@ -1,0 +1,175 @@
+"""NVHPC-style front end: validate + lower an annotated reduction loop.
+
+The compile pipeline applied to a :class:`ReductionLoopProgram`:
+
+1. parse the pragma (if given as text);
+2. check the directive is an offloadable teams worksharing construct;
+3. check OpenMP canonical loop form, then the NVHPC-specific increment
+   restriction — Listing 4's ``i = i + V`` form is rejected with the
+   paper's "loop increment is not in a supported form" diagnostic while
+   the normalized Listing 5 compiles;
+4. validate the reduction clause against the program's result type;
+5. emit a :class:`CompiledReduction`, which resolves launch geometry
+   against a device runtime at "run time" (clause expressions like
+   ``num_teams(teams/V)`` bind late, as in the listings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple, Union
+
+from ..dtypes import ScalarType, scalar_type
+from ..errors import CanonicalLoopError, CompileError
+from ..hardware.spec import GpuSpec
+from ..openmp.canonical import ForLoop, check_canonical, nvhpc_supported
+from ..openmp.directives import Directive
+from ..openmp.parser import parse_pragma
+from ..openmp.reduction_ops import get_reduction_op
+from ..openmp.runtime import DeviceRuntime, LaunchGeometry
+from ..gpu.kernels import ReductionKernel
+from ..gpu.strategies import ReductionStrategy
+from .diagnostics import (
+    Diagnostic,
+    NON_CANONICAL_LOOP,
+    Severity,
+    UNSUPPORTED_INCREMENT,
+)
+from .flags import CompilerFlags
+
+__all__ = ["ReductionLoopProgram", "CompiledReduction", "NvhpcCompiler"]
+
+
+@dataclass(frozen=True)
+class ReductionLoopProgram:
+    """Source-level description of an annotated reduction loop.
+
+    ``pragma`` may be the raw ``#pragma omp ...`` text or an already-parsed
+    :class:`~repro.openmp.directives.Directive`.
+    """
+
+    pragma: Union[str, Directive]
+    loop: ForLoop
+    element_type: ScalarType
+    result_type: ScalarType
+    name: str = "sum_reduction"
+
+    def directive(self) -> Directive:
+        if isinstance(self.pragma, Directive):
+            return self.pragma
+        return parse_pragma(self.pragma)
+
+
+@dataclass(frozen=True)
+class CompiledReduction:
+    """A successfully compiled offload reduction.
+
+    Launch geometry binds late: :meth:`launch` evaluates symbolic clause
+    arguments (``teams``, ``V``...) against *env* through the device
+    runtime, exactly as the listings set them at run time.
+    """
+
+    directive: Directive
+    loop: ForLoop
+    element_type: ScalarType
+    result_type: ScalarType
+    identifier: str
+    flags: CompilerFlags
+    name: str
+    diagnostics: Tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    @property
+    def unified_memory(self) -> bool:
+        return self.flags.unified_memory
+
+    def launch(
+        self,
+        runtime: DeviceRuntime,
+        env: Optional[Mapping[str, int]] = None,
+        strategy: "ReductionStrategy | None" = None,
+    ) -> ReductionKernel:
+        """Resolve geometry and produce the device kernel descriptor.
+
+        ``strategy`` selects the reduction lowering; the default is the
+        compiler's tree lowering (the paper's behaviour).
+        """
+        geometry: LaunchGeometry = runtime.resolve_launch(
+            self.directive, self.loop, env
+        )
+        v = self.loop.elements_per_iteration
+        return ReductionKernel(
+            name=f"{self.name}_v{v}",
+            geometry=geometry,
+            elements=self.loop.total_elements,
+            elements_per_iteration=v,
+            element_type=self.element_type,
+            result_type=self.result_type,
+            identifier=self.identifier,
+            strategy=strategy or ReductionStrategy.TREE,
+        )
+
+
+class NvhpcCompiler:
+    """The front end.  Stateless apart from its flags."""
+
+    def __init__(self, flags: Optional[CompilerFlags] = None):
+        self.flags = flags or CompilerFlags.parse(["-O3", "-mp=gpu"])
+
+    def compile(self, program: ReductionLoopProgram) -> CompiledReduction:
+        """Compile *program* or raise :class:`~repro.errors.CompileError`.
+
+        The raised error carries the diagnostics, including the
+        unsupported-increment message for Listing-4-style loops.
+        """
+        directive = program.directive()
+        diagnostics = []
+
+        if not (directive.kind.is_offload and directive.kind.has_teams):
+            raise CompileError(
+                f"'#pragma omp {directive.kind.value}' does not offload a "
+                "teams worksharing loop",
+            )
+
+        try:
+            check_canonical(program.loop)
+        except CanonicalLoopError as exc:
+            diag = Diagnostic(Severity.ERROR, NON_CANONICAL_LOOP, str(exc))
+            raise CompileError(str(exc), diagnostics=[diag]) from exc
+
+        if not nvhpc_supported(program.loop):
+            diag = Diagnostic(
+                Severity.ERROR,
+                UNSUPPORTED_INCREMENT,
+                f"loop increment '{program.loop.increment_form}' with step "
+                f"{program.loop.step} is not in a supported form; rewrite "
+                "the loop with a unit step (see paper Listing 5)",
+            )
+            raise CompileError(diag.message, diagnostics=[diag])
+
+        reduction = directive.reduction
+        if reduction is None:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "NVHPC-OMP-512",
+                    "offloaded loop accumulates into a shared variable "
+                    "without a reduction clause (race)",
+                )
+            )
+            identifier = "+"
+        else:
+            identifier = reduction.identifier
+        get_reduction_op(identifier, program.result_type)  # validates
+
+        element_type = scalar_type(program.element_type)
+        result_type = scalar_type(program.result_type)
+        return CompiledReduction(
+            directive=directive,
+            loop=program.loop,
+            element_type=element_type,
+            result_type=result_type,
+            identifier=identifier,
+            flags=self.flags,
+            name=program.name,
+            diagnostics=tuple(diagnostics),
+        )

@@ -1,0 +1,62 @@
+"""The paper's contribution: OpenMP offload sum reduction, tuned and co-run.
+
+Public surface:
+
+* :func:`~repro.core.reduce.offload_sum` / :class:`~repro.core.reduce.OffloadReducer`
+  — one-call offloaded reductions (functional result + modelled time);
+* :class:`~repro.core.machine.Machine` — the simulated Grace-Hopper node
+  everything runs on;
+* :mod:`repro.core.cases` — the paper's four evaluation cases C1-C4;
+* :mod:`repro.core.baseline` / :mod:`repro.core.optimized` — Listings 2 and 5
+  as configuration objects;
+* :mod:`repro.core.timing` — the Listing 6 measurement loop (N trials,
+  bandwidth metric);
+* :mod:`repro.core.tuning` — the (teams, V) parameter sweep and autotuner;
+* :mod:`repro.core.coexec` — Listing 7/8 CPU+GPU co-execution in unified
+  memory with A1/A2 allocation sites.
+"""
+
+from .cases import Case, C1, C2, C3, C4, PAPER_CASES
+from .machine import Machine
+from .baseline import baseline_program, BASELINE_PRAGMA
+from .optimized import optimized_program, optimized_pragma, KernelConfig
+from .reduce import offload_sum, OffloadReducer, OffloadResult
+from .timing import measure_gpu_reduction, Measurement, TRIALS
+from .tuning import sweep_parameters, autotune, SweepPoint, SweepResult
+from .coexec import (
+    AllocationSite,
+    CoExecMeasurement,
+    measure_coexec_sweep,
+    CPU_PART_GRID,
+)
+from .verify import verify_result
+
+__all__ = [
+    "Case",
+    "C1",
+    "C2",
+    "C3",
+    "C4",
+    "PAPER_CASES",
+    "Machine",
+    "baseline_program",
+    "BASELINE_PRAGMA",
+    "optimized_program",
+    "optimized_pragma",
+    "KernelConfig",
+    "offload_sum",
+    "OffloadReducer",
+    "OffloadResult",
+    "measure_gpu_reduction",
+    "Measurement",
+    "TRIALS",
+    "sweep_parameters",
+    "autotune",
+    "SweepPoint",
+    "SweepResult",
+    "AllocationSite",
+    "CoExecMeasurement",
+    "measure_coexec_sweep",
+    "CPU_PART_GRID",
+    "verify_result",
+]

@@ -1,0 +1,37 @@
+"""Listing 2 — the baseline offloaded reduction.
+
+No ``num_teams``/``thread_limit`` clauses: the runtime's heuristics choose
+the geometry (one thread per element, capped grid, 128-thread teams), and
+V = 1.  Table 1 shows this leaves 85-96% of the memory bandwidth unused.
+"""
+
+from __future__ import annotations
+
+from ..compiler.nvhpc import ReductionLoopProgram
+from ..openmp.canonical import ForLoop
+from .cases import Case
+
+__all__ = ["BASELINE_PRAGMA", "baseline_program"]
+
+#: Listing 2 verbatim (modulo the loop body).
+BASELINE_PRAGMA = (
+    "#pragma omp target teams distribute parallel for reduction(+:sum)"
+)
+
+
+def baseline_program(case: Case) -> ReductionLoopProgram:
+    """The baseline program for *case*: Listing 2 over M elements."""
+    loop = ForLoop(
+        var="i",
+        trip_count=case.elements,
+        step=1,
+        increment_form="var++",
+        elements_per_iteration=1,
+    )
+    return ReductionLoopProgram(
+        pragma=BASELINE_PRAGMA,
+        loop=loop,
+        element_type=case.element_type,
+        result_type=case.result_type,
+        name=f"{case.name.lower()}_baseline",
+    )

@@ -1,0 +1,70 @@
+"""The paper's four evaluation cases (§III.B).
+
+* **C1** — T = R = int32, M = 1 048 576 000 (~4 GB);
+* **C2** — T = int8, R = int64, M = 4 194 304 000 (4x C1's count, ~4 GB);
+* **C3** — T = R = float32, M = 1 048 576 000;
+* **C4** — T = R = float64, M = 1 048 576 000 (~8 GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import FLOAT32, FLOAT64, INT32, INT64, INT8, ScalarType, scalar_type
+from ..util.validation import check_positive_int
+
+__all__ = ["Case", "C1", "C2", "C3", "C4", "PAPER_CASES", "case_by_name"]
+
+_BASE_ELEMENTS = 1_048_576_000
+
+
+@dataclass(frozen=True)
+class Case:
+    """One reduction workload: element type T, result type R, size M."""
+
+    name: str
+    element_type: ScalarType
+    result_type: ScalarType
+    elements: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.elements, "elements")
+        object.__setattr__(self, "element_type", scalar_type(self.element_type))
+        object.__setattr__(self, "result_type", scalar_type(self.result_type))
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of input data — the numerator of the bandwidth metric."""
+        return self.elements * self.element_type.size
+
+    def scaled(self, elements: int, name: "str | None" = None) -> "Case":
+        """Same type combination at a different size (for small-scale runs)."""
+        return Case(
+            name=name or f"{self.name}@{elements}",
+            element_type=self.element_type,
+            result_type=self.result_type,
+            elements=elements,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: T={self.element_type} R={self.result_type} "
+            f"M={self.elements} ({self.input_bytes / 1e9:.2f} GB)"
+        )
+
+
+C1 = Case("C1", INT32, INT32, _BASE_ELEMENTS)
+C2 = Case("C2", INT8, INT64, 4 * _BASE_ELEMENTS)
+C3 = Case("C3", FLOAT32, FLOAT32, _BASE_ELEMENTS)
+C4 = Case("C4", FLOAT64, FLOAT64, _BASE_ELEMENTS)
+
+#: The evaluation set, in paper order.
+PAPER_CASES = (C1, C2, C3, C4)
+
+
+def case_by_name(name: str) -> Case:
+    """Look up one of the paper cases by name (``"C1"``..``"C4"``)."""
+    for case in PAPER_CASES:
+        if case.name == name.upper():
+            return case
+    raise KeyError(f"unknown case {name!r}; expected one of C1..C4")

@@ -1,0 +1,126 @@
+"""The simulated Grace-Hopper node everything runs on.
+
+A :class:`Machine` bundles the hardware description, the GPU calibration,
+the OpenMP device runtime, a trace, and workload generation.  It offers the
+two primitives the higher layers compose:
+
+* :meth:`run_kernel` — predict a kernel's time (and record the launch,
+  profiler-style);
+* :meth:`workload` — a deterministic, size-capped input array for a case
+  (the functional layer sums real numbers; the performance model reasons
+  about the declared size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from ..gpu.kernels import ReductionKernel
+from ..gpu.perf import KernelTiming, estimate_kernel_time
+from ..hardware.system import GraceHopperSystem, grace_hopper
+from ..memory.unified import UnifiedMemoryManager
+from ..openmp.icv import ICVSet
+from ..openmp.runtime import DeviceRuntime
+from ..sim.trace import KernelLaunchRecord, Trace
+from .cases import Case
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A simulated GH200 node: hardware + runtime + trace + workloads."""
+
+    def __init__(
+        self,
+        system: Optional[GraceHopperSystem] = None,
+        calibration: Optional[GpuCalibration] = None,
+        config: Optional[ReproConfig] = None,
+        icvs: Optional[ICVSet] = None,
+    ):
+        self.system = system or grace_hopper()
+        self.calibration = calibration or DEFAULT_CALIBRATION
+        self.config = config or DEFAULT_CONFIG
+        self.trace = Trace()
+        self.runtime = DeviceRuntime(self.system.gpu, icvs)
+        self._workload_cache: Dict[tuple, np.ndarray] = {}
+
+    # -- hardware shortcuts ---------------------------------------------------
+    @property
+    def gpu(self):
+        return self.system.gpu
+
+    @property
+    def cpu(self):
+        return self.system.cpu
+
+    @property
+    def link(self):
+        return self.system.link
+
+    def unified_memory(self) -> UnifiedMemoryManager:
+        """A fresh UM manager sharing this machine's trace."""
+        return UnifiedMemoryManager(self.system, self.trace)
+
+    # -- execution primitives -------------------------------------------------
+    def run_kernel(
+        self,
+        kernel: ReductionKernel,
+        now: float = 0.0,
+        effective_bandwidth_gbs: Optional[float] = None,
+    ) -> KernelTiming:
+        """Model one launch of *kernel*; records it in the trace."""
+        timing = estimate_kernel_time(
+            self.gpu,
+            kernel,
+            self.calibration,
+            effective_bandwidth_gbs=effective_bandwidth_gbs,
+        )
+        self.trace.record_launch(
+            KernelLaunchRecord(
+                time=now,
+                name=kernel.name,
+                grid=kernel.geometry.grid,
+                block=kernel.geometry.block,
+                elements=kernel.elements,
+                from_clause=kernel.geometry.from_clause,
+                duration=timing.total,
+            )
+        )
+        return timing
+
+    # -- workloads ---------------------------------------------------------------
+    def functional_elements(self, case: Case) -> int:
+        """How many elements the functional layer actually sums for *case*."""
+        return min(case.elements, self.config.functional_elements_cap)
+
+    def workload(self, case: Case) -> np.ndarray:
+        """Deterministic input array for *case* (cached, read-only view).
+
+        Integers are drawn uniformly over a small range (so int32/int64
+        accumulation exercises sign handling without always overflowing);
+        floats over [0, 1) (well-conditioned sums, like the paper's
+        verified workloads).
+        """
+        key = (case.element_type.name, self.functional_elements(case))
+        if key not in self._workload_cache:
+            rng = self.config.rng()
+            n = key[1]
+            if case.element_type.is_integer:
+                info = np.iinfo(case.element_type.numpy)
+                low = max(info.min, -100)
+                high = min(info.max, 100)
+                data = rng.integers(low, high + 1, size=n).astype(
+                    case.element_type.numpy
+                )
+            else:
+                data = rng.random(n).astype(case.element_type.numpy)
+            data.setflags(write=False)
+            self._workload_cache[key] = data
+        return self._workload_cache[key]
+
+    def describe(self) -> str:
+        return self.system.describe()

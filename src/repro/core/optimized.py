@@ -1,0 +1,91 @@
+"""Listing 5 — the optimized reduction configuration.
+
+The programmer specifies the number of teams and accumulates V elements per
+loop iteration; per the paper's convention the ``num_teams`` clause value is
+``teams / V`` where ``teams`` is the figure's x-axis value, and the loop is
+the normalized (NVHPC-compatible) ``for (m = 0; m < M/V; m++)`` rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..compiler.nvhpc import ReductionLoopProgram
+from ..errors import LaunchError
+from ..openmp.canonical import listing5_loop
+from ..util.validation import check_power_of_two, check_positive_int
+from .cases import Case
+
+__all__ = ["KernelConfig", "optimized_pragma", "optimized_program"]
+
+#: thread_limit the paper fixes to shrink the search space (§III.C).
+DEFAULT_THREADS = 256
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One point of the paper's parameter space.
+
+    ``teams`` is the figure-axis value (the ``num_teams`` clause receives
+    ``teams / v``); ``v`` the elements accumulated per iteration;
+    ``threads`` the ``thread_limit``.
+    """
+
+    teams: int
+    v: int = 1
+    threads: int = DEFAULT_THREADS
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.teams, "teams")
+        check_power_of_two(self.v, "v")
+        check_positive_int(self.threads, "threads")
+        if self.teams < self.v:
+            raise LaunchError(
+                f"teams={self.teams} must be >= v={self.v} so num_teams "
+                "(= teams / v) stays positive"
+            )
+
+    @property
+    def num_teams_clause(self) -> int:
+        """The value the ``num_teams`` clause evaluates to (the grid size)."""
+        return self.teams // self.v
+
+    def env(self) -> Dict[str, int]:
+        """Binding environment for the pragma's symbolic expressions."""
+        return {"teams": self.teams, "V": self.v, "threads": self.threads}
+
+    def label(self) -> str:
+        return f"teams={self.teams} v={self.v} threads={self.threads}"
+
+
+def optimized_pragma() -> str:
+    """Listing 5's pragma, with symbolic clause arguments."""
+    return (
+        "#pragma omp target teams distribute parallel for "
+        "num_teams(teams/V) thread_limit(threads) reduction(+:sum)"
+    )
+
+
+def optimized_program(case: Case, config: KernelConfig) -> ReductionLoopProgram:
+    """The optimized program for *case* at parameter point *config*.
+
+    Raises
+    ------
+    LaunchError
+        If M is not divisible by the configured V (the normalized loop
+        iterates M/V times; the paper's sizes divide every V it sweeps).
+    """
+    if case.elements % config.v:
+        raise LaunchError(
+            f"case {case.name}: M={case.elements} is not divisible by "
+            f"v={config.v}"
+        )
+    loop = listing5_loop(case.elements, config.v)
+    return ReductionLoopProgram(
+        pragma=optimized_pragma(),
+        loop=loop,
+        element_type=case.element_type,
+        result_type=case.result_type,
+        name=f"{case.name.lower()}_optimized",
+    )

@@ -1,0 +1,116 @@
+"""Parameter sweep and autotuner over (teams, V).
+
+The paper's search space (§III.C): thread_limit fixed at 256, teams in
+{128 ... 65536} and V in {1 ... 32}, both powers of two.  The sweep is what
+Figures 1a-1d plot; the autotuner picks the best point, which Table 1
+reports as "Optimized".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..util.validation import check_power_of_two
+from .cases import Case
+from .machine import Machine
+from .optimized import DEFAULT_THREADS, KernelConfig
+from .timing import TRIALS, Measurement, measure_gpu_reduction
+
+__all__ = [
+    "TEAMS_GRID",
+    "V_GRID",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_parameters",
+    "autotune",
+]
+
+#: The paper's teams axis: powers of two from 128 to 65536.
+TEAMS_GRID: Tuple[int, ...] = tuple(1 << k for k in range(7, 17))
+
+#: The paper's V axis: powers of two from 1 to 32.
+V_GRID: Tuple[int, ...] = tuple(1 << k for k in range(0, 6))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample."""
+
+    config: KernelConfig
+    bandwidth_gbs: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full (teams, V) sweep for one case."""
+
+    case: Case
+    points: Tuple[SweepPoint, ...]
+
+    def best(self) -> SweepPoint:
+        return max(self.points, key=lambda p: p.bandwidth_gbs)
+
+    def series_for_v(self, v: int) -> List[Tuple[int, float]]:
+        """(teams, GB/s) pairs for one V — a single Figure 1 curve."""
+        return sorted(
+            (p.config.teams, p.bandwidth_gbs)
+            for p in self.points
+            if p.config.v == v
+        )
+
+    def envelope(self) -> List[Tuple[int, float]]:
+        """(teams, best-over-V GB/s) pairs — the figure's upper envelope."""
+        best: Dict[int, float] = {}
+        for p in self.points:
+            teams = p.config.teams
+            best[teams] = max(best.get(teams, 0.0), p.bandwidth_gbs)
+        return sorted(best.items())
+
+    def v_values(self) -> List[int]:
+        return sorted({p.config.v for p in self.points})
+
+
+def sweep_parameters(
+    machine: Machine,
+    case: Case,
+    teams_grid: Sequence[int] = TEAMS_GRID,
+    v_grid: Sequence[int] = V_GRID,
+    threads: int = DEFAULT_THREADS,
+    trials: int = TRIALS,
+    verify: bool = False,
+) -> SweepResult:
+    """Sweep the parameter space for *case* (Figures 1a-1d).
+
+    Functional verification defaults off inside sweeps (the measurement
+    layer verifies; re-verifying 60 points is redundant work) — pass
+    ``verify=True`` to force it everywhere.
+    """
+    points: List[SweepPoint] = []
+    for teams in teams_grid:
+        check_power_of_two(teams, "teams")
+        for v in v_grid:
+            check_power_of_two(v, "v")
+            if teams < v or case.elements % v:
+                continue
+            config = KernelConfig(teams=teams, v=v, threads=threads)
+            m: Measurement = measure_gpu_reduction(
+                machine, case, config, trials=trials, verify=verify
+            )
+            points.append(SweepPoint(config=config, bandwidth_gbs=m.bandwidth_gbs))
+    return SweepResult(case=case, points=tuple(points))
+
+
+def autotune(
+    machine: Machine,
+    case: Case,
+    teams_grid: Sequence[int] = TEAMS_GRID,
+    v_grid: Sequence[int] = V_GRID,
+    threads: int = DEFAULT_THREADS,
+) -> KernelConfig:
+    """Best (teams, V) for *case* — the configuration Table 1 calls
+    "Optimized"."""
+    result = sweep_parameters(
+        machine, case, teams_grid, v_grid, threads, verify=False
+    )
+    return result.best().config

@@ -1,0 +1,71 @@
+"""Result verification — "The GPU results are verified using the CPU
+results" (paper §III.B).
+
+Integer reductions must match the host reference exactly (modular addition
+is associative, so any grouping yields the same wrapped sum).  Floating
+reductions legitimately differ by rounding when the grouping differs; the
+tolerance scales with sqrt(M) per the standard error model for recursive
+summation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..dtypes import scalar_type
+from ..errors import VerificationError
+from ..openmp.reduction_ops import get_reduction_op
+
+__all__ = ["reference_result", "float_tolerance", "verify_result"]
+
+
+def reference_result(data: np.ndarray, result_type, identifier: str = "+"):
+    """Host-side reference: one whole-array reduction in R."""
+    rtype = scalar_type(result_type)
+    op = get_reduction_op(identifier, rtype)
+    return op.reduce_array(data, rtype.numpy)
+
+
+def float_tolerance(result_type, n_elements: int) -> float:
+    """Relative tolerance for an n-element float reduction.
+
+    Recursive-summation error grows ~ eps * sqrt(n) for random data; the
+    factor 32 covers the different grouping depths of device vs host.
+    """
+    eps = float(np.finfo(scalar_type(result_type).numpy).eps)
+    return max(32.0 * eps * math.sqrt(max(n_elements, 1)), 4.0 * eps)
+
+
+def verify_result(actual, data: np.ndarray, result_type, identifier: str = "+"):
+    """Check *actual* against the host reference; returns the reference.
+
+    Raises
+    ------
+    VerificationError
+        On an exact mismatch (integers) or out-of-tolerance result (floats).
+    """
+    rtype = scalar_type(result_type)
+    expected = reference_result(data, rtype, identifier)
+    if rtype.is_integer:
+        if int(actual) != int(expected):
+            raise VerificationError(
+                f"integer reduction mismatch: device={int(actual)} "
+                f"host={int(expected)}",
+                expected=expected,
+                actual=actual,
+            )
+        return expected
+    rtol = float_tolerance(rtype, data.size)
+    scale = max(abs(float(expected)), 1.0)
+    # Negated comparison so NaN/inf results FAIL verification (a plain
+    # `diff > tol` is False for NaN and would silently pass).
+    if not (abs(float(actual) - float(expected)) <= rtol * scale):
+        raise VerificationError(
+            f"float reduction out of tolerance: device={float(actual)!r} "
+            f"host={float(expected)!r} rtol={rtol:g}",
+            expected=expected,
+            actual=actual,
+        )
+    return expected

@@ -1,0 +1,106 @@
+"""Workload generators for reduction inputs.
+
+The paper verifies GPU results against CPU results on its (unspecified)
+initialization; this module provides a family of distributions so tests
+can stress the verification layer well beyond a single benign input:
+
+* ``uniform`` — the default benchmarking input (small ints / [0, 1) floats);
+* ``constant`` — every element equal (exact expected sums);
+* ``alternating`` — +x/-x pairs (cancellation: sums near zero);
+* ``extremes`` — values drawn from the type's min/max (integer wraparound
+  pressure);
+* ``ill_conditioned`` — a few huge values in a sea of tiny ones (worst
+  case for float accumulation order);
+* ``ramp`` — arange-like (closed-form expected sum).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..dtypes import ScalarType, scalar_type
+from ..errors import SpecError
+from ..util.validation import check_positive_int
+
+__all__ = ["WORKLOAD_KINDS", "generate_workload"]
+
+
+def _uniform(st: ScalarType, n: int, rng: np.random.Generator) -> np.ndarray:
+    if st.is_integer:
+        info = np.iinfo(st.numpy)
+        low, high = max(info.min, -100), min(info.max, 100)
+        return rng.integers(low, high + 1, size=n).astype(st.numpy)
+    return rng.random(n).astype(st.numpy)
+
+
+def _constant(st: ScalarType, n: int, rng: np.random.Generator) -> np.ndarray:
+    value = 3 if st.is_integer else 0.5
+    return np.full(n, value, dtype=st.numpy)
+
+
+def _alternating(st: ScalarType, n: int, rng: np.random.Generator) -> np.ndarray:
+    magnitude = 7 if st.is_integer else 1.25
+    out = np.full(n, magnitude, dtype=st.numpy)
+    out[1::2] = -magnitude
+    return out
+
+
+def _extremes(st: ScalarType, n: int, rng: np.random.Generator) -> np.ndarray:
+    if st.is_integer:
+        info = np.iinfo(st.numpy)
+        choices = np.array([info.min, info.min + 1, -1, 0, 1, info.max - 1,
+                            info.max], dtype=st.numpy)
+    else:
+        # Large-but-finite magnitudes; sums may round heavily but not
+        # overflow for the sizes tests use.
+        big = 1e30 if st.size == 8 else 1e18
+        choices = np.array([-big, -1.0, 0.0, 1.0, big], dtype=st.numpy)
+    return rng.choice(choices, size=n)
+
+
+def _ill_conditioned(st: ScalarType, n: int, rng: np.random.Generator) -> np.ndarray:
+    if st.is_integer:
+        # Integers have no conditioning problem; fall back to extremes.
+        return _extremes(st, n, rng)
+    out = rng.random(n).astype(st.numpy) * st.numpy.type(1e-6)
+    spikes = rng.choice(n, size=max(1, n // 1000), replace=False)
+    out[spikes] = st.numpy.type(1e6)
+    return out
+
+
+def _ramp(st: ScalarType, n: int, rng: np.random.Generator) -> np.ndarray:
+    ramp = np.arange(n, dtype=np.int64) % 1000
+    return ramp.astype(st.numpy)
+
+
+WORKLOAD_KINDS: Dict[str, Callable[[ScalarType, int, np.random.Generator], np.ndarray]] = {
+    "uniform": _uniform,
+    "constant": _constant,
+    "alternating": _alternating,
+    "extremes": _extremes,
+    "ill_conditioned": _ill_conditioned,
+    "ramp": _ramp,
+}
+
+
+def generate_workload(
+    kind: str,
+    element_type,
+    n: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate *n* elements of *element_type* from distribution *kind*."""
+    check_positive_int(n, "n")
+    st = scalar_type(element_type)
+    try:
+        factory = WORKLOAD_KINDS[kind]
+    except KeyError:
+        raise SpecError(
+            f"unknown workload kind {kind!r}; expected one of "
+            f"{sorted(WORKLOAD_KINDS)}"
+        ) from None
+    data = factory(st, n, np.random.default_rng(seed))
+    assert data.dtype == st.numpy and data.shape == (n,)
+    return data

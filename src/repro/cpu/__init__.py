@@ -1,0 +1,20 @@
+"""Grace CPU execution model: host-side reduction timing and results.
+
+The host half of the co-execution study (paper Listing 7's
+``#pragma omp for simd`` loop).  A sum over gigabytes is stream-bound on
+Grace, so the timing model is dominated by the sustainable bandwidth of
+whatever memory the pages live in (local LPDDR5X, or HBM over the C2C
+link after migration — the effect behind the paper's A1 CPU-only slowdown).
+"""
+
+from .perf import CpuTiming, estimate_cpu_reduction_time
+from .simd import simd_lanes, simd_throughput_bytes_per_s
+from .exec_model import execute_host_reduction
+
+__all__ = [
+    "CpuTiming",
+    "estimate_cpu_reduction_time",
+    "simd_lanes",
+    "simd_throughput_bytes_per_s",
+    "execute_host_reduction",
+]

@@ -1,0 +1,83 @@
+"""Memory-bandwidth contention: water-filling completion times.
+
+A team of threads streams disjoint byte ranges from the same memory.
+Each thread sustains at most a per-core rate; all threads together sustain
+at most the socket rate.  While more threads are active than the socket
+can feed, bandwidth divides fairly; as threads finish, the survivors speed
+up (up to their per-core cap).  The classic water-filling recurrence gives
+exact completion times without simulating byte-by-byte.
+
+This is what makes schedule imbalance *cost* something: a thread holding
+2x the bytes of its peers finishes late at its per-core cap even though
+the socket has idle bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["completion_times", "finish_time"]
+
+
+def completion_times(
+    bytes_per_thread: Sequence[float],
+    socket_bytes_per_s: float,
+    core_bytes_per_s: float,
+) -> List[float]:
+    """Per-thread completion times under fair bandwidth sharing.
+
+    Parameters
+    ----------
+    bytes_per_thread:
+        Bytes each thread must stream (zeros allowed).
+    socket_bytes_per_s:
+        Aggregate sustainable rate of the memory system.
+    core_bytes_per_s:
+        Cap on a single thread's streaming rate.
+
+    Returns
+    -------
+    list of float
+        Completion time of each thread, in input order.
+    """
+    if socket_bytes_per_s <= 0 or core_bytes_per_s <= 0:
+        raise ValueError("bandwidths must be positive")
+    n = len(bytes_per_thread)
+    if n == 0:
+        return []
+    if any(b < 0 for b in bytes_per_thread):
+        raise ValueError("byte counts must be non-negative")
+
+    remaining = [float(b) for b in bytes_per_thread]
+    done = [0.0] * n
+    active = [i for i in range(n) if remaining[i] > 0]
+    now = 0.0
+    while active:
+        rate = min(core_bytes_per_s, socket_bytes_per_s / len(active))
+        # Next thread to finish at the current fair rate.
+        dt = min(remaining[i] for i in active) / rate
+        now += dt
+        still = []
+        for i in active:
+            remaining[i] -= rate * dt
+            if remaining[i] <= 1e-9:
+                remaining[i] = 0.0
+                done[i] = now
+            else:
+                still.append(i)
+        active = still
+    return done
+
+
+def finish_time(
+    bytes_per_thread: Sequence[float],
+    socket_bytes_per_s: float,
+    core_bytes_per_s: float,
+) -> float:
+    """Completion time of the slowest thread (the barrier time).
+
+    Zero when no thread has work.
+    """
+    times = completion_times(bytes_per_thread, socket_bytes_per_s,
+                             core_bytes_per_s)
+    return max(times, default=0.0)

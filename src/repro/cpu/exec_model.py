@@ -1,0 +1,36 @@
+"""Functional host reduction.
+
+Mirrors the OpenMP host lowering: the iteration space is split into one
+contiguous static chunk per core (``#pragma omp for``), each chunk is
+accumulated privately in the result type, and the partials are combined at
+the region's implicit barrier.  Vectorized with ``reduceat`` exactly like
+the device executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import scalar_type
+from ..hardware.spec import CpuSpec
+
+__all__ = ["execute_host_reduction"]
+
+
+def execute_host_reduction(
+    data: np.ndarray, cpu: CpuSpec, result_type
+) -> np.generic:
+    """Sum *data* the way the host's parallel-for would; returns an R scalar.
+
+    Integer accumulation wraps in R; float accumulation follows the
+    per-core chunked grouping.
+    """
+    if data.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {data.shape}")
+    rtype = scalar_type(result_type).numpy
+    if data.size == 0:
+        return rtype.type(0)
+    chunk = -(-data.size // cpu.cores)
+    starts = np.arange(0, data.size, chunk, dtype=np.int64)
+    partials = np.add.reduceat(data, starts, dtype=rtype)
+    return rtype.type(np.add.reduce(partials, dtype=rtype))

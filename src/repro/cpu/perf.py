@@ -1,0 +1,99 @@
+"""Host reduction timing model.
+
+``time = fork_join + bytes / min(stream_bw, simd_bw)`` — the roofline of a
+parallel-for-simd accumulation over a contiguous array.  ``stream_bw``
+depends on where the pages live:
+
+* local LPDDR5X: ``cpu.stream_bandwidth_gbs`` (~450 GB/s on Grace);
+* HBM-resident pages read coherently over NVLink-C2C:
+  ``link.remote_read_gbs`` — the paper's A1 CPU-only case, measured 1.367x
+  slower than reading local memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import Optional
+
+from ..dtypes import scalar_type
+from ..hardware.spec import CpuSpec
+from ..openmp.schedule import chunks_for, thread_totals
+from ..util.validation import check_positive_int
+from .contention import finish_time
+from .simd import simd_throughput_bytes_per_s
+
+__all__ = ["CpuTiming", "estimate_cpu_reduction_time"]
+
+
+@dataclass(frozen=True)
+class CpuTiming:
+    """Decomposed host reduction time (seconds)."""
+
+    fork_join: float
+    stream: float
+    compute: float
+
+    @property
+    def total(self) -> float:
+        return self.fork_join + max(self.stream, self.compute)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.stream >= self.compute
+
+
+def estimate_cpu_reduction_time(
+    cpu: CpuSpec,
+    elements: int,
+    element_type,
+    stream_bandwidth_gbs: "float | None" = None,
+    vectorized: bool = True,
+    schedule_kind: Optional[str] = None,
+    chunk: Optional[int] = None,
+) -> CpuTiming:
+    """Predict the host-side reduction time over *elements* of *element_type*.
+
+    Parameters
+    ----------
+    stream_bandwidth_gbs:
+        Effective streaming bandwidth for the pages being read; defaults
+        to the CPU's local stream bandwidth.  The unified-memory model
+        passes the C2C remote-read rate when pages are HBM-resident.
+    vectorized:
+        Whether the loop carries the ``simd`` modifier (Listing 7 does).
+    schedule_kind, chunk:
+        When given, the stream time accounts for worksharing imbalance:
+        the schedule's per-thread byte loads finish under bandwidth
+        water-filling (fair sharing with a per-core cap).  ``None`` uses
+        the balanced aggregate (the default static schedule's outcome).
+    """
+    check_positive_int(elements, "elements")
+    esize = scalar_type(element_type).size
+    nbytes = elements * esize
+    stream_gbs = (
+        cpu.stream_bandwidth_gbs
+        if stream_bandwidth_gbs is None
+        else float(stream_bandwidth_gbs)
+    )
+    if stream_gbs <= 0:
+        raise ValueError(f"stream bandwidth must be positive, got {stream_gbs}")
+    if schedule_kind is None:
+        stream_time = nbytes / (stream_gbs * 1e9)
+    else:
+        per_thread = thread_totals(
+            chunks_for(schedule_kind, elements, cpu.cores, chunk)
+        )
+        stream_time = finish_time(
+            [iters * esize for iters in per_thread],
+            socket_bytes_per_s=stream_gbs * 1e9,
+            core_bytes_per_s=cpu.core_stream_gbs * 1e9,
+        )
+    compute_time = nbytes / simd_throughput_bytes_per_s(
+        cpu, element_type, vectorized
+    )
+    return CpuTiming(
+        fork_join=cpu.fork_join_overhead_us * 1e-6,
+        stream=stream_time,
+        compute=compute_time,
+    )

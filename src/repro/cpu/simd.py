@@ -1,0 +1,40 @@
+"""SIMD throughput model for the host reduction loop.
+
+The ``simd`` directive-name modifier on the host loop (Listing 7) lets the
+compiler vectorize the accumulation; these helpers size the compute-side
+roofline so the model can confirm the loop is memory-bound (it is, by a
+wide margin, for every paper case — but the check is what makes the
+`for simd` vs scalar ablation meaningful).
+"""
+
+from __future__ import annotations
+
+from ..dtypes import scalar_type
+from ..hardware.spec import CpuSpec
+
+__all__ = ["simd_lanes", "simd_throughput_bytes_per_s"]
+
+#: Vector pipes per Neoverse V2 core (4x128-bit SVE2/NEON).
+_PIPES_PER_CORE = 4
+
+
+def simd_lanes(cpu: CpuSpec, element_type) -> int:
+    """Vector lanes per operation for *element_type* on one pipe."""
+    esize = scalar_type(element_type).size
+    return max(1, cpu.simd_width_bytes // esize)
+
+
+def simd_throughput_bytes_per_s(
+    cpu: CpuSpec, element_type, vectorized: bool = True
+) -> float:
+    """Aggregate accumulate throughput (input bytes/s) of all cores.
+
+    With ``vectorized=False`` (no ``simd`` modifier) each core retires one
+    scalar accumulate per cycle; with it, each of the ``_PIPES_PER_CORE``
+    pipes retires a full vector per cycle.
+    """
+    esize = scalar_type(element_type).size
+    per_core_elems = (
+        simd_lanes(cpu, element_type) * _PIPES_PER_CORE if vectorized else 1
+    )
+    return cpu.cores * per_core_elems * esize * cpu.clock_ghz * 1e9

@@ -1,0 +1,121 @@
+"""Scalar-type registry used throughout the library.
+
+The paper's four evaluation cases combine an input element type ``T`` with a
+(possibly wider) accumulator/result type ``R`` (§II.A: "The data types are
+not necessarily the same").  This module gives every supported scalar type a
+stable name, a byte size, and a NumPy dtype, plus helpers to reason about
+accumulation semantics (integer wraparound vs. floating-point rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import SpecError
+
+__all__ = [
+    "ScalarType",
+    "INT8",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "SCALAR_TYPES",
+    "scalar_type",
+]
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A scalar element type understood by the reduction kernels.
+
+    Parameters
+    ----------
+    name:
+        Canonical lower-case name (``"int32"``, ``"float64"``, ...).
+    size:
+        Width in bytes.
+    np_dtype:
+        The corresponding NumPy dtype (stored as its canonical ``str`` so the
+        dataclass stays hashable).
+    is_integer:
+        ``True`` for the fixed-point types.  Integer accumulation wraps
+        modulo ``2**bits`` (two's complement) exactly as C signed overflow
+        behaves on the evaluated hardware; floating accumulation rounds.
+    """
+
+    name: str
+    size: int
+    np_dtype: str
+    is_integer: bool
+
+    @property
+    def numpy(self) -> np.dtype:
+        """Return the NumPy dtype object for this scalar type."""
+        return np.dtype(self.np_dtype)
+
+    @property
+    def bits(self) -> int:
+        """Width in bits."""
+        return self.size * 8
+
+    def zero(self):
+        """The additive identity as a NumPy scalar of this type."""
+        return self.numpy.type(0)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+INT8 = ScalarType("int8", 1, "int8", True)
+INT32 = ScalarType("int32", 4, "int32", True)
+INT64 = ScalarType("int64", 8, "int64", True)
+FLOAT32 = ScalarType("float32", 4, "float32", False)
+FLOAT64 = ScalarType("float64", 8, "float64", False)
+
+#: All registered scalar types keyed by canonical name.
+SCALAR_TYPES = {t.name: t for t in (INT8, INT32, INT64, FLOAT32, FLOAT64)}
+
+_ALIASES = {
+    "i8": "int8",
+    "i32": "int32",
+    "i64": "int64",
+    "f32": "float32",
+    "f64": "float64",
+    "float": "float32",
+    "double": "float64",
+    "int": "int32",
+    "char": "int8",
+    "signed char": "int8",
+    "long": "int64",
+    "long long": "int64",
+}
+
+
+def scalar_type(spec) -> ScalarType:
+    """Coerce *spec* to a :class:`ScalarType`.
+
+    Accepts a :class:`ScalarType`, a canonical or C-style alias name, or a
+    NumPy dtype / dtype-like object.
+
+    Raises
+    ------
+    SpecError
+        If the type is not one of the five types the reductions support.
+    """
+    if isinstance(spec, ScalarType):
+        return spec
+    if isinstance(spec, str):
+        name = _ALIASES.get(spec.strip().lower(), spec.strip().lower())
+        if name in SCALAR_TYPES:
+            return SCALAR_TYPES[name]
+        raise SpecError(f"unknown scalar type {spec!r}")
+    try:
+        name = np.dtype(spec).name
+    except TypeError as exc:
+        raise SpecError(f"cannot interpret {spec!r} as a scalar type") from exc
+    if name in SCALAR_TYPES:
+        return SCALAR_TYPES[name]
+    raise SpecError(f"unsupported scalar type {name!r}")

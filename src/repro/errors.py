@@ -1,0 +1,106 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause.  The
+sub-classes mirror the major subsystems:
+
+* :class:`SpecError` — invalid hardware description.
+* :class:`OpenMPError` and its children — directive parsing, clause
+  validation, and canonical-loop-form failures.  :class:`CompileError`
+  mirrors the NVHPC front-end diagnostics the paper reports (e.g. the
+  Listing-4 loop increment that the vendor compiler rejects).
+* :class:`MemoryModelError` — unified-memory / allocator misuse.
+* :class:`LaunchError` — invalid kernel launch geometry.
+* :class:`MeasurementError` — invalid trial-harness configuration.
+* :class:`VerificationError` — GPU-vs-CPU result mismatch (paper §III.B:
+  "The GPU results are verified using the CPU results").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class SpecError(ReproError, ValueError):
+    """A hardware specification is inconsistent or out of range."""
+
+
+class OpenMPError(ReproError):
+    """Base class for OpenMP front-end and runtime errors."""
+
+
+class DirectiveSyntaxError(OpenMPError, ValueError):
+    """A ``#pragma omp`` line could not be parsed.
+
+    Attributes
+    ----------
+    pragma:
+        The offending pragma text.
+    position:
+        Character offset of the first unparsable token, or ``None``.
+    """
+
+    def __init__(self, message: str, pragma: str = "", position: "int | None" = None):
+        super().__init__(message)
+        self.pragma = pragma
+        self.position = position
+
+
+class ClauseError(OpenMPError, ValueError):
+    """A clause is malformed, duplicated, or invalid for its directive."""
+
+
+class CanonicalLoopError(OpenMPError, ValueError):
+    """The associated loop does not have OpenMP canonical loop form.
+
+    The NVHPC compiler emits this class of diagnostic for the paper's
+    Listing 4 (``for (i = 0; i < M; i = i + V)`` with a manually unrolled
+    body); the rewritten Listing 5 is accepted.
+    """
+
+
+class CompileError(OpenMPError):
+    """The simulated NVHPC front end rejected a program."""
+
+    def __init__(self, message: str, diagnostics: "tuple | list | None" = None):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics or ())
+
+
+class UnsupportedReductionError(OpenMPError, ValueError):
+    """The reduction-identifier is not one the runtime implements."""
+
+
+class MemoryModelError(ReproError, RuntimeError):
+    """Illegal operation against the simulated memory subsystem."""
+
+
+class AllocationError(MemoryModelError):
+    """An allocation could not be satisfied (out of memory, bad size)."""
+
+
+class PageStateError(MemoryModelError):
+    """A page transitioned illegally (e.g. freeing an unmapped page)."""
+
+
+class LaunchError(ReproError, ValueError):
+    """Kernel launch geometry is invalid (zero teams, oversized block...)."""
+
+
+class MeasurementError(ReproError, ValueError):
+    """The timing harness was configured with invalid parameters."""
+
+
+class VerificationError(ReproError, AssertionError):
+    """Device result does not match the host reference result."""
+
+    def __init__(self, message: str, expected=None, actual=None):
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine reached an inconsistent state."""

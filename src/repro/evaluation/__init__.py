@@ -1,0 +1,62 @@
+"""Evaluation suite: regenerate every table and figure of the paper.
+
+* :mod:`repro.evaluation.paper_data` — the paper's reported numbers,
+  embedded as data (the ground truth the harness compares against);
+* :mod:`repro.evaluation.tables` — Table 1;
+* :mod:`repro.evaluation.figures` — Figures 1a-1d, 2a, 2b, 3, 4a, 4b, 5;
+* :mod:`repro.evaluation.report` — paper-vs-measured comparison and the
+  shape-criteria checks listed in DESIGN.md §3.
+"""
+
+from .paper_data import (
+    PAPER_TABLE1,
+    PAPER_SATURATION_TEAMS,
+    PAPER_OPTIMIZED_CONFIG,
+    PAPER_FIG2A_BEST_SPEEDUP,
+    PAPER_FIG2B_BEST_SPEEDUP,
+    PAPER_FIG4B_BEST_SPEEDUP,
+    PAPER_FIG3_RANGE,
+    PAPER_FIG5_RANGE,
+)
+from .tables import Table1Row, generate_table1, render_table1
+from .figures import (
+    Figure1Data,
+    generate_figure1,
+    render_figure1,
+    chart_figure1,
+    CoexecFigureData,
+    generate_coexec_figure,
+    render_coexec_figure,
+    chart_coexec_figure,
+    generate_speedup_figure,
+    render_speedup_figure,
+)
+from .report import ShapeCheck, check_table1_shape, check_figure1_shape, full_report
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_SATURATION_TEAMS",
+    "PAPER_OPTIMIZED_CONFIG",
+    "PAPER_FIG2A_BEST_SPEEDUP",
+    "PAPER_FIG2B_BEST_SPEEDUP",
+    "PAPER_FIG4B_BEST_SPEEDUP",
+    "PAPER_FIG3_RANGE",
+    "PAPER_FIG5_RANGE",
+    "Table1Row",
+    "generate_table1",
+    "render_table1",
+    "Figure1Data",
+    "generate_figure1",
+    "render_figure1",
+    "chart_figure1",
+    "CoexecFigureData",
+    "generate_coexec_figure",
+    "render_coexec_figure",
+    "chart_coexec_figure",
+    "generate_speedup_figure",
+    "render_speedup_figure",
+    "ShapeCheck",
+    "check_table1_shape",
+    "check_figure1_shape",
+    "full_report",
+]

@@ -1,0 +1,91 @@
+"""Export measured series as CSV and a markdown report.
+
+The harness's figures are data series; these writers persist them so
+downstream plotting (outside this offline environment) can regenerate the
+paper's visuals.  CSV schemas:
+
+* Figure 1: ``case,v,teams,bandwidth_gbs``
+* Figures 2/4: ``case,site,flavour,p,bandwidth_gbs``
+* Figures 3/5: ``case,site,p,speedup``
+* Table 1: ``case,base_gbs,optimized_gbs,speedup,base_eff_pct,opt_eff_pct,config``
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Union
+
+from .figures import CoexecFigureData, Figure1Data, SpeedupFigureData
+from .tables import Table1Row
+
+__all__ = [
+    "figure1_csv",
+    "coexec_csv",
+    "speedup_csv",
+    "table1_csv",
+    "write_csv",
+]
+
+
+def _render_rows(header, rows) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def figure1_csv(fig: Figure1Data) -> str:
+    """CSV for one Figure 1 panel."""
+    rows = [
+        (fig.case.name, point.config.v, point.config.teams,
+         f"{point.bandwidth_gbs:.3f}")
+        for point in fig.sweep.points
+    ]
+    return _render_rows(("case", "v", "teams", "bandwidth_gbs"), rows)
+
+
+def coexec_csv(fig: CoexecFigureData) -> str:
+    """CSV for one co-execution figure (2a/2b/4a/4b)."""
+    flavour = "optimized" if fig.optimized else "baseline"
+    rows = []
+    for name in sorted(fig.sweeps):
+        for p, bw in fig.sweeps[name].series():
+            rows.append((name, fig.site.value, flavour, f"{p:.1f}",
+                         f"{bw:.3f}"))
+    return _render_rows(("case", "site", "flavour", "p", "bandwidth_gbs"),
+                        rows)
+
+
+def speedup_csv(fig: SpeedupFigureData) -> str:
+    """CSV for Figure 3 or 5."""
+    rows = []
+    for name in sorted(fig.series):
+        for p, s in fig.series[name]:
+            rows.append((name, fig.site.value, f"{p:.1f}", f"{s:.4f}"))
+    return _render_rows(("case", "site", "p", "speedup"), rows)
+
+
+def table1_csv(rows: Dict[str, Table1Row]) -> str:
+    """CSV for Table 1."""
+    out = [
+        (name, f"{row.base_gbs:.1f}", f"{row.optimized_gbs:.1f}",
+         f"{row.speedup:.3f}", f"{row.base_efficiency_pct:.1f}",
+         f"{row.optimized_efficiency_pct:.1f}", row.optimized_config.label())
+        for name, row in sorted(rows.items())
+    ]
+    return _render_rows(
+        ("case", "base_gbs", "optimized_gbs", "speedup", "base_eff_pct",
+         "opt_eff_pct", "config"),
+        out,
+    )
+
+
+def write_csv(path: Union[str, Path], content: str) -> Path:
+    """Write CSV *content* to *path*, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path

@@ -1,0 +1,269 @@
+"""Figure regeneration: the (teams, V) sweeps and the co-execution curves.
+
+Figures are produced as data series plus an ASCII rendering of the same
+rows the paper plots, so the harness output is diffable and the benchmarks
+can assert on the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cases import Case
+from ..core.coexec import (
+    AllocationSite,
+    CoExecSweep,
+    CPU_PART_GRID,
+    measure_coexec_sweep,
+)
+from ..core.machine import Machine
+from ..core.optimized import KernelConfig
+from ..core.tuning import SweepResult, sweep_parameters
+from ..util.plot import ascii_chart
+from ..util.tables import AsciiTable
+from .paper_data import PAPER_OPTIMIZED_CONFIG
+
+__all__ = [
+    "Figure1Data",
+    "generate_figure1",
+    "render_figure1",
+    "chart_figure1",
+    "CoexecFigureData",
+    "generate_coexec_figure",
+    "render_coexec_figure",
+    "chart_coexec_figure",
+    "SpeedupFigureData",
+    "generate_speedup_figure",
+    "render_speedup_figure",
+    "paper_optimized_config",
+]
+
+
+def paper_optimized_config(case: Case) -> KernelConfig:
+    """The (teams, V) the paper selects for *case* in §IV (Fig 2b note)."""
+    teams, v = PAPER_OPTIMIZED_CONFIG[case.name]
+    return KernelConfig(teams=teams, v=v)
+
+
+# --------------------------------------------------------------------------
+# Figures 1a-1d: GB/s vs (teams, V) on the GPU.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure1Data:
+    """One of Figures 1a-1d."""
+
+    case: Case
+    sweep: SweepResult
+
+    def saturation_teams(self, fraction: float = 0.97) -> int:
+        """Smallest teams whose envelope reaches *fraction* of the maximum.
+
+        The paper's "performance becomes almost saturated when the number
+        of teams is N" observable.
+        """
+        env = self.sweep.envelope()
+        peak = max(bw for _, bw in env)
+        for teams, bw in env:
+            if bw >= fraction * peak:
+                return teams
+        return env[-1][0]  # pragma: no cover - envelope always reaches peak
+
+
+def generate_figure1(
+    machine: Optional[Machine] = None,
+    case: Optional[Case] = None,
+    trials: int = 200,
+) -> Figure1Data:
+    """Generate the Figure 1 panel for *case* (1a=C1 ... 1d=C4)."""
+    machine = machine or Machine()
+    if case is None:
+        raise ValueError("generate_figure1 requires a case (C1..C4)")
+    return Figure1Data(case=case, sweep=sweep_parameters(machine, case, trials=trials))
+
+
+def render_figure1(fig: Figure1Data) -> str:
+    """Rows of GB/s, one line per V, columns over the teams axis."""
+    teams_axis = [t for t, _ in fig.sweep.envelope()]
+    table = AsciiTable(["v \\ teams"] + [str(t) for t in teams_axis],
+                       float_format="{:.0f}")
+    for v in fig.sweep.v_values():
+        series = dict(fig.sweep.series_for_v(v))
+        table.add_row(
+            [f"v{v}"] + [series.get(t, float("nan")) for t in teams_axis]
+        )
+    best = fig.sweep.best()
+    header = (
+        f"Figure 1 ({fig.case.name}): reduction bandwidth (GB/s) vs teams and V\n"
+        f"best: {best.config.label()} -> {best.bandwidth_gbs:.0f} GB/s; "
+        f"saturation at ~{fig.saturation_teams()} teams"
+    )
+    return header + "\n" + table.render()
+
+
+def chart_figure1(fig: Figure1Data) -> str:
+    """Text plot of the Figure 1 panel (one curve per V, teams on x)."""
+    series = {
+        f"v{v}": [(float(t), bw) for t, bw in fig.sweep.series_for_v(v)]
+        for v in fig.sweep.v_values()
+    }
+    header = (
+        f"Figure 1 ({fig.case.name}) — GB/s vs teams "
+        f"(x: 128 .. 65536, log-spaced)"
+    )
+    return header + "\n" + ascii_chart(series, ylabel="GB/s")
+
+
+# --------------------------------------------------------------------------
+# Figures 2a/2b/4a/4b: co-execution bandwidth vs p.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoexecFigureData:
+    """One co-execution figure: all four cases' sweeps at one (site, flavour)."""
+
+    site: AllocationSite
+    optimized: bool
+    sweeps: Dict[str, CoExecSweep]
+
+    def best_speedups(self) -> Dict[str, float]:
+        """Highest speedup over GPU-only per case (the paper's headline)."""
+        return {
+            name: max(s for _, s in sweep.speedup_over_gpu_only())
+            for name, sweep in self.sweeps.items()
+        }
+
+    def average_best_speedup(self) -> float:
+        values = list(self.best_speedups().values())
+        return sum(values) / len(values)
+
+
+def generate_coexec_figure(
+    machine: Optional[Machine],
+    cases: Sequence[Case],
+    site: AllocationSite,
+    optimized: bool,
+    p_grid: Sequence[float] = CPU_PART_GRID,
+    trials: int = 200,
+    verify: Optional[bool] = None,
+) -> CoexecFigureData:
+    """Generate Figure 2a (A1, baseline), 2b (A1, optimized), 4a or 4b."""
+    machine = machine or Machine()
+    sweeps = {}
+    for case in cases:
+        config = paper_optimized_config(case) if optimized else None
+        sweeps[case.name] = measure_coexec_sweep(
+            machine, case, site, config, p_grid=p_grid, trials=trials,
+            verify=verify,
+        )
+    return CoexecFigureData(site=site, optimized=optimized, sweeps=sweeps)
+
+
+def render_coexec_figure(fig: CoexecFigureData) -> str:
+    flavour = "optimized" if fig.optimized else "baseline"
+    name = {
+        (AllocationSite.A1, False): "2a",
+        (AllocationSite.A1, True): "2b",
+        (AllocationSite.A2, False): "4a",
+        (AllocationSite.A2, True): "4b",
+    }[(fig.site, fig.optimized)]
+    any_sweep = next(iter(fig.sweeps.values()))
+    p_axis = [p for p, _ in any_sweep.series()]
+    table = AsciiTable(["case \\ p"] + [f"{p:.1f}" for p in p_axis],
+                       float_format="{:.0f}")
+    for case_name in sorted(fig.sweeps):
+        series = dict(fig.sweeps[case_name].series())
+        table.add_row([case_name] + [series[p] for p in p_axis])
+    speedups = fig.best_speedups()
+    footer = " ".join(
+        f"{name_}:x{speedup:.3f}" for name_, speedup in sorted(speedups.items())
+    )
+    return (
+        f"Figure {name}: {flavour} co-execution GB/s vs CPU part p "
+        f"(alloc at {fig.site.value})\n" + table.render()
+        + f"\nbest speedups over GPU-only: {footer} "
+        f"(avg {fig.average_best_speedup():.3f})"
+    )
+
+
+def chart_coexec_figure(fig: CoexecFigureData) -> str:
+    """Text plot of a co-execution figure (one curve per case, p on x)."""
+    series = {
+        name: list(sweep.series()) for name, sweep in sorted(fig.sweeps.items())
+    }
+    flavour = "optimized" if fig.optimized else "baseline"
+    header = (
+        f"co-execution ({flavour}, {fig.site.value}) — GB/s vs p "
+        f"(x: 0.0 .. 1.0)"
+    )
+    return header + "\n" + ascii_chart(series, ylabel="GB/s")
+
+
+# --------------------------------------------------------------------------
+# Figures 3 and 5: optimized-over-baseline speedup vs p.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpeedupFigureData:
+    """Figure 3 (A1) or 5 (A2): per-case speedup series over p."""
+
+    site: AllocationSite
+    series: Dict[str, List[Tuple[float, float]]]
+
+    def overall_range(self) -> Tuple[float, float]:
+        values = [s for ser in self.series.values() for _, s in ser]
+        return min(values), max(values)
+
+    def significant_gpu_share(self, threshold: float = 2.0) -> float:
+        """Smallest GPU share at which any case's speedup >= *threshold*...
+
+        Returned as the *largest* p (CPU share) with a significant speedup,
+        converted to GPU share: the paper states speedups are significant
+        when the GPU part is at least 50% (Fig 3) / 90% (Fig 5).
+        """
+        max_p = 0.0
+        for ser in self.series.values():
+            for p, s in ser:
+                if s >= threshold:
+                    max_p = max(max_p, p)
+        return 1.0 - max_p
+
+
+def generate_speedup_figure(
+    baseline: CoexecFigureData, optimized: CoexecFigureData
+) -> SpeedupFigureData:
+    """Divide the optimized figure by the baseline figure pointwise."""
+    if baseline.site != optimized.site:
+        raise ValueError("speedup figure requires matching allocation sites")
+    if baseline.optimized or not optimized.optimized:
+        raise ValueError(
+            "pass (baseline figure, optimized figure) in that order"
+        )
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for name, base_sweep in baseline.sweeps.items():
+        opt_sweep = optimized.sweeps[name]
+        pairs = []
+        for bm, om in zip(base_sweep.measurements, opt_sweep.measurements):
+            assert abs(bm.cpu_part - om.cpu_part) < 1e-9
+            pairs.append((bm.cpu_part, om.bandwidth_gbs / bm.bandwidth_gbs))
+        series[name] = pairs
+    return SpeedupFigureData(site=baseline.site, series=series)
+
+
+def render_speedup_figure(fig: SpeedupFigureData) -> str:
+    name = "3" if fig.site is AllocationSite.A1 else "5"
+    p_axis = [p for p, _ in next(iter(fig.series.values()))]
+    table = AsciiTable(["case \\ p"] + [f"{p:.1f}" for p in p_axis],
+                       float_format="{:.2f}")
+    for case_name in sorted(fig.series):
+        table.add_row([case_name] + [s for _, s in fig.series[case_name]])
+    lo, hi = fig.overall_range()
+    return (
+        f"Figure {name}: optimized/baseline co-execution speedup vs p "
+        f"(alloc at {fig.site.value})\n" + table.render()
+        + f"\nspeedup range: {lo:.3f} .. {hi:.3f}"
+    )

@@ -1,0 +1,176 @@
+"""Markdown report writer: regenerate an EXPERIMENTS-style document.
+
+``write_report`` runs the full evaluation and renders a self-contained
+markdown file with paper-vs-measured tables for every experiment plus the
+shape-check outcome — the artifact a re-run of the reproduction should
+commit alongside EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.cases import PAPER_CASES
+from ..core.coexec import AllocationSite
+from ..core.machine import Machine
+from .figures import (
+    generate_coexec_figure,
+    generate_figure1,
+    generate_speedup_figure,
+)
+from .paper_data import (
+    PAPER_FIG2A_BEST_SPEEDUP,
+    PAPER_FIG2B_BEST_SPEEDUP,
+    PAPER_FIG3_RANGE,
+    PAPER_FIG4B_BEST_SPEEDUP,
+    PAPER_FIG5_RANGE,
+    PAPER_SATURATION_TEAMS,
+    PAPER_TABLE1,
+)
+from .report import check_coexec_shape, check_figure1_shape, check_table1_shape
+from .tables import generate_table1
+
+__all__ = ["render_report", "write_report"]
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    out.extend("| " + " | ".join(str(c) for c in row) + " |" for row in rows)
+    return "\n".join(out)
+
+
+def render_report(machine: Optional[Machine] = None, trials: int = 200) -> str:
+    """Run the full evaluation and render the markdown report."""
+    machine = machine or Machine()
+    sections: List[str] = [
+        "# Reproduction report",
+        "",
+        f"Simulated node: {machine.describe()}",
+        f"Trials per measurement: {trials} (the paper's N)",
+        "",
+    ]
+    checks = []
+
+    # Table 1.
+    rows = generate_table1(machine, trials=trials)
+    checks.extend(check_table1_shape(rows))
+    t1 = []
+    for name, row in sorted(rows.items()):
+        paper = PAPER_TABLE1[name]
+        t1.append([
+            name,
+            f"{row.base_gbs:.0f} ({paper.base_gbs:.0f})",
+            f"{row.optimized_gbs:.0f} ({paper.optimized_gbs:.0f})",
+            f"{row.speedup:.3f} ({paper.speedup})",
+        ])
+    sections += [
+        "## Table 1 — measured (paper)",
+        "",
+        _md_table(["case", "baseline GB/s", "optimized GB/s", "speedup"], t1),
+        "",
+    ]
+
+    # Figure 1 saturation summary.
+    f1 = []
+    for case in PAPER_CASES:
+        fig = generate_figure1(machine, case, trials=trials)
+        checks.extend(check_figure1_shape(fig))
+        best = fig.sweep.best()
+        f1.append([
+            case.name,
+            f"{fig.saturation_teams()} ({PAPER_SATURATION_TEAMS[case.name]})",
+            best.config.label(),
+            f"{best.bandwidth_gbs:.0f}",
+        ])
+    sections += [
+        "## Figure 1 — saturation and best configuration",
+        "",
+        _md_table(["case", "saturation teams (paper)", "best config",
+                   "best GB/s"], f1),
+        "",
+    ]
+
+    # Co-execution.
+    figs: Dict = {}
+    for site in AllocationSite:
+        for optimized in (False, True):
+            figs[(site, optimized)] = generate_coexec_figure(
+                machine, PAPER_CASES, site, optimized, trials=trials,
+                verify=False,
+            )
+    checks.extend(
+        check_coexec_shape(
+            figs[(AllocationSite.A1, False)], figs[(AllocationSite.A1, True)],
+            figs[(AllocationSite.A2, False)], figs[(AllocationSite.A2, True)],
+        )
+    )
+    paper_best = {
+        (AllocationSite.A1, False): PAPER_FIG2A_BEST_SPEEDUP,
+        (AllocationSite.A1, True): PAPER_FIG2B_BEST_SPEEDUP,
+        (AllocationSite.A2, True): PAPER_FIG4B_BEST_SPEEDUP,
+    }
+    co = []
+    for (site, optimized), fig in figs.items():
+        speedups = fig.best_speedups()
+        reference = paper_best.get((site, optimized), {})
+        for name in sorted(speedups):
+            paper_value = reference.get(name)
+            co.append([
+                f"{site.value}/{'opt' if optimized else 'base'}",
+                name,
+                f"{speedups[name]:.3f}"
+                + (f" ({paper_value})" if paper_value else ""),
+            ])
+    sections += [
+        "## Figures 2/4 — best co-run speedup over GPU-only (paper)",
+        "",
+        _md_table(["configuration", "case", "speedup"], co),
+        "",
+    ]
+
+    fig3 = generate_speedup_figure(figs[(AllocationSite.A1, False)],
+                                   figs[(AllocationSite.A1, True)])
+    fig5 = generate_speedup_figure(figs[(AllocationSite.A2, False)],
+                                   figs[(AllocationSite.A2, True)])
+    sections += [
+        "## Figures 3/5 — optimized over baseline speedup ranges",
+        "",
+        _md_table(
+            ["figure", "measured", "paper"],
+            [
+                ["3 (A1)",
+                 "{:.3f} – {:.2f}".format(*fig3.overall_range()),
+                 f"{PAPER_FIG3_RANGE[0]} – {PAPER_FIG3_RANGE[1]}"],
+                ["5 (A2)",
+                 "{:.3f} – {:.2f}".format(*fig5.overall_range()),
+                 f"{PAPER_FIG5_RANGE[0]} – {PAPER_FIG5_RANGE[1]}"],
+            ],
+        ),
+        "",
+    ]
+
+    passed = sum(1 for c in checks if c.passed)
+    sections += [
+        "## Shape checks",
+        "",
+        f"**{passed}/{len(checks)} criteria passed**",
+        "",
+    ]
+    sections.extend(f"- {'PASS' if c.passed else 'FAIL'} `{c.name}`: {c.detail}"
+                    for c in checks)
+    sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(
+    path: Union[str, Path],
+    machine: Optional[Machine] = None,
+    trials: int = 200,
+) -> Path:
+    """Render the report and write it to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report(machine, trials))
+    return path

@@ -1,0 +1,111 @@
+"""The paper's reported numbers, embedded as data.
+
+Everything the text of the paper states quantitatively lives here so the
+benchmark harness can print paper-vs-measured side by side and the shape
+checks can assert the reproduction criteria from DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "PaperTable1Row",
+    "PAPER_TABLE1",
+    "PAPER_SATURATION_TEAMS",
+    "PAPER_OPTIMIZED_CONFIG",
+    "PAPER_DEFAULT_THREADS_PER_TEAM",
+    "PAPER_GRID_CAP_CASE",
+    "PAPER_FIG2A_BEST_SPEEDUP",
+    "PAPER_FIG2B_BEST_SPEEDUP",
+    "PAPER_FIG4B_BEST_SPEEDUP",
+    "PAPER_FIG2B_AVG_SPEEDUP",
+    "PAPER_FIG4B_AVG_SPEEDUP",
+    "PAPER_FIG3_RANGE",
+    "PAPER_FIG5_RANGE",
+    "PAPER_FIG3_SIGNIFICANT_GPU_SHARE",
+    "PAPER_FIG5_SIGNIFICANT_GPU_SHARE",
+    "PAPER_A1_OVER_A2_COEXEC",
+    "PAPER_A1_CPU_ONLY_SLOWDOWN",
+    "PAPER_PEAK_GPU_BANDWIDTH_GBS",
+]
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    """One row of the paper's Table 1."""
+
+    case: str
+    base_gbs: float
+    optimized_gbs: float
+    speedup: float
+    base_efficiency_pct: float
+    optimized_efficiency_pct: float
+
+
+#: Table 1 — "Performance evaluation and comparison of the baseline and
+#: optimized sum reductions in OpenMP device offload on the GPU".
+PAPER_TABLE1: Dict[str, PaperTable1Row] = {
+    "C1": PaperTable1Row("C1", 620.0, 3795.0, 6.120, 15.4, 94.3),
+    "C2": PaperTable1Row("C2", 172.0, 3596.0, 20.906, 4.3, 89.4),
+    "C3": PaperTable1Row("C3", 271.0, 3790.0, 13.985, 6.7, 94.2),
+    "C4": PaperTable1Row("C4", 526.0, 3833.0, 7.287, 13.1, 95.3),
+}
+
+#: §III.C: teams count at which each case's performance "becomes almost
+#: saturated".
+PAPER_SATURATION_TEAMS: Dict[str, int] = {
+    "C1": 4096,
+    "C2": 32768,
+    "C3": 4096,
+    "C4": 4096,
+}
+
+#: §IV.B: the parameter values "that result in saturated bandwidth"
+#: selected for the co-execution study: teams = 65536 for every case,
+#: V = 4 for C1/C3/C4 and V = 32 for C2.
+PAPER_OPTIMIZED_CONFIG: Dict[str, Tuple[int, int]] = {
+    "C1": (65536, 4),
+    "C2": (65536, 32),
+    "C3": (65536, 4),
+    "C4": (65536, 4),
+}
+
+#: §III.C profiling: default threads per team, and the case whose default
+#: grid hit the 0xFFFFFF cap.
+PAPER_DEFAULT_THREADS_PER_TEAM = 128
+PAPER_GRID_CAP_CASE = "C2"
+
+#: Figure 2a: highest speedups of the baseline co-run over GPU-only (A1).
+PAPER_FIG2A_BEST_SPEEDUP: Dict[str, float] = {
+    "C1": 2.732, "C2": 2.246, "C3": 2.692, "C4": 2.297,
+}
+
+#: Figure 2b: highest speedups of the optimized co-run over GPU-only (A1).
+PAPER_FIG2B_BEST_SPEEDUP: Dict[str, float] = {
+    "C1": 2.253, "C2": 3.385, "C3": 2.100, "C4": 2.197,
+}
+PAPER_FIG2B_AVG_SPEEDUP = 2.484
+
+#: Figure 4b: highest speedups of the optimized co-run over GPU-only (A2).
+PAPER_FIG4B_BEST_SPEEDUP: Dict[str, float] = {
+    "C1": 1.139, "C2": 1.062, "C3": 1.050, "C4": 1.017,
+}
+PAPER_FIG4B_AVG_SPEEDUP = 1.067
+
+#: Figure 3 / Figure 5: range of the optimized-over-baseline speedup and
+#: the GPU work share above which the paper calls the speedup significant.
+PAPER_FIG3_RANGE = (0.996, 10.654)
+PAPER_FIG5_RANGE = (0.998, 6.729)
+PAPER_FIG3_SIGNIFICANT_GPU_SHARE = 0.5   # "at least 50% of the total workloads"
+PAPER_FIG5_SIGNIFICANT_GPU_SHARE = 0.9   # "at least 90%"
+
+#: §IV.B aggregate contrasts: optimized co-run with A1 is on average
+#: 2.299x faster than with A2; the CPU-only reduction is 1.367x *slower*
+#: with A1 than with A2.
+PAPER_A1_OVER_A2_COEXEC = 2.299
+PAPER_A1_CPU_ONLY_SLOWDOWN = 1.367
+
+#: §II.C: the peak GPU memory bandwidth used as the efficiency denominator.
+PAPER_PEAK_GPU_BANDWIDTH_GBS = 4022.7

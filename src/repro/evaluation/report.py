@@ -1,0 +1,259 @@
+"""Shape-criteria checks: the reproduction's acceptance tests as data.
+
+Each check returns a :class:`ShapeCheck` with a pass flag and a
+paper-vs-measured message; :func:`full_report` runs the whole battery and
+renders the EXPERIMENTS.md-style summary.  Absolute GB/s are *not*
+asserted — the criteria are the paper's qualitative claims (who wins, by
+roughly what factor, where thresholds fall), per DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.cases import PAPER_CASES
+from ..core.coexec import AllocationSite
+from ..core.machine import Machine
+from .figures import (
+    CoexecFigureData,
+    Figure1Data,
+    generate_coexec_figure,
+    generate_figure1,
+    generate_speedup_figure,
+)
+from .paper_data import (
+    PAPER_FIG2B_AVG_SPEEDUP,
+    PAPER_FIG3_RANGE,
+    PAPER_FIG4B_AVG_SPEEDUP,
+    PAPER_FIG5_RANGE,
+    PAPER_SATURATION_TEAMS,
+    PAPER_TABLE1,
+)
+from .tables import Table1Row, generate_table1
+
+__all__ = [
+    "ShapeCheck",
+    "check_table1_shape",
+    "check_figure1_shape",
+    "check_coexec_shape",
+    "full_report",
+]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """Outcome of one reproduction criterion."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def check_table1_shape(rows: Dict[str, Table1Row]) -> List[ShapeCheck]:
+    """Criterion 2 of DESIGN.md §3: speedup band and ordering."""
+    checks: List[ShapeCheck] = []
+    for name, row in sorted(rows.items()):
+        paper = PAPER_TABLE1[name]
+        in_band = paper.speedup * 0.5 <= row.speedup <= paper.speedup * 2.0
+        checks.append(
+            ShapeCheck(
+                f"table1-speedup-{name}",
+                in_band,
+                f"measured x{row.speedup:.2f} vs paper x{paper.speedup:.3f}",
+            )
+        )
+    order = sorted(rows, key=lambda n: rows[n].speedup, reverse=True)
+    paper_order = sorted(PAPER_TABLE1, key=lambda n: PAPER_TABLE1[n].speedup,
+                         reverse=True)
+    checks.append(
+        ShapeCheck(
+            "table1-speedup-order",
+            order == paper_order,
+            f"measured {order} vs paper {paper_order}",
+        )
+    )
+    base_eff_ok = all(r.base_efficiency_pct <= 17.0 for r in rows.values())
+    checks.append(
+        ShapeCheck(
+            "table1-baseline-efficiency",
+            base_eff_ok,
+            "baseline efficiency <= ~16% for every case (paper cap 15.4%)",
+        )
+    )
+    opt_eff_ok = all(85.0 <= r.optimized_efficiency_pct <= 97.0 for r in rows.values())
+    checks.append(
+        ShapeCheck(
+            "table1-optimized-efficiency",
+            opt_eff_ok,
+            "optimized efficiency within 85-97% of peak (paper 89-95%)",
+        )
+    )
+    return checks
+
+
+def check_figure1_shape(fig: Figure1Data) -> List[ShapeCheck]:
+    """Criterion 1: monotone rise then plateau; saturation threshold."""
+    checks: List[ShapeCheck] = []
+    env = fig.sweep.envelope()
+    rises = all(b2 >= b1 * 0.98 for (_, b1), (_, b2) in zip(env, env[1:]))
+    checks.append(
+        ShapeCheck(
+            f"fig1-{fig.case.name}-envelope-monotone",
+            rises,
+            "envelope non-decreasing (within 2%) over the teams axis",
+        )
+    )
+    sat = fig.saturation_teams()
+    paper_sat = PAPER_SATURATION_TEAMS[fig.case.name]
+    sat_ok = paper_sat // 2 <= sat <= paper_sat * 2
+    checks.append(
+        ShapeCheck(
+            f"fig1-{fig.case.name}-saturation",
+            sat_ok,
+            f"measured saturation at {sat} teams vs paper {paper_sat}",
+        )
+    )
+    return checks
+
+
+def check_coexec_shape(
+    fig2a: CoexecFigureData,
+    fig2b: CoexecFigureData,
+    fig4a: CoexecFigureData,
+    fig4b: CoexecFigureData,
+) -> List[ShapeCheck]:
+    """Criteria 3-7: co-execution humps, speedup bands, A1 vs A2."""
+    checks: List[ShapeCheck] = []
+
+    # Criterion 3: co-run beats both endpoints at A1.
+    for name, sweep in sorted(fig2b.sweeps.items()):
+        best = sweep.best()
+        beats = (
+            best.bandwidth_gbs > sweep.gpu_only.bandwidth_gbs
+            and best.bandwidth_gbs > sweep.cpu_only.bandwidth_gbs
+            and 0.0 < best.cpu_part < 1.0
+        )
+        checks.append(
+            ShapeCheck(
+                f"fig2b-{name}-hump",
+                beats,
+                f"best at p={best.cpu_part} beats both endpoints",
+            )
+        )
+
+    avg2b = fig2b.average_best_speedup()
+    checks.append(
+        ShapeCheck(
+            "fig2b-average-speedup",
+            1.5 <= avg2b <= 4.0,
+            f"avg best speedup over GPU-only x{avg2b:.3f} "
+            f"vs paper x{PAPER_FIG2B_AVG_SPEEDUP}",
+        )
+    )
+    avg4b = fig4b.average_best_speedup()
+    checks.append(
+        ShapeCheck(
+            "fig4b-average-speedup",
+            1.0 <= avg4b <= 1.3,
+            f"avg best speedup over GPU-only x{avg4b:.3f} "
+            f"vs paper x{PAPER_FIG4B_AVG_SPEEDUP}",
+        )
+    )
+
+    # Criterion: A1 co-run much better than A2 (the allocation-site story).
+    a1_best = {n: s.best().bandwidth_gbs for n, s in fig2b.sweeps.items()}
+    a2_best = {n: s.best().bandwidth_gbs for n, s in fig4b.sweeps.items()}
+    ratios = [a1_best[n] / a2_best[n] for n in a1_best]
+    avg_ratio = sum(ratios) / len(ratios)
+    checks.append(
+        ShapeCheck(
+            "a1-over-a2",
+            avg_ratio > 1.2,
+            f"optimized co-run A1/A2 avg x{avg_ratio:.3f} (paper x2.299)",
+        )
+    )
+
+    # Criterion: CPU-only slower with A1 than A2 (remote C2C reads).
+    cpu_ratios = [
+        fig4b.sweeps[n].cpu_only.bandwidth_gbs
+        / fig2b.sweeps[n].cpu_only.bandwidth_gbs
+        for n in fig2b.sweeps
+    ]
+    avg_cpu_ratio = sum(cpu_ratios) / len(cpu_ratios)
+    checks.append(
+        ShapeCheck(
+            "a1-cpu-only-slowdown",
+            avg_cpu_ratio > 1.1,
+            f"CPU-only A2/A1 avg x{avg_cpu_ratio:.3f} (paper x1.367)",
+        )
+    )
+
+    # Criteria on Figures 3 and 5: ranges and significance thresholds.
+    fig3 = generate_speedup_figure(fig2a, fig2b)
+    fig5 = generate_speedup_figure(fig4a, fig4b)
+    lo3, hi3 = fig3.overall_range()
+    checks.append(
+        ShapeCheck(
+            "fig3-range",
+            lo3 >= 0.9 and PAPER_FIG3_RANGE[1] * 0.5 <= hi3 <= PAPER_FIG3_RANGE[1] * 2.0,
+            f"speedup range {lo3:.3f}..{hi3:.2f} vs paper "
+            f"{PAPER_FIG3_RANGE[0]}..{PAPER_FIG3_RANGE[1]}",
+        )
+    )
+    lo5, hi5 = fig5.overall_range()
+    checks.append(
+        ShapeCheck(
+            "fig5-range",
+            lo5 >= 0.9 and PAPER_FIG5_RANGE[1] * 0.5 <= hi5 <= PAPER_FIG5_RANGE[1] * 2.0,
+            f"speedup range {lo5:.3f}..{hi5:.2f} vs paper "
+            f"{PAPER_FIG5_RANGE[0]}..{PAPER_FIG5_RANGE[1]}",
+        )
+    )
+    # Speedups largest where the GPU share is large, on both sites.
+    for fig, label in ((fig3, "fig3"), (fig5, "fig5")):
+        left_heavy = all(
+            ser[0][1] + 1e-9 >= ser[-1][1] and max(s for _, s in ser) == max(
+                s for p, s in ser if p <= 0.5
+            )
+            for ser in fig.series.values()
+        )
+        checks.append(
+            ShapeCheck(
+                f"{label}-left-heavy",
+                left_heavy,
+                "speedups concentrate where the GPU share is >= 50%",
+            )
+        )
+    return checks
+
+
+def full_report(machine: Optional[Machine] = None, trials: int = 200) -> str:
+    """Run every check and render the report."""
+    machine = machine or Machine()
+    lines: List[str] = []
+    checks: List[ShapeCheck] = []
+
+    rows = generate_table1(machine, trials=trials)
+    checks.extend(check_table1_shape(rows))
+    for case in PAPER_CASES:
+        checks.extend(check_figure1_shape(generate_figure1(machine, case, trials)))
+
+    fig2a = generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A1,
+                                   optimized=False, trials=trials, verify=False)
+    fig2b = generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A1,
+                                   optimized=True, trials=trials, verify=False)
+    fig4a = generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A2,
+                                   optimized=False, trials=trials, verify=False)
+    fig4b = generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A2,
+                                   optimized=True, trials=trials, verify=False)
+    checks.extend(check_coexec_shape(fig2a, fig2b, fig4a, fig4b))
+
+    passed = sum(1 for c in checks if c.passed)
+    lines.append(f"shape checks: {passed}/{len(checks)} passed")
+    lines.extend(str(c) for c in checks)
+    return "\n".join(lines)

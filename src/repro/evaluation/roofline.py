@@ -1,0 +1,105 @@
+"""Roofline analysis of the reduction kernels.
+
+Places each kernel configuration on the device's roofline: arithmetic
+intensity (accumulates per byte) against the memory and issue ceilings,
+plus the *launch-geometry* ceiling the paper is really about — the
+bandwidth reachable with the configuration's resident-warp population.
+This turns the paper's "compute-bound becomes memory-bound" narrative into
+a computed classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import scalar_type
+from ..gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from ..gpu.kernels import ReductionKernel
+from ..gpu.memory_system import achievable_bandwidth_gbs
+from ..gpu.occupancy import occupancy
+from ..gpu.perf import estimate_kernel_time
+from ..hardware.spec import GpuSpec
+
+__all__ = ["RooflinePoint", "roofline_point"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel configuration on the roofline."""
+
+    #: Accumulate operations per byte of input traffic (1 / sizeof(T)).
+    arithmetic_intensity: float
+    #: Peak-bandwidth ceiling for this element type (GB/s).
+    memory_ceiling_gbs: float
+    #: Bandwidth ceiling imposed by the launch's resident warps (GB/s).
+    geometry_ceiling_gbs: float
+    #: Bandwidth equivalent of the issue-rate ceiling (GB/s).
+    issue_ceiling_gbs: float
+    #: The model's predicted bandwidth (GB/s).
+    achieved_gbs: float
+    #: Which ceiling binds: "memory", "geometry", "issue" or "epilogue".
+    binding: str
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved over the memory ceiling (the paper's metric scaled)."""
+        return self.achieved_gbs / self.memory_ceiling_gbs
+
+
+def roofline_point(
+    gpu: GpuSpec,
+    kernel: ReductionKernel,
+    calibration: GpuCalibration = DEFAULT_CALIBRATION,
+) -> RooflinePoint:
+    """Compute the roofline placement of *kernel* on *gpu*."""
+    esize = scalar_type(kernel.element_type).size
+    occ = occupancy(gpu, kernel.geometry.grid, kernel.geometry.block)
+
+    memory_ceiling = (
+        calibration.efficiency_for(kernel.element_type)
+        * gpu.memory.peak_bandwidth_gbs
+    )
+    geometry_ceiling = achievable_bandwidth_gbs(
+        gpu, occ.active_warps, kernel.elements_per_iteration,
+        kernel.element_type, calibration,
+    )
+
+    # Issue ceiling expressed as the bandwidth the instruction stream
+    # could sustain if memory were free.
+    v = kernel.elements_per_iteration
+    insts_per_iter = (
+        calibration.loop_overhead_insts
+        + calibration.iter_fixed_for(kernel.element_type)
+        + v * calibration.element_issue_for(kernel.element_type)
+    )
+    issue_rate = gpu.sms * gpu.issue_rate_ipc * gpu.clock_ghz * 1e9
+    bytes_per_warp_inst = v * esize * gpu.warp_size / insts_per_iter
+    issue_ceiling = issue_rate * bytes_per_warp_inst / 1e9
+
+    timing = estimate_kernel_time(gpu, kernel, calibration)
+    achieved = kernel.input_bytes / timing.total / 1e9
+
+    bottleneck = timing.bottleneck
+    if bottleneck == "memory":
+        binding = (
+            "memory" if geometry_ceiling >= memory_ceiling else "geometry"
+        )
+    elif bottleneck == "issue":
+        binding = "issue"
+    elif achieved >= 0.85 * geometry_ceiling:
+        # The block-latency term can dominate for two distinct reasons;
+        # when the kernel still lands at its resident-warp bandwidth the
+        # cause is the per-thread dependent chain (a geometry problem),
+        # otherwise it is the per-block combine epilogue.
+        binding = "geometry"
+    else:
+        binding = "epilogue"
+
+    return RooflinePoint(
+        arithmetic_intensity=1.0 / esize,
+        memory_ceiling_gbs=memory_ceiling,
+        geometry_ceiling_gbs=geometry_ceiling,
+        issue_ceiling_gbs=issue_ceiling,
+        achieved_gbs=achieved,
+        binding=binding,
+    )

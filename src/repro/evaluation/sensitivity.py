@@ -1,0 +1,119 @@
+"""Sensitivity analysis: which conclusions survive calibration error?
+
+The calibration constants carry uncertainty (they are fits).  This module
+perturbs each scalar knob by a factor and re-derives the paper's
+*qualitative* conclusions, reporting which are robust:
+
+* C1: optimized/baseline speedup stays in a 4-9x band;
+* C2: best V is 32 and saturation needs > 8192 teams;
+* C1/C3/C4: saturation by <= 8192 teams with V <= 8 optimal;
+* optimized efficiency stays within 80-100 % of peak.
+
+Used by the ``test_ext_sensitivity`` benchmark and available to users
+re-calibrating for other devices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import ReproConfig
+from ..core.cases import C1, C2
+from ..core.machine import Machine
+from ..core.timing import measure_gpu_reduction
+from ..core.tuning import sweep_parameters
+from ..gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+
+# Sensitivity sweeps only read the performance model; keep the functional
+# layer's workload tiny so the analysis stays fast.
+_FAST_CONFIG = ReproConfig(functional_elements_cap=1 << 12)
+
+__all__ = ["SensitivityResult", "perturbations", "run_sensitivity"]
+
+#: Scalar calibration knobs subject to perturbation.
+_SCALAR_KNOBS = (
+    "warp_inflight_cap_bytes",
+    "mlp_scale",
+    "loop_overhead_insts",
+    "block_setup_cycles",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Conclusions re-derived under one perturbed calibration."""
+
+    knob: str
+    factor: float
+    c1_speedup: float
+    c1_best_v: int
+    c2_best_v: int
+    c2_saturation_teams: int
+    c1_opt_efficiency: float
+
+    @property
+    def conclusions_hold(self) -> bool:
+        """The paper's qualitative findings under this perturbation."""
+        return (
+            4.0 <= self.c1_speedup <= 9.0
+            and self.c1_best_v <= 8
+            and self.c2_best_v >= 16
+            and self.c2_saturation_teams >= 8192
+            and 0.80 <= self.c1_opt_efficiency <= 1.0
+        )
+
+
+def perturbations(
+    factors: Tuple[float, ...] = (0.8, 1.25),
+) -> List[Tuple[str, float, GpuCalibration]]:
+    """All (knob, factor, calibration) single-knob perturbations."""
+    out = []
+    for knob in _SCALAR_KNOBS:
+        for factor in factors:
+            value = getattr(DEFAULT_CALIBRATION, knob) * factor
+            cal = dataclasses.replace(DEFAULT_CALIBRATION, **{knob: value})
+            out.append((knob, factor, cal))
+    return out
+
+
+def _evaluate(machine: Machine) -> Dict[str, float]:
+    base = measure_gpu_reduction(machine, C1, trials=2, verify=False)
+    sweep1 = sweep_parameters(machine, C1, trials=2)
+    sweep2 = sweep_parameters(machine, C2, trials=2)
+    best1 = sweep1.best()
+    best2 = sweep2.best()
+    env2 = sweep2.envelope()
+    peak2 = max(bw for _, bw in env2)
+    saturation2 = next(t for t, bw in env2 if bw >= 0.97 * peak2)
+    return {
+        "c1_speedup": best1.bandwidth_gbs / base.bandwidth_gbs,
+        "c1_best_v": best1.config.v,
+        "c2_best_v": best2.config.v,
+        "c2_saturation_teams": saturation2,
+        "c1_opt_efficiency": best1.bandwidth_gbs
+        / machine.system.peak_gpu_bandwidth_gbs,
+    }
+
+
+def run_sensitivity(
+    factors: Tuple[float, ...] = (0.8, 1.25),
+) -> List[SensitivityResult]:
+    """Evaluate the conclusion battery under every perturbation."""
+    results = []
+    for knob, factor, cal in perturbations(factors):
+        machine = Machine(calibration=cal, config=_FAST_CONFIG)
+        metrics = _evaluate(machine)
+        results.append(
+            SensitivityResult(
+                knob=knob,
+                factor=factor,
+                c1_speedup=metrics["c1_speedup"],
+                c1_best_v=int(metrics["c1_best_v"]),
+                c2_best_v=int(metrics["c2_best_v"]),
+                c2_saturation_teams=int(metrics["c2_saturation_teams"]),
+                c1_opt_efficiency=metrics["c1_opt_efficiency"],
+            )
+        )
+    return results

@@ -1,0 +1,90 @@
+"""Table 1 regeneration: baseline vs optimized on the GPU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.cases import PAPER_CASES, Case
+from ..core.machine import Machine
+from ..core.optimized import KernelConfig
+from ..core.timing import measure_gpu_reduction
+from ..core.tuning import autotune
+from ..util.tables import AsciiTable
+from .paper_data import PAPER_TABLE1
+
+__all__ = ["Table1Row", "generate_table1", "render_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured counterpart of one paper Table 1 row."""
+
+    case: Case
+    base_gbs: float
+    optimized_gbs: float
+    optimized_config: KernelConfig
+    peak_gbs: float
+
+    @property
+    def speedup(self) -> float:
+        return self.optimized_gbs / self.base_gbs
+
+    @property
+    def base_efficiency_pct(self) -> float:
+        return 100.0 * self.base_gbs / self.peak_gbs
+
+    @property
+    def optimized_efficiency_pct(self) -> float:
+        return 100.0 * self.optimized_gbs / self.peak_gbs
+
+
+def generate_table1(
+    machine: Optional[Machine] = None,
+    trials: int = 200,
+) -> Dict[str, Table1Row]:
+    """Measure all four cases, baseline and autotuned-optimized."""
+    machine = machine or Machine()
+    rows: Dict[str, Table1Row] = {}
+    for case in PAPER_CASES:
+        base = measure_gpu_reduction(machine, case, None, trials=trials)
+        best = autotune(machine, case)
+        opt = measure_gpu_reduction(machine, case, best, trials=trials)
+        rows[case.name] = Table1Row(
+            case=case,
+            base_gbs=base.bandwidth_gbs,
+            optimized_gbs=opt.bandwidth_gbs,
+            optimized_config=best,
+            peak_gbs=machine.system.peak_gpu_bandwidth_gbs,
+        )
+    return rows
+
+
+def render_table1(rows: Dict[str, Table1Row]) -> str:
+    """Side-by-side paper-vs-measured rendering of Table 1."""
+    table = AsciiTable(
+        [
+            "Case",
+            "Base GB/s (paper)",
+            "Opt GB/s (paper)",
+            "Speedup (paper)",
+            "Eff base/opt % (paper)",
+            "Best config",
+        ]
+    )
+    for name, row in sorted(rows.items()):
+        paper = PAPER_TABLE1[name]
+        table.add_row(
+            [
+                name,
+                f"{row.base_gbs:.0f} ({paper.base_gbs:.0f})",
+                f"{row.optimized_gbs:.0f} ({paper.optimized_gbs:.0f})",
+                f"{row.speedup:.3f} ({paper.speedup:.3f})",
+                (
+                    f"{row.base_efficiency_pct:.1f}/{row.optimized_efficiency_pct:.1f}"
+                    f" ({paper.base_efficiency_pct}/{paper.optimized_efficiency_pct})"
+                ),
+                row.optimized_config.label(),
+            ]
+        )
+    return table.render()

@@ -1,0 +1,33 @@
+"""Hopper GPU execution model.
+
+Two cooperating layers:
+
+* a **performance model** (:mod:`repro.gpu.perf`) that predicts kernel time
+  from launch geometry, built on an occupancy calculator
+  (:mod:`repro.gpu.occupancy`) and a memory-level-parallelism bandwidth
+  model (:mod:`repro.gpu.memory_system`), with fitted constants collected
+  in :mod:`repro.gpu.calibration`;
+* a **functional executor** (:mod:`repro.gpu.exec_model`) that actually
+  computes the reduction with the same team/thread partitioning the
+  device would use, so results (including integer wraparound and float
+  rounding) are real.
+"""
+
+from .occupancy import OccupancyResult, occupancy
+from .memory_system import achievable_bandwidth_gbs
+from .calibration import GpuCalibration, DEFAULT_CALIBRATION
+from .kernels import ReductionKernel
+from .perf import KernelTiming, estimate_kernel_time
+from .exec_model import execute_reduction
+
+__all__ = [
+    "OccupancyResult",
+    "occupancy",
+    "achievable_bandwidth_gbs",
+    "GpuCalibration",
+    "DEFAULT_CALIBRATION",
+    "ReductionKernel",
+    "KernelTiming",
+    "estimate_kernel_time",
+    "execute_reduction",
+]

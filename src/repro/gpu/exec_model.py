@@ -1,0 +1,124 @@
+"""Functional execution of reduction kernels.
+
+This module actually computes the reduction with the same hierarchical
+partitioning the device uses, fully vectorized with NumPy (no Python loop
+over threads):
+
+1. ``distribute`` — the iteration space is split into contiguous
+   static chunks per team;
+2. ``parallel for`` — each team's chunk is split into contiguous static
+   chunks per thread; each thread accumulates privately **in the result
+   type R** (so int32 accumulation wraps, int8 inputs widen to int64, and
+   float rounding follows the real grouping);
+3. end-of-team combine over thread partials, then a final combine over
+   team partials (deterministic team order).
+
+For integers the result is exactly ``sum mod 2**bits`` regardless of the
+geometry (modular addition is associative); for floats different geometries
+legitimately produce slightly different roundings, which the verification
+layer treats with a relative tolerance — the same situation as on real
+hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import UnsupportedReductionError
+from .kernels import ReductionKernel
+
+__all__ = ["execute_reduction", "thread_chunk_starts"]
+
+_UFUNCS = {
+    "+": np.add,
+    "-": np.add,  # OpenMP 5.1: '-' combines with +
+    "*": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+    "&": np.bitwise_and,
+    "|": np.bitwise_or,
+    "^": np.bitwise_xor,
+}
+
+# Logical identifiers reduce the truth-values of the elements; `all` is a
+# min over {0,1} and `any` a max, which keeps the reduceat path uniform.
+_LOGICAL = {"&&": np.minimum, "||": np.maximum}
+
+
+def thread_chunk_starts(
+    n_elements: int, grid: int, block: int, v: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Static-schedule chunk boundaries for a two-level distribute/for split.
+
+    Returns ``(thread_starts, team_starts)``: element offsets where each
+    *active* thread's contiguous chunk begins, and the positions (indices
+    into ``thread_starts``) where each active team's group of threads
+    begins.  Both arrays are sorted and non-empty for ``n_elements > 0``.
+    """
+    if n_elements <= 0:
+        raise ValueError(f"n_elements must be positive, got {n_elements}")
+    trip = -(-n_elements // v)  # iterations, last one possibly ragged
+    team_iters = -(-trip // grid)
+    n_active_teams = -(-trip // team_iters)
+    thread_iters = -(-team_iters // block)
+    per_team = np.arange(0, team_iters, thread_iters, dtype=np.int64)
+    starts_iter = (
+        np.arange(n_active_teams, dtype=np.int64)[:, None] * team_iters
+        + per_team[None, :]
+    ).ravel()
+    starts_iter = starts_iter[starts_iter < trip]
+    team_first_iter = np.arange(n_active_teams, dtype=np.int64) * team_iters
+    team_starts = np.searchsorted(starts_iter, team_first_iter)
+    return starts_iter * v, team_starts
+
+
+def execute_reduction(data: np.ndarray, kernel: ReductionKernel):
+    """Run *kernel*'s reduction over *data*; returns a scalar of type R.
+
+    *data* may be shorter than ``kernel.elements`` (the functional layer
+    runs on size-capped arrays while the performance model reasons about
+    the declared size); the schedule shape (grid/block/V) is applied to the
+    actual length.
+    """
+    if data.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {data.shape}")
+    rtype = kernel.result_type.numpy
+    ident = kernel.identifier
+    if data.size == 0:
+        return rtype.type(kernel.op.identity_for(kernel.result_type))
+    if data.dtype != kernel.element_type.numpy:
+        raise ValueError(
+            f"data dtype {data.dtype} does not match kernel element type "
+            f"{kernel.element_type.numpy}"
+        )
+
+    if ident in _LOGICAL:
+        ufunc = _LOGICAL[ident]
+        values = (data != 0).astype(rtype)
+    elif ident in _UFUNCS:
+        ufunc = _UFUNCS[ident]
+        values = data
+    else:  # pragma: no cover - registry and kernels stay in sync
+        raise UnsupportedReductionError(
+            f"no executable lowering for identifier {ident!r}"
+        )
+
+    thread_starts, team_starts = thread_chunk_starts(
+        values.size,
+        kernel.geometry.grid,
+        kernel.geometry.block,
+        kernel.elements_per_iteration,
+    )
+    # Thread-private accumulation in R (wrapping for ints via the dtype).
+    partials = ufunc.reduceat(values, thread_starts, dtype=rtype)
+    # End-of-team combine over that team's thread partials.
+    if team_starts.size > 1:
+        team_sums = ufunc.reduceat(partials, team_starts, dtype=rtype)
+    else:
+        team_sums = partials if partials.size == 1 else np.asarray(
+            [ufunc.reduce(partials, dtype=rtype)], dtype=rtype
+        )
+    # Final combine across teams (deterministic team order).
+    return rtype.type(ufunc.reduce(team_sums, dtype=rtype))

@@ -1,0 +1,137 @@
+"""Calibration fitting: solve model coefficients from measured targets.
+
+`DEFAULT_CALIBRATION` was produced by exactly this procedure against the
+paper's Table 1 and then frozen.  The fitter is kept as a library feature
+so the model can be re-targeted at other devices or future papers:
+
+* each **baseline** bandwidth pins one per-result-type combine cost —
+  the heuristic-geometry kernel is block-latency-bound, so the target
+  trial time inverts linearly to cycles;
+* each **optimized** bandwidth pins one per-element-type efficiency
+  ceiling — the tuned kernel is memory-bound, so the target inverts to a
+  fraction of peak.
+
+The measurement-loop overheads (launch latency, the Listing 6 scalar
+``target update`` pair) are reproduced from the hardware specs so fitted
+constants compose with the same pipeline that will consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Mapping, Tuple
+
+from ..errors import SpecError
+from ..hardware.spec import GpuSpec, LinkSpec
+from ..openmp.heuristics import (
+    DEFAULT_THREADS_PER_TEAM,
+    default_num_teams,
+)
+from .calibration import DEFAULT_CALIBRATION, GpuCalibration
+from .occupancy import occupancy
+
+__all__ = ["FitTarget", "fit_calibration"]
+
+#: (element-type name, result-type name, elements, optimized (teams, v)).
+FitTarget = Tuple[str, str, int, Tuple[int, int]]
+
+
+def _scalar_motion_seconds(link: LinkSpec, result_size: int) -> float:
+    # Two `target update` transfers of the result scalar per trial.
+    per = link.latency_us * 1e-6 + result_size / (link.bandwidth_gbs * 1e9)
+    return 2.0 * per
+
+
+def fit_calibration(
+    gpu: GpuSpec,
+    link: LinkSpec,
+    targets: Mapping[str, Tuple[FitTarget, float, float]],
+    base: GpuCalibration = DEFAULT_CALIBRATION,
+) -> GpuCalibration:
+    """Fit combine costs and efficiency ceilings to measured bandwidths.
+
+    Parameters
+    ----------
+    targets:
+        Per case name: ``((T, R, M, (teams, v)), base_gbs, opt_gbs)``.
+    base:
+        Calibration providing the structural constants (issue costs,
+        in-flight caps...) that are *not* fitted.
+
+    Returns
+    -------
+    GpuCalibration
+        Copy of *base* with ``combine_cycles`` and ``efficiency`` entries
+        replaced for the types the targets cover.
+
+    Raises
+    ------
+    SpecError
+        If a target implies a non-positive coefficient (the model cannot
+        represent it — e.g. a baseline faster than its memory bound).
+    """
+    clock_hz = gpu.clock_ghz * 1e9
+    launch = gpu.kernel_launch_latency_us * 1e-6
+    combine: Dict[str, float] = dict(base.combine_cycles)
+    efficiency: Dict[str, float] = dict(base.efficiency)
+
+    for name, ((t_name, r_name, elements, (teams, v)), base_gbs, opt_gbs) \
+            in targets.items():
+        from ..dtypes import scalar_type
+
+        etype = scalar_type(t_name)
+        rtype = scalar_type(r_name)
+        input_bytes = elements * etype.size
+        scalar_motion = _scalar_motion_seconds(link, rtype.size)
+
+        # ---- baseline -> combine cycles ---------------------------------
+        grid = default_num_teams(elements, DEFAULT_THREADS_PER_TEAM)
+        occ = occupancy(gpu, grid, DEFAULT_THREADS_PER_TEAM)
+        slots = gpu.sms * occ.blocks_per_sm
+        blocks_per_slot = -(-grid // slots)
+        trial = input_bytes / (base_gbs * 1e9)
+        body = trial - launch - scalar_motion
+        if body <= 0:
+            raise SpecError(
+                f"{name}: baseline target {base_gbs} GB/s leaves no time "
+                "for the kernel body"
+            )
+        d_cycles = body * clock_hz / blocks_per_slot
+        avg_iters = max(
+            1.0, (elements / 1) / (grid * DEFAULT_THREADS_PER_TEAM)
+        )
+        chain = (
+            gpu.memory.latency_ns * 1e-9 * clock_hz
+            + 1 * base.element_issue_for(etype)
+        )
+        fitted_combine = (
+            d_cycles - base.block_setup_cycles - avg_iters * chain
+        )
+        if fitted_combine <= 0:
+            raise SpecError(
+                f"{name}: baseline target {base_gbs} GB/s is faster than "
+                "the block dependent chain allows"
+            )
+        combine[rtype.name] = round(fitted_combine, 1)
+
+        # ---- optimized -> efficiency ceiling ------------------------------
+        trial_opt = input_bytes / (opt_gbs * 1e9)
+        mem = trial_opt - launch - scalar_motion
+        if mem <= 0:
+            raise SpecError(
+                f"{name}: optimized target {opt_gbs} GB/s leaves no time "
+                "for memory traffic"
+            )
+        eff = input_bytes / (mem * gpu.memory.peak_bandwidth_gbs * 1e9)
+        if not 0.0 < eff <= 1.0:
+            raise SpecError(
+                f"{name}: optimized target {opt_gbs} GB/s implies "
+                f"efficiency {eff:.3f} outside (0, 1]"
+            )
+        efficiency[etype.name] = round(eff, 4)
+        if etype.name == "int8":
+            # int8 accumulates in int64 but streams int8 bytes; nothing
+            # else to fit for the result type's efficiency.
+            pass
+
+    return replace(base, combine_cycles=combine, efficiency=efficiency)

@@ -1,0 +1,97 @@
+"""Reduction kernel descriptors.
+
+A :class:`ReductionKernel` is the lowered form of the paper's Listings 2/5:
+the launch geometry, the per-iteration element count V, the element and
+result types, and the reduction operator.  It is consumed by both the
+performance model (:mod:`repro.gpu.perf`) and the functional executor
+(:mod:`repro.gpu.exec_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import ScalarType, scalar_type
+from ..errors import LaunchError
+from ..openmp.reduction_ops import ReductionOp, get_reduction_op
+from ..openmp.runtime import LaunchGeometry
+from ..util.validation import check_positive_int
+from .strategies import ReductionStrategy
+
+__all__ = ["ReductionKernel"]
+
+
+@dataclass(frozen=True)
+class ReductionKernel:
+    """A lowered device reduction kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel symbol used in traces (e.g. ``"sum_reduction_v4"``).
+    geometry:
+        Resolved grid/block launch geometry.
+    elements:
+        Total input elements M the kernel reduces.
+    elements_per_iteration:
+        The paper's V — elements accumulated per loop iteration.
+    element_type, result_type:
+        The listing's ``T`` and ``R``.
+    identifier:
+        OpenMP reduction-identifier (``"+"`` for the paper).
+    """
+
+    name: str
+    geometry: LaunchGeometry
+    elements: int
+    elements_per_iteration: int
+    element_type: ScalarType
+    result_type: ScalarType
+    identifier: str = "+"
+    strategy: ReductionStrategy = ReductionStrategy.TREE
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.elements, "elements")
+        check_positive_int(self.elements_per_iteration, "elements_per_iteration")
+        if self.elements % self.elements_per_iteration:
+            raise LaunchError(
+                f"elements={self.elements} must be divisible by "
+                f"V={self.elements_per_iteration} (the normalized Listing 5 "
+                "loop iterates M/V times)"
+            )
+        # Freeze-friendly validation of the types / op combination.
+        object.__setattr__(self, "element_type", scalar_type(self.element_type))
+        object.__setattr__(self, "result_type", scalar_type(self.result_type))
+        get_reduction_op(self.identifier, self.result_type)
+
+    @property
+    def op(self) -> ReductionOp:
+        """The reduction operator implementation."""
+        return get_reduction_op(self.identifier, self.result_type)
+
+    @property
+    def trip_count(self) -> int:
+        """Loop iterations: M / V (the normalized loop of Listing 5)."""
+        return self.elements // self.elements_per_iteration
+
+    @property
+    def total_threads(self) -> int:
+        return self.geometry.total_threads
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of input traffic — the numerator of the paper's metric."""
+        return self.elements * self.element_type.size
+
+    @property
+    def iterations_per_thread(self) -> int:
+        """Static-schedule chunk size: ceil(trip_count / total_threads)."""
+        return -(-self.trip_count // self.total_threads)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs."""
+        return (
+            f"{self.name}: grid={self.geometry.grid} block={self.geometry.block} "
+            f"V={self.elements_per_iteration} T={self.element_type} "
+            f"R={self.result_type} M={self.elements}"
+        )

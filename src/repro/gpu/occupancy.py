@@ -1,0 +1,80 @@
+"""Occupancy calculation: how many blocks/warps are resident per SM.
+
+The reduction kernels use no shared memory and few registers, so the only
+binding limits are the architectural caps: resident warps per SM and
+resident blocks per SM.  The result drives the memory-level-parallelism
+model — the paper's saturation thresholds (4096 teams for C1/C3/C4, 32768
+for C2) fall exactly where the grid first fills every SM to its residency
+limit with enough bytes in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LaunchError
+from ..hardware.spec import GpuSpec
+from ..util.validation import check_positive_int
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency outcome for a launch of ``grid`` x ``block`` threads."""
+
+    grid: int
+    block: int
+    warps_per_block: int
+    blocks_per_sm: int
+    active_blocks: int      # blocks simultaneously resident on the GPU
+    active_warps: int       # warps simultaneously resident on the GPU
+    waves: int              # ceil(grid / concurrent-block capacity)
+
+    @property
+    def full(self) -> bool:
+        """True when the launch fills every SM to its block-residency cap."""
+        return self.grid >= self.active_blocks and self.waves >= 1 and (
+            self.active_blocks == self.blocks_per_sm * self._sms
+        )
+
+    # stored privately for `full`
+    _sms: int = 0
+
+
+def occupancy(gpu: GpuSpec, grid: int, block: int) -> OccupancyResult:
+    """Compute residency for a ``grid`` x ``block`` launch on *gpu*.
+
+    Raises
+    ------
+    LaunchError
+        If the block size exceeds device limits.
+    """
+    check_positive_int(grid, "grid")
+    check_positive_int(block, "block")
+    if block > gpu.max_threads_per_block:
+        raise LaunchError(
+            f"block size {block} exceeds device maximum "
+            f"{gpu.max_threads_per_block}"
+        )
+    warps_per_block = -(-block // gpu.warp_size)
+    if warps_per_block > gpu.max_warps_per_sm:
+        raise LaunchError(
+            f"a {block}-thread block needs {warps_per_block} warps, more "
+            f"than the {gpu.max_warps_per_sm} an SM can hold"
+        )
+    blocks_per_sm = min(
+        gpu.max_blocks_per_sm, gpu.max_warps_per_sm // warps_per_block
+    )
+    capacity = gpu.sms * blocks_per_sm
+    active_blocks = min(grid, capacity)
+    return OccupancyResult(
+        grid=grid,
+        block=block,
+        warps_per_block=warps_per_block,
+        blocks_per_sm=blocks_per_sm,
+        active_blocks=active_blocks,
+        active_warps=active_blocks * warps_per_block,
+        waves=-(-grid // capacity),
+        _sms=gpu.sms,
+    )

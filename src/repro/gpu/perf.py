@@ -1,0 +1,148 @@
+"""Analytic kernel-time model.
+
+``time = launch + max(memory, issue, block_latency)`` with
+
+* **memory**: input bytes over the achievable bandwidth from
+  :mod:`repro.gpu.memory_system` (occupancy- and V-dependent);
+* **issue**: total warp instructions over the GPU's aggregate issue rate —
+  the compute-bound regime the paper notes for small team counts
+  ("The increase turns a compute-bound kernel into a memory-bound kernel");
+* **block latency**: each SM residency slot runs its share of the grid
+  *serially*; one block's wall time is bounded below by its dependent
+  chain — per iteration a load round-trip plus the serial accumulates —
+  plus the end-of-team combine.  With the runtime-heuristic grids
+  (millions of single-iteration blocks, Listing 2) this term dominates and
+  produces the paper's 4.3-15.4% baseline efficiencies; with the
+  optimized grids it collapses to noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.spec import GpuSpec
+from .calibration import GpuCalibration, DEFAULT_CALIBRATION
+from .kernels import ReductionKernel
+from .memory_system import achievable_bandwidth_gbs
+from .occupancy import occupancy
+from .strategies import ReductionStrategy, atomic_ops, atomic_same_address_ns
+
+__all__ = ["KernelTiming", "estimate_kernel_time"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Decomposed kernel-time prediction (all in seconds)."""
+
+    launch: float
+    memory: float
+    issue: float
+    block_latency: float
+    atomic: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.launch + max(
+            self.memory, self.issue, self.block_latency, self.atomic
+        )
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when DRAM traffic sets the kernel body time."""
+        return self.memory >= max(self.issue, self.block_latency, self.atomic)
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the dominant body term."""
+        parts = {
+            "memory": self.memory,
+            "issue": self.issue,
+            "block_latency": self.block_latency,
+            "atomic": self.atomic,
+        }
+        return max(parts, key=parts.get)
+
+
+def estimate_kernel_time(
+    gpu: GpuSpec,
+    kernel: ReductionKernel,
+    calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    effective_bandwidth_gbs: "float | None" = None,
+) -> KernelTiming:
+    """Predict the execution time of *kernel* on *gpu*.
+
+    Parameters
+    ----------
+    effective_bandwidth_gbs:
+        Optional override of the memory-system ceiling, used by the
+        unified-memory model when the kernel streams remote (LPDDR-
+        resident) pages over the C2C link instead of local HBM.
+    """
+    geo = kernel.geometry
+    occ = occupancy(gpu, geo.grid, geo.block)
+    clock_hz = gpu.clock_ghz * 1e9
+
+    # Memory term.
+    bw = achievable_bandwidth_gbs(
+        gpu,
+        occ.active_warps,
+        kernel.elements_per_iteration,
+        kernel.element_type,
+        calibration,
+    )
+    if effective_bandwidth_gbs is not None:
+        bw = min(bw, effective_bandwidth_gbs)
+    memory_time = kernel.input_bytes / (bw * 1e9)
+
+    # Issue term: the whole iteration space, one warp-instruction bundle
+    # per 32 thread-iterations, over the GPU's aggregate issue throughput.
+    v = kernel.elements_per_iteration
+    elem_cycles = calibration.element_issue_for(kernel.element_type)
+    insts_per_iter = (
+        calibration.loop_overhead_insts
+        + calibration.iter_fixed_for(kernel.element_type)
+        + v * elem_cycles
+    )
+    warp_insts = kernel.trip_count * insts_per_iter / gpu.warp_size
+    issue_time = warp_insts / (gpu.sms * gpu.issue_rate_ipc * clock_hz)
+
+    # Block-latency term: blocks_per_slot blocks run serially per residency
+    # slot; a block's wall time is its dependent chain.  Within one
+    # iteration the V loads issue back-to-back and overlap (one memory
+    # round-trip), but iterations serialize on the accumulator.  The chain
+    # uses the *average* iterations per thread (static chunks differ by at
+    # most one and late blocks retire early), floored at one round-trip.
+    latency_cycles = gpu.memory.latency_ns * 1e-9 * clock_hz
+    chain_per_iter = latency_cycles + v * elem_cycles
+    avg_iterations = max(1.0, kernel.trip_count / geo.total_threads)
+    # The end-of-team epilogue depends on the strategy: the TREE lowering
+    # pays the full calibrated combine; the atomic strategies replace it
+    # with a short (or no) in-block phase plus global atomics below.
+    if kernel.strategy is ReductionStrategy.TREE:
+        epilogue = calibration.combine_cycles_for(kernel.result_type)
+    elif kernel.strategy is ReductionStrategy.WARP_ATOMIC:
+        epilogue = 120.0  # 5-level warp shuffle tree
+    else:  # THREAD_ATOMIC
+        epilogue = 0.0
+    block_cycles = (
+        calibration.block_setup_cycles
+        + avg_iterations * chain_per_iter
+        + epilogue
+    )
+    slots = gpu.sms * occ.blocks_per_sm
+    blocks_per_slot = -(-geo.grid // slots)
+    block_latency = blocks_per_slot * block_cycles / clock_hz
+
+    # Same-address global atomics serialize at the memory subsystem.
+    n_atomics = atomic_ops(
+        kernel.strategy, geo.grid, occ.warps_per_block, geo.block
+    )
+    atomic_time = n_atomics * atomic_same_address_ns(kernel.result_type) * 1e-9
+
+    return KernelTiming(
+        launch=gpu.kernel_launch_latency_us * 1e-6,
+        memory=memory_time,
+        issue=issue_time,
+        block_latency=block_latency,
+        atomic=atomic_time,
+    )

@@ -1,0 +1,73 @@
+"""Device reduction strategies beyond the compiler's default lowering.
+
+The paper's related work compares reduction implementations that trade
+tree combines for atomics (refs [21-23, 28]: the author's atomics-based
+OpenCL/SYCL/HIP reductions; ref [29]: cross-model abstraction analysis),
+and §VI defers "other reduction abstractions" to future studies.  This
+module provides that comparison on the simulated device:
+
+* ``TREE`` — the NVHPC-style lowering modelled throughout the paper
+  reproduction: shared-memory tree per team, one global combine per team
+  (its cost is the calibrated per-block combine).
+* ``WARP_ATOMIC`` — warp-shuffle reduction, then one global atomic per
+  warp: cheap block epilogue, ``total_warps`` same-address atomics.
+* ``THREAD_ATOMIC`` — every thread issues a global atomic with its local
+  sum: no combine at all, ``total_threads`` same-address atomics.
+
+Same-address atomics serialize at the memory subsystem, so the atomic
+term is ``n_ops x per-op latency`` and competes in the kernel-time max.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..dtypes import scalar_type
+from ..errors import SpecError
+
+__all__ = ["ReductionStrategy", "atomic_ops", "ATOMIC_SAME_ADDRESS_NS"]
+
+
+class ReductionStrategy(enum.Enum):
+    """How thread-local partial sums reach the global result."""
+
+    TREE = "tree"
+    WARP_ATOMIC = "warp-atomic"
+    THREAD_ATOMIC = "thread-atomic"
+
+
+#: Serialized per-op latency (ns) of same-address global atomics, by
+#: result type.  Integers use native atomic add; floating-point adds go
+#: through a slower path (fitted to the ~3x float combine penalty observed
+#: in the baseline calibration).
+ATOMIC_SAME_ADDRESS_NS = {
+    "int8": 4.0,
+    "int32": 4.0,
+    "int64": 6.0,
+    "float32": 12.0,
+    "float64": 14.0,
+}
+
+
+def atomic_same_address_ns(result_type) -> float:
+    name = scalar_type(result_type).name
+    try:
+        return ATOMIC_SAME_ADDRESS_NS[name]
+    except KeyError:  # pragma: no cover - registry covers all types
+        raise SpecError(f"no atomic latency for type {name!r}") from None
+
+
+def atomic_ops(strategy: ReductionStrategy, grid: int, warps_per_block: int,
+               block: int) -> int:
+    """Global same-address atomics one kernel issues under *strategy*.
+
+    The TREE strategy's single per-team combine is accounted inside the
+    calibrated per-block cost, so it reports zero extra atomics here.
+    """
+    if strategy is ReductionStrategy.TREE:
+        return 0
+    if strategy is ReductionStrategy.WARP_ATOMIC:
+        return grid * warps_per_block
+    if strategy is ReductionStrategy.THREAD_ATOMIC:
+        return grid * block
+    raise SpecError(f"unknown strategy {strategy!r}")  # pragma: no cover

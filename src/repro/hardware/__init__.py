@@ -1,0 +1,30 @@
+"""Hardware descriptions of the evaluated Grace-Hopper system.
+
+The paper's testbed (§II.C): a 72-core ARM Neoverse V2 Grace CPU with 480 GB
+of LPDDR5X, an NVIDIA H100 (Hopper) GPU with 96 GB of HBM3 and a peak memory
+bandwidth of 4022.7 GB/s, connected by the NVLink Chip-2-Chip interconnect.
+
+Specs are plain frozen dataclasses; :func:`grace_hopper` builds the preset
+used by every experiment, and custom systems can be composed for
+sensitivity studies (see ``examples/custom_system.py``).
+"""
+
+from .spec import CpuSpec, GpuSpec, LinkSpec, MemorySpec
+from .grace import grace_cpu, GRACE_LPDDR5X
+from .hopper import hopper_gpu, HOPPER_HBM3
+from .nvlink import nvlink_c2c
+from .system import GraceHopperSystem, grace_hopper
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "LinkSpec",
+    "MemorySpec",
+    "grace_cpu",
+    "hopper_gpu",
+    "nvlink_c2c",
+    "GRACE_LPDDR5X",
+    "HOPPER_HBM3",
+    "GraceHopperSystem",
+    "grace_hopper",
+]

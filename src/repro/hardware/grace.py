@@ -1,0 +1,42 @@
+"""Grace CPU preset (72-core Neoverse V2 + LPDDR5X, paper §II.C)."""
+
+from __future__ import annotations
+
+from ..util.units import GiB
+from .spec import CpuSpec, MemorySpec
+
+__all__ = ["GRACE_LPDDR5X", "grace_cpu"]
+
+#: The Grace socket's LPDDR5X subsystem: 480 GB capacity; ~500 GB/s peak
+#: (NVIDIA quotes up to 546 GB/s for the 480 GB configuration; measured
+#: STREAM rates on GH200 nodes land near 450 GB/s, captured here as peak x
+#: stream_efficiency).
+GRACE_LPDDR5X = MemorySpec(
+    name="LPDDR5X",
+    capacity_bytes=480 * GiB,
+    peak_bandwidth_gbs=500.0,
+    latency_ns=110.0,
+    page_bytes=64 * 1024,
+)
+
+
+def grace_cpu(
+    cores: int = 72,
+    clock_ghz: float = 3.1,
+    stream_efficiency: float = 0.90,
+    memory: MemorySpec = GRACE_LPDDR5X,
+) -> CpuSpec:
+    """Build the Grace CPU spec used in the paper's testbed.
+
+    Neoverse V2 cores carry 4x128-bit SVE2 pipes; the reduction is
+    memory-bound on this socket, so the SIMD width only matters for the
+    compute-bound corner of the host model.
+    """
+    return CpuSpec(
+        name="NVIDIA Grace (Neoverse V2)",
+        cores=cores,
+        clock_ghz=clock_ghz,
+        simd_width_bytes=16,
+        memory=memory,
+        stream_efficiency=stream_efficiency,
+    )

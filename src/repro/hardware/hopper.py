@@ -1,0 +1,42 @@
+"""Hopper H100 GPU preset (96 GB HBM3, peak 4022.7 GB/s — paper §II.C)."""
+
+from __future__ import annotations
+
+from ..util.units import GiB
+from .spec import GpuSpec, MemorySpec
+
+__all__ = ["HOPPER_HBM3", "hopper_gpu"]
+
+#: HBM3 stack on the GH200's H100: 96 GB, peak 4022.7 GB/s (the paper's own
+#: peak figure, used as the denominator of its "efficiency" metric).
+HOPPER_HBM3 = MemorySpec(
+    name="HBM3",
+    capacity_bytes=96 * GiB,
+    peak_bandwidth_gbs=4022.7,
+    latency_ns=560.0,
+    page_bytes=64 * 1024,
+)
+
+
+def hopper_gpu(
+    sms: int = 132,
+    clock_ghz: float = 1.98,
+    memory: MemorySpec = HOPPER_HBM3,
+) -> GpuSpec:
+    """Build the H100 spec used in the paper's testbed.
+
+    Occupancy caps match the Hopper architecture: 64 resident warps and up
+    to 32 resident blocks per SM, 1024 threads per block, 32-wide warps.
+    """
+    return GpuSpec(
+        name="NVIDIA H100 (Hopper)",
+        sms=sms,
+        clock_ghz=clock_ghz,
+        warp_size=32,
+        max_warps_per_sm=64,
+        max_blocks_per_sm=32,
+        max_threads_per_block=1024,
+        memory=memory,
+        issue_rate_ipc=2.0,
+        kernel_launch_latency_us=4.0,
+    )

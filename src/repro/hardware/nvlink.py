@@ -1,0 +1,38 @@
+"""NVLink-C2C interconnect preset (paper §II.C, refs [17, 19])."""
+
+from __future__ import annotations
+
+from .spec import LinkSpec
+
+__all__ = ["nvlink_c2c"]
+
+
+def nvlink_c2c(
+    bandwidth_gbs: float = 450.0,
+    remote_read_gbs: float = 330.0,
+    migration_gbs: float = 12.0,
+    latency_us: float = 1.0,
+) -> LinkSpec:
+    """Build the GH200 NVLink Chip-2-Chip link spec.
+
+    Defaults:
+
+    * 450 GB/s per direction (900 GB/s total, as NVIDIA quotes).
+    * ~330 GB/s sustained coherent remote reads — what a Grace core
+      achieves streaming HBM-resident pages.  This produces the paper's
+      observation that the CPU-only reduction is ~1.37x slower when the
+      array has been migrated to the GPU (A1) than when it stays in
+      LPDDR5X (A2).
+    * ~12 GB/s fault-driven page-migration throughput.  First-touch UM
+      migration on GH200 is driver-mediated and orders of magnitude below
+      link peak; this single number reproduces the depressed GPU-only
+      bandwidth at p=0 in Figures 2/4 and hence the paper's >2x co-run
+      speedups over "GPU-only".
+    """
+    return LinkSpec(
+        name="NVLink-C2C",
+        bandwidth_gbs=bandwidth_gbs,
+        remote_read_gbs=remote_read_gbs,
+        migration_gbs=migration_gbs,
+        latency_us=latency_us,
+    )

@@ -1,0 +1,182 @@
+"""Frozen dataclass specifications for CPUs, GPUs, memories and links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from ..util.units import GB
+
+__all__ = ["MemorySpec", "CpuSpec", "GpuSpec", "LinkSpec"]
+
+
+def _require_positive(value: float, name: str) -> None:
+    if value <= 0:
+        raise SpecError(f"{name} must be positive, got {value!r}")
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """A physical memory region (HBM3 on the GPU, LPDDR5X on the CPU).
+
+    Parameters
+    ----------
+    name:
+        Human-readable technology name.
+    capacity_bytes:
+        Total capacity in bytes.
+    peak_bandwidth_gbs:
+        Peak bandwidth in decimal GB/s (the paper quotes 4022.7 GB/s for
+        the H100's HBM3).
+    latency_ns:
+        Unloaded access latency used by the memory-level-parallelism model.
+    page_bytes:
+        OS/driver page granularity used by the unified-memory migration
+        model (GH systems migrate at 64 KiB granularity by default).
+    """
+
+    name: str
+    capacity_bytes: int
+    peak_bandwidth_gbs: float
+    latency_ns: float
+    page_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        _require_positive(self.capacity_bytes, "capacity_bytes")
+        _require_positive(self.peak_bandwidth_gbs, "peak_bandwidth_gbs")
+        _require_positive(self.latency_ns, "latency_ns")
+        _require_positive(self.page_bytes, "page_bytes")
+
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        return self.peak_bandwidth_gbs * GB
+
+    def n_pages(self, nbytes: int) -> int:
+        """Number of pages covering *nbytes* (ceiling division)."""
+        if nbytes < 0:
+            raise SpecError(f"nbytes must be non-negative, got {nbytes}")
+        return -(-nbytes // self.page_bytes)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multicore CPU socket.
+
+    ``stream_efficiency`` scales the attached memory's peak bandwidth to the
+    sustainable all-cores streaming rate (STREAM-triad style); a sum
+    reduction over a large array on Grace is memory-bound, so this single
+    number dominates the host-side model.
+    """
+
+    name: str
+    cores: int
+    clock_ghz: float
+    simd_width_bytes: int
+    memory: MemorySpec
+    stream_efficiency: float = 0.90
+    fork_join_overhead_us: float = 6.0
+    #: Streaming rate one core can sustain alone (GB/s) — the per-thread
+    #: cap of the bandwidth water-filling model.
+    core_stream_gbs: float = 40.0
+
+    def __post_init__(self) -> None:
+        _require_positive(self.cores, "cores")
+        _require_positive(self.clock_ghz, "clock_ghz")
+        _require_positive(self.simd_width_bytes, "simd_width_bytes")
+        _require_positive(self.core_stream_gbs, "core_stream_gbs")
+        if not 0.0 < self.stream_efficiency <= 1.0:
+            raise SpecError(
+                f"stream_efficiency must be in (0, 1], got {self.stream_efficiency}"
+            )
+        if self.fork_join_overhead_us < 0:
+            raise SpecError("fork_join_overhead_us must be non-negative")
+
+    @property
+    def stream_bandwidth_gbs(self) -> float:
+        """Sustainable streaming bandwidth from local memory, GB/s."""
+        return self.memory.peak_bandwidth_gbs * self.stream_efficiency
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A CUDA-style GPU: SMs, warps, occupancy limits, attached HBM.
+
+    The occupancy fields mirror the H100 resource caps the wave scheduler
+    needs: at most ``max_warps_per_sm`` resident warps and at most
+    ``max_blocks_per_sm`` resident thread blocks per SM.
+    """
+
+    name: str
+    sms: int
+    clock_ghz: float
+    warp_size: int
+    max_warps_per_sm: int
+    max_blocks_per_sm: int
+    max_threads_per_block: int
+    memory: MemorySpec
+    issue_rate_ipc: float = 2.0
+    kernel_launch_latency_us: float = 4.0
+
+    def __post_init__(self) -> None:
+        for field in ("sms", "clock_ghz", "warp_size", "max_warps_per_sm",
+                      "max_blocks_per_sm", "max_threads_per_block",
+                      "issue_rate_ipc"):
+            _require_positive(getattr(self, field), field)
+        if self.kernel_launch_latency_us < 0:
+            raise SpecError("kernel_launch_latency_us must be non-negative")
+        if self.max_threads_per_block % self.warp_size:
+            raise SpecError(
+                "max_threads_per_block must be a multiple of warp_size"
+            )
+
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * self.warp_size
+
+    @property
+    def max_resident_warps(self) -> int:
+        """Whole-GPU warp concurrency ceiling."""
+        return self.sms * self.max_warps_per_sm
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1.0 / (self.clock_ghz * 1e9)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A chip-to-chip interconnect (NVLink-C2C on GH200).
+
+    Parameters
+    ----------
+    bandwidth_gbs:
+        Peak per-direction transfer bandwidth in GB/s.
+    remote_read_gbs:
+        Sustained bandwidth of load/store *remote access* through the
+        coherent link (a CPU core reading HBM-resident pages, or the GPU
+        reading LPDDR-resident pages without migrating them).  Coherent
+        remote access sustains far less than raw DMA copies.
+    migration_gbs:
+        Sustained throughput of fault-driven page migration.  First-touch
+        page faults serviced by the driver move data far below link peak —
+        this is the mechanism behind the paper's A1-vs-A2 contrast.
+    latency_us:
+        One-way small-transfer latency.
+    """
+
+    name: str
+    bandwidth_gbs: float
+    remote_read_gbs: float
+    migration_gbs: float
+    latency_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require_positive(self.bandwidth_gbs, "bandwidth_gbs")
+        _require_positive(self.remote_read_gbs, "remote_read_gbs")
+        _require_positive(self.migration_gbs, "migration_gbs")
+        if self.latency_us < 0:
+            raise SpecError("latency_us must be non-negative")
+        if self.remote_read_gbs > self.bandwidth_gbs:
+            raise SpecError("remote_read_gbs cannot exceed link bandwidth")
+        if self.migration_gbs > self.bandwidth_gbs:
+            raise SpecError("migration_gbs cannot exceed link bandwidth")

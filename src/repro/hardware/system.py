@@ -1,0 +1,70 @@
+"""Composition of CPU + GPU + link into the evaluated system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import SpecError
+from .grace import grace_cpu
+from .hopper import hopper_gpu
+from .nvlink import nvlink_c2c
+from .spec import CpuSpec, GpuSpec, LinkSpec
+
+__all__ = ["GraceHopperSystem", "grace_hopper"]
+
+
+@dataclass(frozen=True)
+class GraceHopperSystem:
+    """A coherent CPU+GPU node in the style of the GH200 superchip.
+
+    The object is purely descriptive; behaviour lives in the models that
+    consume it (:mod:`repro.gpu`, :mod:`repro.cpu`, :mod:`repro.memory`).
+    """
+
+    cpu: CpuSpec
+    gpu: GpuSpec
+    link: LinkSpec
+
+    def __post_init__(self) -> None:
+        if self.cpu.memory.page_bytes != self.gpu.memory.page_bytes:
+            raise SpecError(
+                "unified memory requires a common page size; got "
+                f"{self.cpu.memory.page_bytes} (CPU) vs "
+                f"{self.gpu.memory.page_bytes} (GPU)"
+            )
+
+    @property
+    def page_bytes(self) -> int:
+        """Common UM page granularity."""
+        return self.cpu.memory.page_bytes
+
+    @property
+    def peak_gpu_bandwidth_gbs(self) -> float:
+        """The efficiency denominator the paper uses (4022.7 GB/s)."""
+        return self.gpu.memory.peak_bandwidth_gbs
+
+    def with_cpu(self, cpu: CpuSpec) -> "GraceHopperSystem":
+        return replace(self, cpu=cpu)
+
+    def with_gpu(self, gpu: GpuSpec) -> "GraceHopperSystem":
+        return replace(self, gpu=gpu)
+
+    def with_link(self, link: LinkSpec) -> "GraceHopperSystem":
+        return replace(self, link=link)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable description."""
+        return (
+            f"{self.cpu.name}: {self.cpu.cores} cores @ {self.cpu.clock_ghz} GHz, "
+            f"{self.cpu.memory.name} {self.cpu.memory.capacity_bytes >> 30} GiB "
+            f"@ {self.cpu.memory.peak_bandwidth_gbs:.0f} GB/s | "
+            f"{self.gpu.name}: {self.gpu.sms} SMs @ {self.gpu.clock_ghz} GHz, "
+            f"{self.gpu.memory.name} {self.gpu.memory.capacity_bytes >> 30} GiB "
+            f"@ {self.gpu.memory.peak_bandwidth_gbs:.1f} GB/s | "
+            f"{self.link.name} {self.link.bandwidth_gbs:.0f} GB/s"
+        )
+
+
+def grace_hopper() -> GraceHopperSystem:
+    """The paper's testbed: Grace (72c) + H100 (96 GB HBM3) + NVLink-C2C."""
+    return GraceHopperSystem(cpu=grace_cpu(), gpu=hopper_gpu(), link=nvlink_c2c())

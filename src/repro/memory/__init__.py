@@ -1,0 +1,28 @@
+"""Page-granular unified-memory model of the GH200.
+
+The co-execution experiments (paper §IV) are governed entirely by *where
+pages live*: a managed array is first-touched on the CPU, pages the GPU
+reads get fault-migrated to HBM (slowly — driver-mediated), and once
+HBM-resident they are read coherently (not migrated back) by the CPU over
+NVLink-C2C.  The A1/A2 allocation-site contrast and every Figure 2-5 curve
+fall out of this state machine.
+
+Public surface: :class:`~repro.memory.unified.UnifiedMemoryManager` and the
+:class:`~repro.memory.allocator.ManagedAllocation` handles it deals in.
+"""
+
+from .pages import Residency
+from .address_space import AddressSpace
+from .allocator import ManagedAllocation
+from .migration import MigrationEngine
+from .unified import UnifiedMemoryManager, GpuReadPlan, CpuReadPlan
+
+__all__ = [
+    "Residency",
+    "AddressSpace",
+    "ManagedAllocation",
+    "MigrationEngine",
+    "UnifiedMemoryManager",
+    "GpuReadPlan",
+    "CpuReadPlan",
+]

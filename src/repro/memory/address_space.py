@@ -1,0 +1,58 @@
+"""A flat virtual address space with bump allocation.
+
+Only bookkeeping — data contents live in the functional layer's NumPy
+arrays.  The address space hands out non-overlapping virtual ranges and
+enforces free-before-reuse discipline, which is enough to model the A2
+allocate-per-iteration pattern (each allocation starts life unpopulated).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import AllocationError
+from ..util.validation import check_positive_int
+
+__all__ = ["AddressSpace"]
+
+
+class AddressSpace:
+    """Bump allocator over a virtual range with live-allocation tracking."""
+
+    def __init__(self, capacity_bytes: int = 1 << 48):
+        self.capacity_bytes = check_positive_int(capacity_bytes, "capacity_bytes")
+        self._next_base = 0
+        self._live: Dict[int, int] = {}  # base -> size
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self._live.values())
+
+    def reserve(self, nbytes: int) -> int:
+        """Reserve *nbytes*; returns the base virtual address."""
+        check_positive_int(nbytes, "nbytes")
+        if self._next_base + nbytes > self.capacity_bytes:
+            raise AllocationError(
+                f"virtual address space exhausted: need {nbytes} bytes at "
+                f"base {self._next_base}, capacity {self.capacity_bytes}"
+            )
+        base = self._next_base
+        self._next_base += nbytes
+        self._live[base] = nbytes
+        return base
+
+    def release(self, base: int) -> int:
+        """Release the allocation at *base*; returns its size."""
+        try:
+            return self._live.pop(base)
+        except KeyError:
+            raise AllocationError(
+                f"no live allocation at base {base}"
+            ) from None
+
+    def is_live(self, base: int) -> bool:
+        return base in self._live

@@ -1,0 +1,130 @@
+"""Managed (CUDA-style ``cudaMallocManaged``) allocation handles.
+
+In unified-memory mode the NVHPC compiler replaces ``malloc`` with managed
+allocation (paper §IV.A); a :class:`ManagedAllocation` carries a per-page
+residency vector that the :class:`~repro.memory.unified.UnifiedMemoryManager`
+mutates as the CPU and GPU touch pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PageStateError
+from ..util.validation import check_positive_int
+from .pages import Residency, page_span
+
+__all__ = ["ManagedAllocation"]
+
+
+class ManagedAllocation:
+    """One managed virtual range with page-granular residency.
+
+    Not constructed directly — use
+    :meth:`~repro.memory.unified.UnifiedMemoryManager.allocate`.
+    """
+
+    def __init__(self, base: int, nbytes: int, page_bytes: int, name: str = ""):
+        self.base = base
+        self.nbytes = check_positive_int(nbytes, "nbytes")
+        self.page_bytes = check_positive_int(page_bytes, "page_bytes")
+        self.name = name or f"managed@{base:#x}"
+        self.freed = False
+        n_pages = -(-nbytes // page_bytes)
+        self._residency = np.full(n_pages, Residency.UNPOPULATED, dtype=np.uint8)
+        # Per-page remote-access counter (GH200-style access counters);
+        # consulted by the unified-memory manager's migrate-back policy.
+        self._remote_reads = np.zeros(n_pages, dtype=np.int64)
+
+    # -- basic geometry -----------------------------------------------------
+    @property
+    def n_pages(self) -> int:
+        return int(self._residency.size)
+
+    def _span(self, offset: int, nbytes: int):
+        if offset + nbytes > self.nbytes:
+            raise PageStateError(
+                f"access [{offset}, {offset + nbytes}) outside allocation "
+                f"{self.name} of {self.nbytes} bytes"
+            )
+        return page_span(offset, nbytes, self.page_bytes)
+
+    def _check_live(self) -> None:
+        if self.freed:
+            raise PageStateError(f"use-after-free of allocation {self.name}")
+
+    # -- residency queries ----------------------------------------------------
+    def residency_counts(self, offset: int = 0, nbytes: "int | None" = None):
+        """Pages by residency state over a byte range: (unpopulated, cpu, gpu)."""
+        self._check_live()
+        if nbytes is None:
+            nbytes = self.nbytes - offset
+        first, last = self._span(offset, nbytes)
+        window = self._residency[first:last]
+        return (
+            int(np.count_nonzero(window == Residency.UNPOPULATED)),
+            int(np.count_nonzero(window == Residency.CPU)),
+            int(np.count_nonzero(window == Residency.GPU)),
+        )
+
+    def bytes_resident(self, where: Residency) -> int:
+        """Total bytes currently resident in *where* (page-granular)."""
+        self._check_live()
+        return int(np.count_nonzero(self._residency == where)) * self.page_bytes
+
+    # -- residency transitions -------------------------------------------------
+    def populate(self, where: Residency, offset: int = 0, nbytes: "int | None" = None) -> int:
+        """First-touch pages in a range into *where*; returns pages populated.
+
+        Already-populated pages are left untouched (first touch wins).
+        """
+        self._check_live()
+        if where == Residency.UNPOPULATED:
+            raise PageStateError("cannot populate pages as UNPOPULATED")
+        if nbytes is None:
+            nbytes = self.nbytes - offset
+        first, last = self._span(offset, nbytes)
+        window = self._residency[first:last]
+        mask = window == Residency.UNPOPULATED
+        window[mask] = where
+        return int(np.count_nonzero(mask))
+
+    def move(self, src: Residency, dst: Residency, offset: int, nbytes: int) -> int:
+        """Migrate pages in a byte range from *src* to *dst*; returns pages moved."""
+        self._check_live()
+        first, last = self._span(offset, nbytes)
+        window = self._residency[first:last]
+        mask = window == src
+        window[mask] = dst
+        return int(np.count_nonzero(mask))
+
+    def record_remote_reads(self, offset: int, nbytes: int, threshold: int) -> int:
+        """Bump access counters on GPU-resident pages in a range.
+
+        Pages whose counter reaches *threshold* migrate back to the CPU
+        (counter reset); returns the number of pages moved.  This models
+        the GH200 access-counter-driven migration policy.
+        """
+        self._check_live()
+        check_positive_int(threshold, "threshold")
+        first, last = self._span(offset, nbytes)
+        window = self._residency[first:last]
+        counters = self._remote_reads[first:last]
+        gpu_mask = window == Residency.GPU
+        counters[gpu_mask] += 1
+        hot = gpu_mask & (counters >= threshold)
+        window[hot] = Residency.CPU
+        counters[hot] = 0
+        return int(np.count_nonzero(hot))
+
+    def free(self) -> None:
+        """Mark the allocation dead; further use raises."""
+        self._check_live()
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        un, cpu, gpu = (
+            (0, 0, 0) if self.freed else self.residency_counts()
+        )
+        state = "freed" if self.freed else f"pages un={un} cpu={cpu} gpu={gpu}"
+        return f"ManagedAllocation({self.name}, {self.nbytes} B, {state})"

@@ -1,0 +1,59 @@
+"""Page-migration cost model.
+
+Fault-driven unified-memory migration is driver-mediated: each burst pays a
+fault-handling latency and the pages then stream at the link's (low)
+migration throughput — far below the raw C2C copy rate.  The single
+``migration_gbs`` figure is what depresses the "GPU-only" (p=0) bandwidth
+in Figures 2/4 and creates the paper's A1-vs-A2 contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.spec import LinkSpec
+from ..util.validation import check_positive_int
+
+__all__ = ["MigrationCost", "MigrationEngine"]
+
+#: Driver fault-service latency per migration burst (one fault storm).
+_FAULT_BURST_LATENCY_US = 20.0
+
+
+@dataclass(frozen=True)
+class MigrationCost:
+    """Outcome of a migration request."""
+
+    npages: int
+    nbytes: int
+    seconds: float
+
+
+class MigrationEngine:
+    """Computes migration costs over a :class:`~repro.hardware.spec.LinkSpec`."""
+
+    def __init__(self, link: LinkSpec, page_bytes: int):
+        self.link = link
+        self.page_bytes = check_positive_int(page_bytes, "page_bytes")
+
+    def cost(self, npages: int) -> MigrationCost:
+        """Cost of fault-migrating *npages* pages in one burst."""
+        if npages < 0:
+            raise ValueError(f"npages must be non-negative, got {npages}")
+        if npages == 0:
+            return MigrationCost(0, 0, 0.0)
+        nbytes = npages * self.page_bytes
+        seconds = (
+            _FAULT_BURST_LATENCY_US * 1e-6
+            + nbytes / (self.link.migration_gbs * 1e9)
+        )
+        return MigrationCost(npages=npages, nbytes=nbytes, seconds=seconds)
+
+    def bulk_copy_seconds(self, nbytes: int) -> float:
+        """Explicit (non-fault) DMA copy time — the ``map`` clause path when
+        unified memory is *off*; streams at full link bandwidth."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.link.latency_us * 1e-6 + nbytes / (self.link.bandwidth_gbs * 1e9)

@@ -1,0 +1,42 @@
+"""Page residency primitives."""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from ..util.validation import check_positive_int
+
+__all__ = ["Residency", "page_span"]
+
+
+class Residency(enum.IntEnum):
+    """Where a managed page's backing currently lives.
+
+    ``UNPOPULATED`` pages have no physical backing yet; first touch
+    populates them in the toucher's local memory (the CUDA managed-memory
+    policy the paper relies on: "memory pages are placed on the CPU during
+    initialization").
+    """
+
+    UNPOPULATED = 0
+    CPU = 1
+    GPU = 2
+
+
+def page_span(offset: int, nbytes: int, page_bytes: int) -> Tuple[int, int]:
+    """Half-open page-index range [first, last) covering a byte range.
+
+    Boundary pages are counted whole — migration and residency operate at
+    page granularity.
+    """
+    if offset < 0:
+        raise ValueError(f"offset must be non-negative, got {offset}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    check_positive_int(page_bytes, "page_bytes")
+    if nbytes == 0:
+        return (offset // page_bytes, offset // page_bytes)
+    first = offset // page_bytes
+    last = -(-(offset + nbytes) // page_bytes)
+    return first, last

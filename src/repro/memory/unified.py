@@ -1,0 +1,231 @@
+"""Unified-memory manager: the residency state machine behind §IV.
+
+Access rules modelled after GH200 + CUDA managed memory under NVHPC's
+``-gpu=mem:unified`` (paper §IV.A and the NVHPC user guide):
+
+* **First touch populates locally.**  The input array is initialized on the
+  CPU, so pages start CPU-resident.
+* **GPU access to CPU-resident pages fault-migrates them to HBM** at the
+  (slow) driver migration rate; afterwards the GPU streams them at HBM
+  speed.  Pages stay where they were migrated.
+* **CPU access to GPU-resident pages does not migrate** — the hardware
+  cache-coherent C2C link services the loads remotely at
+  ``link.remote_read_gbs``.  This is why the paper's CPU-only run is
+  1.367x slower with A1 (array previously migrated to the GPU at p=0)
+  than with A2 (array freshly CPU-resident).
+* The ``map`` clause performs no transfer in UM mode (it is only a
+  placement hint), so the manager exposes *plans* with byte/page counts
+  and lets the caller turn them into time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from ..hardware.system import GraceHopperSystem
+from ..sim.trace import MigrationRecord, RemoteAccessRecord, Trace
+from ..util.validation import check_positive_int
+from .address_space import AddressSpace
+from .allocator import ManagedAllocation
+from .migration import MigrationEngine
+from .pages import Residency
+
+__all__ = ["GpuReadPlan", "CpuReadPlan", "UnifiedMemoryManager"]
+
+
+@dataclass(frozen=True)
+class GpuReadPlan:
+    """Cost breakdown of a GPU read over a managed range.
+
+    ``migrated_bytes`` were CPU-resident (or unpopulated) and fault-migrate
+    before/while the kernel streams; ``hbm_bytes`` were already HBM-resident.
+    ``migration_seconds`` is the stall the fault storm adds to the kernel.
+    """
+
+    hbm_bytes: int
+    migrated_bytes: int
+    migration_seconds: float
+
+
+@dataclass(frozen=True)
+class CpuReadPlan:
+    """Cost breakdown of a CPU read over a managed range.
+
+    ``local_bytes`` stream from LPDDR5X; ``remote_bytes`` are HBM-resident
+    and are read coherently over C2C.  When the manager's access-counter
+    policy is enabled, pages read remotely often enough migrate back —
+    ``migrated_back_bytes``/``migration_seconds`` carry that cost (zero
+    with the default policy, which matches the paper's observed behaviour:
+    the A1 CPU-only runs stay slow for all 200 trials).
+    """
+
+    local_bytes: int
+    remote_bytes: int
+    migrated_back_bytes: int = 0
+    migration_seconds: float = 0.0
+
+    def effective_bandwidth_gbs(self, local_gbs: float, remote_gbs: float) -> float:
+        """Harmonic blend of local/remote streaming over this plan's mix."""
+        total = self.local_bytes + self.remote_bytes
+        if total == 0:
+            return local_gbs
+        seconds = self.local_bytes / (local_gbs * 1e9) + self.remote_bytes / (
+            remote_gbs * 1e9
+        )
+        return total / seconds / 1e9
+
+
+class UnifiedMemoryManager:
+    """Allocation + residency + access planning for one GH-style system."""
+
+    def __init__(
+        self,
+        system: GraceHopperSystem,
+        trace: "Trace | None" = None,
+        access_counter_threshold: "int | None" = None,
+    ):
+        """Create a manager for *system*.
+
+        Parameters
+        ----------
+        access_counter_threshold:
+            When set, a GPU-resident page migrates back to LPDDR after
+            this many CPU remote reads (GH200 access-counter policy).
+            ``None`` (default) disables migrate-back, matching the
+            paper's measurements.
+        """
+        self.system = system
+        self.trace = trace
+        self.page_bytes = system.page_bytes
+        self.migration = MigrationEngine(system.link, self.page_bytes)
+        self.access_counter_threshold = access_counter_threshold
+        self._space = AddressSpace()
+        self._live = {}
+
+    # -- allocation lifecycle -------------------------------------------------
+    def allocate(self, nbytes: int, name: str = "") -> ManagedAllocation:
+        """``cudaMallocManaged``-style allocation; pages start unpopulated."""
+        check_positive_int(nbytes, "nbytes")
+        if nbytes > self.system.cpu.memory.capacity_bytes:
+            raise AllocationError(
+                f"allocation of {nbytes} bytes exceeds system memory "
+                f"({self.system.cpu.memory.capacity_bytes} bytes)"
+            )
+        base = self._space.reserve(nbytes)
+        alloc = ManagedAllocation(base, nbytes, self.page_bytes, name)
+        self._live[base] = alloc
+        return alloc
+
+    def free(self, alloc: ManagedAllocation) -> None:
+        """Release the allocation (the A2 pattern frees every iteration)."""
+        self._space.release(alloc.base)
+        del self._live[alloc.base]
+        alloc.free()
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    # -- touches ---------------------------------------------------------------
+    def cpu_first_touch(self, alloc: ManagedAllocation,
+                        offset: int = 0, nbytes: "int | None" = None) -> int:
+        """Initialize a range on the CPU; unpopulated pages land in LPDDR."""
+        return alloc.populate(Residency.CPU, offset, nbytes)
+
+    def gpu_read(
+        self,
+        alloc: ManagedAllocation,
+        offset: int = 0,
+        nbytes: "int | None" = None,
+        now: float = 0.0,
+    ) -> GpuReadPlan:
+        """Plan (and apply) a GPU streaming read of a managed range.
+
+        CPU-resident and unpopulated pages fault-migrate to HBM; the plan
+        carries the stall time.  Residency is updated so repeat reads are
+        HBM-local — the A1 steady state.
+        """
+        if nbytes is None:
+            nbytes = alloc.nbytes - offset
+        if nbytes == 0:
+            return GpuReadPlan(0, 0, 0.0)
+        unpop, cpu_pages, gpu_pages = alloc.residency_counts(offset, nbytes)
+        # Unpopulated pages are first-touched by the GPU: they populate in
+        # HBM directly (no transfer), CPU-resident pages migrate.
+        alloc.populate(Residency.GPU, offset, nbytes)
+        moved = alloc.move(Residency.CPU, Residency.GPU, offset, nbytes)
+        cost = self.migration.cost(moved)
+        if self.trace is not None and moved:
+            self.trace.record_migration(
+                MigrationRecord(
+                    time=now,
+                    src="LPDDR5X",
+                    dst="HBM3",
+                    nbytes=cost.nbytes,
+                    npages=cost.npages,
+                    duration=cost.seconds,
+                    reason="fault",
+                )
+            )
+        hbm_bytes = (gpu_pages + unpop) * self.page_bytes
+        return GpuReadPlan(
+            hbm_bytes=min(hbm_bytes, nbytes),
+            migrated_bytes=cost.nbytes,
+            migration_seconds=cost.seconds,
+        )
+
+    def cpu_read(
+        self,
+        alloc: ManagedAllocation,
+        offset: int = 0,
+        nbytes: "int | None" = None,
+        now: float = 0.0,
+    ) -> CpuReadPlan:
+        """Plan a CPU streaming read; GPU-resident pages are read remotely.
+
+        No residency change: coherent C2C loads do not fault-migrate.
+        Unpopulated pages are first-touched locally.
+        """
+        if nbytes is None:
+            nbytes = alloc.nbytes - offset
+        if nbytes == 0:
+            return CpuReadPlan(0, 0)
+        alloc.populate(Residency.CPU, offset, nbytes)
+        _, cpu_pages, gpu_pages = alloc.residency_counts(offset, nbytes)
+        remote = gpu_pages * self.page_bytes
+        local = max(0, nbytes - remote)
+        migrated_back = 0
+        migration_seconds = 0.0
+        if self.access_counter_threshold is not None and gpu_pages:
+            moved = alloc.record_remote_reads(
+                offset, nbytes, self.access_counter_threshold
+            )
+            if moved:
+                cost = self.migration.cost(moved)
+                migrated_back = cost.nbytes
+                migration_seconds = cost.seconds
+                if self.trace is not None:
+                    self.trace.record_migration(
+                        MigrationRecord(
+                            time=now,
+                            src="HBM3",
+                            dst="LPDDR5X",
+                            nbytes=cost.nbytes,
+                            npages=cost.npages,
+                            duration=cost.seconds,
+                            reason="access-counter",
+                        )
+                    )
+        if self.trace is not None and remote:
+            self.trace.record_remote_access(
+                RemoteAccessRecord(
+                    time=now, accessor="cpu", nbytes=remote, duration=0.0
+                )
+            )
+        return CpuReadPlan(
+            local_bytes=local,
+            remote_bytes=min(remote, nbytes),
+            migrated_back_bytes=migrated_back,
+            migration_seconds=migration_seconds,
+        )

@@ -1,0 +1,66 @@
+"""A small OpenMP 5.x device-offload front end and runtime model.
+
+This package implements the subset of OpenMP the paper's Listings 2-8
+exercise:
+
+* the combined ``target teams distribute parallel for`` worksharing-loop
+  construct with ``num_teams``, ``thread_limit``, ``reduction``, ``map``,
+  ``nowait``, ``device`` and ``schedule`` clauses;
+* host-side ``parallel``, ``master``, ``for simd`` constructs used by the
+  co-execution Listing 7;
+* ``target update to/from`` used by the measurement Listing 6;
+* canonical-loop-form validation, including the NVHPC-specific rejection of
+  the Listing 4 increment form;
+* internal control variables (ICVs) with ``OMP_*`` environment handling;
+* the device runtime's launch-geometry heuristics, including the observed
+  default grid ``M / threads-per-team`` with the ``0xFFFFFF`` cap the paper
+  profiles for case C2.
+"""
+
+from .clauses import (
+    Clause,
+    NumTeams,
+    ThreadLimit,
+    Reduction,
+    Map,
+    MapKind,
+    NoWait,
+    Device,
+    Schedule,
+    Simd,
+)
+from .directives import Directive, DirectiveKind
+from .parser import parse_pragma
+from .canonical import ForLoop, check_canonical, nvhpc_supported
+from .reduction_ops import ReductionOp, get_reduction_op, REDUCTION_OPS
+from .icv import ICVSet
+from .heuristics import default_num_teams, default_thread_limit, DEFAULT_GRID_CAP
+from .runtime import DeviceRuntime, LaunchGeometry
+
+__all__ = [
+    "Clause",
+    "NumTeams",
+    "ThreadLimit",
+    "Reduction",
+    "Map",
+    "MapKind",
+    "NoWait",
+    "Device",
+    "Schedule",
+    "Simd",
+    "Directive",
+    "DirectiveKind",
+    "parse_pragma",
+    "ForLoop",
+    "check_canonical",
+    "nvhpc_supported",
+    "ReductionOp",
+    "get_reduction_op",
+    "REDUCTION_OPS",
+    "ICVSet",
+    "default_num_teams",
+    "default_thread_limit",
+    "DEFAULT_GRID_CAP",
+    "DeviceRuntime",
+    "LaunchGeometry",
+]

@@ -1,0 +1,165 @@
+"""Canonical loop form modelling.
+
+OpenMP worksharing-loop constructs require the associated loop to have
+*canonical loop form* (OpenMP 5.1 §4.4.1): ``var`` initialized to an
+invariant expression, tested against an invariant bound with a relational
+operator, and incremented by a loop-invariant step.
+
+The paper additionally reports an NVHPC-specific behaviour (§III.A): the
+vendor compiler "may fail to build the program because the loop increment
+is not in a supported form" for Listing 4's ``for (i = 0; i < M; i = i + V)``
+with a manually unrolled body, which is why Listing 5 normalizes the loop to
+a unit step (``for (m = 0; m < M/V; m++)`` with ``i = V*m`` in the body).
+:func:`nvhpc_supported` encodes that restriction; :func:`check_canonical`
+implements the standard's broader rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CanonicalLoopError
+from ..util.validation import check_positive_int
+
+__all__ = ["ForLoop", "check_canonical", "nvhpc_supported", "listing4_loop", "listing5_loop"]
+
+_RELATIONAL_OPS = ("<", "<=", ">", ">=", "!=")
+
+#: Increment forms we distinguish, mirroring C source spellings.
+_INCREMENT_FORMS = (
+    "var++",          # unit step, postfix increment (Listing 5)
+    "++var",          # unit step, prefix increment
+    "var += step",    # compound assignment
+    "var = var + step",  # full reassignment (Listing 4 when step > 1)
+    "var--",
+    "var -= step",
+)
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    """A C ``for`` loop abstracted to the attributes OpenMP cares about.
+
+    Parameters
+    ----------
+    var:
+        Loop variable name.
+    trip_count:
+        Number of iterations the loop performs (already normalized; e.g.
+        Listing 5 iterates ``M / V`` times).
+    step:
+        Magnitude of the increment per iteration of the *source* loop
+        (Listing 4 uses ``V``; Listing 5 uses 1).
+    increment_form:
+        One of the source spellings in ``_INCREMENT_FORMS``.
+    elements_per_iteration:
+        How many input elements the body consumes per iteration (the
+        paper's ``V``; 1 for the baseline Listing 2).
+    test_op:
+        Relational operator of the loop test.
+    """
+
+    var: str
+    trip_count: int
+    step: int = 1
+    increment_form: str = "var++"
+    elements_per_iteration: int = 1
+    test_op: str = "<"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.trip_count, "trip_count")
+        check_positive_int(self.step, "step")
+        check_positive_int(self.elements_per_iteration, "elements_per_iteration")
+        if self.increment_form not in _INCREMENT_FORMS:
+            raise CanonicalLoopError(
+                f"unrecognized increment form {self.increment_form!r}; "
+                f"expected one of {_INCREMENT_FORMS}"
+            )
+        if self.test_op not in _RELATIONAL_OPS:
+            raise CanonicalLoopError(
+                f"loop test must use a relational operator, got {self.test_op!r}"
+            )
+        if self.increment_form in ("var++", "++var", "var--") and self.step != 1:
+            raise CanonicalLoopError(
+                f"increment form {self.increment_form!r} implies step 1, "
+                f"got step={self.step}"
+            )
+
+    @property
+    def total_elements(self) -> int:
+        """Input elements consumed across the whole loop."""
+        return self.trip_count * self.elements_per_iteration
+
+    def normalized(self) -> "ForLoop":
+        """The unit-step rewrite of this loop (the Listing 4 → 5 transform).
+
+        The trip count is preserved; the step folds into the body as an
+        index multiplication (``i = V * m``), which is exactly how the
+        paper rewrites the unsupported form.
+        """
+        if self.step == 1 and self.increment_form in ("var++", "++var"):
+            return self
+        return ForLoop(
+            var=self.var,
+            trip_count=self.trip_count,
+            step=1,
+            increment_form="var++",
+            elements_per_iteration=self.elements_per_iteration,
+            test_op=self.test_op,
+        )
+
+
+def check_canonical(loop: ForLoop) -> None:
+    """Validate OpenMP canonical loop form; raise on violation.
+
+    All :class:`ForLoop` instances that construct successfully satisfy the
+    standard's canonical form (invariant bounds/step are implied by the
+    abstraction), so this only rejects the ``!=`` test, which the standard
+    excludes for worksharing loops.
+    """
+    if loop.test_op == "!=":
+        raise CanonicalLoopError(
+            "canonical loop form requires <, <=, > or >= in the loop test"
+        )
+
+
+def nvhpc_supported(loop: ForLoop) -> bool:
+    """Whether the simulated NVHPC front end accepts the loop's increment.
+
+    Returns ``False`` for non-unit-step reassignment forms such as
+    Listing 4's ``i = i + V`` (V > 1) — the behaviour the paper reports —
+    and ``True`` for unit-step loops like Listing 5.
+    """
+    if loop.step == 1:
+        return True
+    return loop.increment_form == "var += step"
+
+
+def listing4_loop(m: int, v: int, var: str = "i") -> ForLoop:
+    """The paper's Listing 4 loop: ``for (i = 0; i < M; i = i + V)``."""
+    check_positive_int(m, "m")
+    check_positive_int(v, "v")
+    if m % v:
+        raise CanonicalLoopError(f"M={m} must be divisible by V={v}")
+    return ForLoop(
+        var=var,
+        trip_count=m // v,
+        step=v,
+        increment_form="var = var + step",
+        elements_per_iteration=v,
+    )
+
+
+def listing5_loop(m: int, v: int, var: str = "m") -> ForLoop:
+    """The paper's Listing 5 rewrite: ``for (m = 0; m < M/V; m++)``."""
+    check_positive_int(m, "m")
+    check_positive_int(v, "v")
+    if m % v:
+        raise CanonicalLoopError(f"M={m} must be divisible by V={v}")
+    return ForLoop(
+        var=var,
+        trip_count=m // v,
+        step=1,
+        increment_form="var++",
+        elements_per_iteration=v,
+    )

@@ -1,0 +1,232 @@
+"""Clause model for the supported OpenMP directive subset.
+
+Each clause is a frozen dataclass.  Clause *values* are kept symbolic where
+the listings use expressions (e.g. ``num_teams(teams/V)``): the parser
+stores the expression text, and :meth:`Clause.resolve`-style evaluation
+happens at lowering time against a binding environment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from ..errors import ClauseError
+
+__all__ = [
+    "Clause",
+    "IntExpr",
+    "NumTeams",
+    "ThreadLimit",
+    "Reduction",
+    "MapKind",
+    "Map",
+    "NoWait",
+    "Device",
+    "Schedule",
+    "Simd",
+]
+
+
+@dataclass(frozen=True)
+class IntExpr:
+    """An integer-valued clause argument, possibly symbolic.
+
+    Supports the expression forms that appear in the paper's listings:
+    integer literals, identifiers, and single binary ``/`` or ``*``
+    between two atoms (e.g. ``teams/V``).
+    """
+
+    text: str
+
+    def evaluate(self, env: Optional[Mapping[str, int]] = None) -> int:
+        """Evaluate against *env*; raises :class:`ClauseError` if unbound."""
+        env = env or {}
+        value = _eval_int_expr(self.text, env)
+        if value <= 0:
+            raise ClauseError(
+                f"clause argument {self.text!r} evaluated to non-positive {value}"
+            )
+        return value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+def _eval_atom(token: str, env: Mapping[str, int]) -> int:
+    token = token.strip()
+    if not token:
+        raise ClauseError("empty expression atom")
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    if token in env:
+        return int(env[token])
+    raise ClauseError(f"unbound identifier {token!r} in clause expression")
+
+
+def _eval_int_expr(text: str, env: Mapping[str, int]) -> int:
+    """Evaluate ``atom``, ``atom/atom`` or ``atom*atom`` (left-assoc chain)."""
+    # Tokenize into atoms separated by / and * operators.
+    out = None
+    op = None
+    atom = ""
+    for ch in text + "\0":
+        if ch in "/*\0":
+            value = _eval_atom(atom, env)
+            if out is None:
+                out = value
+            elif op == "/":
+                if value == 0:
+                    raise ClauseError(f"division by zero in {text!r}")
+                out //= value
+            else:
+                out *= value
+            op = ch
+            atom = ""
+        else:
+            atom += ch
+    assert out is not None
+    return out
+
+
+@dataclass(frozen=True)
+class Clause:
+    """Base class for all clauses."""
+
+    #: Clause keyword as written in source (overridden per subclass).
+    keyword = "clause"
+
+    def render(self) -> str:
+        """Source form of the clause."""
+        return self.keyword
+
+
+@dataclass(frozen=True)
+class NumTeams(Clause):
+    """``num_teams(expr)`` — upper bound on the number of teams.
+
+    Per OpenMP 5.1 the runtime creates at most this many teams; the NVHPC
+    runtime the paper profiles creates exactly this many (grid size matches
+    the clause), which is how :class:`~repro.openmp.runtime.DeviceRuntime`
+    behaves.
+    """
+
+    value: IntExpr
+    keyword = "num_teams"
+
+    def render(self) -> str:
+        return f"num_teams({self.value})"
+
+
+@dataclass(frozen=True)
+class ThreadLimit(Clause):
+    """``thread_limit(expr)`` — cap on threads per contention group."""
+
+    value: IntExpr
+    keyword = "thread_limit"
+
+    def render(self) -> str:
+        return f"thread_limit({self.value})"
+
+
+@dataclass(frozen=True)
+class Reduction(Clause):
+    """``reduction(op: list-items)``.
+
+    ``identifier`` is the reduction-identifier (an operator such as ``+``)
+    and ``items`` the reduction list items (variable names).
+    """
+
+    identifier: str
+    items: Tuple[str, ...]
+    keyword = "reduction"
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ClauseError("reduction clause requires at least one list item")
+
+    def render(self) -> str:
+        return f"reduction({self.identifier}:{','.join(self.items)})"
+
+
+class MapKind(enum.Enum):
+    """Map-type of a ``map`` clause."""
+
+    TO = "to"
+    FROM = "from"
+    TOFROM = "tofrom"
+    ALLOC = "alloc"
+    RELEASE = "release"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Map(Clause):
+    """``map(kind: var[lb:len])`` data-mapping clause.
+
+    In unified-memory mode the map clause performs no allocation or copy;
+    the runtime treats it as a placement hint (paper §IV.A), which
+    :mod:`repro.memory.unified` models.
+    """
+
+    kind: MapKind
+    var: str
+    section: Optional[Tuple[str, str]] = None  # (lower-bound, length) exprs
+    keyword = "map"
+
+    def render(self) -> str:
+        sec = f"[{self.section[0]}:{self.section[1]}]" if self.section else ""
+        return f"map({self.kind.value}: {self.var}{sec})"
+
+
+@dataclass(frozen=True)
+class NoWait(Clause):
+    """``nowait`` — the encountering thread does not wait for the region."""
+
+    keyword = "nowait"
+
+
+@dataclass(frozen=True)
+class Device(Clause):
+    """``device(n)`` — target device number."""
+
+    number: int = 0
+    keyword = "device"
+
+    def render(self) -> str:
+        return f"device({self.number})"
+
+
+@dataclass(frozen=True)
+class Schedule(Clause):
+    """``schedule(kind[, chunk])`` for worksharing loops."""
+
+    kind: str = "static"
+    chunk: Optional[int] = None
+    keyword = "schedule"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("static", "dynamic", "guided", "auto", "runtime"):
+            raise ClauseError(f"unknown schedule kind {self.kind!r}")
+        if self.chunk is not None and self.chunk <= 0:
+            raise ClauseError("schedule chunk must be positive")
+
+    def render(self) -> str:
+        if self.chunk is None:
+            return f"schedule({self.kind})"
+        return f"schedule({self.kind},{self.chunk})"
+
+
+@dataclass(frozen=True)
+class Simd(Clause):
+    """Marker recording the ``simd`` directive-name modifier on host loops.
+
+    The NVHPC user guide (paper §IV.A) notes ``simd`` may provide tuning
+    hints for CPU targets and is ignored for GPU targets; the host executor
+    honours it, the device lowering drops it.
+    """
+
+    keyword = "simd"

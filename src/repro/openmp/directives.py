@@ -1,0 +1,154 @@
+"""Directive AST for the supported OpenMP subset.
+
+A :class:`Directive` couples a :class:`DirectiveKind` (possibly a *combined*
+construct such as ``target teams distribute parallel for``) with its clause
+list, and validates clause applicability the way a conforming front end
+must (e.g. ``num_teams`` is only valid where a ``teams`` construct
+participates; ``nowait`` requires ``target``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple, Type
+
+from ..errors import ClauseError
+from .clauses import (
+    Clause,
+    Device,
+    Map,
+    NoWait,
+    NumTeams,
+    Reduction,
+    Schedule,
+    Simd,
+    ThreadLimit,
+)
+
+__all__ = ["DirectiveKind", "Directive"]
+
+
+class DirectiveKind(enum.Enum):
+    """The directives (including combined constructs) the library models."""
+
+    TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR = "target teams distribute parallel for"
+    TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_SIMD = (
+        "target teams distribute parallel for simd"
+    )
+    TARGET_UPDATE = "target update"
+    TARGET_ENTER_DATA = "target enter data"
+    TARGET_EXIT_DATA = "target exit data"
+    PARALLEL = "parallel"
+    PARALLEL_FOR = "parallel for"
+    FOR = "for"
+    FOR_SIMD = "for simd"
+    MASTER = "master"
+    SIMD = "simd"
+
+    @property
+    def is_offload(self) -> bool:
+        """True when the construct executes on (or manages) a target device."""
+        return self.value.startswith("target")
+
+    @property
+    def has_teams(self) -> bool:
+        return "teams" in self.value.split()
+
+    @property
+    def has_worksharing_loop(self) -> bool:
+        return "for" in self.value.split() or "distribute" in self.value.split()
+
+    @property
+    def has_simd(self) -> bool:
+        return "simd" in self.value.split()
+
+
+#: Clause types admitted per directive kind.
+_ALLOWED: "dict[DirectiveKind, Tuple[Type[Clause], ...]]" = {
+    DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR: (
+        NumTeams, ThreadLimit, Reduction, Map, NoWait, Device, Schedule,
+    ),
+    DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_SIMD: (
+        NumTeams, ThreadLimit, Reduction, Map, NoWait, Device, Schedule,
+    ),
+    DirectiveKind.TARGET_UPDATE: (Map, Device, NoWait),
+    DirectiveKind.TARGET_ENTER_DATA: (Map, Device, NoWait),
+    DirectiveKind.TARGET_EXIT_DATA: (Map, Device, NoWait),
+    DirectiveKind.PARALLEL: (Reduction,),
+    DirectiveKind.PARALLEL_FOR: (Reduction, Schedule),
+    DirectiveKind.FOR: (Reduction, Schedule, NoWait),
+    DirectiveKind.FOR_SIMD: (Reduction, Schedule, NoWait),
+    DirectiveKind.MASTER: (),
+    DirectiveKind.SIMD: (Reduction,),
+}
+
+#: Clause types that may appear at most once on a directive.
+_UNIQUE = (NumTeams, ThreadLimit, Device, Schedule)
+
+
+@dataclass(frozen=True)
+class Directive:
+    """A parsed OpenMP directive with validated clauses."""
+
+    kind: DirectiveKind
+    clauses: Tuple[Clause, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        allowed = _ALLOWED[self.kind]
+        seen: "set[type]" = set()
+        for clause in self.clauses:
+            if not isinstance(clause, allowed):
+                raise ClauseError(
+                    f"clause {clause.keyword!r} is not valid on "
+                    f"'#pragma omp {self.kind.value}'"
+                )
+            ctype = type(clause)
+            if ctype in _UNIQUE and ctype in seen:
+                raise ClauseError(
+                    f"clause {clause.keyword!r} may appear at most once on "
+                    f"'#pragma omp {self.kind.value}'"
+                )
+            seen.add(ctype)
+        if self.kind is DirectiveKind.TARGET_UPDATE:
+            if not any(isinstance(c, Map) for c in self.clauses):
+                raise ClauseError(
+                    "'target update' requires at least one motion clause"
+                )
+
+    # -- clause accessors -------------------------------------------------
+    def first(self, clause_type: Type[Clause]):
+        """The first clause of *clause_type*, or ``None``."""
+        for clause in self.clauses:
+            if isinstance(clause, clause_type):
+                return clause
+        return None
+
+    def all(self, clause_type: Type[Clause]) -> Tuple[Clause, ...]:
+        """All clauses of *clause_type*, in source order."""
+        return tuple(c for c in self.clauses if isinstance(c, clause_type))
+
+    @property
+    def num_teams(self):
+        return self.first(NumTeams)
+
+    @property
+    def thread_limit(self):
+        return self.first(ThreadLimit)
+
+    @property
+    def reduction(self):
+        return self.first(Reduction)
+
+    @property
+    def nowait(self) -> bool:
+        return self.first(NoWait) is not None
+
+    def render(self) -> str:
+        """Reconstruct the pragma source line."""
+        parts = [f"#pragma omp {self.kind.value}"]
+        parts.extend(c.render() for c in self.clauses)
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

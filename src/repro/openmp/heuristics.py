@@ -1,0 +1,56 @@
+"""Launch-geometry heuristics of the modelled device runtime.
+
+These encode exactly what the paper *profiles* on the NVHPC runtime
+(§III.C):
+
+* when ``num_teams`` is absent, "the OpenMP runtime selects a grid size
+  that is equal to the number of input values divided by the number of
+  threads in a team" for C1/C3/C4;
+* but "the grid size is 16777215 (0xFFFFFF) for C2, which is less than the
+  number of input values divided by the number of threads in a team" — a
+  hard grid cap the heuristic applies;
+* "the number of threads in a team is 128 in any case" when no
+  ``thread_limit`` is given.
+
+The paper's Table 1 demonstrates these defaults leave 85-96% of memory
+bandwidth on the table, which is the motivation for the optimized
+configurations — so reproducing the heuristic faithfully matters.
+"""
+
+from __future__ import annotations
+
+from ..util.validation import check_positive_int
+
+__all__ = [
+    "DEFAULT_THREADS_PER_TEAM",
+    "DEFAULT_GRID_CAP",
+    "default_num_teams",
+    "default_thread_limit",
+]
+
+#: Threads per team the runtime picks when ``thread_limit`` is absent.
+DEFAULT_THREADS_PER_TEAM = 128
+
+#: Hard cap on the default grid size (the 0xFFFFFF ceiling the paper
+#: observes for case C2's 4-billion-element loop).
+DEFAULT_GRID_CAP = 0xFFFFFF  # 16_777_215
+
+
+def default_thread_limit(requested: "int | None" = None) -> int:
+    """Threads per team: the request if given, else the 128 default."""
+    if requested is None:
+        return DEFAULT_THREADS_PER_TEAM
+    return check_positive_int(requested, "thread_limit")
+
+
+def default_num_teams(trip_count: int, threads_per_team: int) -> int:
+    """Default grid size for a worksharing loop of *trip_count* iterations.
+
+    ``min(ceil(trip_count / threads_per_team), 0xFFFFFF)`` — one thread per
+    iteration up to the runtime's grid ceiling, matching the profiled
+    behaviour for all four paper cases.
+    """
+    check_positive_int(trip_count, "trip_count")
+    check_positive_int(threads_per_team, "threads_per_team")
+    grid = -(-trip_count // threads_per_team)
+    return min(grid, DEFAULT_GRID_CAP)

@@ -1,0 +1,71 @@
+"""Internal control variables (ICVs) and ``OMP_*`` environment handling.
+
+Only the ICVs that influence target-region launch geometry are modelled:
+``nteams-var`` (``OMP_NUM_TEAMS``), ``teams-thread-limit-var``
+(``OMP_TEAMS_THREAD_LIMIT``), ``thread-limit-var`` (``OMP_THREAD_LIMIT``)
+and ``default-device-var`` (``OMP_DEFAULT_DEVICE``).  Values requested by a
+user "through directives or environment variables" are processed and
+checked by the runtime (paper §III.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+from ..errors import OpenMPError
+
+__all__ = ["ICVSet"]
+
+_ENV_KEYS = {
+    "OMP_NUM_TEAMS": "num_teams",
+    "OMP_TEAMS_THREAD_LIMIT": "teams_thread_limit",
+    "OMP_THREAD_LIMIT": "thread_limit",
+    "OMP_DEFAULT_DEVICE": "default_device",
+}
+
+
+@dataclass(frozen=True)
+class ICVSet:
+    """A device's launch-relevant ICV values (``None`` = implementation default)."""
+
+    num_teams: Optional[int] = None
+    teams_thread_limit: Optional[int] = None
+    thread_limit: Optional[int] = None
+    default_device: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("num_teams", "teams_thread_limit", "thread_limit"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise OpenMPError(f"ICV {name} must be positive, got {value}")
+        if self.default_device < 0:
+            raise OpenMPError(
+                f"default_device must be non-negative, got {self.default_device}"
+            )
+
+    @classmethod
+    def from_environment(cls, env: Mapping[str, str]) -> "ICVSet":
+        """Build an ICV set from an ``OMP_*`` environment mapping.
+
+        Unknown ``OMP_`` keys are ignored (a conforming runtime may
+        support extensions); malformed values raise :class:`OpenMPError`
+        as the runtime "will process and check any values requested".
+        """
+        kwargs = {}
+        for env_key, field in _ENV_KEYS.items():
+            if env_key not in env:
+                continue
+            raw = env[env_key].strip()
+            try:
+                value = int(raw, 0)
+            except ValueError as exc:
+                raise OpenMPError(
+                    f"environment variable {env_key}={raw!r} is not an integer"
+                ) from exc
+            kwargs[field] = value
+        return cls(**kwargs)
+
+    def override(self, **kwargs) -> "ICVSet":
+        """Copy with the given fields replaced (directive-level overrides)."""
+        return replace(self, **kwargs)

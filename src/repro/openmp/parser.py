@@ -1,0 +1,216 @@
+"""Parser for ``#pragma omp`` source lines.
+
+The parser accepts exactly the directive/clause subset in
+:mod:`repro.openmp.directives`, including all the pragma forms that appear
+in the paper's Listings 2-8 (line continuations with ``\\`` included).
+
+>>> d = parse_pragma(
+...     "#pragma omp target teams distribute parallel for "
+...     "num_teams(teams/V) thread_limit(threads) reduction(+:sum)")
+>>> d.kind.value
+'target teams distribute parallel for'
+>>> d.num_teams.value.text
+'teams/V'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import DirectiveSyntaxError
+from .clauses import (
+    Device,
+    IntExpr,
+    Map,
+    MapKind,
+    NoWait,
+    NumTeams,
+    Reduction,
+    Schedule,
+    ThreadLimit,
+)
+from .directives import Directive, DirectiveKind
+
+__all__ = ["parse_pragma"]
+
+# Directive names sorted longest-first so the combined constructs win.
+_KINDS_BY_LENGTH = sorted(
+    DirectiveKind, key=lambda k: len(k.value.split()), reverse=True
+)
+
+_REDUCTION_IDENTIFIERS = ("+", "*", "-", "&&", "||", "&", "|", "^", "max", "min")
+
+
+def _normalize(text: str) -> str:
+    """Join continuation lines and collapse whitespace."""
+    text = text.replace("\\\n", " ").replace("\\", " ")
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def _split_clause_tokens(rest: str, pragma: str) -> List[str]:
+    """Split the clause region into ``keyword`` / ``keyword(...)`` tokens."""
+    tokens: List[str] = []
+    i, n = 0, len(rest)
+    while i < n:
+        if rest[i].isspace() or rest[i] == ",":
+            i += 1
+            continue
+        start = i
+        while i < n and (rest[i].isalnum() or rest[i] == "_"):
+            i += 1
+        if i == start:
+            raise DirectiveSyntaxError(
+                f"unexpected character {rest[i]!r} in clause list",
+                pragma=pragma,
+                position=i,
+            )
+        keyword_end = i
+        while i < n and rest[i].isspace():
+            i += 1
+        if i < n and rest[i] == "(":
+            depth = 0
+            arg_start = i
+            while i < n:
+                if rest[i] == "(":
+                    depth += 1
+                elif rest[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        i += 1
+                        break
+                i += 1
+            if depth != 0:
+                raise DirectiveSyntaxError(
+                    "unbalanced parentheses in clause",
+                    pragma=pragma,
+                    position=arg_start,
+                )
+            tokens.append(rest[start:keyword_end] + rest[arg_start:i])
+        else:
+            tokens.append(rest[start:keyword_end])
+    return tokens
+
+
+def _clause_parts(token: str) -> Tuple[str, Optional[str]]:
+    """Split ``keyword(arg)`` into (keyword, arg) — arg ``None`` if absent."""
+    if "(" not in token:
+        return token, None
+    keyword, _, rest = token.partition("(")
+    return keyword.strip(), rest[:-1].strip()  # strip trailing ')'
+
+
+def _parse_section(expr: str) -> Tuple[str, Optional[Tuple[str, str]]]:
+    """Parse ``var`` or ``var[lb:len]`` into (var, section)."""
+    match = re.fullmatch(r"\s*([A-Za-z_]\w*)\s*(\[([^:\]]*):([^\]]*)\])?\s*", expr)
+    if not match:
+        raise DirectiveSyntaxError(f"malformed map list item {expr!r}")
+    var = match.group(1)
+    if match.group(2) is None:
+        return var, None
+    return var, (match.group(3).strip(), match.group(4).strip())
+
+
+def _parse_clause(keyword: str, arg: Optional[str], pragma: str):
+    if keyword == "num_teams":
+        if not arg:
+            raise DirectiveSyntaxError("num_teams requires an argument", pragma)
+        return NumTeams(IntExpr(arg))
+    if keyword == "thread_limit":
+        if not arg:
+            raise DirectiveSyntaxError("thread_limit requires an argument", pragma)
+        return ThreadLimit(IntExpr(arg))
+    if keyword == "reduction":
+        if not arg or ":" not in arg:
+            raise DirectiveSyntaxError(
+                "reduction requires 'identifier : list'", pragma
+            )
+        ident, _, items = arg.partition(":")
+        ident = ident.strip()
+        if ident not in _REDUCTION_IDENTIFIERS:
+            raise DirectiveSyntaxError(
+                f"unknown reduction-identifier {ident!r}", pragma
+            )
+        names = tuple(s.strip() for s in items.split(",") if s.strip())
+        return Reduction(ident, names)
+    if keyword == "map":
+        if not arg:
+            raise DirectiveSyntaxError("map requires an argument", pragma)
+        if ":" in arg and arg.split(":", 1)[0].strip() in MapKind._value2member_map_:
+            kind_text, _, item = arg.partition(":")
+            kind = MapKind(kind_text.strip())
+        else:
+            kind, item = MapKind.TOFROM, arg
+        var, section = _parse_section(item)
+        return Map(kind, var, section)
+    if keyword in ("to", "from"):  # target update motion clauses
+        if not arg:
+            raise DirectiveSyntaxError(f"{keyword} requires an argument", pragma)
+        var, section = _parse_section(arg)
+        return Map(MapKind(keyword), var, section)
+    if keyword == "nowait":
+        if arg is not None:
+            raise DirectiveSyntaxError("nowait takes no argument", pragma)
+        return NoWait()
+    if keyword == "device":
+        if not arg:
+            raise DirectiveSyntaxError("device requires an argument", pragma)
+        try:
+            return Device(int(arg, 0))
+        except ValueError as exc:
+            raise DirectiveSyntaxError(
+                f"device argument must be an integer, got {arg!r}", pragma
+            ) from exc
+    if keyword == "schedule":
+        if not arg:
+            raise DirectiveSyntaxError("schedule requires an argument", pragma)
+        kind, _, chunk = arg.partition(",")
+        chunk_val = None
+        if chunk.strip():
+            try:
+                chunk_val = int(chunk.strip(), 0)
+            except ValueError as exc:
+                raise DirectiveSyntaxError(
+                    f"schedule chunk must be an integer, got {chunk!r}", pragma
+                ) from exc
+        return Schedule(kind.strip(), chunk_val)
+    raise DirectiveSyntaxError(f"unknown clause {keyword!r}", pragma)
+
+
+def parse_pragma(text: str) -> Directive:
+    """Parse one ``#pragma omp`` line (continuations allowed) to a Directive.
+
+    Raises
+    ------
+    DirectiveSyntaxError
+        On any malformed pragma, unknown directive, or unknown clause.
+    ClauseError
+        When clauses are syntactically valid but not applicable to the
+        directive (raised by :class:`~repro.openmp.directives.Directive`).
+    """
+    pragma = _normalize(text)
+    match = re.match(r"#\s*pragma\s+omp\b\s*", pragma)
+    if not match:
+        raise DirectiveSyntaxError(
+            "pragma must start with '#pragma omp'", pragma=pragma, position=0
+        )
+    body = pragma[match.end():]
+    for kind in _KINDS_BY_LENGTH:
+        name = kind.value
+        if body == name or body.startswith(name + " ") or (
+            body.startswith(name) and body[len(name):].lstrip().startswith(
+                ("num_teams", "thread_limit", "reduction", "map", "nowait",
+                 "device", "schedule", "to(", "from(")
+            )
+        ):
+            rest = body[len(name):]
+            tokens = _split_clause_tokens(rest, pragma)
+            clauses = tuple(
+                _parse_clause(*_clause_parts(tok), pragma=pragma) for tok in tokens
+            )
+            return Directive(kind, clauses)
+    raise DirectiveSyntaxError(
+        f"unknown or unsupported directive in {pragma!r}",
+        pragma=pragma,
+        position=match.end(),
+    )

@@ -1,0 +1,202 @@
+"""Reduction-identifier registry (OpenMP 5.1 §5.5.5 implicit identifiers).
+
+Every identifier couples the C operator spelling with its identity value
+and a NumPy combiner.  The paper only exercises ``+``, but the runtime
+implements the full implicit set so the library is usable as a general
+offload-reduction layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..dtypes import ScalarType, scalar_type
+from ..errors import UnsupportedReductionError
+
+__all__ = ["ReductionOp", "REDUCTION_OPS", "get_reduction_op"]
+
+
+@dataclass(frozen=True)
+class ReductionOp:
+    """One reduction-identifier.
+
+    Parameters
+    ----------
+    identifier:
+        Source spelling (``"+"``, ``"max"``, ...).
+    identity_for:
+        Callable mapping a result :class:`~repro.dtypes.ScalarType` to the
+        initializer value for private copies.
+    reduce_array:
+        Vectorized whole-array reduction (used by the functional
+        executors) — must accept ``(array, dtype)`` and return a scalar of
+        ``dtype``.
+    combine:
+        Binary combiner applied to two partial results.
+    integer_only:
+        Bitwise/logical identifiers are restricted to integer types.
+    commutative:
+        All implicit OpenMP identifiers are associative; subtraction is
+        special-cased per the 5.1 spec (combines with ``+``).
+    """
+
+    identifier: str
+    identity_for: Callable[[ScalarType], object]
+    reduce_array: Callable[[np.ndarray, np.dtype], object]
+    combine: Callable[[object, object], object]
+    integer_only: bool = False
+    commutative: bool = True
+
+
+def _sum_reduce(array: np.ndarray, dtype: np.dtype):
+    return array.sum(dtype=dtype)
+
+
+def _prod_reduce(array: np.ndarray, dtype: np.dtype):
+    return np.multiply.reduce(array.astype(dtype, copy=False))
+
+
+def _max_reduce(array: np.ndarray, dtype: np.dtype):
+    return dtype.type(array.max()) if array.size else _max_identity(scalar_type(dtype))
+
+
+def _min_reduce(array: np.ndarray, dtype: np.dtype):
+    return dtype.type(array.min()) if array.size else _min_identity(scalar_type(dtype))
+
+
+def _max_identity(st: ScalarType):
+    if st.is_integer:
+        return np.iinfo(st.numpy).min
+    return st.numpy.type(-np.inf)
+
+
+def _min_identity(st: ScalarType):
+    if st.is_integer:
+        return np.iinfo(st.numpy).max
+    return st.numpy.type(np.inf)
+
+
+def _band_reduce(array: np.ndarray, dtype: np.dtype):
+    return np.bitwise_and.reduce(array.astype(dtype, copy=False))
+
+
+def _bor_reduce(array: np.ndarray, dtype: np.dtype):
+    return np.bitwise_or.reduce(array.astype(dtype, copy=False))
+
+
+def _bxor_reduce(array: np.ndarray, dtype: np.dtype):
+    return np.bitwise_xor.reduce(array.astype(dtype, copy=False))
+
+
+def _land_reduce(array: np.ndarray, dtype: np.dtype):
+    return dtype.type(bool(np.all(array != 0)))
+
+
+def _lor_reduce(array: np.ndarray, dtype: np.dtype):
+    return dtype.type(bool(np.any(array != 0)))
+
+
+def _wrapping_add(a, b):
+    # NumPy integer scalars wrap modulo 2**bits like the C types on the
+    # evaluated hardware; suppress the overflow warning NumPy >= 2 emits.
+    with np.errstate(over="ignore"):
+        return a + b
+
+
+REDUCTION_OPS: Dict[str, ReductionOp] = {
+    "+": ReductionOp(
+        "+",
+        identity_for=lambda st: st.zero(),
+        reduce_array=_sum_reduce,
+        combine=_wrapping_add,
+    ),
+    "-": ReductionOp(
+        # Per OpenMP 5.1 the '-' identifier combines with + (deprecated
+        # subtle semantics retained for completeness).
+        "-",
+        identity_for=lambda st: st.zero(),
+        reduce_array=_sum_reduce,
+        combine=_wrapping_add,
+    ),
+    "*": ReductionOp(
+        "*",
+        identity_for=lambda st: st.numpy.type(1),
+        reduce_array=_prod_reduce,
+        combine=lambda a, b: a * b,
+    ),
+    "max": ReductionOp(
+        "max",
+        identity_for=_max_identity,
+        reduce_array=_max_reduce,
+        combine=lambda a, b: max(a, b),
+    ),
+    "min": ReductionOp(
+        "min",
+        identity_for=_min_identity,
+        reduce_array=_min_reduce,
+        combine=lambda a, b: min(a, b),
+    ),
+    "&": ReductionOp(
+        "&",
+        identity_for=lambda st: st.numpy.type(-1),
+        reduce_array=_band_reduce,
+        combine=lambda a, b: a & b,
+        integer_only=True,
+    ),
+    "|": ReductionOp(
+        "|",
+        identity_for=lambda st: st.zero(),
+        reduce_array=_bor_reduce,
+        combine=lambda a, b: a | b,
+        integer_only=True,
+    ),
+    "^": ReductionOp(
+        "^",
+        identity_for=lambda st: st.zero(),
+        reduce_array=_bxor_reduce,
+        combine=lambda a, b: a ^ b,
+        integer_only=True,
+    ),
+    "&&": ReductionOp(
+        "&&",
+        identity_for=lambda st: st.numpy.type(1),
+        reduce_array=_land_reduce,
+        combine=lambda a, b: type(a)(bool(a) and bool(b)),
+        integer_only=True,
+    ),
+    "||": ReductionOp(
+        "||",
+        identity_for=lambda st: st.zero(),
+        reduce_array=_lor_reduce,
+        combine=lambda a, b: type(a)(bool(a) or bool(b)),
+        integer_only=True,
+    ),
+}
+
+
+def get_reduction_op(identifier: str, result_type=None) -> ReductionOp:
+    """Look up a reduction-identifier; optionally validate the result type.
+
+    Raises
+    ------
+    UnsupportedReductionError
+        For unknown identifiers or integer-only identifiers applied to
+        floating types.
+    """
+    try:
+        op = REDUCTION_OPS[identifier]
+    except KeyError:
+        raise UnsupportedReductionError(
+            f"unknown reduction-identifier {identifier!r}"
+        ) from None
+    if result_type is not None and op.integer_only:
+        st = scalar_type(result_type)
+        if not st.is_integer:
+            raise UnsupportedReductionError(
+                f"reduction-identifier {identifier!r} requires an integer "
+                f"type, got {st.name}"
+            )
+    return op

@@ -1,0 +1,124 @@
+"""Device-runtime launch decisions.
+
+:class:`DeviceRuntime` resolves a ``target teams distribute parallel for``
+directive plus its associated canonical loop into a concrete
+:class:`LaunchGeometry`, applying — in priority order — directive clauses,
+ICVs (environment), then the implementation-default heuristics of
+:mod:`repro.openmp.heuristics`.  The paper verifies by profiling that "the
+grid sizes of the GPU reduction kernels match the team sizes specified by
+the num_teams clause"; tests assert the same through the launch trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..errors import LaunchError
+from ..hardware.spec import GpuSpec
+from ..util.validation import check_positive_int
+from .canonical import ForLoop
+from .directives import Directive, DirectiveKind
+from .heuristics import default_num_teams, default_thread_limit
+from .icv import ICVSet
+
+__all__ = ["LaunchGeometry", "DeviceRuntime"]
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Resolved kernel launch geometry.
+
+    ``grid`` is the number of teams (CUDA blocks), ``block`` the number of
+    threads per team; ``from_clause`` records whether ``grid`` came from an
+    explicit ``num_teams`` clause (used by the profiling benchmarks).
+    """
+
+    grid: int
+    block: int
+    from_clause: bool
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.grid, "grid")
+        check_positive_int(self.block, "block")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid * self.block
+
+
+class DeviceRuntime:
+    """Launch-geometry resolution for one target device.
+
+    Parameters
+    ----------
+    gpu:
+        The device the runtime drives; used to clamp thread counts.
+    icvs:
+        Initial ICV values (e.g. parsed from ``OMP_*`` variables).
+    """
+
+    def __init__(self, gpu: GpuSpec, icvs: Optional[ICVSet] = None):
+        self.gpu = gpu
+        self.icvs = icvs or ICVSet()
+
+    def resolve_launch(
+        self,
+        directive: Directive,
+        loop: ForLoop,
+        env: Optional[Mapping[str, int]] = None,
+    ) -> LaunchGeometry:
+        """Resolve *directive* applied to *loop* into a launch geometry.
+
+        Parameters
+        ----------
+        env:
+            Binding environment for symbolic clause expressions such as
+            ``num_teams(teams/V)``.
+
+        Raises
+        ------
+        LaunchError
+            If the directive is not an offloadable worksharing construct
+            or the resolved geometry exceeds device limits.
+        """
+        if not (directive.kind.is_offload and directive.kind.has_teams):
+            raise LaunchError(
+                f"'#pragma omp {directive.kind.value}' is not a target teams "
+                "worksharing construct"
+            )
+
+        block = self._resolve_block(directive, env)
+        grid, from_clause = self._resolve_grid(directive, loop, block, env)
+
+        if block > self.gpu.max_threads_per_block:
+            raise LaunchError(
+                f"thread_limit {block} exceeds device maximum "
+                f"{self.gpu.max_threads_per_block}"
+            )
+        if block % self.gpu.warp_size:
+            # Real runtimes round the contention-group size up to whole
+            # warps; model the same so the occupancy math stays exact.
+            block = -(-block // self.gpu.warp_size) * self.gpu.warp_size
+        return LaunchGeometry(grid=grid, block=block, from_clause=from_clause)
+
+    # -- internals ---------------------------------------------------------
+    def _resolve_block(self, directive: Directive, env) -> int:
+        clause = directive.thread_limit
+        if clause is not None:
+            return clause.value.evaluate(env)
+        if self.icvs.teams_thread_limit is not None:
+            return min(
+                self.icvs.teams_thread_limit, self.gpu.max_threads_per_block
+            )
+        if self.icvs.thread_limit is not None:
+            return min(self.icvs.thread_limit, self.gpu.max_threads_per_block)
+        return default_thread_limit(None)
+
+    def _resolve_grid(self, directive, loop: ForLoop, block: int, env):
+        clause = directive.num_teams
+        if clause is not None:
+            return clause.value.evaluate(env), True
+        if self.icvs.num_teams is not None:
+            return self.icvs.num_teams, False
+        return default_num_teams(loop.trip_count, block), False

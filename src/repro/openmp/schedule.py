@@ -1,0 +1,122 @@
+"""Worksharing-loop schedules (OpenMP 5.1 §2.11.4).
+
+Listing 7's host loop is a worksharing ``for simd``; its iterations are
+divided among the team's threads according to the schedule clause.  These
+functions compute the exact chunk assignments:
+
+* ``static`` without a chunk: one contiguous block per thread, sizes as
+  equal as possible (this is what the paper's loop uses);
+* ``static, chunk``: round-robin chunks of the given size;
+* ``dynamic, chunk``: first-come-first-served chunks — modelled
+  deterministically as round-robin grab order (all our loop bodies are
+  uniform, so grab order equals round-robin);
+* ``guided, chunk``: exponentially decreasing chunks,
+  ``ceil(remaining / nthreads)`` floored at the minimum chunk size.
+
+All return per-thread lists of ``(start, length)`` iterations; the
+functional executors and the contention model consume them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import OpenMPError
+from ..util.validation import check_positive_int
+
+__all__ = [
+    "ChunkList",
+    "static_chunks",
+    "dynamic_chunks",
+    "guided_chunks",
+    "chunks_for",
+    "thread_totals",
+]
+
+#: Per-thread list of (start, length) chunks.
+ChunkList = List[List[Tuple[int, int]]]
+
+
+def static_chunks(trip: int, nthreads: int, chunk: "int | None" = None) -> ChunkList:
+    """The ``static`` schedule.
+
+    Without a chunk size, iterations split into at most ``nthreads``
+    contiguous blocks whose sizes differ by at most one (the common
+    "big chunks first" convention).  With one, chunks of exactly
+    ``chunk`` iterations are assigned round-robin.
+    """
+    check_positive_int(trip, "trip")
+    check_positive_int(nthreads, "nthreads")
+    out: ChunkList = [[] for _ in range(nthreads)]
+    if chunk is None:
+        base, extra = divmod(trip, nthreads)
+        start = 0
+        for tid in range(nthreads):
+            size = base + (1 if tid < extra else 0)
+            if size:
+                out[tid].append((start, size))
+            start += size
+        return out
+    check_positive_int(chunk, "chunk")
+    index = 0
+    start = 0
+    while start < trip:
+        size = min(chunk, trip - start)
+        out[index % nthreads].append((start, size))
+        index += 1
+        start += size
+    return out
+
+
+def dynamic_chunks(trip: int, nthreads: int, chunk: int = 1) -> ChunkList:
+    """The ``dynamic`` schedule under uniform iteration cost.
+
+    With uniform bodies every thread returns to the queue at the same
+    cadence, so the deterministic grab order is round-robin — identical
+    chunk geometry to ``static, chunk``, different *semantics* (and the
+    distinction matters once per-iteration costs vary).
+    """
+    return static_chunks(trip, nthreads, chunk=chunk)
+
+
+def guided_chunks(trip: int, nthreads: int, min_chunk: int = 1) -> ChunkList:
+    """The ``guided`` schedule: chunk = ceil(remaining / nthreads).
+
+    Chunks shrink geometrically down to ``min_chunk``; assignment order is
+    round-robin (uniform bodies, as above).
+    """
+    check_positive_int(trip, "trip")
+    check_positive_int(nthreads, "nthreads")
+    check_positive_int(min_chunk, "min_chunk")
+    out: ChunkList = [[] for _ in range(nthreads)]
+    start = 0
+    index = 0
+    remaining = trip
+    while remaining > 0:
+        size = max(min_chunk, -(-remaining // nthreads))
+        size = min(size, remaining)
+        out[index % nthreads].append((start, size))
+        start += size
+        remaining -= size
+        index += 1
+    return out
+
+
+def chunks_for(kind: str, trip: int, nthreads: int,
+               chunk: "int | None" = None) -> ChunkList:
+    """Dispatch on a schedule kind name."""
+    if kind == "static":
+        return static_chunks(trip, nthreads, chunk)
+    if kind == "dynamic":
+        return dynamic_chunks(trip, nthreads, chunk or 1)
+    if kind == "guided":
+        return guided_chunks(trip, nthreads, chunk or 1)
+    if kind in ("auto", "runtime"):
+        # Implementation-defined: our runtime picks plain static.
+        return static_chunks(trip, nthreads, None)
+    raise OpenMPError(f"unknown schedule kind {kind!r}")
+
+
+def thread_totals(chunks: ChunkList) -> List[int]:
+    """Iterations per thread."""
+    return [sum(size for _, size in per_thread) for per_thread in chunks]

@@ -1,0 +1,47 @@
+"""Virtual clock: monotonically advancing simulated seconds."""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A monotonic virtual clock measured in seconds (float).
+
+    The clock only moves forward; :meth:`advance` models time spent inside
+    a modelled activity, :meth:`advance_to` jumps to an absolute event
+    completion time (used by the event engine).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by *seconds* (must be >= 0); returns the new time."""
+        if seconds < 0:
+            raise SimulationError(f"cannot advance clock by negative {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump to absolute time *when* (must not be in the past)."""
+        if when < self._now - 1e-18:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {when}"
+            )
+        self._now = max(self._now, when)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Clock(now={self._now!r})"

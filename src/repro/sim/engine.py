@@ -1,0 +1,114 @@
+"""A small deterministic discrete-event engine.
+
+The co-execution model (paper Listing 7) overlaps a GPU kernel, a host
+worksharing loop, and (in unified-memory mode) page migrations.  Rather
+than hand-computing ``max()`` of segment times everywhere, activities are
+scheduled as events and the engine advances the virtual clock through
+them; handlers may schedule further events (e.g. a page fault scheduling a
+migration completion).
+
+Determinism: events fire ordered by (time, sequence-number), so insertion
+order breaks ties reproducibly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import SimulationError
+from .clock import Clock
+
+__all__ = ["Event", "Engine"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence.  Ordering key: (time, seq)."""
+
+    time: float
+    seq: int
+    handler: Callable[["Engine"], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """Event queue bound to a :class:`~repro.sim.clock.Clock`."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock or Clock()
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._fired = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    def at(self, when: float, handler: Callable[["Engine"], None], label: str = "") -> Event:
+        """Schedule *handler* at absolute time *when*."""
+        if when < self.clock.now - 1e-18:
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self.clock.now}"
+            )
+        event = Event(time=max(when, self.clock.now), seq=next(self._seq),
+                      handler=handler, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, handler: Callable[["Engine"], None], label: str = "") -> Event:
+        """Schedule *handler* ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.clock.now + delay, handler, label)
+
+    def step(self) -> Optional[Event]:
+        """Fire the next event; returns it, or ``None`` if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._fired += 1
+            event.handler(self)
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue (optionally stopping at time *until*).
+
+        Returns the clock time when the run stopped.  ``max_events`` guards
+        against runaway self-scheduling handlers.
+        """
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.clock.advance_to(until)
+                return self.clock.now
+            if fired >= max_events:
+                raise SimulationError(
+                    f"engine exceeded max_events={max_events}; "
+                    "likely a self-scheduling loop"
+                )
+            self.step()
+            fired += 1
+        if until is not None:
+            self.clock.advance_to(until)
+        return self.clock.now

@@ -1,0 +1,113 @@
+"""Execution trace: the library's built-in "profiler".
+
+The paper inspects runtime behaviour with a profiler ("Profiling the
+OpenMP program reveals that the grid sizes of the GPU reduction kernels
+match the team sizes specified by the num_teams clause...", §III.C).  The
+trace records the same observables — kernel launches with their geometry,
+page migrations, and coherent remote accesses — so tests and benchmarks can
+make the paper's profiling claims executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = [
+    "KernelLaunchRecord",
+    "MigrationRecord",
+    "RemoteAccessRecord",
+    "Trace",
+]
+
+
+@dataclass(frozen=True)
+class KernelLaunchRecord:
+    """One device kernel launch."""
+
+    time: float
+    name: str
+    grid: int
+    block: int
+    elements: int
+    from_clause: bool
+    duration: float
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """A page-migration burst between memories."""
+
+    time: float
+    src: str
+    dst: str
+    nbytes: int
+    npages: int
+    duration: float
+    reason: str  # "fault", "prefetch", "access-counter"
+
+
+@dataclass(frozen=True)
+class RemoteAccessRecord:
+    """Coherent remote (non-migrating) access over the C2C link."""
+
+    time: float
+    accessor: str  # "cpu" or "gpu"
+    nbytes: int
+    duration: float
+
+
+class Trace:
+    """Append-only event log with typed accessors."""
+
+    def __init__(self) -> None:
+        self.kernel_launches: List[KernelLaunchRecord] = []
+        self.migrations: List[MigrationRecord] = []
+        self.remote_accesses: List[RemoteAccessRecord] = []
+
+    # -- recording ----------------------------------------------------------
+    def record_launch(self, record: KernelLaunchRecord) -> None:
+        self.kernel_launches.append(record)
+
+    def record_migration(self, record: MigrationRecord) -> None:
+        self.migrations.append(record)
+
+    def record_remote_access(self, record: RemoteAccessRecord) -> None:
+        self.remote_accesses.append(record)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def n_launches(self) -> int:
+        return len(self.kernel_launches)
+
+    def last_launch(self) -> Optional[KernelLaunchRecord]:
+        return self.kernel_launches[-1] if self.kernel_launches else None
+
+    def grid_sizes(self) -> List[int]:
+        """Grid size per launch, in launch order (the paper's observable)."""
+        return [r.grid for r in self.kernel_launches]
+
+    def migrated_bytes(self, src: Optional[str] = None, dst: Optional[str] = None) -> int:
+        """Total bytes migrated, optionally filtered by endpoint names."""
+        total = 0
+        for r in self.migrations:
+            if src is not None and r.src != src:
+                continue
+            if dst is not None and r.dst != dst:
+                continue
+            total += r.nbytes
+        return total
+
+    def clear(self) -> None:
+        self.kernel_launches.clear()
+        self.migrations.clear()
+        self.remote_accesses.clear()
+
+    def summary(self) -> str:
+        """One-line counts summary."""
+        return (
+            f"{len(self.kernel_launches)} launches, "
+            f"{len(self.migrations)} migrations "
+            f"({self.migrated_bytes()} B), "
+            f"{len(self.remote_accesses)} remote accesses"
+        )

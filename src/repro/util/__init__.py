@@ -1,0 +1,42 @@
+"""General-purpose helpers: units, statistics, tables, validation."""
+
+from .units import (
+    KiB,
+    MiB,
+    GiB,
+    GB,
+    bytes_to_gb,
+    gb_per_s,
+    format_bytes,
+    format_bandwidth,
+    format_time,
+)
+from .stats import geomean, mean, summarize, Summary
+from .tables import AsciiTable
+from .validation import (
+    check_positive_int,
+    check_power_of_two,
+    check_fraction,
+    is_power_of_two,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "GB",
+    "bytes_to_gb",
+    "gb_per_s",
+    "format_bytes",
+    "format_bandwidth",
+    "format_time",
+    "geomean",
+    "mean",
+    "summarize",
+    "Summary",
+    "AsciiTable",
+    "check_positive_int",
+    "check_power_of_two",
+    "check_fraction",
+    "is_power_of_two",
+]

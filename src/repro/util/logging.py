@@ -1,0 +1,37 @@
+"""Minimal logging shim.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace; nothing is configured by default (library etiquette),
+but :func:`enable_debug_logging` gives examples and the benchmark harness a
+one-liner to surface model decisions (grid heuristics, page migrations).
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_debug_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the library namespace."""
+    return logging.getLogger(f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME)
+
+
+def enable_debug_logging(level: int = logging.DEBUG) -> logging.Logger:
+    """Attach a stderr handler to the library root logger.
+
+    Returns the root library logger so callers can tweak it further.  Safe
+    to call repeatedly; only one handler is installed.
+    """
+    logger = get_logger()
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

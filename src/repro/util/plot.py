@@ -1,0 +1,86 @@
+"""Text plotting: render figure series as terminal charts.
+
+The reproduction runs in environments without a display; these helpers
+draw the paper's curves as monospace charts so `examples/reproduce_paper.py`
+output is visually checkable against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "bar_chart"]
+
+_GLYPHS = "o+x*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 68,
+    height: int = 16,
+    ylabel: str = "",
+) -> str:
+    """Plot one or more (x, y) series on a shared text canvas.
+
+    X positions are taken by rank (the paper's axes are categorical powers
+    of two / p steps); Y is linear from 0 to the maximum.  Each series
+    gets a glyph, collisions show the later series' glyph.
+    """
+    if not series:
+        raise ValueError("ascii_chart requires at least one series")
+    n_points = max(len(s) for s in series.values())
+    if n_points == 0:
+        raise ValueError("ascii_chart requires non-empty series")
+    y_max = max(y for s in series.values() for _, y in s)
+    if y_max <= 0:
+        y_max = 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, points) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for rank, (_, y) in enumerate(points):
+            col = 0 if n_points == 1 else round(rank * (width - 1) / (n_points - 1))
+            row = height - 1 - round((y / y_max) * (height - 1))
+            canvas[row][col] = glyph
+
+    axis_width = 9
+    lines: List[str] = []
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{y_max:8.4g} "
+        elif i == height - 1:
+            label = f"{0:8.4g} "
+        else:
+            label = " " * axis_width
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * axis_width + "+" + "-" * width)
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    footer = " " * axis_width + " " + legend
+    if ylabel:
+        footer += f"   (y: {ylabel})"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values."""
+    if not values:
+        raise ValueError("bar_chart requires at least one value")
+    v_max = max(values.values())
+    if v_max <= 0:
+        v_max = 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        bar = "#" * max(0, round(width * value / v_max))
+        lines.append(
+            f"{name.ljust(label_width)} | {bar} {value:.4g}{unit}"
+        )
+    return "\n".join(lines)

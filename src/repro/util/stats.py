@@ -1,0 +1,60 @@
+"""Small statistics helpers used by the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["geomean", "mean", "summarize", "Summary"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on an empty input."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary of a sample."""
+
+    n: int
+    minimum: float
+    maximum: float
+    mean: float
+    stdev: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} min={self.minimum:.4g} max={self.maximum:.4g} "
+            f"mean={self.mean:.4g} stdev={self.stdev:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of *values*."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("summarize of empty sequence")
+    mu = mean(vals)
+    var = sum((v - mu) ** 2 for v in vals) / len(vals)
+    return Summary(
+        n=len(vals),
+        minimum=min(vals),
+        maximum=max(vals),
+        mean=mu,
+        stdev=math.sqrt(var),
+    )

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The reproduction prints the same rows the paper's tables and figure series
+report; this renderer keeps that output aligned and diff-friendly without
+pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["AsciiTable"]
+
+
+class AsciiTable:
+    """Accumulate rows and render them as an aligned monospace table.
+
+    >>> t = AsciiTable(["Case", "GB/s"])
+    >>> t.add_row(["C1", 3795.0])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Case | GB/s
+    -----+-----
+    C1   | 3795
+    """
+
+    def __init__(self, headers: Sequence[str], float_format: str = "{:.4g}"):
+        self.headers: List[str] = [str(h) for h in headers]
+        self.float_format = float_format
+        self._rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; cells are stringified (floats via *float_format*)."""
+        row = [self._fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(row)
+
+    def _fmt(self, cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the full table as a string (no trailing newline)."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def line(cells: Sequence[str], pad: str = " ", sep: str = "|") -> str:
+            parts = [c.ljust(w) for c, w in zip(cells, widths)]
+            return (pad + sep + pad).join(parts).rstrip()
+
+        out = [line(self.headers)]
+        out.append(line(["-" * w for w in widths], pad="-", sep="+"))
+        out.extend(line(row) for row in self._rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

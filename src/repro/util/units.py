@@ -1,0 +1,73 @@
+"""Byte / bandwidth / time unit helpers.
+
+The paper reports bandwidth as ``1e-9 * bytes / seconds`` (decimal GB/s,
+Listing 6), while memory capacities use binary units.  Keeping both families
+of constants here avoids scattering ``1e9`` vs ``2**30`` conversions through
+the models.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "bytes_to_gb",
+    "gb_per_s",
+    "format_bytes",
+    "format_bandwidth",
+    "format_time",
+]
+
+# Binary (capacity) units.
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+# Decimal (bandwidth) units — the paper's GB/s metric is decimal.
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+
+def bytes_to_gb(nbytes: float) -> float:
+    """Convert a byte count to decimal gigabytes (the paper's unit)."""
+    return nbytes / GB
+
+
+def gb_per_s(nbytes: float, seconds: float) -> float:
+    """Bandwidth in decimal GB/s, exactly as Listing 6 computes it.
+
+    ``bandwidth = 1e-9 * M * sizeof(T) * N / elapsed_time``
+    """
+    if seconds <= 0.0:
+        raise ValueError(f"elapsed time must be positive, got {seconds!r}")
+    return nbytes / GB / seconds
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable binary byte count, e.g. ``"4.00 GiB"``."""
+    value = float(nbytes)
+    for unit, size in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(value) >= size:
+            return f"{value / size:.2f} {unit}"
+    return f"{value:.0f} B"
+
+
+def format_bandwidth(gbs: float) -> str:
+    """Render a bandwidth value the way the paper's tables do."""
+    return f"{gbs:.0f} GB/s" if gbs >= 100 else f"{gbs:.1f} GB/s"
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration with an auto-selected unit."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"

@@ -1,0 +1,57 @@
+"""Argument-validation helpers shared by the public API surfaces."""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "check_positive_int",
+    "check_power_of_two",
+    "check_fraction",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """``True`` when *value* is a positive integral power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate *value* as a strictly positive integer and return it.
+
+    Accepts NumPy integer scalars as well as Python ints; bools are
+    rejected (they are ``int`` subclasses but never a meaningful count).
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}") from exc
+    if ivalue != value:
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    if ivalue <= 0:
+        raise ValueError(f"{name} must be positive, got {ivalue}")
+    return ivalue
+
+
+def check_power_of_two(value, name: str) -> int:
+    """Validate *value* as a positive power-of-two integer and return it.
+
+    The paper's parameter space restricts teams and V to powers of two
+    (§III.C); the sweep drivers enforce that here.
+    """
+    ivalue = check_positive_int(value, name)
+    if not is_power_of_two(ivalue):
+        raise ValueError(f"{name} must be a power of two, got {ivalue}")
+    return ivalue
+
+
+def check_fraction(value, name: str) -> float:
+    """Validate *value* as a float in [0, 1] and return it."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from exc
+    if not 0.0 <= fvalue <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {fvalue}")
+    return fvalue

@@ -1,0 +1,50 @@
+"""Tests for compiler flag parsing."""
+
+import pytest
+
+from repro.compiler.flags import CompilerFlags
+from repro.errors import CompileError
+
+
+class TestParse:
+    def test_paper_flags(self):
+        flags = CompilerFlags.parse(["-O3", "-mp=gpu"])
+        assert flags.optimization == 3
+        assert flags.mp_target == "gpu"
+        assert not flags.unified_memory
+
+    def test_unified_memory_flag(self):
+        # §IV.A: "the feature is enabled with the option -gpu=mem:unified".
+        flags = CompilerFlags.parse(["-O3", "-mp=gpu", "-gpu=mem:unified"])
+        assert flags.unified_memory
+
+    def test_multicore_target(self):
+        assert CompilerFlags.parse(["-mp=multicore"]).mp_target == "multicore"
+
+    def test_default_optimization(self):
+        assert CompilerFlags.parse(["-mp=gpu"]).optimization == 2
+
+    def test_combined_gpu_options(self):
+        flags = CompilerFlags.parse(["-gpu=mem:unified"])
+        assert flags.unified_memory
+
+    def test_mem_separate(self):
+        assert not CompilerFlags.parse(["-gpu=mem:separate"]).unified_memory
+
+    def test_render_round_trip(self):
+        flags = CompilerFlags.parse(["-O3", "-mp=gpu", "-gpu=mem:unified"])
+        again = CompilerFlags.parse(flags.render().split())
+        assert again.unified_memory == flags.unified_memory
+        assert again.optimization == flags.optimization
+
+    @pytest.mark.parametrize(
+        "bad",
+        [["-Ofast"], ["--weird"], ["-gpu=cc90x"], ["-mp=fpga"], ["-O9"]],
+    )
+    def test_bad_flags_raise(self, bad):
+        with pytest.raises(CompileError):
+            CompilerFlags.parse(bad)
+
+    def test_raw_preserved(self):
+        flags = CompilerFlags.parse(["-O3", "-mp=gpu"])
+        assert flags.raw == ("-O3", "-mp=gpu")

@@ -1,0 +1,101 @@
+"""Tests for the NVHPC-style front end."""
+
+import pytest
+
+from repro.compiler import CompilerFlags, NvhpcCompiler, ReductionLoopProgram
+from repro.compiler.diagnostics import UNSUPPORTED_INCREMENT, Severity
+from repro.dtypes import FLOAT32, INT32
+from repro.errors import CompileError
+from repro.hardware import hopper_gpu
+from repro.openmp.canonical import ForLoop, listing4_loop, listing5_loop
+from repro.openmp.runtime import DeviceRuntime
+
+OPTIMIZED_PRAGMA = (
+    "#pragma omp target teams distribute parallel for "
+    "num_teams(teams/V) thread_limit(threads) reduction(+:sum)"
+)
+BASELINE_PRAGMA = (
+    "#pragma omp target teams distribute parallel for reduction(+:sum)"
+)
+
+
+def _program(loop, pragma=OPTIMIZED_PRAGMA, t=INT32, r=INT32):
+    return ReductionLoopProgram(
+        pragma=pragma, loop=loop, element_type=t, result_type=r
+    )
+
+
+class TestCompile:
+    def test_listing5_compiles(self):
+        compiled = NvhpcCompiler().compile(_program(listing5_loop(1 << 20, 4)))
+        assert compiled.identifier == "+"
+        assert compiled.diagnostics == ()
+
+    def test_listing4_rejected_with_increment_diagnostic(self):
+        # The §III.A behaviour: "the loop increment is not in a supported
+        # form".
+        with pytest.raises(CompileError) as excinfo:
+            NvhpcCompiler().compile(_program(listing4_loop(1 << 20, 4)))
+        diags = excinfo.value.diagnostics
+        assert len(diags) == 1
+        assert diags[0].code == UNSUPPORTED_INCREMENT
+        assert diags[0].severity is Severity.ERROR
+        assert "supported form" in diags[0].message
+
+    def test_listing4_with_v1_compiles(self):
+        # Degenerate stride: V = 1 is a unit step.
+        loop = ForLoop("i", trip_count=1024, step=1,
+                       increment_form="var = var + step")
+        NvhpcCompiler().compile(_program(loop))
+
+    def test_non_canonical_loop_rejected(self):
+        loop = ForLoop("i", trip_count=64, test_op="!=")
+        with pytest.raises(CompileError):
+            NvhpcCompiler().compile(_program(loop))
+
+    def test_host_directive_rejected(self):
+        with pytest.raises(CompileError):
+            NvhpcCompiler().compile(
+                _program(listing5_loop(64, 1), pragma="#pragma omp parallel for")
+            )
+
+    def test_missing_reduction_clause_warns(self):
+        pragma = "#pragma omp target teams distribute parallel for"
+        compiled = NvhpcCompiler().compile(_program(listing5_loop(64, 1), pragma))
+        assert any(d.severity is Severity.WARNING for d in compiled.diagnostics)
+
+    def test_float_bitwise_reduction_rejected(self):
+        pragma = (
+            "#pragma omp target teams distribute parallel for reduction(&:sum)"
+        )
+        with pytest.raises(Exception):
+            NvhpcCompiler().compile(
+                _program(listing5_loop(64, 1), pragma, t=FLOAT32, r=FLOAT32)
+            )
+
+    def test_unified_memory_flag_propagates(self):
+        flags = CompilerFlags.parse(["-O3", "-mp=gpu", "-gpu=mem:unified"])
+        compiled = NvhpcCompiler(flags).compile(_program(listing5_loop(64, 1)))
+        assert compiled.unified_memory
+
+
+class TestLaunch:
+    def test_launch_produces_kernel(self):
+        compiled = NvhpcCompiler().compile(_program(listing5_loop(1 << 20, 4)))
+        kernel = compiled.launch(
+            DeviceRuntime(hopper_gpu()),
+            {"teams": 1024, "V": 4, "threads": 256},
+        )
+        assert kernel.geometry.grid == 256
+        assert kernel.geometry.block == 256
+        assert kernel.elements == 1 << 20
+        assert kernel.elements_per_iteration == 4
+        assert kernel.name.endswith("_v4")
+
+    def test_launch_with_heuristics(self):
+        compiled = NvhpcCompiler().compile(
+            _program(ForLoop("i", trip_count=1 << 20), BASELINE_PRAGMA)
+        )
+        kernel = compiled.launch(DeviceRuntime(hopper_gpu()))
+        assert kernel.geometry.block == 128
+        assert kernel.geometry.grid == (1 << 20) // 128

@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+The simulated clock makes everything deterministic; the main knob for test
+speed is the functional-execution cap (how many elements are actually
+summed).  ``machine`` uses a small cap so functional paths stay fast while
+the performance model still reasons about full paper-scale sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Machine, ReproConfig
+from repro.core.cases import C1, C2, C3, C4
+
+
+@pytest.fixture(scope="session")
+def machine() -> Machine:
+    """A shared machine with a small functional cap (fast tests)."""
+    return Machine(config=ReproConfig(functional_elements_cap=1 << 16))
+
+
+@pytest.fixture()
+def fresh_machine() -> Machine:
+    """A per-test machine for tests that mutate trace/state."""
+    return Machine(config=ReproConfig(functional_elements_cap=1 << 16))
+
+
+@pytest.fixture(scope="session")
+def paper_machine() -> Machine:
+    """Machine with the default (larger) functional cap for accuracy tests."""
+    return Machine()
+
+
+@pytest.fixture(params=[C1, C2, C3, C4], ids=lambda c: c.name)
+def paper_case(request):
+    """Parametrize over the four paper cases."""
+    return request.param
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,58 @@
+"""Tests for the paper's evaluation cases."""
+
+import pytest
+
+from repro.core.cases import C1, C2, C3, C4, Case, PAPER_CASES, case_by_name
+from repro.dtypes import FLOAT32, FLOAT64, INT32, INT64, INT8
+
+
+class TestPaperCases:
+    def test_c1_definition(self):
+        assert C1.element_type is INT32 and C1.result_type is INT32
+        assert C1.elements == 1_048_576_000
+
+    def test_c2_definition(self):
+        # "each input number is an 8-bit signed integer ... the output is a
+        # 64-bit signed integer. The number of 8-bit integers is four times
+        # the number of 32-bit integers in C1."
+        assert C2.element_type is INT8 and C2.result_type is INT64
+        assert C2.elements == 4 * C1.elements
+
+    def test_c3_c4_definitions(self):
+        assert C3.element_type is FLOAT32 and C3.elements == C1.elements
+        assert C4.element_type is FLOAT64 and C4.elements == C1.elements
+
+    def test_input_sizes_in_bytes(self):
+        # C1 ~4 GB, C2 ~4 GB, C3 ~4 GB, C4 ~8 GB.
+        assert C1.input_bytes == C2.input_bytes == C3.input_bytes
+        assert C4.input_bytes == 2 * C1.input_bytes
+        assert C1.input_bytes == pytest.approx(4.19e9, rel=0.01)
+
+    def test_paper_cases_order(self):
+        assert [c.name for c in PAPER_CASES] == ["C1", "C2", "C3", "C4"]
+
+
+class TestCaseApi:
+    def test_case_by_name(self):
+        assert case_by_name("c2") is C2
+        with pytest.raises(KeyError):
+            case_by_name("C9")
+
+    def test_scaled(self):
+        small = C1.scaled(1024)
+        assert small.elements == 1024
+        assert small.element_type is INT32
+        assert "1024" in small.name
+
+    def test_describe(self):
+        assert "int8" in C2.describe()
+        assert "C2" in C2.describe()
+
+    def test_type_coercion(self):
+        case = Case("X", "float", "double", 100)
+        assert case.element_type is FLOAT32
+        assert case.result_type is FLOAT64
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(ValueError):
+            Case("X", INT32, INT32, 0)

@@ -1,0 +1,87 @@
+"""Tests for the non-UM (explicit map) co-execution extension."""
+
+import pytest
+
+from repro.core.cases import C1
+from repro.core.coexec import AllocationSite, measure_coexec_sweep
+from repro.core.optimized import KernelConfig
+
+CFG = KernelConfig(teams=65536, v=4)
+
+
+@pytest.fixture(scope="module")
+def explicit(machine):
+    return measure_coexec_sweep(machine, C1, AllocationSite.A1, CFG,
+                                trials=200, verify=False,
+                                unified_memory=False)
+
+
+@pytest.fixture(scope="module")
+def um(machine):
+    return measure_coexec_sweep(machine, C1, AllocationSite.A1, CFG,
+                                trials=200, verify=False)
+
+
+class TestExplicitMode:
+    def test_every_trial_pays_the_copy(self, explicit):
+        # migration_seconds carries the per-trial map(to:) DMA.
+        for m in explicit.measurements[:-1]:
+            assert m.migration_seconds > 0
+        assert explicit.cpu_only.migration_seconds == 0.0
+
+    def test_copy_bounds_gpu_side_throughput(self, explicit, machine):
+        # GPU-only can never exceed the link rate: kernel overlaps nothing.
+        assert explicit.gpu_only.bandwidth_gbs < machine.link.bandwidth_gbs
+
+    def test_cpu_only_at_local_rate(self, explicit, machine):
+        assert explicit.cpu_only.bandwidth_gbs == pytest.approx(
+            machine.cpu.stream_bandwidth_gbs, rel=0.02
+        )
+
+    def test_bandwidth_is_trial_invariant(self, machine):
+        # Unlike UM (amortized one-time migration), explicit copies cost
+        # the same every trial, so the metric is independent of N.
+        a = measure_coexec_sweep(machine, C1, AllocationSite.A1, CFG,
+                                 p_grid=(0.0, 0.5), trials=10, verify=False,
+                                 unified_memory=False)
+        b = measure_coexec_sweep(machine, C1, AllocationSite.A1, CFG,
+                                 p_grid=(0.0, 0.5), trials=200, verify=False,
+                                 unified_memory=False)
+        for ma, mb in zip(a.measurements, b.measurements):
+            assert ma.bandwidth_gbs == pytest.approx(mb.bandwidth_gbs)
+
+    def test_site_is_irrelevant_without_um(self, machine):
+        a1 = measure_coexec_sweep(machine, C1, AllocationSite.A1, CFG,
+                                  p_grid=(0.0, 0.5, 1.0), trials=10,
+                                  verify=False, unified_memory=False)
+        a2 = measure_coexec_sweep(machine, C1, AllocationSite.A2, CFG,
+                                  p_grid=(0.0, 0.5, 1.0), trials=10,
+                                  verify=False, unified_memory=False)
+        for ma, mb in zip(a1.measurements, a2.measurements):
+            assert ma.bandwidth_gbs == pytest.approx(mb.bandwidth_gbs)
+
+    def test_um_beats_explicit_at_gpu_heavy_splits(self, explicit, um):
+        assert um.best().bandwidth_gbs > 2.0 * explicit.best().bandwidth_gbs
+
+    def test_values_still_verified_functional(self, fresh_machine):
+        small = C1.scaled(1 << 14, name="C1e")
+        sweep = measure_coexec_sweep(
+            fresh_machine, small, AllocationSite.A1,
+            KernelConfig(teams=128, v=4), p_grid=(0.0, 0.5, 1.0), trials=2,
+            verify=True, unified_memory=False,
+        )
+        data = fresh_machine.workload(small)
+        for m in sweep.measurements:
+            assert m.value == data.sum(dtype="int32")
+
+
+class TestAccessCounterKnob:
+    def test_threshold_changes_a1_cpu_only(self, machine):
+        # With migrate-back, the CPU-only point (pages parked in HBM at
+        # p=0) recovers some bandwidth versus the default policy.
+        plain = measure_coexec_sweep(machine, C1, AllocationSite.A1, CFG,
+                                     trials=200, verify=False)
+        rescued = measure_coexec_sweep(machine, C1, AllocationSite.A1, CFG,
+                                       trials=200, verify=False,
+                                       access_counter_threshold=1)
+        assert rescued.cpu_only.bandwidth_gbs >= plain.cpu_only.bandwidth_gbs

@@ -1,0 +1,84 @@
+"""Tests for the Listing 2 / Listing 5 configuration objects."""
+
+import pytest
+
+from repro.compiler import NvhpcCompiler
+from repro.core.baseline import BASELINE_PRAGMA, baseline_program
+from repro.core.cases import C1, C2
+from repro.core.optimized import KernelConfig, optimized_pragma, optimized_program
+from repro.errors import LaunchError
+
+
+class TestBaselineProgram:
+    def test_pragma_is_listing2(self):
+        assert BASELINE_PRAGMA == (
+            "#pragma omp target teams distribute parallel for reduction(+:sum)"
+        )
+
+    def test_loop_shape(self):
+        prog = baseline_program(C1)
+        assert prog.loop.trip_count == C1.elements
+        assert prog.loop.elements_per_iteration == 1
+        assert prog.loop.step == 1
+
+    def test_compiles(self):
+        NvhpcCompiler().compile(baseline_program(C2))
+
+
+class TestKernelConfig:
+    def test_num_teams_clause_value(self):
+        cfg = KernelConfig(teams=65536, v=4)
+        # "The team size for the num_teams clause is the number of teams
+        # divided by the number of elements added per loop."
+        assert cfg.num_teams_clause == 16384
+
+    def test_env_bindings(self):
+        env = KernelConfig(teams=1024, v=2, threads=128).env()
+        assert env == {"teams": 1024, "V": 2, "threads": 128}
+
+    def test_default_threads_is_256(self):
+        assert KernelConfig(teams=128).threads == 256
+
+    @pytest.mark.parametrize("teams", [100, 0, 3])
+    def test_teams_power_of_two_required(self, teams):
+        with pytest.raises(ValueError):
+            KernelConfig(teams=teams)
+
+    def test_v_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            KernelConfig(teams=128, v=3)
+
+    def test_teams_must_cover_v(self):
+        with pytest.raises(LaunchError):
+            KernelConfig(teams=16, v=32)
+
+    def test_label(self):
+        assert KernelConfig(teams=4096, v=4).label() == \
+            "teams=4096 v=4 threads=256"
+
+
+class TestOptimizedProgram:
+    def test_pragma_is_listing5(self):
+        assert "num_teams(teams/V)" in optimized_pragma()
+        assert "thread_limit(threads)" in optimized_pragma()
+
+    def test_loop_is_normalized(self):
+        prog = optimized_program(C1, KernelConfig(teams=65536, v=4))
+        assert prog.loop.step == 1
+        assert prog.loop.trip_count == C1.elements // 4
+        assert prog.loop.elements_per_iteration == 4
+
+    def test_compiles_and_launches(self):
+        from repro.hardware import hopper_gpu
+        from repro.openmp.runtime import DeviceRuntime
+
+        cfg = KernelConfig(teams=65536, v=32)
+        compiled = NvhpcCompiler().compile(optimized_program(C2, cfg))
+        kernel = compiled.launch(DeviceRuntime(hopper_gpu()), cfg.env())
+        assert kernel.geometry.grid == 2048
+        assert kernel.geometry.block == 256
+
+    def test_indivisible_size_rejected(self):
+        odd = C1.scaled(1001)
+        with pytest.raises(LaunchError):
+            optimized_program(odd, KernelConfig(teams=128, v=8))

@@ -1,0 +1,68 @@
+"""Tests for the Machine runtime context."""
+
+import numpy as np
+import pytest
+
+from repro import Machine, ReproConfig
+from repro.core.cases import C1, C2, C3
+from repro.gpu.kernels import ReductionKernel
+from repro.openmp.runtime import LaunchGeometry
+
+
+class TestWorkloads:
+    def test_workload_is_capped(self, machine):
+        data = machine.workload(C1)
+        assert data.size == machine.functional_elements(C1)
+        assert data.size <= machine.config.functional_elements_cap
+
+    def test_workload_dtype(self, machine):
+        assert machine.workload(C2).dtype == np.dtype("int8")
+        assert machine.workload(C3).dtype == np.dtype("float32")
+
+    def test_workload_cached_and_readonly(self, machine):
+        a = machine.workload(C1)
+        b = machine.workload(C1)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0] = 1
+
+    def test_workload_deterministic_across_machines(self):
+        cfg = ReproConfig(functional_elements_cap=4096)
+        m1, m2 = Machine(config=cfg), Machine(config=cfg)
+        np.testing.assert_array_equal(m1.workload(C1), m2.workload(C1))
+
+    def test_float_workload_range(self, machine):
+        data = machine.workload(C3)
+        assert float(data.min()) >= 0.0
+        assert float(data.max()) < 1.0
+
+    def test_small_case_not_capped(self, machine):
+        small = C1.scaled(100)
+        assert machine.workload(small).size == 100
+
+
+class TestRunKernel:
+    def _kernel(self):
+        return ReductionKernel(
+            name="trace_me",
+            geometry=LaunchGeometry(grid=512, block=256, from_clause=True),
+            elements=1 << 20,
+            elements_per_iteration=4,
+            element_type="int32",
+            result_type="int32",
+        )
+
+    def test_timing_positive(self, fresh_machine):
+        timing = fresh_machine.run_kernel(self._kernel())
+        assert timing.total > 0
+
+    def test_launch_recorded_in_trace(self, fresh_machine):
+        fresh_machine.run_kernel(self._kernel())
+        record = fresh_machine.trace.last_launch()
+        assert record.name == "trace_me"
+        assert record.grid == 512
+        assert record.block == 256
+        assert record.duration > 0
+
+    def test_describe(self, machine):
+        assert "H100" in machine.describe()

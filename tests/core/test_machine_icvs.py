@@ -1,0 +1,71 @@
+"""Tests for environment-driven (ICV) launch control through Machine."""
+
+import pytest
+
+from repro import Machine, ReproConfig
+from repro.core.cases import C1
+from repro.core.timing import measure_gpu_reduction
+from repro.openmp.icv import ICVSet
+
+
+def _machine(icvs=None):
+    return Machine(config=ReproConfig(functional_elements_cap=1 << 14),
+                   icvs=icvs)
+
+
+class TestIcvDrivenBaseline:
+    def test_omp_num_teams_overrides_heuristic(self):
+        machine = _machine(ICVSet(num_teams=4096))
+        m = measure_gpu_reduction(machine, C1, trials=2, verify=False)
+        assert m.kernel.geometry.grid == 4096
+        assert not m.kernel.geometry.from_clause
+
+    def test_omp_thread_limit_overrides_default(self):
+        machine = _machine(ICVSet(thread_limit=256))
+        m = measure_gpu_reduction(machine, C1, trials=2, verify=False)
+        assert m.kernel.geometry.block == 256
+
+    def test_env_tuned_baseline_beats_default_baseline(self):
+        # The paper's observation in ICV form: the environment alone can
+        # recover much of the num_teams speedup (V stays 1).
+        plain = measure_gpu_reduction(_machine(), C1, trials=2, verify=False)
+        tuned = measure_gpu_reduction(
+            _machine(ICVSet(num_teams=65536, teams_thread_limit=256)),
+            C1, trials=2, verify=False,
+        )
+        assert tuned.bandwidth_gbs > 2.0 * plain.bandwidth_gbs
+
+    def test_from_environment_round_trip(self):
+        icvs = ICVSet.from_environment({
+            "OMP_NUM_TEAMS": "8192",
+            "OMP_TEAMS_THREAD_LIMIT": "256",
+        })
+        machine = _machine(icvs)
+        m = measure_gpu_reduction(machine, C1, trials=2, verify=False)
+        assert m.kernel.geometry.grid == 8192
+        assert m.kernel.geometry.block == 256
+
+
+class TestMachineHelpers:
+    def test_unified_memory_shares_trace(self):
+        machine = _machine()
+        um = machine.unified_memory()
+        alloc = um.allocate(1 << 20)
+        um.cpu_first_touch(alloc)
+        um.gpu_read(alloc)
+        assert machine.trace.migrated_bytes(dst="HBM3") >= 1 << 20
+
+    def test_custom_calibration_changes_results(self):
+        from repro.gpu.calibration import DEFAULT_CALIBRATION
+
+        slow = Machine(
+            calibration=DEFAULT_CALIBRATION.with_overrides(mlp_scale=0.25),
+            config=ReproConfig(functional_elements_cap=1 << 14),
+        )
+        fast = _machine()
+        from repro.core.optimized import KernelConfig
+
+        cfg = KernelConfig(teams=2048, v=4)
+        a = measure_gpu_reduction(slow, C1, cfg, trials=2, verify=False)
+        b = measure_gpu_reduction(fast, C1, cfg, trials=2, verify=False)
+        assert a.bandwidth_gbs < b.bandwidth_gbs

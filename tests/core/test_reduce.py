@@ -1,0 +1,99 @@
+"""Tests for the public offload_sum / OffloadReducer API."""
+
+import numpy as np
+import pytest
+
+from repro import Machine, ReproConfig, offload_sum
+from repro.core.optimized import KernelConfig
+from repro.core.reduce import OffloadReducer, default_machine
+from repro.errors import VerificationError
+
+
+class TestOffloadSum:
+    def test_quickstart(self, fresh_machine):
+        r = offload_sum(np.arange(1024, dtype=np.int32), teams=1024, v=4,
+                        machine=fresh_machine)
+        assert int(r.value) == 1024 * 1023 // 2
+
+    def test_baseline_path(self, fresh_machine):
+        r = offload_sum(np.ones(4096, dtype=np.int32), machine=fresh_machine)
+        assert int(r.value) == 4096
+        # Heuristic geometry: 128-thread teams.
+        assert r.kernel.geometry.block == 128
+
+    def test_optimized_path_geometry(self, fresh_machine):
+        r = offload_sum(np.ones(4096, dtype=np.int32), teams=128, v=4,
+                        threads=64, machine=fresh_machine)
+        assert r.kernel.geometry.grid == 32
+        assert r.kernel.geometry.block == 64
+
+    def test_v_requires_teams(self, fresh_machine):
+        with pytest.raises(ValueError, match="teams"):
+            offload_sum(np.ones(64, dtype=np.int32), v=4, machine=fresh_machine)
+
+    def test_int8_default_widens_to_int64(self, fresh_machine):
+        data = np.full(100_000, 100, dtype=np.int8)
+        r = offload_sum(data, machine=fresh_machine)
+        assert r.value.dtype == np.dtype("int64")
+        assert int(r.value) == 10_000_000
+
+    def test_float_sum(self, fresh_machine):
+        data = np.linspace(0, 1, 4096, dtype=np.float32)
+        r = offload_sum(data, teams=128, v=4, machine=fresh_machine)
+        assert float(r.value) == pytest.approx(float(data.sum()), rel=1e-5)
+
+    def test_explicit_result_type(self, fresh_machine):
+        data = np.full(10, 2**30, dtype=np.int32)
+        r = offload_sum(data, result_type="int64", machine=fresh_machine)
+        assert int(r.value) == 10 * 2**30  # no wraparound in int64
+
+    def test_bandwidth_and_seconds_positive(self, fresh_machine):
+        r = offload_sum(np.ones(1 << 16, dtype=np.int32), teams=256, v=4,
+                        machine=fresh_machine)
+        assert r.seconds > 0
+        assert r.bandwidth_gbs > 0
+
+    def test_default_machine_used_when_absent(self):
+        r = offload_sum(np.ones(256, dtype=np.int32))
+        assert int(r.value) == 256
+        assert default_machine() is default_machine()
+
+
+class TestOffloadReducer:
+    def test_reuse_across_arrays(self, fresh_machine):
+        reducer = OffloadReducer("int32", elements=1024,
+                                 config=KernelConfig(teams=128, v=4),
+                                 machine=fresh_machine)
+        a = reducer.reduce(np.ones(1024, dtype=np.int32))
+        b = reducer.reduce(np.full(1024, 2, dtype=np.int32))
+        assert int(a.value) == 1024
+        assert int(b.value) == 2048
+        # Same compiled kernel both times.
+        assert a.kernel is b.kernel
+
+    def test_non_sum_identifier(self, fresh_machine):
+        reducer = OffloadReducer("int32", elements=512, identifier="max",
+                                 machine=fresh_machine)
+        data = np.arange(512, dtype=np.int32)
+        r = reducer.reduce(data, verify=False)
+        assert int(r.value) == 511
+
+    def test_verification_catches_mismatch(self, fresh_machine, monkeypatch):
+        reducer = OffloadReducer("int32", elements=256, machine=fresh_machine)
+        import repro.core.reduce as reduce_mod
+
+        monkeypatch.setattr(
+            reduce_mod, "execute_reduction", lambda data, kernel: np.int32(13)
+        )
+        with pytest.raises(VerificationError):
+            reducer.reduce(np.ones(256, dtype=np.int32))
+
+    def test_verify_opt_out(self, fresh_machine, monkeypatch):
+        reducer = OffloadReducer("int32", elements=256, machine=fresh_machine)
+        import repro.core.reduce as reduce_mod
+
+        monkeypatch.setattr(
+            reduce_mod, "execute_reduction", lambda data, kernel: np.int32(13)
+        )
+        r = reducer.reduce(np.ones(256, dtype=np.int32), verify=False)
+        assert int(r.value) == 13

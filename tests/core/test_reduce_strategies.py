@@ -1,0 +1,50 @@
+"""Tests for strategy selection through the public reducer API."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimized import KernelConfig
+from repro.core.reduce import OffloadReducer
+from repro.gpu.strategies import ReductionStrategy
+
+
+class TestReducerStrategies:
+    @pytest.mark.parametrize("strategy", list(ReductionStrategy))
+    def test_strategy_reaches_the_kernel(self, fresh_machine, strategy):
+        reducer = OffloadReducer(
+            "int32", elements=1 << 16,
+            config=KernelConfig(teams=1024, v=4),
+            machine=fresh_machine, strategy=strategy,
+        )
+        assert reducer.kernel.strategy is strategy
+
+    def test_default_is_tree(self, fresh_machine):
+        reducer = OffloadReducer("int32", elements=1 << 16,
+                                 machine=fresh_machine)
+        assert reducer.kernel.strategy is ReductionStrategy.TREE
+
+    def test_results_agree_across_strategies(self, fresh_machine, rng):
+        data = rng.integers(-100, 100, size=1 << 16).astype(np.int32)
+        values = []
+        for strategy in ReductionStrategy:
+            reducer = OffloadReducer(
+                "int32", elements=data.size,
+                config=KernelConfig(teams=1024, v=4),
+                machine=fresh_machine, strategy=strategy,
+            )
+            values.append(int(reducer.reduce(data).value))
+        assert len(set(values)) == 1
+
+    def test_thread_atomic_models_slower_at_scale(self, fresh_machine, rng):
+        data = rng.integers(-5, 5, size=1 << 16).astype(np.int32)
+        big = 1 << 30
+        tree = OffloadReducer("int32", elements=big,
+                              config=KernelConfig(teams=65536, v=4),
+                              machine=fresh_machine)
+        atomic = OffloadReducer("int32", elements=big,
+                                config=KernelConfig(teams=65536, v=4),
+                                machine=fresh_machine,
+                                strategy=ReductionStrategy.THREAD_ATOMIC)
+        t_tree = tree.reduce(data, verify=False).seconds
+        t_atomic = atomic.reduce(data, verify=False).seconds
+        assert t_atomic > 5 * t_tree

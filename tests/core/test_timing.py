@@ -1,0 +1,66 @@
+"""Tests for the Listing 6 measurement harness."""
+
+import pytest
+
+from repro.core.cases import C1, C2
+from repro.core.optimized import KernelConfig
+from repro.core.timing import TRIALS, measure_gpu_reduction
+from repro.errors import MeasurementError
+from repro.util.units import gb_per_s
+
+
+class TestMeasurement:
+    def test_paper_trial_count(self):
+        assert TRIALS == 200  # "N = 200"
+
+    def test_bandwidth_matches_listing6_formula(self, machine):
+        m = measure_gpu_reduction(machine, C1, KernelConfig(teams=4096, v=4),
+                                  trials=10)
+        expected = gb_per_s(C1.input_bytes * 10, m.elapsed_seconds)
+        assert m.bandwidth_gbs == pytest.approx(expected)
+
+    def test_elapsed_scales_with_trials(self, machine):
+        m10 = measure_gpu_reduction(machine, C1, trials=10)
+        m20 = measure_gpu_reduction(machine, C1, trials=20)
+        assert m20.elapsed_seconds == pytest.approx(2 * m10.elapsed_seconds)
+        # ... and bandwidth is therefore trial-invariant on the GPU path.
+        assert m20.bandwidth_gbs == pytest.approx(m10.bandwidth_gbs)
+
+    def test_baseline_flag(self, machine):
+        assert measure_gpu_reduction(machine, C1, trials=2).is_baseline
+        assert not measure_gpu_reduction(
+            machine, C1, KernelConfig(teams=128), trials=2
+        ).is_baseline
+
+    def test_efficiency_metric(self, machine):
+        m = measure_gpu_reduction(machine, C1, KernelConfig(teams=65536, v=4),
+                                  trials=5)
+        assert m.efficiency == pytest.approx(m.bandwidth_gbs / 4022.7)
+
+    def test_value_is_verified_reduction(self, machine):
+        m = measure_gpu_reduction(machine, C1, trials=2)
+        data = machine.workload(C1)
+        assert m.value == data.sum(dtype="int32")
+
+    def test_kernel_geometry_exposed(self, machine):
+        m = measure_gpu_reduction(machine, C2, trials=2)
+        assert m.kernel.geometry.grid == 0xFFFFFF  # the profiled cap
+
+    def test_invalid_trials(self, machine):
+        with pytest.raises(MeasurementError):
+            measure_gpu_reduction(machine, C1, trials=0)
+
+    def test_label(self, machine):
+        m = measure_gpu_reduction(machine, C1, trials=2)
+        assert "C1" in m.label() and "baseline" in m.label()
+
+
+class TestLaunchTrace:
+    def test_measurement_records_launch(self, fresh_machine):
+        fresh_machine.trace.clear()
+        measure_gpu_reduction(fresh_machine, C1,
+                              KernelConfig(teams=4096, v=4), trials=2)
+        record = fresh_machine.trace.last_launch()
+        # Profiling observable: grid matches num_teams = teams / V.
+        assert record.grid == 1024
+        assert record.from_clause

@@ -1,0 +1,65 @@
+"""Tests for the parameter sweep and autotuner."""
+
+import pytest
+
+from repro.core.cases import C1, C2
+from repro.core.tuning import TEAMS_GRID, V_GRID, autotune, sweep_parameters
+
+
+class TestGrids:
+    def test_paper_parameter_space(self):
+        # "ranging from 128 to 65536 and 1 to 32, respectively".
+        assert TEAMS_GRID == (128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+                              32768, 65536)
+        assert V_GRID == (1, 2, 4, 8, 16, 32)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, machine):
+        return sweep_parameters(machine, C1, trials=5)
+
+    def test_covers_valid_space(self, sweep):
+        # teams >= v for every point; full cross product otherwise.
+        expected = sum(1 for t in TEAMS_GRID for v in V_GRID if t >= v)
+        assert len(sweep.points) == expected
+
+    def test_series_for_v_sorted_by_teams(self, sweep):
+        series = sweep.series_for_v(4)
+        teams = [t for t, _ in series]
+        assert teams == sorted(teams)
+
+    def test_envelope_is_pointwise_max(self, sweep):
+        env = dict(sweep.envelope())
+        for v in sweep.v_values():
+            for teams, bw in sweep.series_for_v(v):
+                assert env[teams] >= bw - 1e-9
+
+    def test_best_is_global_max(self, sweep):
+        best = sweep.best()
+        assert all(best.bandwidth_gbs >= p.bandwidth_gbs for p in sweep.points)
+
+    def test_v_values(self, sweep):
+        assert sweep.v_values() == [1, 2, 4, 8, 16, 32]
+
+    def test_custom_grids(self, machine):
+        r = sweep_parameters(machine, C1, teams_grid=(128, 256), v_grid=(1, 2),
+                             trials=2)
+        assert len(r.points) == 4
+
+    def test_non_power_grid_rejected(self, machine):
+        with pytest.raises(ValueError):
+            sweep_parameters(machine, C1, teams_grid=(100,), trials=2)
+
+
+class TestAutotune:
+    def test_c1_best_is_saturating_config(self, machine):
+        best = autotune(machine, C1)
+        # The paper: saturation by 4096 teams, best V = 4.
+        assert best.teams >= 2048
+        assert best.v >= 2
+
+    def test_c2_best_is_v32(self, machine):
+        best = autotune(machine, C2)
+        assert best.v == 32
+        assert best.teams >= 16384

@@ -1,0 +1,70 @@
+"""Tests for GPU-vs-CPU verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.verify import float_tolerance, reference_result, verify_result
+from repro.dtypes import FLOAT32, FLOAT64, INT32
+from repro.errors import VerificationError
+
+
+class TestReference:
+    def test_int_reference_wraps(self):
+        data = np.full(4, 2**30, dtype=np.int32)
+        assert reference_result(data, INT32) == np.int32(0)
+
+    def test_widening_reference(self):
+        data = np.full(1000, 100, dtype=np.int8)
+        assert reference_result(data, "int64") == 100_000
+
+    def test_other_identifier(self):
+        data = np.array([5, -3, 9], dtype=np.int32)
+        assert reference_result(data, INT32, "max") == 9
+
+
+class TestVerifyIntegers:
+    def test_exact_match_passes(self, rng):
+        data = rng.integers(-100, 100, size=1000).astype(np.int32)
+        expected = verify_result(data.sum(dtype=np.int32), data, INT32)
+        assert expected == data.sum(dtype=np.int32)
+
+    def test_off_by_one_fails(self, rng):
+        data = rng.integers(-100, 100, size=1000).astype(np.int32)
+        wrong = np.int32(data.sum(dtype=np.int32) + 1)
+        with pytest.raises(VerificationError):
+            verify_result(wrong, data, INT32)
+
+
+class TestVerifyFloats:
+    def test_within_tolerance_passes(self, rng):
+        data = rng.random(1 << 14).astype(np.float32)
+        exact = data.sum(dtype=np.float32)
+        slightly_off = np.float32(exact * (1 + 1e-7))
+        verify_result(slightly_off, data, FLOAT32)
+
+    def test_beyond_tolerance_fails(self, rng):
+        data = rng.random(1 << 14).astype(np.float32)
+        wrong = np.float32(data.sum(dtype=np.float32) * 1.01)
+        with pytest.raises(VerificationError):
+            verify_result(wrong, data, FLOAT32)
+
+    def test_error_carries_both_values(self, rng):
+        data = rng.random(128).astype(np.float64)
+        try:
+            verify_result(np.float64(1e12), data, FLOAT64)
+        except VerificationError as err:
+            assert err.actual == pytest.approx(1e12)
+            assert err.expected == pytest.approx(float(data.sum()))
+        else:  # pragma: no cover
+            pytest.fail("expected VerificationError")
+
+
+class TestTolerance:
+    def test_tolerance_grows_with_n(self):
+        assert float_tolerance(FLOAT32, 10**9) > float_tolerance(FLOAT32, 10**3)
+
+    def test_f64_tighter_than_f32(self):
+        assert float_tolerance(FLOAT64, 1000) < float_tolerance(FLOAT32, 1000)
+
+    def test_floor_for_tiny_n(self):
+        assert float_tolerance(FLOAT32, 1) > 0

@@ -1,0 +1,97 @@
+"""Tests for the workload generators + verification stress tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.workloads import WORKLOAD_KINDS, generate_workload
+from repro.dtypes import SCALAR_TYPES
+from repro.errors import SpecError
+from repro.gpu.exec_model import execute_reduction
+from repro.gpu.kernels import ReductionKernel
+from repro.core.verify import verify_result
+from repro.openmp.runtime import LaunchGeometry
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", sorted(WORKLOAD_KINDS))
+    @pytest.mark.parametrize("type_name", sorted(SCALAR_TYPES))
+    def test_shape_and_dtype(self, kind, type_name):
+        data = generate_workload(kind, type_name, 1024)
+        assert data.shape == (1024,)
+        assert data.dtype == np.dtype(type_name)
+
+    def test_deterministic_by_seed(self):
+        a = generate_workload("uniform", "int32", 256, seed=5)
+        b = generate_workload("uniform", "int32", 256, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = generate_workload("uniform", "int32", 256, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_constant_sum_closed_form(self):
+        data = generate_workload("constant", "int32", 1000)
+        assert data.sum() == 3000
+
+    def test_alternating_cancels(self):
+        data = generate_workload("alternating", "float64", 1000)
+        assert abs(float(data.sum())) < 1e-9
+
+    def test_extremes_hit_type_bounds(self):
+        data = generate_workload("extremes", "int32", 10_000)
+        assert data.min() == np.iinfo(np.int32).min
+        assert data.max() == np.iinfo(np.int32).max
+
+    def test_ill_conditioned_has_spikes(self):
+        data = generate_workload("ill_conditioned", "float32", 10_000)
+        assert float(data.max()) == pytest.approx(1e6)
+        assert float(np.median(data)) < 1e-5
+
+    def test_unknown_kind(self):
+        with pytest.raises(SpecError, match="unknown workload"):
+            generate_workload("gaussian", "int32", 16)
+
+
+def _kernel(t, r, v=4, grid=64, block=64):
+    return ReductionKernel(
+        name="k",
+        geometry=LaunchGeometry(grid=grid, block=block, from_clause=True),
+        elements=1 << 16,
+        elements_per_iteration=v,
+        element_type=t,
+        result_type=r,
+    )
+
+
+class TestVerificationUnderStress:
+    """Device results verify against the host for every distribution."""
+
+    @pytest.mark.parametrize("kind", sorted(WORKLOAD_KINDS))
+    @pytest.mark.parametrize(
+        "t,r", [("int32", "int32"), ("int8", "int64")]
+    )
+    def test_integer_workloads(self, kind, t, r):
+        data = generate_workload(kind, t, 50_000, seed=1)
+        value = execute_reduction(data, _kernel(t, r))
+        verify_result(value, data, r)
+
+    @pytest.mark.parametrize("kind", ["uniform", "constant", "ramp"])
+    @pytest.mark.parametrize("t", ["float32", "float64"])
+    def test_benign_float_workloads(self, kind, t):
+        data = generate_workload(kind, t, 50_000, seed=1)
+        value = execute_reduction(data, _kernel(t, t))
+        verify_result(value, data, t)
+
+    def test_alternating_floats_exact(self):
+        # +x/-x in equal counts: exactly representable partial sums.
+        data = generate_workload("alternating", "float64", 50_000, seed=1)
+        value = execute_reduction(data, _kernel("float64", "float64"))
+        assert float(value) == 0.0
+
+    def test_ill_conditioned_float32_differs_by_grouping(self):
+        # Demonstrate the float-ordering effect the tolerance exists for:
+        # two geometries give (slightly) different sums.
+        data = generate_workload("ill_conditioned", "float32", 100_000, seed=2)
+        a = execute_reduction(data, _kernel("float32", "float32",
+                                            grid=1, block=32, v=1))
+        b = execute_reduction(data, _kernel("float32", "float32",
+                                            grid=4096, block=256, v=4))
+        assert float(a) == pytest.approx(float(b), rel=1e-3)

@@ -1,0 +1,109 @@
+"""Tests for the bandwidth water-filling model."""
+
+import pytest
+
+from repro.cpu.contention import completion_times, finish_time
+
+SOCKET = 450e9
+CORE = 40e9
+
+
+class TestBalanced:
+    def test_balanced_load_finishes_at_aggregate_rate(self):
+        per_thread = [1e9] * 72
+        t = finish_time(per_thread, SOCKET, CORE)
+        assert t == pytest.approx(72e9 / SOCKET)
+
+    def test_single_thread_limited_by_core_cap(self):
+        t = finish_time([10e9], SOCKET, CORE)
+        assert t == pytest.approx(10e9 / CORE)
+
+    def test_few_threads_each_at_core_cap(self):
+        # 4 threads: 4 x 40 = 160 GB/s < socket, so each runs at its cap.
+        t = finish_time([1e9] * 4, SOCKET, CORE)
+        assert t == pytest.approx(1e9 / CORE)
+
+
+class TestImbalance:
+    def test_skewed_thread_finishes_late(self):
+        per_thread = [1e9] * 71 + [10e9]
+        times = completion_times(per_thread, SOCKET, CORE)
+        # The balanced threads finish together, the hog continues at its
+        # core cap afterwards.
+        assert max(times[:-1]) < times[-1]
+        balanced_finish = max(times[:-1])
+        remaining = 10e9 - balanced_finish * SOCKET / 72
+        assert times[-1] == pytest.approx(balanced_finish + remaining / CORE)
+
+    def test_all_work_on_one_thread_is_worst_case(self):
+        total = 72e9
+        serial = finish_time([total] + [0.0] * 71, SOCKET, CORE)
+        balanced = finish_time([1e9] * 72, SOCKET, CORE)
+        assert serial == pytest.approx(total / CORE)
+        assert serial > 10 * balanced
+
+    def test_speedup_as_survivors_grab_bandwidth(self):
+        # Two threads, one with double work: after the light one finishes,
+        # the heavy one accelerates to its core cap (already there with 2
+        # threads under this socket), so times are proportional to bytes.
+        times = completion_times([1e9, 2e9], SOCKET, CORE)
+        assert times[1] == pytest.approx(2 * times[0])
+
+
+class TestEdges:
+    def test_empty(self):
+        assert finish_time([], SOCKET, CORE) == 0.0
+
+    def test_all_zero(self):
+        assert finish_time([0.0, 0.0], SOCKET, CORE) == 0.0
+        assert completion_times([0.0, 0.0], SOCKET, CORE) == [0.0, 0.0]
+
+    def test_zero_mixed_with_work(self):
+        times = completion_times([0.0, 1e9], SOCKET, CORE)
+        assert times[0] == 0.0
+        assert times[1] > 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            finish_time([-1.0], SOCKET, CORE)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            finish_time([1.0], 0.0, CORE)
+
+
+class TestScheduleIntegration:
+    def test_default_path_unchanged(self):
+        from repro.cpu.perf import estimate_cpu_reduction_time
+        from repro.hardware import grace_cpu
+
+        cpu = grace_cpu()
+        plain = estimate_cpu_reduction_time(cpu, 1 << 28, "int32")
+        static = estimate_cpu_reduction_time(cpu, 1 << 28, "int32",
+                                             schedule_kind="static")
+        # The balanced static schedule equals the aggregate-rate model.
+        assert static.stream == pytest.approx(plain.stream, rel=1e-6)
+
+    def test_pathological_chunk_serializes(self):
+        from repro.cpu.perf import estimate_cpu_reduction_time
+        from repro.hardware import grace_cpu
+
+        cpu = grace_cpu()
+        good = estimate_cpu_reduction_time(cpu, 1 << 28, "int32",
+                                           schedule_kind="static")
+        bad = estimate_cpu_reduction_time(cpu, 1 << 28, "int32",
+                                          schedule_kind="static",
+                                          chunk=1 << 28)
+        assert bad.stream > 10 * good.stream
+
+    def test_guided_close_to_static_for_uniform_work(self):
+        from repro.cpu.perf import estimate_cpu_reduction_time
+        from repro.hardware import grace_cpu
+
+        cpu = grace_cpu()
+        static = estimate_cpu_reduction_time(cpu, 1 << 28, "int32",
+                                             schedule_kind="static")
+        guided = estimate_cpu_reduction_time(cpu, 1 << 28, "int32",
+                                             schedule_kind="guided",
+                                             chunk=4096)
+        assert guided.stream == pytest.approx(static.stream, rel=0.25)

@@ -1,0 +1,50 @@
+"""Tests for the functional host executor."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.exec_model import execute_host_reduction
+from repro.dtypes import FLOAT32, INT32, INT64
+from repro.hardware import grace_cpu
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return grace_cpu()
+
+
+class TestHostReduction:
+    def test_matches_numpy(self, cpu, rng):
+        data = rng.integers(-100, 100, size=123_457).astype(np.int32)
+        assert execute_host_reduction(data, cpu, INT32) == data.sum(dtype=np.int32)
+
+    def test_wraps_in_result_type(self, cpu):
+        data = np.full(4, 2**30, dtype=np.int32)
+        assert execute_host_reduction(data, cpu, INT32) == np.int32(0)
+
+    def test_widening(self, cpu):
+        data = np.full(1 << 20, 127, dtype=np.int8)
+        out = execute_host_reduction(data, cpu, INT64)
+        assert out == 127 * (1 << 20)
+
+    def test_float_grouping_tolerance(self, cpu, rng):
+        data = rng.random(1 << 16).astype(np.float32)
+        out = execute_host_reduction(data, cpu, FLOAT32)
+        assert float(out) == pytest.approx(float(data.sum(dtype=np.float64)),
+                                           rel=1e-5)
+
+    def test_empty(self, cpu):
+        assert execute_host_reduction(np.empty(0, dtype=np.int32), cpu, INT32) == 0
+
+    def test_fewer_elements_than_cores(self, cpu):
+        data = np.arange(5, dtype=np.int32)
+        assert execute_host_reduction(data, cpu, INT32) == 10
+
+    def test_2d_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            execute_host_reduction(np.ones((2, 2), dtype=np.int32), cpu, INT32)
+
+    def test_result_dtype(self, cpu):
+        data = np.ones(8, dtype=np.int8)
+        out = execute_host_reduction(data, cpu, INT64)
+        assert out.dtype == np.dtype("int64")

@@ -1,0 +1,58 @@
+"""Tests for the host reduction timing model."""
+
+import pytest
+
+from repro.cpu.perf import estimate_cpu_reduction_time
+from repro.dtypes import FLOAT64, INT32, INT8
+from repro.hardware import grace_cpu
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return grace_cpu()
+
+
+class TestRoofline:
+    def test_large_reduction_is_memory_bound(self, cpu):
+        # The paper's host loops stream gigabytes: stream >> compute.
+        t = estimate_cpu_reduction_time(cpu, 1_048_576_000, INT32)
+        assert t.memory_bound
+        assert t.stream > 10 * t.compute
+
+    def test_stream_time_uses_local_bandwidth_by_default(self, cpu):
+        t = estimate_cpu_reduction_time(cpu, 1_000_000_000, INT32)
+        assert t.stream == pytest.approx(4e9 / (cpu.stream_bandwidth_gbs * 1e9))
+
+    def test_remote_bandwidth_slows_stream(self, cpu):
+        local = estimate_cpu_reduction_time(cpu, 1 << 30, INT32)
+        remote = estimate_cpu_reduction_time(
+            cpu, 1 << 30, INT32, stream_bandwidth_gbs=330.0
+        )
+        # A1 CPU-only effect: HBM-resident pages read over C2C.
+        assert remote.total / local.total == pytest.approx(
+            cpu.stream_bandwidth_gbs / 330.0, rel=0.01
+        )
+
+    def test_fork_join_constant(self, cpu):
+        t = estimate_cpu_reduction_time(cpu, 1000, INT32)
+        assert t.fork_join == pytest.approx(cpu.fork_join_overhead_us * 1e-6)
+
+    def test_scalar_loop_slower_when_compute_bound(self, cpu):
+        vec = estimate_cpu_reduction_time(cpu, 1 << 20, INT8, vectorized=True)
+        scalar = estimate_cpu_reduction_time(cpu, 1 << 20, INT8, vectorized=False)
+        assert scalar.compute > vec.compute
+
+    def test_bytes_scale_with_element_size(self, cpu):
+        t4 = estimate_cpu_reduction_time(cpu, 1 << 20, INT32)
+        t8 = estimate_cpu_reduction_time(cpu, 1 << 20, FLOAT64)
+        assert t8.stream == pytest.approx(2 * t4.stream)
+
+
+class TestValidation:
+    def test_zero_elements_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            estimate_cpu_reduction_time(cpu, 0, INT32)
+
+    def test_nonpositive_bandwidth_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            estimate_cpu_reduction_time(cpu, 100, INT32, stream_bandwidth_gbs=0)

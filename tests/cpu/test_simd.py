@@ -1,0 +1,38 @@
+"""Tests for the SIMD throughput model."""
+
+import pytest
+
+from repro.cpu.simd import simd_lanes, simd_throughput_bytes_per_s
+from repro.dtypes import FLOAT64, INT32, INT8
+from repro.hardware import grace_cpu
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return grace_cpu()
+
+
+class TestLanes:
+    def test_lane_counts(self, cpu):
+        assert simd_lanes(cpu, INT8) == 16
+        assert simd_lanes(cpu, INT32) == 4
+        assert simd_lanes(cpu, FLOAT64) == 2
+
+
+class TestThroughput:
+    def test_vectorized_beats_scalar(self, cpu):
+        vec = simd_throughput_bytes_per_s(cpu, INT32, vectorized=True)
+        scalar = simd_throughput_bytes_per_s(cpu, INT32, vectorized=False)
+        assert vec == pytest.approx(scalar * 16)  # 4 lanes x 4 pipes
+
+    def test_vector_byte_rate_independent_of_type(self, cpu):
+        # Full vectors retire per cycle, so *bytes*/s matches across types.
+        assert simd_throughput_bytes_per_s(cpu, INT8) == pytest.approx(
+            simd_throughput_bytes_per_s(cpu, FLOAT64)
+        )
+
+    def test_exceeds_stream_bandwidth(self, cpu):
+        # Compute roofline must sit far above the memory roofline —
+        # that's what makes the host reduction memory-bound.
+        assert simd_throughput_bytes_per_s(cpu, INT32) > \
+            5 * cpu.stream_bandwidth_gbs * 1e9

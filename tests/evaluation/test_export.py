@@ -1,0 +1,76 @@
+"""Tests for CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.cases import C1
+from repro.core.coexec import AllocationSite
+from repro.evaluation.export import (
+    coexec_csv,
+    figure1_csv,
+    speedup_csv,
+    table1_csv,
+    write_csv,
+)
+from repro.evaluation.figures import (
+    generate_coexec_figure,
+    generate_figure1,
+    generate_speedup_figure,
+)
+from repro.evaluation.tables import generate_table1
+
+
+@pytest.fixture(scope="module")
+def fig1(machine):
+    return generate_figure1(machine, C1, trials=2)
+
+
+@pytest.fixture(scope="module")
+def coexec_figs(machine):
+    base = generate_coexec_figure(machine, (C1,), AllocationSite.A1,
+                                  optimized=False, trials=10, verify=False)
+    opt = generate_coexec_figure(machine, (C1,), AllocationSite.A1,
+                                 optimized=True, trials=10, verify=False)
+    return base, opt
+
+
+def _parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestCsvSchemas:
+    def test_figure1(self, fig1):
+        rows = _parse(figure1_csv(fig1))
+        assert rows[0] == ["case", "v", "teams", "bandwidth_gbs"]
+        assert len(rows) - 1 == len(fig1.sweep.points)
+        assert rows[1][0] == "C1"
+        float(rows[1][3])  # parses as a number
+
+    def test_coexec(self, coexec_figs):
+        base, _ = coexec_figs
+        rows = _parse(coexec_csv(base))
+        assert rows[0] == ["case", "site", "flavour", "p", "bandwidth_gbs"]
+        assert len(rows) - 1 == 11  # one row per p
+        assert {r[2] for r in rows[1:]} == {"baseline"}
+        assert {r[1] for r in rows[1:]} == {"A1"}
+
+    def test_speedup(self, coexec_figs):
+        base, opt = coexec_figs
+        fig = generate_speedup_figure(base, opt)
+        rows = _parse(speedup_csv(fig))
+        assert rows[0] == ["case", "site", "p", "speedup"]
+        assert float(rows[1][3]) > 0
+
+    def test_table1(self, machine):
+        rows = _parse(table1_csv(generate_table1(machine, trials=2)))
+        assert rows[0][0] == "case"
+        assert [r[0] for r in rows[1:]] == ["C1", "C2", "C3", "C4"]
+
+
+class TestWriteCsv:
+    def test_creates_directories(self, tmp_path):
+        target = tmp_path / "out" / "fig1.csv"
+        written = write_csv(target, "a,b\n1,2\n")
+        assert written.read_text() == "a,b\n1,2\n"

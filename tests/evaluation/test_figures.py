@@ -1,0 +1,109 @@
+"""Tests for figure generation."""
+
+import pytest
+
+from repro.core.cases import C1, C2
+from repro.core.coexec import AllocationSite
+from repro.evaluation.figures import (
+    generate_coexec_figure,
+    generate_figure1,
+    generate_speedup_figure,
+    paper_optimized_config,
+    render_coexec_figure,
+    render_figure1,
+    render_speedup_figure,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1_c1(machine):
+    return generate_figure1(machine, C1, trials=5)
+
+
+@pytest.fixture(scope="module")
+def fig2a(machine):
+    return generate_coexec_figure(machine, (C1, C2), AllocationSite.A1,
+                                  optimized=False, trials=200, verify=False)
+
+
+@pytest.fixture(scope="module")
+def fig2b(machine):
+    return generate_coexec_figure(machine, (C1, C2), AllocationSite.A1,
+                                  optimized=True, trials=200, verify=False)
+
+
+class TestFigure1:
+    def test_saturation_detection(self, fig1_c1):
+        assert fig1_c1.saturation_teams() in (2048, 4096)
+
+    def test_requires_case(self, machine):
+        with pytest.raises(ValueError):
+            generate_figure1(machine, None)
+
+    def test_render(self, fig1_c1):
+        text = render_figure1(fig1_c1)
+        assert "Figure 1 (C1)" in text
+        assert "v4" in text
+        assert "65536" in text
+
+
+class TestPaperOptimizedConfig:
+    def test_c2_uses_v32(self):
+        cfg = paper_optimized_config(C2)
+        assert (cfg.teams, cfg.v) == (65536, 32)
+
+    def test_c1_uses_v4(self):
+        cfg = paper_optimized_config(C1)
+        assert (cfg.teams, cfg.v) == (65536, 4)
+
+
+class TestCoexecFigures:
+    def test_best_speedups_positive(self, fig2b):
+        speedups = fig2b.best_speedups()
+        assert set(speedups) == {"C1", "C2"}
+        assert all(s >= 1.0 for s in speedups.values())
+
+    def test_render(self, fig2b):
+        text = render_coexec_figure(fig2b)
+        assert "Figure 2b" in text
+        assert "best speedups" in text
+
+    def test_fig4_naming(self, machine):
+        fig = generate_coexec_figure(machine, (C1,), AllocationSite.A2,
+                                     optimized=False, trials=10, verify=False)
+        assert "Figure 4a" in render_coexec_figure(fig)
+
+
+class TestSpeedupFigures:
+    def test_fig3_pointwise_ratio(self, fig2a, fig2b):
+        fig3 = generate_speedup_figure(fig2a, fig2b)
+        for name, series in fig3.series.items():
+            base = dict(fig2a.sweeps[name].series())
+            opt = dict(fig2b.sweeps[name].series())
+            for p, s in series:
+                assert s == pytest.approx(opt[p] / base[p])
+
+    def test_fig3_range_sane(self, fig2a, fig2b):
+        lo, hi = generate_speedup_figure(fig2a, fig2b).overall_range()
+        assert lo >= 0.9
+        assert hi > 3.0  # optimized wins big at small p
+
+    def test_significant_share(self, fig2a, fig2b):
+        fig3 = generate_speedup_figure(fig2a, fig2b)
+        # Speedups are significant only when GPU share is large.
+        assert fig3.significant_gpu_share(threshold=2.0) >= 0.4
+
+    def test_argument_order_enforced(self, fig2a, fig2b):
+        with pytest.raises(ValueError):
+            generate_speedup_figure(fig2b, fig2a)
+
+    def test_site_mismatch_rejected(self, machine, fig2b):
+        fig4a = generate_coexec_figure(machine, (C1, C2), AllocationSite.A2,
+                                       optimized=False, trials=10, verify=False)
+        with pytest.raises(ValueError):
+            generate_speedup_figure(fig4a, fig2b)
+
+    def test_render(self, fig2a, fig2b):
+        text = render_speedup_figure(generate_speedup_figure(fig2a, fig2b))
+        assert "Figure 3" in text
+        assert "speedup range" in text

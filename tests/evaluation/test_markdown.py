@@ -1,0 +1,42 @@
+"""Tests for the markdown report writer."""
+
+import pytest
+
+from repro.evaluation.markdown import render_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report(machine):
+    return render_report(machine, trials=200)
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, report):
+        for heading in ("# Reproduction report", "## Table 1",
+                        "## Figure 1", "## Figures 2/4", "## Figures 3/5",
+                        "## Shape checks"):
+            assert heading in report
+
+    def test_paper_values_present(self, report):
+        assert "(3795)" in report
+        assert "(20.906)" in report
+        assert "0.996 – 10.654" in report
+
+    def test_all_checks_pass_at_paper_trials(self, report):
+        assert "FAIL" not in report
+        assert "27/27 criteria passed" in report
+
+    def test_markdown_table_syntax(self, report):
+        lines = [l for l in report.splitlines() if l.startswith("|")]
+        assert lines, "expected markdown tables"
+        assert any(set(l.replace("|", "").strip()) == {"-"} for l in lines)
+
+    def test_deterministic(self, machine, report):
+        assert render_report(machine, trials=200) == report
+
+
+class TestWriteReport:
+    def test_writes_file(self, machine, tmp_path):
+        out = write_report(tmp_path / "sub" / "report.md", machine, trials=200)
+        text = out.read_text()
+        assert text.startswith("# Reproduction report")

@@ -1,0 +1,49 @@
+"""Sanity tests over the embedded paper data."""
+
+import pytest
+
+from repro.evaluation import paper_data as pd
+
+
+class TestTable1Data:
+    def test_speedups_consistent_with_bandwidths(self):
+        for row in pd.PAPER_TABLE1.values():
+            assert row.speedup == pytest.approx(
+                row.optimized_gbs / row.base_gbs, rel=0.01
+            )
+
+    def test_efficiencies_consistent_with_peak(self):
+        for row in pd.PAPER_TABLE1.values():
+            assert row.optimized_efficiency_pct == pytest.approx(
+                100 * row.optimized_gbs / pd.PAPER_PEAK_GPU_BANDWIDTH_GBS,
+                abs=0.2,
+            )
+
+    def test_speedup_range_matches_abstract(self):
+        # "6.120X to 20.906X faster than the baselines".
+        speedups = [r.speedup for r in pd.PAPER_TABLE1.values()]
+        assert min(speedups) == 6.120
+        assert max(speedups) == 20.906
+
+
+class TestCoexecData:
+    def test_fig2b_average(self):
+        vals = list(pd.PAPER_FIG2B_BEST_SPEEDUP.values())
+        assert sum(vals) / len(vals) == pytest.approx(
+            pd.PAPER_FIG2B_AVG_SPEEDUP, abs=0.01
+        )
+
+    def test_fig4b_average(self):
+        vals = list(pd.PAPER_FIG4B_BEST_SPEEDUP.values())
+        assert sum(vals) / len(vals) == pytest.approx(
+            pd.PAPER_FIG4B_AVG_SPEEDUP, abs=0.01
+        )
+
+    def test_ranges_ordered(self):
+        assert pd.PAPER_FIG3_RANGE[0] < pd.PAPER_FIG3_RANGE[1]
+        assert pd.PAPER_FIG5_RANGE[0] < pd.PAPER_FIG5_RANGE[1]
+
+    def test_optimized_config_matches_fig2b_note(self):
+        assert pd.PAPER_OPTIMIZED_CONFIG["C2"] == (65536, 32)
+        for name in ("C1", "C3", "C4"):
+            assert pd.PAPER_OPTIMIZED_CONFIG[name] == (65536, 4)

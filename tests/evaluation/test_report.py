@@ -1,0 +1,61 @@
+"""Tests for the shape-check report."""
+
+import pytest
+
+from repro.core.cases import C1, PAPER_CASES
+from repro.core.coexec import AllocationSite
+from repro.evaluation.figures import generate_coexec_figure, generate_figure1
+from repro.evaluation.report import (
+    ShapeCheck,
+    check_coexec_shape,
+    check_figure1_shape,
+    check_table1_shape,
+)
+from repro.evaluation.tables import generate_table1
+
+
+class TestShapeCheck:
+    def test_str(self):
+        assert str(ShapeCheck("x", True, "ok")).startswith("[PASS]")
+        assert str(ShapeCheck("x", False, "bad")).startswith("[FAIL]")
+
+
+class TestTable1Checks(object):
+    @pytest.fixture(scope="class")
+    def checks(self, machine):
+        return check_table1_shape(generate_table1(machine))
+
+    def test_all_pass(self, checks):
+        assert all(c.passed for c in checks), [str(c) for c in checks]
+
+    def test_covers_all_cases_plus_aggregates(self, checks):
+        names = {c.name for c in checks}
+        assert {"table1-speedup-C1", "table1-speedup-order",
+                "table1-baseline-efficiency"} <= names
+
+
+class TestFigure1Checks:
+    def test_c1_passes(self, machine):
+        checks = check_figure1_shape(generate_figure1(machine, C1, trials=5))
+        assert all(c.passed for c in checks), [str(c) for c in checks]
+
+
+class TestCoexecChecks:
+    @pytest.fixture(scope="class")
+    def figures(self, machine):
+        kwargs = dict(trials=200, verify=False)
+        return (
+            generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A1,
+                                   optimized=False, **kwargs),
+            generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A1,
+                                   optimized=True, **kwargs),
+            generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A2,
+                                   optimized=False, **kwargs),
+            generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A2,
+                                   optimized=True, **kwargs),
+        )
+
+    def test_all_pass_at_paper_trials(self, figures):
+        checks = check_coexec_shape(*figures)
+        assert all(c.passed for c in checks), \
+            [str(c) for c in checks if not c.passed]

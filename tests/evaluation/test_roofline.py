@@ -1,0 +1,65 @@
+"""Tests for the roofline classifier."""
+
+import pytest
+
+from repro.core.cases import C1, C2
+from repro.evaluation.roofline import roofline_point
+from repro.gpu.kernels import ReductionKernel
+from repro.hardware import hopper_gpu
+from repro.openmp.runtime import LaunchGeometry
+
+GPU = hopper_gpu()
+
+
+def _kernel(case, grid, block, v):
+    return ReductionKernel(
+        name="k",
+        geometry=LaunchGeometry(grid=grid, block=block, from_clause=True),
+        elements=case.elements,
+        elements_per_iteration=v,
+        element_type=case.element_type,
+        result_type=case.result_type,
+    )
+
+
+class TestClassification:
+    def test_tuned_config_is_memory_bound(self):
+        point = roofline_point(GPU, _kernel(C1, 16384, 256, 4))
+        assert point.binding == "memory"
+        assert point.efficiency > 0.95  # sits on the memory roof
+
+    def test_small_grid_is_geometry_bound(self):
+        point = roofline_point(GPU, _kernel(C1, 32, 256, 4))
+        assert point.binding == "geometry"
+        assert point.geometry_ceiling_gbs < point.memory_ceiling_gbs
+
+    def test_heuristic_grid_is_epilogue_bound(self):
+        point = roofline_point(GPU, _kernel(C1, C1.elements // 128, 128, 1))
+        assert point.binding == "epilogue"
+
+    def test_int8_mid_v_is_issue_bound(self):
+        # The Fig-1b regime where widening costs bind before memory.
+        point = roofline_point(GPU, _kernel(C2, 65536 // 16, 256, 16))
+        assert point.binding == "issue"
+        assert point.issue_ceiling_gbs < point.memory_ceiling_gbs
+
+
+class TestQuantities:
+    def test_arithmetic_intensity(self):
+        assert roofline_point(GPU, _kernel(C1, 128, 256, 4)).arithmetic_intensity \
+            == pytest.approx(0.25)
+        assert roofline_point(GPU, _kernel(C2, 128, 256, 32)).arithmetic_intensity \
+            == pytest.approx(1.0)
+
+    def test_achieved_never_exceeds_binding_ceiling(self):
+        for grid in (32, 512, 16384):
+            for v in (1, 4, 32):
+                point = roofline_point(GPU, _kernel(C1, grid, 256, v))
+                ceiling = min(point.memory_ceiling_gbs,
+                              point.geometry_ceiling_gbs)
+                assert point.achieved_gbs <= ceiling * 1.001
+
+    def test_geometry_ceiling_grows_with_grid(self):
+        small = roofline_point(GPU, _kernel(C1, 64, 256, 4))
+        large = roofline_point(GPU, _kernel(C1, 4096, 256, 4))
+        assert large.geometry_ceiling_gbs > small.geometry_ceiling_gbs

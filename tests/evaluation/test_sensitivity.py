@@ -1,0 +1,46 @@
+"""Tests for the sensitivity-analysis module."""
+
+import pytest
+
+from repro.evaluation.sensitivity import (
+    SensitivityResult,
+    perturbations,
+    run_sensitivity,
+)
+from repro.gpu.calibration import DEFAULT_CALIBRATION
+
+
+class TestPerturbations:
+    def test_covers_every_scalar_knob_and_factor(self):
+        perturbed = perturbations((0.5, 2.0))
+        assert len(perturbed) == 8  # 4 knobs x 2 factors
+        knobs = {knob for knob, _, _ in perturbed}
+        assert "warp_inflight_cap_bytes" in knobs
+        assert "mlp_scale" in knobs
+
+    def test_perturbation_applies_factor(self):
+        for knob, factor, cal in perturbations((0.5,)):
+            assert getattr(cal, knob) == pytest.approx(
+                getattr(DEFAULT_CALIBRATION, knob) * 0.5
+            )
+
+    def test_default_untouched(self):
+        perturbations((0.5,))
+        assert DEFAULT_CALIBRATION.mlp_scale == 1.0
+
+
+class TestConclusions:
+    def test_result_predicate(self):
+        good = SensitivityResult("k", 1.0, c1_speedup=6.1, c1_best_v=4,
+                                 c2_best_v=32, c2_saturation_teams=32768,
+                                 c1_opt_efficiency=0.94)
+        assert good.conclusions_hold
+        bad = SensitivityResult("k", 1.0, c1_speedup=2.0, c1_best_v=4,
+                                c2_best_v=32, c2_saturation_teams=32768,
+                                c1_opt_efficiency=0.94)
+        assert not bad.conclusions_hold
+
+    def test_mild_perturbations_robust(self):
+        results = run_sensitivity(factors=(0.9, 1.1))
+        assert results  # non-empty
+        assert all(r.conclusions_hold for r in results)

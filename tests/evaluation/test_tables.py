@@ -1,0 +1,46 @@
+"""Tests for Table 1 generation."""
+
+import pytest
+
+from repro.evaluation.paper_data import PAPER_TABLE1
+from repro.evaluation.tables import generate_table1, render_table1
+
+
+@pytest.fixture(scope="module")
+def table1(machine):
+    return generate_table1(machine)
+
+
+class TestGenerateTable1:
+    def test_all_cases_present(self, table1):
+        assert set(table1) == {"C1", "C2", "C3", "C4"}
+
+    def test_bandwidths_within_ten_percent_of_paper(self, table1):
+        # The calibrated model should land very close on Table 1 itself.
+        for name, row in table1.items():
+            paper = PAPER_TABLE1[name]
+            assert row.base_gbs == pytest.approx(paper.base_gbs, rel=0.10)
+            assert row.optimized_gbs == pytest.approx(paper.optimized_gbs,
+                                                      rel=0.05)
+
+    def test_speedups_in_band(self, table1):
+        for name, row in table1.items():
+            paper = PAPER_TABLE1[name]
+            assert row.speedup == pytest.approx(paper.speedup, rel=0.15)
+
+    def test_efficiency_bands(self, table1):
+        for row in table1.values():
+            assert row.base_efficiency_pct < 17.0
+            assert 85.0 < row.optimized_efficiency_pct < 97.0
+
+    def test_optimized_config_saturates(self, table1):
+        for row in table1.values():
+            assert row.optimized_config.teams >= 2048
+
+
+class TestRenderTable1:
+    def test_render_contains_paper_values(self, table1):
+        text = render_table1(table1)
+        assert "C1" in text and "C4" in text
+        assert "(3795)" in text  # paper's C1 optimized value
+        assert "(20.906)" in text

@@ -1,0 +1,66 @@
+"""Tests for the calibration profile."""
+
+import dataclasses
+
+import pytest
+
+from repro.dtypes import FLOAT32, INT32, INT8
+from repro.errors import SpecError
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+
+
+class TestLookups:
+    def test_efficiency_by_type(self):
+        assert DEFAULT_CALIBRATION.efficiency_for(INT8) < \
+            DEFAULT_CALIBRATION.efficiency_for(INT32)
+
+    def test_combine_cycles_float_costlier_than_int(self):
+        # The fitted NVHPC behaviour behind C3's very low baseline: the
+        # float combine path is far more expensive than the int32 one.
+        assert DEFAULT_CALIBRATION.combine_cycles_for(FLOAT32) > \
+            2 * DEFAULT_CALIBRATION.combine_cycles_for(INT32)
+
+    def test_accepts_string_and_numpy_types(self):
+        import numpy as np
+
+        a = DEFAULT_CALIBRATION.efficiency_for("int32")
+        b = DEFAULT_CALIBRATION.efficiency_for(np.int32)
+        assert a == b
+
+    def test_iter_fixed_only_for_subword(self):
+        assert DEFAULT_CALIBRATION.iter_fixed_for(INT8) > 0
+        assert DEFAULT_CALIBRATION.iter_fixed_for(INT32) == 0
+
+
+class TestValidation:
+    def test_negative_cap_rejected(self):
+        with pytest.raises(SpecError):
+            GpuCalibration(warp_inflight_cap_bytes=-1)
+
+    def test_zero_mlp_rejected(self):
+        with pytest.raises(SpecError):
+            GpuCalibration(mlp_scale=0)
+
+    def test_efficiency_over_one_rejected(self):
+        with pytest.raises(SpecError):
+            GpuCalibration(efficiency={"int32": 1.1})
+
+    def test_nonpositive_table_entry_rejected(self):
+        with pytest.raises(SpecError):
+            GpuCalibration(combine_cycles={"int32": 0.0})
+
+    def test_missing_type_raises_on_lookup(self):
+        cal = GpuCalibration(efficiency={"int32": 0.9})
+        with pytest.raises(SpecError):
+            cal.efficiency_for("float64")
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        cal = DEFAULT_CALIBRATION.with_overrides(mlp_scale=0.5)
+        assert cal.mlp_scale == 0.5
+        assert DEFAULT_CALIBRATION.mlp_scale == 1.0
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CALIBRATION.mlp_scale = 2.0  # type: ignore[misc]

@@ -1,0 +1,96 @@
+"""Tests for the calibration fitter."""
+
+import pytest
+
+from repro import Machine
+from repro.core.cases import PAPER_CASES
+from repro.core.optimized import KernelConfig
+from repro.core.timing import measure_gpu_reduction
+from repro.errors import SpecError
+from repro.evaluation.paper_data import PAPER_OPTIMIZED_CONFIG, PAPER_TABLE1
+from repro.gpu.calibration import DEFAULT_CALIBRATION
+from repro.gpu.fit import fit_calibration
+from repro.hardware import hopper_gpu, nvlink_c2c
+
+
+def _paper_targets():
+    targets = {}
+    for case in PAPER_CASES:
+        paper = PAPER_TABLE1[case.name]
+        targets[case.name] = (
+            (
+                case.element_type.name,
+                case.result_type.name,
+                case.elements,
+                PAPER_OPTIMIZED_CONFIG[case.name],
+            ),
+            paper.base_gbs,
+            paper.optimized_gbs,
+        )
+    return targets
+
+
+class TestFitAgainstPaper:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return fit_calibration(hopper_gpu(), nvlink_c2c(), _paper_targets())
+
+    def test_recovers_frozen_defaults(self, fitted):
+        # The shipped calibration came from this exact procedure: the fit
+        # must land within ~3% of every frozen entry.
+        for key, value in DEFAULT_CALIBRATION.combine_cycles.items():
+            if key == "int8":
+                continue  # int8 results accumulate in int64; never fitted
+            assert fitted.combine_cycles[key] == pytest.approx(value, rel=0.03)
+        for key, value in DEFAULT_CALIBRATION.efficiency.items():
+            assert fitted.efficiency[key] == pytest.approx(value, rel=0.01)
+
+    def test_closes_the_loop_on_table1(self, fitted):
+        # Measuring with the fitted calibration reproduces the targets.
+        machine = Machine(calibration=fitted)
+        for case in PAPER_CASES:
+            paper = PAPER_TABLE1[case.name]
+            base = measure_gpu_reduction(machine, case, trials=2,
+                                         verify=False)
+            teams, v = PAPER_OPTIMIZED_CONFIG[case.name]
+            opt = measure_gpu_reduction(
+                machine, case, KernelConfig(teams=teams, v=v), trials=2,
+                verify=False,
+            )
+            assert base.bandwidth_gbs == pytest.approx(paper.base_gbs,
+                                                       rel=0.03)
+            assert opt.bandwidth_gbs == pytest.approx(paper.optimized_gbs,
+                                                      rel=0.02)
+
+    def test_structural_constants_untouched(self, fitted):
+        assert fitted.warp_inflight_cap_bytes == \
+            DEFAULT_CALIBRATION.warp_inflight_cap_bytes
+        assert fitted.element_issue_insts == \
+            DEFAULT_CALIBRATION.element_issue_insts
+
+
+class TestFitValidation:
+    def test_impossible_baseline_rejected(self):
+        targets = {
+            "X": (("int32", "int32", 1_048_576_000, (65536, 4)),
+                  50_000.0, 3795.0),
+        }
+        with pytest.raises(SpecError):
+            fit_calibration(hopper_gpu(), nvlink_c2c(), targets)
+
+    def test_superluminal_optimized_rejected(self):
+        targets = {
+            "X": (("int32", "int32", 1_048_576_000, (65536, 4)),
+                  620.0, 5_000.0),
+        }
+        with pytest.raises(SpecError, match="efficiency"):
+            fit_calibration(hopper_gpu(), nvlink_c2c(), targets)
+
+    def test_partial_targets_keep_other_entries(self):
+        targets = {
+            "C1": (("int32", "int32", 1_048_576_000, (65536, 4)),
+                   620.0, 3795.0),
+        }
+        fitted = fit_calibration(hopper_gpu(), nvlink_c2c(), targets)
+        assert fitted.efficiency["float64"] == \
+            DEFAULT_CALIBRATION.efficiency["float64"]

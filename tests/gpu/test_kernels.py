@@ -1,0 +1,67 @@
+"""Tests for the kernel descriptor."""
+
+import pytest
+
+from repro.dtypes import INT32, INT64, INT8
+from repro.errors import LaunchError, UnsupportedReductionError
+from repro.gpu.kernels import ReductionKernel
+from repro.openmp.runtime import LaunchGeometry
+
+
+def _kernel(**kwargs):
+    defaults = dict(
+        name="k",
+        geometry=LaunchGeometry(grid=1024, block=256, from_clause=True),
+        elements=1 << 20,
+        elements_per_iteration=4,
+        element_type=INT32,
+        result_type=INT32,
+    )
+    defaults.update(kwargs)
+    return ReductionKernel(**defaults)
+
+
+class TestDerivedQuantities:
+    def test_trip_count(self):
+        assert _kernel().trip_count == (1 << 20) // 4
+
+    def test_input_bytes(self):
+        assert _kernel().input_bytes == (1 << 20) * 4
+        assert _kernel(element_type=INT8, result_type=INT64).input_bytes == 1 << 20
+
+    def test_total_threads(self):
+        assert _kernel().total_threads == 1024 * 256
+
+    def test_iterations_per_thread_rounds_up(self):
+        k = _kernel(elements=1 << 20, elements_per_iteration=1)
+        assert k.iterations_per_thread == -(-(1 << 20) // (1024 * 256))
+
+    def test_op_lookup(self):
+        assert _kernel().op.identifier == "+"
+
+    def test_describe(self):
+        text = _kernel().describe()
+        assert "grid=1024" in text and "V=4" in text
+
+
+class TestValidation:
+    def test_elements_must_divide_v(self):
+        with pytest.raises(LaunchError, match="divisible"):
+            _kernel(elements=1000, elements_per_iteration=32)
+
+    def test_type_coercion_from_strings(self):
+        k = _kernel(element_type="int8", result_type="int64")
+        assert k.element_type is INT8
+        assert k.result_type is INT64
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(UnsupportedReductionError):
+            _kernel(identifier="avg")
+
+    def test_float_bitwise_rejected(self):
+        with pytest.raises(UnsupportedReductionError):
+            _kernel(element_type="float32", result_type="float32", identifier="&")
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(ValueError):
+            _kernel(elements=0)

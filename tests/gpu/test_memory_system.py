@@ -1,0 +1,73 @@
+"""Tests for the memory-level-parallelism bandwidth model."""
+
+import pytest
+
+from repro.dtypes import FLOAT64, INT32, INT8
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.memory_system import achievable_bandwidth_gbs, warp_inflight_bytes
+from repro.hardware import hopper_gpu
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return hopper_gpu()
+
+
+class TestWarpInflightBytes:
+    def test_grows_with_v(self, gpu):
+        b1 = warp_inflight_bytes(gpu, 1, INT32)
+        b4 = warp_inflight_bytes(gpu, 4, INT32)
+        assert b4 == 4 * b1
+
+    def test_capped_at_lsu_limit(self, gpu):
+        cap = DEFAULT_CALIBRATION.warp_inflight_cap_bytes
+        assert warp_inflight_bytes(gpu, 8, INT32) == cap
+        assert warp_inflight_bytes(gpu, 32, INT32) == cap
+
+    def test_int8_derated(self, gpu):
+        # Sub-word streams keep fewer useful bytes in flight.
+        b_int8 = warp_inflight_bytes(gpu, 4, INT8)
+        b_int32 = warp_inflight_bytes(gpu, 1, INT32)
+        assert b_int8 < b_int32  # same raw bytes (128), int8 derated
+
+    def test_v_must_be_positive(self, gpu):
+        with pytest.raises(ValueError):
+            warp_inflight_bytes(gpu, 0, INT32)
+
+
+class TestAchievableBandwidth:
+    def test_scales_linearly_before_ceiling(self, gpu):
+        bw1 = achievable_bandwidth_gbs(gpu, 512, 4, INT32)
+        bw2 = achievable_bandwidth_gbs(gpu, 1024, 4, INT32)
+        assert bw2 == pytest.approx(2 * bw1)
+
+    def test_ceiling_is_efficiency_times_peak(self, gpu):
+        bw = achievable_bandwidth_gbs(gpu, gpu.max_resident_warps, 4, INT32)
+        expected = DEFAULT_CALIBRATION.efficiency_for(INT32) * 4022.7
+        assert bw == pytest.approx(expected)
+
+    def test_int8_ceiling_lower(self, gpu):
+        full = gpu.max_resident_warps
+        bw8 = achievable_bandwidth_gbs(gpu, full, 32, INT8)
+        bw32 = achievable_bandwidth_gbs(gpu, full, 4, INT32)
+        assert bw8 < bw32  # 89.x% vs 94.x% of peak
+
+    def test_v1_never_reaches_ceiling_at_full_occupancy(self, gpu):
+        # The core Figure-1 mechanism: V=1 plateaus below peak even when
+        # every SM is full, which is why the paper unrolls V elements.
+        bw_v1 = achievable_bandwidth_gbs(gpu, 132 * 64, 1, INT32)
+        ceiling = DEFAULT_CALIBRATION.efficiency_for(INT32) * 4022.7
+        assert bw_v1 < 0.6 * ceiling
+
+    def test_custom_calibration(self, gpu):
+        cal = GpuCalibration(mlp_scale=0.5)
+        half = achievable_bandwidth_gbs(gpu, 512, 4, INT32, cal)
+        full = achievable_bandwidth_gbs(gpu, 512, 4, INT32)
+        assert half == pytest.approx(full / 2)
+
+    def test_f64_derated_inflight(self, gpu):
+        # 8-byte elements halve outstanding loads (keeps C4 saturation at
+        # ~4096 teams).
+        bw_f64 = achievable_bandwidth_gbs(gpu, 1024, 1, FLOAT64)
+        bw_int32_same_bytes = achievable_bandwidth_gbs(gpu, 1024, 2, INT32)
+        assert bw_f64 == pytest.approx(bw_int32_same_bytes / 2)

@@ -1,0 +1,63 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.hardware import hopper_gpu
+from repro.gpu.occupancy import occupancy
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return hopper_gpu()
+
+
+class TestResidency:
+    def test_256_thread_blocks(self, gpu):
+        occ = occupancy(gpu, grid=1 << 20, block=256)
+        assert occ.warps_per_block == 8
+        assert occ.blocks_per_sm == 8  # 64 warps / 8 warps-per-block
+        assert occ.active_blocks == 132 * 8
+        assert occ.active_warps == 132 * 64  # full occupancy
+
+    def test_128_thread_blocks_hit_block_cap_first(self, gpu):
+        occ = occupancy(gpu, grid=1 << 20, block=128)
+        assert occ.warps_per_block == 4
+        # 64/4 = 16 <= max_blocks_per_sm 32.
+        assert occ.blocks_per_sm == 16
+        assert occ.active_warps == 132 * 64
+
+    def test_small_blocks_hit_block_residency_cap(self, gpu):
+        occ = occupancy(gpu, grid=1 << 20, block=32)
+        assert occ.blocks_per_sm == 32  # capped by max_blocks_per_sm
+        assert occ.active_warps == 132 * 32  # half occupancy
+
+    def test_small_grid_underfills(self, gpu):
+        occ = occupancy(gpu, grid=64, block=256)
+        assert occ.active_blocks == 64
+        assert occ.active_warps == 64 * 8
+        assert occ.waves == 1
+
+    def test_waves(self, gpu):
+        capacity = 132 * 8
+        occ = occupancy(gpu, grid=capacity * 3 + 1, block=256)
+        assert occ.waves == 4
+
+    def test_exact_fill_single_wave(self, gpu):
+        occ = occupancy(gpu, grid=132 * 8, block=256)
+        assert occ.waves == 1
+        assert occ.active_blocks == 132 * 8
+
+
+class TestValidation:
+    def test_block_too_large(self, gpu):
+        with pytest.raises(LaunchError):
+            occupancy(gpu, grid=1, block=2048)
+
+    def test_zero_grid(self, gpu):
+        with pytest.raises(ValueError):
+            occupancy(gpu, grid=0, block=128)
+
+    def test_non_warp_multiple_rounds_up(self, gpu):
+        occ = occupancy(gpu, grid=1, block=100)
+        assert occ.warps_per_block == 4

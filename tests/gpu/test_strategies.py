@@ -1,0 +1,92 @@
+"""Tests for the reduction-strategy variants."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FLOAT32, INT32
+from repro.gpu.exec_model import execute_reduction
+from repro.gpu.kernels import ReductionKernel
+from repro.gpu.perf import estimate_kernel_time
+from repro.gpu.strategies import (
+    ReductionStrategy,
+    atomic_ops,
+    atomic_same_address_ns,
+)
+from repro.hardware import hopper_gpu
+from repro.openmp.runtime import LaunchGeometry
+
+GPU = hopper_gpu()
+
+
+def _kernel(strategy, grid=16384, block=256, t=INT32, elements=1 << 30, v=4):
+    return ReductionKernel(
+        name="k",
+        geometry=LaunchGeometry(grid=grid, block=block, from_clause=True),
+        elements=elements,
+        elements_per_iteration=v,
+        element_type=t,
+        result_type=t,
+        strategy=strategy,
+    )
+
+
+class TestAtomicCounting:
+    def test_tree_has_no_extra_atomics(self):
+        assert atomic_ops(ReductionStrategy.TREE, 1024, 8, 256) == 0
+
+    def test_warp_atomic_counts_warps(self):
+        assert atomic_ops(ReductionStrategy.WARP_ATOMIC, 1024, 8, 256) == 8192
+
+    def test_thread_atomic_counts_threads(self):
+        assert atomic_ops(ReductionStrategy.THREAD_ATOMIC, 1024, 8, 256) == \
+            1024 * 256
+
+    def test_float_atomics_slower_than_int(self):
+        assert atomic_same_address_ns(FLOAT32) > atomic_same_address_ns(INT32)
+
+
+class TestStrategyTiming:
+    def test_warp_atomic_competitive_at_tuned_geometry(self):
+        tree = estimate_kernel_time(GPU, _kernel(ReductionStrategy.TREE))
+        warp = estimate_kernel_time(GPU, _kernel(ReductionStrategy.WARP_ATOMIC))
+        # Both memory-bound at the tuned grid: within 20%.
+        assert warp.total == pytest.approx(tree.total, rel=0.2)
+
+    def test_thread_atomic_collapses_under_contention(self):
+        tree = estimate_kernel_time(GPU, _kernel(ReductionStrategy.TREE))
+        thread = estimate_kernel_time(
+            GPU, _kernel(ReductionStrategy.THREAD_ATOMIC)
+        )
+        assert thread.total > 5 * tree.total
+        assert thread.bottleneck == "atomic"
+
+    def test_thread_atomic_fine_with_tiny_grids(self):
+        # Few threads -> few atomics: the strategy is fine, just slow for
+        # other reasons (underfilled GPU).
+        k = _kernel(ReductionStrategy.THREAD_ATOMIC, grid=64)
+        timing = estimate_kernel_time(GPU, k)
+        assert timing.bottleneck != "atomic"
+
+    def test_float_contention_worse_than_int(self):
+        f = estimate_kernel_time(
+            GPU, _kernel(ReductionStrategy.THREAD_ATOMIC, t=FLOAT32)
+        )
+        i = estimate_kernel_time(
+            GPU, _kernel(ReductionStrategy.THREAD_ATOMIC, t=INT32)
+        )
+        assert f.atomic > 2 * i.atomic
+
+    def test_default_strategy_is_tree(self):
+        k = _kernel(ReductionStrategy.TREE)
+        assert ReductionKernel(
+            name="d", geometry=k.geometry, elements=k.elements,
+            elements_per_iteration=4, element_type=INT32, result_type=INT32,
+        ).strategy is ReductionStrategy.TREE
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("strategy", list(ReductionStrategy))
+    def test_same_integer_result(self, strategy, rng):
+        data = rng.integers(-100, 100, size=100_000).astype(np.int32)
+        k = _kernel(strategy, grid=256, block=128, elements=1 << 20)
+        assert execute_reduction(data, k) == data.sum(dtype=np.int32)

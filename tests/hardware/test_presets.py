@@ -1,0 +1,70 @@
+"""Tests for the Grace-Hopper presets against the paper's §II.C numbers."""
+
+import pytest
+
+from repro.hardware import (
+    GRACE_LPDDR5X,
+    HOPPER_HBM3,
+    grace_cpu,
+    grace_hopper,
+    hopper_gpu,
+    nvlink_c2c,
+)
+from repro.util.units import GiB
+
+
+class TestGracePreset:
+    def test_core_count(self):
+        assert grace_cpu().cores == 72  # "72-core ARM Neoverse V2 CPU"
+
+    def test_memory_capacity(self):
+        assert GRACE_LPDDR5X.capacity_bytes == 480 * GiB  # "480 GB LPDDR5X"
+
+    def test_memory_name(self):
+        assert GRACE_LPDDR5X.name == "LPDDR5X"
+
+    def test_stream_bandwidth_realistic(self):
+        # STREAM-class sustained rate on Grace: a few hundred GB/s.
+        assert 300.0 < grace_cpu().stream_bandwidth_gbs < 550.0
+
+
+class TestHopperPreset:
+    def test_peak_bandwidth_is_papers(self):
+        # "The peak GPU memory bandwidth is 4022.7 GB/s."
+        assert HOPPER_HBM3.peak_bandwidth_gbs == pytest.approx(4022.7)
+
+    def test_memory_capacity(self):
+        assert HOPPER_HBM3.capacity_bytes == 96 * GiB  # "96 GB HBM3"
+
+    def test_hopper_architecture_limits(self):
+        gpu = hopper_gpu()
+        assert gpu.sms == 132
+        assert gpu.warp_size == 32
+        assert gpu.max_warps_per_sm == 64
+        assert gpu.max_threads_per_block == 1024
+
+
+class TestNvlinkPreset:
+    def test_rates_ordered(self):
+        link = nvlink_c2c()
+        # migration << remote reads < raw link bandwidth.
+        assert link.migration_gbs < link.remote_read_gbs < link.bandwidth_gbs
+
+    def test_custom_rates(self):
+        link = nvlink_c2c(migration_gbs=5.0)
+        assert link.migration_gbs == 5.0
+
+
+class TestGraceHopperSystem:
+    def test_composition(self):
+        sys = grace_hopper()
+        assert sys.cpu.cores == 72
+        assert sys.gpu.sms == 132
+        assert sys.peak_gpu_bandwidth_gbs == pytest.approx(4022.7)
+
+    def test_common_page_size(self):
+        assert grace_hopper().page_bytes == 64 * 1024
+
+    def test_describe_mentions_parts(self):
+        text = grace_hopper().describe()
+        assert "Grace" in text and "H100" in text and "NVLink" in text

@@ -1,0 +1,133 @@
+"""Tests for hardware spec dataclasses."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hardware.spec import CpuSpec, GpuSpec, LinkSpec, MemorySpec
+
+
+def _mem(**kwargs) -> MemorySpec:
+    defaults = dict(
+        name="TEST",
+        capacity_bytes=1 << 30,
+        peak_bandwidth_gbs=100.0,
+        latency_ns=100.0,
+        page_bytes=65536,
+    )
+    defaults.update(kwargs)
+    return MemorySpec(**defaults)
+
+
+class TestMemorySpec:
+    def test_peak_bytes_per_s(self):
+        assert _mem(peak_bandwidth_gbs=4022.7).peak_bandwidth_bytes_per_s == pytest.approx(
+            4.0227e12
+        )
+
+    def test_n_pages_rounds_up(self):
+        mem = _mem(page_bytes=65536)
+        assert mem.n_pages(0) == 0
+        assert mem.n_pages(1) == 1
+        assert mem.n_pages(65536) == 1
+        assert mem.n_pages(65537) == 2
+
+    def test_n_pages_negative_raises(self):
+        with pytest.raises(SpecError):
+            _mem().n_pages(-1)
+
+    @pytest.mark.parametrize(
+        "field", ["capacity_bytes", "peak_bandwidth_gbs", "latency_ns", "page_bytes"]
+    )
+    def test_positive_validation(self, field):
+        with pytest.raises(SpecError, match=field):
+            _mem(**{field: 0})
+
+
+class TestCpuSpec:
+    def _cpu(self, **kwargs):
+        defaults = dict(
+            name="TestCPU",
+            cores=72,
+            clock_ghz=3.1,
+            simd_width_bytes=16,
+            memory=_mem(peak_bandwidth_gbs=500.0),
+            stream_efficiency=0.9,
+        )
+        defaults.update(kwargs)
+        return CpuSpec(**defaults)
+
+    def test_stream_bandwidth(self):
+        assert self._cpu().stream_bandwidth_gbs == pytest.approx(450.0)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5, -0.1])
+    def test_stream_efficiency_range(self, bad):
+        with pytest.raises(SpecError):
+            self._cpu(stream_efficiency=bad)
+
+    def test_negative_fork_join_rejected(self):
+        with pytest.raises(SpecError):
+            self._cpu(fork_join_overhead_us=-1.0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SpecError):
+            self._cpu(cores=0)
+
+
+class TestGpuSpec:
+    def _gpu(self, **kwargs):
+        defaults = dict(
+            name="TestGPU",
+            sms=132,
+            clock_ghz=1.98,
+            warp_size=32,
+            max_warps_per_sm=64,
+            max_blocks_per_sm=32,
+            max_threads_per_block=1024,
+            memory=_mem(peak_bandwidth_gbs=4022.7),
+        )
+        defaults.update(kwargs)
+        return GpuSpec(**defaults)
+
+    def test_derived_limits(self):
+        gpu = self._gpu()
+        assert gpu.max_threads_per_sm == 2048
+        assert gpu.max_resident_warps == 132 * 64
+
+    def test_cycle_seconds(self):
+        assert self._gpu(clock_ghz=2.0).cycle_seconds == pytest.approx(5e-10)
+
+    def test_block_size_must_be_warp_multiple(self):
+        with pytest.raises(SpecError):
+            self._gpu(max_threads_per_block=1000)
+
+    def test_zero_sms_rejected(self):
+        with pytest.raises(SpecError):
+            self._gpu(sms=0)
+
+
+class TestLinkSpec:
+    def _link(self, **kwargs):
+        defaults = dict(
+            name="TestLink",
+            bandwidth_gbs=450.0,
+            remote_read_gbs=330.0,
+            migration_gbs=12.0,
+        )
+        defaults.update(kwargs)
+        return LinkSpec(**defaults)
+
+    def test_valid(self):
+        link = self._link()
+        assert link.bandwidth_gbs == 450.0
+
+    def test_remote_read_cannot_exceed_link(self):
+        with pytest.raises(SpecError):
+            self._link(remote_read_gbs=500.0)
+
+    def test_migration_cannot_exceed_link(self):
+        with pytest.raises(SpecError):
+            self._link(migration_gbs=500.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SpecError):
+            self._link(latency_us=-0.1)

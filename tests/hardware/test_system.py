@@ -1,0 +1,46 @@
+"""Tests for system composition and customization."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hardware import grace_cpu, grace_hopper, hopper_gpu, nvlink_c2c
+from repro.hardware.spec import MemorySpec
+from repro.hardware.system import GraceHopperSystem
+
+
+class TestComposition:
+    def test_with_cpu_replaces_only_cpu(self):
+        base = grace_hopper()
+        custom = base.with_cpu(grace_cpu(cores=36))
+        assert custom.cpu.cores == 36
+        assert custom.gpu is base.gpu
+        assert base.cpu.cores == 72  # original untouched
+
+    def test_with_gpu(self):
+        custom = grace_hopper().with_gpu(hopper_gpu(sms=66))
+        assert custom.gpu.sms == 66
+
+    def test_with_link(self):
+        custom = grace_hopper().with_link(nvlink_c2c(migration_gbs=1.0))
+        assert custom.link.migration_gbs == 1.0
+
+    def test_mismatched_page_sizes_rejected(self):
+        odd_mem = MemorySpec(
+            name="ODD",
+            capacity_bytes=1 << 30,
+            peak_bandwidth_gbs=100.0,
+            latency_ns=100.0,
+            page_bytes=4096,
+        )
+        with pytest.raises(SpecError, match="page"):
+            GraceHopperSystem(
+                cpu=grace_cpu(memory=odd_mem),
+                gpu=hopper_gpu(),
+                link=nvlink_c2c(),
+            )
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            grace_hopper().cpu = grace_cpu()  # type: ignore[misc]

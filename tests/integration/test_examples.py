@@ -1,0 +1,58 @@
+"""Smoke-run the example scripts (the library's documented entry points).
+
+``reproduce_paper.py`` is exercised through
+:func:`repro.evaluation.report.full_report` in the evaluation tests; the
+remaining examples run here as subprocesses so import-time and CLI-arg
+regressions surface.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "baseline" in out and "optimized" in out
+        assert "speedup" in out
+
+    def test_autotune_c1(self):
+        out = _run("autotune_reduction.py", "C1")
+        assert "best configuration" in out
+        assert "Table 1 row" in out
+
+    def test_coexec_c4(self):
+        out = _run("coexec_unified_memory.py", "C4")
+        assert "best split" in out
+        assert "A1 vs A2" in out
+
+    def test_custom_system(self):
+        out = _run("custom_system.py")
+        assert "GH200 (paper)" in out
+        assert "migration" in out
+
+    def test_reduction_strategies(self):
+        out = _run("reduction_strategies.py")
+        assert "thread-atomic" in out
+        assert "memory" in out
+
+    def test_examples_are_deterministic(self):
+        a = _run("reduction_strategies.py")
+        b = _run("reduction_strategies.py")
+        assert a == b

@@ -1,0 +1,134 @@
+"""Failure injection: the verification layer must catch broken executors.
+
+These tests deliberately sabotage parts of the pipeline and assert the
+library *notices* — the reproduction's equivalent of the paper's "GPU
+results are verified using the CPU results" safety net actually having
+teeth.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Machine, ReproConfig, VerificationError
+from repro.core.cases import C1, C3, PAPER_CASES
+from repro.core.coexec import AllocationSite, measure_coexec_sweep
+from repro.core.optimized import KernelConfig
+from repro.core.timing import measure_gpu_reduction
+from repro.core.verify import verify_result
+from repro.errors import MemoryModelError
+
+
+@pytest.fixture()
+def machine():
+    return Machine(config=ReproConfig(functional_elements_cap=1 << 14))
+
+
+class TestBrokenExecutorCaught:
+    def _sabotage(self, monkeypatch, module, delta):
+        real = module.execute_reduction
+
+        def broken(data, kernel):
+            value = real(data, kernel)
+            return value.dtype.type(value + delta)
+
+        monkeypatch.setattr(module, "execute_reduction", broken)
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in PAPER_CASES if c.result_type.is_integer],
+        ids=lambda c: c.name,
+    )
+    def test_off_by_one_partial_sum_detected(self, machine, monkeypatch, case):
+        # Integers verify exactly: a +-1 corruption always raises.  (Float
+        # cases are covered by the relative-corruption test below — an
+        # absolute +1 on a large float sum is inside the legitimate
+        # rounding tolerance.)
+        import repro.core.timing as timing_mod
+
+        self._sabotage(monkeypatch, timing_mod, delta=1)
+        with pytest.raises(VerificationError):
+            measure_gpu_reduction(machine, case, trials=1)
+
+    def test_relative_float_corruption_detected(self, machine, monkeypatch):
+        import repro.core.timing as timing_mod
+
+        real = timing_mod.execute_reduction
+        monkeypatch.setattr(
+            timing_mod, "execute_reduction",
+            lambda data, kernel: np.float32(real(data, kernel) * 1.001),
+        )
+        with pytest.raises(VerificationError):
+            measure_gpu_reduction(machine, C3, trials=1)
+
+    def test_coexec_combine_corruption_detected(self, machine, monkeypatch):
+        import repro.core.coexec as coexec_mod
+
+        real = coexec_mod.execute_host_reduction
+        monkeypatch.setattr(
+            coexec_mod, "execute_host_reduction",
+            lambda data, cpu, rtype: real(data, cpu, rtype) + 7,
+        )
+        with pytest.raises(VerificationError):
+            measure_coexec_sweep(
+                machine, C1.scaled(1 << 12, name="C1f"), AllocationSite.A1,
+                KernelConfig(teams=128, v=4), p_grid=(0.5,), trials=1,
+                verify=True,
+            )
+
+
+class TestPathologicalValues:
+    def test_nan_result_never_verifies(self, machine, rng):
+        data = rng.random(1024).astype(np.float32)
+        with pytest.raises(VerificationError):
+            verify_result(np.float32("nan"), data, "float32")
+
+    def test_inf_result_never_verifies(self, machine, rng):
+        data = rng.random(1024).astype(np.float32)
+        with pytest.raises(VerificationError):
+            verify_result(np.float32("inf"), data, "float32")
+
+    def test_nan_in_input_propagates_consistently(self, machine):
+        # NaN inputs poison both device and host sums identically for
+        # integers... floats: the reference is NaN too, and NaN != NaN
+        # means verification must REJECT (no silent NaN == NaN pass).
+        data = np.ones(1024, dtype=np.float32)
+        data[100] = np.nan
+        from repro.gpu.exec_model import execute_reduction
+        from repro.gpu.kernels import ReductionKernel
+        from repro.openmp.runtime import LaunchGeometry
+
+        kernel = ReductionKernel(
+            name="k",
+            geometry=LaunchGeometry(grid=8, block=32, from_clause=True),
+            elements=1024, elements_per_iteration=1,
+            element_type="float32", result_type="float32",
+        )
+        value = execute_reduction(data, kernel)
+        assert np.isnan(value)
+        with pytest.raises(VerificationError):
+            verify_result(value, data, "float32")
+
+
+class TestResourceExhaustion:
+    def test_device_memory_exhaustion_in_data_env(self):
+        from repro.hardware import nvlink_c2c
+        from repro.openmp.data_env import DeviceDataEnvironment
+
+        env = DeviceDataEnvironment(nvlink_c2c(), device_capacity_bytes=1 << 20)
+        with pytest.raises(MemoryModelError, match="exhausted"):
+            env.map_to("huge", 1 << 21)
+
+    def test_um_allocation_beyond_system_memory(self, machine):
+        um = machine.unified_memory()
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            um.allocate(machine.cpu.memory.capacity_bytes + 1)
+
+    def test_case_larger_than_hbm_still_allocates_in_um(self, machine):
+        # UM allows oversubscription of the 96 GiB HBM (backing store is
+        # system memory) — allocation succeeds, residency starts empty.
+        um = machine.unified_memory()
+        big = um.allocate(128 << 30, name="oversubscribed")
+        assert big.n_pages > 0
+        um.free(big)

@@ -1,0 +1,142 @@
+"""End-to-end walkthrough of the paper's Listings 1-8 on the simulated node.
+
+Each test reproduces one listing's code path through the public layers:
+pragma text -> compiler -> runtime -> kernel -> functional execution ->
+measurement, exactly as a user of the real toolchain would experience it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Machine, ReproConfig
+from repro.compiler import CompilerFlags, NvhpcCompiler, ReductionLoopProgram
+from repro.core.baseline import BASELINE_PRAGMA
+from repro.core.cases import C1
+from repro.core.coexec import AllocationSite, measure_coexec_sweep
+from repro.core.optimized import KernelConfig, optimized_pragma
+from repro.core.timing import measure_gpu_reduction
+from repro.dtypes import INT32
+from repro.errors import CompileError
+from repro.gpu.exec_model import execute_reduction
+from repro.openmp.canonical import ForLoop, listing4_loop, listing5_loop
+from repro.openmp.parser import parse_pragma
+
+M = 1 << 20
+
+
+@pytest.fixture()
+def machine():
+    return Machine(config=ReproConfig(functional_elements_cap=1 << 16))
+
+
+def test_listing1_sequential_reference(machine):
+    """Listing 1: the serial loop is our verification reference."""
+    data = machine.workload(C1.scaled(M))
+    # Vectorized equivalent of the serial loop accumulating in R = int32:
+    sequential = data.sum(dtype=np.int32)
+    # ... equals the exact sum reduced modulo 2**32 (two's complement).
+    exact = int(data.astype(np.int64).sum())
+    wrapped = (exact + 2**31) % 2**32 - 2**31
+    assert int(sequential) == wrapped
+
+
+def test_listing2_baseline_offload(machine):
+    """Listing 2: annotate the serial loop; runtime picks the geometry."""
+    program = ReductionLoopProgram(
+        pragma=BASELINE_PRAGMA,
+        loop=ForLoop("i", trip_count=M),
+        element_type=INT32,
+        result_type=INT32,
+    )
+    kernel = NvhpcCompiler().compile(program).launch(machine.runtime)
+    assert kernel.geometry.block == 128
+    data = machine.workload(C1.scaled(M))
+    assert execute_reduction(data, kernel) == data.sum(dtype=np.int32)
+
+
+def test_listing3_explicit_geometry(machine):
+    """Listing 3: num_teams/thread_limit clauses control the launch."""
+    pragma = (
+        "#pragma omp target teams distribute parallel for "
+        "num_teams(teams) thread_limit(threads) reduction(+:sum)"
+    )
+    program = ReductionLoopProgram(
+        pragma=pragma,
+        loop=ForLoop("i", trip_count=M),
+        element_type=INT32,
+        result_type=INT32,
+    )
+    kernel = NvhpcCompiler().compile(program).launch(
+        machine.runtime, {"teams": 4096, "threads": 256}
+    )
+    assert kernel.geometry.grid == 4096
+    assert kernel.geometry.block == 256
+
+
+def test_listing4_rejected_listing5_accepted(machine):
+    """Listings 4-5: the NVHPC increment restriction and its rewrite."""
+    compiler = NvhpcCompiler()
+    make = lambda loop: ReductionLoopProgram(
+        pragma=optimized_pragma(), loop=loop,
+        element_type=INT32, result_type=INT32,
+    )
+    with pytest.raises(CompileError, match="supported form"):
+        compiler.compile(make(listing4_loop(M, 4)))
+    compiled = compiler.compile(make(listing5_loop(M, 4)))
+    kernel = compiled.launch(machine.runtime,
+                             {"teams": 1024, "V": 4, "threads": 256})
+    assert kernel.geometry.grid == 256
+    data = machine.workload(C1.scaled(M))
+    assert execute_reduction(data, kernel) == data.sum(dtype=np.int32)
+
+
+def test_listing6_measurement_loop(machine):
+    """Listing 6: N timed trials, bandwidth metric, result copied back."""
+    case = C1.scaled(M)
+    m = measure_gpu_reduction(machine, case, KernelConfig(teams=1024, v=4),
+                              trials=200)
+    assert m.trials == 200
+    assert m.bandwidth_gbs == pytest.approx(
+        1e-9 * case.input_bytes * 200 / m.elapsed_seconds
+    )
+    assert m.value == machine.workload(case).sum(dtype=np.int32)
+
+
+def test_listing7_coexecution_constructs():
+    """Listing 7: the host pragmas parse and carry the right semantics."""
+    parallel = parse_pragma("#pragma omp parallel")
+    master = parse_pragma("#pragma omp master")
+    device = parse_pragma(
+        "#pragma omp target teams distribute parallel for nowait "
+        "map(to: inD[0:LenD])"
+    )
+    host = parse_pragma("#pragma omp for simd")
+    assert device.nowait       # no sync between CPU and GPU parts
+    assert host.kind.has_simd  # vector-friendly host loop
+    assert not master.clauses  # master takes no clauses
+
+
+def test_listing8_coexec_measurement(machine):
+    """Listing 8: p sweep with per-site allocation, UM mode."""
+    case = C1.scaled(1 << 16, name="C1small")
+    sweep = measure_coexec_sweep(
+        machine, case, AllocationSite.A1, KernelConfig(teams=128, v=4),
+        p_grid=(0.0, 0.5, 1.0), trials=200,
+    )
+    data = machine.workload(case)
+    for m in sweep.measurements:
+        assert m.value == data.sum(dtype=np.int32)
+    assert sweep.gpu_only.bandwidth_gbs > 0
+
+
+def test_unified_memory_compile_flag():
+    """§IV.A: -gpu=mem:unified switches the UM lowering on."""
+    flags = CompilerFlags.parse(["-O3", "-mp=gpu", "-gpu=mem:unified"])
+    program = ReductionLoopProgram(
+        pragma=BASELINE_PRAGMA,
+        loop=ForLoop("i", trip_count=1024),
+        element_type=INT32,
+        result_type=INT32,
+    )
+    compiled = NvhpcCompiler(flags).compile(program)
+    assert compiled.unified_memory

@@ -1,0 +1,194 @@
+"""Integration tests: every quantitative claim in the paper's text,
+checked end-to-end through the public API on the calibrated machine.
+
+Each test cites the sentence it makes executable.
+"""
+
+import pytest
+
+from repro import Machine, KernelConfig
+from repro.core.cases import C1, C2, C3, C4, PAPER_CASES
+from repro.core.coexec import AllocationSite, measure_coexec_sweep
+from repro.core.timing import measure_gpu_reduction
+from repro.core.tuning import autotune, sweep_parameters
+from repro.evaluation.figures import paper_optimized_config
+from repro.evaluation.paper_data import PAPER_TABLE1
+
+
+@pytest.fixture(scope="module")
+def table(machine):
+    """Baseline and paper-config-optimized measurements for all cases."""
+    out = {}
+    for case in PAPER_CASES:
+        base = measure_gpu_reduction(machine, case)
+        opt = measure_gpu_reduction(machine, case, paper_optimized_config(case))
+        out[case.name] = (base, opt)
+    return out
+
+
+class TestAbstractClaims:
+    def test_speedup_band_6_to_21(self, table):
+        # "the optimized reductions are 6.120X to 20.906X faster than the
+        # baselines on the GPU"
+        speedups = [opt.bandwidth_gbs / base.bandwidth_gbs
+                    for base, opt in table.values()]
+        assert 5.5 <= min(speedups) <= 7.5
+        assert 18.0 <= max(speedups) <= 24.0
+
+    def test_efficiency_band_89_to_95(self, table):
+        # "their efficiency ranges from 89% to 95% of the peak GPU memory
+        # bandwidth"
+        effs = [opt.efficiency for _, opt in table.values()]
+        assert 0.87 <= min(effs)
+        assert max(effs) <= 0.96
+
+
+class TestSectionIIIClaims:
+    def test_default_grid_m_over_threads(self, table):
+        # "the OpenMP runtime selects a grid size that is equal to the
+        # number of input values divided by the number of threads in a
+        # team for C1, C3, and C4"
+        for name in ("C1", "C3", "C4"):
+            base, _ = table[name]
+            case = next(c for c in PAPER_CASES if c.name == name)
+            assert base.kernel.geometry.grid == case.elements // 128
+
+    def test_c2_grid_capped_at_0xffffff(self, table):
+        # "The grid size is 16777215 (0xFFFFFF) for C2"
+        base, _ = table["C2"]
+        assert base.kernel.geometry.grid == 16_777_215
+
+    def test_default_threads_128(self, table):
+        # "The number of threads in a team is 128 in any case."
+        for base, _ in table.values():
+            assert base.kernel.geometry.block == 128
+
+    def test_baseline_efficiency_capped(self, table):
+        # "The efficiency of the baseline reductions is capped at 15.4%."
+        for base, _ in table.values():
+            assert base.efficiency <= 0.17
+
+    def test_increasing_teams_improves_before_threshold(self, machine):
+        # "Before a threshold is reached, increasing the team size could
+        # improve the reduction performance regardless of the number of
+        # elements to add per loop iteration."
+        sweep = sweep_parameters(machine, C1, trials=5)
+        for v in sweep.v_values():
+            series = sweep.series_for_v(v)
+            low = [bw for t, bw in series if t <= 512]
+            assert all(b2 > b1 for b1, b2 in zip(low, low[1:]))
+
+    def test_compute_to_memory_bound_transition(self, machine):
+        # "The increase turns a compute-bound kernel into a memory-bound
+        # kernel."
+        small = measure_gpu_reduction(machine, C1, KernelConfig(teams=128, v=4),
+                                      trials=2)
+        large = measure_gpu_reduction(machine, C1, KernelConfig(teams=65536, v=4),
+                                      trials=2)
+        assert not small.kernel_timing.memory_bound or \
+            small.kernel_timing.memory < large.kernel_timing.memory
+        assert large.kernel_timing.memory_bound
+
+    @pytest.mark.parametrize(
+        "case,paper_best",
+        [(C1, 3795), (C2, 3596), (C3, 3790), (C4, 3833)],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_highest_bandwidths(self, machine, case, paper_best):
+        # "The highest bandwidths are 3795, 3596, 3790, and 3833 GB/s".
+        best = autotune(machine, case)
+        m = measure_gpu_reduction(machine, case, best, trials=5)
+        assert m.bandwidth_gbs == pytest.approx(paper_best, rel=0.05)
+
+    def test_table1_values(self, table):
+        for name, (base, opt) in table.items():
+            paper = PAPER_TABLE1[name]
+            assert base.bandwidth_gbs == pytest.approx(paper.base_gbs, rel=0.10)
+            assert opt.bandwidth_gbs == pytest.approx(paper.optimized_gbs,
+                                                      rel=0.05)
+
+
+@pytest.fixture(scope="module")
+def coexec(machine):
+    out = {}
+    for case in PAPER_CASES:
+        cfg = paper_optimized_config(case)
+        out[case.name] = {
+            "a1_base": measure_coexec_sweep(machine, case, AllocationSite.A1,
+                                            None, verify=False),
+            "a1_opt": measure_coexec_sweep(machine, case, AllocationSite.A1,
+                                           cfg, verify=False),
+            "a2_base": measure_coexec_sweep(machine, case, AllocationSite.A2,
+                                            None, verify=False),
+            "a2_opt": measure_coexec_sweep(machine, case, AllocationSite.A2,
+                                           cfg, verify=False),
+        }
+    return out
+
+
+class TestSectionIVClaims:
+    def test_a1_corun_beats_both_devices(self, coexec):
+        # "Distributing the reduction across both devices could achieve
+        # higher performance than the CPU-only or GPU-only execution."
+        for name, sweeps in coexec.items():
+            for key in ("a1_base", "a1_opt"):
+                sweep = sweeps[key]
+                best = sweep.best()
+                assert best.bandwidth_gbs > sweep.gpu_only.bandwidth_gbs
+                assert best.bandwidth_gbs > sweep.cpu_only.bandwidth_gbs
+
+    def test_a1_optimized_average_speedup_band(self, coexec):
+        # "the average speedup is approximately 2.484" (we land ~2.2).
+        speedups = [
+            max(s for _, s in sweeps["a1_opt"].speedup_over_gpu_only())
+            for sweeps in coexec.values()
+        ]
+        avg = sum(speedups) / len(speedups)
+        assert 1.8 <= avg <= 3.2
+
+    def test_a2_optimized_average_speedup_band(self, coexec):
+        # "the average speedup is approximately 1.067".
+        speedups = [
+            max(s for _, s in sweeps["a2_opt"].speedup_over_gpu_only())
+            for sweeps in coexec.values()
+        ]
+        avg = sum(speedups) / len(speedups)
+        assert 1.0 <= avg <= 1.25
+
+    def test_fig3_speedups_significant_at_gpu_heavy_splits(self, coexec):
+        # "The speedups are significant when the GPU parts account for at
+        # least 50% of the total workloads."
+        for sweeps in coexec.values():
+            base = dict(sweeps["a1_base"].series())
+            opt = dict(sweeps["a1_opt"].series())
+            gpu_heavy = [opt[p] / base[p] for p in (0.0, 0.1, 0.2)]
+            cpu_heavy = [opt[p] / base[p] for p in (0.8, 0.9, 1.0)]
+            assert max(gpu_heavy) > 2.0
+            assert all(abs(r - 1.0) < 0.15 for r in cpu_heavy)
+
+    def test_a1_corun_faster_than_a2(self, coexec):
+        # "The performance of co-running the optimized reductions with A1
+        # is on average 2.299X higher than that with A2."
+        ratios = [
+            sweeps["a1_opt"].best().bandwidth_gbs
+            / sweeps["a2_opt"].best().bandwidth_gbs
+            for sweeps in coexec.values()
+        ]
+        avg = sum(ratios) / len(ratios)
+        assert 1.3 <= avg <= 3.0
+
+    def test_cpu_only_slower_with_a1(self, coexec):
+        # "the performance of the CPU-only reduction with A1 is 1.367X
+        # lower than that with A2."
+        for sweeps in coexec.values():
+            ratio = (sweeps["a2_opt"].cpu_only.bandwidth_gbs
+                     / sweeps["a1_opt"].cpu_only.bandwidth_gbs)
+            assert ratio == pytest.approx(1.367, rel=0.15)
+
+    def test_c1_c3_baseline_curves_converge_when_cpu_bound(self, coexec):
+        # Fig 2a: "The reduction performance for C1 and C3 are almost the
+        # same" — holds from the CPU-bound region on.
+        c1 = dict(coexec["C1"]["a1_base"].series())
+        c3 = dict(coexec["C3"]["a1_base"].series())
+        for p in (0.6, 0.8, 1.0):
+            assert c1[p] == pytest.approx(c3[p], rel=0.05)

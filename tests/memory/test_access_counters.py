@@ -1,0 +1,85 @@
+"""Tests for the access-counter migrate-back policy (extension feature)."""
+
+import pytest
+
+from repro.hardware import grace_hopper
+from repro.memory.pages import Residency
+from repro.memory.unified import UnifiedMemoryManager
+from repro.sim.trace import Trace
+
+PAGE = 64 * 1024
+
+
+def _gpu_resident(um, n_pages=16):
+    alloc = um.allocate(n_pages * PAGE)
+    um.cpu_first_touch(alloc)
+    um.gpu_read(alloc)
+    return alloc
+
+
+class TestDisabledByDefault:
+    def test_no_migrate_back_without_policy(self):
+        um = UnifiedMemoryManager(grace_hopper())
+        alloc = _gpu_resident(um)
+        for _ in range(100):
+            plan = um.cpu_read(alloc)
+            assert plan.migrated_back_bytes == 0
+        assert alloc.residency_counts() == (0, 0, 16)
+
+
+class TestAccessCounterPolicy:
+    def test_migrates_back_at_threshold(self):
+        um = UnifiedMemoryManager(grace_hopper(), access_counter_threshold=3)
+        alloc = _gpu_resident(um)
+        plans = [um.cpu_read(alloc) for _ in range(3)]
+        assert plans[0].migrated_back_bytes == 0
+        assert plans[1].migrated_back_bytes == 0
+        assert plans[2].migrated_back_bytes == 16 * PAGE
+        assert plans[2].migration_seconds > 0
+        assert alloc.residency_counts() == (0, 16, 0)
+
+    def test_reads_become_local_after_migrate_back(self):
+        um = UnifiedMemoryManager(grace_hopper(), access_counter_threshold=2)
+        alloc = _gpu_resident(um)
+        um.cpu_read(alloc)
+        um.cpu_read(alloc)  # migrates back
+        plan = um.cpu_read(alloc)
+        assert plan.remote_bytes == 0
+        assert plan.local_bytes == alloc.nbytes
+
+    def test_counter_is_per_page_range(self):
+        um = UnifiedMemoryManager(grace_hopper(), access_counter_threshold=2)
+        alloc = _gpu_resident(um, n_pages=8)
+        # Hammer only the first half.
+        um.cpu_read(alloc, 0, 4 * PAGE)
+        plan = um.cpu_read(alloc, 0, 4 * PAGE)
+        assert plan.migrated_back_bytes == 4 * PAGE
+        # The second half is still GPU-resident.
+        assert alloc.residency_counts(4 * PAGE, 4 * PAGE)[2] == 4
+
+    def test_trace_records_access_counter_reason(self):
+        trace = Trace()
+        um = UnifiedMemoryManager(grace_hopper(), trace,
+                                  access_counter_threshold=1)
+        alloc = _gpu_resident(um)
+        um.cpu_read(alloc)
+        backward = [m for m in trace.migrations if m.reason == "access-counter"]
+        assert len(backward) == 1
+        assert backward[0].src == "HBM3" and backward[0].dst == "LPDDR5X"
+
+    def test_gpu_rereads_migrated_back_pages(self):
+        # Ping-pong: CPU pulls pages back, the next GPU read faults again.
+        um = UnifiedMemoryManager(grace_hopper(), access_counter_threshold=1)
+        alloc = _gpu_resident(um)
+        um.cpu_read(alloc)  # migrate back to CPU
+        plan = um.gpu_read(alloc)
+        assert plan.migrated_bytes == alloc.nbytes
+
+    def test_counter_resets_after_migration(self):
+        um = UnifiedMemoryManager(grace_hopper(), access_counter_threshold=2)
+        alloc = _gpu_resident(um)
+        um.cpu_read(alloc)
+        um.cpu_read(alloc)      # back to CPU, counters reset
+        um.gpu_read(alloc)      # GPU pulls pages again
+        plan = um.cpu_read(alloc)
+        assert plan.migrated_back_bytes == 0  # needs 2 fresh reads again

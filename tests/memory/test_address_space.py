@@ -1,0 +1,45 @@
+"""Tests for the virtual address space."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory.address_space import AddressSpace
+
+
+class TestAddressSpace:
+    def test_non_overlapping_reservations(self):
+        space = AddressSpace()
+        a = space.reserve(1000)
+        b = space.reserve(1000)
+        assert b >= a + 1000
+
+    def test_live_tracking(self):
+        space = AddressSpace()
+        base = space.reserve(64)
+        assert space.live_allocations == 1
+        assert space.live_bytes == 64
+        assert space.is_live(base)
+        assert space.release(base) == 64
+        assert space.live_allocations == 0
+        assert not space.is_live(base)
+
+    def test_double_free_rejected(self):
+        space = AddressSpace()
+        base = space.reserve(16)
+        space.release(base)
+        with pytest.raises(AllocationError):
+            space.release(base)
+
+    def test_release_unknown_base_rejected(self):
+        with pytest.raises(AllocationError):
+            AddressSpace().release(12345)
+
+    def test_capacity_exhaustion(self):
+        space = AddressSpace(capacity_bytes=100)
+        space.reserve(60)
+        with pytest.raises(AllocationError, match="exhausted"):
+            space.reserve(60)
+
+    def test_zero_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().reserve(0)

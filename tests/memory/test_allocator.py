@@ -1,0 +1,90 @@
+"""Tests for managed-allocation residency bookkeeping."""
+
+import pytest
+
+from repro.errors import PageStateError
+from repro.memory.allocator import ManagedAllocation
+from repro.memory.pages import Residency
+
+PAGE = 65536
+
+
+def _alloc(nbytes=10 * PAGE):
+    return ManagedAllocation(base=0, nbytes=nbytes, page_bytes=PAGE, name="t")
+
+
+class TestPopulate:
+    def test_starts_unpopulated(self):
+        a = _alloc()
+        un, cpu, gpu = a.residency_counts()
+        assert (un, cpu, gpu) == (10, 0, 0)
+
+    def test_first_touch_cpu(self):
+        a = _alloc()
+        assert a.populate(Residency.CPU) == 10
+        assert a.residency_counts() == (0, 10, 0)
+
+    def test_first_touch_wins(self):
+        a = _alloc()
+        a.populate(Residency.CPU, 0, 5 * PAGE)
+        # Re-populating as GPU only touches still-unpopulated pages.
+        assert a.populate(Residency.GPU) == 5
+        assert a.residency_counts() == (0, 5, 5)
+
+    def test_populate_as_unpopulated_rejected(self):
+        with pytest.raises(PageStateError):
+            _alloc().populate(Residency.UNPOPULATED)
+
+    def test_partial_range(self):
+        a = _alloc()
+        a.populate(Residency.CPU, 2 * PAGE, 3 * PAGE)
+        assert a.residency_counts(2 * PAGE, 3 * PAGE) == (0, 3, 0)
+        assert a.residency_counts(0, 2 * PAGE) == (2, 0, 0)
+
+
+class TestMove:
+    def test_migration(self):
+        a = _alloc()
+        a.populate(Residency.CPU)
+        moved = a.move(Residency.CPU, Residency.GPU, 0, 4 * PAGE)
+        assert moved == 4
+        assert a.residency_counts() == (0, 6, 4)
+
+    def test_move_skips_other_states(self):
+        a = _alloc()
+        a.populate(Residency.CPU, 0, 5 * PAGE)
+        a.populate(Residency.GPU, 5 * PAGE, 5 * PAGE)
+        moved = a.move(Residency.CPU, Residency.GPU, 0, 10 * PAGE)
+        assert moved == 5  # only the CPU pages moved
+
+    def test_bytes_resident(self):
+        a = _alloc()
+        a.populate(Residency.GPU, 0, 3 * PAGE)
+        assert a.bytes_resident(Residency.GPU) == 3 * PAGE
+
+
+class TestLifecycle:
+    def test_out_of_bounds_access_rejected(self):
+        with pytest.raises(PageStateError, match="outside"):
+            _alloc().residency_counts(9 * PAGE, 2 * PAGE)
+
+    def test_use_after_free_rejected(self):
+        a = _alloc()
+        a.free()
+        with pytest.raises(PageStateError, match="use-after-free"):
+            a.populate(Residency.CPU)
+
+    def test_double_free_rejected(self):
+        a = _alloc()
+        a.free()
+        with pytest.raises(PageStateError):
+            a.free()
+
+    def test_n_pages_rounds_up(self):
+        a = ManagedAllocation(0, PAGE + 1, PAGE)
+        assert a.n_pages == 2
+
+    def test_repr_mentions_state(self):
+        a = _alloc()
+        a.populate(Residency.CPU)
+        assert "cpu=10" in repr(a)

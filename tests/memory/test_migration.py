@@ -1,0 +1,58 @@
+"""Tests for the migration cost model."""
+
+import pytest
+
+from repro.hardware import nvlink_c2c
+from repro.memory.migration import MigrationEngine
+
+PAGE = 65536
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MigrationEngine(nvlink_c2c(), PAGE)
+
+
+class TestFaultMigration:
+    def test_zero_pages_is_free(self, engine):
+        cost = engine.cost(0)
+        assert cost.seconds == 0.0
+        assert cost.nbytes == 0
+
+    def test_cost_scales_with_pages(self, engine):
+        small = engine.cost(100)
+        large = engine.cost(10_000)
+        assert large.seconds > small.seconds
+        assert large.nbytes == 10_000 * PAGE
+
+    def test_throughput_is_migration_rate(self, engine):
+        npages = 1_000_000
+        cost = engine.cost(npages)
+        effective = cost.nbytes / cost.seconds / 1e9
+        # Burst latency is negligible at this size: ~migration_gbs.
+        assert effective == pytest.approx(engine.link.migration_gbs, rel=0.01)
+
+    def test_burst_latency_dominates_tiny_migrations(self, engine):
+        cost = engine.cost(1)
+        assert cost.seconds > 1.9e-5  # the fault-storm latency floor
+
+    def test_negative_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.cost(-1)
+
+
+class TestBulkCopy:
+    def test_bulk_copy_much_faster_than_fault_migration(self, engine):
+        nbytes = 1 << 30
+        fault = engine.cost(nbytes // PAGE).seconds
+        bulk = engine.bulk_copy_seconds(nbytes)
+        # The explicit `map` DMA path streams at link rate, far above the
+        # fault-driven rate — the crux of the UM slow path.
+        assert fault > 10 * bulk
+
+    def test_zero_bytes(self, engine):
+        assert engine.bulk_copy_seconds(0) == 0.0
+
+    def test_negative_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.bulk_copy_seconds(-5)

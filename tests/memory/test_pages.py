@@ -1,0 +1,38 @@
+"""Tests for page-span arithmetic."""
+
+import pytest
+
+from repro.memory.pages import Residency, page_span
+
+
+class TestPageSpan:
+    def test_aligned_range(self):
+        assert page_span(0, 65536, 65536) == (0, 1)
+        assert page_span(65536, 131072, 65536) == (1, 3)
+
+    def test_boundary_pages_counted_whole(self):
+        first, last = page_span(100, 65536, 65536)
+        assert (first, last) == (0, 2)
+
+    def test_sub_page_range(self):
+        assert page_span(10, 20, 65536) == (0, 1)
+
+    def test_empty_range(self):
+        first, last = page_span(65536, 0, 65536)
+        assert first == last == 1
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            page_span(-1, 10, 65536)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            page_span(0, -10, 65536)
+
+
+class TestResidency:
+    def test_states(self):
+        assert Residency.UNPOPULATED == 0
+        assert set(Residency) == {
+            Residency.UNPOPULATED, Residency.CPU, Residency.GPU,
+        }

@@ -1,0 +1,152 @@
+"""Tests for the unified-memory manager — the §IV residency state machine."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.hardware import grace_hopper
+from repro.memory.unified import UnifiedMemoryManager
+from repro.sim.trace import Trace
+
+PAGE = 65536
+
+
+@pytest.fixture()
+def um():
+    return UnifiedMemoryManager(grace_hopper(), Trace())
+
+
+class TestAllocationLifecycle:
+    def test_allocate_and_free(self, um):
+        alloc = um.allocate(10 * PAGE)
+        assert um.live_allocations == 1
+        um.free(alloc)
+        assert um.live_allocations == 0
+        assert alloc.freed
+
+    def test_oversized_allocation_rejected(self, um):
+        with pytest.raises(AllocationError):
+            um.allocate(10**15)
+
+    def test_a2_pattern_fresh_allocations(self, um):
+        # Allocate/free per p-iteration: each new allocation is cold.
+        for _ in range(3):
+            alloc = um.allocate(4 * PAGE)
+            assert alloc.residency_counts() == (4, 0, 0)
+            um.free(alloc)
+
+
+class TestGpuRead:
+    def test_first_gpu_read_migrates_cpu_pages(self, um):
+        alloc = um.allocate(100 * PAGE)
+        um.cpu_first_touch(alloc)
+        plan = um.gpu_read(alloc)
+        assert plan.migrated_bytes == 100 * PAGE
+        assert plan.migration_seconds > 0
+        assert plan.hbm_bytes == 0
+
+    def test_second_gpu_read_is_resident(self, um):
+        alloc = um.allocate(100 * PAGE)
+        um.cpu_first_touch(alloc)
+        um.gpu_read(alloc)
+        plan = um.gpu_read(alloc)
+        assert plan.migrated_bytes == 0
+        assert plan.migration_seconds == 0.0
+        assert plan.hbm_bytes == 100 * PAGE
+
+    def test_gpu_first_touch_populates_hbm_without_transfer(self, um):
+        alloc = um.allocate(10 * PAGE)
+        plan = um.gpu_read(alloc)  # never touched by the CPU
+        assert plan.migrated_bytes == 0
+        assert plan.hbm_bytes == 10 * PAGE
+
+    def test_partial_range_migration(self, um):
+        alloc = um.allocate(10 * PAGE)
+        um.cpu_first_touch(alloc)
+        plan = um.gpu_read(alloc, 0, 4 * PAGE)
+        assert plan.migrated_bytes == 4 * PAGE
+        # The tail stays CPU-resident.
+        assert alloc.residency_counts(4 * PAGE, 6 * PAGE)[1] == 6
+
+    def test_migration_recorded_in_trace(self):
+        trace = Trace()
+        um = UnifiedMemoryManager(grace_hopper(), trace)
+        alloc = um.allocate(8 * PAGE)
+        um.cpu_first_touch(alloc)
+        um.gpu_read(alloc)
+        assert trace.migrated_bytes(src="LPDDR5X", dst="HBM3") == 8 * PAGE
+        assert trace.migrations[0].reason == "fault"
+
+    def test_zero_length_read(self, um):
+        alloc = um.allocate(PAGE)
+        plan = um.gpu_read(alloc, 0, 0)
+        assert plan.migrated_bytes == 0
+
+
+class TestCpuRead:
+    def test_local_read_of_cpu_pages(self, um):
+        alloc = um.allocate(10 * PAGE)
+        um.cpu_first_touch(alloc)
+        plan = um.cpu_read(alloc)
+        assert plan.remote_bytes == 0
+        assert plan.local_bytes == 10 * PAGE
+
+    def test_remote_read_of_gpu_pages_does_not_migrate(self, um):
+        # The A1 CPU-only effect: coherent C2C loads, pages stay in HBM.
+        alloc = um.allocate(10 * PAGE)
+        um.cpu_first_touch(alloc)
+        um.gpu_read(alloc)
+        plan = um.cpu_read(alloc)
+        assert plan.remote_bytes == 10 * PAGE
+        assert plan.local_bytes == 0
+        # Still GPU-resident afterwards.
+        assert alloc.residency_counts() == (0, 0, 10)
+
+    def test_mixed_residency_blend(self, um):
+        alloc = um.allocate(10 * PAGE)
+        um.cpu_first_touch(alloc)
+        um.gpu_read(alloc, 0, 5 * PAGE)
+        plan = um.cpu_read(alloc)
+        assert plan.remote_bytes == 5 * PAGE
+        assert plan.local_bytes == 5 * PAGE
+        blended = plan.effective_bandwidth_gbs(450.0, 330.0)
+        assert 330.0 < blended < 450.0
+
+    def test_cpu_read_first_touches_unpopulated(self, um):
+        alloc = um.allocate(4 * PAGE)
+        plan = um.cpu_read(alloc)
+        assert plan.local_bytes == 4 * PAGE
+        assert alloc.residency_counts() == (0, 4, 0)
+
+    def test_effective_bandwidth_pure_cases(self, um):
+        alloc = um.allocate(4 * PAGE)
+        um.cpu_first_touch(alloc)
+        plan = um.cpu_read(alloc)
+        assert plan.effective_bandwidth_gbs(450.0, 330.0) == pytest.approx(450.0)
+
+
+class TestA1VersusA2Scenario:
+    """End-to-end residency story behind Figures 2 vs 4."""
+
+    def test_a1_migrates_once_across_splits(self, um):
+        alloc = um.allocate(100 * PAGE)
+        um.cpu_first_touch(alloc)
+        total_migrated = 0
+        # Descending GPU share, ascending p — the Listing 8 order.
+        for p in (0.0, 0.3, 0.6, 0.9):
+            len_d = int(100 * PAGE * (1 - p))
+            if len_d:
+                plan = um.gpu_read(alloc, 0, len_d)
+                total_migrated += plan.migrated_bytes
+        # Only the p=0 iteration migrated anything.
+        assert total_migrated == 100 * PAGE
+
+    def test_a2_migrates_every_split(self, um):
+        total_migrated = 0
+        for p in (0.0, 0.3, 0.6):
+            alloc = um.allocate(100 * PAGE)
+            um.cpu_first_touch(alloc)
+            len_d = int(100 * PAGE * (1 - p))
+            plan = um.gpu_read(alloc, 0, len_d)
+            total_migrated += plan.migrated_bytes
+            um.free(alloc)
+        assert total_migrated > 100 * PAGE  # re-paid per allocation

@@ -1,0 +1,105 @@
+"""Tests for canonical loop form and the NVHPC increment restriction.
+
+These encode the paper's §III.A narrative: Listing 4's strided loop "may
+fail to build ... because the loop increment is not in a supported form",
+while the normalized Listing 5 rewrite compiles.
+"""
+
+import pytest
+
+from repro.errors import CanonicalLoopError
+from repro.openmp.canonical import (
+    ForLoop,
+    check_canonical,
+    listing4_loop,
+    listing5_loop,
+    nvhpc_supported,
+)
+
+
+class TestForLoop:
+    def test_total_elements(self):
+        loop = ForLoop("i", trip_count=100, elements_per_iteration=4)
+        assert loop.total_elements == 400
+
+    def test_unit_increment_with_nonunit_step_rejected(self):
+        with pytest.raises(CanonicalLoopError):
+            ForLoop("i", trip_count=10, step=4, increment_form="var++")
+
+    def test_unknown_increment_form_rejected(self):
+        with pytest.raises(CanonicalLoopError):
+            ForLoop("i", trip_count=10, increment_form="var <<= 1")
+
+    def test_bad_test_op_rejected(self):
+        with pytest.raises(CanonicalLoopError):
+            ForLoop("i", trip_count=10, test_op="~")
+
+
+class TestListingLoops:
+    def test_listing4_shape(self):
+        loop = listing4_loop(1_048_576_000, 4)
+        assert loop.step == 4
+        assert loop.trip_count == 262_144_000
+        assert loop.elements_per_iteration == 4
+        assert loop.increment_form == "var = var + step"
+
+    def test_listing5_shape(self):
+        loop = listing5_loop(1_048_576_000, 4)
+        assert loop.step == 1
+        assert loop.trip_count == 262_144_000
+        assert loop.elements_per_iteration == 4
+
+    def test_same_total_elements(self):
+        assert listing4_loop(1024, 8).total_elements == listing5_loop(1024, 8).total_elements
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(CanonicalLoopError):
+            listing4_loop(1000, 32)
+
+
+class TestCanonicalCheck:
+    def test_listing4_is_canonical_per_the_standard(self):
+        # The OpenMP spec allows `i = i + V`; the restriction is NVHPC's.
+        check_canonical(listing4_loop(1024, 4))
+
+    def test_not_equal_test_rejected(self):
+        loop = ForLoop("i", trip_count=10, test_op="!=")
+        with pytest.raises(CanonicalLoopError):
+            check_canonical(loop)
+
+
+class TestNvhpcRestriction:
+    def test_listing4_rejected(self):
+        assert not nvhpc_supported(listing4_loop(1024, 4))
+
+    def test_listing5_accepted(self):
+        assert nvhpc_supported(listing5_loop(1024, 4))
+
+    def test_baseline_unit_loop_accepted(self):
+        assert nvhpc_supported(ForLoop("i", trip_count=1024))
+
+    def test_compound_assignment_step_accepted(self):
+        loop = ForLoop("i", trip_count=256, step=4,
+                       increment_form="var += step",
+                       elements_per_iteration=4)
+        assert nvhpc_supported(loop)
+
+    def test_v1_strided_form_accepted(self):
+        # With V = 1 the reassignment degenerates to a unit step.
+        loop = ForLoop("i", trip_count=256, step=1,
+                       increment_form="var = var + step")
+        assert nvhpc_supported(loop)
+
+
+class TestNormalization:
+    def test_normalizes_listing4_to_listing5(self):
+        normalized = listing4_loop(1024, 4).normalized()
+        assert normalized.step == 1
+        assert normalized.increment_form == "var++"
+        assert normalized.trip_count == 256
+        assert normalized.elements_per_iteration == 4
+        assert nvhpc_supported(normalized)
+
+    def test_normalized_is_identity_for_unit_loops(self):
+        loop = listing5_loop(1024, 4)
+        assert loop.normalized() is loop

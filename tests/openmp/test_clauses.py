@@ -1,0 +1,87 @@
+"""Tests for clause objects and symbolic expressions."""
+
+import pytest
+
+from repro.errors import ClauseError
+from repro.openmp.clauses import (
+    IntExpr,
+    Map,
+    MapKind,
+    NumTeams,
+    Reduction,
+    Schedule,
+    ThreadLimit,
+)
+
+
+class TestIntExpr:
+    def test_literal(self):
+        assert IntExpr("4096").evaluate() == 4096
+
+    def test_hex_literal(self):
+        assert IntExpr("0xFFFFFF").evaluate() == 16777215
+
+    def test_identifier(self):
+        assert IntExpr("teams").evaluate({"teams": 128}) == 128
+
+    def test_division(self):
+        assert IntExpr("teams/V").evaluate({"teams": 65536, "V": 32}) == 2048
+
+    def test_multiplication(self):
+        assert IntExpr("V*threads").evaluate({"V": 4, "threads": 256}) == 1024
+
+    def test_chained(self):
+        assert IntExpr("a/b/c").evaluate({"a": 64, "b": 4, "c": 2}) == 8
+
+    def test_unbound_identifier_raises(self):
+        with pytest.raises(ClauseError, match="unbound"):
+            IntExpr("teams").evaluate({})
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ClauseError):
+            IntExpr("teams/z").evaluate({"teams": 8, "z": 0})
+
+    def test_nonpositive_result_raises(self):
+        # num_teams(teams/V) with teams < V truncates to zero.
+        with pytest.raises(ClauseError, match="non-positive"):
+            IntExpr("teams/V").evaluate({"teams": 16, "V": 32})
+
+    def test_empty_atom_raises(self):
+        with pytest.raises(ClauseError):
+            IntExpr("/4").evaluate()
+
+
+class TestClauseRendering:
+    def test_num_teams(self):
+        assert NumTeams(IntExpr("teams/V")).render() == "num_teams(teams/V)"
+
+    def test_thread_limit(self):
+        assert ThreadLimit(IntExpr("256")).render() == "thread_limit(256)"
+
+    def test_reduction(self):
+        assert Reduction("+", ("sum",)).render() == "reduction(+:sum)"
+
+    def test_map_with_section(self):
+        m = Map(MapKind.TO, "inD", ("0", "LenD"))
+        assert m.render() == "map(to: inD[0:LenD])"
+
+    def test_map_without_section(self):
+        assert Map(MapKind.FROM, "sum").render() == "map(from: sum)"
+
+    def test_schedule(self):
+        assert Schedule("static", 8).render() == "schedule(static,8)"
+        assert Schedule("dynamic").render() == "schedule(dynamic)"
+
+
+class TestClauseValidation:
+    def test_reduction_requires_items(self):
+        with pytest.raises(ClauseError):
+            Reduction("+", ())
+
+    def test_schedule_kind_validated(self):
+        with pytest.raises(ClauseError):
+            Schedule("fastest")
+
+    def test_schedule_chunk_positive(self):
+        with pytest.raises(ClauseError):
+            Schedule("static", 0)

@@ -1,0 +1,94 @@
+"""Tests for the explicit (non-UM) device data environment."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.hardware import nvlink_c2c
+from repro.openmp.data_env import DeviceDataEnvironment
+
+GiB = 1 << 30
+
+
+@pytest.fixture()
+def env():
+    return DeviceDataEnvironment(nvlink_c2c(), device_capacity_bytes=96 * GiB)
+
+
+class TestMapping:
+    def test_map_to_allocates_and_copies(self, env):
+        seconds = env.map_to("in", 4 * GiB)
+        assert seconds > 0
+        assert env.is_present("in")
+        assert env.allocated_bytes == 4 * GiB
+        assert env.total_h2d_bytes == 4 * GiB
+
+    def test_first_copy_streams_at_link_rate(self, env):
+        seconds = env.map_to("in", 4 * GiB)
+        assert 4 * GiB / seconds / 1e9 == pytest.approx(450.0, rel=0.01)
+
+    def test_remap_bumps_refcount_without_copy(self, env):
+        env.map_to("in", GiB)
+        assert env.map_to("in", GiB) == 0.0
+        assert env.ref_count("in") == 2
+        assert env.total_h2d_bytes == GiB
+
+    def test_remap_with_different_size_rejected(self, env):
+        env.map_to("in", GiB)
+        with pytest.raises(MemoryModelError, match="different size"):
+            env.map_to("in", 2 * GiB)
+
+    def test_map_alloc_moves_no_data(self, env):
+        assert env.map_alloc("scratch", GiB) == 0.0
+        assert env.is_present("scratch")
+        assert env.total_h2d_bytes == 0
+
+    def test_capacity_enforced(self, env):
+        env.map_to("a", 90 * GiB)
+        with pytest.raises(MemoryModelError, match="exhausted"):
+            env.map_to("b", 10 * GiB)
+
+
+class TestUnmap:
+    def test_unmap_frees_at_zero_refs(self, env):
+        env.map_to("in", GiB)
+        env.map_to("in", GiB)
+        assert env.unmap("in") == 0.0  # refcount 2 -> 1
+        assert env.is_present("in")
+        env.unmap("in")
+        assert not env.is_present("in")
+        assert env.allocated_bytes == 0
+
+    def test_unmap_with_copy_out(self, env):
+        env.map_to("sum", 8)
+        seconds = env.unmap("sum", copy_out=True)
+        assert seconds > 0
+        assert env.total_d2h_bytes == 8
+
+    def test_unmap_unknown_rejected(self, env):
+        with pytest.raises(MemoryModelError):
+            env.unmap("ghost")
+
+
+class TestTargetUpdate:
+    def test_update_round_trip_like_listing6(self, env):
+        # Listing 6 moves only the scalar `sum` per trial.
+        env.map_to("in", 4 * GiB)
+        env.map_to("sum", 8)
+        per_trial = env.update_to("sum") + env.update_from("sum")
+        # Tiny transfers are latency-bound: ~2x link latency.
+        assert per_trial == pytest.approx(2 * 1e-6, rel=0.1)
+        assert env.total_h2d_bytes == 4 * GiB + 8 + 8  # in + map + update
+
+    def test_update_requires_mapping(self, env):
+        with pytest.raises(MemoryModelError, match="not mapped"):
+            env.update_to("sum")
+
+    def test_partial_update(self, env):
+        env.map_to("in", GiB)
+        seconds = env.update_from("in", GiB // 2)
+        assert seconds < env.update_from("in")
+
+    def test_oversized_update_rejected(self, env):
+        env.map_to("in", GiB)
+        with pytest.raises(MemoryModelError, match="exceeds"):
+            env.update_to("in", 2 * GiB)

@@ -1,0 +1,82 @@
+"""Tests for directive AST validation and accessors."""
+
+import pytest
+
+from repro.errors import ClauseError
+from repro.openmp.clauses import IntExpr, Map, MapKind, NoWait, NumTeams, Reduction
+from repro.openmp.directives import Directive, DirectiveKind
+
+
+class TestKindProperties:
+    def test_offload_kinds(self):
+        assert DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR.is_offload
+        assert DirectiveKind.TARGET_UPDATE.is_offload
+        assert not DirectiveKind.PARALLEL.is_offload
+
+    def test_teams_detection(self):
+        assert DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR.has_teams
+        assert not DirectiveKind.TARGET_UPDATE.has_teams
+
+    def test_worksharing_detection(self):
+        assert DirectiveKind.FOR_SIMD.has_worksharing_loop
+        assert not DirectiveKind.MASTER.has_worksharing_loop
+
+    def test_simd_detection(self):
+        assert DirectiveKind.FOR_SIMD.has_simd
+        assert not DirectiveKind.FOR.has_simd
+
+
+class TestDirectiveValidation:
+    def test_valid_combined_construct(self):
+        d = Directive(
+            DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR,
+            (NumTeams(IntExpr("128")), Reduction("+", ("sum",))),
+        )
+        assert d.num_teams is not None
+
+    def test_invalid_clause_rejected(self):
+        with pytest.raises(ClauseError):
+            Directive(DirectiveKind.MASTER, (NoWait(),))
+
+    def test_duplicate_num_teams_rejected(self):
+        with pytest.raises(ClauseError):
+            Directive(
+                DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR,
+                (NumTeams(IntExpr("1")), NumTeams(IntExpr("2"))),
+            )
+
+    def test_repeatable_map_clause(self):
+        d = Directive(
+            DirectiveKind.TARGET_ENTER_DATA,
+            (Map(MapKind.TO, "a"), Map(MapKind.TO, "b")),
+        )
+        assert len(d.all(Map)) == 2
+
+    def test_target_update_requires_motion(self):
+        with pytest.raises(ClauseError):
+            Directive(DirectiveKind.TARGET_UPDATE, ())
+
+
+class TestAccessors:
+    def test_nowait_flag(self):
+        d = Directive(
+            DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR, (NoWait(),)
+        )
+        assert d.nowait
+        assert not Directive(
+            DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR, ()
+        ).nowait
+
+    def test_first_returns_none_when_absent(self):
+        d = Directive(DirectiveKind.PARALLEL, ())
+        assert d.reduction is None
+
+    def test_render(self):
+        d = Directive(
+            DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR,
+            (NumTeams(IntExpr("teams/V")), Reduction("+", ("sum",))),
+        )
+        assert d.render() == (
+            "#pragma omp target teams distribute parallel for "
+            "num_teams(teams/V) reduction(+:sum)"
+        )

@@ -1,0 +1,58 @@
+"""Tests for the runtime's default-geometry heuristics.
+
+These are the paper's §III.C profiling observations made executable: the
+default grid is M / threads-per-team, capped at 0xFFFFFF, with 128-thread
+teams.
+"""
+
+import pytest
+
+from repro.core.cases import C1, C2, C3, C4
+from repro.openmp.heuristics import (
+    DEFAULT_GRID_CAP,
+    DEFAULT_THREADS_PER_TEAM,
+    default_num_teams,
+    default_thread_limit,
+)
+
+
+class TestDefaults:
+    def test_default_threads_is_128(self):
+        # "The number of threads in a team is 128 in any case."
+        assert default_thread_limit() == 128
+        assert DEFAULT_THREADS_PER_TEAM == 128
+
+    def test_requested_thread_limit_honoured(self):
+        assert default_thread_limit(256) == 256
+
+    def test_grid_cap_value(self):
+        # "The grid size is 16777215 (0xFFFFFF) for C2."
+        assert DEFAULT_GRID_CAP == 16_777_215
+
+
+class TestDefaultGrid:
+    def test_c1_grid_is_m_over_threads(self):
+        # C1/C3/C4: grid = number of input values / threads per team.
+        assert default_num_teams(C1.elements, 128) == C1.elements // 128
+
+    @pytest.mark.parametrize("case", [C3, C4], ids=lambda c: c.name)
+    def test_float_cases_same_rule(self, case):
+        assert default_num_teams(case.elements, 128) == case.elements // 128
+
+    def test_c2_grid_hits_the_cap(self):
+        # C2's 4.19e9 elements / 128 = 32.8M > the 16777215 cap.
+        grid = default_num_teams(C2.elements, 128)
+        assert grid == DEFAULT_GRID_CAP
+        assert grid < C2.elements // 128
+
+    def test_rounds_up_for_ragged_sizes(self):
+        assert default_num_teams(129, 128) == 2
+
+    def test_tiny_loop(self):
+        assert default_num_teams(1, 128) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            default_num_teams(0, 128)
+        with pytest.raises(ValueError):
+            default_num_teams(128, 0)

@@ -1,0 +1,50 @@
+"""Tests for ICVs and OMP_* environment handling."""
+
+import pytest
+
+from repro.errors import OpenMPError
+from repro.openmp.icv import ICVSet
+
+
+class TestICVSet:
+    def test_defaults_are_unset(self):
+        icvs = ICVSet()
+        assert icvs.num_teams is None
+        assert icvs.thread_limit is None
+        assert icvs.default_device == 0
+
+    def test_from_environment(self):
+        icvs = ICVSet.from_environment(
+            {"OMP_NUM_TEAMS": "4096", "OMP_THREAD_LIMIT": "256"}
+        )
+        assert icvs.num_teams == 4096
+        assert icvs.thread_limit == 256
+
+    def test_hex_values_accepted(self):
+        icvs = ICVSet.from_environment({"OMP_NUM_TEAMS": "0x1000"})
+        assert icvs.num_teams == 4096
+
+    def test_unknown_omp_keys_ignored(self):
+        icvs = ICVSet.from_environment({"OMP_PROC_BIND": "close"})
+        assert icvs.num_teams is None
+
+    def test_malformed_value_raises(self):
+        with pytest.raises(OpenMPError, match="OMP_NUM_TEAMS"):
+            ICVSet.from_environment({"OMP_NUM_TEAMS": "lots"})
+
+    def test_nonpositive_icv_rejected(self):
+        with pytest.raises(OpenMPError):
+            ICVSet(num_teams=0)
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(OpenMPError):
+            ICVSet(default_device=-1)
+
+    def test_override(self):
+        icvs = ICVSet(num_teams=128).override(thread_limit=64)
+        assert icvs.num_teams == 128
+        assert icvs.thread_limit == 64
+
+    def test_teams_thread_limit_env(self):
+        icvs = ICVSet.from_environment({"OMP_TEAMS_THREAD_LIMIT": "512"})
+        assert icvs.teams_thread_limit == 512

@@ -1,0 +1,177 @@
+"""Tests for the ``#pragma omp`` parser, including every paper listing."""
+
+import pytest
+
+from repro.errors import ClauseError, DirectiveSyntaxError
+from repro.openmp.clauses import Map, MapKind, NoWait, NumTeams, Reduction, ThreadLimit
+from repro.openmp.directives import DirectiveKind
+from repro.openmp.parser import parse_pragma
+
+
+class TestPaperListings:
+    def test_listing2_baseline(self):
+        d = parse_pragma(
+            "#pragma omp target teams distribute parallel for reduction(+:sum)"
+        )
+        assert d.kind is DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR
+        assert d.reduction.identifier == "+"
+        assert d.reduction.items == ("sum",)
+        assert d.num_teams is None
+        assert d.thread_limit is None
+
+    def test_listing3_with_geometry_clauses(self):
+        d = parse_pragma(
+            "#pragma omp target teams distribute parallel for "
+            "num_teams(teams) thread_limit(threads) reduction(+:sum)"
+        )
+        assert d.num_teams.value.text == "teams"
+        assert d.thread_limit.value.text == "threads"
+
+    def test_listing5_symbolic_division(self):
+        d = parse_pragma(
+            "#pragma omp target teams distribute parallel for "
+            "num_teams(teams/V) thread_limit(threads) reduction(+:sum)"
+        )
+        assert d.num_teams.value.text == "teams/V"
+        assert d.num_teams.value.evaluate({"teams": 65536, "V": 4}) == 16384
+
+    def test_listing6_target_update_to(self):
+        d = parse_pragma("#pragma omp target update to(sum)")
+        assert d.kind is DirectiveKind.TARGET_UPDATE
+        maps = d.all(Map)
+        assert len(maps) == 1
+        assert maps[0].kind is MapKind.TO
+        assert maps[0].var == "sum"
+
+    def test_listing6_target_update_from(self):
+        d = parse_pragma("#pragma omp target update from(sum)")
+        assert d.all(Map)[0].kind is MapKind.FROM
+
+    def test_listing7_device_side(self):
+        d = parse_pragma(
+            "#pragma omp target teams distribute parallel for nowait "
+            "map(to: inD[0:LenD])"
+        )
+        assert d.nowait
+        m = d.all(Map)[0]
+        assert m.kind is MapKind.TO
+        assert m.var == "inD"
+        assert m.section == ("0", "LenD")
+
+    def test_listing7_host_constructs(self):
+        assert parse_pragma("#pragma omp parallel").kind is DirectiveKind.PARALLEL
+        assert parse_pragma("#pragma omp master").kind is DirectiveKind.MASTER
+        assert parse_pragma("#pragma omp for simd").kind is DirectiveKind.FOR_SIMD
+
+    def test_line_continuations(self):
+        d = parse_pragma(
+            "#pragma omp target teams distribute parallel for \\\n"
+            "num_teams(teams/V) thread_limit(threads) \\\n"
+            "reduction(+:sum)"
+        )
+        assert d.num_teams is not None
+        assert d.thread_limit is not None
+        assert d.reduction is not None
+
+
+class TestParserGeneral:
+    def test_whitespace_tolerance(self):
+        d = parse_pragma("  #  pragma   omp   parallel ")
+        assert d.kind is DirectiveKind.PARALLEL
+
+    def test_longest_directive_match(self):
+        d = parse_pragma(
+            "#pragma omp target teams distribute parallel for simd reduction(+:s)"
+        )
+        assert d.kind is DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_SIMD
+
+    def test_for_vs_for_simd(self):
+        assert parse_pragma("#pragma omp for").kind is DirectiveKind.FOR
+        assert parse_pragma("#pragma omp for nowait").kind is DirectiveKind.FOR
+
+    def test_device_clause(self):
+        d = parse_pragma("#pragma omp target update to(x) device(0)")
+        from repro.openmp.clauses import Device
+
+        assert d.first(Device).number == 0
+
+    def test_schedule_clause(self):
+        d = parse_pragma("#pragma omp for schedule(static,16)")
+        from repro.openmp.clauses import Schedule
+
+        sched = d.first(Schedule)
+        assert sched.kind == "static"
+        assert sched.chunk == 16
+
+    def test_multiple_reduction_items(self):
+        d = parse_pragma("#pragma omp parallel reduction(+:a, b,c)")
+        assert d.reduction.items == ("a", "b", "c")
+
+    def test_map_default_tofrom(self):
+        d = parse_pragma("#pragma omp target update to(x)")
+        assert d.all(Map)[0].kind is MapKind.TO
+
+    def test_render_round_trip(self):
+        text = (
+            "#pragma omp target teams distribute parallel for "
+            "num_teams(teams/V) thread_limit(threads) reduction(+:sum)"
+        )
+        assert parse_pragma(parse_pragma(text).render()).render() == \
+            parse_pragma(text).render()
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a pragma",
+            "#pragma omp",
+            "#pragma omp frobnicate",
+            "#pragma acc parallel",
+        ],
+    )
+    def test_unknown_directives(self, bad):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_pragma(bad)
+
+    def test_unbalanced_parentheses(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_pragma("#pragma omp parallel reduction(+:sum")
+
+    def test_unknown_clause(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_pragma("#pragma omp parallel bogus(3)")
+
+    def test_reduction_requires_colon(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_pragma("#pragma omp parallel reduction(sum)")
+
+    def test_unknown_reduction_identifier(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_pragma("#pragma omp parallel reduction(avg:sum)")
+
+    def test_nowait_with_argument_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_pragma(
+                "#pragma omp target teams distribute parallel for nowait(1)"
+            )
+
+    def test_clause_invalid_for_directive(self):
+        # num_teams is meaningless on a bare host `parallel`.
+        with pytest.raises(ClauseError):
+            parse_pragma("#pragma omp parallel num_teams(4)")
+
+    def test_duplicate_unique_clause(self):
+        with pytest.raises(ClauseError):
+            parse_pragma(
+                "#pragma omp target teams distribute parallel for "
+                "num_teams(4) num_teams(8)"
+            )
+
+    def test_target_update_requires_motion_clause(self):
+        with pytest.raises(ClauseError):
+            parse_pragma("#pragma omp target update")
+
+    def test_malformed_device_number(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_pragma("#pragma omp target update to(x) device(zero)")

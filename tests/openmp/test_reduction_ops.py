@@ -1,0 +1,112 @@
+"""Tests for the reduction-identifier registry."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FLOAT32, INT32, INT64, scalar_type
+from repro.errors import UnsupportedReductionError
+from repro.openmp.reduction_ops import REDUCTION_OPS, get_reduction_op
+
+
+class TestRegistry:
+    def test_all_implicit_identifiers_present(self):
+        assert set(REDUCTION_OPS) == {
+            "+", "-", "*", "max", "min", "&", "|", "^", "&&", "||",
+        }
+
+    def test_unknown_identifier_raises(self):
+        with pytest.raises(UnsupportedReductionError):
+            get_reduction_op("avg")
+
+    @pytest.mark.parametrize("ident", ["&", "|", "^", "&&", "||"])
+    def test_integer_only_rejects_floats(self, ident):
+        with pytest.raises(UnsupportedReductionError):
+            get_reduction_op(ident, FLOAT32)
+
+    @pytest.mark.parametrize("ident", ["&", "|", "^"])
+    def test_integer_only_accepts_ints(self, ident):
+        assert get_reduction_op(ident, INT32).identifier == ident
+
+
+class TestSumOp:
+    def test_reduce_array(self):
+        op = get_reduction_op("+")
+        data = np.arange(10, dtype=np.int32)
+        assert op.reduce_array(data, np.dtype("int64")) == 45
+
+    def test_combine_wraps_int32(self):
+        op = get_reduction_op("+")
+        a = np.int32(2**31 - 1)
+        result = op.combine(a, np.int32(1))
+        assert result == np.int32(-(2**31))
+
+    def test_identity(self):
+        op = get_reduction_op("+")
+        assert op.identity_for(INT32) == 0
+
+    def test_minus_combines_with_plus(self):
+        # OpenMP 5.1 deprecates '-' but defines its combiner as +.
+        op = get_reduction_op("-")
+        assert op.combine(np.int32(5), np.int32(3)) == 8
+
+
+class TestMinMax:
+    def test_max_identity_is_type_minimum(self):
+        op = get_reduction_op("max")
+        assert op.identity_for(INT32) == np.iinfo(np.int32).min
+        assert op.identity_for(FLOAT32) == -np.inf
+
+    def test_min_identity_is_type_maximum(self):
+        op = get_reduction_op("min")
+        assert op.identity_for(INT64) == np.iinfo(np.int64).max
+
+    def test_max_reduce(self):
+        op = get_reduction_op("max")
+        data = np.array([3, -7, 12, 5], dtype=np.int32)
+        assert op.reduce_array(data, np.dtype("int32")) == 12
+
+    def test_combine(self):
+        assert get_reduction_op("max").combine(3, 9) == 9
+        assert get_reduction_op("min").combine(3, 9) == 3
+
+
+class TestBitwise:
+    def test_and_identity_all_ones(self):
+        op = get_reduction_op("&")
+        assert op.identity_for(INT32) == np.int32(-1)
+
+    def test_xor_reduce(self):
+        op = get_reduction_op("^")
+        data = np.array([0b1010, 0b0110], dtype=np.int32)
+        assert op.reduce_array(data, np.dtype("int32")) == 0b1100
+
+    def test_or_reduce(self):
+        op = get_reduction_op("|")
+        data = np.array([1, 2, 4], dtype=np.int64)
+        assert op.reduce_array(data, np.dtype("int64")) == 7
+
+
+class TestLogical:
+    def test_land_all_nonzero(self):
+        op = get_reduction_op("&&")
+        assert op.reduce_array(np.array([1, 2, 3], dtype=np.int32),
+                               np.dtype("int32")) == 1
+        assert op.reduce_array(np.array([1, 0, 3], dtype=np.int32),
+                               np.dtype("int32")) == 0
+
+    def test_lor_any_nonzero(self):
+        op = get_reduction_op("||")
+        assert op.reduce_array(np.array([0, 0, 5], dtype=np.int32),
+                               np.dtype("int32")) == 1
+        assert op.reduce_array(np.zeros(4, dtype=np.int32),
+                               np.dtype("int32")) == 0
+
+
+class TestProduct:
+    def test_identity(self):
+        assert get_reduction_op("*").identity_for(INT32) == 1
+
+    def test_reduce(self):
+        op = get_reduction_op("*")
+        data = np.array([2, 3, 4], dtype=np.int64)
+        assert op.reduce_array(data, np.dtype("int64")) == 24

@@ -1,0 +1,108 @@
+"""Tests for device-runtime launch resolution."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.hardware import hopper_gpu
+from repro.openmp.canonical import ForLoop, listing5_loop
+from repro.openmp.icv import ICVSet
+from repro.openmp.parser import parse_pragma
+from repro.openmp.runtime import DeviceRuntime
+
+BASELINE = "#pragma omp target teams distribute parallel for reduction(+:sum)"
+OPTIMIZED = (
+    "#pragma omp target teams distribute parallel for "
+    "num_teams(teams/V) thread_limit(threads) reduction(+:sum)"
+)
+
+
+@pytest.fixture()
+def runtime():
+    return DeviceRuntime(hopper_gpu())
+
+
+class TestClauseResolution:
+    def test_grid_matches_num_teams_clause(self, runtime):
+        # The paper's profiling: "the grid sizes ... match the team sizes
+        # specified by the num_teams clause".
+        d = parse_pragma(OPTIMIZED)
+        loop = listing5_loop(1_048_576_000, 4)
+        geo = runtime.resolve_launch(
+            d, loop, {"teams": 65536, "V": 4, "threads": 256}
+        )
+        assert geo.grid == 65536 // 4
+        assert geo.block == 256
+        assert geo.from_clause
+
+    def test_symbolic_environment_binding(self, runtime):
+        d = parse_pragma(OPTIMIZED)
+        loop = listing5_loop(1024, 2)
+        geo = runtime.resolve_launch(d, loop, {"teams": 128, "V": 2, "threads": 64})
+        assert geo.grid == 64
+        assert geo.block == 64
+
+    def test_total_threads(self, runtime):
+        d = parse_pragma(OPTIMIZED)
+        loop = listing5_loop(4096, 1)
+        geo = runtime.resolve_launch(d, loop, {"teams": 128, "V": 1, "threads": 256})
+        assert geo.total_threads == 128 * 256
+
+
+class TestHeuristicResolution:
+    def test_default_geometry(self, runtime):
+        d = parse_pragma(BASELINE)
+        loop = ForLoop("i", trip_count=1_048_576_000)
+        geo = runtime.resolve_launch(d, loop)
+        assert geo.block == 128
+        assert geo.grid == 1_048_576_000 // 128
+        assert not geo.from_clause
+
+    def test_default_grid_cap_for_c2_sized_loops(self, runtime):
+        loop = ForLoop("i", trip_count=4_194_304_000)
+        geo = runtime.resolve_launch(parse_pragma(BASELINE), loop)
+        assert geo.grid == 0xFFFFFF
+
+    def test_icv_num_teams_used_when_no_clause(self):
+        rt = DeviceRuntime(hopper_gpu(), ICVSet(num_teams=2048))
+        geo = rt.resolve_launch(
+            parse_pragma(BASELINE), ForLoop("i", trip_count=1 << 20)
+        )
+        assert geo.grid == 2048
+        assert not geo.from_clause
+
+    def test_icv_thread_limit(self):
+        rt = DeviceRuntime(hopper_gpu(), ICVSet(thread_limit=512))
+        geo = rt.resolve_launch(
+            parse_pragma(BASELINE), ForLoop("i", trip_count=1 << 20)
+        )
+        assert geo.block == 512
+
+    def test_clause_beats_icv(self):
+        rt = DeviceRuntime(hopper_gpu(), ICVSet(num_teams=7))
+        d = parse_pragma(OPTIMIZED)
+        geo = rt.resolve_launch(
+            d, listing5_loop(1024, 1), {"teams": 512, "V": 1, "threads": 128}
+        )
+        assert geo.grid == 512
+
+
+class TestValidation:
+    def test_non_offload_directive_rejected(self, runtime):
+        d = parse_pragma("#pragma omp parallel")
+        with pytest.raises(LaunchError):
+            runtime.resolve_launch(d, ForLoop("i", trip_count=16))
+
+    def test_thread_limit_beyond_device_rejected(self, runtime):
+        d = parse_pragma(OPTIMIZED)
+        with pytest.raises(LaunchError):
+            runtime.resolve_launch(
+                d, listing5_loop(1024, 1),
+                {"teams": 128, "V": 1, "threads": 2048},
+            )
+
+    def test_block_rounded_to_warp_multiple(self, runtime):
+        d = parse_pragma(OPTIMIZED)
+        geo = runtime.resolve_launch(
+            d, listing5_loop(1024, 1), {"teams": 128, "V": 1, "threads": 100}
+        )
+        assert geo.block == 128  # rounded up to whole warps

@@ -1,0 +1,102 @@
+"""Tests for worksharing-loop schedules."""
+
+import pytest
+
+from repro.errors import OpenMPError
+from repro.openmp.schedule import (
+    chunks_for,
+    dynamic_chunks,
+    guided_chunks,
+    static_chunks,
+    thread_totals,
+)
+
+
+def _flatten(chunks):
+    return sorted(
+        (start, size) for per_thread in chunks for start, size in per_thread
+    )
+
+
+def _covers_exactly(chunks, trip):
+    flat = _flatten(chunks)
+    position = 0
+    for start, size in flat:
+        if start != position:
+            return False
+        position = start + size
+    return position == trip
+
+
+class TestStatic:
+    def test_default_contiguous_blocks(self):
+        chunks = static_chunks(100, 4)
+        assert _covers_exactly(chunks, 100)
+        assert thread_totals(chunks) == [25, 25, 25, 25]
+        # One contiguous block per thread.
+        assert all(len(per_thread) == 1 for per_thread in chunks)
+
+    def test_default_ragged_split(self):
+        chunks = static_chunks(10, 4)
+        assert thread_totals(chunks) == [3, 3, 2, 2]
+        assert _covers_exactly(chunks, 10)
+
+    def test_more_threads_than_iterations(self):
+        chunks = static_chunks(3, 8)
+        assert thread_totals(chunks) == [1, 1, 1, 0, 0, 0, 0, 0]
+
+    def test_chunked_round_robin(self):
+        chunks = static_chunks(10, 2, chunk=2)
+        assert chunks[0] == [(0, 2), (4, 2), (8, 2)]
+        assert chunks[1] == [(2, 2), (6, 2)]
+        assert _covers_exactly(chunks, 10)
+
+    def test_chunk_larger_than_trip_serializes(self):
+        chunks = static_chunks(100, 8, chunk=1000)
+        assert thread_totals(chunks) == [100, 0, 0, 0, 0, 0, 0, 0]
+
+
+class TestGuided:
+    def test_chunks_shrink(self):
+        chunks = guided_chunks(1000, 4)
+        sizes = [size for per in chunks for _, size in per]
+        # Assignment order is interleaved; reconstruct by start offset.
+        ordered = [size for _, size in
+                   sorted((start, size) for per in chunks
+                          for start, size in per)]
+        assert ordered[0] == 250  # ceil(1000/4)
+        assert all(s2 <= s1 for s1, s2 in zip(ordered, ordered[1:]))
+        assert sum(sizes) == 1000
+
+    def test_min_chunk_floor(self):
+        chunks = guided_chunks(100, 4, min_chunk=16)
+        ordered = [size for _, size in
+                   sorted((start, size) for per in chunks
+                          for start, size in per)]
+        # All but the final remainder chunk respect the floor.
+        assert all(s >= 16 for s in ordered[:-1])
+
+    def test_covers(self):
+        assert _covers_exactly(guided_chunks(12345, 7), 12345)
+
+
+class TestDynamic:
+    def test_uniform_bodies_equal_static_chunked(self):
+        assert dynamic_chunks(100, 4, chunk=5) == static_chunks(100, 4, chunk=5)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("kind", ["static", "dynamic", "guided", "auto"])
+    def test_known_kinds(self, kind):
+        chunks = chunks_for(kind, 64, 4)
+        assert _covers_exactly(chunks, 64)
+
+    def test_unknown_kind(self):
+        with pytest.raises(OpenMPError):
+            chunks_for("fastest", 64, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            static_chunks(0, 4)
+        with pytest.raises(ValueError):
+            static_chunks(4, 0)

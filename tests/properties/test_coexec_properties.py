@@ -1,0 +1,71 @@
+"""Property-based tests on the co-execution measurement invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, ReproConfig
+from repro.core.cases import C1
+from repro.core.coexec import AllocationSite, measure_coexec_sweep
+from repro.core.optimized import KernelConfig
+
+_MACHINE = Machine(config=ReproConfig(functional_elements_cap=1 << 12))
+
+configs = st.sampled_from([
+    None,
+    KernelConfig(teams=4096, v=1),
+    KernelConfig(teams=65536, v=4),
+    KernelConfig(teams=65536, v=32),
+])
+sites = st.sampled_from(list(AllocationSite))
+trials = st.integers(min_value=1, max_value=400)
+
+
+class TestMetricInvariants:
+    @given(config=configs, site=sites, n=trials)
+    @settings(max_examples=25, deadline=None)
+    def test_bandwidth_matches_listing8_formula(self, config, site, n):
+        sweep = measure_coexec_sweep(
+            _MACHINE, C1, site, config, p_grid=(0.0, 0.3, 1.0), trials=n,
+            verify=False,
+        )
+        for m in sweep.measurements:
+            assert m.bandwidth_gbs == pytest.approx(
+                1e-9 * C1.input_bytes * n / m.elapsed_seconds
+            )
+            assert m.elapsed_seconds > 0
+
+    @given(config=configs, site=sites)
+    @settings(max_examples=15, deadline=None)
+    def test_endpoint_structure(self, config, site):
+        sweep = measure_coexec_sweep(
+            _MACHINE, C1, site, config, p_grid=(0.0, 0.5, 1.0), trials=5,
+            verify=False,
+        )
+        assert sweep.gpu_only.cpu_seconds_steady == 0.0
+        assert sweep.cpu_only.gpu_seconds_steady == 0.0
+        assert sweep.at(0.5).cpu_seconds_steady > 0.0
+        assert sweep.at(0.5).gpu_seconds_steady > 0.0
+
+    @given(config=configs, n=trials)
+    @settings(max_examples=15, deadline=None)
+    def test_more_trials_amortize_a1_migration(self, config, n):
+        # Bandwidth at p=0 (A1) is non-decreasing in the trial count: the
+        # one-time migration spreads thinner.
+        few = measure_coexec_sweep(_MACHINE, C1, AllocationSite.A1, config,
+                                   p_grid=(0.0,), trials=n, verify=False)
+        more = measure_coexec_sweep(_MACHINE, C1, AllocationSite.A1, config,
+                                    p_grid=(0.0,), trials=n + 50,
+                                    verify=False)
+        assert more.gpu_only.bandwidth_gbs >= few.gpu_only.bandwidth_gbs - 1e-9
+
+    @given(site=sites)
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic(self, site):
+        a = measure_coexec_sweep(_MACHINE, C1, site, None,
+                                 p_grid=(0.0, 0.5, 1.0), trials=7,
+                                 verify=False)
+        b = measure_coexec_sweep(_MACHINE, C1, site, None,
+                                 p_grid=(0.0, 0.5, 1.0), trials=7,
+                                 verify=False)
+        for ma, mb in zip(a.measurements, b.measurements):
+            assert ma.bandwidth_gbs == mb.bandwidth_gbs

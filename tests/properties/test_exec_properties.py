@@ -1,0 +1,47 @@
+"""Property-based tests on the executor's chunking helper."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.exec_model import thread_chunk_starts
+
+params = st.tuples(
+    st.integers(min_value=1, max_value=200_000),   # n elements
+    st.integers(min_value=1, max_value=1 << 20),   # grid
+    st.sampled_from([32, 64, 128, 256]),           # block
+    st.sampled_from([1, 2, 4, 8, 16, 32]),         # v
+)
+
+
+class TestChunkStartsProperties:
+    @given(p=params)
+    @settings(max_examples=200, deadline=None)
+    def test_starts_sorted_unique_in_range(self, p):
+        n, grid, block, v = p
+        starts, team_starts = thread_chunk_starts(n, grid, block, v)
+        assert starts[0] == 0
+        assert np.all(np.diff(starts) > 0)
+        assert starts[-1] < n
+        # reduceat over these boundaries covers [0, n) exactly once:
+        # consecutive starts partition the array.
+        assert np.all(starts % v == 0)
+
+    @given(p=params)
+    @settings(max_examples=200, deadline=None)
+    def test_team_starts_index_into_thread_starts(self, p):
+        n, grid, block, v = p
+        starts, team_starts = thread_chunk_starts(n, grid, block, v)
+        assert team_starts[0] == 0
+        assert np.all(np.diff(team_starts) >= 0)
+        assert team_starts[-1] < len(starts)
+
+    @given(p=params, seed=st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=60, deadline=None)
+    def test_reduceat_over_chunks_is_total(self, p, seed):
+        n, grid, block, v = p
+        data = np.random.default_rng(seed).integers(
+            -50, 50, size=n
+        ).astype(np.int64)
+        starts, _ = thread_chunk_starts(n, grid, block, v)
+        partials = np.add.reduceat(data, starts)
+        assert partials.sum() == data.sum()

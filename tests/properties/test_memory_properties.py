@@ -1,0 +1,108 @@
+"""Property-based tests on the unified-memory state machine.
+
+Invariants: pages are conserved (counts always sum to n_pages); a byte is
+never double-migrated; GPU reads leave their range GPU-resident; CPU reads
+never change residency of populated pages.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import grace_hopper
+from repro.memory.pages import Residency
+from repro.memory.unified import UnifiedMemoryManager
+
+PAGE = 64 * 1024
+N_PAGES = 64
+
+
+def _fresh():
+    um = UnifiedMemoryManager(grace_hopper())
+    alloc = um.allocate(N_PAGES * PAGE)
+    return um, alloc
+
+
+# A random access script: (op, start_page, n_pages).
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["cpu_touch", "gpu_read", "cpu_read"]),
+        st.integers(min_value=0, max_value=N_PAGES - 1),
+        st.integers(min_value=1, max_value=N_PAGES),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _run(um, alloc, script):
+    migrated = 0
+    for op, start, count in script:
+        count = min(count, N_PAGES - start)
+        if count == 0:
+            continue
+        offset, nbytes = start * PAGE, count * PAGE
+        if op == "cpu_touch":
+            um.cpu_first_touch(alloc, offset, nbytes)
+        elif op == "gpu_read":
+            migrated += um.gpu_read(alloc, offset, nbytes).migrated_bytes
+        else:
+            um.cpu_read(alloc, offset, nbytes)
+    return migrated
+
+
+class TestResidencyInvariants:
+    @given(script=ops)
+    @settings(max_examples=80, deadline=None)
+    def test_pages_conserved(self, script):
+        um, alloc = _fresh()
+        _run(um, alloc, script)
+        un, cpu, gpu = alloc.residency_counts()
+        assert un + cpu + gpu == N_PAGES
+
+    @given(script=ops)
+    @settings(max_examples=80, deadline=None)
+    def test_total_migration_bounded_by_allocation(self, script):
+        # Without CPU-side writes pulling pages back, each page migrates
+        # to the GPU at most once: total fault traffic <= allocation size.
+        um, alloc = _fresh()
+        migrated = _run(um, alloc, script)
+        assert migrated <= N_PAGES * PAGE
+
+    @given(script=ops,
+           start=st.integers(min_value=0, max_value=N_PAGES - 1),
+           count=st.integers(min_value=1, max_value=N_PAGES))
+    @settings(max_examples=80, deadline=None)
+    def test_gpu_read_leaves_range_resident(self, script, start, count):
+        um, alloc = _fresh()
+        _run(um, alloc, script)
+        count = max(1, min(count, N_PAGES - start))
+        um.gpu_read(alloc, start * PAGE, count * PAGE)
+        un, cpu, gpu = alloc.residency_counts(start * PAGE, count * PAGE)
+        assert (un, cpu) == (0, 0)
+        assert gpu == count
+
+    @given(script=ops)
+    @settings(max_examples=50, deadline=None)
+    def test_second_gpu_read_free(self, script):
+        um, alloc = _fresh()
+        _run(um, alloc, script)
+        um.gpu_read(alloc)
+        plan = um.gpu_read(alloc)
+        assert plan.migrated_bytes == 0
+
+    @given(script=ops)
+    @settings(max_examples=50, deadline=None)
+    def test_cpu_read_never_unmaps_gpu_pages(self, script):
+        um, alloc = _fresh()
+        _run(um, alloc, script)
+        _, _, gpu_before = alloc.residency_counts()
+        um.cpu_read(alloc)
+        _, _, gpu_after = alloc.residency_counts()
+        assert gpu_after == gpu_before
+
+    @given(script=ops)
+    @settings(max_examples=50, deadline=None)
+    def test_plan_byte_accounting(self, script):
+        um, alloc = _fresh()
+        _run(um, alloc, script)
+        plan = um.cpu_read(alloc)
+        assert plan.local_bytes + plan.remote_bytes == alloc.nbytes

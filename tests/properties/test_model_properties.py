@@ -1,0 +1,103 @@
+"""Property-based tests on the performance models.
+
+Invariants: times are positive and finite; more parallelism never hurts
+(until saturation, where it plateaus); bandwidth never exceeds the
+efficiency ceiling; occupancy never exceeds architectural caps.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.dtypes import SCALAR_TYPES
+from repro.gpu.kernels import ReductionKernel
+from repro.gpu.memory_system import achievable_bandwidth_gbs
+from repro.gpu.occupancy import occupancy
+from repro.gpu.perf import estimate_kernel_time
+from repro.gpu.calibration import DEFAULT_CALIBRATION
+from repro.hardware import hopper_gpu
+from repro.openmp.runtime import LaunchGeometry
+
+GPU = hopper_gpu()
+
+grids = st.integers(min_value=1, max_value=1 << 24)
+blocks = st.sampled_from([32, 64, 128, 256, 512, 1024])
+vs = st.sampled_from([1, 2, 4, 8, 16, 32])
+types = st.sampled_from(sorted(SCALAR_TYPES))
+
+
+def _kernel(grid, block, v, t, elements=1 << 26):
+    r = "int64" if t == "int8" else t
+    return ReductionKernel(
+        name="k",
+        geometry=LaunchGeometry(grid=grid, block=block, from_clause=True),
+        elements=elements,
+        elements_per_iteration=v,
+        element_type=t,
+        result_type=r,
+    )
+
+
+class TestOccupancyProperties:
+    @given(grid=grids, block=blocks)
+    @settings(max_examples=100, deadline=None)
+    def test_caps_respected(self, grid, block):
+        occ = occupancy(GPU, grid, block)
+        assert 1 <= occ.blocks_per_sm <= GPU.max_blocks_per_sm
+        assert occ.active_warps <= GPU.max_resident_warps
+        assert occ.active_blocks <= grid
+        assert occ.waves >= 1
+        # waves * capacity always covers the grid.
+        assert occ.waves * GPU.sms * occ.blocks_per_sm >= grid
+
+
+class TestBandwidthProperties:
+    @given(warps=st.integers(min_value=1, max_value=GPU.max_resident_warps),
+           v=vs, t=types)
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_ceiling(self, warps, v, t):
+        bw = achievable_bandwidth_gbs(GPU, warps, v, t)
+        ceiling = DEFAULT_CALIBRATION.efficiency_for(t) * \
+            GPU.memory.peak_bandwidth_gbs
+        assert 0 < bw <= ceiling + 1e-9
+
+    @given(warps=st.integers(min_value=1, max_value=4000), v=vs, t=types)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_warps(self, warps, v, t):
+        assert achievable_bandwidth_gbs(GPU, warps + 100, v, t) >= \
+            achievable_bandwidth_gbs(GPU, warps, v, t)
+
+    @given(warps=st.integers(min_value=1, max_value=8448), t=types,
+           v=st.sampled_from([1, 2, 4, 8, 16]))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_v(self, warps, v, t):
+        assert achievable_bandwidth_gbs(GPU, warps, 2 * v, t) >= \
+            achievable_bandwidth_gbs(GPU, warps, v, t)
+
+
+class TestKernelTimeProperties:
+    @given(grid=grids, block=blocks, v=vs, t=types)
+    @settings(max_examples=100, deadline=None)
+    def test_positive_finite(self, grid, block, v, t):
+        timing = estimate_kernel_time(GPU, _kernel(grid, block, v, t))
+        assert 0 < timing.total < 1e4
+        assert timing.memory > 0 and timing.issue > 0
+        assert timing.block_latency > 0
+
+    @given(grid=st.integers(min_value=1, max_value=1 << 20), block=blocks,
+           v=vs, t=types)
+    @settings(max_examples=60, deadline=None)
+    def test_more_blocks_never_slower_below_capacity(self, grid, block, v, t):
+        occ = occupancy(GPU, grid, block)
+        assume(grid * 2 <= GPU.sms * occ.blocks_per_sm)
+        t1 = estimate_kernel_time(GPU, _kernel(grid, block, v, t)).total
+        t2 = estimate_kernel_time(GPU, _kernel(grid * 2, block, v, t)).total
+        assert t2 <= t1 * 1.0001
+
+    @given(grid=st.sampled_from([256, 1024, 4096]), block=blocks, v=vs,
+           t=types)
+    @settings(max_examples=60, deadline=None)
+    def test_time_monotone_in_elements(self, grid, block, v, t):
+        small = estimate_kernel_time(GPU, _kernel(grid, block, v, t,
+                                                  elements=1 << 22)).total
+        large = estimate_kernel_time(GPU, _kernel(grid, block, v, t,
+                                                  elements=1 << 26)).total
+        assert large >= small

@@ -1,0 +1,105 @@
+"""Property-based tests on the OpenMP parser: render/parse round-trips.
+
+Strategy: build random *valid* directives from the clause grammar, render
+them to pragma text, re-parse, and require structural equality.  Also fuzz
+whitespace/continuation placement, which must never change the parse.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.openmp.clauses import (
+    Device,
+    IntExpr,
+    Map,
+    MapKind,
+    NoWait,
+    NumTeams,
+    Reduction,
+    Schedule,
+    ThreadLimit,
+)
+from repro.openmp.directives import Directive, DirectiveKind
+from repro.openmp.parser import parse_pragma
+
+identifiers = st.sampled_from(["sum", "x", "acc", "inD", "partial_1"])
+int_exprs = st.one_of(
+    st.integers(min_value=1, max_value=1 << 20).map(lambda n: IntExpr(str(n))),
+    st.sampled_from(["teams", "threads", "teams/V", "V*threads"]).map(IntExpr),
+)
+
+num_teams = int_exprs.map(NumTeams)
+thread_limits = int_exprs.map(ThreadLimit)
+reductions = st.tuples(
+    st.sampled_from(["+", "*", "max", "min", "&", "|", "^"]),
+    st.lists(identifiers, min_size=1, max_size=3, unique=True),
+).map(lambda t: Reduction(t[0], tuple(t[1])))
+maps = st.tuples(
+    st.sampled_from(list(MapKind)),
+    identifiers,
+    st.one_of(st.none(), st.just(("0", "LenD"))),
+).map(lambda t: Map(*t))
+schedules = st.tuples(
+    st.sampled_from(["static", "dynamic", "guided"]),
+    st.one_of(st.none(), st.integers(min_value=1, max_value=4096)),
+).map(lambda t: Schedule(*t))
+
+
+@st.composite
+def offload_directives(draw):
+    clauses = []
+    if draw(st.booleans()):
+        clauses.append(draw(num_teams))
+    if draw(st.booleans()):
+        clauses.append(draw(thread_limits))
+    clauses.append(draw(reductions))
+    if draw(st.booleans()):
+        clauses.append(draw(maps))
+    if draw(st.booleans()):
+        clauses.append(NoWait())
+    if draw(st.booleans()):
+        clauses.append(Device(draw(st.integers(min_value=0, max_value=7))))
+    if draw(st.booleans()):
+        clauses.append(draw(schedules))
+    return Directive(
+        DirectiveKind.TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR, tuple(clauses)
+    )
+
+
+class TestRoundTrip:
+    @given(directive=offload_directives())
+    @settings(max_examples=150, deadline=None)
+    def test_render_parse_round_trip(self, directive):
+        reparsed = parse_pragma(directive.render())
+        assert reparsed.kind == directive.kind
+        assert reparsed.clauses == directive.clauses
+
+    @given(directive=offload_directives(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_whitespace_and_continuations_irrelevant(self, directive, data):
+        text = directive.render()
+        # Inject extra spaces and a continuation at a random word gap.
+        words = text.split(" ")
+        idx = data.draw(st.integers(min_value=1, max_value=len(words) - 1))
+        mangled = " ".join(words[:idx]) + " \\\n  " + "  ".join(words[idx:])
+        assert parse_pragma(mangled).clauses == directive.clauses
+
+    @given(directive=offload_directives())
+    @settings(max_examples=80, deadline=None)
+    def test_render_is_stable(self, directive):
+        once = parse_pragma(directive.render()).render()
+        twice = parse_pragma(once).render()
+        assert once == twice
+
+
+class TestEvaluationTotality:
+    @given(expr=int_exprs,
+           teams=st.integers(min_value=32, max_value=1 << 17),
+           v=st.sampled_from([1, 2, 4, 8, 16, 32]),
+           threads=st.sampled_from([64, 128, 256]))
+    @settings(max_examples=100, deadline=None)
+    def test_symbolic_expressions_evaluate(self, expr, teams, v, threads):
+        env = {"teams": teams, "V": v, "threads": threads}
+        value = expr.evaluate(env)
+        assert isinstance(value, int)
+        assert value > 0

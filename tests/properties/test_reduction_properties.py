@@ -1,0 +1,120 @@
+"""Property-based tests on the functional executors.
+
+Core invariants: device partitioning never changes an integer result
+(modular addition is associative/commutative); float results stay within
+the recursive-summation error bound; device and host executors agree.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.exec_model import execute_host_reduction
+from repro.dtypes import INT32, INT64
+from repro.gpu.exec_model import execute_reduction
+from repro.gpu.kernels import ReductionKernel
+from repro.hardware import grace_cpu
+from repro.openmp.runtime import LaunchGeometry
+
+
+def _kernel(grid, block, v, t="int32", r=None, identifier="+"):
+    return ReductionKernel(
+        name="k",
+        geometry=LaunchGeometry(grid=grid, block=block, from_clause=True),
+        elements=1 << 20,  # declared size; data may be shorter
+        elements_per_iteration=v,
+        element_type=t,
+        result_type=r or t,
+        identifier=identifier,
+    )
+
+
+geometry = st.tuples(
+    st.sampled_from([1, 2, 7, 64, 1024]),        # grid
+    st.sampled_from([32, 64, 128, 256]),         # block
+    st.sampled_from([1, 2, 4, 8, 32]),           # v
+)
+
+int32_arrays = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    min_size=1, max_size=2000,
+).map(lambda xs: np.array(xs, dtype=np.int32))
+
+
+class TestIntegerInvariance:
+    @given(data=int32_arrays, geo=geometry)
+    @settings(max_examples=60, deadline=None)
+    def test_geometry_never_changes_wrapped_sum(self, data, geo):
+        grid, block, v = geo
+        result = execute_reduction(data, _kernel(grid, block, v))
+        assert result == data.sum(dtype=np.int32)
+
+    @given(data=int32_arrays, geo=geometry)
+    @settings(max_examples=30, deadline=None)
+    def test_device_and_host_agree(self, data, geo):
+        grid, block, v = geo
+        device = execute_reduction(data, _kernel(grid, block, v))
+        host = execute_host_reduction(data, grace_cpu(), INT32)
+        assert device == host
+
+    @given(
+        data=st.lists(st.integers(min_value=-128, max_value=127),
+                      min_size=1, max_size=2000)
+        .map(lambda xs: np.array(xs, dtype=np.int8)),
+        geo=geometry,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_int8_widening_exact(self, data, geo):
+        grid, block, v = geo
+        result = execute_reduction(
+            data, _kernel(grid, block, v, t="int8", r="int64")
+        )
+        # int64 accumulation of <=2000 bytes can never wrap: exact.
+        assert result == int(data.astype(np.int64).sum())
+
+    @given(data=int32_arrays, geo=geometry)
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariance(self, data, geo):
+        grid, block, v = geo
+        k = _kernel(grid, block, v)
+        shuffled = data.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        assert execute_reduction(data, k) == execute_reduction(shuffled, k)
+
+
+class TestFloatErrorBound:
+    @given(
+        data=st.lists(st.floats(min_value=0.0, max_value=1.0, width=32),
+                      min_size=1, max_size=4000)
+        .map(lambda xs: np.array(xs, dtype=np.float32)),
+        geo=geometry,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_float32_within_recursive_summation_bound(self, data, geo):
+        grid, block, v = geo
+        result = execute_reduction(data, _kernel(grid, block, v, t="float32"))
+        exact = float(data.astype(np.float64).sum())
+        bound = np.finfo(np.float32).eps * data.size * max(exact, 1.0)
+        assert abs(float(result) - exact) <= bound + 1e-12
+
+
+class TestOtherOperatorInvariants:
+    @given(data=int32_arrays, geo=geometry)
+    @settings(max_examples=30, deadline=None)
+    def test_max_is_partition_invariant(self, data, geo):
+        grid, block, v = geo
+        out = execute_reduction(data, _kernel(grid, block, v, identifier="max"))
+        assert out == data.max()
+
+    @given(data=int32_arrays, geo=geometry)
+    @settings(max_examples=30, deadline=None)
+    def test_xor_is_partition_invariant(self, data, geo):
+        grid, block, v = geo
+        out = execute_reduction(data, _kernel(grid, block, v, identifier="^"))
+        assert out == np.bitwise_xor.reduce(data)
+
+    @given(data=int32_arrays, geo=geometry)
+    @settings(max_examples=30, deadline=None)
+    def test_logical_or_matches_any(self, data, geo):
+        grid, block, v = geo
+        out = execute_reduction(data, _kernel(grid, block, v, identifier="||"))
+        assert bool(out) == bool(np.any(data != 0))

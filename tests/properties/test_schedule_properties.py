@@ -1,0 +1,98 @@
+"""Property-based tests on worksharing schedules and contention.
+
+Invariants: every schedule partitions the iteration space exactly
+(coverage, disjointness); chunk geometry respects the requested bounds;
+water-filling conserves work and never beats the aggregate-bandwidth lower
+bound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.contention import completion_times, finish_time
+from repro.openmp.schedule import chunks_for, thread_totals
+
+trips = st.integers(min_value=1, max_value=100_000)
+nthreads = st.integers(min_value=1, max_value=128)
+kinds = st.sampled_from(["static", "dynamic", "guided"])
+chunk_sizes = st.one_of(st.none(), st.integers(min_value=1, max_value=10_000))
+
+
+def _flat_sorted(chunks):
+    return sorted(
+        (start, size) for per in chunks for start, size in per
+    )
+
+
+class TestPartitionInvariants:
+    @given(kind=kinds, trip=trips, n=nthreads, chunk=chunk_sizes)
+    @settings(max_examples=200, deadline=None)
+    def test_exact_coverage_no_overlap(self, kind, trip, n, chunk):
+        chunks = chunks_for(kind, trip, n, chunk)
+        position = 0
+        for start, size in _flat_sorted(chunks):
+            assert start == position, "gap or overlap in the partition"
+            assert size > 0
+            position += size
+        assert position == trip
+        assert sum(thread_totals(chunks)) == trip
+
+    @given(trip=trips, n=nthreads, chunk=st.integers(min_value=1, max_value=512))
+    @settings(max_examples=100, deadline=None)
+    def test_static_chunk_sizes_bounded(self, trip, n, chunk):
+        chunks = chunks_for("static", trip, n, chunk)
+        sizes = [size for per in chunks for _, size in per]
+        assert all(s <= chunk for s in sizes)
+        # Only the final chunk may be short.
+        assert sum(1 for s in sizes if s < chunk) <= 1
+
+    @given(trip=trips, n=nthreads)
+    @settings(max_examples=100, deadline=None)
+    def test_default_static_balance(self, trip, n):
+        totals = thread_totals(chunks_for("static", trip, n, None))
+        nonzero = [t for t in totals if t]
+        assert max(totals) - min(totals) <= 1
+        # Contiguity: exactly one chunk per working thread.
+        chunks = chunks_for("static", trip, n, None)
+        assert all(len(per) <= 1 for per in chunks)
+        assert len(nonzero) == min(trip, n)
+
+    @given(trip=trips, n=nthreads,
+           min_chunk=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=100, deadline=None)
+    def test_guided_sizes_non_increasing(self, trip, n, min_chunk):
+        chunks = chunks_for("guided", trip, n, min_chunk)
+        ordered = [size for _, size in _flat_sorted(chunks)]
+        assert all(s2 <= s1 for s1, s2 in zip(ordered, ordered[1:]))
+
+
+class TestContentionInvariants:
+    loads = st.lists(st.floats(min_value=0, max_value=1e10),
+                     min_size=1, max_size=64)
+
+    @given(loads=loads)
+    @settings(max_examples=150, deadline=None)
+    def test_finish_bounded_below_by_aggregate(self, loads):
+        total = sum(loads)
+        t = finish_time(loads, 450e9, 40e9)
+        assert t >= total / 450e9 - 1e-12
+
+    @given(loads=loads)
+    @settings(max_examples=150, deadline=None)
+    def test_finish_bounded_below_by_largest_load(self, loads):
+        t = finish_time(loads, 450e9, 40e9)
+        assert t >= max(loads) / 40e9 - 1e-12
+
+    @given(loads=loads)
+    @settings(max_examples=100, deadline=None)
+    def test_completion_order_matches_load_order(self, loads):
+        times = completion_times(loads, 450e9, 40e9)
+        pairs = sorted(zip(loads, times))
+        assert all(t2 >= t1 - 1e-12
+                   for (_, t1), (_, t2) in zip(pairs, pairs[1:]))
+
+    @given(loads=loads, extra=st.floats(min_value=1.0, max_value=1e10))
+    @settings(max_examples=100, deadline=None)
+    def test_more_work_never_finishes_earlier(self, loads, extra):
+        t1 = finish_time(loads, 450e9, 40e9)
+        t2 = finish_time(loads + [extra], 450e9, 40e9)
+        assert t2 >= t1 - 1e-12

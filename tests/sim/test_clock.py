@@ -1,0 +1,39 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_advance_zero_allowed(self):
+        clock = Clock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_rejected(self):
+        clock = Clock(start=5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock(start=-1.0)

@@ -1,0 +1,107 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.at(2.0, lambda e: order.append("b"))
+        engine.at(1.0, lambda e: order.append("a"))
+        engine.at(3.0, lambda e: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.clock.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        engine.at(1.0, lambda e: order.append(1))
+        engine.at(1.0, lambda e: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_after_is_relative(self):
+        engine = Engine()
+        engine.clock.advance(5.0)
+        fired = []
+        engine.after(2.0, lambda e: fired.append(e.clock.now))
+        engine.run()
+        assert fired == [7.0]
+
+    def test_handlers_can_schedule_more_events(self):
+        engine = Engine()
+        seen = []
+
+        def chain(e, depth=0):
+            seen.append(e.clock.now)
+            if depth < 3:
+                e.after(1.0, lambda e2: chain(e2, depth + 1))
+
+        engine.after(1.0, chain)
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0, 4.0]
+
+    def test_scheduling_in_past_rejected(self):
+        engine = Engine()
+        engine.clock.advance(10.0)
+        with pytest.raises(SimulationError):
+            engine.at(5.0, lambda e: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().after(-1.0, lambda e: None)
+
+
+class TestControl:
+    def test_cancelled_events_skipped(self):
+        engine = Engine()
+        fired = []
+        ev = engine.at(1.0, lambda e: fired.append("x"))
+        ev.cancel()
+        engine.run()
+        assert fired == []
+        assert engine.fired == 0
+
+    def test_pending_count(self):
+        engine = Engine()
+        a = engine.at(1.0, lambda e: None)
+        engine.at(2.0, lambda e: None)
+        assert engine.pending == 2
+        a.cancel()
+        assert engine.pending == 1
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.at(1.0, lambda e: fired.append(1))
+        engine.at(10.0, lambda e: fired.append(10))
+        now = engine.run(until=5.0)
+        assert fired == [1]
+        assert now == 5.0
+        assert engine.pending == 1
+
+    def test_step_returns_event(self):
+        engine = Engine()
+        engine.at(1.0, lambda e: None, label="tick")
+        ev = engine.step()
+        assert ev is not None and ev.label == "tick"
+        assert engine.step() is None
+
+    def test_runaway_loop_guard(self):
+        engine = Engine()
+
+        def respawn(e):
+            e.after(0.001, respawn)
+
+        engine.after(0.0, respawn)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=100)
+
+    def test_empty_run_with_until_advances_clock(self):
+        engine = Engine()
+        assert engine.run(until=4.0) == 4.0

@@ -1,0 +1,56 @@
+"""Tests for the execution trace (the built-in profiler)."""
+
+from repro.sim.trace import (
+    KernelLaunchRecord,
+    MigrationRecord,
+    RemoteAccessRecord,
+    Trace,
+)
+
+
+def _launch(grid=128, name="k", duration=1e-3):
+    return KernelLaunchRecord(
+        time=0.0, name=name, grid=grid, block=256, elements=1 << 20,
+        from_clause=True, duration=duration,
+    )
+
+
+class TestTrace:
+    def test_records_launches_in_order(self):
+        trace = Trace()
+        trace.record_launch(_launch(grid=128))
+        trace.record_launch(_launch(grid=256))
+        assert trace.n_launches == 2
+        assert trace.grid_sizes() == [128, 256]
+        assert trace.last_launch().grid == 256
+
+    def test_last_launch_empty(self):
+        assert Trace().last_launch() is None
+
+    def test_migrated_bytes_filtering(self):
+        trace = Trace()
+        trace.record_migration(MigrationRecord(0.0, "LPDDR5X", "HBM3",
+                                               1000, 1, 0.1, "fault"))
+        trace.record_migration(MigrationRecord(0.0, "HBM3", "LPDDR5X",
+                                               500, 1, 0.1, "access-counter"))
+        assert trace.migrated_bytes() == 1500
+        assert trace.migrated_bytes(src="LPDDR5X") == 1000
+        assert trace.migrated_bytes(dst="LPDDR5X") == 500
+        assert trace.migrated_bytes(src="HBM3", dst="HBM3") == 0
+
+    def test_remote_access_records(self):
+        trace = Trace()
+        trace.record_remote_access(RemoteAccessRecord(0.0, "cpu", 4096, 1e-6))
+        assert len(trace.remote_accesses) == 1
+
+    def test_clear(self):
+        trace = Trace()
+        trace.record_launch(_launch())
+        trace.clear()
+        assert trace.n_launches == 0
+
+    def test_summary_counts(self):
+        trace = Trace()
+        trace.record_launch(_launch())
+        text = trace.summary()
+        assert "1 launches" in text

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDescribe:
+    def test_prints_system(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "H100" in out
+        assert "4023 GB/s" in out
+
+
+class TestSum:
+    def test_baseline(self, capsys):
+        assert main(["sum", "--elements", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "sum" in out and "bandwidth" in out
+        assert "block 128" in out  # heuristic geometry
+
+    def test_tuned(self, capsys):
+        assert main(["sum", "--elements", "65536", "--teams", "1024",
+                     "--v", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "grid 256 x block 256" in out
+
+    def test_deterministic_across_runs(self, capsys):
+        main(["sum", "--elements", "4096", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["sum", "--elements", "4096", "--seed", "7"])
+        assert capsys.readouterr().out == first
+
+    def test_dtype_float(self, capsys):
+        assert main(["sum", "--elements", "4096", "--dtype", "float32",
+                     "--teams", "128"]) == 0
+
+    def test_error_exit_code(self, capsys):
+        # v > 1 without teams is a library error -> exit code 2.
+        assert main(["sum", "--elements", "4097", "--teams", "128",
+                     "--v", "32"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_panel(self, capsys):
+        assert main(["sweep", "C1", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 (C1)" in out
+        assert "saturation" in out
+
+    def test_rejects_unknown_case(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "C7"])
+
+
+class TestTable1:
+    def test_rows(self, capsys):
+        assert main(["table1", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "C1" in out and "C4" in out and "(3795)" in out
+
+
+class TestCoexec:
+    def test_a1_optimized(self, capsys):
+        assert main(["coexec", "C1", "--trials", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "best: p=" in out
+
+    def test_a2_baseline(self, capsys):
+        assert main(["coexec", "C2", "--site", "A2", "--baseline",
+                     "--trials", "50"]) == 0
+
+    def test_no_unified_memory(self, capsys):
+        assert main(["coexec", "C1", "--no-unified-memory",
+                     "--trials", "50"]) == 0

@@ -1,0 +1,30 @@
+"""Tests for the CLI report command (split out: these run the full battery)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_passes_at_paper_trials(self, capsys):
+        code = main(["--functional-cap", "4096", "report", "--trials", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "27/27 passed" in out
+
+    def test_fails_at_low_trials(self, capsys):
+        # With few trials the A1 migration barely amortizes and the fig2b
+        # speedup band check fails -> non-zero exit (CI-friendly).
+        code = main(["--functional-cap", "4096", "report", "--trials", "10"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_writes_markdown_report(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        code = main(["--functional-cap", "4096", "report", "--trials", "200",
+                     "--out", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "27/27 criteria passed" in text

@@ -1,0 +1,43 @@
+"""Tests for the global configuration object."""
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, ReproConfig
+
+
+class TestReproConfig:
+    def test_defaults(self):
+        cfg = ReproConfig()
+        assert cfg.seed == DEFAULT_CONFIG.seed
+        assert cfg.functional_elements_cap == 1 << 22
+        assert cfg.strict_verify
+
+    def test_rng_is_deterministic(self):
+        cfg = ReproConfig(seed=7)
+        a = cfg.rng().integers(0, 1 << 30, size=16)
+        b = cfg.rng().integers(0, 1 << 30, size=16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rng_depends_on_seed(self):
+        a = ReproConfig(seed=1).rng().integers(0, 1 << 30, size=16)
+        b = ReproConfig(seed=2).rng().integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_with_seed_returns_new_config(self):
+        cfg = ReproConfig(seed=1)
+        cfg2 = cfg.with_seed(99)
+        assert cfg.seed == 1
+        assert cfg2.seed == 99
+        assert cfg2.functional_elements_cap == cfg.functional_elements_cap
+
+    def test_with_cap(self):
+        cfg = ReproConfig().with_cap(1024)
+        assert cfg.functional_elements_cap == 1024
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ReproConfig().seed = 5  # type: ignore[misc]

@@ -1,0 +1,81 @@
+"""Tests for the scalar-type registry."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    INT8,
+    SCALAR_TYPES,
+    scalar_type,
+)
+from repro.errors import SpecError
+
+
+class TestScalarType:
+    def test_registry_contains_the_paper_types(self):
+        assert set(SCALAR_TYPES) == {"int8", "int32", "int64", "float32", "float64"}
+
+    @pytest.mark.parametrize(
+        "st,size,bits",
+        [(INT8, 1, 8), (INT32, 4, 32), (INT64, 8, 64), (FLOAT32, 4, 32), (FLOAT64, 8, 64)],
+    )
+    def test_sizes(self, st, size, bits):
+        assert st.size == size
+        assert st.bits == bits
+        assert st.numpy.itemsize == size
+
+    def test_integer_flags(self):
+        assert INT8.is_integer and INT32.is_integer and INT64.is_integer
+        assert not FLOAT32.is_integer and not FLOAT64.is_integer
+
+    def test_zero_identity(self):
+        z = INT32.zero()
+        assert z == 0
+        assert z.dtype == np.dtype("int32")
+
+    def test_str(self):
+        assert str(FLOAT64) == "float64"
+
+
+class TestScalarTypeLookup:
+    def test_identity_passthrough(self):
+        assert scalar_type(INT32) is INT32
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("int", INT32),
+            ("float", FLOAT32),
+            ("double", FLOAT64),
+            ("char", INT8),
+            ("long long", INT64),
+            ("i8", INT8),
+            ("f64", FLOAT64),
+            ("FLOAT32", FLOAT32),
+            (" int32 ", INT32),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert scalar_type(alias) is expected
+
+    @pytest.mark.parametrize("np_spec", [np.int32, np.dtype("int8"), np.float64])
+    def test_numpy_dtypes(self, np_spec):
+        st = scalar_type(np_spec)
+        assert st.numpy == np.dtype(np_spec)
+
+    @pytest.mark.parametrize("bad", ["int128", "complex64", "bfloat16"])
+    def test_unknown_names_raise(self, bad):
+        with pytest.raises(SpecError):
+            scalar_type(bad)
+
+    def test_unsupported_numpy_dtype_raises(self):
+        with pytest.raises(SpecError):
+            scalar_type(np.complex128)
+
+    def test_non_type_object_raises(self):
+        with pytest.raises(SpecError):
+            scalar_type(3.14)

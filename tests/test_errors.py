@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SpecError,
+            errors.OpenMPError,
+            errors.DirectiveSyntaxError,
+            errors.ClauseError,
+            errors.CanonicalLoopError,
+            errors.CompileError,
+            errors.UnsupportedReductionError,
+            errors.MemoryModelError,
+            errors.AllocationError,
+            errors.PageStateError,
+            errors.LaunchError,
+            errors.MeasurementError,
+            errors.VerificationError,
+            errors.SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        # Misuse errors double as ValueError so generic callers catch them.
+        assert issubclass(errors.SpecError, ValueError)
+        assert issubclass(errors.LaunchError, ValueError)
+        assert issubclass(errors.ClauseError, ValueError)
+
+    def test_directive_syntax_error_carries_position(self):
+        err = errors.DirectiveSyntaxError("bad", pragma="#pragma omp x", position=12)
+        assert err.pragma == "#pragma omp x"
+        assert err.position == 12
+
+    def test_compile_error_carries_diagnostics(self):
+        err = errors.CompileError("nope", diagnostics=["d1", "d2"])
+        assert err.diagnostics == ("d1", "d2")
+
+    def test_compile_error_default_diagnostics(self):
+        assert errors.CompileError("nope").diagnostics == ()
+
+    def test_verification_error_carries_values(self):
+        err = errors.VerificationError("mismatch", expected=1, actual=2)
+        assert err.expected == 1
+        assert err.actual == 2
+
+    def test_single_except_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PageStateError("boom")

@@ -1,0 +1,56 @@
+"""Package-level surface tests: exports, version, docstring examples."""
+
+import doctest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_tuple_matches_string(self):
+        assert repro.__version__ == ".".join(str(v) for v in repro.VERSION)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_entry_points_importable(self):
+        from repro import (
+            C1,
+            KernelConfig,
+            Machine,
+            OffloadReducer,
+            grace_hopper,
+            offload_sum,
+        )
+
+        assert callable(offload_sum)
+        assert C1.name == "C1"
+
+    def test_error_hierarchy_exported(self):
+        assert issubclass(repro.CompileError, repro.ReproError)
+
+    def test_no_import_side_effects_on_logging(self):
+        import logging
+
+        # Library etiquette: importing repro configures no handlers.
+        assert not logging.getLogger("repro").handlers
+
+
+class TestDoctests:
+    def test_package_docstring_example(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_parser_doctest(self):
+        import repro.openmp.parser as mod
+
+        results = doctest.testmod(mod, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1
+
+    def test_tables_doctest(self):
+        import repro.util.tables as mod
+
+        results = doctest.testmod(mod, verbose=False,
+                                  optionflags=doctest.NORMALIZE_WHITESPACE)
+        assert results.failed == 0

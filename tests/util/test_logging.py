@@ -1,0 +1,23 @@
+"""Tests for the logging shim."""
+
+import logging
+
+from repro.util.logging import enable_debug_logging, get_logger
+
+
+class TestLogging:
+    def test_namespace(self):
+        assert get_logger().name == "repro"
+        assert get_logger("gpu").name == "repro.gpu"
+
+    def test_enable_is_idempotent(self):
+        logger = enable_debug_logging()
+        n = len(logger.handlers)
+        enable_debug_logging()
+        assert len(logger.handlers) == n
+
+    def test_level_applied(self):
+        logger = enable_debug_logging(logging.WARNING)
+        assert logger.level == logging.WARNING
+        enable_debug_logging(logging.DEBUG)
+        assert logger.level == logging.DEBUG

@@ -1,0 +1,62 @@
+"""Tests for the text plotting helpers."""
+
+import pytest
+
+from repro.util.plot import ascii_chart, bar_chart
+
+
+class TestAsciiChart:
+    def test_basic_shape(self):
+        chart = ascii_chart({"a": [(0, 0.0), (1, 5.0), (2, 10.0)]},
+                            width=20, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + legend
+        assert lines[-2].lstrip().startswith("+")
+        assert "o=a" in lines[-1]
+
+    def test_max_on_top_row_zero_on_bottom(self):
+        chart = ascii_chart({"a": [(0, 0.0), (1, 10.0)]}, width=10, height=4)
+        lines = chart.splitlines()
+        assert "10" in lines[0]
+        assert lines[0].rstrip().endswith("o")   # the max point, rightmost
+        assert "o" in lines[3]                   # the zero point
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = ascii_chart({
+            "v1": [(0, 1.0), (1, 2.0)],
+            "v4": [(0, 2.0), (1, 4.0)],
+        })
+        assert "o=v1" in chart and "+=v4" in chart
+        assert "+" in chart
+
+    def test_ylabel(self):
+        chart = ascii_chart({"a": [(0, 1.0)]}, ylabel="GB/s")
+        assert "(y: GB/s)" in chart
+
+    def test_flat_zero_series(self):
+        chart = ascii_chart({"a": [(0, 0.0), (1, 0.0)]})
+        assert chart  # renders without division by zero
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = bar_chart({"tree": 100.0, "atomic": 50.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_unit_suffix(self):
+        assert "GB/s" in bar_chart({"a": 1.0}, unit=" GB/s")
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"a": 1.0, "longer": 2.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})

@@ -1,0 +1,57 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import Summary, geomean, mean, summarize
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_speedup_aggregation(self):
+        # Geomean of the paper's Table 1 speedups.
+        speedups = [6.120, 20.906, 13.985, 7.287]
+        expected = math.exp(sum(math.log(s) for s in speedups) / 4)
+        assert geomean(speedups) == pytest.approx(expected)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    @pytest.mark.parametrize("bad", [[1.0, 0.0], [2.0, -1.0]])
+    def test_nonpositive_raises(self, bad):
+        with pytest.raises(ValueError):
+            geomean(bad)
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s == Summary(n=4, minimum=1.0, maximum=4.0, mean=2.5,
+                            stdev=pytest.approx(math.sqrt(1.25)))
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.n == 1
+        assert s.stdev == 0.0
+        assert s.minimum == s.maximum == s.mean == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text and "mean=1.5" in text

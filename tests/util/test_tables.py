@@ -1,0 +1,49 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.util.tables import AsciiTable
+
+
+class TestAsciiTable:
+    def test_render_alignment(self):
+        t = AsciiTable(["Case", "GB/s"])
+        t.add_row(["C1", 3795.0])
+        t.add_row(["C2", 172.0])
+        lines = t.render().splitlines()
+        assert lines[0].startswith("Case")
+        assert lines[1].startswith("----")
+        assert "3795" in lines[2]
+        assert "172" in lines[3]
+        # All lines align on the separator column.
+        seps = [line.index("|") if "|" in line else line.index("+") for line in lines]
+        assert len(set(seps)) == 1
+
+    def test_row_width_mismatch_raises(self):
+        t = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = AsciiTable(["x"], float_format="{:.2f}")
+        t.add_row([3.14159])
+        assert "3.14" in t.render()
+
+    def test_bool_cells(self):
+        t = AsciiTable(["ok"])
+        t.add_row([True])
+        t.add_row([False])
+        out = t.render()
+        assert "yes" in out and "no" in out
+
+    def test_n_rows(self):
+        t = AsciiTable(["a"])
+        assert t.n_rows == 0
+        t.add_row([1])
+        assert t.n_rows == 1
+
+    def test_headers_widen_columns(self):
+        t = AsciiTable(["a-very-long-header"])
+        t.add_row(["x"])
+        lines = t.render().splitlines()
+        assert len(lines[2]) <= len(lines[0])

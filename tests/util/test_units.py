@@ -1,0 +1,77 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    bytes_to_gb,
+    format_bandwidth,
+    format_bytes,
+    format_time,
+    gb_per_s,
+)
+
+
+class TestConstants:
+    def test_binary_units(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+
+    def test_decimal_gb(self):
+        assert GB == 1_000_000_000
+
+
+class TestBandwidthMetric:
+    def test_matches_listing6_formula(self):
+        # bandwidth = 1e-9 * M * sizeof(T) * N / elapsed
+        m, size, n, elapsed = 1_048_576_000, 4, 200, 0.226
+        assert gb_per_s(m * size * n, elapsed) == pytest.approx(
+            1e-9 * m * size * n / elapsed
+        )
+
+    def test_simple_value(self):
+        assert gb_per_s(4e9, 1.0) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_time_raises(self, bad):
+        with pytest.raises(ValueError):
+            gb_per_s(1.0, bad)
+
+    def test_bytes_to_gb(self):
+        assert bytes_to_gb(4_022_700_000_000) == pytest.approx(4022.7)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (512, "512 B"),
+            (4 * GiB, "4.00 GiB"),
+            (1536 * KiB, "1.50 MiB"),
+            (10 * KiB, "10.00 KiB"),
+        ],
+    )
+    def test_format_bytes(self, nbytes, expected):
+        assert format_bytes(nbytes) == expected
+
+    def test_format_bandwidth_large(self):
+        assert format_bandwidth(3795.4) == "3795 GB/s"
+
+    def test_format_bandwidth_small(self):
+        assert format_bandwidth(42.34) == "42.3 GB/s"
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (1.5, "1.500 s"),
+            (0.00113, "1.130 ms"),
+            (4.0e-6, "4.000 us"),
+            (5.6e-7, "560.0 ns"),
+        ],
+    )
+    def test_format_time(self, seconds, expected):
+        assert format_time(seconds) == expected

@@ -1,0 +1,74 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_positive_int,
+    check_power_of_two,
+    is_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 128, 65536, 1 << 40])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100, 65535])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive_int(bad, "x")
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            check_positive_int(None, "x")
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        assert check_power_of_two(4096, "teams") == 4096
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError, match="teams"):
+            check_power_of_two(100, "teams")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_power_of_two(0, "teams")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("p", [0, 0.5, 1, 0.1])
+    def test_accepts(self, p):
+        assert check_fraction(p, "p") == float(p)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.01, 5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="p"):
+            check_fraction(bad, "p")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_fraction("half", "p")
