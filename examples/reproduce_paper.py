@@ -3,10 +3,24 @@
 
 Prints Table 1, the four Figure 1 panels, Figures 2a/2b/3/4a/4b/5, the
 Section IV aggregates, and the DESIGN.md §3 shape-check report — the whole
-paper in one run (~1 minute).
+paper in one run — then the sweep executor's instrumentation (per-stage
+wall time, cache hit/miss counters, points/sec).
 
-Run:  python examples/reproduce_paper.py
+Every sweep goes through :class:`repro.sweep.SweepExecutor`:
+
+* ``--workers N`` fans parameter points out over a process pool
+  (default: ``REPRO_SWEEP_WORKERS``, else serial — the seed behaviour);
+* results persist in a JSON cache (``--cache-dir``, default
+  ``REPRO_CACHE_DIR`` else ``~/.cache/repro-sweep``), so a warm re-run
+  skips every already-computed point; ``--no-cache`` disables it.
+
+``--workers 1 --no-cache`` reproduces the original serial output exactly.
+
+Run:  python examples/reproduce_paper.py [--workers auto]
 """
+
+import argparse
+import time
 
 from repro import Machine
 from repro.core.cases import PAPER_CASES
@@ -23,21 +37,38 @@ from repro.evaluation.figures import (
 )
 from repro.evaluation.report import full_report
 from repro.evaluation.tables import generate_table1, render_table1
+from repro.sweep import SweepExecutor, open_result_cache
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", default=None,
+                        help="sweep pool width (int or 'auto'; default: "
+                             "REPRO_SWEEP_WORKERS, else serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point (disable the result cache)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                             "REPRO_CACHE_DIR, else ~/.cache/repro-sweep)")
+    args = parser.parse_args()
+
+    start = time.perf_counter()
     machine = Machine()
-    print(f"machine: {machine.describe()}\n")
+    cache = open_result_cache(args.cache_dir, enabled=not args.no_cache)
+    executor = SweepExecutor(machine, workers=args.workers, cache=cache)
+    print(f"machine: {machine.describe()}")
+    print(f"executor: {executor.stats.mode}, "
+          f"cache {'off' if cache is None else f'at {cache.directory}'}\n")
 
     print("=" * 72)
     print("Table 1 (measured vs paper)")
     print("=" * 72)
-    print(render_table1(generate_table1(machine)))
+    print(render_table1(generate_table1(machine, executor=executor)))
 
     for case in PAPER_CASES:
         print()
         print("=" * 72)
-        fig1 = generate_figure1(machine, case)
+        fig1 = generate_figure1(machine, case, executor=executor)
         print(render_figure1(fig1))
         print()
         print(chart_figure1(fig1))
@@ -46,7 +77,8 @@ def main() -> None:
     for site in (AllocationSite.A1, AllocationSite.A2):
         for optimized in (False, True):
             fig = generate_coexec_figure(
-                machine, PAPER_CASES, site, optimized, verify=False
+                machine, PAPER_CASES, site, optimized, verify=False,
+                executor=executor,
             )
             figures[(site, optimized)] = fig
             print()
@@ -67,7 +99,16 @@ def main() -> None:
     print("=" * 72)
     print("Shape-check report (DESIGN.md §3 criteria)")
     print("=" * 72)
-    print(full_report(machine))
+    print(full_report(machine, executor=executor))
+
+    print()
+    print("=" * 72)
+    print("Sweep executor instrumentation")
+    print("=" * 72)
+    print(executor.stats.render())
+    if cache is not None:
+        print(cache.describe())
+    print(f"total wall time: {time.perf_counter() - start:.2f} s")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,15 @@ Commands
     Run the Listing 8 co-execution sweep at a chosen allocation site.
 ``report``
     Run the full shape-check battery (DESIGN.md §3).
+``cache``
+    Inspect or clear the persistent sweep result cache.
+
+Sweeps run through the :mod:`repro.sweep` executor: ``--workers N`` fans
+points out over a process pool (default from ``REPRO_SWEEP_WORKERS``,
+else serial), results persist in a JSON cache under ``--cache-dir``
+(default ``REPRO_CACHE_DIR``, else ``~/.cache/repro-sweep``) so re-runs
+skip already-computed points, and ``--no-cache`` bypasses the cache
+entirely.  ``--stats`` prints the executor's per-stage instrumentation.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ import numpy as np
 
 from . import __version__
 from .core.cases import case_by_name
-from .core.coexec import AllocationSite, measure_coexec_sweep
+from .core.coexec import AllocationSite
 from .core.machine import Machine
 from .core.optimized import KernelConfig
 from .core.reduce import offload_sum
@@ -39,6 +48,8 @@ from .evaluation.figures import (
 )
 from .evaluation.report import full_report
 from .evaluation.tables import generate_table1, render_table1
+from .sweep.executor import CoexecRequest, SweepExecutor
+from .sweep.result_cache import ResultCache, open_result_cache
 from .util.tables import AsciiTable
 from .util.units import format_bandwidth, format_time
 
@@ -57,6 +68,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--functional-cap", type=int, metavar="N", default=None,
         help="cap the functionally-executed elements per workload "
              "(performance numbers are unaffected; speeds up big runs)",
+    )
+    parser.add_argument(
+        "--workers", metavar="N", default=None,
+        help="sweep executor pool width (int, or 'auto' for one per CPU; "
+             "default: REPRO_SWEEP_WORKERS, else serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent sweep result cache (recompute "
+             "every point)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="sweep result cache directory (default: REPRO_CACHE_DIR, "
+             "else ~/.cache/repro-sweep)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print sweep executor instrumentation after the command",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -93,10 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--trials", type=int, default=200)
     p_rep.add_argument("--out", metavar="FILE", default=None,
                        help="also write the full markdown report to FILE")
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the sweep cache")
+    p_cache.add_argument("action", choices=["info", "clear"])
     return parser
 
 
-def _cmd_describe(args, machine: Machine) -> int:
+def _cmd_describe(args, machine: Machine, executor) -> int:
     print(machine.describe())
     print(f"peak GPU bandwidth: "
           f"{format_bandwidth(machine.system.peak_gpu_bandwidth_gbs)}")
@@ -108,7 +141,7 @@ def _cmd_describe(args, machine: Machine) -> int:
     return 0
 
 
-def _cmd_sum(args, machine: Machine) -> int:
+def _cmd_sum(args, machine: Machine, executor) -> int:
     st = scalar_type(args.dtype)
     rng = np.random.default_rng(args.seed)
     if st.is_integer:
@@ -126,29 +159,35 @@ def _cmd_sum(args, machine: Machine) -> int:
     return 0
 
 
-def _cmd_sweep(args, machine: Machine) -> int:
+def _cmd_sweep(args, machine: Machine, executor) -> int:
     case = case_by_name(args.case)
-    fig = generate_figure1(machine, case, trials=args.trials)
+    fig = generate_figure1(machine, case, trials=args.trials,
+                           executor=executor)
     print(render_figure1(fig))
     return 0
 
 
-def _cmd_table1(args, machine: Machine) -> int:
-    print(render_table1(generate_table1(machine, trials=args.trials)))
+def _cmd_table1(args, machine: Machine, executor) -> int:
+    print(render_table1(generate_table1(machine, trials=args.trials,
+                                        executor=executor)))
     return 0
 
 
-def _cmd_coexec(args, machine: Machine) -> int:
+def _cmd_coexec(args, machine: Machine, executor) -> int:
     case = case_by_name(args.case)
     config = None if args.baseline else paper_optimized_config(case)
-    sweep = measure_coexec_sweep(
-        machine,
-        case,
-        AllocationSite(args.site),
-        config,
-        trials=args.trials,
-        verify=False,
-        unified_memory=not args.no_unified_memory,
+    (sweep,) = executor.coexec_sweeps(
+        [
+            CoexecRequest(
+                case=case,
+                site=AllocationSite(args.site),
+                config=config,
+                trials=args.trials,
+                verify=False,
+                unified_memory=not args.no_unified_memory,
+            )
+        ],
+        stage=f"coexec-{args.site}",
     )
     table = AsciiTable(["p"] + [f"{p:.1f}" for p, _ in sweep.series()],
                        float_format="{:.0f}")
@@ -162,15 +201,26 @@ def _cmd_coexec(args, machine: Machine) -> int:
     return 0
 
 
-def _cmd_report(args, machine: Machine) -> int:
-    text = full_report(machine, trials=args.trials)
+def _cmd_report(args, machine: Machine, executor) -> int:
+    text = full_report(machine, trials=args.trials, executor=executor)
     print(text)
     if args.out:
         from .evaluation.markdown import write_report
 
-        path = write_report(args.out, machine, trials=args.trials)
+        path = write_report(args.out, machine, trials=args.trials,
+                            executor=executor)
         print(f"markdown report written to {path}")
     return 0 if "FAIL" not in text else 1
+
+
+def _cmd_cache(args, machine: Machine, executor) -> int:
+    cache = executor.cache or ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.directory}")
+    else:
+        print(cache.describe())
+    return 0
 
 
 _COMMANDS = {
@@ -180,6 +230,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "coexec": _cmd_coexec,
     "report": _cmd_report,
+    "cache": _cmd_cache,
 }
 
 
@@ -193,10 +244,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = DEFAULT_CONFIG.with_cap(args.functional_cap)
     machine = Machine(config=config)
     try:
-        return _COMMANDS[args.command](args, machine)
+        cache = open_result_cache(
+            args.cache_dir or machine.config.sweep_cache_dir,
+            enabled=not args.no_cache,
+        )
+        executor = SweepExecutor(machine, workers=args.workers, cache=cache)
+        code = _COMMANDS[args.command](args, machine, executor)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.stats:
+        print()
+        print(executor.stats.render())
+        if executor.cache is not None:
+            print(executor.cache.describe())
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,12 @@ Mirrors the toolchain behaviour the paper depends on:
   launch resolution.
 """
 
+from .cache import (
+    cached_compile,
+    clear_compile_cache,
+    compile_cache_stats,
+    default_compiler,
+)
 from .flags import CompilerFlags
 from .diagnostics import Diagnostic, Severity
 from .nvhpc import NvhpcCompiler, CompiledReduction, ReductionLoopProgram
@@ -23,4 +29,8 @@ __all__ = [
     "NvhpcCompiler",
     "CompiledReduction",
     "ReductionLoopProgram",
+    "cached_compile",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "default_compiler",
 ]

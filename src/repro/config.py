@@ -11,6 +11,7 @@ still reasons about the full-size problem.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 import numpy as np
 
@@ -35,11 +36,24 @@ class ReproConfig:
         When ``True``, every offloaded reduction is checked against a host
         reference (paper §III.B) and mismatches raise
         :class:`~repro.errors.VerificationError`.
+    sweep_workers:
+        Default pool width for the :class:`~repro.sweep.executor.
+        SweepExecutor` when neither an explicit argument nor the
+        ``REPRO_SWEEP_WORKERS`` environment variable is given.  ``None``
+        (the default) means 1 — the exact serial seed behaviour; values
+        <= 0 mean one worker per CPU.  Not part of cache fingerprints
+        (scheduling never changes results).
+    sweep_cache_dir:
+        Default directory for the persistent sweep result cache when a
+        driver enables it; ``None`` defers to ``REPRO_CACHE_DIR`` and
+        then ``~/.cache/repro-sweep``.  Not part of cache fingerprints.
     """
 
     seed: int = 0x5C2024
     functional_elements_cap: int = 1 << 22
     strict_verify: bool = True
+    sweep_workers: Optional[int] = None
+    sweep_cache_dir: Optional[str] = None
 
     def rng(self) -> np.random.Generator:
         """A fresh generator seeded from :attr:`seed`."""

@@ -33,7 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..compiler.nvhpc import NvhpcCompiler
+from ..compiler.cache import cached_compile
 from ..cpu.exec_model import execute_host_reduction
 from ..cpu.perf import estimate_cpu_reduction_time
 from ..errors import MeasurementError
@@ -141,7 +141,7 @@ def _gpu_kernel_for(
     else:
         program = optimized_program(sub, config)
         env = config.env()
-    compiled = NvhpcCompiler().compile(program)
+    compiled = cached_compile(program)
     return compiled.launch(machine.runtime, env)
 
 

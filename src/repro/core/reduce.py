@@ -12,12 +12,14 @@ same shape/configuration.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from ..compiler.nvhpc import CompiledReduction, NvhpcCompiler
+from ..compiler.cache import cached_compile
+from ..compiler.nvhpc import CompiledReduction
 from ..dtypes import INT8, ScalarType, scalar_type
 from ..gpu.exec_model import execute_reduction
 from ..gpu.kernels import ReductionKernel
@@ -32,13 +34,20 @@ from .verify import verify_result
 __all__ = ["OffloadResult", "OffloadReducer", "offload_sum", "default_machine"]
 
 _DEFAULT_MACHINE: "Machine | None" = None
+_DEFAULT_MACHINE_LOCK = threading.Lock()
 
 
 def default_machine() -> Machine:
-    """The lazily-created module-level machine used when none is passed."""
+    """The lazily-created module-level machine used when none is passed.
+
+    Thread- and process-pool-safe: concurrent first calls (e.g. sweep
+    executor workers warming up) observe exactly one machine.
+    """
     global _DEFAULT_MACHINE
     if _DEFAULT_MACHINE is None:
-        _DEFAULT_MACHINE = Machine()
+        with _DEFAULT_MACHINE_LOCK:
+            if _DEFAULT_MACHINE is None:
+                _DEFAULT_MACHINE = Machine()
     return _DEFAULT_MACHINE
 
 
@@ -117,7 +126,7 @@ class OffloadReducer:
             )
         self.case = case
         self.config = config
-        self.compiled: CompiledReduction = NvhpcCompiler().compile(program)
+        self.compiled: CompiledReduction = cached_compile(program)
         self.kernel: ReductionKernel = self.compiled.launch(
             self.machine.runtime,
             config.env() if config else None,

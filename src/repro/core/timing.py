@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..compiler.nvhpc import NvhpcCompiler
+from ..compiler.cache import cached_compile
 from ..errors import MeasurementError
 from ..gpu.exec_model import execute_reduction
 from ..gpu.kernels import ReductionKernel
@@ -87,7 +87,7 @@ def measure_gpu_reduction(
     else:
         program = optimized_program(case, config)
         env = config.env()
-    compiled = NvhpcCompiler().compile(program)
+    compiled = cached_compile(program)
     kernel = compiled.launch(machine.runtime, env)
 
     # Device data environment (non-UM §III mode): the input array is

@@ -15,7 +15,7 @@ from ..util.validation import check_power_of_two
 from .cases import Case
 from .machine import Machine
 from .optimized import DEFAULT_THREADS, KernelConfig
-from .timing import TRIALS, Measurement, measure_gpu_reduction
+from .timing import TRIALS
 
 __all__ = [
     "TEAMS_GRID",
@@ -79,26 +79,42 @@ def sweep_parameters(
     threads: int = DEFAULT_THREADS,
     trials: int = TRIALS,
     verify: bool = False,
+    executor=None,
 ) -> SweepResult:
     """Sweep the parameter space for *case* (Figures 1a-1d).
 
     Functional verification defaults off inside sweeps (the measurement
     layer verifies; re-verifying 60 points is redundant work) — pass
     ``verify=True`` to force it everywhere.
+
+    The grid runs through a :class:`~repro.sweep.executor.SweepExecutor`
+    (pass one to share its pool, result cache and instrumentation across
+    stages).  ``executor=None`` builds an ephemeral one from the machine's
+    configuration: serial and uncached unless ``REPRO_SWEEP_WORKERS`` /
+    :attr:`~repro.config.ReproConfig.sweep_workers` say otherwise, which
+    preserves the historical point-by-point ordering and results exactly.
     """
-    points: List[SweepPoint] = []
+    if executor is None:
+        from ..sweep.executor import SweepExecutor
+
+        executor = SweepExecutor(machine)
+    configs: List[KernelConfig] = []
     for teams in teams_grid:
         check_power_of_two(teams, "teams")
         for v in v_grid:
             check_power_of_two(v, "v")
             if teams < v or case.elements % v:
                 continue
-            config = KernelConfig(teams=teams, v=v, threads=threads)
-            m: Measurement = measure_gpu_reduction(
-                machine, case, config, trials=trials, verify=verify
-            )
-            points.append(SweepPoint(config=config, bandwidth_gbs=m.bandwidth_gbs))
-    return SweepResult(case=case, points=tuple(points))
+            configs.append(KernelConfig(teams=teams, v=v, threads=threads))
+    bandwidths = executor.gpu_bandwidths(
+        case, configs, trials=trials, verify=verify,
+        stage=f"sweep-{case.name}",
+    )
+    points = tuple(
+        SweepPoint(config=config, bandwidth_gbs=bw)
+        for config, bw in zip(configs, bandwidths)
+    )
+    return SweepResult(case=case, points=points)
 
 
 def autotune(
@@ -107,10 +123,12 @@ def autotune(
     teams_grid: Sequence[int] = TEAMS_GRID,
     v_grid: Sequence[int] = V_GRID,
     threads: int = DEFAULT_THREADS,
+    executor=None,
 ) -> KernelConfig:
     """Best (teams, V) for *case* — the configuration Table 1 calls
     "Optimized"."""
     result = sweep_parameters(
-        machine, case, teams_grid, v_grid, threads, verify=False
+        machine, case, teams_grid, v_grid, threads, verify=False,
+        executor=executor,
     )
     return result.best().config

@@ -11,12 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cases import Case
-from ..core.coexec import (
-    AllocationSite,
-    CoExecSweep,
-    CPU_PART_GRID,
-    measure_coexec_sweep,
-)
+from ..core.coexec import AllocationSite, CoExecSweep, CPU_PART_GRID
 from ..core.machine import Machine
 from ..core.optimized import KernelConfig
 from ..core.tuning import SweepResult, sweep_parameters
@@ -76,12 +71,20 @@ def generate_figure1(
     machine: Optional[Machine] = None,
     case: Optional[Case] = None,
     trials: int = 200,
+    executor=None,
 ) -> Figure1Data:
-    """Generate the Figure 1 panel for *case* (1a=C1 ... 1d=C4)."""
+    """Generate the Figure 1 panel for *case* (1a=C1 ... 1d=C4).
+
+    Pass a :class:`~repro.sweep.executor.SweepExecutor` to parallelize
+    the sweep and reuse its result cache across stages.
+    """
     machine = machine or Machine()
     if case is None:
         raise ValueError("generate_figure1 requires a case (C1..C4)")
-    return Figure1Data(case=case, sweep=sweep_parameters(machine, case, trials=trials))
+    return Figure1Data(
+        case=case,
+        sweep=sweep_parameters(machine, case, trials=trials, executor=executor),
+    )
 
 
 def render_figure1(fig: Figure1Data) -> str:
@@ -149,16 +152,37 @@ def generate_coexec_figure(
     p_grid: Sequence[float] = CPU_PART_GRID,
     trials: int = 200,
     verify: Optional[bool] = None,
+    executor=None,
 ) -> CoexecFigureData:
-    """Generate Figure 2a (A1, baseline), 2b (A1, optimized), 4a or 4b."""
+    """Generate Figure 2a (A1, baseline), 2b (A1, optimized), 4a or 4b.
+
+    Each case's p grid must run serially in ascending order (the A1
+    residency story), but the cases are independent: with an executor
+    they fan out across its pool and hit its result cache.
+    """
     machine = machine or Machine()
-    sweeps = {}
-    for case in cases:
-        config = paper_optimized_config(case) if optimized else None
-        sweeps[case.name] = measure_coexec_sweep(
-            machine, case, site, config, p_grid=p_grid, trials=trials,
+    flavour = "optimized" if optimized else "baseline"
+    if executor is None:
+        from ..sweep.executor import SweepExecutor
+
+        executor = SweepExecutor(machine)
+    from ..sweep.executor import CoexecRequest
+
+    requests = [
+        CoexecRequest(
+            case=case,
+            site=site,
+            config=paper_optimized_config(case) if optimized else None,
+            p_grid=tuple(p_grid),
+            trials=trials,
             verify=verify,
         )
+        for case in cases
+    ]
+    swept = executor.coexec_sweeps(
+        requests, stage=f"coexec-{site.value}-{flavour}"
+    )
+    sweeps = {case.name: sweep for case, sweep in zip(cases, swept)}
     return CoexecFigureData(site=site, optimized=optimized, sweeps=sweeps)
 
 

@@ -41,9 +41,20 @@ def _md_table(headers: List[str], rows: List[List[str]]) -> str:
     return "\n".join(out)
 
 
-def render_report(machine: Optional[Machine] = None, trials: int = 200) -> str:
-    """Run the full evaluation and render the markdown report."""
+def render_report(
+    machine: Optional[Machine] = None, trials: int = 200, executor=None
+) -> str:
+    """Run the full evaluation and render the markdown report.
+
+    With an executor (typically the one the CLI report already ran), the
+    regenerated experiments resolve from its result cache instead of
+    recomputing.
+    """
     machine = machine or Machine()
+    if executor is None:
+        from ..sweep.executor import SweepExecutor
+
+        executor = SweepExecutor(machine)
     sections: List[str] = [
         "# Reproduction report",
         "",
@@ -54,7 +65,7 @@ def render_report(machine: Optional[Machine] = None, trials: int = 200) -> str:
     checks = []
 
     # Table 1.
-    rows = generate_table1(machine, trials=trials)
+    rows = generate_table1(machine, trials=trials, executor=executor)
     checks.extend(check_table1_shape(rows))
     t1 = []
     for name, row in sorted(rows.items()):
@@ -75,7 +86,8 @@ def render_report(machine: Optional[Machine] = None, trials: int = 200) -> str:
     # Figure 1 saturation summary.
     f1 = []
     for case in PAPER_CASES:
-        fig = generate_figure1(machine, case, trials=trials)
+        fig = generate_figure1(machine, case, trials=trials,
+                               executor=executor)
         checks.extend(check_figure1_shape(fig))
         best = fig.sweep.best()
         f1.append([
@@ -98,7 +110,7 @@ def render_report(machine: Optional[Machine] = None, trials: int = 200) -> str:
         for optimized in (False, True):
             figs[(site, optimized)] = generate_coexec_figure(
                 machine, PAPER_CASES, site, optimized, trials=trials,
-                verify=False,
+                verify=False, executor=executor,
             )
     checks.extend(
         check_coexec_shape(
@@ -168,9 +180,10 @@ def write_report(
     path: Union[str, Path],
     machine: Optional[Machine] = None,
     trials: int = 200,
+    executor=None,
 ) -> Path:
     """Render the report and write it to *path*."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_report(machine, trials))
+    path.write_text(render_report(machine, trials, executor=executor))
     return path

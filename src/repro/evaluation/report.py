@@ -232,28 +232,51 @@ def check_coexec_shape(
     return checks
 
 
-def full_report(machine: Optional[Machine] = None, trials: int = 200) -> str:
-    """Run every check and render the report."""
+def full_report(
+    machine: Optional[Machine] = None, trials: int = 200, executor=None
+) -> str:
+    """Run every check and render the report.
+
+    With an executor, every sweep goes through its pool and result cache
+    and the report ends with the executor's instrumentation summary
+    (per-stage wall time, cache hit/miss counters, points/sec).
+    """
     machine = machine or Machine()
+    if executor is None:
+        from ..sweep.executor import SweepExecutor
+
+        executor = SweepExecutor(machine)
     lines: List[str] = []
     checks: List[ShapeCheck] = []
 
-    rows = generate_table1(machine, trials=trials)
+    rows = generate_table1(machine, trials=trials, executor=executor)
     checks.extend(check_table1_shape(rows))
     for case in PAPER_CASES:
-        checks.extend(check_figure1_shape(generate_figure1(machine, case, trials)))
+        checks.extend(
+            check_figure1_shape(
+                generate_figure1(machine, case, trials, executor=executor)
+            )
+        )
 
     fig2a = generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A1,
-                                   optimized=False, trials=trials, verify=False)
+                                   optimized=False, trials=trials, verify=False,
+                                   executor=executor)
     fig2b = generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A1,
-                                   optimized=True, trials=trials, verify=False)
+                                   optimized=True, trials=trials, verify=False,
+                                   executor=executor)
     fig4a = generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A2,
-                                   optimized=False, trials=trials, verify=False)
+                                   optimized=False, trials=trials, verify=False,
+                                   executor=executor)
     fig4b = generate_coexec_figure(machine, PAPER_CASES, AllocationSite.A2,
-                                   optimized=True, trials=trials, verify=False)
+                                   optimized=True, trials=trials, verify=False,
+                                   executor=executor)
     checks.extend(check_coexec_shape(fig2a, fig2b, fig4a, fig4b))
 
     passed = sum(1 for c in checks if c.passed)
     lines.append(f"shape checks: {passed}/{len(checks)} passed")
     lines.extend(str(c) for c in checks)
+    lines.append("")
+    lines.append(executor.stats.render())
+    if executor.cache is not None:
+        lines.append(executor.cache.describe())
     return "\n".join(lines)

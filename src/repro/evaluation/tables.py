@@ -8,7 +8,6 @@ from typing import Dict, List, Optional
 from ..core.cases import PAPER_CASES, Case
 from ..core.machine import Machine
 from ..core.optimized import KernelConfig
-from ..core.timing import measure_gpu_reduction
 from ..core.tuning import autotune
 from ..util.tables import AsciiTable
 from .paper_data import PAPER_TABLE1
@@ -42,18 +41,33 @@ class Table1Row:
 def generate_table1(
     machine: Optional[Machine] = None,
     trials: int = 200,
+    executor=None,
 ) -> Dict[str, Table1Row]:
-    """Measure all four cases, baseline and autotuned-optimized."""
+    """Measure all four cases, baseline and autotuned-optimized.
+
+    With an executor, the autotune sweeps fan out over its pool and the
+    baseline/optimized end measurements share its result cache (they use
+    the same cache entries as the Figure 1 sweeps).
+    """
     machine = machine or Machine()
+    if executor is None:
+        from ..sweep.executor import SweepExecutor
+
+        executor = SweepExecutor(machine)
     rows: Dict[str, Table1Row] = {}
     for case in PAPER_CASES:
-        base = measure_gpu_reduction(machine, case, None, trials=trials)
-        best = autotune(machine, case)
-        opt = measure_gpu_reduction(machine, case, best, trials=trials)
+        stage = f"table1-{case.name}"
+        (base_gbs,) = executor.gpu_bandwidths(
+            case, [None], trials=trials, verify=None, stage=stage
+        )
+        best = autotune(machine, case, executor=executor)
+        (opt_gbs,) = executor.gpu_bandwidths(
+            case, [best], trials=trials, verify=None, stage=stage
+        )
         rows[case.name] = Table1Row(
             case=case,
-            base_gbs=base.bandwidth_gbs,
-            optimized_gbs=opt.bandwidth_gbs,
+            base_gbs=base_gbs,
+            optimized_gbs=opt_gbs,
             optimized_config=best,
             peak_gbs=machine.system.peak_gpu_bandwidth_gbs,
         )

@@ -33,10 +33,21 @@ class Event:
     handler: Callable[["Engine"], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _engine: "Optional[Engine]" = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Keep the owning engine's live count exact while the event is
+        # still queued; once popped (or never scheduled) there is nothing
+        # to adjust.
+        if self._engine is not None:
+            self._engine._live -= 1
+            self._engine = None
 
 
 class Engine:
@@ -47,11 +58,12 @@ class Engine:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._fired = 0
+        self._live = 0
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._live
 
     @property
     def fired(self) -> int:
@@ -65,8 +77,9 @@ class Engine:
                 f"cannot schedule event at {when} before now={self.clock.now}"
             )
         event = Event(time=max(when, self.clock.now), seq=next(self._seq),
-                      handler=handler, label=label)
+                      handler=handler, label=label, _engine=self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def after(self, delay: float, handler: Callable[["Engine"], None], label: str = "") -> Event:
@@ -75,17 +88,27 @@ class Engine:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self.clock.now + delay, handler, label)
 
+    def _peek_live(self) -> Optional[Event]:
+        """Head of the queue with cancelled events lazily discarded."""
+        while self._queue:
+            head = self._queue[0]
+            if not head.cancelled:
+                return head
+            heapq.heappop(self._queue)
+        return None
+
     def step(self) -> Optional[Event]:
         """Fire the next event; returns it, or ``None`` if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.time)
-            self._fired += 1
-            event.handler(self)
-            return event
-        return None
+        event = self._peek_live()
+        if event is None:
+            return None
+        heapq.heappop(self._queue)
+        event._engine = None
+        self._live -= 1
+        self.clock.advance_to(event.time)
+        self._fired += 1
+        event.handler(self)
+        return event
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Drain the queue (optionally stopping at time *until*).
@@ -94,11 +117,10 @@ class Engine:
         against runaway self-scheduling handlers.
         """
         fired = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
+        while True:
+            head = self._peek_live()
+            if head is None:
+                break
             if until is not None and head.time > until:
                 self.clock.advance_to(until)
                 return self.clock.now

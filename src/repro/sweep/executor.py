@@ -1,0 +1,389 @@
+"""The parallel, cache-aware sweep executor.
+
+All sweep entry points (`sweep_parameters`, Table 1, the co-execution
+figures, the CLI and ``examples/reproduce_paper.py``) funnel their
+parameter points through a :class:`SweepExecutor`, which
+
+1. checks each point against a persistent :class:`~repro.sweep.
+   result_cache.ResultCache` (keyed by machine fingerprint + experiment
+   kind + parameter point + trials),
+2. fans the misses out over a ``concurrent.futures`` process pool
+   (``workers`` from the argument, the ``REPRO_SWEEP_WORKERS``
+   environment variable, or :attr:`~repro.config.ReproConfig.
+   sweep_workers`; ``workers=1`` preserves today's exact serial ordering
+   and results), with chunked scheduling and graceful fallback to the
+   serial path when a pool cannot be used, and
+3. collates results deterministically in submission order, recording
+   per-stage wall time and hit/miss counters in :class:`~repro.sweep.
+   instrumentation.SweepStats`.
+
+Worker processes rebuild the machine from a picklable
+:class:`MachineSpec`; because every measurement is a pure function of
+(machine spec, parameter point), parallel results are bit-identical to
+serial ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import ReproConfig
+from ..core.cases import Case
+from ..core.coexec import (
+    AllocationSite,
+    CoExecMeasurement,
+    CoExecSweep,
+    CPU_PART_GRID,
+    measure_coexec_sweep,
+)
+from ..core.machine import Machine
+from ..core.optimized import KernelConfig
+from ..core.timing import TRIALS, measure_gpu_reduction
+from ..errors import SpecError
+from .fingerprint import CACHE_VERSION, fingerprint, machine_fingerprint_data
+from .instrumentation import SweepStats
+from .result_cache import ResultCache
+
+__all__ = [
+    "WORKERS_ENV",
+    "MachineSpec",
+    "CoexecRequest",
+    "SweepExecutor",
+    "resolve_workers",
+]
+
+#: Environment variable overriding the worker count (int, or ``auto``).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def resolve_workers(workers: "int | str | None", config: ReproConfig) -> int:
+    """Resolve the worker count: argument > env var > config > 1 (serial)."""
+    source = "workers"
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            workers = env
+            source = WORKERS_ENV
+        elif config.sweep_workers is not None:
+            workers = config.sweep_workers
+        else:
+            return 1
+    if isinstance(workers, str):
+        if workers.strip().lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            workers = int(workers)
+        except ValueError:
+            raise SpecError(
+                f"{source} must be an integer or 'auto', got {workers!r}"
+            ) from None
+    if workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(workers)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Picklable recipe to rebuild a :class:`Machine` in a worker process."""
+
+    system: Any
+    calibration: Any
+    config: ReproConfig
+    icvs: Any
+
+    @classmethod
+    def of(cls, machine: Machine) -> "MachineSpec":
+        return cls(
+            system=machine.system,
+            calibration=machine.calibration,
+            config=machine.config,
+            icvs=machine.runtime.icvs,
+        )
+
+    def build(self) -> Machine:
+        return Machine(
+            system=self.system,
+            calibration=self.calibration,
+            config=self.config,
+            icvs=self.icvs,
+        )
+
+
+@dataclass(frozen=True)
+class CoexecRequest:
+    """One cacheable co-execution sweep (a full p grid for one case)."""
+
+    case: Case
+    site: AllocationSite
+    config: Optional[KernelConfig] = None
+    p_grid: Tuple[float, ...] = CPU_PART_GRID
+    trials: int = TRIALS
+    verify: Optional[bool] = None
+    unified_memory: bool = True
+    access_counter_threshold: Optional[int] = None
+
+
+# --------------------------------------------------------------------------
+# Task functions.  Module-level (picklable) so worker processes can run
+# them; each returns a JSON-serializable dict, which is also what the
+# result cache stores.
+# --------------------------------------------------------------------------
+
+
+def _task_gpu_point(machine: Machine, payload: tuple) -> dict:
+    case, config, trials, verify = payload
+    m = measure_gpu_reduction(machine, case, config, trials=trials, verify=verify)
+    return {
+        "bandwidth_gbs": m.bandwidth_gbs,
+        "elapsed_seconds": m.elapsed_seconds,
+        "value": m.value.item(),
+    }
+
+
+def _task_coexec_sweep(machine: Machine, payload: tuple) -> dict:
+    request: CoexecRequest = payload[0]
+    sweep = measure_coexec_sweep(
+        machine,
+        request.case,
+        request.site,
+        request.config,
+        p_grid=request.p_grid,
+        trials=request.trials,
+        verify=request.verify,
+        unified_memory=request.unified_memory,
+        access_counter_threshold=request.access_counter_threshold,
+    )
+    return {
+        "measurements": [
+            {
+                "cpu_part": m.cpu_part,
+                "elapsed_seconds": m.elapsed_seconds,
+                "bandwidth_gbs": m.bandwidth_gbs,
+                "gpu_seconds_steady": m.gpu_seconds_steady,
+                "cpu_seconds_steady": m.cpu_seconds_steady,
+                "migration_seconds": m.migration_seconds,
+                "value": m.value.item(),
+            }
+            for m in sweep.measurements
+        ]
+    }
+
+
+_TASKS = {
+    "gpu_point": _task_gpu_point,
+    "coexec_sweep": _task_coexec_sweep,
+}
+
+_WORKER_MACHINE: Optional[Machine] = None
+
+
+def _worker_init(spec: MachineSpec) -> None:
+    global _WORKER_MACHINE
+    _WORKER_MACHINE = spec.build()
+
+
+def _worker_chunk(kind: str, payloads: List[tuple]) -> List[dict]:
+    assert _WORKER_MACHINE is not None, "worker pool not initialized"
+    task = _TASKS[kind]
+    return [task(_WORKER_MACHINE, p) for p in payloads]
+
+
+def _sweep_from_record(request: CoexecRequest, record: dict) -> CoExecSweep:
+    """Rebuild a :class:`CoExecSweep` from its cached JSON record."""
+    rtype = request.case.result_type
+    measurements = tuple(
+        CoExecMeasurement(
+            case=request.case,
+            site=request.site,
+            config=request.config,
+            cpu_part=m["cpu_part"],
+            trials=request.trials,
+            elapsed_seconds=m["elapsed_seconds"],
+            bandwidth_gbs=m["bandwidth_gbs"],
+            gpu_seconds_steady=m["gpu_seconds_steady"],
+            cpu_seconds_steady=m["cpu_seconds_steady"],
+            migration_seconds=m["migration_seconds"],
+            value=rtype.numpy.type(m["value"]),
+        )
+        for m in record["measurements"]
+    )
+    return CoExecSweep(
+        case=request.case,
+        site=request.site,
+        config=request.config,
+        measurements=measurements,
+    )
+
+
+class SweepExecutor:
+    """Runs sweep points for one machine: cache first, then pool, then serial.
+
+    Parameters
+    ----------
+    machine:
+        The simulated node measurements run against (worker processes
+        rebuild an identical one from its spec).
+    workers:
+        Pool width; ``None`` resolves through ``REPRO_SWEEP_WORKERS`` and
+        :attr:`ReproConfig.sweep_workers`, defaulting to 1 (serial, the
+        seed behaviour).  ``"auto"`` or any value <= 0 means one worker
+        per CPU.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable result caching
+        (every point recomputes, exactly as before this subsystem).
+    stats:
+        Shared :class:`SweepStats`; created fresh when omitted.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        workers: "int | str | None" = None,
+        cache: Optional[ResultCache] = None,
+        stats: Optional[SweepStats] = None,
+    ):
+        self.machine = machine
+        self.workers = resolve_workers(workers, machine.config)
+        self.cache = cache
+        self.stats = stats or SweepStats()
+        self.stats.mode = "serial" if self.workers == 1 else f"processes({self.workers})"
+        self._machine_fp = fingerprint(machine_fingerprint_data(machine))
+
+    # -- cache keys -----------------------------------------------------------
+    def cache_key(self, kind: str, payload: Any) -> str:
+        digest = fingerprint(
+            {
+                "version": CACHE_VERSION,
+                "machine": self._machine_fp,
+                "kind": kind,
+                "payload": payload,
+            }
+        )
+        return f"{kind}-{digest}"
+
+    # -- execution ------------------------------------------------------------
+    def run(self, kind: str, payloads: Sequence[tuple], stage: str) -> List[dict]:
+        """Resolve every payload to its result record, in order."""
+        payloads = list(payloads)
+        with self.stats.timed(stage) as st:
+            st.points += len(payloads)
+            results: List[Optional[dict]] = [None] * len(payloads)
+            keys: List[Optional[str]] = [None] * len(payloads)
+            misses: List[int] = []
+            if self.cache is not None:
+                for i, payload in enumerate(payloads):
+                    keys[i] = self.cache_key(kind, payload)
+                    hit = self.cache.get(keys[i])
+                    if hit is None:
+                        misses.append(i)
+                    else:
+                        results[i] = hit
+                st.cache_hits += len(payloads) - len(misses)
+            else:
+                misses = list(range(len(payloads)))
+            if misses:
+                computed = self._compute(kind, [payloads[i] for i in misses])
+                st.computed += len(misses)
+                for i, record in zip(misses, computed):
+                    results[i] = record
+                    if self.cache is not None and keys[i] is not None:
+                        self.cache.put(keys[i], record)
+        return results  # type: ignore[return-value]
+
+    def _compute(self, kind: str, payloads: List[tuple]) -> List[dict]:
+        if self.workers == 1 or len(payloads) < 2:
+            return self._compute_serial(kind, payloads)
+        try:
+            return self._compute_parallel(kind, payloads)
+        except Exception:
+            # Pools can be unavailable (pickling limits, sandboxed
+            # platforms, restricted /dev/shm); the serial path is always
+            # correct, just slower.
+            self.stats.mode = "serial (pool unavailable)"
+            return self._compute_serial(kind, payloads)
+
+    def _compute_serial(self, kind: str, payloads: List[tuple]) -> List[dict]:
+        task = _TASKS[kind]
+        return [task(self.machine, p) for p in payloads]
+
+    def _compute_parallel(self, kind: str, payloads: List[tuple]) -> List[dict]:
+        n = min(self.workers, len(payloads))
+        chunk_size = max(1, -(-len(payloads) // (n * 4)))
+        chunks = [
+            (start, payloads[start : start + chunk_size])
+            for start in range(0, len(payloads), chunk_size)
+        ]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        spec = MachineSpec.of(self.machine)
+        results: List[Optional[dict]] = [None] * len(payloads)
+        with ProcessPoolExecutor(
+            max_workers=n,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(spec,),
+        ) as pool:
+            futures = {
+                pool.submit(_worker_chunk, kind, chunk): start
+                for start, chunk in chunks
+            }
+            for future, start in futures.items():
+                for offset, record in enumerate(future.result()):
+                    results[start + offset] = record
+        return results  # type: ignore[return-value]
+
+    # -- typed front doors ----------------------------------------------------
+    def gpu_points(
+        self,
+        case: Case,
+        configs: Sequence[Optional[KernelConfig]],
+        trials: int = TRIALS,
+        verify: Optional[bool] = False,
+        stage: str = "gpu-sweep",
+    ) -> List[dict]:
+        """Measure *case* at every config; returns the result records.
+
+        ``config=None`` entries measure the baseline.  Each record has
+        ``bandwidth_gbs``, ``elapsed_seconds`` and ``value``.
+        """
+        payloads = [(case, config, trials, verify) for config in configs]
+        return self.run("gpu_point", payloads, stage)
+
+    def gpu_bandwidths(
+        self,
+        case: Case,
+        configs: Sequence[Optional[KernelConfig]],
+        trials: int = TRIALS,
+        verify: Optional[bool] = False,
+        stage: str = "gpu-sweep",
+    ) -> List[float]:
+        """Bandwidth-only convenience over :meth:`gpu_points`."""
+        return [
+            r["bandwidth_gbs"]
+            for r in self.gpu_points(case, configs, trials, verify, stage)
+        ]
+
+    def coexec_sweeps(
+        self,
+        requests: Sequence[CoexecRequest],
+        stage: str = "coexec",
+    ) -> List[CoExecSweep]:
+        """Run each co-execution request (p order stays serial inside each).
+
+        Requests are independent of one another, so they parallelize
+        across the pool even though the A1 residency story forces each
+        request's own p grid to run in ascending order.
+        """
+        records = self.run(
+            "coexec_sweep", [(request,) for request in requests], stage
+        )
+        return [
+            _sweep_from_record(request, record)
+            for request, record in zip(requests, records)
+        ]

@@ -1,0 +1,81 @@
+"""Content fingerprints for cache keys.
+
+A fingerprint is the SHA-256 of a canonical JSON rendering of the inputs
+that determine an experiment's outcome: the machine (hardware spec +
+calibration + the semantic part of the run configuration), the experiment
+kind, and the parameter point.  Anything that changes any of those —
+notably a calibration re-fit — changes the key, which is the cache's
+invalidation story.  :data:`CACHE_VERSION` is folded into every key so a
+format or semantics bump invalidates wholesale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["CACHE_VERSION", "canonical_json", "fingerprint", "machine_fingerprint_data"]
+
+#: Bump to invalidate every previously cached result (schema/semantics).
+CACHE_VERSION = 1
+
+
+def _jsonable(obj: Any) -> Any:
+    """Reduce *obj* to JSON-serializable primitives, deterministically."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips exactly; avoids locale/precision surprises.
+        return repr(obj)
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": _jsonable(obj.value)}
+    if isinstance(obj, np.generic):
+        return {"__np__": obj.dtype.name, "value": _jsonable(obj.item())}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: _jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    # ScalarType and friends render stably through str().
+    return {"__str__": type(obj).__name__, "value": str(obj)}
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text for *obj* (sorted keys, no whitespace)."""
+    return json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of *obj*."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def machine_fingerprint_data(machine) -> dict:
+    """The machine-derived part of a cache key.
+
+    Only the *semantic* configuration fields participate — the seed, the
+    functional cap and the verification mode change results; the sweep
+    worker count and cache location must not.
+    """
+    cfg = machine.config
+    return {
+        "system": machine.system,
+        "calibration": machine.calibration,
+        "config": {
+            "seed": cfg.seed,
+            "functional_elements_cap": cfg.functional_elements_cap,
+            "strict_verify": cfg.strict_verify,
+        },
+    }

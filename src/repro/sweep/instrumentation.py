@@ -1,0 +1,113 @@
+"""Lightweight sweep instrumentation: stage wall-times and cache counters.
+
+The executor records, per named stage (``table1``, ``fig1-C1``,
+``coexec-A1-optimized`` ...), how long the stage took, how many parameter
+points it covered, and how many were served from cache versus computed.
+:meth:`SweepStats.render` produces the summary the report and the
+reproduction driver print, so executor speedups are observable rather than
+anecdotal.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from ..util.tables import AsciiTable
+
+__all__ = ["StageStats", "SweepStats"]
+
+
+@dataclass
+class StageStats:
+    """Counters for one named sweep stage."""
+
+    name: str
+    wall_seconds: float = 0.0
+    points: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+
+    @property
+    def points_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.points / self.wall_seconds
+
+
+@dataclass
+class SweepStats:
+    """Per-stage instrumentation shared by one executor."""
+
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+    mode: str = "serial"
+
+    def stage(self, name: str) -> StageStats:
+        if name not in self.stages:
+            self.stages[name] = StageStats(name=name)
+            self.order.append(name)
+        return self.stages[name]
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[StageStats]:
+        """Time a ``with`` block against stage *name* (additive)."""
+        st = self.stage(name)
+        start = time.perf_counter()
+        try:
+            yield st
+        finally:
+            st.wall_seconds += time.perf_counter() - start
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.stages.values())
+
+    @property
+    def total_points(self) -> int:
+        return sum(s.points for s in self.stages.values())
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.stages.values())
+
+    @property
+    def total_computed(self) -> int:
+        return sum(s.computed for s in self.stages.values())
+
+    def render(self) -> str:
+        """ASCII summary table of every stage plus totals."""
+        table = AsciiTable(
+            ["stage", "wall s", "points", "hits", "computed", "points/s"]
+        )
+        rows = [self.stages[name] for name in self.order]
+        for st in rows:
+            table.add_row(
+                [
+                    st.name,
+                    f"{st.wall_seconds:.3f}",
+                    st.points,
+                    st.cache_hits,
+                    st.computed,
+                    f"{st.points_per_second:.1f}",
+                ]
+            )
+        table.add_row(
+            [
+                "TOTAL",
+                f"{self.total_wall_seconds:.3f}",
+                self.total_points,
+                self.total_cache_hits,
+                self.total_computed,
+                (
+                    f"{self.total_points / self.total_wall_seconds:.1f}"
+                    if self.total_wall_seconds > 0
+                    else "0.0"
+                ),
+            ]
+        )
+        header = f"sweep executor: mode={self.mode}"
+        return header + "\n" + table.render()

@@ -1,0 +1,126 @@
+"""Persistent JSON result cache for sweep points.
+
+Each entry is one file, ``<kind>-<digest>.json``, under a configurable
+cache directory; the digest is the :mod:`~repro.sweep.fingerprint` of
+(cache version, machine, experiment kind, parameter point, trials).  A
+calibration or configuration change therefore misses cleanly — no stale
+reads, no manual bookkeeping.  Explicit invalidation: ``--no-cache``
+bypasses the cache entirely, :meth:`ResultCache.clear` wipes the
+directory, and bumping :data:`~repro.sweep.fingerprint.CACHE_VERSION`
+abandons every old entry.
+
+An in-memory layer fronts the files so repeated stages inside one run
+(e.g. ``full_report`` regenerating figures the driver already produced)
+hit without touching disk.  Unreadable or corrupt entries are treated as
+misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache", "default_cache_dir", "open_result_cache"]
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sweep``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sweep"
+
+
+class ResultCache:
+    """File-backed key/value store for JSON-serializable sweep results."""
+
+    def __init__(self, directory: "Path | str | None" = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value for *key*, or ``None`` on a miss."""
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                value = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self._memory[key] = value
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* under *key* (atomic file replace)."""
+        self._memory[key] = value
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=str(self.directory)
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(value, fh)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stores += 1
+        except OSError:
+            # Read-only or full filesystem: keep the in-memory copy and
+            # carry on — caching is an optimization, never a requirement.
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        self._memory.clear()
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of persisted entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def describe(self) -> str:
+        return (
+            f"result cache at {self.directory} "
+            f"({self.entry_count()} entries; this process: "
+            f"{self.hits} hits, {self.misses} misses, {self.stores} stores)"
+        )
+
+
+def open_result_cache(
+    directory: "Path | str | None" = None, enabled: bool = True
+) -> Optional[ResultCache]:
+    """A :class:`ResultCache` honouring the enable switch (``None`` if off)."""
+    if not enabled:
+        return None
+    return ResultCache(directory)

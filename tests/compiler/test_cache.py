@@ -1,0 +1,74 @@
+"""Process-wide compile cache: hits, keys, shared compiler."""
+
+import pytest
+
+from repro.compiler import (
+    NvhpcCompiler,
+    cached_compile,
+    clear_compile_cache,
+    compile_cache_stats,
+    default_compiler,
+)
+from repro.compiler.flags import CompilerFlags
+from repro.core.baseline import baseline_program
+from repro.core.cases import C1, C2
+from repro.core.optimized import KernelConfig, optimized_program
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestCachedCompile:
+    def test_identical_program_hits(self):
+        a = cached_compile(baseline_program(C1))
+        b = cached_compile(baseline_program(C1))
+        assert a is b
+        hits, misses, entries = compile_cache_stats()
+        assert (hits, misses, entries) == (1, 1, 1)
+
+    def test_distinct_cases_distinct_entries(self):
+        a = cached_compile(baseline_program(C1))
+        b = cached_compile(baseline_program(C2))
+        assert a is not b
+        assert compile_cache_stats()[2] == 2
+
+    def test_distinct_configs_distinct_entries(self):
+        a = cached_compile(optimized_program(C1, KernelConfig(teams=128, v=1)))
+        b = cached_compile(optimized_program(C1, KernelConfig(teams=128, v=2)))
+        assert a is not b
+
+    def test_result_matches_uncached_compile(self):
+        program = optimized_program(C1, KernelConfig(teams=1024, v=4))
+        cached = cached_compile(program)
+        direct = NvhpcCompiler().compile(program)
+        assert cached.directive == direct.directive
+        assert cached.loop == direct.loop
+        assert cached.identifier == direct.identifier
+
+    def test_flags_participate_in_key(self):
+        program = baseline_program(C1)
+        default = cached_compile(program)
+        um = cached_compile(
+            program,
+            NvhpcCompiler(CompilerFlags.parse(["-O3", "-mp=gpu", "-gpu=mem:unified"])),
+        )
+        assert default is not um
+        assert um.unified_memory and not default.unified_memory
+
+    def test_clear_resets(self):
+        cached_compile(baseline_program(C1))
+        clear_compile_cache()
+        assert compile_cache_stats() == (0, 0, 0)
+
+
+class TestDefaultCompiler:
+    def test_shared_instance(self):
+        assert default_compiler() is default_compiler()
+
+    def test_default_flags(self):
+        flags = default_compiler().flags
+        assert flags.optimization == NvhpcCompiler().flags.optimization

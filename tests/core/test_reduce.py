@@ -97,3 +97,26 @@ class TestOffloadReducer:
         )
         r = reducer.reduce(np.ones(256, dtype=np.int32), verify=False)
         assert int(r.value) == 13
+
+
+class TestDefaultMachineConcurrency:
+    def test_threads_race_to_single_instance(self, monkeypatch):
+        import threading
+
+        import repro.core.reduce as reduce_mod
+
+        monkeypatch.setattr(reduce_mod, "_DEFAULT_MACHINE", None)
+        barrier = threading.Barrier(8)
+        results = []
+
+        def grab():
+            barrier.wait()
+            results.append(default_machine())
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        assert all(m is results[0] for m in results)

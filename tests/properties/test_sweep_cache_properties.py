@@ -1,0 +1,106 @@
+"""Cache-correctness properties for the sweep executor.
+
+The central contract (ISSUE satellite): a warm-cache sweep must be
+*bit-identical* to a cold serial one for every paper case and any
+parameter subset — the cache may only change wall time, never numbers —
+and any calibration change must invalidate the fingerprint so stale
+results can never be served.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, ReproConfig
+from repro.core.cases import PAPER_CASES
+from repro.core.coexec import AllocationSite
+from repro.core.optimized import KernelConfig
+from repro.sweep import CoexecRequest, ResultCache, SweepExecutor
+from repro.sweep.fingerprint import fingerprint, machine_fingerprint_data
+
+_MACHINE = Machine(config=ReproConfig(functional_elements_cap=1 << 12))
+
+cases = st.sampled_from(PAPER_CASES)
+config_pool = st.sampled_from([
+    None,
+    KernelConfig(teams=128, v=1),
+    KernelConfig(teams=2048, v=2),
+    KernelConfig(teams=65536, v=8),
+    KernelConfig(teams=65536, v=32),
+])
+config_lists = st.lists(config_pool, min_size=1, max_size=4, unique_by=str)
+trial_counts = st.integers(min_value=1, max_value=50)
+
+
+class TestWarmEqualsColdSerial:
+    @given(case=cases, configs=config_lists, trials=trial_counts)
+    @settings(max_examples=20, deadline=None)
+    def test_gpu_points_bit_identical(self, tmp_path_factory, case, configs,
+                                      trials):
+        tmp = tmp_path_factory.mktemp("sweep-cache")
+        cold_serial = SweepExecutor(_MACHINE, workers=1, cache=None
+                                    ).gpu_points(case, configs, trials=trials,
+                                                 verify=False)
+        SweepExecutor(_MACHINE, workers=1, cache=ResultCache(tmp)).gpu_points(
+            case, configs, trials=trials, verify=False
+        )
+        warm = SweepExecutor(_MACHINE, workers=1, cache=ResultCache(tmp))
+        cached = warm.gpu_points(case, configs, trials=trials, verify=False)
+        assert cached == cold_serial
+        assert warm.stats.stage("gpu-sweep").computed == 0
+
+    @given(case=cases, site=st.sampled_from(list(AllocationSite)),
+           trials=trial_counts)
+    @settings(max_examples=8, deadline=None)
+    def test_coexec_bit_identical(self, tmp_path_factory, case, site, trials):
+        tmp = tmp_path_factory.mktemp("coexec-cache")
+        request = CoexecRequest(case=case, site=site, trials=trials,
+                                p_grid=(0.0, 0.3, 1.0), verify=False)
+        (cold,) = SweepExecutor(_MACHINE, workers=1, cache=None
+                                ).coexec_sweeps([request])
+        SweepExecutor(_MACHINE, cache=ResultCache(tmp)).coexec_sweeps([request])
+        (warm,) = SweepExecutor(_MACHINE, cache=ResultCache(tmp)
+                                ).coexec_sweeps([request])
+        assert warm.measurements == cold.measurements
+        for a, b in zip(warm.measurements, cold.measurements):
+            assert type(a.value) is type(b.value)
+
+
+calibration_field = st.sampled_from([
+    "mlp_scale", "loop_overhead_insts", "block_setup_cycles",
+])
+scales = st.floats(min_value=1.01, max_value=10.0, allow_nan=False)
+
+
+class TestFingerprintInvalidation:
+    @given(field=calibration_field, scale=scales)
+    @settings(max_examples=25, deadline=None)
+    def test_calibration_change_invalidates(self, field, scale):
+        base = Machine()
+        old = getattr(base.calibration, field)
+        changed = Machine(
+            calibration=dataclasses.replace(base.calibration,
+                                            **{field: old * scale})
+        )
+        assert fingerprint(machine_fingerprint_data(base)) != fingerprint(
+            machine_fingerprint_data(changed)
+        )
+
+    @given(field=calibration_field, scale=scales)
+    @settings(max_examples=10, deadline=None)
+    def test_changed_calibration_never_served_stale(self, tmp_path_factory,
+                                                    field, scale):
+        tmp = tmp_path_factory.mktemp("invalidate")
+        base = Machine(config=ReproConfig(functional_elements_cap=1 << 12))
+        SweepExecutor(base, cache=ResultCache(tmp)).gpu_points(
+            PAPER_CASES[0], [None], trials=5, verify=False
+        )
+        old = getattr(base.calibration, field)
+        changed = Machine(
+            config=ReproConfig(functional_elements_cap=1 << 12),
+            calibration=dataclasses.replace(base.calibration,
+                                            **{field: old * scale}),
+        )
+        ex = SweepExecutor(changed, cache=ResultCache(tmp))
+        ex.gpu_points(PAPER_CASES[0], [None], trials=5, verify=False)
+        assert ex.stats.stage("gpu-sweep").computed == 1

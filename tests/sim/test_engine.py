@@ -105,3 +105,49 @@ class TestControl:
     def test_empty_run_with_until_advances_clock(self):
         engine = Engine()
         assert engine.run(until=4.0) == 4.0
+
+
+class TestPendingCounter:
+    def test_double_cancel_counts_once(self):
+        engine = Engine()
+        ev = engine.at(1.0, lambda e: None)
+        engine.at(2.0, lambda e: None)
+        ev.cancel()
+        ev.cancel()
+        assert engine.pending == 1
+
+    def test_cancel_after_fire_is_harmless(self):
+        engine = Engine()
+        ev = engine.at(1.0, lambda e: None)
+        engine.step()
+        assert engine.pending == 0
+        ev.cancel()
+        assert engine.pending == 0
+
+    def test_pending_tracks_handler_scheduled_events(self):
+        engine = Engine()
+        engine.at(1.0, lambda e: e.after(1.0, lambda e2: None))
+        assert engine.pending == 1
+        engine.step()
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+
+    def test_cancelled_head_skipped_by_run_until(self):
+        engine = Engine()
+        fired = []
+        ev = engine.at(1.0, lambda e: fired.append(1))
+        engine.at(2.0, lambda e: fired.append(2))
+        ev.cancel()
+        engine.run(until=5.0)
+        assert fired == [2]
+        assert engine.pending == 0
+
+    def test_all_cancelled_run_is_empty(self):
+        engine = Engine()
+        events = [engine.at(float(i), lambda e: None) for i in range(1, 4)]
+        for ev in events:
+            ev.cancel()
+        assert engine.pending == 0
+        assert engine.run() == 0.0
+        assert engine.fired == 0

@@ -1,0 +1,58 @@
+"""Persistent result-cache behaviour."""
+
+from repro.sweep.result_cache import ResultCache, open_result_cache
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"bandwidth_gbs": 1234.5})
+        assert cache.get("k1") == {"bandwidth_gbs": 1234.5}
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put("k", [1, 2, 3])
+        assert ResultCache(tmp_path).get("k") == [1, 2, 3]
+
+    def test_float_roundtrip_exact(self, tmp_path):
+        value = 0.1 + 0.2  # a float whose decimal rendering is non-trivial
+        ResultCache(tmp_path).put("f", {"x": value})
+        assert ResultCache(tmp_path).get("f")["x"] == value
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"good": True})
+        (tmp_path / "k.json").write_text("{not json")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("k") is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.entry_count() == 2
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+        assert cache.get("a") is None
+
+    def test_unwritable_directory_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        cache = ResultCache(blocker / "sub")
+        cache.put("k", {"x": 1})  # must not raise
+        assert cache.get("k") == {"x": 1}  # in-memory copy survives
+
+    def test_open_result_cache_disabled(self, tmp_path):
+        assert open_result_cache(tmp_path, enabled=False) is None
+        cache = open_result_cache(tmp_path, enabled=True)
+        assert cache is not None and cache.directory == tmp_path
+
+    def test_env_var_names_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "envcache"
