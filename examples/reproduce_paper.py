@@ -16,13 +16,18 @@ Every sweep goes through :class:`repro.sweep.SweepExecutor`:
 
 ``--workers 1 --no-cache`` reproduces the original serial output exactly.
 
+``--trace-out FILE`` switches on the telemetry layer (spans over the
+compiler, OpenMP runtime, simulator and sweep executor; a metrics
+registry) and writes the run's Chrome-trace timeline — open it in
+ui.perfetto.dev.  See docs/OBSERVABILITY.md.
+
 Run:  python examples/reproduce_paper.py [--workers auto]
 """
 
 import argparse
 import time
 
-from repro import Machine
+from repro import Machine, ReproConfig
 from repro.core.cases import PAPER_CASES
 from repro.core.coexec import AllocationSite
 from repro.evaluation.figures import (
@@ -38,6 +43,13 @@ from repro.evaluation.figures import (
 from repro.evaluation.report import full_report
 from repro.evaluation.tables import generate_table1, render_table1
 from repro.sweep import SweepExecutor, open_result_cache
+from repro.telemetry import (
+    configure as configure_telemetry,
+    get_telemetry,
+    render_summary,
+    span,
+    write_chrome_trace,
+)
 
 
 def main() -> None:
@@ -50,16 +62,56 @@ def main() -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory (default: "
                              "REPRO_CACHE_DIR, else ~/.cache/repro-sweep)")
+    parser.add_argument("--functional-cap", type=int, metavar="N",
+                        default=None,
+                        help="cap functionally-executed elements per "
+                             "workload (performance numbers unaffected)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="enable telemetry and write a Chrome-trace "
+                             "timeline to FILE (open in ui.perfetto.dev)")
     args = parser.parse_args()
 
+    if args.trace_out:
+        configure_telemetry(enabled=True)
+
     start = time.perf_counter()
-    machine = Machine()
+    config = ReproConfig() if args.functional_cap is None else \
+        ReproConfig(functional_elements_cap=args.functional_cap)
+    machine = Machine(config=config)
     cache = open_result_cache(args.cache_dir, enabled=not args.no_cache)
     executor = SweepExecutor(machine, workers=args.workers, cache=cache)
     print(f"machine: {machine.describe()}")
     print(f"executor: {executor.stats.mode}, "
           f"cache {'off' if cache is None else f'at {cache.directory}'}\n")
 
+    with span("reproduce_paper", category="cli"):
+        _run(machine, executor)
+
+    print()
+    print("=" * 72)
+    print("Sweep executor instrumentation")
+    print("=" * 72)
+    print(executor.stats.render())
+    if cache is not None:
+        print(cache.describe())
+    print(f"total wall time: {time.perf_counter() - start:.2f} s")
+
+    if args.trace_out:
+        telemetry = get_telemetry()
+        from repro.cli import _publish_cache_metrics
+
+        _publish_cache_metrics(executor, telemetry.registry)
+        print()
+        print(render_summary(telemetry.recorder.snapshot(),
+                             telemetry.registry))
+        path = write_chrome_trace(
+            args.trace_out, trace=machine.trace, registry=telemetry.registry
+        )
+        print(f"chrome trace written to {path} (open in ui.perfetto.dev)")
+
+
+def _run(machine: Machine, executor: SweepExecutor) -> None:
+    """Print every table and figure (the reproduction proper)."""
     print("=" * 72)
     print("Table 1 (measured vs paper)")
     print("=" * 72)
@@ -100,15 +152,6 @@ def main() -> None:
     print("Shape-check report (DESIGN.md §3 criteria)")
     print("=" * 72)
     print(full_report(machine, executor=executor))
-
-    print()
-    print("=" * 72)
-    print("Sweep executor instrumentation")
-    print("=" * 72)
-    print(executor.stats.render())
-    if cache is not None:
-        print(cache.describe())
-    print(f"total wall time: {time.perf_counter() - start:.2f} s")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,9 @@ Commands
     Run the full shape-check battery (DESIGN.md §3).
 ``cache``
     Inspect or clear the persistent sweep result cache.
+``profile``
+    Run any command under telemetry and print span/metric summaries
+    (``profile run ...``), or render a saved snapshot (``profile view``).
 
 Sweeps run through the :mod:`repro.sweep` executor: ``--workers N`` fans
 points out over a process pool (default from ``REPRO_SWEEP_WORKERS``,
@@ -23,6 +26,12 @@ else serial), results persist in a JSON cache under ``--cache-dir``
 (default ``REPRO_CACHE_DIR``, else ``~/.cache/repro-sweep``) so re-runs
 skip already-computed points, and ``--no-cache`` bypasses the cache
 entirely.  ``--stats`` prints the executor's per-stage instrumentation.
+
+Observability: ``--trace-out FILE`` on ``sum``/``sweep``/``table1``/
+``coexec``/``report`` switches on the :mod:`repro.telemetry` layer and
+writes a Chrome-trace JSON timeline (open in ``ui.perfetto.dev``) with
+wall-clock spans from every subsystem plus the simulated device lanes —
+see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -50,6 +59,17 @@ from .evaluation.report import full_report
 from .evaluation.tables import generate_table1, render_table1
 from .sweep.executor import CoexecRequest, SweepExecutor
 from .sweep.result_cache import ResultCache, open_result_cache
+from .telemetry import (
+    MetricsRegistry,
+    Span,
+    configure as configure_telemetry,
+    get_telemetry,
+    render_flame,
+    render_summary,
+    span as tele_span,
+    write_chrome_trace,
+    write_snapshot,
+)
 from .util.tables import AsciiTable
 from .util.units import format_bandwidth, format_time
 
@@ -90,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_out(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out", metavar="FILE", default=None,
+            help="enable telemetry and write a Chrome-trace JSON timeline "
+                 "to FILE (open in ui.perfetto.dev)",
+        )
+
     sub.add_parser("describe", help="print the simulated system")
 
     p_sum = sub.add_parser("sum", help="offload a synthetic sum reduction")
@@ -102,13 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="elements accumulated per loop iteration")
     p_sum.add_argument("--threads", type=int, default=256)
     p_sum.add_argument("--seed", type=int, default=0)
+    add_trace_out(p_sum)
 
     p_sweep = sub.add_parser("sweep", help="regenerate a Figure 1 panel")
     p_sweep.add_argument("case", choices=["C1", "C2", "C3", "C4"])
     p_sweep.add_argument("--trials", type=int, default=200)
+    add_trace_out(p_sweep)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     p_t1.add_argument("--trials", type=int, default=200)
+    add_trace_out(p_t1)
 
     p_co = sub.add_parser("coexec", help="run the co-execution p sweep")
     p_co.add_argument("case", choices=["C1", "C2", "C3", "C4"])
@@ -118,14 +148,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_co.add_argument("--no-unified-memory", action="store_true",
                       help="explicit map copies instead of UM")
     p_co.add_argument("--trials", type=int, default=200)
+    add_trace_out(p_co)
 
     p_rep = sub.add_parser("report", help="run the shape-check battery")
     p_rep.add_argument("--trials", type=int, default=200)
     p_rep.add_argument("--out", metavar="FILE", default=None,
                        help="also write the full markdown report to FILE")
+    add_trace_out(p_rep)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the sweep cache")
     p_cache.add_argument("action", choices=["info", "clear"])
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile a command (spans, metrics, timeline) or view a "
+             "saved snapshot",
+    )
+    prof_sub = p_prof.add_subparsers(dest="profile_command", required=True)
+    p_prun = prof_sub.add_parser(
+        "run",
+        help="run any repro command under telemetry and print the "
+             "span/metric summary",
+    )
+    p_prun.add_argument("--flame", action="store_true",
+                        help="also print the ASCII call-tree (flame) view")
+    add_trace_out(p_prun)
+    p_prun.add_argument("--snapshot-out", metavar="FILE", default=None,
+                        help="write the full telemetry snapshot (spans + "
+                             "metrics + sim trace) as plain JSON to FILE")
+    p_prun.add_argument("rest", nargs=argparse.REMAINDER,
+                        metavar="command ...",
+                        help="the repro command to profile, with its "
+                             "arguments")
+    p_pview = prof_sub.add_parser(
+        "view", help="render a saved telemetry snapshot (ASCII summary)"
+    )
+    p_pview.add_argument("file", help="snapshot JSON from profile run "
+                                      "--snapshot-out")
+    p_pview.add_argument("--flame", action="store_true",
+                         help="also print the ASCII call-tree (flame) view")
     return parser
 
 
@@ -234,22 +295,97 @@ _COMMANDS = {
 }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _publish_cache_metrics(executor: SweepExecutor,
+                           registry: MetricsRegistry) -> None:
+    """Mirror cache counters into the registry so exports carry them."""
+    from .compiler.cache import compile_cache_stats
+
+    hits, misses, entries = compile_cache_stats()
+    registry.gauge("compiler.cache.hit_ratio").set(
+        hits / (hits + misses) if hits + misses else 0.0
+    )
+    registry.gauge("compiler.cache.entries").set(entries)
+    cache = executor.cache
+    if cache is not None:
+        registry.gauge("sweep.result_cache.hits").set(cache.hits)
+        registry.gauge("sweep.result_cache.misses").set(cache.misses)
+        registry.gauge("sweep.result_cache.stores").set(cache.stores)
+        total = cache.hits + cache.misses
+        registry.gauge("sweep.result_cache.hit_ratio").set(
+            cache.hits / total if total else 0.0
+        )
+
+
+def _cmd_profile(args) -> int:
+    """``repro profile run ...`` / ``repro profile view FILE``."""
+    if args.profile_command == "view":
+        import json
+
+        with open(args.file, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if "traceEvents" in doc:
+            print("error: that is a Chrome-trace file - open it in "
+                  "ui.perfetto.dev; `profile view` renders snapshots "
+                  "from `profile run --snapshot-out`", file=sys.stderr)
+            return 2
+        spans = [Span.from_dict(d) for d in doc.get("spans", [])]
+        registry = MetricsRegistry()
+        registry.merge(doc.get("metrics", []))
+        print(render_summary(spans, registry))
+        if args.flame:
+            print()
+            print(render_flame(spans))
+        return 0
+
+    rest = [a for a in args.rest if a != "--"]
+    if not rest:
+        print("error: profile run needs a command, e.g. "
+              "`repro profile run table1 --trials 20`", file=sys.stderr)
+        return 2
+    if rest[0] == "profile":
+        print("error: profile cannot profile itself", file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(rest)
+    configure_telemetry(enabled=True, reset=True)
+    code = _dispatch(
+        inner,
+        trace_out=getattr(inner, "trace_out", None) or args.trace_out,
+        snapshot_out=args.snapshot_out,
+    )
+    telemetry = get_telemetry()
+    print()
+    print(render_summary(telemetry.recorder.snapshot(), telemetry.registry))
+    if args.flame:
+        print()
+        print(render_flame(telemetry.recorder.snapshot()))
+    return code
+
+
+def _dispatch(
+    args,
+    trace_out: Optional[str] = None,
+    snapshot_out: Optional[str] = None,
+) -> int:
+    """Build the machine/executor, run one command, export telemetry."""
+    trace_out = trace_out or getattr(args, "trace_out", None)
+    if trace_out or snapshot_out:
+        configure_telemetry(enabled=True)
     config = None
     if args.functional_cap is not None:
         from .config import DEFAULT_CONFIG
 
         config = DEFAULT_CONFIG.with_cap(args.functional_cap)
     machine = Machine(config=config)
+    telemetry = get_telemetry()
     try:
         cache = open_result_cache(
             args.cache_dir or machine.config.sweep_cache_dir,
             enabled=not args.no_cache,
         )
         executor = SweepExecutor(machine, workers=args.workers, cache=cache)
-        code = _COMMANDS[args.command](args, machine, executor)
+        with tele_span(f"repro.{args.command}", category="cli",
+                       command=args.command):
+            code = _COMMANDS[args.command](args, machine, executor)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -258,7 +394,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(executor.stats.render())
         if executor.cache is not None:
             print(executor.cache.describe())
+    if telemetry.enabled:
+        _publish_cache_metrics(executor, telemetry.registry)
+    if trace_out:
+        path = write_chrome_trace(
+            trace_out, trace=machine.trace, registry=telemetry.registry
+        )
+        print(f"chrome trace written to {path} (open in ui.perfetto.dev)")
+    if snapshot_out:
+        path = write_snapshot(snapshot_out, telemetry, trace=machine.trace)
+        print(f"telemetry snapshot written to {path}")
     return code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional, Tuple
 
+from ..telemetry.state import get_telemetry, span as tele_span
 from .flags import CompilerFlags
 from .nvhpc import CompiledReduction, NvhpcCompiler, ReductionLoopProgram
 
@@ -85,15 +86,27 @@ def cached_compile(
     global _HITS, _MISSES
     comp = compiler or default_compiler()
     key = _program_key(program, comp.flags)
+    telemetry = get_telemetry()
     with _LOCK:
         hit = _CACHE.get(key)
         if hit is not None:
             _HITS += 1
-            return hit
+    if hit is not None:
+        if telemetry.enabled:
+            telemetry.registry.counter("compiler.cache.hits").add(1)
+            # A hit is still a timeline event: a warm-cache run shows
+            # where compilations were reused instead of an empty lane.
+            with tele_span(
+                "compile.cached", category="compiler", program=program.name
+            ):
+                pass
+        return hit
     compiled = comp.compile(program)
     with _LOCK:
         _MISSES += 1
         _CACHE.setdefault(key, compiled)
+    if telemetry.enabled:
+        telemetry.registry.counter("compiler.cache.misses").add(1)
     return compiled
 
 

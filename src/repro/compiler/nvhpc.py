@@ -29,6 +29,7 @@ from ..openmp.reduction_ops import get_reduction_op
 from ..openmp.runtime import DeviceRuntime, LaunchGeometry
 from ..gpu.kernels import ReductionKernel
 from ..gpu.strategies import ReductionStrategy
+from ..telemetry.state import span as tele_span
 from .diagnostics import (
     Diagnostic,
     NON_CANONICAL_LOOP,
@@ -121,6 +122,13 @@ class NvhpcCompiler:
         The raised error carries the diagnostics, including the
         unsupported-increment message for Listing-4-style loops.
         """
+        with tele_span("compile", category="compiler",
+                       program=program.name) as sp:
+            compiled = self._compile(program)
+            sp.set(diagnostics=len(compiled.diagnostics))
+            return compiled
+
+    def _compile(self, program: ReductionLoopProgram) -> CompiledReduction:
         directive = program.directive()
         diagnostics = []
 

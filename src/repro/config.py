@@ -47,6 +47,14 @@ class ReproConfig:
         Default directory for the persistent sweep result cache when a
         driver enables it; ``None`` defers to ``REPRO_CACHE_DIR`` and
         then ``~/.cache/repro-sweep``.  Not part of cache fingerprints.
+    telemetry:
+        When ``True``, building a :class:`~repro.core.machine.Machine`
+        from this config switches on the process-global telemetry layer
+        (:mod:`repro.telemetry`): hierarchical spans, the metrics
+        registry, and the Chrome-trace exporter.  Off by default — the
+        disabled path is a no-op — and equivalent to setting
+        ``REPRO_TELEMETRY=1`` or passing ``--trace-out``.  Not part of
+        cache fingerprints (observability never changes results).
     """
 
     seed: int = 0x5C2024
@@ -54,6 +62,7 @@ class ReproConfig:
     strict_verify: bool = True
     sweep_workers: Optional[int] = None
     sweep_cache_dir: Optional[str] = None
+    telemetry: bool = False
 
     def rng(self) -> np.random.Generator:
         """A fresh generator seeded from :attr:`seed`."""

@@ -44,6 +44,10 @@ class Machine:
         self.system = system or grace_hopper()
         self.calibration = calibration or DEFAULT_CALIBRATION
         self.config = config or DEFAULT_CONFIG
+        if self.config.telemetry:
+            from ..telemetry.state import configure
+
+            configure(enabled=True)
         self.trace = Trace()
         self.runtime = DeviceRuntime(self.system.gpu, icvs)
         self._workload_cache: Dict[tuple, np.ndarray] = {}

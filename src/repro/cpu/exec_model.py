@@ -13,6 +13,7 @@ import numpy as np
 
 from ..dtypes import scalar_type
 from ..hardware.spec import CpuSpec
+from ..telemetry.state import span as tele_span
 
 __all__ = ["execute_host_reduction"]
 
@@ -27,10 +28,12 @@ def execute_host_reduction(
     """
     if data.ndim != 1:
         raise ValueError(f"expected a 1-D array, got shape {data.shape}")
-    rtype = scalar_type(result_type).numpy
-    if data.size == 0:
-        return rtype.type(0)
-    chunk = -(-data.size // cpu.cores)
-    starts = np.arange(0, data.size, chunk, dtype=np.int64)
-    partials = np.add.reduceat(data, starts, dtype=rtype)
-    return rtype.type(np.add.reduce(partials, dtype=rtype))
+    with tele_span("execute_host_reduction", category="cpu",
+                   elements=int(data.size), cores=cpu.cores):
+        rtype = scalar_type(result_type).numpy
+        if data.size == 0:
+            return rtype.type(0)
+        chunk = -(-data.size // cpu.cores)
+        starts = np.arange(0, data.size, chunk, dtype=np.int64)
+        partials = np.add.reduceat(data, starts, dtype=rtype)
+        return rtype.type(np.add.reduce(partials, dtype=rtype))

@@ -27,6 +27,7 @@ from typing import Tuple
 import numpy as np
 
 from ..errors import UnsupportedReductionError
+from ..telemetry.state import span as tele_span
 from .kernels import ReductionKernel
 
 __all__ = ["execute_reduction", "thread_chunk_starts"]
@@ -82,6 +83,13 @@ def execute_reduction(data: np.ndarray, kernel: ReductionKernel):
     the declared size); the schedule shape (grid/block/V) is applied to the
     actual length.
     """
+    with tele_span("execute_reduction", category="gpu",
+                   kernel=kernel.name, elements=int(data.size),
+                   grid=kernel.geometry.grid, block=kernel.geometry.block):
+        return _execute_reduction(data, kernel)
+
+
+def _execute_reduction(data: np.ndarray, kernel: ReductionKernel):
     if data.ndim != 1:
         raise ValueError(f"expected a 1-D array, got shape {data.shape}")
     rtype = kernel.result_type.numpy

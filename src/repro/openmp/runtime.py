@@ -16,6 +16,7 @@ from typing import Mapping, Optional
 
 from ..errors import LaunchError
 from ..hardware.spec import GpuSpec
+from ..telemetry.state import span as tele_span
 from ..util.validation import check_positive_int
 from .canonical import ForLoop
 from .directives import Directive, DirectiveKind
@@ -82,25 +83,29 @@ class DeviceRuntime:
             If the directive is not an offloadable worksharing construct
             or the resolved geometry exceeds device limits.
         """
-        if not (directive.kind.is_offload and directive.kind.has_teams):
-            raise LaunchError(
-                f"'#pragma omp {directive.kind.value}' is not a target teams "
-                "worksharing construct"
-            )
+        with tele_span("resolve_launch", category="openmp") as sp:
+            if not (directive.kind.is_offload and directive.kind.has_teams):
+                raise LaunchError(
+                    f"'#pragma omp {directive.kind.value}' is not a target "
+                    "teams worksharing construct"
+                )
 
-        block = self._resolve_block(directive, env)
-        grid, from_clause = self._resolve_grid(directive, loop, block, env)
+            block = self._resolve_block(directive, env)
+            grid, from_clause = self._resolve_grid(directive, loop, block, env)
 
-        if block > self.gpu.max_threads_per_block:
-            raise LaunchError(
-                f"thread_limit {block} exceeds device maximum "
-                f"{self.gpu.max_threads_per_block}"
+            if block > self.gpu.max_threads_per_block:
+                raise LaunchError(
+                    f"thread_limit {block} exceeds device maximum "
+                    f"{self.gpu.max_threads_per_block}"
+                )
+            if block % self.gpu.warp_size:
+                # Real runtimes round the contention-group size up to whole
+                # warps; model the same so the occupancy math stays exact.
+                block = -(-block // self.gpu.warp_size) * self.gpu.warp_size
+            sp.set(grid=grid, block=block, from_clause=from_clause)
+            return LaunchGeometry(
+                grid=grid, block=block, from_clause=from_clause
             )
-        if block % self.gpu.warp_size:
-            # Real runtimes round the contention-group size up to whole
-            # warps; model the same so the occupancy math stays exact.
-            block = -(-block // self.gpu.warp_size) * self.gpu.warp_size
-        return LaunchGeometry(grid=grid, block=block, from_clause=from_clause)
 
     # -- internals ---------------------------------------------------------
     def _resolve_block(self, directive: Directive, env) -> int:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..errors import SimulationError
+from ..telemetry.state import span as tele_span
 from .clock import Clock
 
 __all__ = ["Event", "Engine"]
@@ -116,21 +117,24 @@ class Engine:
         Returns the clock time when the run stopped.  ``max_events`` guards
         against runaway self-scheduling handlers.
         """
-        fired = 0
-        while True:
-            head = self._peek_live()
-            if head is None:
-                break
-            if until is not None and head.time > until:
+        with tele_span("engine.run", category="sim") as sp:
+            fired = 0
+            while True:
+                head = self._peek_live()
+                if head is None:
+                    break
+                if until is not None and head.time > until:
+                    self.clock.advance_to(until)
+                    sp.set(events=fired, sim_seconds=self.clock.now)
+                    return self.clock.now
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"engine exceeded max_events={max_events}; "
+                        "likely a self-scheduling loop"
+                    )
+                self.step()
+                fired += 1
+            if until is not None:
                 self.clock.advance_to(until)
-                return self.clock.now
-            if fired >= max_events:
-                raise SimulationError(
-                    f"engine exceeded max_events={max_events}; "
-                    "likely a self-scheduling loop"
-                )
-            self.step()
-            fired += 1
-        if until is not None:
-            self.clock.advance_to(until)
-        return self.clock.now
+            sp.set(events=fired, sim_seconds=self.clock.now)
+            return self.clock.now

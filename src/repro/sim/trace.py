@@ -11,7 +11,10 @@ make the paper's profiling claims executable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
+
+from ..telemetry.state import get_telemetry
+from ..util.units import format_bytes
 
 __all__ = [
     "KernelLaunchRecord",
@@ -66,14 +69,35 @@ class Trace:
         self.remote_accesses: List[RemoteAccessRecord] = []
 
     # -- recording ----------------------------------------------------------
+    # Each record_* call also mirrors the record into the global telemetry
+    # metrics registry when telemetry is enabled, so the aggregates the
+    # exporters report (launches by kernel, bytes migrated by reason) stay
+    # consistent with this trace by construction.
     def record_launch(self, record: KernelLaunchRecord) -> None:
         self.kernel_launches.append(record)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            reg = telemetry.registry
+            reg.counter("sim.kernel_launches", kernel=record.name).add(1)
+            reg.histogram("sim.kernel_seconds").observe(record.duration)
 
     def record_migration(self, record: MigrationRecord) -> None:
         self.migrations.append(record)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            reg = telemetry.registry
+            reg.counter("sim.migrated_bytes", reason=record.reason).add(
+                record.nbytes
+            )
+            reg.counter("sim.migrations", reason=record.reason).add(1)
 
     def record_remote_access(self, record: RemoteAccessRecord) -> None:
         self.remote_accesses.append(record)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.registry.counter(
+                "sim.remote_access_bytes", accessor=record.accessor
+            ).add(record.nbytes)
 
     # -- queries --------------------------------------------------------------
     @property
@@ -104,10 +128,83 @@ class Trace:
         self.remote_accesses.clear()
 
     def summary(self) -> str:
-        """One-line counts summary."""
+        """One-line counts summary (sizes human-readable via util.units)."""
         return (
             f"{len(self.kernel_launches)} launches, "
             f"{len(self.migrations)} migrations "
-            f"({self.migrated_bytes()} B), "
+            f"({format_bytes(self.migrated_bytes())}), "
             f"{len(self.remote_accesses)} remote accesses"
         )
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """Chrome-trace ``trace_event`` dicts for the simulated lanes.
+
+        This is the schema the telemetry exporter consumes
+        (:func:`repro.telemetry.chrome_trace` merges these with the
+        wall-clock span events): complete ("X") events under the sim
+        process (pid 0), one lane per modeled resource —
+
+        * tid 1: GPU SM groups (kernel launches, grid/block in ``args``),
+        * tid 2: the C2C link (page-migration bursts, by reason),
+        * tid 3: CPU coherent remote reads.
+
+        Timestamps are *simulated* seconds (exported as microseconds).
+        Records that share a recorded sim time — every measurement runs
+        its own engine from t = 0 — are packed end-to-end within their
+        lane so the timeline stays readable; each event's raw recorded
+        time is preserved in ``args["sim_time"]``.
+        """
+        events: List[Dict[str, Any]] = []
+        lanes = [
+            ("gpu-sm-groups", 1, "sim.gpu", self.kernel_launches),
+            ("c2c-link", 2, "sim.mem", self.migrations),
+            ("cpu-remote-reads", 3, "sim.cpu", self.remote_accesses),
+        ]
+        for lane_name, tid, category, records in lanes:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": lane_name},
+                }
+            )
+            cursor = 0.0
+            for record in records:
+                start = max(cursor, record.time)
+                if isinstance(record, KernelLaunchRecord):
+                    name = record.name
+                    args: Dict[str, Any] = {
+                        "grid": record.grid,
+                        "block": record.block,
+                        "elements": record.elements,
+                        "from_clause": record.from_clause,
+                    }
+                elif isinstance(record, MigrationRecord):
+                    name = f"migrate {record.src}->{record.dst} ({record.reason})"
+                    args = {
+                        "nbytes": record.nbytes,
+                        "npages": record.npages,
+                        "reason": record.reason,
+                    }
+                else:
+                    name = f"remote read ({record.accessor})"
+                    args = {"nbytes": record.nbytes,
+                            "accessor": record.accessor}
+                args["sim_time"] = record.time
+                events.append(
+                    {
+                        "name": name,
+                        "cat": category,
+                        "ph": "X",
+                        "ts": start * 1e6,
+                        "dur": record.duration * 1e6,
+                        "pid": 0,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+                cursor = start + record.duration
+        return events

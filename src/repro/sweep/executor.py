@@ -44,6 +44,7 @@ from ..core.machine import Machine
 from ..core.optimized import KernelConfig
 from ..core.timing import TRIALS, measure_gpu_reduction
 from ..errors import SpecError
+from ..telemetry.state import get_telemetry, span as tele_span
 from .fingerprint import CACHE_VERSION, fingerprint, machine_fingerprint_data
 from .instrumentation import SweepStats
 from .result_cache import ResultCache
@@ -186,10 +187,29 @@ def _worker_init(spec: MachineSpec) -> None:
     _WORKER_MACHINE = spec.build()
 
 
-def _worker_chunk(kind: str, payloads: List[tuple]) -> List[dict]:
+def _worker_chunk(kind: str, payloads: List[tuple]) -> dict:
+    """Run a chunk in a worker; returns records plus any telemetry spans.
+
+    When telemetry is enabled (workers inherit ``REPRO_TELEMETRY`` through
+    the pool), each point runs under a span and the finished span dicts
+    ship back with the results so the coordinator can re-parent them under
+    its stage span — the worker-side timeline survives the process hop.
+    """
     assert _WORKER_MACHINE is not None, "worker pool not initialized"
     task = _TASKS[kind]
-    return [task(_WORKER_MACHINE, p) for p in payloads]
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return {"records": [task(_WORKER_MACHINE, p) for p in payloads]}
+    mark = telemetry.recorder.mark()
+    records = []
+    for payload in payloads:
+        with tele_span("sweep.point", category="sweep", kind=kind,
+                       worker=True):
+            records.append(task(_WORKER_MACHINE, payload))
+    return {
+        "records": records,
+        "spans": telemetry.recorder.export_since(mark),
+    }
 
 
 def _sweep_from_record(request: CoexecRequest, record: dict) -> CoExecSweep:
@@ -249,7 +269,14 @@ class SweepExecutor:
         self.machine = machine
         self.workers = resolve_workers(workers, machine.config)
         self.cache = cache
-        self.stats = stats or SweepStats()
+        if stats is None:
+            # When profiling, back the stage counters by the global
+            # telemetry registry so they appear in exported traces.
+            telemetry = get_telemetry()
+            stats = SweepStats(
+                registry=telemetry.registry if telemetry.enabled else None
+            )
+        self.stats = stats
         self.stats.mode = "serial" if self.workers == 1 else f"processes({self.workers})"
         self._machine_fp = fingerprint(machine_fingerprint_data(machine))
 
@@ -269,8 +296,9 @@ class SweepExecutor:
     def run(self, kind: str, payloads: Sequence[tuple], stage: str) -> List[dict]:
         """Resolve every payload to its result record, in order."""
         payloads = list(payloads)
-        with self.stats.timed(stage) as st:
-            st.points += len(payloads)
+        with tele_span("sweep.stage", category="sweep", stage=stage,
+                       kind=kind) as sp, self.stats.timed(stage) as st:
+            st.add_points(len(payloads))
             results: List[Optional[dict]] = [None] * len(payloads)
             keys: List[Optional[str]] = [None] * len(payloads)
             misses: List[int] = []
@@ -282,12 +310,14 @@ class SweepExecutor:
                         misses.append(i)
                     else:
                         results[i] = hit
-                st.cache_hits += len(payloads) - len(misses)
+                st.add_cache_hits(len(payloads) - len(misses))
             else:
                 misses = list(range(len(payloads)))
+            sp.set(points=len(payloads),
+                   cache_hits=len(payloads) - len(misses))
             if misses:
                 computed = self._compute(kind, [payloads[i] for i in misses])
-                st.computed += len(misses)
+                st.add_computed(len(misses))
                 for i, record in zip(misses, computed):
                     results[i] = record
                     if self.cache is not None and keys[i] is not None:
@@ -308,7 +338,13 @@ class SweepExecutor:
 
     def _compute_serial(self, kind: str, payloads: List[tuple]) -> List[dict]:
         task = _TASKS[kind]
-        return [task(self.machine, p) for p in payloads]
+        if not get_telemetry().enabled:
+            return [task(self.machine, p) for p in payloads]
+        results = []
+        for payload in payloads:
+            with tele_span("sweep.point", category="sweep", kind=kind):
+                results.append(task(self.machine, payload))
+        return results
 
     def _compute_parallel(self, kind: str, payloads: List[tuple]) -> List[dict]:
         n = min(self.workers, len(payloads))
@@ -322,6 +358,7 @@ class SweepExecutor:
             "fork" if "fork" in methods else None
         )
         spec = MachineSpec.of(self.machine)
+        telemetry = get_telemetry()
         results: List[Optional[dict]] = [None] * len(payloads)
         with ProcessPoolExecutor(
             max_workers=n,
@@ -334,8 +371,16 @@ class SweepExecutor:
                 for start, chunk in chunks
             }
             for future, start in futures.items():
-                for offset, record in enumerate(future.result()):
+                chunk_result = future.result()
+                for offset, record in enumerate(chunk_result["records"]):
                     results[start + offset] = record
+                if telemetry.enabled and chunk_result.get("spans"):
+                    # Adopt the worker's spans under the current stage
+                    # span so the exported timeline keeps one tree.
+                    telemetry.recorder.ingest(
+                        chunk_result["spans"],
+                        parent_id=telemetry.recorder.current_id(),
+                    )
         return results  # type: ignore[return-value]
 
     # -- typed front doors ----------------------------------------------------

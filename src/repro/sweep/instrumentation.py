@@ -1,34 +1,79 @@
-"""Lightweight sweep instrumentation: stage wall-times and cache counters.
+"""Sweep instrumentation: stage wall-times and counters, registry-backed.
 
 The executor records, per named stage (``table1``, ``fig1-C1``,
 ``coexec-A1-optimized`` ...), how long the stage took, how many parameter
-points it covered, and how many were served from cache versus computed.
-:meth:`SweepStats.render` produces the summary the report and the
-reproduction driver print, so executor speedups are observable rather than
-anecdotal.
+points it covered, how many were served from cache versus computed, and
+how many raised.  The counters live in a
+:class:`~repro.telemetry.metrics.MetricsRegistry` — by default a private
+one per :class:`SweepStats` (so independent executors don't bleed into
+each other), or the process-global telemetry registry when profiling is
+on, which is how the stage counters end up in exported traces and
+snapshots.  :meth:`SweepStats.render` produces the summary the report and
+the reproduction driver print, so executor speedups are observable rather
+than anecdotal.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
+from ..telemetry.metrics import MetricsRegistry
 from ..util.tables import AsciiTable
 
 __all__ = ["StageStats", "SweepStats"]
 
 
-@dataclass
 class StageStats:
-    """Counters for one named sweep stage."""
+    """Counters for one named sweep stage (views over registry counters)."""
 
-    name: str
-    wall_seconds: float = 0.0
-    points: int = 0
-    cache_hits: int = 0
-    computed: int = 0
+    __slots__ = ("name", "_wall", "_points", "_hits", "_computed", "_errors")
+
+    def __init__(self, name: str, registry: MetricsRegistry):
+        self.name = name
+        self._wall = registry.counter("sweep.stage.wall_seconds", stage=name)
+        self._points = registry.counter("sweep.stage.points", stage=name)
+        self._hits = registry.counter("sweep.stage.cache_hits", stage=name)
+        self._computed = registry.counter("sweep.stage.computed", stage=name)
+        self._errors = registry.counter("sweep.stage.errors", stage=name)
+
+    # -- increments (the executor's write API) -------------------------------
+    def add_wall(self, seconds: float) -> None:
+        self._wall.add(seconds)
+
+    def add_points(self, n: int = 1) -> None:
+        self._points.add(n)
+
+    def add_cache_hits(self, n: int = 1) -> None:
+        self._hits.add(n)
+
+    def add_computed(self, n: int = 1) -> None:
+        self._computed.add(n)
+
+    def add_error(self, n: int = 1) -> None:
+        self._errors.add(n)
+
+    # -- reads ----------------------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        return float(self._wall.value)
+
+    @property
+    def points(self) -> int:
+        return int(self._points.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def computed(self) -> int:
+        return int(self._computed.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
 
     @property
     def points_per_second(self) -> float:
@@ -37,29 +82,48 @@ class StageStats:
         return self.points / self.wall_seconds
 
 
-@dataclass
 class SweepStats:
-    """Per-stage instrumentation shared by one executor."""
+    """Per-stage instrumentation shared by one executor.
 
-    stages: Dict[str, StageStats] = field(default_factory=dict)
-    order: List[str] = field(default_factory=list)
-    mode: str = "serial"
+    Parameters
+    ----------
+    registry:
+        Backing metrics registry.  ``None`` creates a private registry;
+        pass :func:`repro.telemetry.metrics` (the global one) to surface
+        stage counters in exported telemetry.
+    """
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, mode: str = "serial"
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stages: Dict[str, StageStats] = {}
+        self.order: List[str] = []
+        self.mode = mode
 
     def stage(self, name: str) -> StageStats:
         if name not in self.stages:
-            self.stages[name] = StageStats(name=name)
+            self.stages[name] = StageStats(name, self.registry)
             self.order.append(name)
         return self.stages[name]
 
     @contextmanager
     def timed(self, name: str) -> Iterator[StageStats]:
-        """Time a ``with`` block against stage *name* (additive)."""
+        """Time a ``with`` block against stage *name* (additive).
+
+        Wall time accrues even when the block raises; an error is counted
+        against the stage so the ``points``/``computed`` counters' desync
+        is visible in :meth:`render` rather than silent.
+        """
         st = self.stage(name)
         start = time.perf_counter()
         try:
             yield st
+        except BaseException:
+            st.add_error()
+            raise
         finally:
-            st.wall_seconds += time.perf_counter() - start
+            st.add_wall(time.perf_counter() - start)
 
     # -- aggregates -----------------------------------------------------------
     @property
@@ -78,10 +142,15 @@ class SweepStats:
     def total_computed(self) -> int:
         return sum(s.computed for s in self.stages.values())
 
+    @property
+    def total_errors(self) -> int:
+        return sum(s.errors for s in self.stages.values())
+
     def render(self) -> str:
         """ASCII summary table of every stage plus totals."""
         table = AsciiTable(
-            ["stage", "wall s", "points", "hits", "computed", "points/s"]
+            ["stage", "wall s", "points", "hits", "computed", "errors",
+             "points/s"]
         )
         rows = [self.stages[name] for name in self.order]
         for st in rows:
@@ -92,6 +161,7 @@ class SweepStats:
                     st.points,
                     st.cache_hits,
                     st.computed,
+                    st.errors,
                     f"{st.points_per_second:.1f}",
                 ]
             )
@@ -102,6 +172,7 @@ class SweepStats:
                 self.total_points,
                 self.total_cache_hits,
                 self.total_computed,
+                self.total_errors,
                 (
                     f"{self.total_points / self.total_wall_seconds:.1f}"
                     if self.total_wall_seconds > 0

@@ -1,0 +1,282 @@
+"""Exporters: Chrome-trace JSON, plain JSON snapshots, ASCII views.
+
+Three ways out of the telemetry layer:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the ``trace_event``
+  format (load the file in ``chrome://tracing`` or ``ui.perfetto.dev``).
+  Wall-clock spans render one process row per OS process (worker spans
+  re-parent under the coordinator), and the simulated device activity
+  from :meth:`repro.sim.trace.Trace.to_events` renders as its own
+  process with one lane per modeled resource (GPU SM groups, C2C link,
+  CPU) on the *sim* clock — the modeled GH200 timeline, the
+  reproduction's stand-in for the paper's Nsight screenshots.
+* :func:`snapshot` — everything (spans, metrics, sim trace) as one plain
+  JSON document, consumed by ``repro profile view``.
+* :func:`render_summary` / :func:`render_flame` — ASCII aggregate table
+  and call-tree view for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..util.tables import AsciiTable
+from ..util.units import format_bytes, format_time
+from .metrics import MetricsRegistry
+from .spans import Span
+from .state import Telemetry, get_telemetry
+
+__all__ = [
+    "SIM_PID",
+    "chrome_trace",
+    "write_chrome_trace",
+    "snapshot",
+    "write_snapshot",
+    "render_summary",
+    "render_flame",
+]
+
+#: The pid under which simulated-clock lanes render (real pids are >= 1).
+SIM_PID = 0
+
+
+def _wall_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Complete ("X") events for wall-clock spans, ts in microseconds."""
+    if not spans:
+        return []
+    t0 = min(sp.start for sp in spans)
+    events: List[Dict[str, Any]] = []
+    for sp in spans:
+        args = dict(sp.attributes)
+        args["span_id"] = sp.span_id
+        if sp.parent_id is not None:
+            args["parent_id"] = sp.parent_id
+        events.append(
+            {
+                "name": sp.name,
+                "cat": sp.category,
+                "ph": "X",
+                "ts": (sp.start - t0) * 1e6,
+                "dur": sp.duration * 1e6,
+                "pid": sp.pid,
+                "tid": sp.tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def _metadata_events(spans: Sequence[Span], coordinator_pid: Optional[int]) -> List[Dict[str, Any]]:
+    """Process/thread name metadata ("M") events for every lane."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": SIM_PID,
+            "tid": 0,
+            "args": {"name": "simulated GH200 (sim clock)"},
+        }
+    ]
+    seen = set()
+    for sp in spans:
+        if sp.pid in seen:
+            continue
+        seen.add(sp.pid)
+        role = "repro" if sp.pid == coordinator_pid else "sweep worker"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": sp.pid,
+                "tid": 0,
+                "args": {"name": f"{role} (wall clock, pid {sp.pid})"},
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    spans: Optional[Sequence[Span]] = None,
+    trace: Any = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Build the full Chrome-trace document (a JSON-serializable dict)."""
+    spans = list(spans if spans is not None else get_telemetry().recorder.snapshot())
+    coordinator_pid = min((sp.pid for sp in spans), default=None)
+    events = _metadata_events(spans, coordinator_pid)
+    if trace is not None:
+        events.extend(trace.to_events())
+    events.extend(_wall_events(spans))
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.telemetry"},
+    }
+    if registry is not None:
+        doc["otherData"]["metrics"] = registry.snapshot()
+    return doc
+
+
+def write_chrome_trace(
+    path: "str | Path",
+    spans: Optional[Sequence[Span]] = None,
+    trace: Any = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write :func:`chrome_trace` to *path*; returns the path."""
+    path = Path(path)
+    doc = chrome_trace(spans, trace=trace, registry=registry)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def snapshot(
+    telemetry: Optional[Telemetry] = None, trace: Any = None
+) -> Dict[str, Any]:
+    """Plain-JSON dump: spans + metrics (+ sim trace summary/events)."""
+    telemetry = telemetry or get_telemetry()
+    doc: Dict[str, Any] = {
+        "format": "repro-telemetry-snapshot",
+        "version": 1,
+        "spans": [sp.to_dict() for sp in telemetry.recorder.snapshot()],
+        "metrics": telemetry.registry.snapshot(),
+    }
+    if trace is not None:
+        doc["trace_summary"] = trace.summary()
+        doc["trace_events"] = trace.to_events()
+    return doc
+
+
+def write_snapshot(
+    path: "str | Path",
+    telemetry: Optional[Telemetry] = None,
+    trace: Any = None,
+) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(snapshot(telemetry, trace), indent=1, sort_keys=True),
+        encoding="utf-8",
+    )
+    return path
+
+
+# -- ASCII views --------------------------------------------------------------
+
+
+def _children_index(spans: Sequence[Span]) -> Dict[Optional[str], List[Span]]:
+    by_parent: Dict[Optional[str], List[Span]] = defaultdict(list)
+    ids = {sp.span_id for sp in spans}
+    for sp in spans:
+        parent = sp.parent_id if sp.parent_id in ids else None
+        by_parent[parent].append(sp)
+    for children in by_parent.values():
+        children.sort(key=lambda sp: sp.start)
+    return by_parent
+
+
+def render_summary(
+    spans: Optional[Sequence[Span]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Aggregate table: per span name, calls / total / self / mean time."""
+    telemetry = get_telemetry()
+    spans = list(spans if spans is not None else telemetry.recorder.snapshot())
+    registry = registry if registry is not None else telemetry.registry
+
+    child_time: Dict[str, float] = defaultdict(float)
+    for sp in spans:
+        if sp.parent_id is not None:
+            child_time[sp.parent_id] += sp.duration
+
+    agg: Dict[tuple, List[float]] = defaultdict(lambda: [0, 0.0, 0.0])
+    for sp in spans:
+        row = agg[(sp.category, sp.name)]
+        row[0] += 1
+        row[1] += sp.duration
+        row[2] += max(0.0, sp.duration - child_time.get(sp.span_id, 0.0))
+
+    lines: List[str] = [f"telemetry summary: {len(spans)} spans"]
+    table = AsciiTable(["category", "span", "calls", "total", "self", "mean"])
+    for (category, name), (calls, total, self_time) in sorted(
+        agg.items(), key=lambda kv: -kv[1][2]
+    ):
+        table.add_row(
+            [
+                category,
+                name,
+                int(calls),
+                format_time(total),
+                format_time(self_time),
+                format_time(total / calls),
+            ]
+        )
+    if agg:
+        lines.append(table.render())
+
+    metric_rows = registry.snapshot()
+    if metric_rows:
+        mtable = AsciiTable(["metric", "labels", "value"])
+        for entry in metric_rows:
+            labels = ",".join(f"{k}={v}" for k, v in entry["labels"].items())
+            if entry["type"] == "histogram":
+                value = (
+                    f"count={entry['count']} sum={entry['sum']:.6g} "
+                    f"mean={(entry['sum'] / entry['count']) if entry['count'] else 0:.6g}"
+                )
+            elif "bytes" in entry["name"] and entry["value"] is not None:
+                value = f"{entry['value']} ({format_bytes(entry['value'])})"
+            else:
+                value = entry["value"]
+            mtable.add_row([entry["name"], labels or "-", value])
+        lines.append("")
+        lines.append(mtable.render())
+    return "\n".join(lines)
+
+
+def render_flame(
+    spans: Optional[Sequence[Span]] = None, max_depth: int = 12
+) -> str:
+    """Indented call-tree ("ASCII flame") view of the span hierarchy."""
+    spans = list(
+        spans if spans is not None else get_telemetry().recorder.snapshot()
+    )
+    if not spans:
+        return "(no spans recorded)"
+    by_parent = _children_index(spans)
+    lines: List[str] = []
+
+    def walk(sp: Span, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{sp.category}.{sp.name}  {format_time(sp.duration)}"
+        )
+        if depth + 1 >= max_depth:
+            return
+        children = by_parent.get(sp.span_id, [])
+        # Collapse repetitive fan-out (e.g. 60 sweep points) to keep the
+        # view readable: identical child names group into one line.
+        groups: Dict[tuple, List[Span]] = defaultdict(list)
+        for child in children:
+            groups[(child.category, child.name)].append(child)
+        for (category, name), group in groups.items():
+            if len(group) > 3:
+                total = sum(c.duration for c in group)
+                lines.append(
+                    f"{indent}  {category}.{name} x{len(group)}  "
+                    f"{format_time(total)} total"
+                )
+                deepest = max(group, key=lambda c: c.duration)
+                for grandchild in by_parent.get(deepest.span_id, []):
+                    walk(grandchild, depth + 2)
+            else:
+                for child in group:
+                    walk(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the numeric side of the telemetry layer: where spans say
+*when* something happened, metrics say *how much* — bytes migrated by
+reason, kernel launches by name, sweep points per stage, cache hit
+ratios.  Metrics are keyed by ``(name, labels)``; asking for the same
+key returns the same instrument, so instrumented code never needs to
+pre-register anything.
+
+Histograms use fixed bucket boundaries chosen at creation (no dynamic
+rebinning — snapshots from different processes merge by plain addition).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DURATION_BUCKETS",
+    "BYTES_BUCKETS",
+]
+
+Number = Union[int, float]
+
+#: Default duration buckets (seconds): 1 us .. 100 s, decade steps.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0
+)
+
+#: Default size buckets (bytes): 4 KiB page .. 16 GiB.
+BYTES_BUCKETS: Tuple[float, ...] = tuple(
+    4096.0 * 4 ** i for i in range(12)
+)
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (int or float)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: Dict[str, str], lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+        self._lock = lock
+
+    def add(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "name": self.name,
+                "labels": self.labels, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (settable both ways)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: Dict[str, str], lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.value: Optional[Number] = None
+        self._lock = lock
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self.value = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "name": self.name,
+                "labels": self.labels, "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum aggregates.
+
+    ``boundaries`` are upper bounds of the first ``len(boundaries)``
+    buckets; one overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "labels", "boundaries", "bucket_counts",
+                 "count", "total", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        boundaries: Sequence[float],
+        lock: threading.Lock,
+    ):
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name} boundaries must be strictly increasing, "
+                f"got {boundaries!r}"
+            )
+        self.name = name
+        self.labels = labels
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._lock = lock
+
+    def observe(self, value: Number) -> None:
+        idx = len(self.boundaries)
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self.bucket_counts[idx] += 1
+            self.count += 1
+            self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "labels": self.labels,
+            "boundaries": list(self.boundaries),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, tuple], Any] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any], *args):
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(
+                    name, {k: str(v) for k, v in sorted(labels.items())},
+                    *args, self._lock,
+                )
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r}{labels!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DURATION_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, boundaries)
+
+    # -- queries --------------------------------------------------------------
+    def value(self, name: str, **labels: Any) -> Optional[Number]:
+        """Current value of a counter/gauge, or ``None`` if absent."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+        return getattr(metric, "value", None) if metric is not None else None
+
+    def total(self, name: str) -> Number:
+        """Sum of a counter's value across every label set."""
+        with self._lock:
+            metrics = [m for (n, _), m in self._metrics.items() if n == name]
+        return sum(m.value or 0 for m in metrics if isinstance(m, Counter))
+
+    def collect(self) -> List[Any]:
+        """Every registered instrument, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda kv: kv[0])
+        return [metric for _, metric in items]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-serializable dump of every instrument."""
+        return [m.to_dict() for m in self.collect()]
+
+    def merge(self, snapshot: List[Dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` from another registry/process into this one.
+
+        Counters and histogram buckets add; gauges take the incoming value.
+        """
+        for entry in snapshot:
+            labels = entry.get("labels", {})
+            kind = entry.get("type")
+            if kind == "counter":
+                if entry["value"]:
+                    self.counter(entry["name"], **labels).add(entry["value"])
+            elif kind == "gauge":
+                if entry["value"] is not None:
+                    self.gauge(entry["name"], **labels).set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(
+                    entry["name"], entry["boundaries"], **labels
+                )
+                with hist._lock:
+                    for i, n in enumerate(entry["bucket_counts"]):
+                        hist.bucket_counts[i] += n
+                    hist.count += entry["count"]
+                    hist.total += entry["sum"]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()

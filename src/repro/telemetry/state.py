@@ -1,0 +1,131 @@
+"""Process-global telemetry state and the fast no-op path.
+
+Telemetry is **off by default** and must cost close to nothing while off:
+every instrumentation site goes through :func:`span` / :func:`traced` /
+:func:`enabled`, whose disabled path is a single attribute check.  Turn
+it on with
+
+* ``REPRO_TELEMETRY=1`` in the environment (inherited by sweep worker
+  processes, which is how worker-side spans get recorded), or
+* :func:`configure` (what ``repro --trace-out`` and ``repro profile``
+  do), or
+* :attr:`repro.config.ReproConfig.telemetry` on the machine a driver
+  builds.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .metrics import MetricsRegistry
+from .spans import NOOP_SPAN, SpanRecorder
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "Telemetry",
+    "configure",
+    "enabled",
+    "get_telemetry",
+    "metrics",
+    "span",
+    "traced",
+]
+
+#: Environment variable enabling telemetry ("1"/"true"/"yes"/"on").
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(TELEMETRY_ENV, "").strip().lower() in _TRUTHY
+
+
+class Telemetry:
+    """A span recorder plus a metrics registry behind one enable switch."""
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        self.enabled = _env_enabled() if enabled is None else enabled
+        self.recorder = SpanRecorder()
+        self.registry = MetricsRegistry()
+
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics (the enable flag stays)."""
+        self.recorder.clear()
+        self.registry.clear()
+
+
+_TELEMETRY = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global telemetry instance."""
+    return _TELEMETRY
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently recording."""
+    return _TELEMETRY.enabled
+
+
+def configure(enabled: Optional[bool] = None, reset: bool = False) -> Telemetry:
+    """Flip the global enable switch and/or clear recorded data."""
+    if reset:
+        _TELEMETRY.reset()
+    if enabled is not None:
+        _TELEMETRY.enabled = enabled
+        if enabled:
+            # Worker processes (including spawn-start pools) resolve their
+            # own state from the environment.
+            os.environ[TELEMETRY_ENV] = "1"
+        else:
+            os.environ.pop(TELEMETRY_ENV, None)
+    return _TELEMETRY
+
+
+class _NoopContext:
+    """Reusable context manager yielding the shared no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NOOP_SPAN
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NOOP_CONTEXT = _NoopContext()
+
+
+def span(name: str, category: str = "repro", **attributes: Any):
+    """Context manager recording a span — or a shared no-op when disabled."""
+    if not _TELEMETRY.enabled:
+        return _NOOP_CONTEXT
+    return _TELEMETRY.recorder.span(name, category=category, **attributes)
+
+
+def traced(name: Optional[str] = None, category: str = "repro"):
+    """Decorator recording a span per call; near-free when disabled."""
+
+    def decorate(func):
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not _TELEMETRY.enabled:
+                return func(*args, **kwargs)
+            with _TELEMETRY.recorder.span(span_name, category=category):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def metrics() -> MetricsRegistry:
+    """The global metrics registry (live even when spans are disabled)."""
+    return _TELEMETRY.registry

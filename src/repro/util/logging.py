@@ -3,16 +3,23 @@
 The library logs through the standard :mod:`logging` module under the
 ``"repro"`` namespace; nothing is configured by default (library etiquette),
 but :func:`enable_debug_logging` gives examples and the benchmark harness a
-one-liner to surface model decisions (grid heuristics, page migrations).
+one-liner to surface model decisions (grid heuristics, page migrations) —
+either as plain text or as structured JSON lines for log pipelines.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 
-__all__ = ["get_logger", "enable_debug_logging"]
+__all__ = ["get_logger", "enable_debug_logging", "JsonLinesFormatter"]
 
 _ROOT_NAME = "repro"
+
+#: LogRecord fields that are plumbing, not caller-supplied context.
+_RESERVED = frozenset(
+    logging.makeLogRecord({}).__dict__
+) | {"message", "asctime"}
 
 
 def get_logger(name: str = "") -> logging.Logger:
@@ -20,18 +27,52 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME)
 
 
-def enable_debug_logging(level: int = logging.DEBUG) -> logging.Logger:
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, logger, level, message, extras.
+
+    Fields passed via ``logger.debug(..., extra={...})`` are included
+    verbatim (non-serializable values fall back to ``repr``).
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "timestamp": self.formatTime(record, "%Y-%m-%dT%H:%M:%S%z"),
+            "logger": record.name,
+            "level": record.levelname,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                doc[key] = value
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=repr, sort_keys=True)
+
+
+def enable_debug_logging(
+    level: int = logging.DEBUG, json_lines: bool = False
+) -> logging.Logger:
     """Attach a stderr handler to the library root logger.
 
     Returns the root library logger so callers can tweak it further.  Safe
-    to call repeatedly; only one handler is installed.
+    to call repeatedly; only one handler is installed, and ``propagate``
+    is switched off so applications with a configured root handler don't
+    see every line twice.  ``json_lines=True`` emits structured records
+    (one JSON object per line) instead of plain text.
     """
     logger = get_logger()
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+    handler = next(
+        (h for h in logger.handlers if isinstance(h, logging.StreamHandler)),
+        None,
+    )
+    if handler is None:
         handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(name)s %(levelname)s: %(message)s")
-        )
         logger.addHandler(handler)
+    handler.setFormatter(
+        JsonLinesFormatter()
+        if json_lines
+        else logging.Formatter("%(name)s %(levelname)s: %(message)s")
+    )
+    logger.propagate = False
     logger.setLevel(level)
     return logger

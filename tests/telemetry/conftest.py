@@ -1,0 +1,44 @@
+"""Telemetry test fixtures.
+
+Telemetry state is process-global (by design: instrumentation sites must
+be able to reach it without plumbing), so every test here goes through a
+fixture that saves the enable flag + environment variable, wipes recorded
+data, and restores everything afterwards — tests in other directories
+always see telemetry in its default (disabled, empty) state.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.telemetry import TELEMETRY_ENV, configure, get_telemetry
+
+
+@pytest.fixture()
+def telemetry():
+    """The global Telemetry, enabled and empty; restored on teardown."""
+    saved_env = os.environ.get(TELEMETRY_ENV)
+    saved_enabled = get_telemetry().enabled
+    tel = configure(enabled=True, reset=True)
+    yield tel
+    configure(enabled=saved_enabled, reset=True)
+    if saved_env is None:
+        os.environ.pop(TELEMETRY_ENV, None)
+    else:
+        os.environ[TELEMETRY_ENV] = saved_env
+
+
+@pytest.fixture()
+def disabled_telemetry():
+    """The global Telemetry, disabled and empty; restored on teardown."""
+    saved_env = os.environ.get(TELEMETRY_ENV)
+    saved_enabled = get_telemetry().enabled
+    tel = configure(enabled=False, reset=True)
+    yield tel
+    configure(enabled=saved_enabled, reset=True)
+    if saved_env is None:
+        os.environ.pop(TELEMETRY_ENV, None)
+    else:
+        os.environ[TELEMETRY_ENV] = saved_env

@@ -1,0 +1,192 @@
+"""Exporters: Chrome-trace shape, snapshot format, ASCII views."""
+
+import json
+
+from repro.sim.trace import (
+    KernelLaunchRecord,
+    MigrationRecord,
+    RemoteAccessRecord,
+    Trace,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    SIM_PID,
+    SpanRecorder,
+    chrome_trace,
+    render_flame,
+    render_summary,
+    snapshot,
+    write_chrome_trace,
+)
+
+REQUIRED_EVENT_KEYS = {"ph", "ts", "pid", "tid", "name"}
+
+
+def _recorder_with_tree():
+    rec = SpanRecorder()
+    with rec.span("stage", category="sweep"):
+        for _ in range(2):
+            with rec.span("point", category="sweep"):
+                with rec.span("compile", category="compiler"):
+                    pass
+    return rec
+
+
+def _sim_trace():
+    trace = Trace()
+    trace.record_launch(KernelLaunchRecord(
+        time=0.0, name="rdx", grid=1024, block=128, elements=1 << 20,
+        from_clause=False, duration=1e-3,
+    ))
+    trace.record_launch(KernelLaunchRecord(
+        time=0.0, name="rdx", grid=1024, block=128, elements=1 << 20,
+        from_clause=False, duration=2e-3,
+    ))
+    trace.record_migration(MigrationRecord(
+        time=0.0, src="host", dst="device", nbytes=1 << 16, npages=16,
+        duration=5e-4, reason="fault",
+    ))
+    trace.record_remote_access(RemoteAccessRecord(
+        time=1e-3, accessor="cpu", nbytes=4096, duration=1e-5,
+    ))
+    return trace
+
+
+class TestChromeTrace:
+    def test_every_event_has_required_keys(self):
+        doc = chrome_trace(_recorder_with_tree().snapshot(),
+                           trace=_sim_trace())
+        assert doc["traceEvents"]
+        for event in doc["traceEvents"]:
+            assert REQUIRED_EVENT_KEYS <= set(event), event
+            assert event["ph"] in {"X", "M"}
+            assert event["ts"] >= 0
+
+    def test_wall_span_nesting_is_well_formed(self):
+        rec = _recorder_with_tree()
+        doc = chrome_trace(rec.snapshot())
+        spans = {
+            e["args"]["span_id"]: e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        }
+        children = [e for e in spans.values() if "parent_id" in e["args"]]
+        assert children, "expected nested spans"
+        for child in children:
+            parent = spans[child["args"]["parent_id"]]  # parent must exist
+            # Child interval lies inside the parent interval.
+            assert child["ts"] >= parent["ts"] - 1e-3
+            assert (child["ts"] + child["dur"]
+                    <= parent["ts"] + parent["dur"] + 1e-3)
+            assert child["pid"] == parent["pid"]
+
+    def test_sim_lanes_under_sim_pid(self):
+        doc = chrome_trace([], trace=_sim_trace())
+        sim = [e for e in doc["traceEvents"]
+               if e["pid"] == SIM_PID and e["ph"] == "X"]
+        lanes = {e["tid"] for e in sim}
+        assert lanes == {1, 2, 3}  # SM groups, C2C link, CPU remote reads
+        cats = {e["cat"] for e in sim}
+        assert cats == {"sim.gpu", "sim.mem", "sim.cpu"}
+        # Lane-local packing: events in a lane never overlap.
+        for tid in lanes:
+            lane = sorted((e for e in sim if e["tid"] == tid),
+                          key=lambda e: e["ts"])
+            for a, b in zip(lane, lane[1:]):
+                assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
+        # Raw sim time is preserved even when packing moved the event.
+        assert all("sim_time" in e["args"] for e in sim)
+
+    def test_lane_and_process_metadata(self):
+        doc = chrome_trace(_recorder_with_tree().snapshot(),
+                           trace=_sim_trace())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["pid"], e["name"], e["args"]["name"]) for e in meta}
+        assert any(n[0] == SIM_PID and n[1] == "process_name" for n in names)
+        assert any(n[1] == "thread_name" and n[2] == "gpu-sm-groups"
+                   for n in names)
+        assert any(n[1] == "thread_name" and n[2] == "c2c-link"
+                   for n in names)
+
+    def test_metrics_ride_in_other_data(self):
+        reg = MetricsRegistry()
+        reg.counter("sweep.points", stage="s").add(9)
+        doc = chrome_trace([], registry=reg)
+        entries = {e["name"]: e for e in doc["otherData"]["metrics"]}
+        assert entries["sweep.points"]["value"] == 9
+
+    def test_write_round_trip(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "trace.json",
+            _recorder_with_tree().snapshot(),
+            trace=_sim_trace(),
+        )
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["exporter"] == "repro.telemetry"
+        assert len(doc["traceEvents"]) > 5
+
+
+class TestSimTraceEvents:
+    def test_to_events_packs_zero_time_records_end_to_end(self):
+        trace = _sim_trace()
+        launches = [e for e in trace.to_events()
+                    if e.get("cat") == "sim.gpu"]
+        # Both launches recorded at t=0; the second starts where the
+        # first ends instead of stacking.
+        assert launches[0]["ts"] == 0.0
+        assert launches[1]["ts"] == launches[0]["dur"]
+        assert launches[0]["args"]["sim_time"] == 0.0
+
+    def test_summary_uses_human_readable_bytes(self):
+        trace = _sim_trace()
+        assert "64.00 KiB" in trace.summary()
+
+
+class TestSnapshotAndAsciiViews:
+    def test_snapshot_document(self, telemetry):
+        from repro.telemetry import span
+
+        with span("s", category="test"):
+            pass
+        telemetry.registry.counter("n").add(2)
+        doc = snapshot(telemetry, trace=_sim_trace())
+        assert doc["format"] == "repro-telemetry-snapshot"
+        assert doc["version"] == 1
+        assert [sp["name"] for sp in doc["spans"]] == ["s"]
+        assert doc["metrics"][0]["value"] == 2
+        assert "launches" in doc["trace_summary"]
+        assert doc["trace_events"]
+        json.dumps(doc)
+
+    def test_render_summary_aggregates(self):
+        rec = _recorder_with_tree()
+        reg = MetricsRegistry()
+        reg.counter("sim.migrated_bytes", reason="fault").add(1 << 20)
+        out = render_summary(rec.snapshot(), reg)
+        assert "5 spans" in out
+        assert "compile" in out and "compiler" in out
+        assert "sim.migrated_bytes" in out
+        assert "1.00 MiB" in out  # bytes metrics humanized
+
+    def test_render_flame_shows_hierarchy(self):
+        rec = SpanRecorder()
+        with rec.span("root", category="cli"):
+            with rec.span("child", category="sweep"):
+                pass
+        out = render_flame(rec.snapshot())
+        lines = out.splitlines()
+        assert lines[0].startswith("cli.root")
+        assert lines[1].startswith("  sweep.child")
+
+    def test_render_flame_collapses_fanout(self):
+        rec = SpanRecorder()
+        with rec.span("stage", category="sweep"):
+            for _ in range(10):
+                with rec.span("point", category="sweep"):
+                    pass
+        out = render_flame(rec.snapshot())
+        assert "sweep.point x10" in out
+
+    def test_render_flame_empty(self):
+        assert "no spans" in render_flame([])

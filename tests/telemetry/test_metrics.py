@@ -1,0 +1,137 @@
+"""Metrics registry: counters, gauges, histograms, labels, merging."""
+
+import pytest
+
+from repro.telemetry import (
+    BYTES_BUCKETS,
+    Counter,
+    DURATION_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_get_or_create_is_idempotent(self, reg):
+        c = reg.counter("hits", stage="t1")
+        c.add()
+        c.add(4)
+        assert reg.counter("hits", stage="t1") is c
+        assert c.value == 5
+
+    def test_label_sets_are_distinct(self, reg):
+        reg.counter("hits", stage="a").add(1)
+        reg.counter("hits", stage="b").add(2)
+        assert reg.value("hits", stage="a") == 1
+        assert reg.value("hits", stage="b") == 2
+        assert reg.total("hits") == 3
+
+    def test_label_order_does_not_matter(self, reg):
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+    def test_counter_rejects_decrease(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("hits").add(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self, reg):
+        g = reg.gauge("ratio")
+        assert g.value is None
+        g.set(0.5)
+        g.set(0.25)
+        assert reg.value("ratio") == 0.25
+
+    def test_total_ignores_gauges(self, reg):
+        reg.gauge("x").set(10)
+        reg.counter("x", kind="c").add(1)
+        assert reg.total("x") == 1
+
+
+class TestHistogram:
+    def test_bucketing_and_aggregates(self, reg):
+        h = reg.histogram("lat", boundaries=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 0.1):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]  # <=1, <=10, overflow
+        assert h.count == 4
+        assert h.total == pytest.approx(55.6)
+        assert h.mean == pytest.approx(13.9)
+
+    def test_boundaries_must_strictly_increase(self, reg):
+        for bad in ((), (1.0, 1.0), (2.0, 1.0)):
+            with pytest.raises(ValueError):
+                reg.histogram(f"bad-{bad}", boundaries=bad)
+
+    def test_default_bucket_families(self):
+        assert list(DURATION_BUCKETS) == sorted(set(DURATION_BUCKETS))
+        assert list(BYTES_BUCKETS) == sorted(set(BYTES_BUCKETS))
+        assert BYTES_BUCKETS[0] == 4096.0  # one GH200 page
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self, reg):
+        reg.counter("n")
+        with pytest.raises(TypeError):
+            reg.gauge("n")
+
+    def test_value_of_missing_metric_is_none(self, reg):
+        assert reg.value("nope") is None
+
+    def test_collect_sorted_and_snapshot_json(self, reg):
+        reg.counter("b").add(1)
+        reg.counter("a", z="2").add(2)
+        reg.gauge("a", z="1").set(3)
+        names = [(m.name, m.labels) for m in reg.collect()]
+        assert names == [("a", {"z": "1"}), ("a", {"z": "2"}), ("b", {})]
+        snap = reg.snapshot()
+        assert all({"type", "name", "labels", "value"} <= set(e) or
+                   e["type"] == "histogram" for e in snap)
+        import json
+
+        json.dumps(snap)  # must be serializable as-is
+
+    def test_merge_adds_counters_and_histograms(self, reg):
+        other = MetricsRegistry()
+        other.counter("pts", stage="s").add(7)
+        other.gauge("ratio").set(0.5)
+        h = other.histogram("lat", boundaries=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+
+        reg.counter("pts", stage="s").add(3)
+        reg.merge(other.snapshot())
+        reg.merge(other.snapshot())
+        assert reg.value("pts", stage="s") == 17
+        assert reg.value("ratio") == 0.5
+        merged = reg.histogram("lat", boundaries=(1.0,))
+        assert merged.bucket_counts == [2, 2]
+        assert merged.count == 4
+        assert merged.total == pytest.approx(5.0)
+
+    def test_clear(self, reg):
+        reg.counter("x").add(1)
+        reg.clear()
+        assert reg.snapshot() == []
+
+    def test_thread_safety_smoke(self, reg):
+        import threading
+
+        c = reg.counter("n")
+
+        def bump():
+            for _ in range(1000):
+                c.add()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000

@@ -1,8 +1,13 @@
 """Tests for the logging shim."""
 
+import json
 import logging
 
-from repro.util.logging import enable_debug_logging, get_logger
+from repro.util.logging import (
+    JsonLinesFormatter,
+    enable_debug_logging,
+    get_logger,
+)
 
 
 class TestLogging:
@@ -21,3 +26,48 @@ class TestLogging:
         assert logger.level == logging.WARNING
         enable_debug_logging(logging.DEBUG)
         assert logger.level == logging.DEBUG
+
+    def test_propagation_disabled(self):
+        logger = enable_debug_logging()
+        assert logger.propagate is False
+
+    def test_json_lines_swaps_formatter_in_place(self):
+        logger = enable_debug_logging(json_lines=True)
+        (handler,) = [
+            h for h in logger.handlers
+            if isinstance(h, logging.StreamHandler)
+        ]
+        assert isinstance(handler.formatter, JsonLinesFormatter)
+        enable_debug_logging(json_lines=False)
+        assert not isinstance(handler.formatter, JsonLinesFormatter)
+        assert len(logger.handlers) == 1
+
+
+class TestJsonLinesFormatter:
+    def _record(self, **extra):
+        record = logging.makeLogRecord(
+            {"name": "repro.gpu", "levelname": "DEBUG",
+             "msg": "grid resolved"}
+        )
+        record.__dict__.update(extra)
+        return record
+
+    def test_structured_fields(self):
+        doc = json.loads(JsonLinesFormatter().format(self._record()))
+        assert doc["logger"] == "repro.gpu"
+        assert doc["level"] == "DEBUG"
+        assert doc["message"] == "grid resolved"
+        assert "timestamp" in doc
+
+    def test_extra_fields_included(self):
+        doc = json.loads(
+            JsonLinesFormatter().format(self._record(grid=1024, case="C1"))
+        )
+        assert doc["grid"] == 1024
+        assert doc["case"] == "C1"
+
+    def test_non_serializable_extras_fall_back_to_repr(self):
+        doc = json.loads(
+            JsonLinesFormatter().format(self._record(obj={1, 2}))
+        )
+        assert doc["obj"] == repr({1, 2})

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate a repro.telemetry Chrome-trace file.
+
+Two layers of checking:
+
+1. **Schema** — the document is validated against
+   ``docs/trace-event.schema.json`` with :mod:`jsonschema` when that
+   package is importable; otherwise a built-in structural check covers
+   the same required keys and types (so CI never needs an extra
+   dependency).
+2. **Semantics** — things a JSON Schema can't say: every ``parent_id``
+   refers to a span in the same file, children lie within their parent's
+   interval, sim-lane events never overlap within a lane, and (opt-in)
+   the trace covers a minimum set of subsystem categories.
+
+Exit status 0 means the file is a well-formed repro telemetry trace.
+
+Usage::
+
+    python tools/validate_trace.py trace.json
+    python tools/validate_trace.py trace.json \
+        --require-categories compiler,openmp,sweep,gpu
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+DEFAULT_SCHEMA = Path(__file__).resolve().parent.parent / "docs" / "trace-event.schema.json"
+
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+class ValidationFailure(Exception):
+    pass
+
+
+def _fail(message: str) -> None:
+    raise ValidationFailure(message)
+
+
+def _check_schema(doc: Dict[str, Any], schema_path: Path) -> str:
+    """Validate against the JSON Schema; fall back to structural checks."""
+    schema = json.loads(schema_path.read_text(encoding="utf-8"))
+    try:
+        import jsonschema
+    except ImportError:
+        _structural_check(doc)
+        return "structural checks (jsonschema not installed)"
+    try:
+        jsonschema.validate(doc, schema)
+    except jsonschema.ValidationError as exc:
+        _fail(f"schema violation at {list(exc.absolute_path)}: {exc.message}")
+    return f"jsonschema against {schema_path.name}"
+
+
+def _structural_check(doc: Dict[str, Any]) -> None:
+    """Dependency-free approximation of the schema's required shape."""
+    if not isinstance(doc, dict):
+        _fail("document is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        _fail("traceEvents must be a non-empty array")
+    if doc.get("otherData", {}).get("exporter") != "repro.telemetry":
+        _fail("otherData.exporter must be 'repro.telemetry'")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            _fail(f"traceEvents[{i}] is not an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                _fail(f"traceEvents[{i}] missing required key {key!r}")
+        if event["ph"] not in ("X", "M"):
+            _fail(f"traceEvents[{i}] has unexpected ph {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            _fail(f"traceEvents[{i}] has invalid ts {event['ts']!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            _fail(f"traceEvents[{i}] is a complete event without dur")
+    for j, metric in enumerate(doc.get("otherData", {}).get("metrics", [])):
+        if metric.get("type") not in ("counter", "gauge", "histogram"):
+            _fail(f"metrics[{j}] has unexpected type {metric.get('type')!r}")
+        if "name" not in metric or "labels" not in metric:
+            _fail(f"metrics[{j}] missing name/labels")
+
+
+def _check_semantics(doc: Dict[str, Any], require_categories: List[str]) -> Dict[str, Any]:
+    events = doc["traceEvents"]
+    complete = [e for e in events if e.get("ph") == "X"]
+    spans = {
+        e["args"]["span_id"]: e
+        for e in complete
+        if isinstance(e.get("args"), dict) and "span_id" in e["args"]
+    }
+
+    # Span linkage is closed and children nest inside their parents.
+    for event in spans.values():
+        parent_id = event["args"].get("parent_id")
+        if parent_id is None:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            _fail(
+                f"span {event['args']['span_id']} ({event['name']}) has "
+                f"dangling parent_id {parent_id}"
+            )
+        if event["ts"] + 1e-3 < parent["ts"] or (
+            event["ts"] + event["dur"] > parent["ts"] + parent["dur"] + 1e-3
+        ):
+            _fail(
+                f"span {event['name']} [{event['ts']:.1f}, "
+                f"{event['ts'] + event['dur']:.1f}] escapes parent "
+                f"{parent['name']} [{parent['ts']:.1f}, "
+                f"{parent['ts'] + parent['dur']:.1f}]"
+            )
+
+    # Sim lanes (pid 0) are packed: no overlap within a lane.
+    by_lane: Dict[int, List[dict]] = {}
+    for event in complete:
+        if event["pid"] == 0:
+            by_lane.setdefault(event["tid"], []).append(event)
+    for tid, lane in by_lane.items():
+        lane.sort(key=lambda e: e["ts"])
+        for a, b in zip(lane, lane[1:]):
+            if a["ts"] + a["dur"] > b["ts"] + 1e-6:
+                _fail(
+                    f"sim lane tid={tid}: {a['name']!r} overlaps {b['name']!r}"
+                )
+
+    categories = {e.get("cat") for e in complete if e.get("cat")}
+    missing = [c for c in require_categories if c not in categories]
+    if missing:
+        _fail(
+            f"trace lacks required categories {missing}; present: "
+            f"{sorted(categories)}"
+        )
+    return {
+        "events": len(events),
+        "spans": len(spans),
+        "sim_lanes": len(by_lane),
+        "categories": sorted(categories),
+        "metrics": len(doc.get("otherData", {}).get("metrics", [])),
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="trace JSON file to check")
+    parser.add_argument(
+        "--schema", type=Path, default=DEFAULT_SCHEMA,
+        help=f"JSON Schema to validate against (default: {DEFAULT_SCHEMA})",
+    )
+    parser.add_argument(
+        "--require-categories", default="",
+        help="comma-separated span/event categories that must be present",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        doc = json.loads(args.trace.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    required = [c.strip() for c in args.require_categories.split(",") if c.strip()]
+    try:
+        how = _check_schema(doc, args.schema)
+        summary = _check_semantics(doc, required)
+    except ValidationFailure as exc:
+        print(f"FAIL: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"OK: {args.trace} — {summary['events']} events, "
+        f"{summary['spans']} spans, {summary['sim_lanes']} sim lanes, "
+        f"{summary['metrics']} metrics; categories: "
+        f"{', '.join(summary['categories'])} (validated via {how})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
