@@ -1,0 +1,90 @@
+"""Service latency under the overlapping-sweep workload.
+
+Drives an in-process service (HTTP server + load generator over real
+loopback sockets) with many concurrent clients replaying overlapping
+Fig.-1 sweep points, then asserts the PR-3 service contract:
+
+* duplicate fingerprints are computed exactly once (telemetry counters),
+* no request is ever silently dropped — overload surfaces as explicit
+  rejections,
+* the cache-hit p99 stays under the 50 ms budget on a CI runner.
+"""
+
+import asyncio
+import json
+
+from repro import Machine, ReproConfig
+from repro.service import (
+    ReductionService,
+    ServiceHTTPServer,
+    ServiceSettings,
+    build_preset,
+    run_load,
+)
+from repro.sweep.executor import SweepExecutor
+from repro.sweep.result_cache import ResultCache
+from repro.telemetry.metrics import MetricsRegistry
+
+CLIENTS = 50
+TOTAL = 400
+UNIQUE_POINTS = 12
+P99_BUDGET_S = 0.050
+
+
+def _run_load_scenario(tmp_path):
+    machine = Machine(config=ReproConfig(functional_elements_cap=1 << 16))
+    registry = MetricsRegistry()
+    executor = SweepExecutor(
+        machine, workers=1, cache=ResultCache(tmp_path / "cache")
+    )
+    service = ReductionService(
+        machine, executor=executor, settings=ServiceSettings(),
+        registry=registry,
+    )
+    server = ServiceHTTPServer(service, host="127.0.0.1", port=0)
+    requests = build_preset(
+        "small", total=TOTAL, seed=42, unique_points=UNIQUE_POINTS
+    )
+
+    async def scenario():
+        await server.start()
+        try:
+            return await run_load(
+                server.host, server.port, requests,
+                clients=CLIENTS, warmup=2,
+            )
+        finally:
+            await server.stop()
+
+    report = asyncio.run(scenario())
+    return report, registry
+
+
+def test_service_latency_contract(benchmark, tmp_path):
+    report, registry = benchmark.pedantic(
+        _run_load_scenario, args=(tmp_path,), rounds=1, iterations=1
+    )
+
+    print()
+    print(report.render())
+    print(json.dumps(report.percentiles("ok:cache"), indent=2))
+
+    # Nothing silent: every request was answered (ok or explicit reject).
+    assert report.dropped == 0
+    assert report.sent == TOTAL
+    assert report.ok + report.rejected == TOTAL
+
+    # Dedupe-once: with UNIQUE_POINTS distinct fingerprints replayed 400
+    # times, the executor computed each exactly once.
+    computed = registry.value("service.computed")
+    assert computed is not None and computed <= UNIQUE_POINTS
+    # warmup may have absorbed some first-computes; recorded traffic can
+    # only see at most that many computed responses, the rest deduped
+    assert report.by_source.get("computed", 0) <= computed
+    assert sum(report.by_source.values()) == report.ok
+
+    # Latency budget: cache hits (the steady-state path) under 50 ms p99.
+    cache_hits = report.latencies.get("ok:cache", [])
+    assert cache_hits, "expected cache-hit traffic in the replay"
+    p99 = report.percentiles("ok:cache")["p99"]
+    assert p99 < P99_BUDGET_S, f"cache-hit p99 {p99 * 1e3:.1f} ms over budget"

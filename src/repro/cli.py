@@ -15,10 +15,18 @@ Commands
 ``report``
     Run the full shape-check battery (DESIGN.md §3).
 ``cache``
-    Inspect or clear the persistent sweep result cache.
+    Inspect (``stats``/``info``) or ``clear`` the persistent sweep
+    result cache — the service's dedupe layer.
 ``profile``
     Run any command under telemetry and print span/metric summaries
     (``profile run ...``), or render a saved snapshot (``profile view``).
+``serve``
+    Run the reduction-as-a-service HTTP front end (:mod:`repro.service`):
+    ``/simulate``, ``/batch``, ``/healthz``, ``/metrics``.  Off unless
+    invoked; see docs/SERVICE.md.
+``loadtest``
+    Drive a service (an in-process one by default, or ``--url``) with
+    overlapping Fig.-1 sweep points and report latency percentiles.
 
 Sweeps run through the :mod:`repro.sweep` executor: ``--workers N`` fans
 points out over a process pool (default from ``REPRO_SWEEP_WORKERS``,
@@ -74,6 +82,22 @@ from .util.tables import AsciiTable
 from .util.units import format_bandwidth, format_time
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_service_knobs(p: argparse.ArgumentParser) -> None:
+    """Deployment knobs shared by ``serve`` and ``loadtest``."""
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="admission queue bound (beyond it: 429 queue_full)")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   help="requests/second per client_id (default: unlimited)")
+    p.add_argument("--burst", type=int, default=None,
+                   help="rate-limit burst capacity (default: rate-limit)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="micro-batch size cap")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="micro-batch coalescing window (milliseconds)")
+    p.add_argument("--default-timeout", type=float, default=30.0,
+                   help="deadline for requests that do not set timeout_s")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,7 +181,55 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_out(p_rep)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the sweep cache")
-    p_cache.add_argument("action", choices=["info", "clear"])
+    p_cache.add_argument("action", choices=["info", "stats", "clear"],
+                         help="'stats' (alias 'info') prints entry count "
+                              "and hit/miss/store/eviction counters; "
+                              "'clear' wipes the directory")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve reduction simulations over HTTP (repro.service)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8077,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="serving processes sharing the port via "
+                              "SO_REUSEPORT (POSIX; they share the "
+                              "persistent result cache, so read-through "
+                              "dedupe stays global)")
+    _add_service_knobs(p_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="replay overlapping sweep points against a service and "
+             "report latency percentiles",
+    )
+    p_load.add_argument("--url", default=None,
+                        help="target service URL (default: start an "
+                             "in-process server and drive that)")
+    p_load.add_argument("--clients", type=int, default=20,
+                        help="concurrent keep-alive client connections")
+    p_load.add_argument("--requests", type=int, default=200,
+                        help="total requests across all clients")
+    p_load.add_argument("--preset", choices=["small", "fig1"],
+                        default="small",
+                        help="request mix: 'small' (CI-sized points) or "
+                             "'fig1' (the paper's C1 grid)")
+    p_load.add_argument("--unique-points", type=int, default=12,
+                        help="distinct sweep points in the replay pool "
+                             "(smaller = more duplicate fingerprints)")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request client timeout (seconds)")
+    p_load.add_argument("--warmup", type=int, default=0,
+                        help="unrecorded warmup requests per client "
+                             "(excludes the connect storm from "
+                             "steady-state percentiles)")
+    p_load.add_argument("--out", metavar="FILE", default=None,
+                        help="write the full report (latency histogram "
+                             "JSON) to FILE")
+    _add_service_knobs(p_load)
 
     p_prof = sub.add_parser(
         "profile",
@@ -284,6 +356,186 @@ def _cmd_cache(args, machine: Machine, executor) -> int:
     return 0
 
 
+def _service_settings(args):
+    from .service import ServiceSettings
+
+    return ServiceSettings(
+        max_queue=args.max_queue,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1e3,
+        default_timeout_s=args.default_timeout,
+    )
+
+
+def _serve_one(
+    args, machine: Machine, executor, host, port,
+    reuse_port: bool = False, quiet: bool = False,
+) -> int:
+    import asyncio
+
+    from .service import ReductionService, ServiceHTTPServer
+
+    service = ReductionService(
+        machine, executor=executor, settings=_service_settings(args)
+    )
+    server = ServiceHTTPServer(service, host, port, reuse_port=reuse_port)
+
+    async def _run() -> None:
+        bound_host, bound_port = await server.start()
+        if not quiet:
+            print(f"repro service listening on "
+                  f"http://{bound_host}:{bound_port} "
+                  f"(workers={executor.workers}, "
+                  f"cache={'on' if executor.cache else 'off'}; "
+                  "Ctrl-C stops)",
+                  flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        if not quiet:
+            print("shutting down")
+    return 0
+
+
+def _serve_sharded(args, machine: Machine, executor) -> int:
+    import os
+    import signal
+    import socket
+
+    if not hasattr(socket, "SO_REUSEPORT") or not hasattr(os, "fork"):
+        print("error: --shards > 1 needs SO_REUSEPORT and fork (POSIX)",
+              file=sys.stderr)
+        return 2
+    # Reserve the port before forking (resolves --port 0) so every shard
+    # binds the same number; the placeholder never listens, so the
+    # kernel only balances connections across the shard listeners.
+    placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    placeholder.bind((args.host, args.port))
+    host, port = placeholder.getsockname()[:2]
+
+    children = []
+    for _shard in range(args.shards):
+        pid = os.fork()
+        if pid == 0:
+            code = 1
+            try:
+                placeholder.close()
+                code = _serve_one(
+                    args, machine, executor, host, port,
+                    reuse_port=True, quiet=True,
+                )
+            finally:
+                os._exit(code)
+        children.append(pid)
+    print(f"repro service listening on http://{host}:{port} "
+          f"({args.shards} shards, workers={executor.workers}/shard, "
+          f"cache={'on' if executor.cache else 'off'}; Ctrl-C stops)",
+          flush=True)
+
+    terminating = False
+
+    def _forward(_signum, _frame):
+        nonlocal terminating
+        terminating = True
+        for pid in children:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    signal.signal(signal.SIGTERM, _forward)
+    code = 0
+    try:
+        for pid in children:
+            _, status = os.waitpid(pid, 0)
+            child = os.waitstatus_to_exitcode(status)
+            if terminating and child == -signal.SIGTERM:
+                child = 0  # we asked the shard to stop; that's a clean exit
+            code = code or child
+    except KeyboardInterrupt:
+        _forward(None, None)
+        for pid in children:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                break
+        print("shutting down")
+    finally:
+        placeholder.close()
+    return code
+
+
+def _cmd_serve(args, machine: Machine, executor) -> int:
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _serve_sharded(args, machine, executor)
+    return _serve_one(args, machine, executor, args.host, args.port)
+
+
+def _cmd_loadtest(args, machine: Machine, executor) -> int:
+    import asyncio
+    import json as _json
+    from urllib.parse import urlsplit
+
+    from .service import (
+        ReductionService,
+        ServiceHTTPServer,
+        build_preset,
+        run_load,
+    )
+
+    requests = build_preset(
+        args.preset, total=args.requests, seed=args.seed,
+        unique_points=args.unique_points,
+    )
+
+    async def _run():
+        if args.url:
+            parts = urlsplit(args.url)
+            return await run_load(
+                parts.hostname or "127.0.0.1", parts.port or 80,
+                requests, clients=args.clients, timeout_s=args.timeout,
+                warmup=args.warmup,
+            )
+        service = ReductionService(
+            machine, executor=executor, settings=_service_settings(args)
+        )
+        server = ServiceHTTPServer(service, "127.0.0.1", 0)
+        host, port = await server.start()
+        try:
+            return await run_load(
+                host, port, requests,
+                clients=args.clients, timeout_s=args.timeout,
+                warmup=args.warmup,
+            )
+        finally:
+            await server.stop()
+
+    report = asyncio.run(_run())
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"latency report written to {args.out}")
+    if report.dropped:
+        print(f"error: {report.dropped} requests got no response "
+              "(the service must reject explicitly, never drop)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "sum": _cmd_sum,
@@ -292,6 +544,8 @@ _COMMANDS = {
     "coexec": _cmd_coexec,
     "report": _cmd_report,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
 }
 
 

@@ -13,6 +13,7 @@ two primitives the higher layers compose:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 import numpy as np
@@ -51,6 +52,9 @@ class Machine:
         self.trace = Trace()
         self.runtime = DeviceRuntime(self.system.gpu, icvs)
         self._workload_cache: Dict[tuple, np.ndarray] = {}
+        # The service dispatches concurrent handlers against one shared
+        # machine; lazy workload generation must not race.
+        self._workload_lock = threading.Lock()
 
     # -- hardware shortcuts ---------------------------------------------------
     @property
@@ -110,21 +114,25 @@ class Machine:
         verified workloads).
         """
         key = (case.element_type.name, self.functional_elements(case))
-        if key not in self._workload_cache:
-            rng = self.config.rng()
-            n = key[1]
-            if case.element_type.is_integer:
-                info = np.iinfo(case.element_type.numpy)
-                low = max(info.min, -100)
-                high = min(info.max, 100)
-                data = rng.integers(low, high + 1, size=n).astype(
-                    case.element_type.numpy
-                )
-            else:
-                data = rng.random(n).astype(case.element_type.numpy)
-            data.setflags(write=False)
-            self._workload_cache[key] = data
-        return self._workload_cache[key]
+        data = self._workload_cache.get(key)
+        if data is None:
+            with self._workload_lock:
+                data = self._workload_cache.get(key)
+                if data is None:
+                    rng = self.config.rng()
+                    n = key[1]
+                    if case.element_type.is_integer:
+                        info = np.iinfo(case.element_type.numpy)
+                        low = max(info.min, -100)
+                        high = min(info.max, 100)
+                        data = rng.integers(low, high + 1, size=n).astype(
+                            case.element_type.numpy
+                        )
+                    else:
+                        data = rng.random(n).astype(case.element_type.numpy)
+                    data.setflags(write=False)
+                    self._workload_cache[key] = data
+        return data
 
     def describe(self) -> str:
         return self.system.describe()

@@ -1,0 +1,166 @@
+"""Admission control: bounded queue, per-client rate limits, deadlines.
+
+A service in front of a shared compute pool must say *no* early and
+explicitly — the alternative under overload is unbounded queue growth and
+silent latency collapse.  The controller enforces three gates, in order:
+
+1. **Rate limit** — a token bucket per ``client_id`` (capacity ``burst``,
+   refilled at ``rate_limit`` requests/second).  Clients over their
+   budget get ``rate_limited`` without touching the queue.
+2. **Queue bound** — the admission queue holds at most ``max_queue``
+   pending requests; when full, new arrivals get ``queue_full``
+   immediately (a load-shedding 429, never a hang).
+3. **Deadline** — every admitted request carries an absolute deadline
+   (``timeout_s`` from the request, else the service default).  Requests
+   that expire while queued are completed with ``deadline_exceeded``
+   instead of being computed pointlessly.
+
+Every decision increments a counter in the telemetry registry
+(``service.admitted`` / ``service.rejected{reason=...}``), which is what
+the ``/metrics`` endpoint and the load harness read back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..telemetry.metrics import MetricsRegistry
+
+__all__ = ["AdmissionController", "PendingRequest", "TokenBucket"]
+
+#: Rejection reason strings (also the `reason` field of responses).
+QUEUE_FULL = "queue_full"
+RATE_LIMITED = "rate_limited"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+SHUTTING_DOWN = "shutting_down"
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` tokens, ``rate`` per second."""
+
+    __slots__ = ("capacity", "rate", "tokens", "updated")
+
+    def __init__(self, capacity: float, rate: float, now: float):
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self.tokens = float(capacity)
+        self.updated = now
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request travelling through the batcher/scheduler."""
+
+    request: Any  # SimRequest
+    key: str
+    kind: str
+    payload: tuple
+    future: "asyncio.Future"
+    enqueued_at: float
+    deadline: Optional[float] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class AdmissionController:
+    """Front gate of the service; owns the bounded admission queue.
+
+    Single-event-loop discipline: all methods are called from the
+    service's event loop, so the per-client bucket table needs no lock.
+    An idle client's bucket is dropped once ``max_clients`` distinct ids
+    are tracked (oldest-updated first), bounding memory under churn.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 256,
+        rate_limit: Optional[float] = None,
+        burst: Optional[int] = None,
+        max_clients: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if max_queue <= 0:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError(f"rate_limit must be positive, got {rate_limit}")
+        self.max_queue = max_queue
+        self.rate_limit = rate_limit
+        self.burst = burst if burst is not None else (
+            max(1, int(rate_limit)) if rate_limit else 0
+        )
+        self.max_clients = max_clients
+        self.registry = registry or MetricsRegistry()
+        self.queue: "asyncio.Queue[PendingRequest]" = asyncio.Queue(
+            maxsize=max_queue
+        )
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.closed = False
+
+    # -- decisions ------------------------------------------------------------
+    def precheck(self, client_id: str, now: float) -> Optional[str]:
+        """Gates that apply to *every* request, cache hit or not:
+        shutdown and the per-client rate limit."""
+        if self.closed:
+            return self._reject(SHUTTING_DOWN)
+        if self.rate_limit is not None:
+            if not self._bucket(client_id, now).allow(now):
+                return self._reject(RATE_LIMITED)
+        return None
+
+    def enqueue(self, pending: PendingRequest) -> Optional[str]:
+        """Bounded-queue gate; assumes :meth:`precheck` already passed."""
+        try:
+            self.queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            return self._reject(QUEUE_FULL)
+        self.registry.counter("service.admitted").add(1)
+        self.registry.gauge("service.queue_depth").set(self.queue.qsize())
+        return None
+
+    def admit(self, pending: PendingRequest, now: float) -> Optional[str]:
+        """Full admission (precheck + enqueue); returns a rejection
+        reason or ``None``.  On rejection the pending future is left
+        untouched — the caller builds the explicit rejection response."""
+        reason = self.precheck(pending.request.client_id, now)
+        if reason is not None:
+            return reason
+        return self.enqueue(pending)
+
+    def reject_expired(self, pending: PendingRequest) -> str:
+        """Record a queued request that ran out its deadline."""
+        return self._reject(DEADLINE_EXCEEDED)
+
+    def _reject(self, reason: str) -> str:
+        self.registry.counter("service.rejected", reason=reason).add(1)
+        return reason
+
+    def _bucket(self, client_id: str, now: float) -> TokenBucket:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                oldest = min(self._buckets, key=lambda c: self._buckets[c].updated)
+                del self._buckets[oldest]
+            bucket = TokenBucket(self.burst, self.rate_limit, now)
+            self._buckets[client_id] = bucket
+        return bucket
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; queued requests still drain."""
+        self.closed = True
+
+    def depth(self) -> int:
+        return self.queue.qsize()

@@ -1,0 +1,416 @@
+"""Typed request/response model for the reduction service.
+
+A :class:`SimRequest` names one reduction-simulation experiment — a
+single GPU point (Figure 1 style: case x ``KernelConfig``) or a
+co-execution p sweep (Listing 8 style: case x allocation site x
+unified-memory mode).  Requests arrive as JSON objects; :func:`parse_request`
+validates them into the typed form and every invalid field raises
+:class:`ServiceValidationError` with an operator-readable message, which
+the HTTP front end maps to a 400 response.
+
+Instead of structured fields a client may submit OpenMP ``directive``
+source (a Listing 2/5 pragma); :func:`config_from_directive` parses it
+through :mod:`repro.openmp.parser` and recovers the tuning parameters
+from the ``num_teams``/``thread_limit`` clauses.
+
+A request's identity for micro-batching and dedupe is its *fingerprint*:
+the same SHA-256 key the sweep executor uses for its persistent
+:class:`~repro.sweep.result_cache.ResultCache`, so service traffic
+coalesces not only against itself but against results any earlier CLI
+sweep already persisted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.cases import Case, case_by_name
+from ..core.coexec import AllocationSite
+from ..core.optimized import DEFAULT_THREADS, KernelConfig
+from ..core.timing import TRIALS
+from ..errors import ReproError
+from ..openmp.clauses import NumTeams, Reduction, ThreadLimit
+from ..openmp.parser import parse_pragma
+from ..sweep.executor import CoexecRequest
+
+__all__ = [
+    "ServiceValidationError",
+    "SimRequest",
+    "SimResponse",
+    "config_from_directive",
+    "next_request_id",
+    "parse_request",
+    "summarize_record",
+]
+
+#: Hard cap on trials per request — a public endpoint must bound work.
+MAX_TRIALS = 100_000
+
+#: Hard cap on declared elements (the paper's C2 is ~4.2e9).
+MAX_ELEMENTS = 1 << 40
+
+_EXPERIMENTS = ("gpu", "coexec")
+_DTYPES = ("int8", "int32", "int64", "float32", "float64")
+
+
+class ServiceValidationError(ReproError, ValueError):
+    """A service request failed validation (HTTP 400)."""
+
+
+_REQUEST_ID_PREFIX = uuid.uuid4().hex[:6]
+_REQUEST_COUNTER = itertools.count(1)
+
+
+def next_request_id() -> str:
+    """Process-unique request id.
+
+    uuid4 per request costs a urandom syscall; one random prefix plus a
+    counter is unique enough for correlation and ~10x cheaper.
+    """
+    return f"{_REQUEST_ID_PREFIX}{next(_REQUEST_COUNTER):06x}"
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceValidationError(message)
+
+
+def _as_int(obj: Dict[str, Any], key: str, default=None) -> Optional[int]:
+    value = obj.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceValidationError(f"{key!r} must be an integer, got {value!r}")
+    return value
+
+
+def config_from_directive(text: str, v: int = 1) -> Optional[KernelConfig]:
+    """Recover a :class:`KernelConfig` from OpenMP pragma source.
+
+    The directive must be an offload reduction (``target teams distribute
+    parallel for`` with a ``reduction(+:...)`` clause).  A ``num_teams``
+    clause with a literal value selects the optimized Listing 5 path —
+    the figure-axis ``teams`` value is ``num_teams * v``, mirroring the
+    paper's ``num_teams(teams/V)`` convention — while its absence selects
+    the baseline Listing 2 path (returns ``None``).  Symbolic clause
+    arguments (``num_teams(teams/V)``) are rejected: a service request
+    must be self-contained.
+    """
+    try:
+        directive = parse_pragma(text)
+    except ReproError as exc:
+        raise ServiceValidationError(f"unparsable directive: {exc}") from exc
+    _require(
+        directive.kind.is_offload and "parallel for" in directive.kind.value,
+        f"directive {directive.kind.value!r} is not an offload reduction "
+        "(expected 'target teams distribute parallel for')",
+    )
+    reduction = directive.first(Reduction)
+    _require(reduction is not None, "directive has no reduction clause")
+    _require(
+        reduction.identifier == "+",
+        f"service only sums: reduction identifier {reduction.identifier!r} "
+        "is not '+'",
+    )
+    num_teams = directive.first(NumTeams)
+    thread_limit = directive.first(ThreadLimit)
+    try:
+        threads = (
+            thread_limit.value.evaluate({}) if thread_limit else DEFAULT_THREADS
+        )
+        if num_teams is None:
+            _require(
+                v == 1,
+                "v > 1 requires a num_teams clause (the baseline heuristic "
+                "path accumulates one element per iteration)",
+            )
+            return None
+        grid = num_teams.value.evaluate({})
+    except ReproError as exc:
+        raise ServiceValidationError(
+            f"directive clause arguments must be integer literals: {exc}"
+        ) from exc
+    try:
+        return KernelConfig(teams=grid * v, v=v, threads=threads)
+    except ReproError as exc:
+        raise ServiceValidationError(f"invalid directive tuning: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One validated reduction-simulation request.
+
+    ``experiment`` selects the payload shape: ``"gpu"`` measures a single
+    (case, config) point; ``"coexec"`` runs the full Listing 8 p sweep at
+    an allocation site.  ``config=None`` is the baseline variant.
+    """
+
+    experiment: str
+    case: Case
+    config: Optional[KernelConfig] = None
+    site: AllocationSite = AllocationSite.A1
+    unified_memory: bool = True
+    trials: int = TRIALS
+    client_id: str = "anon"
+    timeout_s: Optional[float] = None
+    request_id: str = field(default_factory=next_request_id)
+
+    def payload(self) -> Tuple[str, tuple]:
+        """The executor task ``(kind, payload)`` this request maps to.
+
+        These are exactly the tuples :meth:`~repro.sweep.executor.
+        SweepExecutor.run` fingerprints and caches, so service results
+        share cache entries with CLI sweeps byte for byte.
+        """
+        if self.experiment == "gpu":
+            return "gpu_point", (self.case, self.config, self.trials, False)
+        return "coexec_sweep", (
+            CoexecRequest(
+                case=self.case,
+                site=self.site,
+                config=self.config,
+                trials=self.trials,
+                verify=False,
+                unified_memory=self.unified_memory,
+            ),
+        )
+
+    def describe(self) -> str:
+        cfg = "baseline" if self.config is None else self.config.label()
+        extra = (
+            f" site={self.site.value} um={self.unified_memory}"
+            if self.experiment == "coexec"
+            else ""
+        )
+        return (
+            f"{self.experiment}:{self.case.name} [{cfg}] "
+            f"trials={self.trials}{extra}"
+        )
+
+
+def parse_request(obj: Any, default_timeout_s: Optional[float] = None) -> SimRequest:
+    """Validate a decoded JSON object into a :class:`SimRequest`."""
+    _require(isinstance(obj, dict), "request body must be a JSON object")
+    unknown = set(obj) - {
+        "experiment", "case", "dtype", "result_dtype", "elements",
+        "directive", "teams", "v", "threads", "site", "unified_memory",
+        "trials", "client_id", "timeout_s", "request_id",
+    }
+    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
+
+    experiment = obj.get("experiment", "gpu")
+    _require(
+        experiment in _EXPERIMENTS,
+        f"experiment must be one of {_EXPERIMENTS}, got {experiment!r}",
+    )
+
+    # -- the workload: a named paper case, or dtype + elements ----------------
+    if "case" in obj:
+        _require(
+            "dtype" not in obj and "elements" not in obj,
+            "give either 'case' or 'dtype'+'elements', not both",
+        )
+        try:
+            case = case_by_name(str(obj["case"]))
+        except KeyError as exc:
+            raise ServiceValidationError(str(exc)) from exc
+    else:
+        dtype = obj.get("dtype", "int32")
+        _require(
+            dtype in _DTYPES, f"dtype must be one of {_DTYPES}, got {dtype!r}"
+        )
+        elements = _as_int(obj, "elements")
+        _require(elements is not None, "'elements' is required without 'case'")
+        _require(
+            0 < elements <= MAX_ELEMENTS,
+            f"elements must be in [1, {MAX_ELEMENTS}], got {elements}",
+        )
+        result_dtype = obj.get("result_dtype")
+        if result_dtype is not None:
+            _require(
+                result_dtype in _DTYPES,
+                f"result_dtype must be one of {_DTYPES}, got {result_dtype!r}",
+            )
+        elif dtype == "int8":
+            result_dtype = "int64"  # the paper's C2 pairing
+        else:
+            result_dtype = dtype
+        try:
+            case = Case(f"adhoc-{dtype}", dtype, result_dtype, elements)
+        except ReproError as exc:
+            raise ServiceValidationError(str(exc)) from exc
+
+    # -- the variant: directive source, tuning parameters, or baseline -------
+    v = _as_int(obj, "v", 1)
+    if "directive" in obj:
+        _require(
+            obj.get("teams") is None and obj.get("threads") is None,
+            "give either 'directive' or 'teams'/'threads', not both",
+        )
+        _require(
+            isinstance(obj["directive"], str),
+            "'directive' must be pragma source text",
+        )
+        config = config_from_directive(obj["directive"], v=v)
+    else:
+        teams = _as_int(obj, "teams")
+        threads = _as_int(obj, "threads", DEFAULT_THREADS)
+        if teams is None:
+            _require(
+                v == 1,
+                "v > 1 requires explicit teams (baseline models Listing 2)",
+            )
+            config = None
+        else:
+            try:
+                config = KernelConfig(teams=teams, v=v, threads=threads)
+            except ReproError as exc:
+                raise ServiceValidationError(str(exc)) from exc
+    if config is not None:
+        _require(
+            case.elements % config.v == 0,
+            f"v={config.v} must divide elements={case.elements} "
+            "(the Listing 5 rewrite needs M % V == 0)",
+        )
+
+    trials = _as_int(obj, "trials", TRIALS)
+    _require(
+        0 < trials <= MAX_TRIALS,
+        f"trials must be in [1, {MAX_TRIALS}], got {trials}",
+    )
+
+    site = obj.get("site", "A1")
+    try:
+        site = AllocationSite(str(site).upper())
+    except ValueError as exc:
+        raise ServiceValidationError(
+            f"site must be 'A1' or 'A2', got {site!r}"
+        ) from exc
+
+    unified_memory = obj.get("unified_memory", True)
+    _require(
+        isinstance(unified_memory, bool), "'unified_memory' must be a boolean"
+    )
+
+    timeout_s = obj.get("timeout_s", default_timeout_s)
+    if timeout_s is not None:
+        _require(
+            isinstance(timeout_s, (int, float))
+            and not isinstance(timeout_s, bool)
+            and 0 < float(timeout_s) <= 3600,
+            f"timeout_s must be in (0, 3600], got {timeout_s!r}",
+        )
+        timeout_s = float(timeout_s)
+
+    client_id = str(obj.get("client_id", "anon"))[:128]
+    kwargs: Dict[str, Any] = {}
+    if "request_id" in obj:
+        kwargs["request_id"] = str(obj["request_id"])[:64]
+    return SimRequest(
+        experiment=experiment,
+        case=case,
+        config=config,
+        site=site,
+        unified_memory=unified_memory,
+        trials=trials,
+        client_id=client_id,
+        timeout_s=timeout_s,
+        **kwargs,
+    )
+
+
+@dataclass(frozen=True)
+class SimResponse:
+    """Outcome of one service request.
+
+    ``status`` is ``"ok"``, ``"rejected"`` (admission control said no —
+    retry later), or ``"error"`` (the request itself is at fault, or the
+    computation failed after retries).  ``source`` records how an ``ok``
+    result was produced: ``"cache"`` (read-through hit against the
+    persistent result cache), ``"coalesced"`` (deduplicated onto another
+    in-flight request with the same fingerprint), or ``"computed"``.
+    """
+
+    status: str
+    request_id: str
+    fingerprint: Optional[str] = None
+    source: Optional[str] = None
+    reason: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    queue_seconds: Optional[float] = None
+    service_seconds: Optional[float] = None
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def http_status(self) -> int:
+        if self.status == "ok":
+            return 200
+        if self.status == "rejected":
+            return 429 if self.reason != "deadline_exceeded" else 504
+        return 400 if self.reason == "invalid_request" else 500
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "status": self.status,
+            "request_id": self.request_id,
+        }
+        for key in ("fingerprint", "source", "reason", "result",
+                    "queue_seconds", "service_seconds"):
+            value = getattr(self, key)
+            if value is not None:
+                doc[key] = value
+        if self.retries:
+            doc["retries"] = self.retries
+        return doc
+
+    @classmethod
+    def rejected(cls, request_id: str, reason: str) -> "SimResponse":
+        return cls(status="rejected", request_id=request_id, reason=reason)
+
+    @classmethod
+    def error(cls, request_id: str, reason: str, message: str) -> "SimResponse":
+        return cls(
+            status="error",
+            request_id=request_id,
+            reason=reason,
+            result={"message": message},
+        )
+
+
+def summarize_record(request: SimRequest, record: Dict[str, Any]) -> Dict[str, Any]:
+    """Attach a human-oriented trace summary to a raw result record.
+
+    The raw record is exactly what the executor computed and cached (so
+    ``--workers 1`` service results stay byte-identical to the direct
+    CLI path); the summary adds derived, presentation-only fields.
+    """
+    doc = dict(record)
+    if request.experiment == "gpu":
+        doc["summary"] = {
+            "case": request.case.name,
+            "variant": "baseline" if request.config is None
+            else request.config.label(),
+            "input_gb": request.case.input_bytes / 1e9,
+            "trials": request.trials,
+        }
+    else:
+        measurements = record.get("measurements", ())
+        best = max(measurements, key=lambda m: m["bandwidth_gbs"], default=None)
+        doc["summary"] = {
+            "case": request.case.name,
+            "site": request.site.value,
+            "unified_memory": request.unified_memory,
+            "points": len(measurements),
+            "best_cpu_part": best["cpu_part"] if best else None,
+            "best_bandwidth_gbs": best["bandwidth_gbs"] if best else None,
+            "migration_seconds_total": sum(
+                m["migration_seconds"] for m in measurements
+            ),
+        }
+    return doc

@@ -1,0 +1,164 @@
+"""Micro-batching: coalesce duplicates, group compatible requests.
+
+The batcher drains the admission queue into short time-boxed batches
+(first request opens a window of ``window_s`` seconds; the batch closes
+when the window expires or ``max_batch`` requests are gathered — the
+classic latency/throughput knob).  Within a batch it
+
+* **coalesces** requests with identical fingerprints: one computation,
+  every waiter gets the same record (``source="coalesced"`` for the
+  riders), and
+* **groups** the unique fingerprints by task kind (``gpu_point`` vs
+  ``coexec_sweep``) so each dispatched batch is homogeneous — exactly
+  the shape :meth:`~repro.sweep.executor.SweepExecutor.run` fans out
+  over its process pool.
+
+Requests whose deadline expired while queued are completed with an
+explicit ``deadline_exceeded`` rejection here, before any compute is
+spent on them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional
+
+from ..telemetry.metrics import MetricsRegistry
+from .admission import PendingRequest
+from .api import SimResponse
+
+__all__ = ["MicroBatch", "MicroBatcher"]
+
+#: Batch-size histogram buckets (requests per dispatched batch).
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+@dataclass
+class MicroBatch:
+    """One homogeneous batch: unique payloads plus their waiters."""
+
+    kind: str
+    #: fingerprint key -> every pending request that wants this result,
+    #: in arrival order (the first is the "owner", the rest coalesced).
+    entries: Dict[str, List[PendingRequest]] = field(default_factory=dict)
+
+    @property
+    def unique(self) -> int:
+        return len(self.entries)
+
+    @property
+    def waiters(self) -> int:
+        return sum(len(v) for v in self.entries.values())
+
+
+DispatchFn = Callable[[MicroBatch], Awaitable[None]]
+
+
+class MicroBatcher:
+    """Pulls admitted requests and dispatches coalesced micro-batches."""
+
+    def __init__(
+        self,
+        queue: "asyncio.Queue[PendingRequest]",
+        dispatch: DispatchFn,
+        max_batch: int = 64,
+        window_s: float = 0.002,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        self.queue = queue
+        self.dispatch = dispatch
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self.registry = registry or MetricsRegistry()
+        self._task: Optional[asyncio.Task] = None
+        self._inflight: "set[asyncio.Task]" = set()
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-service-batcher"
+            )
+
+    async def stop(self) -> None:
+        """Stop pulling; waits for already-dispatched batches to finish."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+
+    async def drain(self) -> None:
+        """Wait until the queue is empty and every dispatch completed."""
+        while self.queue.qsize() or self._inflight:
+            if self._inflight:
+                await asyncio.gather(*self._inflight, return_exceptions=True)
+            else:
+                await asyncio.sleep(0)
+
+    # -- the pull loop --------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self.queue.get()
+            batch = [first]
+            deadline = loop.time() + self.window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    # Window closed; still sweep anything already queued.
+                    while (
+                        len(batch) < self.max_batch and self.queue.qsize()
+                    ):
+                        batch.append(self.queue.get_nowait())
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self.queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._flush(batch, loop.time())
+
+    def _flush(self, batch: List[PendingRequest], now: float) -> None:
+        groups: Dict[str, MicroBatch] = {}
+        coalesced = 0
+        for pending in batch:
+            if pending.future.done():
+                continue  # caller timed out / disconnected meanwhile
+            if pending.expired(now):
+                pending.future.set_result(
+                    SimResponse.rejected(
+                        pending.request.request_id, "deadline_exceeded"
+                    )
+                )
+                self.registry.counter(
+                    "service.rejected", reason="deadline_exceeded"
+                ).add(1)
+                continue
+            group = groups.setdefault(pending.kind, MicroBatch(pending.kind))
+            waiters = group.entries.setdefault(pending.key, [])
+            if waiters:
+                coalesced += 1
+            waiters.append(pending)
+        if coalesced:
+            self.registry.counter("service.coalesced").add(coalesced)
+        for group in groups.values():
+            self.registry.counter("service.batches").add(1)
+            self.registry.histogram(
+                "service.batch_size", boundaries=BATCH_BUCKETS
+            ).observe(group.waiters)
+            task = asyncio.get_running_loop().create_task(
+                self.dispatch(group)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)

@@ -1,0 +1,348 @@
+"""Load generator + latency-percentile harness for the service.
+
+Drives a running service the way the paper's workload would arrive in
+production: many concurrent clients replaying *overlapping* Figure-1
+sweep points (a small pool of unique (case, config) points sampled with
+replacement, so most fingerprints are duplicates — exactly what the
+micro-batcher and dedupe tiers exist for).
+
+Each client holds one keep-alive connection and fires its share of
+requests back to back; the harness records per-request wall latency,
+status, and the server-reported ``source`` (cache / coalesced /
+computed), then reduces them to percentiles and a fixed-bucket histogram
+suitable for CI artifacts.  A request that gets no response at all
+(connection error, truncated reply) counts as **dropped** — the service
+contract is that this number is zero: overload must surface as explicit
+``rejected`` responses, never as silence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..util.tables import AsciiTable
+
+__all__ = ["LoadReport", "build_preset", "percentile", "run_load"]
+
+#: Latency histogram bucket upper bounds (seconds).
+HIST_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0
+)
+
+#: Reported percentiles.
+PERCENTILES = (50.0, 90.0, 95.0, 99.0, 100.0)
+
+
+def build_preset(
+    name: str = "small",
+    total: int = 200,
+    seed: int = 0,
+    unique_points: int = 12,
+) -> List[Dict[str, Any]]:
+    """A request list replaying overlapping Fig.-1 sweep points.
+
+    ``small`` shrinks the declared problem so a CI runner computes each
+    unique point in milliseconds; ``fig1`` uses the paper's real C1 grid.
+    Points are drawn with replacement from a pool of ``unique_points``
+    configs, so duplicate fingerprints dominate — the dedupe workload.
+    """
+    rng = random.Random(seed)
+    if name == "small":
+        base: Dict[str, Any] = {
+            "dtype": "int32", "elements": 1 << 16, "trials": 5,
+        }
+        grid = [
+            {"teams": teams, "v": v}
+            for teams in (128, 256, 512, 1024, 2048, 4096)
+            for v in (1, 2, 4, 8)
+            if teams >= v
+        ]
+    elif name == "fig1":
+        base = {"case": "C1", "trials": 200}
+        grid = [
+            {"teams": teams, "v": v}
+            for teams in (1024, 4096, 16384, 65536, 132096)
+            for v in (1, 2, 4, 8)
+            if teams >= v and (1_048_576_000 % v) == 0
+        ]
+    else:
+        raise ValueError(f"unknown preset {name!r}; expected 'small' or 'fig1'")
+    pool = [dict(base, **point) for point in grid[: max(1, unique_points)]]
+    return [dict(rng.choice(pool)) for _ in range(total)]
+
+
+def percentile(samples: List[float], pct: float) -> float:
+    """Nearest-rank percentile of *samples* (0 for an empty list)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    sent: int = 0
+    ok: int = 0
+    rejected: int = 0
+    errors: int = 0
+    dropped: int = 0
+    wall_seconds: float = 0.0
+    by_source: Dict[str, int] = field(default_factory=dict)
+    by_reason: Dict[str, int] = field(default_factory=dict)
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(
+        self, outcome: str, latency: float,
+        source: Optional[str], reason: Optional[str],
+    ) -> None:
+        self.sent += 1
+        if outcome == "ok":
+            self.ok += 1
+            self.by_source[source or "?"] = (
+                self.by_source.get(source or "?", 0) + 1
+            )
+        elif outcome == "rejected":
+            self.rejected += 1
+            self.by_reason[reason or "?"] = (
+                self.by_reason.get(reason or "?", 0) + 1
+            )
+        elif outcome == "dropped":
+            self.dropped += 1
+        else:
+            self.errors += 1
+            self.by_reason[reason or "?"] = (
+                self.by_reason.get(reason or "?", 0) + 1
+            )
+        self.latencies.setdefault(outcome, []).append(latency)
+        if outcome == "ok" and source:
+            self.latencies.setdefault(f"ok:{source}", []).append(latency)
+
+    # -- reductions -----------------------------------------------------------
+    def percentiles(self, key: str = "ok") -> Dict[str, float]:
+        samples = self.latencies.get(key, [])
+        return {f"p{pct:g}": percentile(samples, pct) for pct in PERCENTILES}
+
+    def histogram(self, key: str = "ok") -> Dict[str, Any]:
+        samples = self.latencies.get(key, [])
+        counts = [0] * (len(HIST_BUCKETS) + 1)
+        for value in samples:
+            for i, bound in enumerate(HIST_BUCKETS):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        return {
+            "boundaries_s": list(HIST_BUCKETS),
+            "counts": counts,
+            "count": len(samples),
+            "sum_s": sum(samples),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.sent / self.wall_seconds
+            if self.wall_seconds else 0.0,
+            "by_source": dict(sorted(self.by_source.items())),
+            "by_reason": dict(sorted(self.by_reason.items())),
+            "percentiles_s": {
+                key: self.percentiles(key)
+                for key in sorted(self.latencies)
+            },
+            "histogram": {
+                key: self.histogram(key) for key in sorted(self.latencies)
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"sent {self.sent} in {self.wall_seconds:.2f} s "
+            f"({self.sent / self.wall_seconds:.0f} req/s): "
+            f"{self.ok} ok, {self.rejected} rejected, "
+            f"{self.errors} errors, {self.dropped} dropped"
+            if self.wall_seconds
+            else f"sent {self.sent}: {self.ok} ok, {self.rejected} rejected, "
+                 f"{self.errors} errors, {self.dropped} dropped",
+        ]
+        if self.by_source:
+            lines.append(
+                "sources: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.by_source.items())
+                )
+            )
+        if self.by_reason:
+            lines.append(
+                "reasons: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.by_reason.items())
+                )
+            )
+        keys = [k for k in ("ok", "ok:cache", "ok:coalesced", "ok:computed")
+                if self.latencies.get(k)]
+        if keys:
+            table = AsciiTable(
+                ["latency (ms)"] + [f"p{p:g}" for p in PERCENTILES],
+                float_format="{:.2f}",
+            )
+            for key in keys:
+                pcts = self.percentiles(key)
+                table.add_row(
+                    [key] + [pcts[f"p{p:g}"] * 1e3 for p in PERCENTILES]
+                )
+            lines.append(table.render())
+        return "\n".join(lines)
+
+
+async def _read_http_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Any]:
+    try:
+        blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionError("server closed the connection") from exc
+    lines = blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    length = 0
+    for text in lines[1:]:
+        name, _, value = text.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, json.loads(body.decode("utf-8")) if body else None
+
+
+async def _client_worker(
+    host: str,
+    port: int,
+    client_id: str,
+    requests: List[Dict[str, Any]],
+    report: LoadReport,
+    timeout_s: float,
+    warmup: int = 0,
+) -> None:
+    reader = writer = None
+    # Serialize every request up front: encoding cost must not pollute
+    # the latency measurement, and identical bodies let the server's
+    # parse memo work.
+    blobs = []
+    for entry in requests:
+        body = json.dumps(
+            dict(entry, client_id=client_id), separators=(",", ":")
+        ).encode()
+        blobs.append(
+            (
+                f"POST /simulate HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+    try:
+        # Unrecorded warmup: absorbs the connect storm and cold server
+        # memos so steady-state percentiles measure the service, not the
+        # first round trip.
+        for i in range(warmup if blobs else 0):
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(host, port)
+                writer.write(blobs[i % len(blobs)])
+                await writer.drain()
+                await asyncio.wait_for(_read_http_response(reader), timeout_s)
+            except (
+                ConnectionError, OSError,
+                asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ValueError,
+            ):
+                if writer is not None:
+                    writer.close()
+                reader = writer = None
+        for blob in blobs:
+            started = time.perf_counter()
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(host, port)
+                writer.write(blob)
+                await writer.drain()
+                _status, doc = await asyncio.wait_for(
+                    _read_http_response(reader), timeout_s
+                )
+            except (
+                ConnectionError, OSError,
+                asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ValueError,
+            ):
+                report.record(
+                    "dropped", time.perf_counter() - started, None, None
+                )
+                if writer is not None:
+                    writer.close()
+                reader = writer = None
+                continue
+            latency = time.perf_counter() - started
+            status_field = (doc or {}).get("status", "error")
+            report.record(
+                "ok" if status_field == "ok"
+                else "rejected" if status_field == "rejected"
+                else "error",
+                latency,
+                (doc or {}).get("source"),
+                (doc or {}).get("reason"),
+            )
+    finally:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def run_load(
+    host: str,
+    port: int,
+    requests: List[Dict[str, Any]],
+    clients: int = 20,
+    timeout_s: float = 30.0,
+    client_prefix: str = "loadgen",
+    warmup: int = 0,
+) -> LoadReport:
+    """Replay *requests* against ``host:port`` from ``clients`` connections.
+
+    The request list is dealt round-robin across clients, all of which
+    run concurrently.  Each client first replays ``warmup`` unrecorded
+    requests from its share.  Returns the aggregated :class:`LoadReport`.
+    """
+    if clients <= 0:
+        raise ValueError(f"clients must be positive, got {clients}")
+    report = LoadReport()
+    shares: List[List[Dict[str, Any]]] = [[] for _ in range(clients)]
+    for i, entry in enumerate(requests):
+        shares[i % clients].append(entry)
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client_worker(
+                host, port, f"{client_prefix}-{i}", share, report, timeout_s,
+                warmup=warmup,
+            )
+            for i, share in enumerate(shares)
+            if share
+        )
+    )
+    report.wall_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,429 @@
+"""Scheduler + service facade: cache read-through, dedupe, retries.
+
+The :class:`Scheduler` turns a :class:`~repro.service.batcher.MicroBatch`
+into resolved responses, in three tiers:
+
+1. **In-flight dedupe** — a fingerprint already being computed (by an
+   earlier batch) is joined, not recomputed; the rider resolves when the
+   owner does (``source="coalesced"``).
+2. **Cache read-through** — fingerprints present in the persistent
+   :class:`~repro.sweep.result_cache.ResultCache` resolve immediately
+   (``source="cache"``); this is the path that must stay inside the
+   service's p99 latency budget, and it is shared with the CLI sweep
+   cache, so a ``repro sweep`` run pre-warms the service.
+3. **Compute** — remaining fingerprints go to the PR-1
+   :class:`~repro.sweep.executor.SweepExecutor` (process-pool fan-out)
+   on a dispatch thread, with bounded retry-with-jitter around worker
+   failure.  Results are persisted by the executor's own write path, so
+   every other tier benefits next time.
+
+:class:`ReductionService` wires admission -> batcher -> scheduler into
+one object with ``start``/``submit``/``stop``; the HTTP front end and
+the in-process test/benchmark harnesses both sit on top of it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.machine import Machine
+from ..errors import ReproError
+from ..sweep.executor import SweepExecutor
+from ..sweep.result_cache import open_result_cache
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.state import get_telemetry
+from .admission import AdmissionController, PendingRequest
+from .api import SimRequest, SimResponse, summarize_record
+from .batcher import MicroBatch, MicroBatcher
+
+__all__ = ["ServiceSettings", "Scheduler", "ReductionService"]
+
+#: Latency histogram buckets (seconds): 100 us .. 30 s.
+LATENCY_BUCKETS = (
+    1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 30.0
+)
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Deployment knobs for one service instance (see docs/SERVICE.md)."""
+
+    max_queue: int = 256
+    rate_limit: Optional[float] = None  # requests/second/client; None = off
+    burst: Optional[int] = None  # bucket capacity; None = max(1, rate_limit)
+    max_batch: int = 64
+    batch_window_s: float = 0.002
+    default_timeout_s: Optional[float] = 30.0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    retry_jitter_s: float = 0.05
+    retry_seed: int = 0
+    dispatch_threads: int = 1
+
+
+class Scheduler:
+    """Resolves micro-batches against cache, in-flight work, and compute."""
+
+    def __init__(
+        self,
+        executor: SweepExecutor,
+        settings: ServiceSettings,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.executor = executor
+        self.settings = settings
+        self.registry = registry or MetricsRegistry()
+        self._rng = random.Random(settings.retry_seed)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, settings.dispatch_threads),
+            thread_name_prefix="repro-service-dispatch",
+        )
+        #: fingerprint -> future resolving to the computed record.
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        #: (kind, payload) -> fingerprint.  SHA-256 over canonical JSON
+        #: costs ~40 us; replayed sweep points hit this dict instead.
+        self._key_cache: Dict[tuple, str] = {}
+
+    def cache_key(self, kind: str, payload: tuple) -> str:
+        memo_key = (kind, payload)
+        try:
+            cached = self._key_cache.get(memo_key)
+        except TypeError:  # unhashable payload: compute every time
+            return self.executor.cache_key(kind, payload)
+        if cached is None:
+            cached = self.executor.cache_key(kind, payload)
+            if len(self._key_cache) < 65536:
+                self._key_cache[memo_key] = cached
+        return cached
+
+    # -- batch resolution -----------------------------------------------------
+    async def dispatch(self, batch: MicroBatch) -> None:
+        """Resolve every waiter in *batch*; never raises."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        joined: List[Tuple[str, "asyncio.Future"]] = []
+        to_compute: List[str] = []
+        for key, waiters in batch.entries.items():
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                joined.append((key, inflight))
+                self.registry.counter("service.inflight_joined").add(
+                    len(waiters)
+                )
+                continue
+            cached = self.executor.cache.get(key) if self.executor.cache else None
+            if cached is not None:
+                self.registry.counter("service.cache_hits").add(len(waiters))
+                self._resolve(batch.entries[key], cached, "cache", started)
+                continue
+            to_compute.append(key)
+        if to_compute:
+            record_futures = {
+                key: loop.create_future() for key in to_compute
+            }
+            self._inflight.update(record_futures)
+            try:
+                await self._compute(batch, to_compute, started)
+            finally:
+                for key in to_compute:
+                    future = self._inflight.pop(key, None)
+                    if future is not None and not future.done():
+                        future.cancel()
+        for key, inflight in joined:
+            try:
+                record = await asyncio.shield(inflight)
+            except (asyncio.CancelledError, Exception):
+                self._fail(
+                    batch.entries[key],
+                    "compute_failed",
+                    "the computation this request coalesced onto failed",
+                )
+                continue
+            self._resolve(batch.entries[key], record, "coalesced", started)
+
+    async def _compute(
+        self, batch: MicroBatch, keys: List[str], started: float
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        payloads = [batch.entries[key][0].payload for key in keys]
+        attempt = 0
+        while True:
+            try:
+                records = await loop.run_in_executor(
+                    self._pool,
+                    self.executor.run,
+                    batch.kind,
+                    payloads,
+                    f"service-{batch.kind}",
+                )
+                break
+            except Exception as exc:
+                if attempt >= self.settings.max_retries:
+                    self.registry.counter("service.errors").add(len(keys))
+                    for key in keys:
+                        self._fail(
+                            batch.entries[key],
+                            "compute_failed",
+                            f"{type(exc).__name__}: {exc}",
+                            retries=attempt,
+                        )
+                    return
+                attempt += 1
+                self.registry.counter("service.retries").add(1)
+                delay = (
+                    self.settings.retry_backoff_s * (2 ** (attempt - 1))
+                    + self._rng.uniform(0, self.settings.retry_jitter_s)
+                )
+                await asyncio.sleep(delay)
+        self.registry.counter("service.computed").add(len(keys))
+        for key, record in zip(keys, records):
+            inflight = self._inflight.get(key)
+            if inflight is not None and not inflight.done():
+                inflight.set_result(record)
+            self._resolve(
+                batch.entries[key], record, "computed", started,
+                retries=attempt,
+            )
+
+    # -- waiter resolution ----------------------------------------------------
+    def _resolve(
+        self,
+        waiters: List[PendingRequest],
+        record: dict,
+        source: str,
+        dispatch_started: float,
+        retries: int = 0,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for i, pending in enumerate(waiters):
+            if pending.future.done():
+                continue
+            # Within one batch only the first waiter "computed"; the rest
+            # coalesced onto it.  Cache hits serve every waiter equally.
+            waiter_source = (
+                source if (i == 0 or source == "cache") else "coalesced"
+            )
+            latency = now - pending.enqueued_at
+            self.registry.histogram(
+                "service.latency_seconds",
+                boundaries=LATENCY_BUCKETS,
+                source=waiter_source,
+            ).observe(latency)
+            self.registry.counter("service.completed", status="ok").add(1)
+            pending.future.set_result(
+                SimResponse(
+                    status="ok",
+                    request_id=pending.request.request_id,
+                    fingerprint=pending.key,
+                    source=waiter_source,
+                    result=summarize_record(pending.request, record),
+                    queue_seconds=round(
+                        dispatch_started - pending.enqueued_at, 9
+                    ),
+                    service_seconds=round(latency, 9),
+                    retries=retries,
+                )
+            )
+
+    def _fail(
+        self,
+        waiters: List[PendingRequest],
+        reason: str,
+        message: str,
+        retries: int = 0,
+    ) -> None:
+        self.registry.counter("service.completed", status="error").add(
+            len(waiters)
+        )
+        for pending in waiters:
+            if not pending.future.done():
+                pending.future.set_result(
+                    SimResponse(
+                        status="error",
+                        request_id=pending.request.request_id,
+                        reason=reason,
+                        result={"message": message},
+                        retries=retries,
+                    )
+                )
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ReductionService:
+    """Admission -> micro-batcher -> scheduler, behind one async facade.
+
+    Parameters
+    ----------
+    machine:
+        The simulated node requests are evaluated against.
+    executor:
+        A configured :class:`SweepExecutor`; built from *machine* (with
+        the default persistent cache) when omitted.  ``workers=1`` keeps
+        every result byte-identical to the direct CLI path.
+    settings:
+        Deployment knobs; see :class:`ServiceSettings`.
+    registry:
+        Metrics sink; defaults to the process-global telemetry registry
+        so ``/metrics`` and ``repro profile`` see service counters.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        executor: Optional[SweepExecutor] = None,
+        settings: Optional[ServiceSettings] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.machine = machine or Machine()
+        self.settings = settings or ServiceSettings()
+        self.registry = registry or get_telemetry().registry
+        if executor is None:
+            executor = SweepExecutor(
+                self.machine,
+                cache=open_result_cache(self.machine.config.sweep_cache_dir),
+            )
+        self.executor = executor
+        self.scheduler = Scheduler(executor, self.settings, self.registry)
+        self.admission = AdmissionController(
+            max_queue=self.settings.max_queue,
+            rate_limit=self.settings.rate_limit,
+            burst=self.settings.burst,
+            registry=self.registry,
+        )
+        self.batcher = MicroBatcher(
+            self.admission.queue,
+            self.scheduler.dispatch,
+            max_batch=self.settings.max_batch,
+            window_s=self.settings.batch_window_s,
+            registry=self.registry,
+        )
+        self._started = False
+        # Hot-path instrument handles, resolved once: registry lookups
+        # sort label tuples and take a lock, which shows up at load.
+        self._c_requests = self.registry.counter("service.requests")
+        self._c_cache_hits = self.registry.counter("service.cache_hits")
+        self._c_ok = self.registry.counter("service.completed", status="ok")
+        self._c_err = self.registry.counter(
+            "service.completed", status="error"
+        )
+        self._h_cache_latency = self.registry.histogram(
+            "service.latency_seconds",
+            boundaries=LATENCY_BUCKETS,
+            source="cache",
+        )
+        #: fingerprint -> summarized result document.  The summary is a
+        #: pure function of fields the fingerprint already hashes, so
+        #: repeats of a point can share it.
+        self._summary_cache: Dict[str, Dict[str, Any]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        self.batcher.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Graceful: stop admitting, drain the queue, stop the batcher."""
+        self.admission.close()
+        if self._started:
+            await self.batcher.drain()
+            await self.batcher.stop()
+        self.scheduler.shutdown()
+        self._started = False
+
+    # -- the front door -------------------------------------------------------
+    async def submit(self, request: SimRequest) -> SimResponse:
+        """Run one request through the full pipeline; always responds.
+
+        Admission rejections come back immediately as explicit
+        ``rejected`` responses; admitted requests resolve when their
+        batch does (every path through the scheduler resolves the
+        future, so a submit never hangs).
+        """
+        if not self._started:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        self._c_requests.add(1)
+        try:
+            kind, payload = request.payload()
+            key = self.scheduler.cache_key(kind, payload)
+        except ReproError as exc:
+            self._c_err.add(1)
+            return SimResponse.error(
+                request.request_id, "invalid_request", str(exc)
+            )
+        now = loop.time()
+        reason = self.admission.precheck(request.client_id, now)
+        if reason is not None:
+            return SimResponse.rejected(request.request_id, reason)
+        # Fast path: persistent-cache hits answer inline, skipping the
+        # queue -> batcher -> dispatch hops entirely.  This is what keeps
+        # cache-hit latency flat under load, and it means a full queue
+        # sheds only work that would actually cost compute.
+        if self.executor.cache is not None:
+            cached = self.executor.cache.get(key)
+            if cached is not None:
+                self._c_cache_hits.add(1)
+                latency = loop.time() - now
+                self._h_cache_latency.observe(latency)
+                self._c_ok.add(1)
+                result = self._summary_cache.get(key)
+                if result is None:
+                    result = summarize_record(request, cached)
+                    if len(self._summary_cache) >= 4096:
+                        self._summary_cache.clear()
+                    self._summary_cache[key] = result
+                return SimResponse(
+                    status="ok",
+                    request_id=request.request_id,
+                    fingerprint=key,
+                    source="cache",
+                    result=result,
+                    queue_seconds=0.0,
+                    service_seconds=round(latency, 9),
+                )
+        timeout = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.settings.default_timeout_s
+        )
+        pending = PendingRequest(
+            request=request,
+            key=key,
+            kind=kind,
+            payload=payload,
+            future=loop.create_future(),
+            enqueued_at=now,
+            deadline=(now + timeout) if timeout is not None else None,
+        )
+        reason = self.admission.enqueue(pending)
+        if reason is not None:
+            return SimResponse.rejected(request.request_id, reason)
+        return await pending.future
+
+    async def submit_many(self, requests: List[SimRequest]) -> List[SimResponse]:
+        """Submit a client batch concurrently; order is preserved."""
+        return list(
+            await asyncio.gather(*(self.submit(r) for r in requests))
+        )
+
+    # -- introspection --------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok" if not self.admission.closed else "draining",
+            "queue_depth": self.admission.depth(),
+            "max_queue": self.settings.max_queue,
+            "inflight_fingerprints": len(self.scheduler._inflight),
+            "workers": self.executor.workers,
+            "cache": (
+                self.executor.cache.describe()
+                if self.executor.cache is not None
+                else "disabled"
+            ),
+        }

@@ -11,8 +11,13 @@ abandons every old entry.
 
 An in-memory layer fronts the files so repeated stages inside one run
 (e.g. ``full_report`` regenerating figures the driver already produced)
-hit without touching disk.  Unreadable or corrupt entries are treated as
-misses and overwritten.
+hit without touching disk.  Corrupt or truncated entries (a crash or
+power loss mid-write predating the atomic-replace path, or stray bytes
+from another tool) are treated as misses and *evicted*, so one bad file
+cannot poison every later run.  Writes are crash-safe: a temp file in
+the same directory is fsynced and ``os.replace``d into place, so readers
+only ever observe complete entries.  A lock makes the in-memory layer
+and counters safe under the service's concurrent handlers.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -43,32 +49,53 @@ class ResultCache:
     def __init__(self, directory: "Path | str | None" = None):
         self.directory = Path(directory) if directory else default_cache_dir()
         self._memory: Dict[str, Any] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> Optional[Any]:
-        """The cached value for *key*, or ``None`` on a miss."""
-        if key in self._memory:
-            self.hits += 1
-            return self._memory[key]
+        """The cached value for *key*, or ``None`` on a miss.
+
+        A corrupt or truncated on-disk entry is evicted (unlinked) and
+        counts as a miss — never raises toward the caller.
+        """
+        with self._lock:
+            if key in self._memory:
+                self.hits += 1
+                return self._memory[key]
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 value = json.load(fh)
-        except (OSError, ValueError):
-            self.misses += 1
+        except ValueError:
+            # Truncated/corrupt JSON: evict the bad file so it cannot
+            # shadow a future good write or re-fail every reader.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            with self._lock:
+                self.misses += 1
+                self.evictions += 1
             return None
-        self._memory[key] = value
-        self.hits += 1
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self._memory[key] = value
+            self.hits += 1
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store *value* under *key* (atomic file replace)."""
-        self._memory[key] = value
+        """Store *value* under *key* (crash-safe: fsync + atomic replace)."""
+        with self._lock:
+            self._memory[key] = value
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -77,6 +104,8 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:
                     json.dump(value, fh)
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 os.replace(tmp, self._path(key))
             except BaseException:
                 try:
@@ -84,7 +113,8 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
-            self.stores += 1
+            with self._lock:
+                self.stores += 1
         except OSError:
             # Read-only or full filesystem: keep the in-memory copy and
             # carry on — caching is an optimization, never a requirement.
@@ -92,7 +122,8 @@ class ResultCache:
 
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
@@ -110,10 +141,15 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def describe(self) -> str:
+        evicted = (
+            f", {self.evictions} corrupt entries evicted"
+            if self.evictions else ""
+        )
         return (
             f"result cache at {self.directory} "
             f"({self.entry_count()} entries; this process: "
-            f"{self.hits} hits, {self.misses} misses, {self.stores} stores)"
+            f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+            f"{evicted})"
         )
 
 

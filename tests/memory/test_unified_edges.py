@@ -1,0 +1,139 @@
+"""Edge cases of the unified-memory manager: zero-byte ranges,
+capacity limits, and access-counter migration ties."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.hardware import grace_hopper
+from repro.memory.unified import CpuReadPlan, UnifiedMemoryManager
+from repro.sim.trace import Trace
+
+PAGE = 65536
+
+
+@pytest.fixture()
+def um():
+    return UnifiedMemoryManager(grace_hopper(), Trace())
+
+
+class TestZeroByteRanges:
+    def test_gpu_read_of_empty_range_is_free(self, um):
+        alloc = um.allocate(4 * PAGE)
+        um.cpu_first_touch(alloc)
+        plan = um.gpu_read(alloc, offset=PAGE, nbytes=0)
+        assert (plan.hbm_bytes, plan.migrated_bytes) == (0, 0)
+        assert plan.migration_seconds == 0.0
+        # no residency side effects either
+        assert alloc.residency_counts() == (0, 4, 0)
+
+    def test_cpu_read_of_empty_range_is_free(self, um):
+        alloc = um.allocate(4 * PAGE)
+        um.gpu_read(alloc)  # everything HBM-resident
+        plan = um.cpu_read(alloc, nbytes=0)
+        assert (plan.local_bytes, plan.remote_bytes) == (0, 0)
+        assert plan.migrated_back_bytes == 0
+        assert alloc.residency_counts() == (0, 0, 4)
+
+    def test_read_at_end_of_allocation(self, um):
+        # offset == nbytes: the implicit "rest of the allocation" is empty
+        alloc = um.allocate(2 * PAGE)
+        plan = um.gpu_read(alloc, offset=2 * PAGE)
+        assert (plan.hbm_bytes, plan.migrated_bytes) == (0, 0)
+
+    def test_empty_plan_bandwidth_falls_back_to_local(self):
+        plan = CpuReadPlan(local_bytes=0, remote_bytes=0)
+        assert plan.effective_bandwidth_gbs(400.0, 100.0) == 400.0
+
+    def test_zero_byte_allocation_rejected(self, um):
+        with pytest.raises(Exception):
+            um.allocate(0)
+
+
+class TestCapacity:
+    def test_over_capacity_allocation_raises(self, um):
+        cap = um.system.cpu.memory.capacity_bytes
+        with pytest.raises(AllocationError, match="exceeds system memory"):
+            um.allocate(cap + 1)
+
+    def test_at_capacity_allocation_succeeds(self, um):
+        cap = um.system.cpu.memory.capacity_bytes
+        alloc = um.allocate(cap)
+        assert alloc.nbytes == cap
+        um.free(alloc)
+
+    def test_failed_allocation_leaves_no_residue(self, um):
+        cap = um.system.cpu.memory.capacity_bytes
+        with pytest.raises(AllocationError):
+            um.allocate(cap + 1)
+        assert um.live_allocations == 0
+        # address space untouched: a full-size allocation still fits
+        alloc = um.allocate(cap)
+        um.free(alloc)
+
+
+class TestAccessCounterTies:
+    """Pages whose counters reach the threshold on the same read all
+    migrate together, and their counters reset."""
+
+    def _manager(self, threshold):
+        return UnifiedMemoryManager(
+            grace_hopper(), Trace(), access_counter_threshold=threshold
+        )
+
+    def test_simultaneous_threshold_all_migrate(self):
+        um = self._manager(threshold=2)
+        alloc = um.allocate(4 * PAGE)
+        um.gpu_read(alloc)  # all pages HBM-resident, counters 0
+        first = um.cpu_read(alloc)  # counters -> 1, below threshold
+        assert first.migrated_back_bytes == 0
+        assert first.remote_bytes == 4 * PAGE
+        second = um.cpu_read(alloc)  # counters -> 2: 4-way tie
+        assert second.migrated_back_bytes == 4 * PAGE
+        assert second.migration_seconds > 0
+        assert alloc.residency_counts() == (0, 4, 0)
+
+    def test_counters_reset_after_migration(self):
+        um = self._manager(threshold=1)
+        alloc = um.allocate(2 * PAGE)
+        um.gpu_read(alloc)
+        um.cpu_read(alloc)  # migrates back immediately
+        # re-migrate to the GPU; counters must start from zero again
+        um.gpu_read(alloc)
+        plan = um.cpu_read(alloc)
+        assert plan.migrated_back_bytes == 2 * PAGE
+
+    def test_partial_range_tie_only_moves_window(self):
+        um = self._manager(threshold=1)
+        alloc = um.allocate(4 * PAGE)
+        um.gpu_read(alloc)
+        plan = um.cpu_read(alloc, offset=0, nbytes=2 * PAGE)
+        assert plan.migrated_back_bytes == 2 * PAGE
+        # pages outside the window stayed on the GPU
+        assert alloc.residency_counts() == (0, 2, 2)
+
+    def test_mixed_residency_counts_only_gpu_pages(self):
+        um = self._manager(threshold=1)
+        alloc = um.allocate(4 * PAGE)
+        um.cpu_first_touch(alloc, 0, 2 * PAGE)  # half CPU
+        um.gpu_read(alloc, 2 * PAGE, 2 * PAGE)  # half GPU
+        plan = um.cpu_read(alloc)
+        # only the two GPU-resident pages hit the counter and migrate
+        assert plan.migrated_back_bytes == 2 * PAGE
+        assert alloc.residency_counts() == (0, 4, 0)
+
+    def test_default_policy_never_migrates_back(self, um):
+        alloc = um.allocate(4 * PAGE)
+        um.gpu_read(alloc)
+        for _ in range(50):  # the paper's 200-trial A1 CPU-only pattern
+            plan = um.cpu_read(alloc)
+            assert plan.migrated_back_bytes == 0
+        assert alloc.residency_counts() == (0, 0, 4)
+
+    def test_record_remote_reads_returns_moved_count(self):
+        um = self._manager(threshold=3)
+        alloc = um.allocate(3 * PAGE)
+        um.gpu_read(alloc)
+        assert alloc.record_remote_reads(0, 3 * PAGE, 3) == 0
+        assert alloc.record_remote_reads(0, 3 * PAGE, 3) == 0
+        assert alloc.record_remote_reads(0, 3 * PAGE, 3) == 3
+        assert alloc.residency_counts() == (0, 3, 0)

@@ -1,0 +1,132 @@
+"""Admission control: token buckets, queue bound, deadlines."""
+
+import asyncio
+
+import pytest
+
+from repro.service import TokenBucket
+from repro.service.admission import (
+    DEADLINE_EXCEEDED,
+    QUEUE_FULL,
+    RATE_LIMITED,
+    SHUTTING_DOWN,
+    AdmissionController,
+    PendingRequest,
+)
+from repro.service.api import parse_request
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _pending(controller, client_id="c", deadline=None, loop=None):
+    request = parse_request({"elements": 64, "client_id": client_id})
+    return PendingRequest(
+        request=request,
+        key="k",
+        kind="gpu_point",
+        payload=(),
+        future=loop.create_future() if loop else asyncio.Future(),
+        enqueued_at=0.0,
+        deadline=deadline,
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(capacity=2, rate=1.0, now=0.0)
+        assert bucket.allow(0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+
+    def test_refill(self):
+        bucket = TokenBucket(capacity=1, rate=2.0, now=0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.1)
+        assert bucket.allow(1.0)  # 0.9 s * 2/s > 1 token
+
+    def test_tokens_capped_at_capacity(self):
+        bucket = TokenBucket(capacity=2, rate=100.0, now=0.0)
+        bucket.allow(10.0)
+        assert bucket.tokens == pytest.approx(1.0)
+
+
+class TestAdmissionController:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionController(rate_limit=-1)
+
+    def test_queue_full_is_explicit(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            ctl = AdmissionController(max_queue=2, registry=registry)
+            loop = asyncio.get_running_loop()
+            assert ctl.admit(_pending(ctl, loop=loop), now=0.0) is None
+            assert ctl.admit(_pending(ctl, loop=loop), now=0.0) is None
+            assert ctl.admit(_pending(ctl, loop=loop), now=0.0) == QUEUE_FULL
+            assert registry.value("service.admitted") == 2
+            assert (
+                registry.value("service.rejected", reason=QUEUE_FULL) == 1
+            )
+            assert ctl.depth() == 2
+
+        self.run(scenario())
+
+    def test_rate_limit_per_client(self):
+        async def scenario():
+            ctl = AdmissionController(
+                max_queue=100, rate_limit=1.0, burst=1,
+                registry=MetricsRegistry(),
+            )
+            loop = asyncio.get_running_loop()
+            assert ctl.admit(_pending(ctl, "a", loop=loop), now=0.0) is None
+            assert (
+                ctl.admit(_pending(ctl, "a", loop=loop), now=0.0)
+                == RATE_LIMITED
+            )
+            # an unrelated client has its own bucket
+            assert ctl.admit(_pending(ctl, "b", loop=loop), now=0.0) is None
+
+        self.run(scenario())
+
+    def test_closed_controller_rejects(self):
+        async def scenario():
+            ctl = AdmissionController(registry=MetricsRegistry())
+            ctl.close()
+            loop = asyncio.get_running_loop()
+            assert (
+                ctl.admit(_pending(ctl, loop=loop), now=0.0) == SHUTTING_DOWN
+            )
+
+        self.run(scenario())
+
+    def test_reject_expired_counts(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            ctl = AdmissionController(registry=registry)
+            loop = asyncio.get_running_loop()
+            pending = _pending(ctl, deadline=1.0, loop=loop)
+            assert not pending.expired(0.5)
+            assert pending.expired(1.5)
+            assert ctl.reject_expired(pending) == DEADLINE_EXCEEDED
+            assert (
+                registry.value("service.rejected", reason=DEADLINE_EXCEEDED)
+                == 1
+            )
+
+        self.run(scenario())
+
+    def test_bucket_table_bounded(self):
+        async def scenario():
+            ctl = AdmissionController(
+                rate_limit=100.0, max_clients=4, registry=MetricsRegistry()
+            )
+            loop = asyncio.get_running_loop()
+            for i in range(10):
+                ctl.admit(_pending(ctl, f"client-{i}", loop=loop), now=float(i))
+            assert len(ctl._buckets) <= 4
+
+        self.run(scenario())

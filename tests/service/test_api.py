@@ -1,0 +1,220 @@
+"""Request/response model validation (repro.service.api)."""
+
+import pytest
+
+from repro.core.cases import C1
+from repro.core.optimized import DEFAULT_THREADS
+from repro.core.timing import TRIALS
+from repro.service import (
+    ServiceValidationError,
+    SimResponse,
+    config_from_directive,
+    parse_request,
+    summarize_record,
+)
+from repro.service.api import MAX_TRIALS, next_request_id
+from repro.sweep.executor import CoexecRequest
+
+
+class TestParseRequest:
+    def test_minimal_adhoc(self):
+        req = parse_request({"elements": 1024})
+        assert req.experiment == "gpu"
+        assert req.case.element_type.name == "int32"
+        assert req.case.elements == 1024
+        assert req.config is None
+        assert req.trials == TRIALS
+        assert req.client_id == "anon"
+        assert req.request_id
+
+    def test_named_case(self):
+        req = parse_request({"case": "C1", "trials": 7})
+        assert req.case == C1
+        assert req.trials == 7
+
+    def test_case_and_dtype_conflict(self):
+        with pytest.raises(ServiceValidationError, match="not both"):
+            parse_request({"case": "C1", "dtype": "int32", "elements": 8})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServiceValidationError, match="unknown"):
+            parse_request({"elements": 8, "bogus": 1})
+
+    def test_not_a_dict(self):
+        with pytest.raises(ServiceValidationError):
+            parse_request([1, 2, 3])
+
+    def test_int8_defaults_to_int64_accumulator(self):
+        req = parse_request({"dtype": "int8", "elements": 64})
+        assert req.case.result_type.name == "int64"
+
+    def test_tuning_parameters(self):
+        req = parse_request(
+            {"elements": 1024, "teams": 256, "v": 4, "threads": 128}
+        )
+        assert req.config is not None
+        assert (req.config.teams, req.config.v, req.config.threads) == (
+            256, 4, 128
+        )
+
+    def test_v_requires_teams(self):
+        with pytest.raises(ServiceValidationError, match="requires"):
+            parse_request({"elements": 1024, "v": 4})
+
+    def test_v_must_divide_elements(self):
+        with pytest.raises(ServiceValidationError, match="divide"):
+            parse_request({"elements": 1023, "teams": 256, "v": 4})
+
+    def test_trials_bounds(self):
+        with pytest.raises(ServiceValidationError, match="trials"):
+            parse_request({"elements": 8, "trials": 0})
+        with pytest.raises(ServiceValidationError, match="trials"):
+            parse_request({"elements": 8, "trials": MAX_TRIALS + 1})
+
+    def test_timeout_bounds(self):
+        req = parse_request({"elements": 8, "timeout_s": 2})
+        assert req.timeout_s == 2.0
+        with pytest.raises(ServiceValidationError, match="timeout_s"):
+            parse_request({"elements": 8, "timeout_s": 0})
+        with pytest.raises(ServiceValidationError, match="timeout_s"):
+            parse_request({"elements": 8, "timeout_s": True})
+
+    def test_default_timeout_applies(self):
+        assert parse_request({"elements": 8}, 12.5).timeout_s == 12.5
+
+    def test_site_and_unified_memory(self):
+        req = parse_request(
+            {"experiment": "coexec", "case": "C1", "site": "a2",
+             "unified_memory": False}
+        )
+        assert req.site.value == "A2"
+        assert req.unified_memory is False
+        with pytest.raises(ServiceValidationError, match="site"):
+            parse_request({"elements": 8, "site": "A9"})
+        with pytest.raises(ServiceValidationError, match="boolean"):
+            parse_request({"elements": 8, "unified_memory": 1})
+
+    def test_explicit_request_id_is_kept(self):
+        req = parse_request({"elements": 8, "request_id": "abc"})
+        assert req.request_id == "abc"
+
+
+class TestPayloadMapping:
+    def test_gpu_payload_matches_executor_vocabulary(self):
+        req = parse_request({"case": "C1", "teams": 256, "v": 2, "trials": 3})
+        kind, payload = req.payload()
+        assert kind == "gpu_point"
+        assert payload == (req.case, req.config, 3, False)
+
+    def test_coexec_payload(self):
+        req = parse_request(
+            {"experiment": "coexec", "case": "C1", "trials": 3}
+        )
+        kind, payload = req.payload()
+        assert kind == "coexec_sweep"
+        assert isinstance(payload[0], CoexecRequest)
+        assert payload[0].case == req.case
+        assert payload[0].verify is False
+
+
+class TestDirective:
+    OPTIMIZED = (
+        "#pragma omp target teams distribute parallel for "
+        "num_teams(16384) thread_limit(128) reduction(+:sum)"
+    )
+    BASELINE = (
+        "#pragma omp target teams distribute parallel for reduction(+:sum)"
+    )
+
+    def test_optimized_directive(self):
+        config = config_from_directive(self.OPTIMIZED, v=4)
+        assert config is not None
+        # figure-axis teams = num_teams * v, the paper's teams/V convention
+        assert (config.teams, config.v, config.threads) == (65536, 4, 128)
+
+    def test_baseline_directive(self):
+        assert config_from_directive(self.BASELINE) is None
+
+    def test_baseline_with_v_rejected(self):
+        with pytest.raises(ServiceValidationError, match="num_teams"):
+            config_from_directive(self.BASELINE, v=2)
+
+    def test_symbolic_num_teams_rejected(self):
+        text = (
+            "#pragma omp target teams distribute parallel for "
+            "num_teams(teams/V) reduction(+:sum)"
+        )
+        with pytest.raises(ServiceValidationError, match="literal"):
+            config_from_directive(text)
+
+    def test_non_reduction_rejected(self):
+        with pytest.raises(ServiceValidationError):
+            config_from_directive("#pragma omp target update to(sum)")
+
+    def test_via_parse_request(self):
+        req = parse_request(
+            {"elements": 1 << 16, "directive": self.OPTIMIZED, "v": 4}
+        )
+        assert req.config is not None and req.config.teams == 65536
+        with pytest.raises(ServiceValidationError, match="not both"):
+            parse_request(
+                {"elements": 8, "directive": self.BASELINE, "teams": 8}
+            )
+
+    def test_directive_default_threads(self):
+        text = (
+            "#pragma omp target teams distribute parallel for "
+            "num_teams(1024) reduction(+:sum)"
+        )
+        config = config_from_directive(text)
+        assert config.threads == DEFAULT_THREADS
+
+
+class TestSimResponse:
+    def test_http_status_mapping(self):
+        assert SimResponse(status="ok", request_id="r").http_status() == 200
+        assert SimResponse.rejected("r", "queue_full").http_status() == 429
+        assert (
+            SimResponse.rejected("r", "deadline_exceeded").http_status() == 504
+        )
+        assert (
+            SimResponse.error("r", "invalid_request", "m").http_status() == 400
+        )
+        assert (
+            SimResponse.error("r", "compute_failed", "m").http_status() == 500
+        )
+
+    def test_to_dict_drops_empty_fields(self):
+        doc = SimResponse(status="ok", request_id="r").to_dict()
+        assert doc == {"status": "ok", "request_id": "r"}
+
+    def test_next_request_id_unique(self):
+        ids = {next_request_id() for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestSummarizeRecord:
+    def test_gpu_summary_keeps_raw_fields(self):
+        req = parse_request({"case": "C1", "teams": 256, "v": 2, "trials": 3})
+        record = {"bandwidth_gbs": 3000.0, "elapsed_seconds": 1.0, "value": 5}
+        doc = summarize_record(req, record)
+        for key, value in record.items():
+            assert doc[key] == value
+        assert doc["summary"]["case"] == "C1"
+        assert doc["summary"]["variant"] == req.config.label()
+        assert "summary" not in record  # input not mutated
+
+    def test_coexec_summary(self):
+        req = parse_request({"experiment": "coexec", "case": "C1"})
+        record = {
+            "measurements": [
+                {"cpu_part": 0.0, "bandwidth_gbs": 100.0,
+                 "migration_seconds": 0.5},
+                {"cpu_part": 0.2, "bandwidth_gbs": 300.0,
+                 "migration_seconds": 0.0},
+            ]
+        }
+        doc = summarize_record(req, record)
+        assert doc["summary"]["points"] == 2
+        assert doc["summary"]["best_cpu_part"] == 0.2
+        assert doc["summary"]["migration_seconds_total"] == 0.5

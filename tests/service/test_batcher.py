@@ -1,0 +1,157 @@
+"""Micro-batcher: windows, coalescing, deadline sweep."""
+
+import asyncio
+
+import pytest
+
+from repro.service import MicroBatcher
+from repro.service.admission import PendingRequest
+from repro.service.api import parse_request
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _pending(loop, key="k", kind="gpu_point", deadline=None):
+    return PendingRequest(
+        request=parse_request({"elements": 64}),
+        key=key,
+        kind=kind,
+        payload=(key,),
+        future=loop.create_future(),
+        enqueued_at=loop.time(),
+        deadline=deadline,
+    )
+
+
+async def _drive(batcher, queue, pendings, settle=0.05):
+    batcher.start()
+    for pending in pendings:
+        queue.put_nowait(pending)
+    await asyncio.sleep(settle)
+    await batcher.stop()
+
+
+class TestMicroBatcher:
+    def test_validation(self):
+        queue = None
+        with pytest.raises(ValueError):
+            MicroBatcher(queue, None, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(queue, None, window_s=-1)
+
+    def test_coalesces_identical_fingerprints(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            batches = []
+
+            async def dispatch(batch):
+                batches.append(batch)
+                for waiters in batch.entries.values():
+                    for pending in waiters:
+                        pending.future.set_result("done")
+
+            registry = MetricsRegistry()
+            batcher = MicroBatcher(
+                queue, dispatch, window_s=0.01, registry=registry
+            )
+            pendings = [
+                _pending(loop, "a"), _pending(loop, "a"), _pending(loop, "b")
+            ]
+            await _drive(batcher, queue, pendings)
+            assert len(batches) == 1
+            batch = batches[0]
+            assert batch.unique == 2 and batch.waiters == 3
+            assert [len(v) for v in batch.entries.values()] == [2, 1]
+            assert registry.value("service.coalesced") == 1
+            assert all(p.future.result() == "done" for p in pendings)
+
+        asyncio.run(scenario())
+
+    def test_groups_by_kind(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            kinds = []
+
+            async def dispatch(batch):
+                kinds.append(batch.kind)
+                for waiters in batch.entries.values():
+                    for pending in waiters:
+                        pending.future.set_result(None)
+
+            batcher = MicroBatcher(queue, dispatch, window_s=0.01)
+            await _drive(batcher, queue, [
+                _pending(loop, "a", kind="gpu_point"),
+                _pending(loop, "b", kind="coexec_sweep"),
+            ])
+            assert sorted(kinds) == ["coexec_sweep", "gpu_point"]
+
+        asyncio.run(scenario())
+
+    def test_expired_requests_rejected_not_dispatched(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            dispatched = []
+
+            async def dispatch(batch):
+                dispatched.append(batch)
+
+            registry = MetricsRegistry()
+            batcher = MicroBatcher(
+                queue, dispatch, window_s=0.0, registry=registry
+            )
+            expired = _pending(loop, deadline=loop.time() - 1.0)
+            await _drive(batcher, queue, [expired])
+            assert not dispatched
+            response = expired.future.result()
+            assert response.status == "rejected"
+            assert response.reason == "deadline_exceeded"
+            assert (
+                registry.value("service.rejected", reason="deadline_exceeded")
+                == 1
+            )
+
+        asyncio.run(scenario())
+
+    def test_max_batch_bounds_window(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            sizes = []
+
+            async def dispatch(batch):
+                sizes.append(batch.waiters)
+                for waiters in batch.entries.values():
+                    for pending in waiters:
+                        pending.future.set_result(None)
+
+            # A long window would hold requests for a second; max_batch
+            # must flush as soon as the batch fills instead.
+            batcher = MicroBatcher(queue, dispatch, max_batch=2, window_s=1.0)
+            await _drive(
+                batcher, queue,
+                [_pending(loop, f"k{i}") for i in range(4)],
+                settle=0.1,
+            )
+            assert sum(sizes) == 4
+            assert max(sizes) <= 2
+
+        asyncio.run(scenario())
+
+    def test_done_futures_skipped(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            dispatched = []
+
+            async def dispatch(batch):
+                dispatched.append(batch)
+
+            batcher = MicroBatcher(queue, dispatch, window_s=0.0)
+            cancelled = _pending(loop)
+            cancelled.future.set_result("already answered")
+            await _drive(batcher, queue, [cancelled])
+            assert not dispatched
+
+        asyncio.run(scenario())

@@ -1,0 +1,165 @@
+"""Load generator: presets, percentile math, report aggregation, run_load."""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    LoadReport,
+    ReductionService,
+    ServiceHTTPServer,
+    ServiceSettings,
+    build_preset,
+    percentile,
+    run_load,
+)
+from repro.service.loadgen import HIST_BUCKETS
+from repro.sweep.executor import SweepExecutor
+from repro.sweep.result_cache import ResultCache
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestBuildPreset:
+    def test_deterministic_for_seed(self):
+        assert build_preset("small", 50, seed=7) == build_preset(
+            "small", 50, seed=7
+        )
+        assert build_preset("small", 50, seed=7) != build_preset(
+            "small", 50, seed=8
+        )
+
+    def test_pool_bounded_by_unique_points(self):
+        requests = build_preset("small", 300, unique_points=5)
+        assert len(requests) == 300
+        unique = {tuple(sorted(r.items())) for r in requests}
+        assert len(unique) <= 5
+
+    def test_fig1_uses_paper_case(self):
+        requests = build_preset("fig1", 10)
+        assert all(r["case"] == "C1" for r in requests)
+        assert all(r["trials"] == 200 for r in requests)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            build_preset("huge")
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([4.2], 50.0) == 4.2
+        assert percentile([4.2], 100.0) == 4.2
+
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50.0) == 50.0
+        assert percentile(samples, 99.0) == 99.0
+        assert percentile(samples, 99.5) == 100.0
+        assert percentile(samples, 100.0) == 100.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 100.0) == 3.0
+
+
+class TestLoadReport:
+    def _report(self):
+        report = LoadReport()
+        report.record("ok", 0.002, "cache", None)
+        report.record("ok", 0.004, "computed", None)
+        report.record("rejected", 0.001, None, "queue_full")
+        report.record("dropped", 0.5, None, None)
+        report.wall_seconds = 2.0
+        return report
+
+    def test_counters_and_breakdowns(self):
+        report = self._report()
+        assert (report.sent, report.ok, report.rejected, report.dropped) == (
+            4, 2, 1, 1
+        )
+        assert report.by_source == {"cache": 1, "computed": 1}
+        assert report.by_reason == {"queue_full": 1}
+        assert report.latencies["ok:cache"] == [0.002]
+
+    def test_to_dict_shape(self):
+        doc = self._report().to_dict()
+        assert doc["throughput_rps"] == pytest.approx(2.0)
+        assert doc["percentiles_s"]["ok"]["p50"] == 0.002
+        hist = doc["histogram"]["ok"]
+        assert hist["count"] == 2
+        assert sum(hist["counts"]) == 2
+        assert len(hist["counts"]) == len(HIST_BUCKETS) + 1
+
+    def test_histogram_overflow_bucket(self):
+        report = LoadReport()
+        report.record("ok", 99.0, "cache", None)  # beyond every boundary
+        assert report.histogram("ok")["counts"][-1] == 1
+
+    def test_render_mentions_outcomes(self):
+        text = self._report().render()
+        assert "2 ok, 1 rejected" in text
+        assert "1 dropped" in text
+        assert "cache=1" in text
+        assert "queue_full=1" in text
+
+
+class TestRunLoad:
+    def _serve(self, machine, tmp_path, scenario):
+        async def wrapped():
+            executor = SweepExecutor(
+                machine, workers=1, cache=ResultCache(tmp_path / "cache")
+            )
+            service = ReductionService(
+                machine, executor=executor, settings=ServiceSettings(),
+                registry=MetricsRegistry(),
+            )
+            server = ServiceHTTPServer(service, host="127.0.0.1", port=0)
+            await server.start()
+            try:
+                return await scenario(server), service
+            finally:
+                await server.stop()
+
+        return asyncio.run(wrapped())
+
+    def test_replays_without_drops(self, machine, tmp_path):
+        requests = [
+            {"elements": 4096, "teams": 64, "trials": 2, "request_id": f"r{i}"}
+            for i in range(20)
+        ]
+
+        async def scenario(server):
+            return await run_load(
+                server.host, server.port, requests, clients=5
+            )
+
+        report, service = self._serve(machine, tmp_path, scenario)
+        assert report.sent == 20
+        assert report.dropped == 0
+        assert report.ok == 20
+        # one unique fingerprint: computed once, everything else dedupes
+        assert service.registry.value("service.computed") == 1
+        assert (
+            report.by_source.get("computed", 0)
+            + report.by_source.get("cache", 0)
+            + report.by_source.get("coalesced", 0)
+            == 20
+        )
+
+    def test_warmup_not_recorded(self, machine, tmp_path):
+        requests = [{"elements": 4096, "teams": 64, "trials": 2}] * 4
+
+        async def scenario(server):
+            return await run_load(
+                server.host, server.port, requests, clients=2, warmup=3
+            )
+
+        report, service = self._serve(machine, tmp_path, scenario)
+        assert report.sent == 4  # warmup traffic invisible in the report
+        # ...but the server really saw it: 2 clients * 3 warmup + 4
+        assert service.registry.value("service.requests") == 10
+
+    def test_rejects_nonpositive_clients(self):
+        with pytest.raises(ValueError, match="clients"):
+            asyncio.run(run_load("127.0.0.1", 1, [], clients=0))

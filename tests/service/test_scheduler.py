@@ -1,0 +1,223 @@
+"""End-to-end service pipeline tests (in-process, no HTTP)."""
+
+import asyncio
+import json
+
+from repro.service import ReductionService, ServiceSettings
+from repro.service.api import parse_request
+from repro.sweep.executor import SweepExecutor
+from repro.sweep.result_cache import ResultCache
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _request(**fields):
+    body = {"elements": 4096, "teams": 64, "trials": 2}
+    body.update(fields)
+    return parse_request(body)
+
+
+def _service(machine, tmp_path=None, registry=None, executor=None, **settings):
+    cache = ResultCache(tmp_path / "cache") if tmp_path is not None else None
+    executor = executor or SweepExecutor(machine, workers=1, cache=cache)
+    return ReductionService(
+        machine,
+        executor=executor,
+        settings=ServiceSettings(**settings),
+        registry=registry or MetricsRegistry(),
+    )
+
+
+async def _with(service, coro_fn):
+    await service.start()
+    try:
+        return await coro_fn()
+    finally:
+        await service.stop()
+
+
+class FlakyExecutor(SweepExecutor):
+    """Fails the first *failures* run() calls, then behaves normally."""
+
+    def __init__(self, machine, failures, **kwargs):
+        super().__init__(machine, **kwargs)
+        self.failures = failures
+        self.calls = 0
+
+    def run(self, kind, payloads, stage):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"injected failure #{self.calls}")
+        return super().run(kind, payloads, stage)
+
+
+class TestServicePipeline:
+    def test_compute_then_cache_hit(self, machine, tmp_path):
+        registry = MetricsRegistry()
+        service = _service(machine, tmp_path, registry)
+
+        async def scenario():
+            first = await service.submit(_request())
+            second = await service.submit(_request())
+            return first, second
+
+        first, second = asyncio.run(_with(service, scenario))
+        assert first.status == second.status == "ok"
+        assert first.source == "computed"
+        assert second.source == "cache"
+        assert first.fingerprint == second.fingerprint
+        # raw result fields identical; only service bookkeeping differs
+        assert first.result == second.result
+        assert registry.value("service.computed") == 1
+        assert registry.value("service.cache_hits") == 1
+
+    def test_concurrent_duplicates_computed_once(self, machine, tmp_path):
+        registry = MetricsRegistry()
+        service = _service(machine, tmp_path, registry)
+
+        async def scenario():
+            return await service.submit_many([_request() for _ in range(8)])
+
+        responses = asyncio.run(_with(service, scenario))
+        assert all(r.status == "ok" for r in responses)
+        assert registry.value("service.computed") == 1
+        assert {r.source for r in responses} == {"computed", "coalesced"}
+        assert sum(r.source == "computed" for r in responses) == 1
+        records = {json.dumps(r.result, sort_keys=True) for r in responses}
+        assert len(records) == 1  # every waiter got the same record
+
+    def test_results_byte_identical_to_direct_executor(
+        self, machine, tmp_path
+    ):
+        service = _service(machine, tmp_path)
+        request = _request()
+
+        async def scenario():
+            return await service.submit(request)
+
+        response = asyncio.run(_with(service, scenario))
+        direct = SweepExecutor(machine, workers=1, cache=None)
+        kind, payload = request.payload()
+        [record] = direct.run(kind, [payload], "direct")
+        served = dict(response.result)
+        served.pop("summary")
+        assert served == record
+        assert response.fingerprint == direct.cache_key(kind, payload)
+
+    def test_queue_full_rejection_without_hang(self, machine):
+        registry = MetricsRegistry()
+        # No cache, tiny queue, long batch window: the queue fills before
+        # the batcher drains it.
+        service = _service(
+            machine, registry=registry, max_queue=2, batch_window_s=0.2,
+        )
+
+        async def scenario():
+            return await asyncio.wait_for(
+                service.submit_many(
+                    [_request(elements=4096 * (i + 1)) for i in range(6)]
+                ),
+                timeout=30,
+            )
+
+        responses = asyncio.run(_with(service, scenario))
+        rejected = [r for r in responses if r.status == "rejected"]
+        assert rejected and all(r.reason == "queue_full" for r in rejected)
+        assert len([r for r in responses if r.status == "ok"]) == 6 - len(
+            rejected
+        )
+        assert (
+            registry.value("service.rejected", reason="queue_full")
+            == len(rejected)
+        )
+
+    def test_rate_limited_rejection(self, machine, tmp_path):
+        service = _service(machine, tmp_path, rate_limit=1.0, burst=1)
+
+        async def scenario():
+            first = await service.submit(_request(client_id="greedy"))
+            second = await service.submit(_request(client_id="greedy"))
+            return first, second
+
+        first, second = asyncio.run(_with(service, scenario))
+        assert first.status == "ok"
+        assert second.status == "rejected"
+        assert second.reason == "rate_limited"
+
+    def test_deadline_exceeded_while_queued(self, machine):
+        service = _service(machine, batch_window_s=0.05)
+
+        async def scenario():
+            return await service.submit(_request(timeout_s=0.001))
+
+        response = asyncio.run(_with(service, scenario))
+        assert response.status == "rejected"
+        assert response.reason == "deadline_exceeded"
+
+    def test_retry_with_jitter_recovers(self, machine, tmp_path):
+        registry = MetricsRegistry()
+        executor = FlakyExecutor(
+            machine, failures=2, workers=1,
+            cache=ResultCache(tmp_path / "cache"),
+        )
+        service = _service(
+            machine, registry=registry, executor=executor,
+            max_retries=2, retry_backoff_s=0.001, retry_jitter_s=0.001,
+        )
+
+        async def scenario():
+            return await service.submit(_request())
+
+        response = asyncio.run(_with(service, scenario))
+        assert response.status == "ok"
+        assert response.retries == 2
+        assert registry.value("service.retries") == 2
+
+    def test_retries_exhausted_is_explicit_error(self, machine):
+        registry = MetricsRegistry()
+        executor = FlakyExecutor(machine, failures=99, workers=1, cache=None)
+        service = _service(
+            machine, registry=registry, executor=executor,
+            max_retries=1, retry_backoff_s=0.001, retry_jitter_s=0.0,
+        )
+
+        async def scenario():
+            return await service.submit(_request())
+
+        response = asyncio.run(_with(service, scenario))
+        assert response.status == "error"
+        assert response.reason == "compute_failed"
+        assert "injected failure" in response.result["message"]
+        assert registry.value("service.errors") == 1
+
+    def test_health_reports_pipeline_state(self, machine, tmp_path):
+        service = _service(machine, tmp_path)
+
+        async def scenario():
+            return service.health()
+
+        health = asyncio.run(_with(service, scenario))
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+        assert health["workers"] == 1
+        assert "result cache" in health["cache"]
+
+    def test_cache_shared_with_cli_sweeps(self, machine, tmp_path):
+        """A point the sweep executor already cached is a service hit."""
+        cache = ResultCache(tmp_path / "cache")
+        warm = SweepExecutor(machine, workers=1, cache=cache)
+        request = _request()
+        kind, payload = request.payload()
+        warm.run(kind, [payload], "cli-sweep")
+
+        registry = MetricsRegistry()
+        service = _service(
+            machine, registry=registry,
+            executor=SweepExecutor(machine, workers=1, cache=cache),
+        )
+
+        async def scenario():
+            return await service.submit(request)
+
+        response = asyncio.run(_with(service, scenario))
+        assert response.source == "cache"
+        assert registry.value("service.computed") is None

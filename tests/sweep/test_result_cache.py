@@ -56,3 +56,49 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         cache = ResultCache()
         assert cache.directory == tmp_path / "envcache"
+
+
+class TestCorruptEviction:
+    def _corrupt(self, tmp_path, key="k"):
+        cache = ResultCache(tmp_path)
+        cache.put(key, {"good": True})
+        (tmp_path / f"{key}.json").write_text("{not json")
+        return ResultCache(tmp_path)
+
+    def test_corrupt_file_is_unlinked(self, tmp_path):
+        cache = self._corrupt(tmp_path)
+        assert cache.get("k") is None
+        assert not (tmp_path / "k.json").exists()
+
+    def test_eviction_counted_once(self, tmp_path):
+        cache = self._corrupt(tmp_path)
+        cache.get("k")
+        cache.get("k")  # second read: plain miss, file already gone
+        assert cache.evictions == 1
+        assert cache.misses == 2
+
+    def test_put_after_eviction_heals_entry(self, tmp_path):
+        cache = self._corrupt(tmp_path)
+        assert cache.get("k") is None
+        cache.put("k", {"healed": 1})
+        assert ResultCache(tmp_path).get("k") == {"healed": 1}
+
+    def test_describe_mentions_evictions_only_when_nonzero(self, tmp_path):
+        clean = ResultCache(tmp_path)
+        clean.put("k", 1)
+        clean.get("k")
+        assert "evicted" not in clean.describe()
+        corrupted = self._corrupt(tmp_path / "other")
+        corrupted.get("k")
+        assert "1 corrupt entries evicted" in corrupted.describe()
+
+    def test_partial_write_never_visible(self, tmp_path):
+        # put() goes through a temp file + atomic rename; no *.json.tmp-ish
+        # debris and no half-written entry may remain after a put.
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": list(range(1000))})
+        leftovers = [
+            p for p in tmp_path.iterdir() if not p.name.endswith(".json")
+        ]
+        assert leftovers == []
+        assert ResultCache(tmp_path).get("k") == {"x": list(range(1000))}
