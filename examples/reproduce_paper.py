@@ -66,6 +66,11 @@ def main() -> None:
                         default=None,
                         help="cap functionally-executed elements per "
                              "workload (performance numbers unaffected)")
+    parser.add_argument("--task-timeout", metavar="SECONDS", default=None,
+                        help="wall-clock budget per sweep point; points "
+                             "over budget are recorded failed and the "
+                             "sweep continues (default: "
+                             "REPRO_SWEEP_TIMEOUT, else none; 0 disables)")
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="enable telemetry and write a Chrome-trace "
                              "timeline to FILE (open in ui.perfetto.dev)")
@@ -79,7 +84,8 @@ def main() -> None:
         ReproConfig(functional_elements_cap=args.functional_cap)
     machine = Machine(config=config)
     cache = open_result_cache(args.cache_dir, enabled=not args.no_cache)
-    executor = SweepExecutor(machine, workers=args.workers, cache=cache)
+    executor = SweepExecutor(machine, workers=args.workers, cache=cache,
+                             task_timeout_s=args.task_timeout)
     print(f"machine: {machine.describe()}")
     print(f"executor: {executor.stats.mode}, "
           f"cache {'off' if cache is None else f'at {cache.directory}'}\n")

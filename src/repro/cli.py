@@ -27,6 +27,11 @@ Commands
 ``loadtest``
     Drive a service (an in-process one by default, or ``--url``) with
     overlapping Fig.-1 sweep points and report latency percentiles.
+``chaos``
+    Storm a service (in-process or ``--url``) under a seeded fault plan
+    and assert the resilience invariants: zero silently wrong results,
+    bounded error rate, recovery within the SLO.  See
+    docs/RESILIENCE.md.
 
 Sweeps run through the :mod:`repro.sweep` executor: ``--workers N`` fans
 points out over a process pool (default from ``REPRO_SWEEP_WORKERS``,
@@ -98,6 +103,16 @@ def _add_service_knobs(p: argparse.ArgumentParser) -> None:
                    help="micro-batch coalescing window (milliseconds)")
     p.add_argument("--default-timeout", type=float, default=30.0,
                    help="deadline for requests that do not set timeout_s")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="disable graceful degradation (breaker-open / "
+                        "queue-full compute requests get 429/500 instead "
+                        "of an analytic 'degraded: true' answer)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive compute failures that open the "
+                        "circuit breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=2.0,
+                   help="seconds the breaker stays open before half-open "
+                        "probes")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,6 +132,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", metavar="N", default=None,
         help="sweep executor pool width (int, or 'auto' for one per CPU; "
              "default: REPRO_SWEEP_WORKERS, else serial)",
+    )
+    parser.add_argument(
+        "--task-timeout", metavar="SECONDS", default=None,
+        help="per-point wall-clock budget for sweep tasks; a point over "
+             "budget is recorded as failed instead of aborting the sweep "
+             "(default: REPRO_SWEEP_TIMEOUT, else off; <= 0 turns it off)",
+    )
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="activate deterministic fault injection, e.g. "
+             "'seed=7;worker.task:crash@0.1;cache.get:corrupt@0.05' "
+             "(default: REPRO_FAULTS, else off; see docs/RESILIENCE.md)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -230,6 +257,46 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the full report (latency histogram "
                              "JSON) to FILE")
     _add_service_knobs(p_load)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="storm a service under a seeded fault plan and assert the "
+             "resilience invariants (exit 1 on any violation)",
+    )
+    p_chaos.add_argument("--url", default=None,
+                         help="target service URL (default: start an "
+                              "in-process server — over a throwaway "
+                              "cache directory — and storm that; give "
+                              "the server its faults via REPRO_FAULTS "
+                              "or --faults)")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="seed for client scheduling and the "
+                              "client-side fault plan")
+    p_chaos.add_argument("--duration", type=float, default=20.0,
+                         help="storm length (seconds)")
+    p_chaos.add_argument("--clients", type=int, default=8,
+                         help="concurrent storm clients")
+    p_chaos.add_argument("--unique-points", type=int, default=6,
+                         help="distinct sweep points in the storm pool "
+                              "(ground truth is precomputed per point)")
+    p_chaos.add_argument("--preset", choices=["small", "fig1"],
+                         default="small",
+                         help="request pool (see loadtest)")
+    p_chaos.add_argument("--client-faults", metavar="SPEC", default=None,
+                         help="client-side sabotage plan on point "
+                              "'chaos.client' (modes: disconnect, "
+                              "slowloris, malformed), e.g. "
+                              "'chaos.client:disconnect@0.05'")
+    p_chaos.add_argument("--error-budget", type=float, default=0.01,
+                         help="max tolerated clean error+drop rate")
+    p_chaos.add_argument("--recovery-slo", type=float, default=10.0,
+                         help="seconds after the storm within which a "
+                              "full clean pass must succeed")
+    p_chaos.add_argument("--request-timeout", type=float, default=30.0,
+                         help="per-request client timeout (seconds)")
+    p_chaos.add_argument("--out", metavar="FILE", default=None,
+                         help="write the chaos report JSON to FILE")
+    _add_service_knobs(p_chaos)
 
     p_prof = sub.add_parser(
         "profile",
@@ -366,6 +433,9 @@ def _service_settings(args):
         max_batch=args.max_batch,
         batch_window_s=args.batch_window_ms / 1e3,
         default_timeout_s=args.default_timeout,
+        degrade=not args.no_degrade,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
 
 
@@ -404,10 +474,26 @@ def _serve_one(
     return 0
 
 
+#: A shard that lived at least this long resets its failure streak.
+SHARD_STABLE_S = 30.0
+
+#: Consecutive fast failures before a shard slot is given up on.
+SHARD_MAX_FAST_FAILURES = 5
+
+
 def _serve_sharded(args, machine: Machine, executor) -> int:
+    """``repro serve --shards N``: fork N shards and *supervise* them.
+
+    A shard that dies (crash, OOM kill, unhandled exception) is reaped
+    and restarted with exponential backoff; a slot that keeps dying
+    immediately (``SHARD_MAX_FAST_FAILURES`` times in a row, each
+    within ``SHARD_STABLE_S``) is abandoned so a broken configuration
+    cannot fork-bomb the host.  Restarts are printed and counted.
+    """
     import os
     import signal
     import socket
+    import time as _time
 
     if not hasattr(socket, "SO_REUSEPORT") or not hasattr(os, "fork"):
         print("error: --shards > 1 needs SO_REUSEPORT and fork (POSIX)",
@@ -421,8 +507,7 @@ def _serve_sharded(args, machine: Machine, executor) -> int:
     placeholder.bind((args.host, args.port))
     host, port = placeholder.getsockname()[:2]
 
-    children = []
-    for _shard in range(args.shards):
+    def _spawn_shard() -> int:
         pid = os.fork()
         if pid == 0:
             code = 1
@@ -434,7 +519,16 @@ def _serve_sharded(args, machine: Machine, executor) -> int:
                 )
             finally:
                 os._exit(code)
-        children.append(pid)
+        return pid
+
+    slots = {}  # pid -> slot index
+    started_at = {}  # slot -> monotonic start time
+    fast_failures = [0] * args.shards
+    restarts = 0
+    for slot in range(args.shards):
+        pid = _spawn_shard()
+        slots[pid] = slot
+        started_at[slot] = _time.monotonic()
     print(f"repro service listening on http://{host}:{port} "
           f"({args.shards} shards, workers={executor.workers}/shard, "
           f"cache={'on' if executor.cache else 'off'}; Ctrl-C stops)",
@@ -445,7 +539,7 @@ def _serve_sharded(args, machine: Machine, executor) -> int:
     def _forward(_signum, _frame):
         nonlocal terminating
         terminating = True
-        for pid in children:
+        for pid in list(slots):
             try:
                 os.kill(pid, signal.SIGTERM)
             except ProcessLookupError:
@@ -454,22 +548,56 @@ def _serve_sharded(args, machine: Machine, executor) -> int:
     signal.signal(signal.SIGTERM, _forward)
     code = 0
     try:
-        for pid in children:
-            _, status = os.waitpid(pid, 0)
-            child = os.waitstatus_to_exitcode(status)
-            if terminating and child == -signal.SIGTERM:
-                child = 0  # we asked the shard to stop; that's a clean exit
-            code = code or child
-    except KeyboardInterrupt:
-        _forward(None, None)
-        for pid in children:
+        while slots:
             try:
-                os.waitpid(pid, 0)
+                pid, status = os.wait()
             except ChildProcessError:
                 break
+            slot = slots.pop(pid, None)
+            if slot is None:
+                continue
+            child = os.waitstatus_to_exitcode(status)
+            if terminating:
+                if child == -signal.SIGTERM:
+                    child = 0  # we asked the shard to stop
+                code = code or child
+                continue
+            # An unsolicited death: reap, log, restart with backoff.
+            lived = _time.monotonic() - started_at.get(slot, 0.0)
+            if lived >= SHARD_STABLE_S:
+                fast_failures[slot] = 0
+            fast_failures[slot] += 1
+            if fast_failures[slot] > SHARD_MAX_FAST_FAILURES:
+                print(f"shard {slot} died {fast_failures[slot] - 1} times "
+                      f"in a row (last exit {child}); giving up on it",
+                      file=sys.stderr, flush=True)
+                code = code or (child if child > 0 else 1)
+                continue
+            delay = min(5.0, 0.25 * (2 ** (fast_failures[slot] - 1)))
+            restarts += 1
+            print(f"shard {slot} (pid {pid}) died with exit {child} "
+                  f"after {lived:.1f}s; restarting in {delay:.2f}s "
+                  f"(restart #{restarts})",
+                  file=sys.stderr, flush=True)
+            _time.sleep(delay)
+            if terminating:
+                continue
+            new_pid = _spawn_shard()
+            slots[new_pid] = slot
+            started_at[slot] = _time.monotonic()
+    except KeyboardInterrupt:
+        _forward(None, None)
+        while slots:
+            try:
+                pid, _status = os.wait()
+            except (ChildProcessError, KeyboardInterrupt):
+                break
+            slots.pop(pid, None)
         print("shutting down")
     finally:
         placeholder.close()
+    if restarts:
+        print(f"supervisor: {restarts} shard restarts total", flush=True)
     return code
 
 
@@ -536,6 +664,66 @@ def _cmd_loadtest(args, machine: Machine, executor) -> int:
     return 0
 
 
+def _cmd_chaos(args, machine: Machine, executor) -> int:
+    import asyncio
+    import json as _json
+    import tempfile
+    from urllib.parse import urlsplit
+
+    from .faults.chaos import run_chaos
+
+    async def _storm(host: str, port: int):
+        return await run_chaos(
+            host, port, machine,
+            seed=args.seed,
+            duration_s=args.duration,
+            clients=args.clients,
+            unique_points=args.unique_points,
+            client_faults=args.client_faults,
+            error_budget=args.error_budget,
+            recovery_slo_s=args.recovery_slo,
+            timeout_s=args.request_timeout,
+            preset=args.preset,
+        )
+
+    async def _run():
+        if args.url:
+            parts = urlsplit(args.url)
+            return await _storm(parts.hostname or "127.0.0.1",
+                                parts.port or 80)
+        # In-process mode: a private service over a throwaway cache
+        # directory, so injected cache corruption can never damage the
+        # real persistent cache.
+        from .service import ReductionService, ServiceHTTPServer
+
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            svc_executor = SweepExecutor(
+                machine,
+                workers=args.workers,
+                cache=ResultCache(tmp),
+                task_timeout_s=args.task_timeout,
+            )
+            service = ReductionService(
+                machine, executor=svc_executor,
+                settings=_service_settings(args),
+            )
+            server = ServiceHTTPServer(service, "127.0.0.1", 0)
+            host, port = await server.start()
+            try:
+                return await _storm(host, port)
+            finally:
+                await server.stop()
+                svc_executor.close()
+
+    report = asyncio.run(_run())
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"chaos report written to {args.out}")
+    return 0 if report.passed else 1
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "sum": _cmd_sum,
@@ -546,6 +734,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "chaos": _cmd_chaos,
 }
 
 
@@ -625,10 +814,17 @@ def _dispatch(
     if trace_out or snapshot_out:
         configure_telemetry(enabled=True)
     config = None
+    overrides = {}
     if args.functional_cap is not None:
+        overrides["functional_elements_cap"] = int(args.functional_cap)
+    if args.faults:
+        overrides["faults"] = args.faults
+    if overrides:
+        from dataclasses import replace as _replace
+
         from .config import DEFAULT_CONFIG
 
-        config = DEFAULT_CONFIG.with_cap(args.functional_cap)
+        config = _replace(DEFAULT_CONFIG, **overrides)
     machine = Machine(config=config)
     telemetry = get_telemetry()
     try:
@@ -636,7 +832,10 @@ def _dispatch(
             args.cache_dir or machine.config.sweep_cache_dir,
             enabled=not args.no_cache,
         )
-        executor = SweepExecutor(machine, workers=args.workers, cache=cache)
+        executor = SweepExecutor(
+            machine, workers=args.workers, cache=cache,
+            task_timeout_s=args.task_timeout,
+        )
         with tele_span(f"repro.{args.command}", category="cli",
                        command=args.command):
             code = _COMMANDS[args.command](args, machine, executor)

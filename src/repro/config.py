@@ -55,6 +55,21 @@ class ReproConfig:
         disabled path is a no-op — and equivalent to setting
         ``REPRO_TELEMETRY=1`` or passing ``--trace-out``.  Not part of
         cache fingerprints (observability never changes results).
+    sweep_task_timeout_s:
+        Wall-clock budget per sweep task when the supervised worker pool
+        runs it; a point exceeding the budget is recorded as failed in
+        the sweep stats instead of aborting the sweep.  ``None`` (the
+        default) disables the deadline; also settable per run via
+        ``--timeout`` / ``REPRO_SWEEP_TIMEOUT``.  Not part of cache
+        fingerprints.
+    faults:
+        Fault-injection spec (see :mod:`repro.faults.plan` for the
+        grammar).  Building a :class:`~repro.core.machine.Machine` from
+        a config with this set activates the plan process-wide, exactly
+        like exporting ``REPRO_FAULTS``.  ``None`` (the default) leaves
+        every injection point a no-op.  Not part of cache fingerprints —
+        injected faults surface as *failed* points or detected
+        corruption, never as silently different cached results.
     """
 
     seed: int = 0x5C2024
@@ -63,6 +78,8 @@ class ReproConfig:
     sweep_workers: Optional[int] = None
     sweep_cache_dir: Optional[str] = None
     telemetry: bool = False
+    sweep_task_timeout_s: Optional[float] = None
+    faults: Optional[str] = None
 
     def rng(self) -> np.random.Generator:
         """A fresh generator seeded from :attr:`seed`."""

@@ -49,6 +49,10 @@ class Machine:
             from ..telemetry.state import configure
 
             configure(enabled=True)
+        if self.config.faults:
+            from ..faults.injector import activate
+
+            activate(self.config.faults)
         self.trace = Trace()
         self.runtime = DeviceRuntime(self.system.gpu, icvs)
         self._workload_cache: Dict[tuple, np.ndarray] = {}

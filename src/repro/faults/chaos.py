@@ -1,0 +1,538 @@
+"""The chaos harness behind ``repro chaos``.
+
+Runs a time-boxed storm of loadgen-style clients against a live service
+while faults are active (server-side via ``REPRO_FAULTS`` on the serving
+process, client-side via a local ``chaos.client`` plan that sabotages
+requests: mid-body disconnects, slowloris dribble, malformed JSON), then
+asserts the resilience invariants:
+
+1. **No silent wrong results** — before the storm, every unique request
+   in the pool is computed once on a clean serial executor (no cache,
+   no pool, no injection points on that path); every ``ok``
+   non-degraded response is verified byte-for-byte against that truth.
+2. **Bounded error rate** — excluding deliberately sabotaged requests,
+   the fraction of errored/dropped requests must stay under the budget.
+   Explicit rejections (backpressure) and degraded responses are
+   counted separately: they are the service *working*, not failing.
+3. **Recovery SLO** — after the storm, the harness probes until a full
+   pass over the pool answers ``ok`` and non-degraded, and the time to
+   get there must beat the SLO.
+
+The report also pulls ``/metrics`` from the service so every injected
+fault shows up as a ``faults.injected`` counter in the artifact.
+
+Truth and the service must agree on the machine configuration
+(notably ``--functional-cap``) or fingerprints will not match and
+verification is skipped — the report counts such unverifiable responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.api import parse_request
+from ..service.loadgen import _read_http_response, preset_pool
+from ..sweep.executor import SweepExecutor
+from .plan import FaultPlan
+
+__all__ = ["ChaosReport", "compute_truth", "run_chaos"]
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated outcome of one chaos run, with invariant verdicts."""
+
+    seed: int = 0
+    duration_s: float = 0.0
+    wall_seconds: float = 0.0
+    sent: int = 0
+    ok: int = 0
+    degraded: int = 0
+    rejected: int = 0
+    errors: int = 0
+    dropped: int = 0
+    sabotaged: int = 0
+    verified: int = 0
+    unverifiable: int = 0
+    wrong_results: int = 0
+    malformed_accepted: int = 0
+    by_source: Dict[str, int] = field(default_factory=dict)
+    by_reason: Dict[str, int] = field(default_factory=dict)
+    by_sabotage: Dict[str, int] = field(default_factory=dict)
+    recovered: bool = False
+    recovery_seconds: Optional[float] = None
+    recovery_slo_s: float = 0.0
+    error_budget: float = 0.0
+    faults_injected: Dict[str, float] = field(default_factory=dict)
+    breaker_transitions: Dict[str, float] = field(default_factory=dict)
+    mismatches: List[Dict[str, Any]] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def clean_sent(self) -> int:
+        return max(0, self.sent - self.sabotaged)
+
+    @property
+    def error_rate(self) -> float:
+        return (self.errors + self.dropped) / max(1, self.clean_sent)
+
+    @property
+    def total_faults_injected(self) -> float:
+        return sum(self.faults_injected.values())
+
+    def finalize(self) -> "ChaosReport":
+        """Evaluate the invariants; populates :attr:`violations`."""
+        self.violations = []
+        if self.wrong_results:
+            self.violations.append(
+                f"{self.wrong_results} silently wrong results (must be 0)"
+            )
+        if self.malformed_accepted:
+            self.violations.append(
+                f"{self.malformed_accepted} malformed requests answered ok"
+            )
+        if self.error_rate > self.error_budget:
+            self.violations.append(
+                f"error rate {self.error_rate:.4f} over budget "
+                f"{self.error_budget:.4f} "
+                f"({self.errors} errors + {self.dropped} dropped "
+                f"of {self.clean_sent} clean requests)"
+            )
+        if not self.recovered:
+            self.violations.append(
+                f"service did not recover within the {self.recovery_slo_s:g}s "
+                "SLO after the storm"
+            )
+        elif (
+            self.recovery_seconds is not None
+            and self.recovery_seconds > self.recovery_slo_s
+        ):
+            self.violations.append(
+                f"recovery took {self.recovery_seconds:.2f}s, over the "
+                f"{self.recovery_slo_s:g}s SLO"
+            )
+        return self
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "wall_seconds": self.wall_seconds,
+            "sent": self.sent,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "sabotaged": self.sabotaged,
+            "verified": self.verified,
+            "unverifiable": self.unverifiable,
+            "wrong_results": self.wrong_results,
+            "malformed_accepted": self.malformed_accepted,
+            "error_rate": self.error_rate,
+            "error_budget": self.error_budget,
+            "by_source": dict(sorted(self.by_source.items())),
+            "by_reason": dict(sorted(self.by_reason.items())),
+            "by_sabotage": dict(sorted(self.by_sabotage.items())),
+            "recovered": self.recovered,
+            "recovery_seconds": self.recovery_seconds,
+            "recovery_slo_s": self.recovery_slo_s,
+            "faults_injected": dict(sorted(self.faults_injected.items())),
+            "total_faults_injected": self.total_faults_injected,
+            "breaker_transitions": dict(
+                sorted(self.breaker_transitions.items())
+            ),
+            "mismatches": self.mismatches[:10],
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos: sent {self.sent} in {self.wall_seconds:.1f} s — "
+            f"{self.ok} ok, {self.degraded} degraded, "
+            f"{self.rejected} rejected, {self.errors} errors, "
+            f"{self.dropped} dropped, {self.sabotaged} sabotaged",
+            f"verified {self.verified} responses against ground truth: "
+            f"{self.wrong_results} wrong"
+            + (f" ({self.unverifiable} unverifiable)"
+               if self.unverifiable else ""),
+            f"clean error rate {self.error_rate:.4f} "
+            f"(budget {self.error_budget:.4f})",
+        ]
+        if self.recovered:
+            lines.append(
+                f"recovered in {self.recovery_seconds:.2f} s "
+                f"(SLO {self.recovery_slo_s:g} s)"
+            )
+        else:
+            lines.append(
+                f"NOT recovered within the {self.recovery_slo_s:g} s SLO"
+            )
+        if self.faults_injected:
+            lines.append(
+                "faults injected: " + ", ".join(
+                    f"{k}={v:g}"
+                    for k, v in sorted(self.faults_injected.items())
+                )
+            )
+        else:
+            lines.append("faults injected: none reported by the service")
+        if self.breaker_transitions:
+            lines.append(
+                "breaker transitions: " + ", ".join(
+                    f"{k}={v:g}"
+                    for k, v in sorted(self.breaker_transitions.items())
+                )
+            )
+        if self.by_sabotage:
+            lines.append(
+                "sabotage: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.by_sabotage.items())
+                )
+            )
+        if self.violations:
+            lines.append("FAIL:")
+            lines.extend(f"  - {v}" for v in self.violations)
+        else:
+            lines.append("PASS: all chaos invariants held")
+        return "\n".join(lines)
+
+
+def compute_truth(
+    machine: Any, pool: List[Dict[str, Any]]
+) -> Dict[str, Tuple[Dict[str, Any], Dict[str, Any]]]:
+    """Ground truth per pool entry: ``fingerprint -> (entry, record)``.
+
+    Runs on a clean serial executor with no cache: the serial path has
+    no injection points, so the truth is fault-free even while a plan is
+    active in this process.
+    """
+    # task_timeout_s=0 explicitly disables any environment-supplied
+    # deadline: truth must take the serial path (no injection points),
+    # even when REPRO_SWEEP_TIMEOUT is exported for the server side.
+    executor = SweepExecutor(machine, workers=1, cache=None, task_timeout_s=0)
+    truth: Dict[str, Tuple[Dict[str, Any], Dict[str, Any]]] = {}
+    for entry in pool:
+        request = parse_request(dict(entry, client_id="chaos-truth"))
+        kind, payload = request.payload()
+        key = executor.cache_key(kind, payload)
+        record = executor.run(kind, [payload], stage="chaos-truth")[0]
+        # Round-trip through JSON so comparisons see exactly what a
+        # served (cached) record looks like on the wire.
+        truth[key] = (entry, json.loads(json.dumps(record)))
+    return truth
+
+
+def _strip_summary(result: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in result.items() if k != "summary"}
+
+
+async def _fetch_json(host: str, port: int, path: str) -> Any:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        _status, doc = await asyncio.wait_for(
+            _read_http_response(reader), 10.0
+        )
+        return doc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class _ChaosClient:
+    """One storm client: keep-alive connection + optional sabotage."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        index: int,
+        seed: int,
+        pool: List[Dict[str, Any]],
+        truth: Dict[str, Tuple[Dict[str, Any], Dict[str, Any]]],
+        plan: Optional[FaultPlan],
+        report: ChaosReport,
+        timeout_s: float,
+    ):
+        self.host = host
+        self.port = port
+        self.index = index
+        self.rng = random.Random((seed << 8) ^ index)
+        self.pool = pool
+        self.truth = truth
+        self.plan = plan
+        self.report = report
+        self.timeout_s = timeout_s
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    def _frame(self, body: bytes) -> bytes:
+        return (
+            f"POST /simulate HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+
+    async def _connect(self) -> None:
+        if self.writer is None:
+            self.reader, self.writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    def _drop_connection(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+        self.reader = self.writer = None
+
+    def _classify(self, doc: Optional[Dict[str, Any]]) -> None:
+        report = self.report
+        doc = doc or {}
+        status = doc.get("status", "error")
+        if status == "ok":
+            source = doc.get("source") or "?"
+            report.by_source[source] = report.by_source.get(source, 0) + 1
+            if doc.get("degraded") or source == "degraded":
+                report.degraded += 1
+                return
+            report.ok += 1
+            fingerprint = doc.get("fingerprint")
+            entry = self.truth.get(fingerprint)
+            if entry is None:
+                report.unverifiable += 1
+                return
+            expected = entry[1]
+            got = _strip_summary(doc.get("result") or {})
+            report.verified += 1
+            if got != expected:
+                report.wrong_results += 1
+                if len(report.mismatches) < 10:
+                    report.mismatches.append(
+                        {
+                            "fingerprint": fingerprint,
+                            "source": source,
+                            "expected": expected,
+                            "got": got,
+                        }
+                    )
+        elif status == "rejected":
+            report.rejected += 1
+            reason = doc.get("reason") or "?"
+            report.by_reason[reason] = report.by_reason.get(reason, 0) + 1
+        else:
+            report.errors += 1
+            reason = doc.get("reason") or "?"
+            report.by_reason[reason] = report.by_reason.get(reason, 0) + 1
+
+    async def run_until(self, deadline: float) -> None:
+        report = self.report
+        while time.perf_counter() < deadline:
+            entry = self.rng.choice(self.pool)
+            body = json.dumps(
+                dict(entry, client_id=f"chaos-{self.index}"),
+                separators=(",", ":"),
+            ).encode()
+            decision = (
+                self.plan.decide("chaos.client")
+                if self.plan is not None else None
+            )
+            mode = decision.mode if decision is not None else None
+            report.sent += 1
+            sabotage = mode in ("disconnect", "slowloris", "malformed")
+            if sabotage:
+                report.sabotaged += 1
+                report.by_sabotage[mode] = (
+                    report.by_sabotage.get(mode, 0) + 1
+                )
+            try:
+                await self._connect()
+                if mode == "disconnect":
+                    # Send a torn request and hang up: the server must
+                    # just close its side, never crash or stall.
+                    self.writer.write(
+                        self._frame(body) + body[: max(1, len(body) // 2)]
+                    )
+                    await self.writer.drain()
+                    self._drop_connection()
+                    continue
+                if mode == "malformed":
+                    bad = b'{"experiment": nonsense,'
+                    self.writer.write(self._frame(bad) + bad)
+                else:
+                    if mode == "slowloris":
+                        # Dribble: headers, a pause, then the body.
+                        self.writer.write(self._frame(body))
+                        await self.writer.drain()
+                        await asyncio.sleep(
+                            decision.delay_s
+                            if decision.delay_s is not None else 0.25
+                        )
+                        self.writer.write(body)
+                    else:
+                        self.writer.write(self._frame(body) + body)
+                await self.writer.drain()
+                _status, doc = await asyncio.wait_for(
+                    _read_http_response(self.reader), self.timeout_s
+                )
+            except (
+                ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, ValueError,
+            ):
+                if not sabotage:
+                    report.dropped += 1
+                self._drop_connection()
+                continue
+            if mode == "malformed":
+                if (doc or {}).get("status") == "ok":
+                    report.malformed_accepted += 1
+                continue
+            self._classify(doc)
+        self._drop_connection()
+
+
+async def _probe_recovery(
+    host: str,
+    port: int,
+    pool: List[Dict[str, Any]],
+    slo_s: float,
+    timeout_s: float,
+) -> Tuple[bool, Optional[float]]:
+    """Time until one full pool pass answers ok and non-degraded."""
+    started = time.perf_counter()
+    deadline = started + slo_s
+    while True:
+        all_good = True
+        for entry in pool:
+            body = json.dumps(
+                dict(entry, client_id="chaos-recovery"), separators=(",", ":")
+            ).encode()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(
+                        (
+                            f"POST /simulate HTTP/1.1\r\n"
+                            f"Host: {host}:{port}\r\n"
+                            "Content-Type: application/json\r\n"
+                            "Connection: close\r\n"
+                            f"Content-Length: {len(body)}\r\n\r\n"
+                        ).encode("latin-1") + body
+                    )
+                    await writer.drain()
+                    _status, doc = await asyncio.wait_for(
+                        _read_http_response(reader), timeout_s
+                    )
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+            except (
+                ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, ValueError,
+            ):
+                all_good = False
+                break
+            doc = doc or {}
+            if doc.get("status") != "ok" or doc.get("degraded"):
+                all_good = False
+                break
+        if all_good:
+            return True, time.perf_counter() - started
+        if time.perf_counter() >= deadline:
+            return False, None
+        await asyncio.sleep(0.2)
+
+
+async def _collect_metrics(
+    host: str, port: int, report: ChaosReport
+) -> None:
+    try:
+        doc = await _fetch_json(host, port, "/metrics")
+    except (ConnectionError, OSError, asyncio.TimeoutError, ValueError):
+        return
+    for entry in (doc or {}).get("metrics", []):
+        name = entry.get("name")
+        labels = entry.get("labels", {}) or {}
+        value = entry.get("value")
+        if not isinstance(value, (int, float)):
+            continue
+        if name == "faults.injected":
+            key = f"{labels.get('point', '?')}:{labels.get('mode', '?')}"
+            report.faults_injected[key] = (
+                report.faults_injected.get(key, 0) + value
+            )
+        elif name == "breaker.transitions":
+            key = f"{labels.get('breaker', '?')}->{labels.get('to', '?')}"
+            report.breaker_transitions[key] = (
+                report.breaker_transitions.get(key, 0) + value
+            )
+
+
+async def run_chaos(
+    host: str,
+    port: int,
+    machine: Any,
+    seed: int = 7,
+    duration_s: float = 20.0,
+    clients: int = 8,
+    unique_points: int = 6,
+    client_faults: Optional[str] = None,
+    error_budget: float = 0.01,
+    recovery_slo_s: float = 10.0,
+    timeout_s: float = 30.0,
+    preset: str = "small",
+) -> ChaosReport:
+    """Storm ``host:port`` for ``duration_s`` and assert the invariants."""
+    pool = preset_pool(preset, unique_points)
+    truth = compute_truth(machine, pool)
+    plan = (
+        FaultPlan.parse(
+            client_faults
+            if "seed=" in client_faults
+            else f"seed={seed};{client_faults}"
+        )
+        if client_faults else None
+    )
+    report = ChaosReport(
+        seed=seed,
+        duration_s=duration_s,
+        error_budget=error_budget,
+        recovery_slo_s=recovery_slo_s,
+    )
+    started = time.perf_counter()
+    deadline = started + duration_s
+    workers = [
+        _ChaosClient(
+            host, port, i, seed, pool, truth, plan, report, timeout_s
+        )
+        for i in range(max(1, clients))
+    ]
+    await asyncio.gather(*(w.run_until(deadline) for w in workers))
+    report.wall_seconds = time.perf_counter() - started
+    report.recovered, report.recovery_seconds = await _probe_recovery(
+        host, port, pool, recovery_slo_s, timeout_s
+    )
+    await _collect_metrics(host, port, report)
+    return report.finalize()

@@ -1,0 +1,36 @@
+"""Graceful degradation: the cheap closed-form analytic fallback.
+
+When the circuit breaker is open or the admission queue is saturated,
+the service answers compute-path requests with a roofline estimate
+instead of a 5xx: a memory-bound sum reduction's runtime floor is
+``input_bytes / peak_bandwidth``, which every layer of the performance
+model already assumes (paper §IV).  The response carries
+``degraded: true`` and ``source: "degraded"`` so clients — and the
+paper-figure pipeline, which must exclude these — can tell the estimate
+from a measurement.  No functional sum is run, so ``value`` is null.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["analytic_estimate"]
+
+
+def analytic_estimate(machine: Any, request: Any) -> Dict[str, Any]:
+    """A roofline-shaped result record for *request* (no simulation run).
+
+    Shaped like the executor's real records (so ``summarize_record``
+    applies unchanged) plus ``analytic``/``model`` markers.
+    """
+    peak_gbs = machine.system.peak_gpu_bandwidth_gbs
+    seconds = request.case.input_bytes / (peak_gbs * 1e9)
+    if request.experiment == "gpu":
+        return {
+            "bandwidth_gbs": peak_gbs,
+            "elapsed_seconds": seconds,
+            "value": None,
+            "analytic": True,
+            "model": "roofline",
+        }
+    return {"measurements": [], "analytic": True, "model": "roofline"}

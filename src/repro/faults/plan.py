@@ -1,0 +1,231 @@
+"""Seeded, rule-based fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultRule`\\ s parsed
+from a compact spec string::
+
+    seed=7;worker.task:crash@0.1;cache.get:corrupt@0.05:count=3
+
+``spec ::= clause (';' clause)*`` where a clause is either ``seed=N`` or
+``point:mode[@rate][:key=value]*``:
+
+``point``
+    The injection-point name (``worker.task``, ``cache.get``,
+    ``cache.put``, ``service.http``, ``scheduler.dispatch``,
+    ``chaos.client``); :mod:`fnmatch` wildcards match families
+    (``cache.*``).
+``mode``
+    What to inject; the catalog per point lives in docs/RESILIENCE.md.
+``rate``
+    Firing probability in ``(0, 1]``; omitted means always fire.
+``count=N`` / ``after=N`` / ``delay=SECONDS``
+    Stop after *N* firings / skip the first *N* probes / how long
+    ``slow``-style modes stall.
+
+Decisions are **deterministic**: each rule keeps its own probe counter,
+and the draw for probe *n* of rule *i* is a pure function of
+``(seed, i, point, n)`` — the same plan replays the same fault sequence
+per injection point no matter how threads interleave, which is what
+makes chaos runs reproducible and the hypothesis re-execution property
+testable.  The first rule that fires wins; rules that pass (by rate,
+``count`` exhaustion, or ``after``) fall through, so layered specs
+compose.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SpecError
+
+__all__ = ["FaultDecision", "FaultPlan", "FaultRule"]
+
+_KNOWN_PARAMS = ("count", "after", "delay")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed clause of a fault spec."""
+
+    point: str
+    mode: str
+    rate: float = 1.0
+    count: Optional[int] = None
+    after: int = 0
+    delay_s: Optional[float] = None
+
+    def matches(self, point: str) -> bool:
+        return self.point == point or fnmatchcase(point, self.point)
+
+    def describe(self) -> str:
+        text = f"{self.point}:{self.mode}@{self.rate:g}"
+        if self.count is not None:
+            text += f":count={self.count}"
+        if self.after:
+            text += f":after={self.after}"
+        if self.delay_s is not None:
+            text += f":delay={self.delay_s:g}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The outcome of a probe that fired: what to inject, and how."""
+
+    point: str
+    mode: str
+    delay_s: Optional[float] = None
+    rule: int = 0
+
+
+def _parse_clause(clause: str, index: int) -> FaultRule:
+    parts = clause.split(":")
+    point = parts[0].strip()
+    if len(parts) < 2 or not point:
+        raise SpecError(
+            f"fault clause {clause!r} must look like point:mode[@rate]"
+            "[:key=value]*"
+        )
+    mode_part = parts[1].strip()
+    mode, _, rate_text = mode_part.partition("@")
+    mode = mode.strip()
+    if not mode:
+        raise SpecError(f"fault clause {clause!r} has an empty mode")
+    rate = 1.0
+    if rate_text:
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            raise SpecError(
+                f"fault rate {rate_text!r} in {clause!r} is not a number"
+            ) from None
+        if not 0.0 < rate <= 1.0:
+            raise SpecError(
+                f"fault rate must be in (0, 1], got {rate} in {clause!r}"
+            )
+    params: Dict[str, str] = {}
+    for raw in parts[2:]:
+        key, eq, value = raw.partition("=")
+        key = key.strip()
+        if not eq or key not in _KNOWN_PARAMS:
+            raise SpecError(
+                f"unknown fault parameter {raw!r} in {clause!r} "
+                f"(expected one of {_KNOWN_PARAMS})"
+            )
+        params[key] = value.strip()
+    try:
+        count = int(params["count"]) if "count" in params else None
+        after = int(params.get("after", "0"))
+        delay_s = float(params["delay"]) if "delay" in params else None
+    except ValueError as exc:
+        raise SpecError(f"bad fault parameter in {clause!r}: {exc}") from None
+    if count is not None and count < 1:
+        raise SpecError(f"count must be >= 1 in {clause!r}")
+    if after < 0:
+        raise SpecError(f"after must be >= 0 in {clause!r}")
+    if delay_s is not None and delay_s < 0:
+        raise SpecError(f"delay must be >= 0 in {clause!r}")
+    return FaultRule(
+        point=point, mode=mode, rate=rate,
+        count=count, after=after, delay_s=delay_s,
+    )
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, seeded rule set with deterministic decisions."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+    spec: str = ""
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _probes: Dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _fired: Dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a spec string (see the module docstring for the grammar)."""
+        if not isinstance(spec, str) or not spec.strip():
+            raise SpecError("fault spec must be a non-empty string")
+        seed = 0
+        rules: List[FaultRule] = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                try:
+                    seed = int(clause[len("seed="):])
+                except ValueError:
+                    raise SpecError(
+                        f"fault seed {clause!r} is not an integer"
+                    ) from None
+                continue
+            rules.append(_parse_clause(clause, len(rules)))
+        if not rules:
+            raise SpecError(f"fault spec {spec!r} contains no rules")
+        return cls(rules=tuple(rules), seed=seed, spec=spec.strip())
+
+    def _draw(self, rule_index: int, point: str, probe: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{rule_index}:{point}:{probe}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def decide(self, point: str) -> Optional[FaultDecision]:
+        """The injection to perform at *point* now, or ``None``.
+
+        Each matching rule consumes one probe; the first rule that fires
+        wins, non-firing rules fall through to the next match.
+        """
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if not rule.matches(point):
+                    continue
+                probe = self._probes.get(i, 0)
+                self._probes[i] = probe + 1
+                if probe < rule.after:
+                    continue
+                if rule.count is not None and self._fired.get(i, 0) >= rule.count:
+                    continue
+                if rule.rate < 1.0 and self._draw(i, point, probe) >= rule.rate:
+                    continue
+                self._fired[i] = self._fired.get(i, 0) + 1
+                return FaultDecision(
+                    point=point, mode=rule.mode, delay_s=rule.delay_s, rule=i,
+                )
+        return None
+
+    def reset(self) -> None:
+        """Rewind every probe/fired counter (replays the same sequence)."""
+        with self._lock:
+            self._probes.clear()
+            self._fired.clear()
+
+    def advance(self, probes: int) -> None:
+        """Pre-advance every rule's probe counter by *probes*.
+
+        Restarted pool workers call this with their spawn generation so
+        each replacement *continues* the fault sequence instead of
+        replaying it from probe 0 — otherwise a rule that fires on its
+        first draw would deterministically kill every replacement worker
+        and no amount of retrying could make progress.
+        """
+        if probes <= 0:
+            return
+        with self._lock:
+            for i in range(len(self.rules)):
+                self._probes[i] = self._probes.get(i, 0) + probes
+
+    def describe(self) -> str:
+        body = "; ".join(rule.describe() for rule in self.rules)
+        return f"fault plan (seed={self.seed}): {body}"

@@ -331,7 +331,11 @@ class SimResponse:
     computation failed after retries).  ``source`` records how an ``ok``
     result was produced: ``"cache"`` (read-through hit against the
     persistent result cache), ``"coalesced"`` (deduplicated onto another
-    in-flight request with the same fingerprint), or ``"computed"``.
+    in-flight request with the same fingerprint), ``"computed"``, or
+    ``"degraded"`` — the load-shedding analytic estimate, flagged by
+    ``degraded: true``, whose result is a closed-form roofline model
+    rather than a measurement (paper-figure pipelines must skip these;
+    see docs/RESILIENCE.md).
     """
 
     status: str
@@ -343,6 +347,7 @@ class SimResponse:
     queue_seconds: Optional[float] = None
     service_seconds: Optional[float] = None
     retries: int = 0
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -367,6 +372,8 @@ class SimResponse:
                 doc[key] = value
         if self.retries:
             doc["retries"] = self.retries
+        if self.degraded:
+            doc["degraded"] = True
         return doc
 
     @classmethod

@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional, Tuple
 from dataclasses import replace
 
 from .._version import __version__
+from ..faults.injector import fire
 from .api import (
     ServiceValidationError, SimRequest, SimResponse, next_request_id,
     parse_request,
@@ -154,6 +155,17 @@ class ServiceHTTPServer:
                 if request is None:  # client closed cleanly
                     break
                 last_activity = loop.time()
+                decision = fire("service.http")
+                if decision is not None:
+                    if decision.mode == "disconnect":
+                        # Simulate the server side dying mid-exchange:
+                        # hang up with no response at all.
+                        break
+                    if decision.mode == "slow":
+                        await asyncio.sleep(
+                            decision.delay_s
+                            if decision.delay_s is not None else 0.05
+                        )
                 method, path, headers, body = request
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
@@ -242,6 +254,19 @@ class ServiceHTTPServer:
         if path == "/metrics":
             if method != "GET":
                 raise _HTTPError(405, "use GET /metrics")
+            cache = self.service.executor.cache
+            if cache is not None:
+                # Mirror the cache's own counters (including the
+                # self-healing ones) so chaos reports and dashboards
+                # read one endpoint.
+                registry = self.service.registry
+                for name, value in (
+                    ("hits", cache.hits), ("misses", cache.misses),
+                    ("stores", cache.stores), ("evictions", cache.evictions),
+                    ("checksum_failures", cache.checksum_failures),
+                    ("quarantined", cache.quarantined),
+                ):
+                    registry.gauge(f"cache.{name}").set(float(value))
             return 200, {"metrics": self.service.registry.snapshot()}
         if path == "/simulate":
             if method != "POST":

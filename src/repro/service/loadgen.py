@@ -28,7 +28,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..util.tables import AsciiTable
 
-__all__ = ["LoadReport", "build_preset", "percentile", "run_load"]
+__all__ = [
+    "LoadReport", "build_preset", "percentile", "preset_pool", "run_load",
+]
 
 #: Latency histogram bucket upper bounds (seconds).
 HIST_BUCKETS = (
@@ -39,20 +41,15 @@ HIST_BUCKETS = (
 PERCENTILES = (50.0, 90.0, 95.0, 99.0, 100.0)
 
 
-def build_preset(
-    name: str = "small",
-    total: int = 200,
-    seed: int = 0,
-    unique_points: int = 12,
+def preset_pool(
+    name: str = "small", unique_points: int = 12
 ) -> List[Dict[str, Any]]:
-    """A request list replaying overlapping Fig.-1 sweep points.
+    """The distinct request pool behind a preset (see :func:`build_preset`).
 
-    ``small`` shrinks the declared problem so a CI runner computes each
-    unique point in milliseconds; ``fig1`` uses the paper's real C1 grid.
-    Points are drawn with replacement from a pool of ``unique_points``
-    configs, so duplicate fingerprints dominate — the dedupe workload.
+    Exposed so harnesses that need the exact unique points (the chaos
+    harness precomputes ground truth per pool entry) share one
+    definition with the load generator.
     """
-    rng = random.Random(seed)
     if name == "small":
         base: Dict[str, Any] = {
             "dtype": "int32", "elements": 1 << 16, "trials": 5,
@@ -73,7 +70,24 @@ def build_preset(
         ]
     else:
         raise ValueError(f"unknown preset {name!r}; expected 'small' or 'fig1'")
-    pool = [dict(base, **point) for point in grid[: max(1, unique_points)]]
+    return [dict(base, **point) for point in grid[: max(1, unique_points)]]
+
+
+def build_preset(
+    name: str = "small",
+    total: int = 200,
+    seed: int = 0,
+    unique_points: int = 12,
+) -> List[Dict[str, Any]]:
+    """A request list replaying overlapping Fig.-1 sweep points.
+
+    ``small`` shrinks the declared problem so a CI runner computes each
+    unique point in milliseconds; ``fig1`` uses the paper's real C1 grid.
+    Points are drawn with replacement from a pool of ``unique_points``
+    configs, so duplicate fingerprints dominate — the dedupe workload.
+    """
+    rng = random.Random(seed)
+    pool = preset_pool(name, unique_points)
     return [dict(rng.choice(pool)) for _ in range(total)]
 
 

@@ -14,8 +14,19 @@ into resolved responses, in three tiers:
 3. **Compute** — remaining fingerprints go to the PR-1
    :class:`~repro.sweep.executor.SweepExecutor` (process-pool fan-out)
    on a dispatch thread, with bounded retry-with-jitter around worker
-   failure.  Results are persisted by the executor's own write path, so
-   every other tier benefits next time.
+   failure and an optional *hedged* second attempt
+   (``hedge_delay_s``) racing a straggling primary.  Results are
+   persisted by the executor's own write path, so every other tier
+   benefits next time.
+
+Compute failures (retry exhaustion, or points the supervised pool
+resolved to explicit failure records) feed a
+:class:`~repro.faults.breaker.CircuitBreaker`; while it is open — or
+when the admission queue saturates — the service **degrades
+gracefully**: compute-path requests get an immediate closed-form
+analytic estimate (:func:`~repro.faults.degrade.analytic_estimate`)
+flagged ``degraded: true`` instead of a 5xx or a doomed queue slot.
+Cache hits keep being served from cache throughout.
 
 :class:`ReductionService` wires admission -> batcher -> scheduler into
 one object with ``start``/``submit``/``stop``; the HTTP front end and
@@ -32,11 +43,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.machine import Machine
 from ..errors import ReproError
+from ..faults.breaker import CircuitBreaker
+from ..faults.degrade import analytic_estimate
+from ..faults.injector import fire
 from ..sweep.executor import SweepExecutor
 from ..sweep.result_cache import open_result_cache
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.state import get_telemetry
-from .admission import AdmissionController, PendingRequest
+from .admission import QUEUE_FULL, AdmissionController, PendingRequest
 from .api import SimRequest, SimResponse, summarize_record
 from .batcher import MicroBatch, MicroBatcher
 
@@ -63,6 +77,10 @@ class ServiceSettings:
     retry_jitter_s: float = 0.05
     retry_seed: int = 0
     dispatch_threads: int = 1
+    degrade: bool = True
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 2.0
+    hedge_delay_s: Optional[float] = None  # None = hedged retry off
 
 
 class Scheduler:
@@ -78,8 +96,17 @@ class Scheduler:
         self.settings = settings
         self.registry = registry or MetricsRegistry()
         self._rng = random.Random(settings.retry_seed)
+        self.breaker = CircuitBreaker(
+            name="service",
+            failure_threshold=settings.breaker_threshold,
+            cooldown_s=settings.breaker_cooldown_s,
+            registry=self.registry,
+        )
         self._pool = ThreadPoolExecutor(
-            max_workers=max(1, settings.dispatch_threads),
+            # One spare thread so a hedge can run while the primary is
+            # still occupying its dispatch slot.
+            max_workers=max(1, settings.dispatch_threads)
+            + (1 if settings.hedge_delay_s is not None else 0),
             thread_name_prefix="repro-service-dispatch",
         )
         #: fingerprint -> future resolving to the computed record.
@@ -145,6 +172,54 @@ class Scheduler:
                 continue
             self._resolve(batch.entries[key], record, "coalesced", started)
 
+    async def _run_dispatch(
+        self, loop: "asyncio.AbstractEventLoop", kind: str,
+        payloads: List[tuple],
+    ) -> List[dict]:
+        """One dispatch to the executor, optionally hedged.
+
+        With ``hedge_delay_s`` set, a primary that has not answered
+        within the delay races a second identical attempt; the first
+        to finish wins (measurements are pure functions of the point,
+        so either result is correct).  The loser's outcome is consumed
+        and discarded.
+        """
+
+        def run() -> "asyncio.Future":
+            return loop.run_in_executor(
+                self._pool,
+                self.executor.run,
+                kind,
+                payloads,
+                f"service-{kind}",
+            )
+
+        if self.settings.hedge_delay_s is None:
+            return await run()
+        primary = asyncio.ensure_future(run())
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(primary), self.settings.hedge_delay_s
+            )
+        except asyncio.TimeoutError:
+            pass
+        self.registry.counter("service.hedges").add(1)
+        hedge = asyncio.ensure_future(run())
+        done, pending = await asyncio.wait(
+            {primary, hedge}, return_when=asyncio.FIRST_COMPLETED
+        )
+        winner = done.pop()
+        if winner is hedge:
+            self.registry.counter("service.hedge_wins").add(1)
+        for leftover in done | pending:
+            # The loser runs to completion on its thread; swallow its
+            # eventual outcome so nothing warns about an unretrieved
+            # exception.
+            leftover.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+        return winner.result()
+
     async def _compute(
         self, batch: MicroBatch, keys: List[str], started: float
     ) -> None:
@@ -153,17 +228,31 @@ class Scheduler:
         attempt = 0
         while True:
             try:
-                records = await loop.run_in_executor(
-                    self._pool,
-                    self.executor.run,
-                    batch.kind,
-                    payloads,
-                    f"service-{batch.kind}",
+                decision = fire("scheduler.dispatch")
+                if decision is not None:
+                    if decision.mode == "slow":
+                        await asyncio.sleep(
+                            decision.delay_s
+                            if decision.delay_s is not None else 0.05
+                        )
+                    elif decision.mode == "error":
+                        raise RuntimeError("injected dispatch failure")
+                    elif decision.mode == "timeout":
+                        await asyncio.sleep(
+                            decision.delay_s
+                            if decision.delay_s is not None else 0.1
+                        )
+                        raise asyncio.TimeoutError(
+                            "injected dispatch timeout"
+                        )
+                records = await self._run_dispatch(
+                    loop, batch.kind, payloads
                 )
                 break
             except Exception as exc:
                 if attempt >= self.settings.max_retries:
                     self.registry.counter("service.errors").add(len(keys))
+                    self.breaker.record_failure(loop.time())
                     for key in keys:
                         self._fail(
                             batch.entries[key],
@@ -180,8 +269,25 @@ class Scheduler:
                 )
                 await asyncio.sleep(delay)
         self.registry.counter("service.computed").add(len(keys))
+        now = loop.time()
         for key, record in zip(keys, records):
             inflight = self._inflight.get(key)
+            if isinstance(record, dict) and record.get("failed"):
+                # The supervised pool quarantined or timed this point
+                # out: an explicit failure, never served as ok (and
+                # never cached — the executor already skipped it).
+                self.registry.counter("service.failed_points").add(1)
+                self.breaker.record_failure(now)
+                if inflight is not None and not inflight.done():
+                    inflight.cancel()
+                self._fail(
+                    batch.entries[key],
+                    "compute_failed",
+                    str(record.get("error") or "sweep point failed"),
+                    retries=attempt,
+                )
+                continue
+            self.breaker.record_success(now)
             if inflight is not None and not inflight.done():
                 inflight.set_result(record)
             self._resolve(
@@ -388,6 +494,12 @@ class ReductionService:
                     queue_seconds=0.0,
                     service_seconds=round(latency, 9),
                 )
+        # Load shedding: while the breaker is open, compute-path traffic
+        # gets the analytic estimate instead of queueing work the
+        # backend cannot currently finish.  (Cache hits were already
+        # served above — degradation never applies to them.)
+        if self.settings.degrade and not self.scheduler.breaker.allow(now):
+            return self._degraded(request, key, "breaker_open", now)
         timeout = (
             request.timeout_s
             if request.timeout_s is not None
@@ -404,8 +516,32 @@ class ReductionService:
         )
         reason = self.admission.enqueue(pending)
         if reason is not None:
+            if reason == QUEUE_FULL and self.settings.degrade:
+                # Saturation counts as a failure signal (it opens the
+                # breaker under sustained overload) but the client still
+                # gets an answer, not a 429.
+                self.scheduler.breaker.record_failure(loop.time())
+                return self._degraded(request, key, "queue_full", now)
             return SimResponse.rejected(request.request_id, reason)
         return await pending.future
+
+    def _degraded(
+        self, request: SimRequest, key: str, reason: str, started: float
+    ) -> SimResponse:
+        """The graceful-degradation response: analytic, flagged, 200."""
+        loop = asyncio.get_running_loop()
+        self.registry.counter("service.degraded", reason=reason).add(1)
+        record = analytic_estimate(self.machine, request)
+        return SimResponse(
+            status="ok",
+            request_id=request.request_id,
+            fingerprint=key,
+            source="degraded",
+            degraded=True,
+            result=summarize_record(request, record),
+            queue_seconds=0.0,
+            service_seconds=round(loop.time() - started, 9),
+        )
 
     async def submit_many(self, requests: List[SimRequest]) -> List[SimResponse]:
         """Submit a client batch concurrently; order is preserved."""
@@ -420,6 +556,7 @@ class ReductionService:
             "queue_depth": self.admission.depth(),
             "max_queue": self.settings.max_queue,
             "inflight_fingerprints": len(self.scheduler._inflight),
+            "breaker": self.scheduler.breaker.state,
             "workers": self.executor.workers,
             "cache": (
                 self.executor.cache.describe()

@@ -7,15 +7,25 @@ parameter points through a :class:`SweepExecutor`, which
 1. checks each point against a persistent :class:`~repro.sweep.
    result_cache.ResultCache` (keyed by machine fingerprint + experiment
    kind + parameter point + trials),
-2. fans the misses out over a ``concurrent.futures`` process pool
-   (``workers`` from the argument, the ``REPRO_SWEEP_WORKERS``
-   environment variable, or :attr:`~repro.config.ReproConfig.
-   sweep_workers`; ``workers=1`` preserves today's exact serial ordering
-   and results), with chunked scheduling and graceful fallback to the
-   serial path when a pool cannot be used, and
+2. fans the misses out over a :class:`~repro.faults.supervisor.
+   SupervisedWorkerPool` (``workers`` from the argument, the
+   ``REPRO_SWEEP_WORKERS`` environment variable, or :attr:`~repro.
+   config.ReproConfig.sweep_workers`; ``workers=1`` with no task
+   timeout preserves the exact serial ordering and results) — the pool
+   heartbeats its workers, restarts crashed or hung ones with bounded
+   re-execution, verifies result checksums, and quarantines poison
+   tasks as explicit failure records; graceful fallback to the serial
+   path when a pool cannot be used — and
 3. collates results deterministically in submission order, recording
-   per-stage wall time and hit/miss counters in :class:`~repro.sweep.
-   instrumentation.SweepStats`.
+   per-stage wall time and hit/miss/failed counters in :class:`~repro.
+   sweep.instrumentation.SweepStats`.  Failure records are counted but
+   never cached.
+
+A global per-task timeout (``--timeout`` / ``REPRO_SWEEP_TIMEOUT`` /
+:attr:`~repro.config.ReproConfig.sweep_task_timeout_s`) records a
+too-slow point as failed instead of aborting the sweep; setting it
+routes even single-worker runs through the pool, since enforcing a
+deadline requires process isolation.
 
 Worker processes rebuild the machine from a picklable
 :class:`MachineSpec`; because every measurement is a pure function of
@@ -25,9 +35,7 @@ serial ones.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -50,15 +58,20 @@ from .instrumentation import SweepStats
 from .result_cache import ResultCache
 
 __all__ = [
+    "TIMEOUT_ENV",
     "WORKERS_ENV",
     "MachineSpec",
     "CoexecRequest",
     "SweepExecutor",
+    "resolve_task_timeout",
     "resolve_workers",
 ]
 
 #: Environment variable overriding the worker count (int, or ``auto``).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Environment variable setting the per-task timeout (seconds).
+TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
 
 
 def resolve_workers(workers: "int | str | None", config: ReproConfig) -> int:
@@ -85,6 +98,36 @@ def resolve_workers(workers: "int | str | None", config: ReproConfig) -> int:
     if workers <= 0:
         return max(1, os.cpu_count() or 1)
     return int(workers)
+
+
+def resolve_task_timeout(
+    timeout: "float | str | None", config: ReproConfig
+) -> Optional[float]:
+    """Resolve the per-task timeout: argument > env var > config > off.
+
+    Values <= 0 disable the deadline (so ``--timeout 0`` turns an
+    environment-supplied timeout back off).
+    """
+    source = "timeout"
+    if timeout is None:
+        env = os.environ.get(TIMEOUT_ENV)
+        if env:
+            timeout = env
+            source = TIMEOUT_ENV
+        elif config.sweep_task_timeout_s is not None:
+            timeout = config.sweep_task_timeout_s
+        else:
+            return None
+    if isinstance(timeout, str):
+        try:
+            timeout = float(timeout)
+        except ValueError:
+            raise SpecError(
+                f"{source} must be a number of seconds, got {timeout!r}"
+            ) from None
+    if timeout <= 0:
+        return None
+    return float(timeout)
 
 
 @dataclass(frozen=True)
@@ -179,38 +222,6 @@ _TASKS = {
     "coexec_sweep": _task_coexec_sweep,
 }
 
-_WORKER_MACHINE: Optional[Machine] = None
-
-
-def _worker_init(spec: MachineSpec) -> None:
-    global _WORKER_MACHINE
-    _WORKER_MACHINE = spec.build()
-
-
-def _worker_chunk(kind: str, payloads: List[tuple]) -> dict:
-    """Run a chunk in a worker; returns records plus any telemetry spans.
-
-    When telemetry is enabled (workers inherit ``REPRO_TELEMETRY`` through
-    the pool), each point runs under a span and the finished span dicts
-    ship back with the results so the coordinator can re-parent them under
-    its stage span — the worker-side timeline survives the process hop.
-    """
-    assert _WORKER_MACHINE is not None, "worker pool not initialized"
-    task = _TASKS[kind]
-    telemetry = get_telemetry()
-    if not telemetry.enabled:
-        return {"records": [task(_WORKER_MACHINE, p) for p in payloads]}
-    mark = telemetry.recorder.mark()
-    records = []
-    for payload in payloads:
-        with tele_span("sweep.point", category="sweep", kind=kind,
-                       worker=True):
-            records.append(task(_WORKER_MACHINE, payload))
-    return {
-        "records": records,
-        "spans": telemetry.recorder.export_since(mark),
-    }
-
 
 def _sweep_from_record(request: CoexecRequest, record: dict) -> CoExecSweep:
     """Rebuild a :class:`CoExecSweep` from its cached JSON record."""
@@ -257,6 +268,13 @@ class SweepExecutor:
         (every point recomputes, exactly as before this subsystem).
     stats:
         Shared :class:`SweepStats`; created fresh when omitted.
+    task_timeout_s:
+        Per-task wall-clock budget; ``None`` resolves through
+        ``REPRO_SWEEP_TIMEOUT`` and :attr:`ReproConfig.
+        sweep_task_timeout_s`, defaulting to no deadline.  Setting one
+        routes computation through the supervised pool (even with one
+        worker), where a too-slow point becomes a failure record
+        instead of aborting the sweep.
     """
 
     def __init__(
@@ -265,10 +283,15 @@ class SweepExecutor:
         workers: "int | str | None" = None,
         cache: Optional[ResultCache] = None,
         stats: Optional[SweepStats] = None,
+        task_timeout_s: "float | str | None" = None,
     ):
         self.machine = machine
         self.workers = resolve_workers(workers, machine.config)
         self.cache = cache
+        self.task_timeout_s = resolve_task_timeout(
+            task_timeout_s, machine.config
+        )
+        self._pool: Optional[Any] = None
         if stats is None:
             # When profiling, back the stage counters by the global
             # telemetry registry so they appear in exported traces.
@@ -277,7 +300,11 @@ class SweepExecutor:
                 registry=telemetry.registry if telemetry.enabled else None
             )
         self.stats = stats
-        self.stats.mode = "serial" if self.workers == 1 else f"processes({self.workers})"
+        self.stats.mode = (
+            "serial"
+            if self.workers == 1 and self.task_timeout_s is None
+            else f"processes({self.workers})"
+        )
         self._machine_fp = fingerprint(machine_fingerprint_data(machine))
 
     # -- cache keys -----------------------------------------------------------
@@ -318,22 +345,36 @@ class SweepExecutor:
             if misses:
                 computed = self._compute(kind, [payloads[i] for i in misses])
                 st.add_computed(len(misses))
+                failed = 0
                 for i, record in zip(misses, computed):
                     results[i] = record
+                    if isinstance(record, dict) and record.get("failed"):
+                        # Timed-out or quarantined point: visible in the
+                        # stats and the record, but never cached — the
+                        # next run gets a fresh attempt.
+                        failed += 1
+                        continue
                     if self.cache is not None and keys[i] is not None:
                         self.cache.put(keys[i], record)
+                if failed:
+                    st.add_failed(failed)
+                    sp.set(failed=failed)
         return results  # type: ignore[return-value]
 
     def _compute(self, kind: str, payloads: List[tuple]) -> List[dict]:
-        if self.workers == 1 or len(payloads) < 2:
+        if self.task_timeout_s is None and (
+            self.workers == 1 or len(payloads) < 2
+        ):
             return self._compute_serial(kind, payloads)
         try:
-            return self._compute_parallel(kind, payloads)
+            return self._compute_pool(kind, payloads)
         except Exception:
             # Pools can be unavailable (pickling limits, sandboxed
-            # platforms, restricted /dev/shm); the serial path is always
-            # correct, just slower.
+            # platforms, restricted /dev/shm) or exhaust their restart
+            # budget; the serial path is always correct, just slower
+            # and without crash isolation.
             self.stats.mode = "serial (pool unavailable)"
+            self.close()
             return self._compute_serial(kind, payloads)
 
     def _compute_serial(self, kind: str, payloads: List[tuple]) -> List[dict]:
@@ -346,42 +387,39 @@ class SweepExecutor:
                 results.append(task(self.machine, payload))
         return results
 
-    def _compute_parallel(self, kind: str, payloads: List[tuple]) -> List[dict]:
-        n = min(self.workers, len(payloads))
-        chunk_size = max(1, -(-len(payloads) // (n * 4)))
-        chunks = [
-            (start, payloads[start : start + chunk_size])
-            for start in range(0, len(payloads), chunk_size)
-        ]
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        spec = MachineSpec.of(self.machine)
+    def _compute_pool(self, kind: str, payloads: List[tuple]) -> List[dict]:
+        if self._pool is None:
+            # Imported lazily: repro.faults.supervisor itself imports
+            # from repro.sweep, so a module-level import would cycle.
+            from ..faults.supervisor import SupervisedWorkerPool
+
+            self._pool = SupervisedWorkerPool(
+                MachineSpec.of(self.machine),
+                _TASKS,
+                workers=self.workers,
+                task_timeout_s=self.task_timeout_s,
+            )
+        records, spans = self._pool.run(kind, payloads)
         telemetry = get_telemetry()
-        results: List[Optional[dict]] = [None] * len(payloads)
-        with ProcessPoolExecutor(
-            max_workers=n,
-            mp_context=ctx,
-            initializer=_worker_init,
-            initargs=(spec,),
-        ) as pool:
-            futures = {
-                pool.submit(_worker_chunk, kind, chunk): start
-                for start, chunk in chunks
-            }
-            for future, start in futures.items():
-                chunk_result = future.result()
-                for offset, record in enumerate(chunk_result["records"]):
-                    results[start + offset] = record
-                if telemetry.enabled and chunk_result.get("spans"):
-                    # Adopt the worker's spans under the current stage
-                    # span so the exported timeline keeps one tree.
-                    telemetry.recorder.ingest(
-                        chunk_result["spans"],
-                        parent_id=telemetry.recorder.current_id(),
-                    )
-        return results  # type: ignore[return-value]
+        if telemetry.enabled and spans:
+            # Adopt the workers' spans under the current stage span so
+            # the exported timeline keeps one tree.
+            telemetry.recorder.ingest(
+                spans, parent_id=telemetry.recorder.current_id()
+            )
+        return records
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- typed front doors ----------------------------------------------------
     def gpu_points(

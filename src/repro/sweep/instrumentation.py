@@ -28,7 +28,9 @@ __all__ = ["StageStats", "SweepStats"]
 class StageStats:
     """Counters for one named sweep stage (views over registry counters)."""
 
-    __slots__ = ("name", "_wall", "_points", "_hits", "_computed", "_errors")
+    __slots__ = (
+        "name", "_wall", "_points", "_hits", "_computed", "_errors", "_failed",
+    )
 
     def __init__(self, name: str, registry: MetricsRegistry):
         self.name = name
@@ -37,6 +39,7 @@ class StageStats:
         self._hits = registry.counter("sweep.stage.cache_hits", stage=name)
         self._computed = registry.counter("sweep.stage.computed", stage=name)
         self._errors = registry.counter("sweep.stage.errors", stage=name)
+        self._failed = registry.counter("sweep.stage.failed", stage=name)
 
     # -- increments (the executor's write API) -------------------------------
     def add_wall(self, seconds: float) -> None:
@@ -53,6 +56,9 @@ class StageStats:
 
     def add_error(self, n: int = 1) -> None:
         self._errors.add(n)
+
+    def add_failed(self, n: int = 1) -> None:
+        self._failed.add(n)
 
     # -- reads ----------------------------------------------------------------
     @property
@@ -74,6 +80,10 @@ class StageStats:
     @property
     def errors(self) -> int:
         return int(self._errors.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
 
     @property
     def points_per_second(self) -> float:
@@ -146,38 +156,52 @@ class SweepStats:
     def total_errors(self) -> int:
         return sum(s.errors for s in self.stages.values())
 
+    @property
+    def total_failed(self) -> int:
+        return sum(s.failed for s in self.stages.values())
+
     def render(self) -> str:
-        """ASCII summary table of every stage plus totals."""
-        table = AsciiTable(
-            ["stage", "wall s", "points", "hits", "computed", "errors",
-             "points/s"]
-        )
+        """ASCII summary table of every stage plus totals.
+
+        The ``failed`` column (points resolved to explicit failure
+        records by the supervised pool — timeouts and quarantined
+        poison tasks) only appears when something actually failed, so
+        clean runs render byte-identically to earlier versions.
+        """
+        with_failed = self.total_failed > 0
+        columns = ["stage", "wall s", "points", "hits", "computed", "errors"]
+        if with_failed:
+            columns.append("failed")
+        table = AsciiTable(columns + ["points/s"])
         rows = [self.stages[name] for name in self.order]
         for st in rows:
-            table.add_row(
-                [
-                    st.name,
-                    f"{st.wall_seconds:.3f}",
-                    st.points,
-                    st.cache_hits,
-                    st.computed,
-                    st.errors,
-                    f"{st.points_per_second:.1f}",
-                ]
-            )
+            cells = [
+                st.name,
+                f"{st.wall_seconds:.3f}",
+                st.points,
+                st.cache_hits,
+                st.computed,
+                st.errors,
+            ]
+            if with_failed:
+                cells.append(st.failed)
+            table.add_row(cells + [f"{st.points_per_second:.1f}"])
+        totals = [
+            "TOTAL",
+            f"{self.total_wall_seconds:.3f}",
+            self.total_points,
+            self.total_cache_hits,
+            self.total_computed,
+            self.total_errors,
+        ]
+        if with_failed:
+            totals.append(self.total_failed)
         table.add_row(
-            [
-                "TOTAL",
-                f"{self.total_wall_seconds:.3f}",
-                self.total_points,
-                self.total_cache_hits,
-                self.total_computed,
-                self.total_errors,
-                (
-                    f"{self.total_points / self.total_wall_seconds:.1f}"
-                    if self.total_wall_seconds > 0
-                    else "0.0"
-                ),
+            totals
+            + [
+                f"{self.total_points / self.total_wall_seconds:.1f}"
+                if self.total_wall_seconds > 0
+                else "0.0"
             ]
         )
         header = f"sweep executor: mode={self.mode}"

@@ -11,17 +11,28 @@ abandons every old entry.
 
 An in-memory layer fronts the files so repeated stages inside one run
 (e.g. ``full_report`` regenerating figures the driver already produced)
-hit without touching disk.  Corrupt or truncated entries (a crash or
-power loss mid-write predating the atomic-replace path, or stray bytes
-from another tool) are treated as misses and *evicted*, so one bad file
-cannot poison every later run.  Writes are crash-safe: a temp file in
-the same directory is fsynced and ``os.replace``d into place, so readers
-only ever observe complete entries.  A lock makes the in-memory layer
-and counters safe under the service's concurrent handlers.
+hit without touching disk.  The cache **self-heals**: entries are
+written wrapped with a SHA-256 checksum of their payload, and a read
+whose bytes fail to parse *or* whose payload no longer matches its
+checksum is treated as a miss and the file is *quarantined* (moved into
+a ``quarantine/`` subdirectory for post-mortem, unlinked if even that
+fails) so one bad file cannot poison every later run.  Legacy unwrapped
+entries are still readable.  Writes are crash-safe: a temp file in the
+same directory is fsynced and ``os.replace``d into place, so readers —
+including concurrent writers racing on the same key, which at worst
+replace one complete entry with another — only ever observe complete
+entries.  A lock makes the in-memory layer and counters safe under the
+service's concurrent handlers.
+
+Fault injection (:mod:`repro.faults`): ``cache.get`` can corrupt the
+on-disk bytes before a read (exercising the checksum path) or simulate
+``EIO``; ``cache.put`` can tear a write (bypassing the atomic path, the
+pre-atomic crash shape) or drop it.  All no-ops unless a plan is active.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -29,10 +40,15 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..faults.injector import fire
+
 __all__ = ["ResultCache", "default_cache_dir", "open_result_cache"]
 
 #: Environment variable naming the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -41,6 +57,12 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro-sweep"
+
+
+def _value_digest(value: Any) -> str:
+    """SHA-256 over a canonical encoding of *value*."""
+    blob = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -54,46 +76,110 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.checksum_failures = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside for post-mortem (unlink as fallback)."""
+        try:
+            qdir = self.directory / QUARANTINE_DIR
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            with self._lock:
+                self.quarantined += 1
+            return
+        except OSError:
+            pass
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _evict(self, path: Path) -> None:
+        self._quarantine(path)
+        with self._lock:
+            self.misses += 1
+            self.evictions += 1
+
     def get(self, key: str) -> Optional[Any]:
         """The cached value for *key*, or ``None`` on a miss.
 
-        A corrupt or truncated on-disk entry is evicted (unlinked) and
-        counts as a miss — never raises toward the caller.
+        A corrupt or truncated on-disk entry — bad JSON, or a checksum
+        that no longer matches its payload — is quarantined and counts
+        as a miss; never raises toward the caller.
         """
         with self._lock:
             if key in self._memory:
                 self.hits += 1
                 return self._memory[key]
         path = self._path(key)
+        decision = fire("cache.get")
+        if decision is not None:
+            if decision.mode == "corrupt":
+                # Garble the real file so the normal read path below
+                # exercises detection exactly as a stray write would.
+                try:
+                    with open(path, "r+b") as fh:
+                        fh.seek(0)
+                        fh.write(b'{"sha256": "bogus", "val')
+                        fh.truncate()
+                except OSError:
+                    pass
+            elif decision.mode == "eio":
+                with self._lock:
+                    self.misses += 1
+                return None
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                value = json.load(fh)
+                doc = json.load(fh)
         except ValueError:
-            # Truncated/corrupt JSON: evict the bad file so it cannot
-            # shadow a future good write or re-fail every reader.
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-            with self._lock:
-                self.misses += 1
-                self.evictions += 1
+            # Truncated/corrupt JSON: a crash or power loss mid-write
+            # predating the atomic-replace path, or stray bytes from
+            # another tool.
+            self._evict(path)
             return None
         except OSError:
             with self._lock:
                 self.misses += 1
             return None
+        if isinstance(doc, dict) and set(doc) == {"sha256", "value"}:
+            value = doc["value"]
+            if doc["sha256"] != _value_digest(value):
+                with self._lock:
+                    self.checksum_failures += 1
+                self._evict(path)
+                return None
+        else:
+            # Legacy unwrapped entry (pre-checksum cache versions).
+            value = doc
         with self._lock:
             self._memory[key] = value
             self.hits += 1
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store *value* under *key* (crash-safe: fsync + atomic replace)."""
+        """Store *value* under *key* (crash-safe: fsync + atomic replace).
+
+        The on-disk form wraps the value with its checksum so
+        :meth:`get` can verify integrity end to end.
+        """
+        decision = fire("cache.put")
+        if decision is not None:
+            if decision.mode == "partial":
+                # A torn write straight at the final path — the shape a
+                # crash would leave without the tempfile+rename dance.
+                try:
+                    self.directory.mkdir(parents=True, exist_ok=True)
+                    with open(self._path(key), "w", encoding="utf-8") as fh:
+                        fh.write('{"sha256": "')
+                except OSError:
+                    pass
+                return
+            if decision.mode == "eio":
+                return
         with self._lock:
             self._memory[key] = value
         try:
@@ -103,7 +189,7 @@ class ResultCache:
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(value, fh)
+                    json.dump({"sha256": _value_digest(value), "value": value}, fh)
                     fh.flush()
                     os.fsync(fh.fileno())
                 os.replace(tmp, self._path(key))
@@ -141,15 +227,18 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def describe(self) -> str:
-        evicted = (
-            f", {self.evictions} corrupt entries evicted"
-            if self.evictions else ""
-        )
+        extras = ""
+        if self.evictions:
+            extras += f", {self.evictions} corrupt entries evicted"
+        if self.checksum_failures:
+            extras += f", {self.checksum_failures} checksum failures"
+        if self.quarantined:
+            extras += f", {self.quarantined} quarantined"
         return (
             f"result cache at {self.directory} "
             f"({self.entry_count()} entries; this process: "
             f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
-            f"{evicted})"
+            f"{extras})"
         )
 
 

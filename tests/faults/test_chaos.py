@@ -1,0 +1,136 @@
+"""Chaos harness: report invariants + a short in-process storm."""
+
+import asyncio
+
+import pytest
+
+from repro.faults import injector
+from repro.faults.chaos import ChaosReport, compute_truth, run_chaos
+from repro.service import ReductionService, ServiceHTTPServer, ServiceSettings
+from repro.service.loadgen import preset_pool
+from repro.sweep.executor import SweepExecutor
+from repro.sweep.result_cache import ResultCache
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector(monkeypatch):
+    monkeypatch.delenv(injector.FAULTS_ENV, raising=False)
+    injector.deactivate()
+    yield
+    injector.deactivate()
+
+
+class TestChaosReport:
+    def test_clean_report_passes(self):
+        report = ChaosReport(
+            sent=100, ok=100, verified=100, recovered=True,
+            recovery_seconds=0.5, recovery_slo_s=10.0, error_budget=0.01,
+        )
+        assert report.finalize().passed
+        assert report.violations == []
+        assert report.to_dict()["passed"] is True
+        assert "PASS" in report.render()
+
+    def test_wrong_results_always_violate(self):
+        report = ChaosReport(
+            sent=100, ok=100, verified=100, wrong_results=1, recovered=True,
+            recovery_slo_s=10.0, error_budget=1.0,
+        )
+        assert not report.finalize().passed
+        assert any("wrong" in v for v in report.violations)
+
+    def test_error_budget_excludes_sabotaged_requests(self):
+        report = ChaosReport(
+            sent=100, sabotaged=50, errors=1, recovered=True,
+            recovery_slo_s=10.0, error_budget=0.05,
+        )
+        # 1 error over 50 *clean* requests = 2%, inside the 5% budget.
+        assert report.error_rate == pytest.approx(0.02)
+        assert report.finalize().passed
+
+    def test_missed_recovery_violates(self):
+        report = ChaosReport(
+            sent=10, ok=10, recovered=False, recovery_slo_s=5.0,
+            error_budget=0.01,
+        )
+        assert not report.finalize().passed
+        assert any("recover" in v for v in report.violations)
+        assert "NOT recovered" in report.render()
+
+    def test_malformed_accepted_violates(self):
+        report = ChaosReport(
+            sent=10, ok=9, malformed_accepted=1, recovered=True,
+            recovery_slo_s=5.0, error_budget=1.0,
+        )
+        assert not report.finalize().passed
+
+
+class TestComputeTruth:
+    def test_truth_keys_match_service_fingerprints(self, machine):
+        pool = preset_pool("small", 2)
+        truth = compute_truth(machine, pool)
+        assert len(truth) == 2
+        for _key, (entry, record) in truth.items():
+            assert entry in pool
+            assert "bandwidth_gbs" in record
+
+    def test_truth_ignores_an_active_fault_plan(self, machine):
+        pool = preset_pool("small", 2)
+        clean = compute_truth(machine, pool)
+        with injector.injected(
+            "seed=1;worker.task:crash@0.9;cache.get:corrupt"
+        ):
+            stormy = compute_truth(machine, pool)
+        assert stormy == clean
+
+
+class TestChaosRun:
+    def test_short_storm_passes_invariants(self, machine, tmp_path):
+        # Server-side cache corruption + slow responses, client-side
+        # sabotage: the invariants must still hold, and every injected
+        # fault must be visible in the /metrics-backed report.
+        injector.activate(
+            "seed=7;cache.get:corrupt@0.3;service.http:slow@0.2:delay=0.005"
+        )
+        executor = SweepExecutor(
+            machine, workers=1, cache=ResultCache(tmp_path / "cache"),
+        )
+        # No private registry: like production, the service shares the
+        # process-global telemetry registry, which is where fire()
+        # counts injected faults — /metrics must expose them.
+        service = ReductionService(
+            machine, executor=executor, settings=ServiceSettings(),
+        )
+        server = ServiceHTTPServer(service, "127.0.0.1", 0)
+
+        async def scenario():
+            host, port = await server.start()
+            try:
+                return await run_chaos(
+                    host, port, machine,
+                    seed=7, duration_s=1.5, clients=3, unique_points=3,
+                    client_faults=(
+                        "chaos.client:disconnect@0.1;"
+                        "chaos.client:malformed@0.1"
+                    ),
+                    error_budget=0.01, recovery_slo_s=10.0, timeout_s=10.0,
+                )
+            finally:
+                await server.stop()
+                executor.close()
+
+        report = asyncio.run(scenario())
+        assert report.sent > 0
+        assert report.ok > 0
+        assert report.verified > 0
+        assert report.wrong_results == 0
+        assert report.malformed_accepted == 0
+        assert report.sabotaged > 0
+        assert report.recovered
+        # The server-side plan demonstrably fired and was counted.
+        assert any(
+            key.startswith("cache.get:corrupt")
+            for key in report.faults_injected
+        )
+        assert report.passed, report.violations
+        assert report.to_dict()["passed"] is True

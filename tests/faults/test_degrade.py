@@ -1,0 +1,150 @@
+"""Graceful degradation: analytic fallback under saturation/open breaker."""
+
+import asyncio
+
+from repro.faults import STATE_CLOSED, STATE_OPEN
+from repro.faults.degrade import analytic_estimate
+from repro.service import ReductionService, ServiceSettings
+from repro.service.api import parse_request
+from repro.sweep.executor import SweepExecutor
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _request(**fields):
+    body = {"elements": 4096, "teams": 64, "trials": 2}
+    body.update(fields)
+    return parse_request(body)
+
+
+def _service(machine, registry=None, **settings):
+    return ReductionService(
+        machine,
+        executor=SweepExecutor(machine, workers=1, cache=None),
+        settings=ServiceSettings(**settings),
+        registry=registry or MetricsRegistry(),
+    )
+
+
+async def _with(service, coro_fn):
+    await service.start()
+    try:
+        return await coro_fn()
+    finally:
+        await service.stop()
+
+
+class TestAnalyticEstimate:
+    def test_gpu_estimate_is_the_roofline_floor(self, machine):
+        request = _request()
+        record = analytic_estimate(machine, request)
+        peak = machine.system.peak_gpu_bandwidth_gbs
+        assert record["bandwidth_gbs"] == peak
+        assert record["elapsed_seconds"] == (
+            request.case.input_bytes / (peak * 1e9)
+        )
+        assert record["value"] is None  # no functional sum was run
+        assert record["analytic"] is True
+        assert record["model"] == "roofline"
+
+    def test_coexec_estimate_has_no_measurements(self, machine):
+        request = _request(experiment="coexec", site="a2")
+        record = analytic_estimate(machine, request)
+        assert record["measurements"] == []
+        assert record["analytic"] is True
+
+
+class TestQueueSaturation:
+    def test_saturation_degrades_instead_of_rejecting(self, machine):
+        registry = MetricsRegistry()
+        # Tiny queue + long batch window: the queue fills before the
+        # batcher drains it (the same setup the degrade=False test uses
+        # to provoke hard 429s).
+        service = _service(
+            machine, registry=registry, max_queue=2, batch_window_s=0.2,
+        )
+
+        async def scenario():
+            return await asyncio.wait_for(
+                service.submit_many(
+                    [_request(elements=4096 * (i + 1)) for i in range(6)]
+                ),
+                timeout=30,
+            )
+
+        responses = asyncio.run(_with(service, scenario))
+        assert all(r.status == "ok" for r in responses)  # nothing rejected
+        degraded = [r for r in responses if r.degraded]
+        assert degraded
+        for response in degraded:
+            assert response.source == "degraded"
+            assert response.result["analytic"] is True
+            assert response.to_dict()["degraded"] is True
+        served = [r for r in responses if not r.degraded]
+        assert len(served) == 6 - len(degraded)
+        assert all("degraded" not in r.to_dict() for r in served)
+        assert registry.value(
+            "service.degraded", reason="queue_full"
+        ) == len(degraded)
+
+
+class TestBreaker:
+    def test_open_breaker_short_circuits_to_degraded(self, machine):
+        registry = MetricsRegistry()
+        service = _service(
+            machine, registry=registry,
+            breaker_threshold=1, breaker_cooldown_s=60.0,
+        )
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            service.scheduler.breaker.record_failure(loop.time())
+            assert service.scheduler.breaker.state == STATE_OPEN
+            return await service.submit(_request())
+
+        response = asyncio.run(_with(service, scenario))
+        assert response.status == "ok"
+        assert response.degraded and response.source == "degraded"
+        assert registry.value("service.degraded", reason="breaker_open") == 1
+        assert response.result["summary"]["case"]  # summarized like real ones
+
+    def test_recovery_resumes_real_compute(self, machine):
+        registry = MetricsRegistry()
+        # cooldown 0: the first submit after the failure is the
+        # half-open probe, which computes for real and closes the
+        # breaker on success.
+        service = _service(
+            machine, registry=registry,
+            breaker_threshold=1, breaker_cooldown_s=0.0,
+        )
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            service.scheduler.breaker.record_failure(loop.time())
+            return await service.submit(_request())
+
+        response = asyncio.run(_with(service, scenario))
+        assert response.status == "ok"
+        assert not response.degraded
+        assert response.source == "computed"
+        assert service.scheduler.breaker.state == STATE_CLOSED
+        assert registry.value("service.degraded", reason="breaker_open") is None
+
+    def test_degrade_off_keeps_shedding_disabled(self, machine):
+        service = _service(
+            machine, degrade=False, breaker_threshold=1,
+            breaker_cooldown_s=60.0,
+        )
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            service.scheduler.breaker.record_failure(loop.time())
+            return await service.submit(_request())
+
+        response = asyncio.run(_with(service, scenario))
+        # With degradation off the breaker never gates admission: the
+        # request computes normally (the breaker is advisory only).
+        assert response.status == "ok" and not response.degraded
+
+    def test_health_reports_breaker_state(self, machine):
+        service = _service(machine)
+        assert service.health()["breaker"] == STATE_CLOSED

@@ -1,0 +1,129 @@
+"""Process-global injector activation, scoping, and fire() semantics."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import SpecError
+from repro.faults import FAULTS_ENV, FaultPlan
+from repro.faults import injector
+from repro.telemetry.state import metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    injector.deactivate()
+    yield
+    injector.deactivate()
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert not injector.enabled()
+        assert injector.active_plan() is None
+        assert injector.fire("worker.task") is None
+
+    def test_activate_installs_plan_and_exports_env(self):
+        plan = injector.activate("seed=3;worker.task:crash")
+        assert injector.enabled()
+        assert injector.active_plan() is plan
+        assert os.environ[FAULTS_ENV] == "seed=3;worker.task:crash"
+
+    def test_activate_identical_spec_keeps_counters_running(self):
+        plan = injector.activate("cache.get:corrupt:count=1")
+        assert injector.fire("cache.get") is not None
+        again = injector.activate("cache.get:corrupt:count=1")
+        assert again is plan  # same object: probe counters not rewound
+        assert injector.fire("cache.get") is None  # count exhausted
+
+    def test_activate_new_spec_replaces_plan(self):
+        injector.activate("cache.get:corrupt")
+        injector.activate("cache.get:eio")
+        assert injector.fire("cache.get").mode == "eio"
+
+    def test_deactivate_restores_noop(self):
+        injector.activate("worker.task:crash")
+        injector.deactivate()
+        assert not injector.enabled()
+        assert injector.fire("worker.task") is None
+        assert FAULTS_ENV not in os.environ
+
+    def test_activate_rejects_malformed_spec(self):
+        with pytest.raises(SpecError):
+            injector.activate("worker.task")
+        assert not injector.enabled()
+
+    def test_injected_context_manager_scopes_and_restores(self):
+        outer = injector.activate("cache.get:eio")
+        with injector.injected("worker.task:crash") as plan:
+            assert injector.active_plan() is plan
+            assert injector.fire("worker.task").mode == "crash"
+        assert injector.active_plan() is outer
+        assert injector.fire("worker.task") is None
+
+    def test_accepts_preparsed_plan(self):
+        plan = FaultPlan.parse("seed=1;worker.task:hang")
+        assert injector.activate(plan) is plan
+        assert injector.fire("worker.task").mode == "hang"
+
+    def test_env_spec_activates_at_import(self):
+        code = (
+            "from repro.faults import injector\n"
+            "assert injector.enabled()\n"
+            "assert injector.fire('cache.get').mode == 'corrupt'\n"
+            "print('env-activated')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, FAULTS_ENV: "cache.get:corrupt",
+                 "PYTHONPATH": "src"},
+            capture_output=True, text=True, cwd=_repo_root(),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "env-activated" in proc.stdout
+
+    def test_malformed_env_spec_fails_loudly(self):
+        code = "import repro.faults.injector\n"
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, FAULTS_ENV: "not-a-spec",
+                 "PYTHONPATH": "src"},
+            capture_output=True, text=True, cwd=_repo_root(),
+        )
+        assert proc.returncode != 0
+        assert "SpecError" in proc.stderr
+
+
+class TestFire:
+    def test_fire_counts_into_global_metrics(self):
+        registry = metrics()
+        before = registry.value(
+            "faults.injected", point="cache.get", mode="corrupt"
+        ) or 0
+        injector.activate("cache.get:corrupt:count=3")
+        fired = sum(injector.fire("cache.get") is not None for _ in range(5))
+        assert fired == 3
+        after = registry.value(
+            "faults.injected", point="cache.get", mode="corrupt"
+        )
+        assert after == before + 3
+
+    def test_non_firing_probe_does_not_count(self):
+        registry = metrics()
+        injector.activate("cache.get:corrupt")
+        before = registry.value(
+            "faults.injected", point="worker.task", mode="corrupt"
+        ) or 0
+        assert injector.fire("worker.task") is None
+        after = registry.value(
+            "faults.injected", point="worker.task", mode="corrupt"
+        ) or 0
+        assert after == before
+
+
+def _repo_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))

@@ -1,0 +1,138 @@
+"""FaultPlan grammar, determinism, and rule-evaluation semantics."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.faults import FaultPlan, FaultRule
+
+
+class TestParse:
+    def test_single_clause(self):
+        plan = FaultPlan.parse("worker.task:crash@0.1")
+        assert plan.seed == 0
+        assert plan.rules == (
+            FaultRule(point="worker.task", mode="crash", rate=0.1),
+        )
+
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "seed=7;worker.task:crash@0.1;"
+            "cache.get:corrupt@0.05:count=3:after=2;"
+            "service.http:slow:delay=0.25"
+        )
+        assert plan.seed == 7
+        assert len(plan.rules) == 3
+        assert plan.rules[1].count == 3
+        assert plan.rules[1].after == 2
+        assert plan.rules[2].rate == 1.0  # omitted rate = always fire
+        assert plan.rules[2].delay_s == 0.25
+
+    def test_whitespace_and_empty_clauses_tolerated(self):
+        plan = FaultPlan.parse(" seed=3 ; worker.task:crash ;; ")
+        assert plan.seed == 3
+        assert len(plan.rules) == 1
+
+    def test_describe_round_trips_through_parse(self):
+        plan = FaultPlan.parse("seed=9;cache.*:eio@0.5:count=2")
+        text = plan.describe()
+        assert "seed=9" in text
+        assert "cache.*:eio@0.5:count=2" in text
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "   ",
+            "seed=7",  # no rules
+            "worker.task",  # no mode
+            ":crash",  # no point
+            "worker.task:",  # empty mode
+            "worker.task:crash@zap",  # non-numeric rate
+            "worker.task:crash@0",  # rate out of (0, 1]
+            "worker.task:crash@1.5",
+            "worker.task:crash:bogus=1",  # unknown parameter
+            "worker.task:crash:count",  # parameter with no value
+            "worker.task:crash:count=0",
+            "worker.task:crash:after=-1",
+            "worker.task:crash:delay=-2",
+            "worker.task:crash:count=x",
+            "seed=pi;worker.task:crash",
+        ],
+    )
+    def test_malformed_specs_raise_spec_error(self, spec):
+        with pytest.raises(SpecError):
+            FaultPlan.parse(spec)
+
+
+class TestDecide:
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan.parse("worker.task:crash")
+        for _ in range(5):
+            decision = plan.decide("worker.task")
+            assert decision is not None and decision.mode == "crash"
+
+    def test_non_matching_point_is_none(self):
+        plan = FaultPlan.parse("worker.task:crash")
+        assert plan.decide("cache.get") is None
+
+    def test_wildcard_matches_family(self):
+        plan = FaultPlan.parse("cache.*:eio")
+        assert plan.decide("cache.get").mode == "eio"
+        assert plan.decide("cache.put").mode == "eio"
+        assert plan.decide("worker.task") is None
+
+    def test_count_exhausts_then_falls_through(self):
+        plan = FaultPlan.parse("cache.get:corrupt:count=2;cache.get:eio")
+        modes = [plan.decide("cache.get").mode for _ in range(4)]
+        assert modes == ["corrupt", "corrupt", "eio", "eio"]
+
+    def test_after_skips_leading_probes(self):
+        plan = FaultPlan.parse("worker.task:crash:after=2")
+        results = [plan.decide("worker.task") for _ in range(4)]
+        assert [r is not None for r in results] == [False, False, True, True]
+
+    def test_decisions_are_deterministic_and_seed_dependent(self):
+        spec = "seed=11;worker.task:crash@0.4"
+        a = FaultPlan.parse(spec)
+        b = FaultPlan.parse(spec)
+        sequence_a = [a.decide("worker.task") is not None for _ in range(64)]
+        sequence_b = [b.decide("worker.task") is not None for _ in range(64)]
+        assert sequence_a == sequence_b
+        assert any(sequence_a) and not all(sequence_a)
+        other = FaultPlan.parse("seed=12;worker.task:crash@0.4")
+        sequence_c = [
+            other.decide("worker.task") is not None for _ in range(64)
+        ]
+        assert sequence_c != sequence_a
+
+    def test_rate_converges_to_frequency(self):
+        plan = FaultPlan.parse("seed=5;worker.task:crash@0.25")
+        fired = sum(
+            plan.decide("worker.task") is not None for _ in range(2000)
+        )
+        assert 0.18 < fired / 2000 < 0.32
+
+    def test_reset_replays_the_same_sequence(self):
+        plan = FaultPlan.parse("seed=11;worker.task:crash@0.4:count=5")
+        first = [plan.decide("worker.task") is not None for _ in range(32)]
+        plan.reset()
+        second = [plan.decide("worker.task") is not None for _ in range(32)]
+        assert first == second
+
+    def test_advance_skips_into_the_sequence(self):
+        spec = "seed=11;worker.task:crash@0.4"
+        reference = FaultPlan.parse(spec)
+        full = [reference.decide("worker.task") is not None for _ in range(32)]
+        advanced = FaultPlan.parse(spec)
+        advanced.advance(10)
+        tail = [advanced.decide("worker.task") is not None for _ in range(22)]
+        assert tail == full[10:]
+
+    def test_first_firing_rule_wins(self):
+        plan = FaultPlan.parse("worker.task:crash;worker.task:hang")
+        assert plan.decide("worker.task").mode == "crash"
+        assert plan.decide("worker.task").rule == 0
+
+    def test_decision_carries_delay(self):
+        plan = FaultPlan.parse("service.http:slow:delay=0.5")
+        assert plan.decide("service.http").delay_s == 0.5

@@ -106,9 +106,11 @@ class TestServicePipeline:
     def test_queue_full_rejection_without_hang(self, machine):
         registry = MetricsRegistry()
         # No cache, tiny queue, long batch window: the queue fills before
-        # the batcher drains it.
+        # the batcher drains it.  degrade=False keeps the hard 429 path;
+        # the default now answers saturation with an analytic estimate.
         service = _service(
             machine, registry=registry, max_queue=2, batch_window_s=0.2,
+            degrade=False,
         )
 
         async def scenario():

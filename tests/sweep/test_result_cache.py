@@ -1,6 +1,12 @@
 """Persistent result-cache behaviour."""
 
-from repro.sweep.result_cache import ResultCache, open_result_cache
+import json
+import threading
+
+from repro.faults import injector
+from repro.sweep.result_cache import (
+    QUARANTINE_DIR, ResultCache, open_result_cache,
+)
 
 
 class TestResultCache:
@@ -98,7 +104,113 @@ class TestCorruptEviction:
         cache = ResultCache(tmp_path)
         cache.put("k", {"x": list(range(1000))})
         leftovers = [
-            p for p in tmp_path.iterdir() if not p.name.endswith(".json")
+            p
+            for p in tmp_path.iterdir()
+            if p.is_file() and not p.name.endswith(".json")
         ]
         assert leftovers == []
         assert ResultCache(tmp_path).get("k") == {"x": list(range(1000))}
+
+
+class TestChecksumSelfHealing:
+    def test_entries_are_written_with_a_checksum_wrapper(self, tmp_path):
+        ResultCache(tmp_path).put("k", {"bandwidth_gbs": 42.0})
+        doc = json.loads((tmp_path / "k.json").read_text())
+        assert set(doc) == {"sha256", "value"}
+        assert doc["value"] == {"bandwidth_gbs": 42.0}
+        assert len(doc["sha256"]) == 64
+
+    def test_checksum_mismatch_is_quarantined_miss(self, tmp_path):
+        ResultCache(tmp_path).put("k", {"bandwidth_gbs": 42.0})
+        # A stray write flips the payload but not the checksum.
+        path = tmp_path / "k.json"
+        doc = json.loads(path.read_text())
+        doc["value"]["bandwidth_gbs"] = 9000.0
+        path.write_text(json.dumps(doc))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("k") is None
+        assert fresh.checksum_failures == 1
+        assert fresh.quarantined == 1
+        assert fresh.misses == 1 and fresh.evictions == 1
+        # The bad file was moved aside for post-mortem, not served again.
+        assert not path.exists()
+        assert (tmp_path / QUARANTINE_DIR / "k.json").exists()
+        assert "1 checksum failures" in fresh.describe()
+        assert "1 quarantined" in fresh.describe()
+
+    def test_legacy_unwrapped_entry_still_readable(self, tmp_path):
+        (tmp_path / "old.json").write_text('{"bandwidth_gbs": 7.0}')
+        cache = ResultCache(tmp_path)
+        assert cache.get("old") == {"bandwidth_gbs": 7.0}
+        assert cache.checksum_failures == 0
+
+    def test_quarantined_entry_recomputes_cleanly(self, tmp_path):
+        ResultCache(tmp_path).put("k", {"v": 1})
+        path = tmp_path / "k.json"
+        doc = json.loads(path.read_text())
+        doc["value"] = {"v": 2}
+        path.write_text(json.dumps(doc))
+        cache = ResultCache(tmp_path)
+        assert cache.get("k") is None  # detected + quarantined
+        cache.put("k", {"v": 3})  # the caller recomputed
+        assert ResultCache(tmp_path).get("k") == {"v": 3}
+
+    def test_concurrent_writers_leave_one_complete_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        values = [{"writer": i, "x": list(range(200))} for i in range(4)]
+
+        def hammer(value):
+            for _ in range(25):
+                cache.put("k", value)
+
+        threads = [
+            threading.Thread(target=hammer, args=(v,)) for v in values
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = ResultCache(tmp_path).get("k")
+        assert final in values  # complete, checksum-valid, one of the puts
+
+
+class TestFaultInjection:
+    """The cache.get / cache.put injection points (REPRO_FAULTS)."""
+
+    def test_injected_corruption_detected_and_evicted(self, tmp_path):
+        ResultCache(tmp_path).put("k", {"v": 1})
+        with injector.injected("cache.get:corrupt:count=1"):
+            cache = ResultCache(tmp_path)
+            assert cache.get("k") is None
+            assert cache.evictions == 1
+            # Self-healed: the next put/get cycle works again.
+            cache.put("k", {"v": 2})
+            assert ResultCache(tmp_path).get("k") == {"v": 2}
+
+    def test_injected_eio_is_plain_miss(self, tmp_path):
+        ResultCache(tmp_path).put("k", {"v": 1})
+        with injector.injected("cache.get:eio:count=1"):
+            cache = ResultCache(tmp_path)
+            assert cache.get("k") is None
+            assert cache.misses == 1 and cache.evictions == 0
+        # The file itself was untouched.
+        assert ResultCache(tmp_path).get("k") == {"v": 1}
+
+    def test_crash_during_put_leaves_a_clean_miss(self, tmp_path):
+        # 'partial' writes a torn file straight at the final path — the
+        # shape a crash would leave without the atomic-rename dance.
+        with injector.injected("cache.put:partial:count=1"):
+            ResultCache(tmp_path).put("k", {"v": 1})
+        assert (tmp_path / "k.json").read_text() == '{"sha256": "'
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("k") is None  # detected, evicted, no exception
+        assert fresh.evictions == 1
+        fresh.put("k", {"v": 2})
+        assert ResultCache(tmp_path).get("k") == {"v": 2}
+
+    def test_injected_put_eio_drops_the_store(self, tmp_path):
+        with injector.injected("cache.put:eio:count=1"):
+            cache = ResultCache(tmp_path)
+            cache.put("k", {"v": 1})
+        assert not (tmp_path / "k.json").exists()
+        assert ResultCache(tmp_path).get("k") is None
