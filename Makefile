@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables repro report clean
+.PHONY: install test bench bench-tables repro report verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,12 @@ repro:
 # Shape-check battery via the CLI (exit code reflects pass/fail).
 report:
 	$(PYTHON) -m repro report
+
+# Differential fuzz + golden corpus + perf gate (docs/VERIFICATION.md).
+verify:
+	$(PYTHON) -m repro verify fuzz --seed 42 --cases 200
+	$(PYTHON) -m repro verify golden
+	$(PYTHON) -m repro verify perf --out /tmp/BENCH_verify.json
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -298,6 +298,85 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the chaos report JSON to FILE")
     _add_service_knobs(p_chaos)
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential conformance fuzzing, golden corpus and the "
+             "perf-regression gate (see docs/VERIFICATION.md)",
+    )
+    verify_sub = p_verify.add_subparsers(dest="verify_command", required=True)
+
+    def add_fuzz_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=42,
+                       help="case-generator seed (a seed reproduces the "
+                            "identical case list byte for byte)")
+        p.add_argument("--cases", type=int, default=200,
+                       help="number of cases to generate")
+        p.add_argument("--kinds", default=None,
+                       help="comma-separated case kinds to run "
+                            "(exec,directive,reject,sweep-cache,coexec,"
+                            "service); default: all")
+        p.add_argument("--time-budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop after this much wall time (the case "
+                            "list is still generated in full, so the "
+                            "digest stays seed-stable)")
+        p.add_argument("--out", metavar="FILE", default=None,
+                       help="write the fuzz report JSON (including any "
+                            "divergence records) to FILE")
+
+    p_vfuzz = verify_sub.add_parser(
+        "fuzz",
+        help="run seeded fuzz cases through the differential oracles "
+             "(exit 1 on any divergence)",
+    )
+    add_fuzz_args(p_vfuzz)
+    p_vdiff = verify_sub.add_parser(
+        "diff",
+        help="alias of fuzz (differential check of a seeded case list)",
+    )
+    add_fuzz_args(p_vdiff)
+
+    p_vgold = verify_sub.add_parser(
+        "golden",
+        help="recompute the golden corpus and compare against "
+             "tests/golden/ (exit 1 on drift)",
+    )
+    p_vgold.add_argument("--entries", default=None,
+                         help="comma-separated entry names (default: all)")
+    p_vgold.add_argument("--golden-dir", metavar="DIR", default=None,
+                         help="corpus directory (default: tests/golden/)")
+
+    p_vbless = verify_sub.add_parser(
+        "bless",
+        help="regenerate the golden corpus files after an intentional "
+             "model change (review the diff before committing)",
+    )
+    p_vbless.add_argument("--entries", default=None,
+                          help="comma-separated entry names (default: all)")
+    p_vbless.add_argument("--golden-dir", metavar="DIR", default=None,
+                          help="corpus directory (default: tests/golden/)")
+
+    p_vperf = verify_sub.add_parser(
+        "perf",
+        help="time the hot paths, write BENCH_verify.json and gate "
+             "against the committed baseline (exit 1 on regression)",
+    )
+    p_vperf.add_argument("--out", metavar="FILE", default="BENCH_verify.json",
+                         help="where to write the current numbers "
+                              "(default: ./BENCH_verify.json)")
+    p_vperf.add_argument("--baseline", metavar="FILE", default=None,
+                         help="baseline to gate against (default: the "
+                              "committed BENCH_verify.json at the repo "
+                              "root; 'none' skips the gate)")
+    p_vperf.add_argument("--threshold", type=float, default=None,
+                         help="regression ratio that fails the gate "
+                              "(default: 4.0)")
+    p_vperf.add_argument("--repeats", type=int, default=3,
+                         help="repeats per benchmark (best is reported)")
+    p_vperf.add_argument("--update-baseline", action="store_true",
+                         help="also overwrite the committed baseline with "
+                              "the current numbers")
+
     p_prof = sub.add_parser(
         "profile",
         help="profile a command (spans, metrics, timeline) or view a "
@@ -724,6 +803,104 @@ def _cmd_chaos(args, machine: Machine, executor) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_verify(args, machine: Machine, executor) -> int:
+    """``repro verify fuzz|diff|golden|bless|perf``."""
+    import json as _json
+
+    from .errors import SpecError
+    from .verify import GoldenCorpus
+    from .verify.differential import run_fuzz
+    from .verify.perfgate import (
+        DEFAULT_THRESHOLD,
+        compare_benchmarks,
+        default_baseline_path,
+        run_perf_suite,
+    )
+
+    def split_list(text):
+        if text is None:
+            return None
+        items = [item.strip() for item in text.split(",") if item.strip()]
+        if not items:
+            raise SpecError("expected a non-empty comma-separated list")
+        return items
+
+    if args.verify_command in ("fuzz", "diff"):
+        report = run_fuzz(
+            seed=args.seed,
+            count=args.cases,
+            kinds=split_list(args.kinds),
+            machine=machine,
+            time_budget_s=args.time_budget,
+        )
+        print(report.describe())
+        print(f"case list sha256: {report.digest}")
+        for divergence in report.divergences:
+            print(f"  DIVERGENCE {divergence.describe()}")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            print(f"fuzz report written to {args.out}")
+        return 0 if report.ok else 1
+
+    if args.verify_command in ("golden", "bless"):
+        corpus = GoldenCorpus(directory=args.golden_dir)
+        entries = split_list(args.entries)
+        if args.verify_command == "bless":
+            for path in corpus.bless(entries):
+                print(f"blessed {path}")
+            return 0
+        report = corpus.check(entries)
+        for name, entry in sorted(report["entries"].items()):
+            line = f"{name}: {entry['status']}"
+            if entry["status"] == "mismatch":
+                line += f" ({entry['detail']})"
+            print(line)
+        if not report["ok"]:
+            print("golden corpus drifted - if the change is intentional, "
+                  "run `repro verify bless` and review the diff")
+        return 0 if report["ok"] else 1
+
+    # perf.  Load the baseline *before* writing --out: when the CLI runs
+    # from the repo root, --out defaults to the committed baseline's own
+    # path, and writing first would make the gate compare the report to
+    # itself.
+    baseline = None
+    if args.baseline != "none":
+        baseline_path = args.baseline or default_baseline_path()
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                baseline = _json.load(fh)
+        except FileNotFoundError:
+            print(f"no baseline at {baseline_path}; gate skipped "
+                  "(run with --update-baseline to create one)")
+    report = run_perf_suite(repeats=args.repeats)
+    print(report.describe())
+    out = report.write(args.out)
+    print(f"benchmark report written to {out}")
+    regressions = []
+    if args.baseline != "none":
+        if baseline is not None:
+            regressions = compare_benchmarks(
+                report, baseline,
+                threshold=args.threshold or DEFAULT_THRESHOLD,
+            )
+            for reg in regressions:
+                print(
+                    f"  REGRESSION {reg['benchmark']}: "
+                    f"{reg['current_s'] * 1e3:.2f} ms vs baseline "
+                    f"{reg['baseline_s'] * 1e3:.2f} ms "
+                    f"({reg['ratio']:.1f}x > {reg['threshold']:g}x)"
+                )
+            if not regressions:
+                print(f"perf gate ok (threshold "
+                      f"{args.threshold or DEFAULT_THRESHOLD:g}x)")
+    if args.update_baseline:
+        path = report.write(default_baseline_path())
+        print(f"baseline updated at {path}")
+    return 1 if regressions else 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "sum": _cmd_sum,
@@ -735,6 +912,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
+    "verify": _cmd_verify,
 }
 
 

@@ -1,0 +1,73 @@
+"""Differential conformance and regression verification (``repro verify``).
+
+The paper's artifact is a matrix of directive variants whose correctness
+depends on the compiler front end, the runtime grid heuristics and the
+memory model all agreeing.  This package systematically cross-checks the
+simulator's *independent* execution paths against each other:
+
+* :mod:`repro.verify.fuzzer` — a seeded generator of valid and
+  deliberately-invalid directive/config cases over the paper's parameter
+  space.  Every case is a pure function of ``(seed, index)``, so a seed
+  reproduces the exact case list byte for byte.
+* :mod:`repro.verify.oracles` — the independent computation paths a case
+  is run through (device executor, host executor, NumPy serial ground
+  truth, high-precision compensated/pairwise references, analytic
+  bandwidth identities) plus the dtype-aware tolerances that decide when
+  a difference is legitimate rounding and when it is a divergence.
+* :mod:`repro.verify.differential` — the runner that feeds fuzz cases to
+  the oracles, applies the metamorphic checks (permutation, splitting,
+  scaling) and the compile-reject conformance check, and collects
+  :class:`~repro.verify.differential.Divergence` records.
+* :mod:`repro.verify.corpus` — the golden corpus under ``tests/golden/``
+  pinning byte-exact outputs for the paper's Table 1 / Figures 1-5
+  configurations, with a ``repro verify bless`` regeneration flow.
+* :mod:`repro.verify.perfgate` — the perf-regression gate timing the
+  tier-1-critical hot paths into ``BENCH_verify.json`` and comparing
+  them against a committed baseline with a noise-aware threshold.
+
+See docs/VERIFICATION.md for the operational guide.
+"""
+
+from .corpus import GoldenCorpus, default_golden_dir
+from .differential import (
+    DifferentialRunner,
+    Divergence,
+    FuzzReport,
+    run_fuzz,
+)
+from .fuzzer import CASE_KINDS, FuzzCase, case_list_digest, generate_cases
+from .oracles import (
+    OracleTolerances,
+    kahan_sum,
+    naive_sum,
+    pairwise_sum,
+    serial_ground_truth,
+)
+from .perfgate import (
+    BenchReport,
+    compare_benchmarks,
+    default_baseline_path,
+    run_perf_suite,
+)
+
+__all__ = [
+    "BenchReport",
+    "CASE_KINDS",
+    "DifferentialRunner",
+    "Divergence",
+    "FuzzCase",
+    "FuzzReport",
+    "GoldenCorpus",
+    "OracleTolerances",
+    "case_list_digest",
+    "compare_benchmarks",
+    "default_baseline_path",
+    "default_golden_dir",
+    "generate_cases",
+    "kahan_sum",
+    "naive_sum",
+    "pairwise_sum",
+    "run_fuzz",
+    "run_perf_suite",
+    "serial_ground_truth",
+]

@@ -1,0 +1,238 @@
+"""Golden corpus: byte-exact pinned outputs for the paper's figures.
+
+The files under ``tests/golden/`` are the canonical fixtures for the
+paper's Table 1 / Figure 1-5 configurations, computed on a machine with
+the functional cap pinned to :data:`GOLDEN_CAP` (the cap changes the
+workload values, so it is part of the corpus identity, recorded in each
+file's ``meta``).  ``repro verify golden`` recomputes every entry and
+compares against the stored values under canonical JSON — any byte of
+drift fails; ``repro verify bless`` regenerates the files after an
+*intentional* model change (review the diff before committing).
+
+Float values survive the JSON round trip exactly (Python serializes the
+shortest round-tripping repr), so "canonical JSON equal" really is
+byte-exact on every number.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG
+from ..core.cases import PAPER_CASES, case_by_name
+from ..core.coexec import AllocationSite, CPU_PART_GRID
+from ..core.machine import Machine
+from ..core.optimized import KernelConfig
+from ..core.timing import TRIALS
+from ..core.tuning import TEAMS_GRID
+from ..errors import SpecError
+from ..evaluation.figures import paper_optimized_config
+from ..sweep.executor import CoexecRequest, SweepExecutor
+from ..sweep.fingerprint import canonical_json
+
+__all__ = ["GOLDEN_CAP", "GoldenCorpus", "default_golden_dir"]
+
+#: Functional-cap the corpus machine is pinned to.  Part of the corpus
+#: identity: changing it changes every workload array, hence every value.
+GOLDEN_CAP = 65536
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden/`` at the repository root (next to ``src/``)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def _entry_table1(executor: SweepExecutor) -> Dict[str, Any]:
+    """Table 1: baseline vs paper-optimized bandwidth for C1-C4."""
+    rows = {}
+    for case in PAPER_CASES:
+        records = executor.gpu_points(
+            case,
+            [None, paper_optimized_config(case)],
+            trials=TRIALS,
+            verify=False,
+            stage="golden-table1",
+        )
+        rows[case.name] = {"baseline": records[0], "optimized": records[1]}
+    return {"rows": rows}
+
+
+def _entry_fig1(executor: SweepExecutor) -> Dict[str, Any]:
+    """Figure 1 family: the teams sweep for every case at the paper's V."""
+    sweeps = {}
+    for case in PAPER_CASES:
+        v = paper_optimized_config(case).v
+        configs = [
+            KernelConfig(teams=t, v=v, threads=256)
+            for t in TEAMS_GRID
+            if t >= v
+        ]
+        records = executor.gpu_points(
+            case, configs, trials=TRIALS, verify=False, stage="golden-fig1"
+        )
+        sweeps[case.name] = {
+            "v": v,
+            "teams": [c.teams for c in configs],
+            "records": records,
+        }
+    return {"sweeps": sweeps}
+
+
+def _entry_coexec(executor: SweepExecutor) -> Dict[str, Any]:
+    """Figures 3-5 family: the full Listing-8 p sweep, both sites."""
+    case = case_by_name("C3")
+    config = paper_optimized_config(case)
+    out = {}
+    for site in (AllocationSite.A1, AllocationSite.A2):
+        records = executor.run(
+            "coexec_sweep",
+            [(
+                CoexecRequest(
+                    case=case,
+                    site=site,
+                    config=config,
+                    p_grid=CPU_PART_GRID,
+                    trials=TRIALS,
+                    verify=False,
+                    unified_memory=True,
+                ),
+            )],
+            stage="golden-coexec",
+        )
+        out[site.value] = records[0]
+    return {"case": case.name, "config": config.label(), "sites": out}
+
+
+_ENTRIES = {
+    "table1": _entry_table1,
+    "fig1": _entry_fig1,
+    "coexec": _entry_coexec,
+}
+
+
+class GoldenCorpus:
+    """Compute, check and bless the golden files.
+
+    Parameters
+    ----------
+    machine:
+        Omit to get the pinned corpus machine (default calibration and
+        hardware, functional cap :data:`GOLDEN_CAP`).  Passing a custom
+        machine is for tests only — its outputs will not match the
+        committed files.
+    directory:
+        Where the golden JSON files live; defaults to ``tests/golden/``.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        directory: "Path | str | None" = None,
+    ):
+        self.machine = machine or Machine(
+            config=DEFAULT_CONFIG.with_cap(GOLDEN_CAP)
+        )
+        self.directory = Path(directory) if directory else default_golden_dir()
+        # Serial and uncached: corpus values must never depend on what a
+        # previous run left in the persistent cache.
+        self.executor = SweepExecutor(self.machine, workers=1, cache=None)
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(_ENTRIES)
+
+    def _select(self, names: Optional[Sequence[str]]) -> List[str]:
+        if names is None:
+            return self.names
+        unknown = sorted(set(names) - set(_ENTRIES))
+        if unknown:
+            raise SpecError(
+                f"unknown golden entries {unknown}; expected a subset of "
+                f"{self.names}"
+            )
+        return sorted(names)
+
+    def path_for(self, name: str) -> Path:
+        return self.directory / f"{name}.json"
+
+    def compute(self, name: str) -> Dict[str, Any]:
+        """Recompute one entry's document (without its meta header)."""
+        return _ENTRIES[name](self.executor)
+
+    def _document(self, name: str) -> Dict[str, Any]:
+        return {
+            "meta": {
+                "entry": name,
+                "functional_cap": self.machine.config.functional_elements_cap,
+                "trials": TRIALS,
+            },
+            "data": self.compute(name),
+        }
+
+    def bless(self, names: Optional[Sequence[str]] = None) -> List[Path]:
+        """(Re)write the selected golden files; returns the paths."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name in self._select(names):
+            path = self.path_for(name)
+            path.write_text(
+                json.dumps(self._document(name), sort_keys=True, indent=2)
+                + "\n"
+            )
+            written.append(path)
+        return written
+
+    def check(self, names: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """Recompute and compare; returns a JSON-serializable report.
+
+        Each entry's status is ``"ok"``, ``"missing"`` (file absent —
+        run bless) or ``"mismatch"`` (values drifted).  The report's
+        ``ok`` is true only when every selected entry is ``"ok"``.
+        """
+        entries: Dict[str, Any] = {}
+        for name in self._select(names):
+            path = self.path_for(name)
+            if not path.exists():
+                entries[name] = {"status": "missing", "path": str(path)}
+                continue
+            stored = json.loads(path.read_text())
+            current = self._document(name)
+            if canonical_json(stored) == canonical_json(current):
+                entries[name] = {"status": "ok", "path": str(path)}
+            else:
+                entries[name] = {
+                    "status": "mismatch",
+                    "path": str(path),
+                    "detail": _first_difference(stored, current),
+                }
+        return {
+            "ok": all(e["status"] == "ok" for e in entries.values()),
+            "entries": entries,
+        }
+
+
+def _first_difference(stored: Any, current: Any, path: str = "$") -> str:
+    """Human-readable pointer to the first differing leaf."""
+    if type(stored) is not type(current):
+        return f"{path}: type {type(stored).__name__} != {type(current).__name__}"
+    if isinstance(stored, dict):
+        for key in sorted(set(stored) | set(current)):
+            if key not in stored:
+                return f"{path}.{key}: only in recomputed"
+            if key not in current:
+                return f"{path}.{key}: only in stored"
+            if canonical_json(stored[key]) != canonical_json(current[key]):
+                return _first_difference(
+                    stored[key], current[key], f"{path}.{key}"
+                )
+        return f"{path}: unknown difference"
+    if isinstance(stored, list):
+        if len(stored) != len(current):
+            return f"{path}: length {len(stored)} != {len(current)}"
+        for i, (s, c) in enumerate(zip(stored, current)):
+            if canonical_json(s) != canonical_json(c):
+                return _first_difference(s, c, f"{path}[{i}]")
+        return f"{path}: unknown difference"
+    return f"{path}: stored {stored!r} != recomputed {current!r}"

@@ -1,0 +1,389 @@
+"""Seeded directive/config fuzzer over the paper's parameter space.
+
+A :class:`FuzzCase` is a pure function of ``(seed, index)``: every draw
+is a SHA-256 digest of ``seed:index:tag`` (the same scheme
+:class:`~repro.faults.plan.FaultPlan` uses for its probe draws), so a
+seed reproduces the identical case list byte for byte on any platform —
+no global RNG state, no ordering hazards.
+
+Case kinds (see :data:`CASE_KINDS`):
+
+``exec``
+    A concrete reduction configuration — dtype pairing, element count,
+    (teams, V, threads) or the baseline heuristic path, workload
+    distribution — run through every independent execution path by the
+    differential oracles, including the metamorphic checks.
+``directive``
+    A *valid* ``#pragma omp`` source line with shuffled clause order,
+    noisy whitespace and line continuations; the parser must normalize
+    it to the same :class:`~repro.openmp.directives.Directive` every
+    time and the front end must compile it.
+``reject``
+    A deliberately-invalid pragma or a non-canonical/unsupported loop
+    (the paper's Listing 4 ``i = i + V`` form included); the front end
+    must reject it with the *same* error class and diagnostic code on
+    every attempt — silent acceptance or a shifting diagnostic is a
+    conformance divergence.
+``sweep-cache``
+    A small batch of sweep points run uncached, then twice through a
+    fresh persistent cache; all three result lists must be byte-equal
+    under canonical JSON.
+``coexec``
+    A co-execution p-sweep case (allocation site x unified-memory mode)
+    whose every measurement value must match the serial ground truth.
+``service``
+    The same point submitted through the in-process service scheduler
+    (admission -> batcher -> scheduler) and through the direct executor
+    path; the raw result records must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.workloads import WORKLOAD_KINDS
+from ..errors import SpecError
+from ..sweep.fingerprint import canonical_json
+
+__all__ = [
+    "CASE_KINDS",
+    "FuzzCase",
+    "case_list_digest",
+    "generate_cases",
+]
+
+#: Case kinds and their relative weights in a generated stream.
+CASE_KINDS: Tuple[Tuple[str, int], ...] = (
+    ("exec", 55),
+    ("directive", 15),
+    ("reject", 15),
+    ("sweep-cache", 5),
+    ("coexec", 5),
+    ("service", 5),
+)
+
+_DTYPES = ("int8", "int32", "int64", "float32", "float64")
+
+#: Element-count palette (multiplied by V so M % V == 0 always holds).
+_BASE_ELEMENTS = (1, 2, 3, 17, 255, 256, 1000, 4096, 65536)
+
+_TEAMS = (128, 256, 512, 1024, 4096, 16384, 65536)
+_V = (1, 2, 4, 8, 16, 32)
+_THREADS = (32, 64, 128, 256, 512, 1024)
+
+_WORKLOADS = tuple(sorted(WORKLOAD_KINDS))
+
+#: Mutation families for ``reject`` cases.  Each name maps to a reason
+#: the front end (parser, clause checker, canonical-form checker or the
+#: NVHPC increment restriction) must refuse the case.
+REJECT_MUTATIONS = (
+    "unknown-clause",
+    "unbalanced-parens",
+    "not-a-pragma",
+    "bad-reduction-identifier",
+    "num_teams-missing-arg",
+    "non-offload-directive",
+    "listing4-increment",
+    "noncanonical-test-op",
+)
+
+
+def _draw(seed: int, index: int, tag: str) -> float:
+    """Deterministic uniform draw in [0, 1) for ``(seed, index, tag)``."""
+    digest = hashlib.sha256(f"{seed}:{index}:{tag}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _choice(seed: int, index: int, tag: str, options: Sequence):
+    return options[int(_draw(seed, index, tag) * len(options)) % len(options)]
+
+
+def _weighted_kind(seed: int, index: int) -> str:
+    total = sum(weight for _, weight in CASE_KINDS)
+    roll = _draw(seed, index, "kind") * total
+    acc = 0.0
+    for kind, weight in CASE_KINDS:
+        acc += weight
+        if roll < acc:
+            return kind
+    return CASE_KINDS[-1][0]  # pragma: no cover - roll < total always
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated verification case (JSON-serializable, hashable id)."""
+
+    index: int
+    seed: int
+    kind: str
+    dtype: str = "int32"
+    result_dtype: str = "int32"
+    elements: int = 1
+    teams: Optional[int] = None
+    v: int = 1
+    threads: int = 256
+    workload: str = "uniform"
+    data_seed: int = 0
+    trials: int = 5
+    site: str = "A1"
+    unified_memory: bool = True
+    pragma: Optional[str] = None
+    mutation: Optional[str] = None
+    extras: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "index": self.index,
+            "seed": self.seed,
+            "kind": self.kind,
+            "dtype": self.dtype,
+            "result_dtype": self.result_dtype,
+            "elements": self.elements,
+            "teams": self.teams,
+            "v": self.v,
+            "threads": self.threads,
+            "workload": self.workload,
+            "data_seed": self.data_seed,
+            "trials": self.trials,
+            "site": self.site,
+            "unified_memory": self.unified_memory,
+            "pragma": self.pragma,
+            "mutation": self.mutation,
+        }
+        if self.extras:
+            doc["extras"] = dict(self.extras)
+        return doc
+
+    @property
+    def case_id(self) -> str:
+        """Stable content hash of this case (used in reports)."""
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode()
+        ).hexdigest()[:16]
+
+    def describe(self) -> str:
+        if self.kind in ("directive", "reject"):
+            return f"#{self.index} {self.kind}[{self.mutation or 'valid'}]"
+        cfg = (
+            "baseline"
+            if self.teams is None
+            else f"teams={self.teams} v={self.v} threads={self.threads}"
+        )
+        return (
+            f"#{self.index} {self.kind} {self.dtype}->{self.result_dtype} "
+            f"M={self.elements} [{cfg}] {self.workload}"
+        )
+
+
+def _result_dtype_for(seed: int, index: int, dtype: str) -> str:
+    if dtype == "int8":
+        return "int64"  # the paper's C2 pairing
+    if dtype == "int32" and _draw(seed, index, "widen") < 0.25:
+        return "int64"  # mixed T/R pairing pressure
+    if dtype == "float32" and _draw(seed, index, "widen") < 0.25:
+        return "float64"
+    return dtype
+
+
+def _config_draw(seed: int, index: int) -> Tuple[Optional[int], int, int]:
+    """(teams, v, threads); teams=None selects the baseline path."""
+    if _draw(seed, index, "baseline") < 0.25:
+        return None, 1, 256
+    v = _choice(seed, index, "v", _V)
+    teams = _choice(seed, index, "teams", [t for t in _TEAMS if t >= v])
+    threads = _choice(seed, index, "threads", _THREADS)
+    return teams, v, threads
+
+
+def _exec_case(seed: int, index: int, kind: str) -> FuzzCase:
+    dtype = _choice(seed, index, "dtype", _DTYPES)
+    teams, v, threads = _config_draw(seed, index)
+    base = _choice(seed, index, "elements", _BASE_ELEMENTS)
+    elements = base * v
+    return FuzzCase(
+        index=index,
+        seed=seed,
+        kind=kind,
+        dtype=dtype,
+        result_dtype=_result_dtype_for(seed, index, dtype),
+        elements=elements,
+        teams=teams,
+        v=v,
+        threads=threads,
+        workload=_choice(seed, index, "workload", _WORKLOADS),
+        data_seed=int(_draw(seed, index, "data-seed") * (1 << 31)),
+        trials=_choice(seed, index, "trials", (1, 5, 20)),
+        site=_choice(seed, index, "site", ("A1", "A2")),
+        unified_memory=_draw(seed, index, "um") < 0.7,
+    )
+
+
+_CLAUSE_POOL = (
+    "num_teams({teams})",
+    "thread_limit({threads})",
+    "reduction(+:sum)",
+)
+
+
+def _valid_pragma(seed: int, index: int) -> Tuple[str, FuzzCase]:
+    """A syntactically-noisy but valid Listing-2/5-family pragma."""
+    teams, v, threads = _config_draw(seed, index)
+    clauses: List[str] = ["reduction(+:sum)"]
+    if teams is not None:
+        clauses.append(f"num_teams({teams // v})")
+        clauses.append(f"thread_limit({threads})")
+    # Deterministic clause shuffle: sort by a per-clause draw.
+    clauses.sort(key=lambda c: _draw(seed, index, f"shuffle:{c}"))
+    sep = _choice(seed, index, "sep", (" ", "  ", " \\\n    "))
+    spacing = _choice(seed, index, "spacing", ("", " "))
+    text = (
+        f"#pragma omp{spacing} target teams distribute parallel for "
+        + sep.join(clauses)
+    )
+    base = _choice(seed, index, "elements", _BASE_ELEMENTS)
+    case = FuzzCase(
+        index=index,
+        seed=seed,
+        kind="directive",
+        dtype=_choice(seed, index, "dtype", _DTYPES),
+        elements=base * v,
+        teams=teams,
+        v=v,
+        threads=threads,
+        pragma=text,
+    )
+    return text, case
+
+
+def _reject_case(seed: int, index: int) -> FuzzCase:
+    mutation = _choice(seed, index, "mutation", REJECT_MUTATIONS)
+    teams = _choice(seed, index, "teams", _TEAMS)
+    threads = _choice(seed, index, "threads", _THREADS)
+    v = _choice(seed, index, "v", [x for x in _V if x > 1])
+    base = _choice(seed, index, "elements", _BASE_ELEMENTS)
+    pragma: Optional[str]
+    if mutation == "unknown-clause":
+        bad = _choice(seed, index, "bad-clause",
+                      ("collapse(2)", "grainsize(4)", "frobnicate",
+                       "numteams(8)"))
+        pragma = (
+            "#pragma omp target teams distribute parallel for "
+            f"{bad} reduction(+:sum)"
+        )
+    elif mutation == "unbalanced-parens":
+        pragma = (
+            "#pragma omp target teams distribute parallel for "
+            f"num_teams({teams} reduction(+:sum)"
+        )
+    elif mutation == "not-a-pragma":
+        pragma = _choice(seed, index, "not-pragma",
+                         ("#pragma acc parallel loop reduction(+:sum)",
+                          "pragma omp target teams distribute parallel for",
+                          "#pragma omp_target teams"))
+    elif mutation == "bad-reduction-identifier":
+        ident = _choice(seed, index, "bad-ident", ("%", "<<", "avg", "sum"))
+        pragma = (
+            "#pragma omp target teams distribute parallel for "
+            f"reduction({ident}:sum)"
+        )
+    elif mutation == "num_teams-missing-arg":
+        pragma = (
+            "#pragma omp target teams distribute parallel for "
+            "num_teams() reduction(+:sum)"
+        )
+    elif mutation == "non-offload-directive":
+        pragma = _choice(seed, index, "host-directive",
+                         ("#pragma omp parallel for reduction(+:sum)",
+                          "#pragma omp target parallel for reduction(+:sum)"))
+    else:
+        # listing4-increment / noncanonical-test-op reject at compile
+        # time with a canonical Listing-5 pragma.
+        pragma = (
+            "#pragma omp target teams distribute parallel for "
+            "reduction(+:sum)"
+        )
+    return FuzzCase(
+        index=index,
+        seed=seed,
+        kind="reject",
+        dtype=_choice(seed, index, "dtype", _DTYPES),
+        elements=base * v,
+        teams=teams,
+        v=v,
+        threads=threads,
+        pragma=pragma,
+        mutation=mutation,
+    )
+
+
+def _sweep_cache_case(seed: int, index: int) -> FuzzCase:
+    case = _exec_case(seed, index, "sweep-cache")
+    # A batch of distinct points: vary teams around the drawn one.
+    teams = case.teams or 256
+    points = sorted({teams, max(128, teams // 2), min(65536, teams * 2)})
+    return FuzzCase(
+        **{**case.__dict__, "teams": teams,
+           "extras": (("point_teams", list(points)),)}
+    )
+
+
+def generate_cases(
+    seed: int, count: int, kinds: Optional[Sequence[str]] = None
+) -> List[FuzzCase]:
+    """Generate *count* cases for *seed* (deterministic, order-stable).
+
+    ``kinds`` restricts generation to a subset of :data:`CASE_KINDS`
+    names (the full stream is still drawn, so case *i* is identical
+    whether or not other kinds are filtered out — filtering never
+    renumbers).
+    """
+    if count < 1:
+        raise SpecError(f"cases must be >= 1, got {count}")
+    known = tuple(name for name, _ in CASE_KINDS)
+    if kinds is not None:
+        unknown = sorted(set(kinds) - set(known))
+        if unknown:
+            raise SpecError(
+                f"unknown case kinds {unknown}; expected a subset of "
+                f"{list(known)}"
+            )
+    cases: List[FuzzCase] = []
+    index = 0
+    while len(cases) < count:
+        kind = _weighted_kind(seed, index)
+        if kind == "exec":
+            case = _exec_case(seed, index, "exec")
+        elif kind == "directive":
+            _, case = _valid_pragma(seed, index)
+        elif kind == "reject":
+            case = _reject_case(seed, index)
+        elif kind == "sweep-cache":
+            case = _sweep_cache_case(seed, index)
+        elif kind == "coexec":
+            base = _exec_case(seed, index, "coexec")
+            # Co-execution sweeps time out of proportion with M; keep
+            # the functional sizes small and the p grid coarse.
+            case = FuzzCase(
+                **{**base.__dict__,
+                   "elements": min(base.elements, 4096 * base.v),
+                   "trials": 5}
+            )
+        else:
+            case = _exec_case(seed, index, "service")
+        index += 1
+        if kinds is not None and case.kind not in kinds:
+            continue
+        cases.append(case)
+    return cases
+
+
+def case_list_digest(cases: Sequence[FuzzCase]) -> str:
+    """SHA-256 over the canonical JSON of the whole case list.
+
+    Two runs with the same seed/count must produce the same digest —
+    the acceptance criterion for reproducible fuzzing.
+    """
+    doc = [case.to_dict() for case in cases]
+    return hashlib.sha256(canonical_json(doc).encode()).hexdigest()

@@ -1,0 +1,222 @@
+"""Perf-regression gate: time the hot paths, compare to a baseline.
+
+Three benchmarks cover the tier-1-critical paths the repo's earlier PRs
+optimized, each reported as the **best of N repeats** (minimum is the
+standard noise-robust statistic for microbenchmarks):
+
+* ``sim_microbench`` — one optimized Listing-5 measurement through the
+  full compile -> launch -> perf-model -> functional-execute pipeline
+  (the unit of work every sweep point pays);
+* ``warm_cache_sweep`` — a Figure-1-style teams sweep answered entirely
+  from a pre-warmed persistent result cache (the PR-1 fast path that
+  makes ``reproduce_paper.py`` ~100x faster than the seed);
+* ``service_p99`` — p99 latency of in-process service submissions
+  against a warm cache (the PR-3 latency budget), via the loadgen's
+  nearest-rank percentile.
+
+``repro verify perf`` writes the current numbers to ``BENCH_verify.json``
+and compares them against the committed baseline with a noise-aware
+threshold: a benchmark regresses only when it is ``threshold`` times
+slower than baseline (default 4x — CI machines are noisy and shared;
+the gate is for order-of-magnitude rot, not 5% drift).  Speed-ups and
+new benchmarks never fail the gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..config import DEFAULT_CONFIG
+from ..core.cases import case_by_name
+from ..core.machine import Machine
+from ..core.optimized import KernelConfig
+from ..core.timing import measure_gpu_reduction
+from ..service.loadgen import percentile
+from ..sweep.executor import SweepExecutor
+from ..sweep.result_cache import open_result_cache
+
+__all__ = [
+    "BenchReport",
+    "compare_benchmarks",
+    "default_baseline_path",
+    "run_perf_suite",
+]
+
+#: Default regression threshold: current/baseline ratio that fails.
+DEFAULT_THRESHOLD = 4.0
+
+#: Functional cap for the benchmark machine — big enough to exercise the
+#: vectorized paths, small enough that a full suite run stays < 10 s.
+_BENCH_CAP = 1 << 16
+
+_SWEEP_TEAMS = (128, 512, 2048, 8192, 32768)
+_SERVICE_SUBMITS = 40
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline: ``BENCH_verify.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "BENCH_verify.json"
+
+
+@dataclass
+class BenchReport:
+    """Timings from one perf-suite run."""
+
+    benchmarks: Dict[str, Dict[str, Any]]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"meta": self.meta, "benchmarks": self.benchmarks}
+
+    def write(self, path: "Path | str") -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n")
+        return path
+
+    def describe(self) -> str:
+        lines = []
+        for name, entry in sorted(self.benchmarks.items()):
+            lines.append(f"{name}: {entry['seconds'] * 1e3:.2f} ms")
+        return "\n".join(lines)
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_sim_microbench(machine: Machine, repeats: int) -> float:
+    case = case_by_name("C1")
+    config = KernelConfig(teams=4096, v=4, threads=256)
+
+    def once() -> None:
+        measure_gpu_reduction(machine, case, config, trials=200, verify=True)
+
+    once()  # warm compile/workload caches out of the timed region
+    return _best(once, repeats)
+
+
+def _bench_warm_cache_sweep(machine: Machine, repeats: int) -> float:
+    case = case_by_name("C1")
+    configs = [KernelConfig(teams=t, v=4, threads=256) for t in _SWEEP_TEAMS]
+    with tempfile.TemporaryDirectory(prefix="repro-perfgate-") as tmp:
+        executor = SweepExecutor(
+            machine, workers=1, cache=open_result_cache(tmp)
+        )
+        executor.gpu_points(case, configs, trials=200, verify=False)  # warm
+
+        def once() -> None:
+            executor.gpu_points(case, configs, trials=200, verify=False)
+
+        return _best(once, repeats)
+
+
+def _bench_service_p99(machine: Machine, repeats: int) -> float:
+    from ..service.api import SimRequest
+    from ..service.scheduler import ReductionService, ServiceSettings
+
+    case = case_by_name("C1")
+    config = KernelConfig(teams=4096, v=4, threads=256)
+
+    async def p99_once() -> float:
+        with tempfile.TemporaryDirectory(prefix="repro-perfgate-") as tmp:
+            service = ReductionService(
+                machine=machine,
+                executor=SweepExecutor(
+                    machine, workers=1, cache=open_result_cache(tmp)
+                ),
+                settings=ServiceSettings(degrade=False),
+            )
+            try:
+                # First submit computes and fills the cache; the timed
+                # population measures the warm fast path, like the PR-3
+                # latency gate.
+                await service.submit(
+                    SimRequest(experiment="gpu", case=case, config=config,
+                               trials=200)
+                )
+                latencies: List[float] = []
+                for _ in range(_SERVICE_SUBMITS):
+                    started = time.perf_counter()
+                    response = await service.submit(
+                        SimRequest(experiment="gpu", case=case,
+                                   config=config, trials=200)
+                    )
+                    latencies.append(time.perf_counter() - started)
+                    assert response.ok
+                return percentile(latencies, 99)
+            finally:
+                await service.stop()
+
+    return min(asyncio.run(p99_once()) for _ in range(repeats))
+
+
+_BENCHES = {
+    "sim_microbench": _bench_sim_microbench,
+    "warm_cache_sweep": _bench_warm_cache_sweep,
+    "service_p99": _bench_service_p99,
+}
+
+
+def run_perf_suite(
+    machine: Optional[Machine] = None, repeats: int = 3
+) -> BenchReport:
+    """Run every benchmark; returns best-of-*repeats* timings."""
+    machine = machine or Machine(config=DEFAULT_CONFIG.with_cap(_BENCH_CAP))
+    benchmarks = {
+        name: {"seconds": bench(machine, repeats), "repeats": repeats}
+        for name, bench in sorted(_BENCHES.items())
+    }
+    return BenchReport(
+        benchmarks=benchmarks,
+        meta={
+            "functional_cap": machine.config.functional_elements_cap,
+            "python": platform.python_version(),
+            "statistic": "best",
+        },
+    )
+
+
+def compare_benchmarks(
+    current: BenchReport,
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, Any]]:
+    """Regressions of *current* against a loaded baseline document.
+
+    Returns one record per benchmark that is more than ``threshold``
+    times slower than its baseline.  Benchmarks missing from either side
+    are skipped (a new benchmark has no baseline yet; a retired one has
+    no current number).
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1, got {threshold}")
+    base = baseline.get("benchmarks", {})
+    regressions = []
+    for name, entry in sorted(current.benchmarks.items()):
+        ref = base.get(name)
+        if not ref or not ref.get("seconds"):
+            continue
+        ratio = entry["seconds"] / ref["seconds"]
+        if ratio > threshold:
+            regressions.append(
+                {
+                    "benchmark": name,
+                    "current_s": entry["seconds"],
+                    "baseline_s": ref["seconds"],
+                    "ratio": ratio,
+                    "threshold": threshold,
+                }
+            )
+    return regressions

@@ -14,6 +14,13 @@ from repro.gpu.exec_model import execute_reduction
 from repro.gpu.kernels import ReductionKernel
 from repro.hardware import grace_cpu
 from repro.openmp.runtime import LaunchGeometry
+from repro.verify.oracles import (
+    kahan_sum,
+    naive_sum,
+    pairwise_sum,
+    serial_ground_truth,
+    tolerances_for,
+)
 
 
 def _kernel(grid, block, v, t="int32", r=None, identifier="+"):
@@ -95,6 +102,85 @@ class TestFloatErrorBound:
         exact = float(data.astype(np.float64).sum())
         bound = np.finfo(np.float32).eps * data.size * max(exact, 1.0)
         assert abs(float(result) - exact) <= bound + 1e-12
+
+
+signed_float_arrays = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, width=32),
+    min_size=1, max_size=4000,
+).map(lambda xs: np.array(xs, dtype=np.float32))
+
+
+class TestFloatPermutationInvariance:
+    @given(data=signed_float_arrays, geo=geometry, perm_seed=st.integers(0, 9))
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_within_condition_aware_tolerance(
+        self, data, geo, perm_seed
+    ):
+        # Float addition is not associative, so a shuffled input may sum
+        # differently — but only within the worst-case reordering bound
+        # the verify oracles derive from sum(|x|).
+        grid, block, v = geo
+        k = _kernel(grid, block, v, t="float32")
+        shuffled = data[np.random.default_rng(perm_seed).permutation(data.size)]
+        tol = tolerances_for(data, "float32")
+        assert tol.agree(
+            execute_reduction(data, k), execute_reduction(shuffled, k)
+        )
+
+
+class TestSummationErrorOrdering:
+    @given(
+        data=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3),
+            min_size=2, max_size=1500,
+        ).map(lambda xs: np.array(xs, dtype=np.float64)),
+        dtype=st.sampled_from([np.float32, np.float64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_compensated_never_loses_to_naive(self, data, dtype):
+        # The textbook ordering: Kahan error <= naive error, pairwise
+        # within a whisker of naive, across both float widths.  "Exact"
+        # is float64 Kahan on data scaled to be exactly representable.
+        exact = float(serial_ground_truth(data, "float64"))
+        eps = float(np.finfo(dtype).eps)
+        slack = eps * np.abs(data).sum()  # one-rounding wobble
+        err_naive = abs(naive_sum(data, dtype) - exact)
+        assert abs(kahan_sum(data, dtype) - exact) <= err_naive + slack
+        assert abs(pairwise_sum(data, dtype) - exact) <= err_naive + slack
+
+    @given(
+        data=st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1, max_size=500,
+        ).map(lambda xs: np.array(xs, dtype=np.int64)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_variants_exact_on_small_integers(self, data):
+        exact = int(data.sum(dtype=np.int64))
+        assert naive_sum(data, np.int64) == exact
+        assert kahan_sum(data, np.float64) == exact
+        assert pairwise_sum(data, np.float64) == exact
+
+
+class TestEdgeCases:
+    @given(geo=geometry, dtype=st.sampled_from(["int32", "int64", "float32"]))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_length_input_is_the_identity(self, geo, dtype):
+        grid, block, v = geo
+        data = np.array([], dtype=dtype)
+        assert execute_reduction(data, _kernel(grid, block, v, t=dtype)) == 0
+        assert serial_ground_truth(data, dtype) == 0
+
+    @given(
+        geo=geometry,
+        value=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_element_is_returned_verbatim(self, geo, value):
+        grid, block, v = geo
+        data = np.array([value], dtype=np.int32)
+        assert execute_reduction(data, _kernel(grid, block, v)) == value
+        assert serial_ground_truth(data, "int32") == value
 
 
 class TestOtherOperatorInvariants:

@@ -1,0 +1,51 @@
+"""Regression: cached and uncached sweeps must be byte-identical.
+
+This reproduces, end to end and with no fuzzer machinery, the first
+``sweep-cache`` case the seeded fuzzer emits (``repro verify fuzz --seed
+42``, case #3): a tiny int64 ramp workload swept over two teams points
+through an uncached executor, a cold persistent cache, and the warmed
+cache.  The three record lists must agree under canonical JSON — any
+divergence means the result cache is no longer transparent (a stale
+fingerprint, a lossy round trip, or a records/order change).
+"""
+
+from repro.core.cases import Case
+from repro.core.optimized import KernelConfig
+from repro.sweep.executor import SweepExecutor
+from repro.sweep.fingerprint import canonical_json
+from repro.sweep.result_cache import open_result_cache
+
+# Parameters of seed-42 fuzz case #3, inlined so this test stands alone.
+CASE = Case(
+    name="fz3", element_type="int64", result_type="int64", elements=8
+)
+CONFIGS = [
+    KernelConfig(teams=32768, v=4, threads=256),
+    KernelConfig(teams=65536, v=4, threads=256),
+]
+TRIALS = 5
+
+
+def _points(machine, cache):
+    return SweepExecutor(machine, workers=1, cache=cache).gpu_points(
+        CASE, CONFIGS, trials=TRIALS, verify=True
+    )
+
+
+def test_seed42_case3_cache_transparency(machine, tmp_path):
+    uncached = _points(machine, None)
+    cache = open_result_cache(tmp_path / "cache")
+    executor = SweepExecutor(machine, workers=1, cache=cache)
+    cold = executor.gpu_points(CASE, CONFIGS, trials=TRIALS, verify=True)
+    warm = executor.gpu_points(CASE, CONFIGS, trials=TRIALS, verify=True)
+
+    assert canonical_json(cold) == canonical_json(uncached)
+    assert canonical_json(warm) == canonical_json(uncached)
+
+
+def test_seed42_case3_cache_survives_reopen(machine, tmp_path):
+    uncached = _points(machine, None)
+    path = tmp_path / "cache"
+    _points(machine, open_result_cache(path))  # populate, then drop handle
+    reopened = _points(machine, open_result_cache(path))
+    assert canonical_json(reopened) == canonical_json(uncached)

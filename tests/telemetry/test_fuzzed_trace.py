@@ -1,0 +1,93 @@
+"""A 10k-event fuzzed run exports a trace the validator accepts.
+
+The verify fuzzer drives the whole pipeline (compiler, OpenMP runtime,
+GPU sim, sweep executor, service), so a large fuzzed run is the densest
+realistic telemetry workload we have.  The exported Chrome trace must
+validate against ``docs/trace-event.schema.json`` via the shipped
+``tools/validate_trace.py`` — schema, span linkage, lane packing and
+category coverage, all through the tool's real entry point.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.machine import Machine
+from repro.telemetry import chrome_trace, write_chrome_trace
+from repro.verify.differential import run_fuzz
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "validate_trace", REPO_ROOT / "tools" / "validate_trace.py"
+)
+validate_trace = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(validate_trace)
+
+TARGET_EVENTS = 10_000
+# Cache/coexec/service kinds are the span-dense, cheap ones: ~25 spans
+# per case at a small functional cap.
+_KINDS = ["sweep-cache", "coexec", "service"]
+
+
+@pytest.fixture(scope="module")
+def fuzzed_trace_doc(tmp_path_factory):
+    from repro.telemetry import configure
+
+    tel = configure(enabled=True, reset=True)
+    try:
+        machine = Machine(config=DEFAULT_CONFIG.with_cap(1 << 14))
+        seed = 0
+        while True:
+            report = run_fuzz(seed, 150, kinds=_KINDS, machine=machine)
+            assert report.ok, [d.describe() for d in report.divergences]
+            doc = chrome_trace(tel.recorder.snapshot())
+            if len(doc["traceEvents"]) > TARGET_EVENTS:
+                break
+            seed += 1
+            assert seed < 40, "fuzz runs stopped producing spans"
+        path = write_chrome_trace(
+            tmp_path_factory.mktemp("trace") / "fuzzed.json",
+            tel.recorder.snapshot(),
+        )
+        return path, doc
+    finally:
+        configure(enabled=False, reset=True)
+
+
+class TestFuzzedTraceValidates:
+    def test_ten_thousand_events(self, fuzzed_trace_doc):
+        _, doc = fuzzed_trace_doc
+        assert len(doc["traceEvents"]) > TARGET_EVENTS
+
+    def test_validator_accepts_the_trace(self, fuzzed_trace_doc, capsys):
+        path, _ = fuzzed_trace_doc
+        assert validate_trace.main([str(path)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_validator_enforces_category_coverage(
+        self, fuzzed_trace_doc, capsys
+    ):
+        path, _ = fuzzed_trace_doc
+        assert validate_trace.main([
+            str(path),
+            "--require-categories", "compiler,openmp,gpu,sweep,sim",
+        ]) == 0
+        capsys.readouterr()
+        assert validate_trace.main([
+            str(path), "--require-categories", "nonexistent-subsystem",
+        ]) == 1
+        assert "lacks required categories" in capsys.readouterr().err
+
+    def test_validator_rejects_a_tampered_trace(
+        self, fuzzed_trace_doc, tmp_path, capsys
+    ):
+        path, _ = fuzzed_trace_doc
+        doc = json.loads(path.read_text())
+        doc["traceEvents"][0].pop("ts", None)
+        bad = tmp_path / "tampered.json"
+        bad.write_text(json.dumps(doc))
+        assert validate_trace.main([str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""Golden corpus bless/check round trips (in a tmp dir, never tests/golden)."""
+
+import json
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.machine import Machine
+from repro.errors import SpecError
+from repro.verify.corpus import GoldenCorpus, default_golden_dir
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    # A tiny functional cap keeps the three entries fast; the cap is part
+    # of the corpus identity, so check() compares against files blessed
+    # by this same corpus, not the committed ones.
+    machine = Machine(config=DEFAULT_CONFIG.with_cap(1 << 10))
+    return GoldenCorpus(
+        machine=machine, directory=tmp_path_factory.mktemp("golden")
+    )
+
+
+class TestBlessCheck:
+    def test_bless_then_check_is_ok(self, corpus):
+        written = corpus.bless()
+        assert sorted(p.stem for p in written) == corpus.names
+        report = corpus.check()
+        assert report["ok"], report
+        assert all(
+            e["status"] == "ok" for e in report["entries"].values()
+        )
+
+    def test_missing_file_reported(self, corpus):
+        corpus.bless()
+        corpus.path_for("fig1").unlink()
+        report = corpus.check()
+        assert not report["ok"]
+        assert report["entries"]["fig1"]["status"] == "missing"
+        assert report["entries"]["table1"]["status"] == "ok"
+
+    def test_tampered_value_reported_with_pointer(self, corpus):
+        corpus.bless()
+        path = corpus.path_for("table1")
+        doc = json.loads(path.read_text())
+        row = doc["data"]["rows"]["C1"]["optimized"]
+        key = "bandwidth_gbs" if "bandwidth_gbs" in row else sorted(row)[0]
+        row[key] = 0.123456
+        path.write_text(json.dumps(doc))
+        report = corpus.check(["table1"])
+        entry = report["entries"]["table1"]
+        assert entry["status"] == "mismatch"
+        assert "C1" in entry["detail"]
+
+    def test_subset_selection(self, corpus):
+        corpus.bless(["coexec"])
+        report = corpus.check(["coexec"])
+        assert report["ok"]
+        assert list(report["entries"]) == ["coexec"]
+
+    def test_unknown_entry_rejected(self, corpus):
+        with pytest.raises(SpecError, match="unknown golden entries"):
+            corpus.check(["table2"])
+        with pytest.raises(SpecError):
+            corpus.bless(["nope"])
+
+
+class TestCommittedCorpus:
+    def test_golden_dir_is_tests_golden(self):
+        d = default_golden_dir()
+        assert d.parts[-2:] == ("tests", "golden")
+
+    def test_committed_files_exist_and_record_their_cap(self):
+        for name in ("table1", "fig1", "coexec"):
+            doc = json.loads(
+                (default_golden_dir() / f"{name}.json").read_text()
+            )
+            assert doc["meta"]["entry"] == name
+            assert doc["meta"]["functional_cap"] == 65536

@@ -1,0 +1,83 @@
+"""The differential runner: clean runs are clean, faulted runs diverge."""
+
+import json
+
+import pytest
+
+from repro.faults.injector import injected
+from repro.verify.differential import (
+    ORACLE_FAULT_POINT,
+    DifferentialRunner,
+    run_fuzz,
+)
+from repro.verify.fuzzer import CASE_KINDS, generate_cases
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("kind", [name for name, _ in CASE_KINDS])
+    def test_each_kind_passes(self, machine, kind):
+        report = run_fuzz(42, 3, kinds=[kind], machine=machine)
+        assert report.ok, [d.describe() for d in report.divergences]
+        assert report.cases_run == 3
+        assert report.by_kind == {kind: 3}
+        assert report.checks > 0
+        assert report.exhausted
+
+    def test_digest_matches_generator(self, machine):
+        report = run_fuzz(7, 5, kinds=["exec"], machine=machine)
+        from repro.verify.fuzzer import case_list_digest
+
+        assert report.digest == case_list_digest(
+            generate_cases(7, 5, kinds=["exec"])
+        )
+
+    def test_report_round_trips_through_json(self, machine):
+        report = run_fuzz(42, 2, kinds=["exec"], machine=machine)
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["ok"] is True
+        assert doc["seed"] == 42
+        assert doc["divergences"] == []
+
+    def test_describe_mentions_outcome(self, machine):
+        report = run_fuzz(42, 2, kinds=["exec"], machine=machine)
+        assert "OK" in report.describe()
+
+
+class TestFaultedRuns:
+    def test_oracle_fault_produces_divergences(self, machine):
+        with injected(f"{ORACLE_FAULT_POINT}:corrupt"):
+            report = run_fuzz(42, 2, kinds=["exec"], machine=machine)
+        assert not report.ok
+        checks = {d.check for d in report.divergences}
+        assert "device-vs-serial" in checks
+        # The corruption is applied after the device run, so the
+        # device-vs-host comparison diverges too.
+        assert "device-vs-host" in checks
+        for d in report.divergences:
+            assert d.detail["tolerance"]
+
+    def test_fault_divergence_is_deterministic(self, machine):
+        with injected(f"{ORACLE_FAULT_POINT}:corrupt"):
+            a = run_fuzz(11, 2, kinds=["exec"], machine=machine)
+            b = run_fuzz(11, 2, kinds=["exec"], machine=machine)
+        assert [d.to_dict() for d in a.divergences] == [
+            d.to_dict() for d in b.divergences
+        ]
+
+
+class TestBudget:
+    def test_zero_budget_runs_nothing(self, machine):
+        report = run_fuzz(
+            42, 10, kinds=["exec"], machine=machine, time_budget_s=0.0
+        )
+        assert report.cases_run == 0
+        assert not report.exhausted
+        assert not report.ok  # zero coverage is never a pass
+
+    def test_runner_checks_accumulate(self, machine):
+        runner = DifferentialRunner(machine)
+        case = generate_cases(42, 1, kinds=["exec"])[0]
+        assert runner.check_case(case) == []
+        first = runner.checks
+        runner.check_case(case)
+        assert runner.checks == 2 * first

@@ -1,0 +1,81 @@
+"""The fuzzer must be a pure function of (seed, index)."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.openmp.parser import parse_pragma
+from repro.verify.fuzzer import (
+    CASE_KINDS,
+    REJECT_MUTATIONS,
+    case_list_digest,
+    generate_cases,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases_byte_for_byte(self):
+        a = generate_cases(42, 120)
+        b = generate_cases(42, 120)
+        assert [c.to_dict() for c in a] == [c.to_dict() for c in b]
+        assert case_list_digest(a) == case_list_digest(b)
+
+    def test_different_seeds_differ(self):
+        assert case_list_digest(generate_cases(1, 50)) != case_list_digest(
+            generate_cases(2, 50)
+        )
+
+    def test_prefix_stability(self):
+        # Asking for more cases never changes the earlier ones.
+        short = generate_cases(7, 20)
+        long = generate_cases(7, 60)
+        assert [c.to_dict() for c in short] == [
+            c.to_dict() for c in long[:20]
+        ]
+
+    def test_kind_filter_never_renumbers(self):
+        # Case i is identical whether or not other kinds are filtered.
+        full = {c.index: c for c in generate_cases(42, 200)}
+        execs = generate_cases(42, 50, kinds=["exec"])
+        assert all(c.kind == "exec" for c in execs)
+        for c in execs:
+            assert full.get(c.index) is None or full[c.index] == c
+
+    def test_case_id_is_content_hash(self):
+        a, b = generate_cases(3, 2)
+        assert a.case_id != b.case_id
+        assert a.case_id == generate_cases(3, 2)[0].case_id
+
+
+class TestValidity:
+    def test_all_kinds_appear_in_a_long_stream(self):
+        kinds = {c.kind for c in generate_cases(0, 400)}
+        assert kinds == {name for name, _ in CASE_KINDS}
+
+    def test_elements_always_divisible_by_v(self):
+        for c in generate_cases(11, 150):
+            assert c.elements % c.v == 0
+
+    def test_directive_pragmas_parse(self):
+        for c in generate_cases(5, 200, kinds=["directive"])[:30]:
+            parse_pragma(c.pragma)  # must not raise
+
+    def test_reject_mutations_covered(self):
+        seen = {
+            c.mutation for c in generate_cases(9, 400) if c.kind == "reject"
+        }
+        # The stream is weighted-random; a long stream hits every family.
+        assert seen == set(REJECT_MUTATIONS)
+
+    def test_describe_mentions_kind(self):
+        for c in generate_cases(1, 10):
+            assert c.kind in c.describe() or c.kind in ("directive", "reject")
+
+
+class TestErrors:
+    def test_zero_cases_rejected(self):
+        with pytest.raises(SpecError):
+            generate_cases(1, 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown case kinds"):
+            generate_cases(1, 5, kinds=["exec", "frobnicate"])

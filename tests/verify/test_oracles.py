@@ -1,0 +1,119 @@
+"""The independent oracles and their dtype-aware tolerances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dtypes import scalar_type
+from repro.verify.oracles import (
+    OracleTolerances,
+    kahan_sum,
+    naive_sum,
+    pairwise_sum,
+    serial_ground_truth,
+    tolerances_for,
+)
+
+
+class TestSerialGroundTruth:
+    def test_int32_wraps_like_c(self):
+        data = np.array([2**31 - 1, 1], dtype=np.int32)
+        assert serial_ground_truth(data, "int32") == -(2**31)
+
+    def test_int8_inputs_widen_to_int64(self):
+        data = np.full(1000, 127, dtype=np.int8)
+        assert serial_ground_truth(data, "int64") == 127000
+
+    def test_matches_any_grouping_of_wrapped_partials(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(-(2**31), 2**31, size=999).astype(np.int32)
+        truth = serial_ground_truth(data, "int32")
+        assert truth == data.sum(dtype=np.int32)  # NumPy's own grouping
+
+    def test_float_uses_compensated_float64(self):
+        rng = np.random.default_rng(3)
+        data = (rng.random(4096) * 1e8).astype(np.float64)
+        truth = float(serial_ground_truth(data, "float64"))
+        # Kahan in float64 tracks the exact sum far inside any grouping
+        # tolerance, and the ground truth is exactly that computation.
+        assert truth == pytest.approx(math.fsum(data), abs=1e-3)
+        assert truth == kahan_sum(data, np.float64)
+
+    def test_empty_is_identity(self):
+        assert serial_ground_truth(np.array([], dtype=np.int32), "int32") == 0
+        assert serial_ground_truth(
+            np.array([], dtype=np.float32), "float32"
+        ) == 0.0
+
+
+class TestSummationVariants:
+    def test_error_ordering_on_ill_conditioned_input(self):
+        rng = np.random.default_rng(7)
+        data = np.concatenate(
+            [rng.random(4096) * 1e-8, np.array([1e8])]
+        ).astype(np.float64)
+        rng.shuffle(data)
+        exact = float(serial_ground_truth(data.astype(np.float64), "float64"))
+        err = {
+            fn.__name__: abs(fn(data, np.float32) - exact)
+            for fn in (naive_sum, pairwise_sum, kahan_sum)
+        }
+        assert err["kahan_sum"] <= err["naive_sum"]
+        assert err["pairwise_sum"] <= err["naive_sum"] + 1e-6
+
+    def test_all_agree_exactly_on_integers(self):
+        data = np.arange(100, dtype=np.int64)
+        assert naive_sum(data, np.int64) == 4950
+        assert kahan_sum(data, np.float64) == 4950
+        assert pairwise_sum(data, np.float64) == 4950
+
+    def test_empty_inputs(self):
+        empty = np.array([], dtype=np.float64)
+        assert naive_sum(empty) == 0.0
+        assert kahan_sum(empty) == 0.0
+        assert pairwise_sum(empty) == 0.0
+
+
+class TestTolerances:
+    def test_integers_are_exact(self):
+        tol = tolerances_for(np.arange(10, dtype=np.int32), "int32")
+        assert tol.absolute_bound == 0.0
+        assert tol.agree(5, 5)
+        assert not tol.agree(5, 6)
+
+    def test_float_bound_scales_with_conditioning(self):
+        well = tolerances_for(np.ones(1000, dtype=np.float32), "float32")
+        ill = tolerances_for(
+            np.full(1000, 1e6, dtype=np.float32), "float32"
+        )
+        assert ill.absolute_bound > well.absolute_bound
+
+    def test_float_accepts_legitimate_rounding(self):
+        data = np.random.default_rng(1).random(4096).astype(np.float32)
+        tol = tolerances_for(data, "float32")
+        a = naive_sum(data, np.float32)
+        b = pairwise_sum(data, np.float32)
+        assert tol.agree(a, b)
+
+    def test_float_rejects_gross_error(self):
+        data = np.ones(100, dtype=np.float32)
+        tol = tolerances_for(data, "float32")
+        assert not tol.agree(100.0, 101.0)
+
+    def test_nan_agrees_only_with_nan(self):
+        tol = OracleTolerances(
+            result_type=scalar_type("float64"), n_elements=4, abs_sum=1.0
+        )
+        assert tol.agree(float("nan"), float("nan"))
+        assert not tol.agree(float("nan"), 0.0)
+        assert tol.agree(float("inf"), float("inf"))
+        assert not tol.agree(float("inf"), float("-inf"))
+
+    def test_describe_mentions_rule(self):
+        assert "exact" in tolerances_for(
+            np.arange(3, dtype=np.int8), "int8"
+        ).describe()
+        assert "float32" in tolerances_for(
+            np.ones(3, dtype=np.float32), "float32"
+        ).describe()

@@ -1,0 +1,103 @@
+"""The perf-regression gate: suite shape, comparison rules, persistence."""
+
+import json
+
+import pytest
+
+from repro.verify.perfgate import (
+    BenchReport,
+    DEFAULT_THRESHOLD,
+    compare_benchmarks,
+    default_baseline_path,
+    run_perf_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_perf_suite(repeats=1)
+
+
+class TestSuite:
+    def test_covers_the_three_hot_paths(self, report):
+        assert sorted(report.benchmarks) == [
+            "service_p99",
+            "sim_microbench",
+            "warm_cache_sweep",
+        ]
+        for entry in report.benchmarks.values():
+            assert entry["seconds"] > 0.0
+            assert entry["repeats"] == 1
+
+    def test_meta_records_environment(self, report):
+        assert report.meta["statistic"] == "best"
+        assert report.meta["functional_cap"] == 1 << 16
+
+    def test_write_round_trips(self, report, tmp_path):
+        path = report.write(tmp_path / "bench.json")
+        doc = json.loads(path.read_text())
+        assert doc == report.to_dict()
+
+    def test_describe_lists_benchmarks(self, report):
+        text = report.describe()
+        assert "sim_microbench" in text and "ms" in text
+
+
+class TestCompare:
+    def _report(self, **seconds):
+        return BenchReport(
+            benchmarks={
+                name: {"seconds": s, "repeats": 1}
+                for name, s in seconds.items()
+            }
+        )
+
+    def test_no_regression_within_threshold(self):
+        current = self._report(a=0.002, b=0.010)
+        baseline = self._report(a=0.001, b=0.009).to_dict()
+        assert compare_benchmarks(current, baseline) == []
+
+    def test_regression_beyond_threshold(self):
+        current = self._report(a=0.010)
+        baseline = self._report(a=0.001).to_dict()
+        (rec,) = compare_benchmarks(current, baseline)
+        assert rec["benchmark"] == "a"
+        assert rec["ratio"] == pytest.approx(10.0)
+        assert rec["threshold"] == DEFAULT_THRESHOLD
+
+    def test_speedups_never_fail(self):
+        current = self._report(a=0.0001)
+        baseline = self._report(a=0.1).to_dict()
+        assert compare_benchmarks(current, baseline) == []
+
+    def test_unmatched_benchmarks_skipped(self):
+        current = self._report(new_bench=5.0)
+        baseline = self._report(retired=0.001).to_dict()
+        assert compare_benchmarks(current, baseline) == []
+
+    def test_custom_threshold(self):
+        current = self._report(a=0.0015)
+        baseline = self._report(a=0.001).to_dict()
+        assert compare_benchmarks(current, baseline, threshold=1.4)
+        assert not compare_benchmarks(current, baseline, threshold=1.6)
+
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_benchmarks(self._report(), {}, threshold=1.0)
+
+
+class TestBaseline:
+    def test_committed_baseline_exists_and_parses(self):
+        path = default_baseline_path()
+        assert path.name == "BENCH_verify.json"
+        doc = json.loads(path.read_text())
+        assert sorted(doc["benchmarks"]) == [
+            "service_p99",
+            "sim_microbench",
+            "warm_cache_sweep",
+        ]
+
+    def test_current_run_passes_the_committed_gate(self, report):
+        # The actual CI gate: today's numbers vs the committed baseline.
+        baseline = json.loads(default_baseline_path().read_text())
+        assert compare_benchmarks(report, baseline) == []
