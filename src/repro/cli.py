@@ -146,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: REPRO_FAULTS, else off; see docs/RESILIENCE.md)",
     )
     parser.add_argument(
+        "--no-slab", action="store_true",
+        help="disable the batch-vectorized slab hot path and use the "
+             "point-at-a-time scalar pipeline (the differential oracle; "
+             "results are byte-identical either way)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent sweep result cache (recompute "
              "every point)",
@@ -997,6 +1003,8 @@ def _dispatch(
         overrides["functional_elements_cap"] = int(args.functional_cap)
     if args.faults:
         overrides["faults"] = args.faults
+    if getattr(args, "no_slab", False):
+        overrides["slab"] = False
     if overrides:
         from dataclasses import replace as _replace
 

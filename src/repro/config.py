@@ -70,6 +70,16 @@ class ReproConfig:
         every injection point a no-op.  Not part of cache fingerprints —
         injected faults surface as *failed* points or detected
         corruption, never as silently different cached results.
+    slab:
+        When ``True`` (the default), ``gpu_point`` sweep stages take the
+        batch-vectorized slab path (:mod:`repro.sim.batch`): precomputed
+        model tables, whole-slab NumPy evaluation, shared-memory
+        transport to pool workers, and a memoized
+        :func:`~repro.core.timing.measure_gpu_reduction` fast path.
+        ``False`` (``--no-slab``) forces the original point-at-a-time
+        scalar pipeline — the differential oracle the slab path is
+        byte-identical to.  Not part of cache fingerprints *because* of
+        that byte-identity: both paths produce the same records.
     """
 
     seed: int = 0x5C2024
@@ -80,6 +90,7 @@ class ReproConfig:
     telemetry: bool = False
     sweep_task_timeout_s: Optional[float] = None
     faults: Optional[str] = None
+    slab: bool = True
 
     def rng(self) -> np.random.Generator:
         """A fresh generator seeded from :attr:`seed`."""

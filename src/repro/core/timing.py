@@ -25,6 +25,7 @@ from ..gpu.exec_model import execute_reduction
 from ..gpu.kernels import ReductionKernel
 from ..gpu.perf import KernelTiming
 from ..openmp.data_env import DeviceDataEnvironment
+from ..telemetry.state import get_telemetry
 from ..util.units import gb_per_s
 from .baseline import baseline_program
 from .cases import Case
@@ -36,6 +37,9 @@ __all__ = ["TRIALS", "Measurement", "measure_gpu_reduction"]
 
 #: The paper's trial count (N = 200).
 TRIALS = 200
+
+#: Per-machine memo bound for the slab-mode measurement fast path.
+_MEMO_CAP = 4096
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,27 @@ def measure_gpu_reduction(
     if trials <= 0:
         raise MeasurementError(f"trials must be positive, got {trials}")
 
+    do_verify = machine.config.strict_verify if verify is None else verify
+
+    # Slab-mode fast path: the measurement pipeline is a pure function of
+    # (case, config, trials, do_verify) on a given machine, so repeat
+    # points replay the memoized Measurement (and its launch record, to
+    # keep the trace's profiler observables identical).  Only successes
+    # are stored — every error path below re-raises with the scalar
+    # pipeline's exact sequencing.  Disabled under ``--no-slab`` so the
+    # scalar path stays the uncached differential oracle, and under
+    # enabled telemetry so profiled runs keep their per-point
+    # compile/launch/model spans.
+    memo = None
+    if machine.config.slab and not get_telemetry().enabled:
+        memo = machine.__dict__.setdefault("_measure_memo", {})
+        key = (case, config, trials, do_verify)
+        hit = memo.get(key)
+        if hit is not None:
+            measurement, launch = hit
+            machine.trace.record_launch(launch)
+            return measurement
+
     if config is None:
         program = baseline_program(case)
         env = None
@@ -108,11 +133,10 @@ def measure_gpu_reduction(
 
     data = machine.workload(case)
     value = execute_reduction(data, kernel)
-    do_verify = machine.config.strict_verify if verify is None else verify
     if do_verify:
         verify_result(value, data, case.result_type, kernel.identifier)
 
-    return Measurement(
+    measurement = Measurement(
         case=case,
         config=config,
         trials=trials,
@@ -123,3 +147,8 @@ def measure_gpu_reduction(
         value=value,
         peak_bandwidth_gbs=machine.system.peak_gpu_bandwidth_gbs,
     )
+    if memo is not None:
+        if len(memo) >= _MEMO_CAP:
+            memo.clear()
+        memo[key] = (measurement, machine.trace.kernel_launches[-1])
+    return measurement

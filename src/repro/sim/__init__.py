@@ -21,4 +21,25 @@ __all__ = [
     "KernelLaunchRecord",
     "MigrationRecord",
     "RemoteAccessRecord",
+    "ModelTables",
+    "evaluate_gpu_slab",
+    "tables_for",
 ]
+
+_LAZY = {
+    "ModelTables": "tables",
+    "evaluate_gpu_slab": "batch",
+    "tables_for": "tables",
+}
+
+
+def __getattr__(name):
+    # The slab evaluator (:mod:`.batch`) and its model tables reach into
+    # core/gpu/sweep layers that themselves import :mod:`.trace` from
+    # this package, so they load lazily to keep import order acyclic.
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

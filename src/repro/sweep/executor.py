@@ -36,6 +36,8 @@ serial ones.
 from __future__ import annotations
 
 import os
+import pickle
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -52,7 +54,7 @@ from ..core.machine import Machine
 from ..core.optimized import KernelConfig
 from ..core.timing import TRIALS, measure_gpu_reduction
 from ..errors import SpecError
-from ..telemetry.state import get_telemetry, span as tele_span
+from ..telemetry.state import get_telemetry, metrics, span as tele_span
 from .fingerprint import CACHE_VERSION, fingerprint, machine_fingerprint_data
 from .instrumentation import SweepStats
 from .result_cache import ResultCache
@@ -72,6 +74,14 @@ WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
 #: Environment variable setting the per-task timeout (seconds).
 TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
+
+#: Bound on the per-executor payload -> cache-key memo.
+_MEMO_KEY_CAP = 65536
+
+#: Ceiling on points per shared-memory slab chunk.  Bounds a worker's
+#: per-task latency so the supervisor's heartbeat hang detection keeps
+#: meaning, and bounds segment size.
+_SLAB_CHUNK_CAP = 65536
 
 
 def resolve_workers(workers: "int | str | None", config: ReproConfig) -> int:
@@ -217,8 +227,53 @@ def _task_coexec_sweep(machine: Machine, payload: tuple) -> dict:
     }
 
 
+def _task_gpu_slab(machine: Machine, payload: tuple) -> dict:
+    """Evaluate one shared-memory slab chunk (worker side).
+
+    The payload is the tiny pickled request header; points travel in the
+    shared-memory segment it names.  The ``slab.evaluate`` fault point
+    mirrors ``worker.task``'s modes, with ``wrong_result`` corrupting
+    the response *buffer* after its digest is taken — so injected
+    corruption is always detectable at collation, exactly like the
+    supervisor's checksum-then-mangle discipline for pickled records.
+    """
+    # Imported lazily: repro.sim.batch reaches repro.sweep through the
+    # model tables' fingerprinting, so a module-level import would cycle.
+    from ..faults.injector import fire
+    from ..sim.batch import evaluate_gpu_slab
+    from . import shm
+
+    header = payload[0]
+    mangle = False
+    decision = fire("slab.evaluate")
+    if decision is not None:
+        if decision.mode == "crash":
+            os._exit(3)
+        elif decision.mode == "hang":
+            time.sleep(
+                decision.delay_s if decision.delay_s is not None else 3600.0
+            )
+        elif decision.mode == "slow":
+            time.sleep(
+                decision.delay_s if decision.delay_s is not None else 0.05
+            )
+        elif decision.mode == "wrong_result":
+            mangle = True
+    points = shm.unpack_gpu_slab_request(header)
+    records = evaluate_gpu_slab(machine, points)
+    response = shm.pack_gpu_slab_response(header["shm"], records)
+    if mangle and response["nbytes"]:
+        segment = shm.attach_segment(response["shm"])
+        try:
+            segment.buf[0] = segment.buf[0] ^ 0xFF
+        finally:
+            segment.close()
+    return response
+
+
 _TASKS = {
     "gpu_point": _task_gpu_point,
+    "gpu_slab": _task_gpu_slab,
     "coexec_sweep": _task_coexec_sweep,
 }
 
@@ -306,9 +361,26 @@ class SweepExecutor:
             else f"processes({self.workers})"
         )
         self._machine_fp = fingerprint(machine_fingerprint_data(machine))
+        # Payload -> key memo: fingerprinting re-canonicalizes the same
+        # frozen payload objects on every run, and repeat sweeps over a
+        # warm cache spend most of their time there.  Payloads are
+        # frozen dataclasses / ints / None, hence hashable.
+        self._key_memo: Dict[Any, str] = {}
 
     # -- cache keys -----------------------------------------------------------
     def cache_key(self, kind: str, payload: Any) -> str:
+        try:
+            key = self._key_memo.get((kind, payload))
+        except TypeError:  # unhashable payload: compute without memo
+            return self._fingerprint_key(kind, payload)
+        if key is None:
+            key = self._fingerprint_key(kind, payload)
+            if len(self._key_memo) >= _MEMO_KEY_CAP:
+                self._key_memo.clear()
+            self._key_memo[(kind, payload)] = key
+        return key
+
+    def _fingerprint_key(self, kind: str, payload: Any) -> str:
         digest = fingerprint(
             {
                 "version": CACHE_VERSION,
@@ -323,50 +395,100 @@ class SweepExecutor:
     def run(self, kind: str, payloads: Sequence[tuple], stage: str) -> List[dict]:
         """Resolve every payload to its result record, in order."""
         payloads = list(payloads)
-        with tele_span("sweep.stage", category="sweep", stage=stage,
-                       kind=kind) as sp, self.stats.timed(stage) as st:
-            st.add_points(len(payloads))
-            results: List[Optional[dict]] = [None] * len(payloads)
-            keys: List[Optional[str]] = [None] * len(payloads)
-            misses: List[int] = []
-            if self.cache is not None:
-                for i, payload in enumerate(payloads):
-                    keys[i] = self.cache_key(kind, payload)
-                    hit = self.cache.get(keys[i])
-                    if hit is None:
-                        misses.append(i)
-                    else:
-                        results[i] = hit
-                st.add_cache_hits(len(payloads) - len(misses))
-            else:
-                misses = list(range(len(payloads)))
+        if get_telemetry().enabled:
+            with tele_span("sweep.stage", category="sweep", stage=stage,
+                           kind=kind) as sp:
+                return self._run_stage(kind, payloads, stage, sp)
+        # Disabled-telemetry fast path: warm-cache sweeps resolve in a
+        # few microseconds per point, where even a no-op span generator
+        # is measurable.
+        return self._run_stage(kind, payloads, stage, None)
+
+    def _run_stage(
+        self, kind: str, payloads: List[tuple], stage: str, sp: Any
+    ) -> List[dict]:
+        # Hand-rolled equivalent of ``stats.timed(stage)``: the generator
+        # contextmanager costs a few microseconds, which warm all-hit
+        # stages actually notice.
+        st = self.stats.stage(stage)
+        started = time.perf_counter()
+        try:
+            results = self._resolve_stage(kind, payloads, st, sp)
+        except BaseException:
+            st.add_error()
+            raise
+        finally:
+            st.add_wall(time.perf_counter() - started)
+        return results
+
+    def _resolve_stage(
+        self, kind: str, payloads: List[tuple], st: Any, sp: Any
+    ) -> List[dict]:
+        st.add_points(len(payloads))
+        results: List[Optional[dict]] = [None] * len(payloads)
+        keys: List[Optional[str]] = [None] * len(payloads)
+        misses: List[int] = []
+        cache = self.cache
+        if cache is not None:
+            cache_key = self.cache_key
+            cache_get = cache.get
+            for i, payload in enumerate(payloads):
+                key = cache_key(kind, payload)
+                keys[i] = key
+                hit = cache_get(key)
+                if hit is None:
+                    misses.append(i)
+                else:
+                    results[i] = hit
+            st.add_cache_hits(len(payloads) - len(misses))
+        else:
+            misses = list(range(len(payloads)))
+        if sp is not None:
             sp.set(points=len(payloads),
                    cache_hits=len(payloads) - len(misses))
-            if misses:
-                computed = self._compute(kind, [payloads[i] for i in misses])
-                st.add_computed(len(misses))
-                failed = 0
-                for i, record in zip(misses, computed):
-                    results[i] = record
-                    if isinstance(record, dict) and record.get("failed"):
-                        # Timed-out or quarantined point: visible in the
-                        # stats and the record, but never cached — the
-                        # next run gets a fresh attempt.
-                        failed += 1
-                        continue
-                    if self.cache is not None and keys[i] is not None:
-                        self.cache.put(keys[i], record)
-                if failed:
-                    st.add_failed(failed)
+        if misses:
+            computed = self._compute(kind, [payloads[i] for i in misses])
+            st.add_computed(len(misses))
+            failed = 0
+            for i, record in zip(misses, computed):
+                results[i] = record
+                if isinstance(record, dict) and record.get("failed"):
+                    # Timed-out or quarantined point: visible in the
+                    # stats and the record, but never cached — the
+                    # next run gets a fresh attempt.
+                    failed += 1
+                    continue
+                if cache is not None and keys[i] is not None:
+                    cache.put(keys[i], record)
+            if failed:
+                st.add_failed(failed)
+                if sp is not None:
                     sp.set(failed=failed)
         return results  # type: ignore[return-value]
 
     def _compute(self, kind: str, payloads: List[tuple]) -> List[dict]:
+        # The slab path covers gpu_point stages without a per-task
+        # deadline: a deadline is a per-*point* contract, and chunked
+        # dispatch would coarsen it to per-chunk, so timed runs keep the
+        # per-point pool.  Span-enabled (profiling) runs also keep the
+        # scalar pipeline: its per-point compiler/openmp/gpu spans are
+        # the observability contract, and a profiled run prefers trace
+        # fidelity over throughput.
+        slab = (
+            kind == "gpu_point"
+            and self.machine.config.slab
+            and self.task_timeout_s is None
+            and not get_telemetry().enabled
+        )
         if self.task_timeout_s is None and (
             self.workers == 1 or len(payloads) < 2
         ):
+            if slab:
+                return self._compute_slab_serial(payloads)
             return self._compute_serial(kind, payloads)
         try:
+            if slab:
+                return self._compute_slab_pool(payloads)
             return self._compute_pool(kind, payloads)
         except Exception:
             # Pools can be unavailable (pickling limits, sandboxed
@@ -375,6 +497,8 @@ class SweepExecutor:
             # and without crash isolation.
             self.stats.mode = "serial (pool unavailable)"
             self.close()
+            if slab:
+                return self._compute_slab_serial(payloads)
             return self._compute_serial(kind, payloads)
 
     def _compute_serial(self, kind: str, payloads: List[tuple]) -> List[dict]:
@@ -387,7 +511,71 @@ class SweepExecutor:
                 results.append(task(self.machine, payload))
         return results
 
-    def _compute_pool(self, kind: str, payloads: List[tuple]) -> List[dict]:
+    def _compute_slab_serial(self, payloads: List[tuple]) -> List[dict]:
+        # Imported lazily: repro.sim.batch reaches repro.sweep through
+        # the model tables' fingerprinting.
+        from ..sim.batch import evaluate_gpu_slab
+
+        if not get_telemetry().enabled:
+            return evaluate_gpu_slab(self.machine, payloads)
+        with tele_span(
+            "sweep.slab", category="sweep", points=len(payloads)
+        ):
+            return evaluate_gpu_slab(self.machine, payloads)
+
+    def _compute_slab_pool(self, payloads: List[tuple]) -> List[dict]:
+        from ..faults.supervisor import failure_record
+        from ..sim.batch import SLAB_POINT_BUCKETS, evaluate_gpu_slab
+        from . import shm
+
+        pool = self._ensure_pool()
+        n = len(payloads)
+        size = max(1, min(_SLAB_CHUNK_CAP, -(-n // self.workers)))
+        chunks = [payloads[i : i + size] for i in range(0, n, size)]
+        reg = metrics()
+        headers = []
+        try:
+            for chunk in chunks:
+                headers.append(shm.pack_gpu_slab_request(chunk))
+                reg.counter("sweep.payload_bytes", transport="shm").add(
+                    headers[-1]["nbytes"]
+                )
+                reg.histogram(
+                    "slab.points_per_batch", boundaries=SLAB_POINT_BUCKETS
+                ).observe(float(len(chunk)))
+            records, spans = pool.run(
+                "gpu_slab", [(header,) for header in headers]
+            )
+            self._ingest_spans(spans)
+            out: List[dict] = []
+            for chunk, record in zip(chunks, records):
+                if record.get("failed"):
+                    # The chunk is the task unit: a crashed/quarantined
+                    # chunk degrades to explicit per-point failures.
+                    message = record.get("error", "slab task failed")
+                    attempts = record.get("attempts", 1)
+                    out.extend(
+                        failure_record("gpu_point", message, attempts)
+                        for _ in chunk
+                    )
+                    continue
+                try:
+                    out.extend(shm.unpack_gpu_slab_response(record))
+                    reg.counter(
+                        "sweep.payload_bytes", transport="shm"
+                    ).add(int(record["nbytes"]))
+                except shm.TransportError:
+                    # Detected corruption (or a reaped segment): never
+                    # collate suspect bytes — recompute the chunk here.
+                    reg.counter("slab.transport_errors").add(1)
+                    out.extend(evaluate_gpu_slab(self.machine, chunk))
+            return out
+        finally:
+            for header in headers:
+                shm.release_segment(header["shm"])
+                shm.release_segment(shm.response_name(header["shm"]))
+
+    def _ensure_pool(self) -> Any:
         if self._pool is None:
             # Imported lazily: repro.faults.supervisor itself imports
             # from repro.sweep, so a module-level import would cycle.
@@ -399,7 +587,9 @@ class SweepExecutor:
                 workers=self.workers,
                 task_timeout_s=self.task_timeout_s,
             )
-        records, spans = self._pool.run(kind, payloads)
+        return self._pool
+
+    def _ingest_spans(self, spans: Any) -> None:
         telemetry = get_telemetry()
         if telemetry.enabled and spans:
             # Adopt the workers' spans under the current stage span so
@@ -407,6 +597,17 @@ class SweepExecutor:
             telemetry.recorder.ingest(
                 spans, parent_id=telemetry.recorder.current_id()
             )
+
+    def _compute_pool(self, kind: str, payloads: List[tuple]) -> List[dict]:
+        pool = self._ensure_pool()
+        metrics().counter("sweep.payload_bytes", transport="pickle").add(
+            sum(
+                len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
+                for p in payloads
+            )
+        )
+        records, spans = pool.run(kind, payloads)
+        self._ingest_spans(spans)
         return records
 
     def close(self) -> None:

@@ -1,0 +1,367 @@
+"""Zero-copy slab transport over ``multiprocessing.shared_memory``.
+
+The pickle path serializes every sweep point's payload and result dict
+through the worker pipe.  For slab dispatch the executor instead packs a
+whole chunk of ``gpu_point`` payloads into one shared-memory segment of
+typed int64 columns, sends only a tiny pickled *header* (segment name,
+length, the distinct :class:`~repro.core.cases.Case` objects, and a
+SHA-256 of the buffer), and the worker writes its result slab into a
+second segment the coordinator collates from views.
+
+Leak discipline — the classic failure mode of this transport is a stale
+``/dev/shm`` segment surviving a crash:
+
+* the **coordinator owns every segment's lifetime**: request segments it
+  creates, and response segments whose names are *derived* from the
+  request name (``<name>-out``), so a ``finally`` can unlink both even
+  when the worker died mid-task, timed out, or the run was interrupted;
+* every coordinator-created segment is recorded in a module registry
+  with an ``atexit`` sweep, so ``KeyboardInterrupt`` and plain process
+  exit also clean up;
+* workers create response segments **untracked** (and unlink any
+  leftover of the same name first, which self-heals a previous attempt's
+  crash): a worker's ``resource_tracker`` must never reap a segment the
+  coordinator has not collated yet, and on Python < 3.13 (no
+  ``track=False``) attaching registers the segment with the tracker, so
+  both attach and worker-side create explicitly unregister.
+
+Integrity: both directions carry a SHA-256 of the exact buffer bytes in
+the pickled header.  The header itself is covered by the supervisor's
+record checksum, so corruption of either layer is detected, never
+silently collated (the chaos invariant).
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import secrets
+import os
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "TransportError",
+    "create_segment",
+    "attach_segment",
+    "unlink_if_exists",
+    "release_segment",
+    "owned_segments",
+    "pack_gpu_slab_request",
+    "unpack_gpu_slab_request",
+    "pack_gpu_slab_response",
+    "unpack_gpu_slab_response",
+    "response_name",
+]
+
+#: Name prefix of every segment this module creates (leak tests scan it).
+SEGMENT_PREFIX = "repro-slab-"
+
+#: Request columns, in buffer order (all int64).
+_REQUEST_COLUMNS = ("case_idx", "teams", "v", "threads", "trials", "verify")
+
+#: Response columns, in buffer order (all 8-byte; dtype per column).
+_RESPONSE_COLUMNS = (
+    ("bandwidth_gbs", np.float64),
+    ("elapsed_seconds", np.float64),
+    ("value_int", np.int64),
+    ("value_float", np.float64),
+    ("value_is_float", np.int64),
+)
+
+
+class TransportError(RuntimeError):
+    """A slab buffer failed validation (missing segment, bad digest)."""
+
+
+# -- segment lifetime ------------------------------------------------------
+
+_REGISTRY_LOCK = threading.Lock()
+_OWNED: Dict[str, Optional[shared_memory.SharedMemory]] = {}
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Detach *segment* from this process's resource tracker.
+
+    On Python < 3.13 there is no ``track=False`` and ``SharedMemory``
+    registers with the tracker on both create *and* attach; a tracker
+    unlinks everything it still knows about when its process dies —
+    exactly wrong for segments another process owns or has yet to read.
+    This module manages segment lifetime itself (registry + derived
+    names + ``atexit``), so every create/attach is unregistered, except
+    where ``unlink()`` itself sends the unregister.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def _fresh_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+def create_segment(
+    nbytes: int, name: Optional[str] = None, owner: bool = True
+) -> shared_memory.SharedMemory:
+    """Create a segment; ``owner=True`` records it for the atexit sweep.
+
+    ``owner=False`` is the worker side: the segment is untracked (the
+    coordinator unlinks it by derived name) and any leftover of the same
+    name from a crashed previous attempt is unlinked first.
+    """
+    if name is None:
+        name = _fresh_name()
+    elif not owner:
+        unlink_if_exists(name)
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, nbytes)
+    )
+    _untrack(segment)
+    if owner:
+        with _REGISTRY_LOCK:
+            _OWNED[segment.name] = segment
+    return segment
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker ownership."""
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        raise TransportError(
+            f"shared-memory segment {name!r} does not exist "
+            "(worker died before writing, or it was reaped)"
+        ) from None
+    _untrack(segment)
+    return segment
+
+
+def unlink_if_exists(name: str) -> bool:
+    """Unlink segment *name* if present; returns whether it existed.
+
+    The attach registers with the resource tracker and ``unlink()``
+    unregisters, so the pair balances; no manual untrack here.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a race
+        _untrack(segment)
+        return False
+    return True
+
+
+def release_segment(name: str) -> None:
+    """Close and unlink a coordinator-owned (or expected) segment."""
+    with _REGISTRY_LOCK:
+        segment = _OWNED.pop(name, None)
+    if segment is not None:
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - buffer already gone
+            pass
+    unlink_if_exists(name)
+
+
+def expect_segment(name: str) -> None:
+    """Register a name the coordinator must unlink (derived responses)."""
+    with _REGISTRY_LOCK:
+        _OWNED.setdefault(name, None)
+
+
+def owned_segments() -> List[str]:
+    """Names currently registered for cleanup (tests inspect this)."""
+    with _REGISTRY_LOCK:
+        return sorted(_OWNED)
+
+
+@atexit.register
+def _sweep_owned() -> None:  # pragma: no cover - exercised via subprocess
+    """Last-resort cleanup on interpreter exit (incl. KeyboardInterrupt)."""
+    with _REGISTRY_LOCK:
+        leftovers = list(_OWNED.items())
+        _OWNED.clear()
+    for name, segment in leftovers:
+        if segment is not None:
+            try:
+                segment.close()
+            except Exception:
+                pass
+        unlink_if_exists(name)
+
+
+# -- gpu_point slab packing ------------------------------------------------
+
+
+def _digest(view: memoryview) -> str:
+    return hashlib.sha256(view).hexdigest()
+
+
+def response_name(request_name: str) -> str:
+    """The derived response-segment name for a request segment."""
+    return f"{request_name}-out"
+
+
+def pack_gpu_slab_request(payloads: Sequence[tuple]) -> Dict[str, Any]:
+    """Pack ``(case, config, trials, verify)`` payloads into a segment.
+
+    Returns the pipe header: segment name, point count, the distinct
+    ``Case`` objects (indexed by the ``case_idx`` column), and the
+    buffer digest.  The caller owns the segment (release via
+    :func:`release_segment`); the derived response name is registered
+    for cleanup too.
+    """
+    n = len(payloads)
+    cases: List[Any] = []
+    case_index: Dict[Any, int] = {}
+    columns = np.empty((len(_REQUEST_COLUMNS), n), dtype=np.int64)
+    for i, (case, config, trials, verify) in enumerate(payloads):
+        idx = case_index.get(case)
+        if idx is None:
+            idx = case_index[case] = len(cases)
+            cases.append(case)
+        columns[0, i] = idx
+        if config is None:
+            columns[1, i] = 0
+            columns[2, i] = 0
+            columns[3, i] = 0
+        else:
+            columns[1, i] = config.teams
+            columns[2, i] = config.v
+            columns[3, i] = config.threads
+        columns[4, i] = trials
+        columns[5, i] = -1 if verify is None else int(bool(verify))
+    segment = create_segment(columns.nbytes)
+    expect_segment(response_name(segment.name))
+    view = np.ndarray(columns.shape, dtype=np.int64, buffer=segment.buf)
+    view[:] = columns
+    return {
+        "shm": segment.name,
+        "n": n,
+        "cases": cases,
+        "sha256": _digest(segment.buf[: columns.nbytes]),
+        "nbytes": columns.nbytes,
+    }
+
+
+def unpack_gpu_slab_request(header: Dict[str, Any]) -> List[tuple]:
+    """Rebuild the payload list from a request header (worker side)."""
+    from ..core.optimized import KernelConfig
+
+    n = int(header["n"])
+    cases = header["cases"]
+    segment = attach_segment(header["shm"])
+    try:
+        nbytes = int(header["nbytes"])
+        if _digest(segment.buf[:nbytes]) != header["sha256"]:
+            raise TransportError(
+                f"slab request buffer {header['shm']!r} failed digest "
+                "verification"
+            )
+        columns = np.ndarray(
+            (len(_REQUEST_COLUMNS), n), dtype=np.int64, buffer=segment.buf
+        ).copy()
+    finally:
+        segment.close()
+    payloads: List[tuple] = []
+    for i in range(n):
+        case = cases[int(columns[0, i])]
+        if columns[1, i] == 0:
+            config = None
+        else:
+            config = KernelConfig(
+                teams=int(columns[1, i]),
+                v=int(columns[2, i]),
+                threads=int(columns[3, i]),
+            )
+        flag = int(columns[5, i])
+        verify = None if flag < 0 else bool(flag)
+        payloads.append((case, config, int(columns[4, i]), verify))
+    return payloads
+
+
+def pack_gpu_slab_response(
+    request_name: str, records: Sequence[dict]
+) -> Dict[str, Any]:
+    """Pack result records into the derived response segment (worker side).
+
+    The worker does not own the segment's lifetime — the coordinator
+    unlinks it by derived name — so it is created untracked, healing any
+    leftover from a crashed previous attempt of the same task.
+    """
+    n = len(records)
+    columns = np.zeros((len(_RESPONSE_COLUMNS), n), dtype=np.float64)
+    ints = np.zeros(n, dtype=np.int64)
+    for i, record in enumerate(records):
+        columns[0, i] = record["bandwidth_gbs"]
+        columns[1, i] = record["elapsed_seconds"]
+        value = record["value"]
+        if isinstance(value, float):
+            columns[3, i] = value
+            columns[4, i] = 1.0
+        else:
+            ints[i] = value
+    nbytes = columns.nbytes
+    segment = create_segment(
+        nbytes, name=response_name(request_name), owner=False
+    )
+    view = np.ndarray(columns.shape, dtype=np.float64, buffer=segment.buf)
+    view[:] = columns
+    view[2].view(np.int64)[:] = ints
+    digest = _digest(segment.buf[:nbytes])
+    segment.close()
+    return {
+        "shm": response_name(request_name),
+        "n": n,
+        "sha256": digest,
+        "nbytes": nbytes,
+    }
+
+
+def unpack_gpu_slab_response(header: Dict[str, Any]) -> List[dict]:
+    """Collate result records from a response header (coordinator side).
+
+    Raises
+    ------
+    TransportError
+        If the segment is missing or its bytes do not match the digest
+        (detected corruption — the caller recomputes, never collates).
+    """
+    n = int(header["n"])
+    segment = attach_segment(header["shm"])
+    try:
+        nbytes = int(header["nbytes"])
+        if _digest(segment.buf[:nbytes]) != header["sha256"]:
+            raise TransportError(
+                f"slab response buffer {header['shm']!r} failed digest "
+                "verification (corrupted in transport)"
+            )
+        columns = np.ndarray(
+            (len(_RESPONSE_COLUMNS), n), dtype=np.float64, buffer=segment.buf
+        ).copy()
+    finally:
+        segment.close()
+    value_int = columns[2].view(np.int64)
+    records: List[dict] = []
+    for i in range(n):
+        if columns[4, i]:
+            value: Any = float(columns[3, i])
+        else:
+            value = int(value_int[i])
+        records.append(
+            {
+                "bandwidth_gbs": float(columns[0, i]),
+                "elapsed_seconds": float(columns[1, i]),
+                "value": value,
+            }
+        )
+    return records

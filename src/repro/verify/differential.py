@@ -46,7 +46,7 @@ from __future__ import annotations
 import asyncio
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -177,6 +177,15 @@ class DifferentialRunner:
 
     def __init__(self, machine: Optional[Machine] = None):
         self.machine = machine or Machine()
+        # A twin machine with the slab hot path forced off: the scalar
+        # point-at-a-time pipeline is the differential oracle the slab
+        # records must match byte-for-byte.
+        self.scalar_machine = Machine(
+            system=self.machine.system,
+            calibration=self.machine.calibration,
+            config=dc_replace(self.machine.config, slab=False),
+            icvs=self.machine.runtime.icvs,
+        )
         self.compiler = NvhpcCompiler()
         #: Total comparisons performed (reported for visibility — a run
         #: with zero divergences but also near-zero checks is a red flag).
@@ -570,6 +579,19 @@ class DifferentialRunner:
                 name for name in ("cold", "warm")
                 if blobs[name] != blobs["uncached"]
             ],
+        )
+        # Slab vs scalar oracle: the batch-vectorized hot path must
+        # produce byte-identical records to the point-at-a-time scalar
+        # pipeline it replaced.
+        scalar = SweepExecutor(
+            self.scalar_machine, workers=1, cache=None
+        ).gpu_points(case_obj, configs, trials=case.trials, verify=False)
+        self._expect(
+            case, "slab-vs-scalar-oracle",
+            canonical_json(scalar) == blobs["uncached"],
+            out,
+            scalar=scalar,
+            slab=uncached,
         )
 
     # -- coexec: p sweep values + Listing-8 identity ---------------------------

@@ -1,6 +1,6 @@
 """Perf-regression gate: time the hot paths, compare to a baseline.
 
-Three benchmarks cover the tier-1-critical paths the repo's earlier PRs
+Five benchmarks cover the tier-1-critical paths the repo's earlier PRs
 optimized, each reported as the **best of N repeats** (minimum is the
 standard noise-robust statistic for microbenchmarks):
 
@@ -12,7 +12,12 @@ standard noise-robust statistic for microbenchmarks):
   makes ``reproduce_paper.py`` ~100x faster than the seed);
 * ``service_p99`` — p99 latency of in-process service submissions
   against a warm cache (the PR-3 latency budget), via the loadgen's
-  nearest-rank percentile.
+  nearest-rank percentile;
+* ``slab_microbench`` — amortized per-point cost of one batch-vectorized
+  slab evaluation (:mod:`repro.sim.batch`) over >= 1024 distinct points;
+* ``pool_transport`` — the shared-memory slab transport roundtrip
+  (:mod:`repro.sweep.shm`): pack, attach, unpack, collate, unlink for a
+  4096-point chunk.
 
 ``repro verify perf`` writes the current numbers to ``BENCH_verify.json``
 and compares them against the committed baseline with a noise-aware
@@ -162,10 +167,85 @@ def _bench_service_p99(machine: Machine, repeats: int) -> float:
     return min(asyncio.run(p99_once()) for _ in range(repeats))
 
 
+def _slab_payloads(count: int) -> List[tuple]:
+    """At least *count* distinct, valid ``gpu_point`` payloads."""
+    payloads: List[tuple] = []
+    for name in ("C1", "C2", "C3", "C4"):
+        case = case_by_name(name)
+        for k in range(4, 17):
+            for v in (1, 2, 4, 8, 16):
+                for threads in (64, 128, 256, 512):
+                    teams = 1 << k
+                    if teams < v:
+                        continue
+                    payloads.append(
+                        (case, KernelConfig(teams=teams, v=v,
+                                            threads=threads), 200, False)
+                    )
+                    if len(payloads) >= count:
+                        return payloads
+    return payloads
+
+
+def _bench_slab_microbench(machine: Machine, repeats: int) -> Dict[str, Any]:
+    """Amortized per-point cost of one whole-slab evaluation (>= 1024)."""
+    from ..sim.batch import evaluate_gpu_slab
+
+    payloads = _slab_payloads(1024)
+
+    def once() -> None:
+        evaluate_gpu_slab(machine, payloads)
+
+    once()  # warm compile/workload/value caches out of the timed region
+    seconds = _best(once, repeats)
+    return {
+        "seconds": seconds,
+        "points": len(payloads),
+        "per_point_s": seconds / len(payloads),
+    }
+
+
+def _bench_pool_transport(machine: Machine, repeats: int) -> Dict[str, Any]:
+    """Shared-memory slab transport roundtrip (no pool): pack a 4096-point
+    request, attach + unpack it, pack the response slab, collate it, and
+    unlink both segments."""
+    from ..sim.batch import evaluate_gpu_slab
+    from ..sweep import shm
+
+    case = case_by_name("C1")
+    payloads = [
+        (case, KernelConfig(teams=1 << (4 + i % 12), v=4, threads=256),
+         200, False)
+        for i in range(4096)
+    ]
+    record = evaluate_gpu_slab(machine, payloads[:1])[0]
+    records = [dict(record) for _ in payloads]
+
+    def once() -> None:
+        header = shm.pack_gpu_slab_request(payloads)
+        try:
+            shm.unpack_gpu_slab_request(header)
+            response = shm.pack_gpu_slab_response(header["shm"], records)
+            shm.unpack_gpu_slab_response(response)
+        finally:
+            shm.release_segment(header["shm"])
+            shm.release_segment(shm.response_name(header["shm"]))
+
+    once()
+    seconds = _best(once, repeats)
+    return {
+        "seconds": seconds,
+        "points": len(payloads),
+        "per_point_s": seconds / len(payloads),
+    }
+
+
 _BENCHES = {
     "sim_microbench": _bench_sim_microbench,
     "warm_cache_sweep": _bench_warm_cache_sweep,
     "service_p99": _bench_service_p99,
+    "slab_microbench": _bench_slab_microbench,
+    "pool_transport": _bench_pool_transport,
 }
 
 
@@ -174,10 +254,12 @@ def run_perf_suite(
 ) -> BenchReport:
     """Run every benchmark; returns best-of-*repeats* timings."""
     machine = machine or Machine(config=DEFAULT_CONFIG.with_cap(_BENCH_CAP))
-    benchmarks = {
-        name: {"seconds": bench(machine, repeats), "repeats": repeats}
-        for name, bench in sorted(_BENCHES.items())
-    }
+    benchmarks = {}
+    for name, bench in sorted(_BENCHES.items()):
+        result = bench(machine, repeats)
+        entry = result if isinstance(result, dict) else {"seconds": result}
+        entry["repeats"] = repeats
+        benchmarks[name] = entry
     return BenchReport(
         benchmarks=benchmarks,
         meta={

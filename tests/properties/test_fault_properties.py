@@ -57,6 +57,12 @@ def test_seeded_faults_yield_byte_identical_results(seed, mode, rate):
 @given(seed=st.integers(min_value=0, max_value=100_000))
 @settings(max_examples=5, deadline=None)
 def test_layered_fault_plans_compose_without_corruption(seed):
+    # With three layered rules the per-attempt fire probability is high
+    # enough that a task can (rarely, but for real seeds) exhaust even a
+    # generous retry budget and be quarantined.  The invariant is
+    # therefore the chaos contract, not all-success: every record is
+    # byte-identical to the fault-free run OR an *explicit* failure
+    # record — detected, never silently corrupted.
     spec = (
         f"seed={seed};worker.task:wrong_result@0.3;"
         "worker.task:crash@0.2;worker.task:slow@0.3:delay=0.005"
@@ -70,4 +76,7 @@ def test_layered_fault_plans_compose_without_corruption(seed):
             records, _spans = pool.run("gpu_point", _PAYLOADS)
         finally:
             pool.close()
-    assert tuple(canonical_json(r) for r in records) == _expected()
+    for record, expected in zip(records, _expected()):
+        assert canonical_json(record) == expected or (
+            record.get("failed") is True and record.get("error")
+        )

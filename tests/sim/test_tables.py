@@ -1,0 +1,99 @@
+"""Model-table precomputation: drift guards and scalar parity.
+
+The slab evaluator is only allowed to be fast because every value in
+:class:`~repro.sim.tables.ModelTables` is produced by the *exact*
+expressions of the scalar model.  These tests pin that contract: a table
+that drifts from the scalar path is a correctness bug (byte-identity
+breaks), not a perf bug.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.machine import Machine
+from repro.dtypes import SCALAR_TYPES
+from repro.errors import LaunchError
+from repro.gpu.occupancy import occupancy
+from repro.sim.tables import ModelTables, tables_for
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(config=DEFAULT_CONFIG.with_cap(1 << 14))
+
+
+@pytest.fixture(scope="module")
+def tables(machine):
+    return tables_for(machine)
+
+
+class TestMemoization:
+    def test_same_machine_returns_same_tables(self, machine, tables):
+        assert tables_for(machine) is tables
+
+    def test_same_profile_shares_tables(self, machine, tables):
+        twin = Machine(
+            system=machine.system,
+            calibration=machine.calibration,
+            config=machine.config,
+        )
+        assert tables_for(twin) is tables
+
+    def test_instance_cache_attribute(self, machine, tables):
+        assert machine._model_tables is tables
+
+
+class TestScalarParity:
+    @pytest.mark.parametrize("dtype", sorted(SCALAR_TYPES))
+    @pytest.mark.parametrize("v", [1, 2, 4, 8, 16])
+    def test_inflight_matches_scalar(self, tables, dtype, v):
+        tables.verify_against_scalar(SCALAR_TYPES[dtype], v)
+
+    @pytest.mark.parametrize("dtype", sorted(SCALAR_TYPES))
+    def test_rows_cover_every_dtype(self, tables, dtype):
+        assert tables.elements[dtype].size == SCALAR_TYPES[dtype].size
+        assert tables.results[dtype].size == SCALAR_TYPES[dtype].size
+
+    @pytest.mark.parametrize(
+        "grid,block",
+        [(1, 32), (16, 64), (132, 128), (4096, 256), (100_000, 1024), (7, 96)],
+    )
+    def test_occupancy_matches_scalar(self, machine, tables, grid, block):
+        occ = occupancy(machine.gpu, grid, block)
+        wpb, bps, active_warps = tables.occupancy_arrays(
+            np.asarray([grid], dtype=np.int64),
+            np.asarray([block], dtype=np.int64),
+        )
+        assert int(wpb[0]) == occ.warps_per_block
+        assert int(bps[0]) == occ.blocks_per_sm
+        assert int(active_warps[0]) == occ.active_warps
+
+    def test_occupancy_error_message_parity(self, machine):
+        # On the real profile max_threads_per_block binds before the warp
+        # cap, so shrink the warp cap to make the warp branch reachable in
+        # both paths and compare the exact messages.
+        gpu = dataclasses.replace(machine.system.gpu, max_warps_per_sm=16)
+        tables = ModelTables(gpu, machine.calibration, machine.system.link)
+        block = machine.system.gpu.max_threads_per_block  # 32 warps > 16
+        with pytest.raises(LaunchError) as scalar_err:
+            occupancy(gpu, 1, block)
+        with pytest.raises(LaunchError) as slab_err:
+            tables.occupancy_arrays(
+                np.asarray([1], dtype=np.int64),
+                np.asarray([block], dtype=np.int64),
+            )
+        assert str(slab_err.value) == str(scalar_err.value)
+
+
+class TestDriftGuard:
+    def test_detects_manufactured_drift(self, machine):
+        tables = ModelTables(
+            machine.system.gpu, machine.calibration, machine.system.link
+        )
+        row = tables.elements["int32"]
+        object.__setattr__(row, "inflight_scale", row.inflight_scale * 1.5)
+        with pytest.raises(AssertionError, match="table drift"):
+            tables.verify_against_scalar(SCALAR_TYPES["int32"], 4)

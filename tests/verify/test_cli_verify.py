@@ -74,7 +74,8 @@ class TestExitZero:
         assert proc.returncode == 0, proc.stderr
         doc = json.loads(out.read_text())
         assert set(doc["benchmarks"]) == {
-            "sim_microbench", "warm_cache_sweep", "service_p99"
+            "sim_microbench", "warm_cache_sweep", "service_p99",
+            "slab_microbench", "pool_transport",
         }
 
 

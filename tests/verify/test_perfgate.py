@@ -15,19 +15,23 @@ from repro.verify.perfgate import (
 
 @pytest.fixture(scope="module")
 def report():
-    return run_perf_suite(repeats=1)
+    # Best-of-3: the committed baseline is microsecond-scale since the
+    # slab path landed, so a single noisy run could trip the 4x gate.
+    return run_perf_suite(repeats=3)
 
 
 class TestSuite:
-    def test_covers_the_three_hot_paths(self, report):
+    def test_covers_the_five_hot_paths(self, report):
         assert sorted(report.benchmarks) == [
+            "pool_transport",
             "service_p99",
             "sim_microbench",
+            "slab_microbench",
             "warm_cache_sweep",
         ]
         for entry in report.benchmarks.values():
             assert entry["seconds"] > 0.0
-            assert entry["repeats"] == 1
+            assert entry["repeats"] == 3
 
     def test_meta_records_environment(self, report):
         assert report.meta["statistic"] == "best"
@@ -92,10 +96,16 @@ class TestBaseline:
         assert path.name == "BENCH_verify.json"
         doc = json.loads(path.read_text())
         assert sorted(doc["benchmarks"]) == [
+            "pool_transport",
             "service_p99",
             "sim_microbench",
+            "slab_microbench",
             "warm_cache_sweep",
         ]
+        # The slab benchmarks also publish their amortized per-point
+        # cost; the ISSUE budget is 10 us/point at slabs >= 1024.
+        for name in ("slab_microbench", "pool_transport"):
+            assert doc["benchmarks"][name]["per_point_s"] < 10e-6
 
     def test_current_run_passes_the_committed_gate(self, report):
         # The actual CI gate: today's numbers vs the committed baseline.
