@@ -32,6 +32,12 @@ Commands
     and assert the resilience invariants: zero silently wrong results,
     bounded error rate, recovery within the SLO.  See
     docs/RESILIENCE.md.
+``slo check``
+    Probe a live service's ``/health`` endpoint and report the SLO
+    verdict (exit 0 healthy, 1 violating, 2 unreachable).
+``obs blackbox``
+    Pretty-print a crash flight-recorder dump produced under
+    ``serve --flight-dir``.  See docs/OBSERVABILITY.md.
 
 Sweeps run through the :mod:`repro.sweep` executor: ``--workers N`` fans
 points out over a process pool (default from ``REPRO_SWEEP_WORKERS``,
@@ -113,6 +119,24 @@ def _add_service_knobs(p: argparse.ArgumentParser) -> None:
     p.add_argument("--breaker-cooldown", type=float, default=2.0,
                    help="seconds the breaker stays open before half-open "
                         "probes")
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="fraction of requests traced end to end "
+                        "(0 disables tracing, 1.0 traces everything; "
+                        "sampling is deterministic per request "
+                        "fingerprint — see docs/OBSERVABILITY.md)")
+    p.add_argument("--metrics-interval", type=float, default=0.0,
+                   help="seconds between metric snapshots into the "
+                        "in-memory time-series ring that backs /health "
+                        "and SLO evaluation (0 disables the ring)")
+    p.add_argument("--slo", metavar="SPEC", default=None,
+                   help="SLO objectives as a JSON file path or inline "
+                        "JSON (implies --metrics-interval 1 when the "
+                        "ring is off; omitted = built-in objectives)")
+    p.add_argument("--flight-dir", metavar="DIR", default=None,
+                   help="enable the crash flight recorder: black-box "
+                        "dumps land in DIR on worker crash, breaker "
+                        "open, chaos violation or SIGTERM (exported as "
+                        "REPRO_FLIGHT_DIR to shards and pool workers)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -383,6 +407,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also overwrite the committed baseline with "
                               "the current numbers")
 
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate service-level objectives against a live service",
+    )
+    slo_sub = p_slo.add_subparsers(dest="slo_command", required=True)
+    p_slo_check = slo_sub.add_parser(
+        "check",
+        help="GET /health and report the SLO verdict (exit 0 healthy, "
+             "1 violating, 2 unreachable)",
+    )
+    p_slo_check.add_argument("--url", default="http://127.0.0.1:8077",
+                             help="service base URL")
+    p_slo_check.add_argument("--timeout", type=float, default=10.0,
+                             help="HTTP timeout (seconds)")
+    p_slo_check.add_argument("--out", metavar="FILE", default=None,
+                             help="write the full health report JSON "
+                                  "to FILE")
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability tooling (flight-recorder dumps)",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_black = obs_sub.add_parser(
+        "blackbox",
+        help="pretty-print a flight-recorder dump "
+             "(flight-*.json from --flight-dir)",
+    )
+    p_black.add_argument("file", help="flight dump JSON file")
+    p_black.add_argument("--window", type=float, default=None,
+                         metavar="SECONDS",
+                         help="only show events from the last SECONDS "
+                              "before the dump")
+
     p_prof = sub.add_parser(
         "profile",
         help="profile a command (spans, metrics, timeline) or view a "
@@ -511,6 +569,11 @@ def _cmd_cache(args, machine: Machine, executor) -> int:
 def _service_settings(args):
     from .service import ServiceSettings
 
+    # --slo without an explicit ring interval still needs frames to
+    # evaluate against, so it implies a one-second snapshot cadence.
+    tsdb_interval_s = args.metrics_interval
+    if args.slo and tsdb_interval_s <= 0:
+        tsdb_interval_s = 1.0
     return ServiceSettings(
         max_queue=args.max_queue,
         rate_limit=args.rate_limit,
@@ -521,7 +584,24 @@ def _service_settings(args):
         degrade=not args.no_degrade,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        trace_sample=args.trace_sample,
+        tsdb_interval_s=tsdb_interval_s,
+        slo_config=args.slo,
     )
+
+
+def _configure_observability(args) -> None:
+    """Apply the shared obs knobs before any service (or shard) starts.
+
+    Both switches export their state to the environment, so forked
+    shards and spawned pool workers inherit them.
+    """
+    if args.trace_sample and args.trace_sample > 0:
+        configure_telemetry(enabled=True)
+    if args.flight_dir:
+        from .obs import configure_flight
+
+        configure_flight(args.flight_dir)
 
 
 def _serve_one(
@@ -529,7 +609,10 @@ def _serve_one(
     reuse_port: bool = False, quiet: bool = False,
 ) -> int:
     import asyncio
+    import os
+    import signal
 
+    from .obs.flight import flight
     from .service import ReductionService, ServiceHTTPServer
 
     service = ReductionService(
@@ -546,9 +629,32 @@ def _serve_one(
                   f"cache={'on' if executor.cache else 'off'}; "
                   "Ctrl-C stops)",
                   flush=True)
+        serve_task = asyncio.ensure_future(server.serve_forever())
+
+        def _on_term() -> None:
+            # The black-box moment for an orderly kill: flush the ring
+            # before the process unwinds.
+            recorder = flight()
+            if recorder.enabled:
+                recorder.record("serve", "sigterm", pid=os.getpid(),
+                                host=bound_host, port=bound_port)
+                recorder.dump("sigterm", role="shard")
+            serve_task.cancel()
+
+        loop = asyncio.get_running_loop()
         try:
-            await server.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, _on_term)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-POSIX loop or non-main thread: Ctrl-C still works
+        try:
+            await serve_task
+        except asyncio.CancelledError:
+            pass
         finally:
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
             await server.stop()
 
     try:
@@ -623,6 +729,15 @@ def _serve_sharded(args, machine: Machine, executor) -> int:
 
     def _forward(_signum, _frame):
         nonlocal terminating
+        if not terminating:
+            from .obs.flight import flight
+
+            recorder = flight()
+            if recorder.enabled:
+                recorder.record("serve", "sigterm", pid=os.getpid(),
+                                shards=args.shards)
+                recorder.dump("sigterm", role="shard-supervisor",
+                              shards=args.shards)
         terminating = True
         for pid in list(slots):
             try:
@@ -691,6 +806,7 @@ def _cmd_serve(args, machine: Machine, executor) -> int:
         print(f"error: --shards must be >= 1, got {args.shards}",
               file=sys.stderr)
         return 2
+    _configure_observability(args)
     if args.shards > 1:
         return _serve_sharded(args, machine, executor)
     return _serve_one(args, machine, executor, args.host, args.port)
@@ -712,6 +828,7 @@ def _cmd_loadtest(args, machine: Machine, executor) -> int:
         args.preset, total=args.requests, seed=args.seed,
         unique_points=args.unique_points,
     )
+    _configure_observability(args)
 
     async def _run():
         if args.url:
@@ -756,6 +873,8 @@ def _cmd_chaos(args, machine: Machine, executor) -> int:
     from urllib.parse import urlsplit
 
     from .faults.chaos import run_chaos
+
+    _configure_observability(args)
 
     async def _storm(host: str, port: int):
         return await run_chaos(
@@ -807,6 +926,106 @@ def _cmd_chaos(args, machine: Machine, executor) -> int:
             _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
         print(f"chaos report written to {args.out}")
     return 0 if report.passed else 1
+
+
+def _cmd_slo(args, machine: Machine, executor) -> int:
+    """``repro slo check --url ...``: probe /health, render the verdict."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/health"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            status = resp.status
+            doc = _json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        # 503 is a *verdict* (unhealthy), not unreachability.
+        status = exc.code
+        try:
+            doc = _json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            doc = {}
+    except (OSError, ValueError) as exc:
+        print(f"error: {url} unreachable: {exc}", file=sys.stderr)
+        return 2
+    healthy = bool(doc.get("healthy", status == 200))
+    if not doc.get("slo_enabled", False):
+        print("SLO evaluation is off on the service (serve with "
+              "--metrics-interval or --slo); liveness only")
+    for objective in doc.get("objectives", []):
+        windows = ", ".join(
+            "{:g}s={}{}".format(
+                w.get("window_s", 0.0),
+                "n/a" if w.get("value") is None
+                else f"{w['value']:.4g}",
+                "!" if w.get("violated") else "",
+            )
+            for w in objective.get("windows", [])
+        )
+        verdict = "ALERT" if objective.get("alerting") else "ok"
+        print(f"{objective.get('name')}: {verdict} "
+              f"[{objective.get('signal')} <= "
+              f"{objective.get('limit', objective.get('threshold')):g}; "
+              f"{windows}]")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"health report written to {args.out}")
+    print(f"health: {'ok' if healthy and status == 200 else 'VIOLATING'} "
+          f"(HTTP {status})")
+    return 0 if healthy and status == 200 else 1
+
+
+def _cmd_obs(args, machine: Machine, executor) -> int:
+    """``repro obs blackbox FILE``: render a flight-recorder dump."""
+    import json as _json
+
+    from .obs.flight import DUMP_FORMAT
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            doc = _json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if doc.get("format") != DUMP_FORMAT:
+        print(f"error: {args.file} is not a flight-recorder dump "
+              f"(format={doc.get('format')!r})", file=sys.stderr)
+        return 2
+    dumped_at = float(doc.get("dumped_at", 0.0))
+    events = list(doc.get("events", []))
+    if args.window is not None:
+        events = [
+            e for e in events
+            if dumped_at - float(e.get("t", 0.0)) <= args.window
+        ]
+    print(f"flight dump: reason={doc.get('reason')} pid={doc.get('pid')} "
+          f"version={doc.get('version')}")
+    context = doc.get("context") or {}
+    if context:
+        print("context: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(context.items())
+        ))
+    print(f"events ({len(events)}"
+          + (f" in the last {args.window:g}s" if args.window else "")
+          + "):")
+    for event in events:
+        age = dumped_at - float(event.get("t", 0.0))
+        data = event.get("data") or {}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(data.items()))
+        print(f"  -{age:8.3f}s  {event.get('kind')}.{event.get('name')}"
+              + (f"  {detail}" if detail else ""))
+    spans = doc.get("spans") or []
+    if spans:
+        print(f"span tail: {len(spans)} spans (newest last)")
+        for span in spans[-10:]:
+            print(f"  {span.get('category', '?')}:{span.get('name', '?')} "
+                  f"{float(span.get('duration', 0.0)) * 1e3:.2f} ms")
+    metrics_doc = doc.get("metrics") or []
+    if metrics_doc:
+        print(f"metrics snapshot: {len(metrics_doc)} instruments")
+    return 0
 
 
 def _cmd_verify(args, machine: Machine, executor) -> int:
@@ -918,6 +1137,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
+    "slo": _cmd_slo,
+    "obs": _cmd_obs,
     "verify": _cmd_verify,
 }
 

@@ -80,6 +80,14 @@ class ReproConfig:
         scalar pipeline — the differential oracle the slab path is
         byte-identical to.  Not part of cache fingerprints *because* of
         that byte-identity: both paths produce the same records.
+    flight_dir:
+        When set, building a :class:`~repro.core.machine.Machine` from
+        this config enables the crash flight recorder
+        (:mod:`repro.obs.flight`) writing black-box dumps into this
+        directory — equivalent to exporting ``REPRO_FLIGHT_DIR`` or
+        serving with ``--flight-dir``.  ``None`` (the default) leaves
+        every recording site a single attribute check.  Not part of
+        cache fingerprints (observability never changes results).
     """
 
     seed: int = 0x5C2024
@@ -91,6 +99,7 @@ class ReproConfig:
     sweep_task_timeout_s: Optional[float] = None
     faults: Optional[str] = None
     slab: bool = True
+    flight_dir: Optional[str] = None
 
     def rng(self) -> np.random.Generator:
         """A fresh generator seeded from :attr:`seed`."""

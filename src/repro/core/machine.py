@@ -53,6 +53,10 @@ class Machine:
             from ..faults.injector import activate
 
             activate(self.config.faults)
+        if self.config.flight_dir:
+            from ..obs.flight import configure_flight
+
+            configure_flight(self.config.flight_dir)
         self.trace = Trace()
         self.runtime = DeviceRuntime(self.system.gpu, icvs)
         self._workload_cache: Dict[tuple, np.ndarray] = {}

@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Optional
 
+from ..obs.flight import flight
 from ..telemetry.metrics import MetricsRegistry
 
 __all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN"]
@@ -76,11 +77,22 @@ class CircuitBreaker:
         # Caller holds the lock.
         if state == self._state:
             return
+        previous = self._state
         self._state = state
         self._gauge.set(_STATE_GAUGE[state])
         self.registry.counter(
             "breaker.transitions", breaker=self.name, to=state
         ).add(1)
+        recorder = flight()
+        if recorder.enabled:
+            recorder.record(
+                "breaker", "transition",
+                breaker=self.name, from_state=previous, to_state=state,
+                failures=self._failures,
+            )
+            if state == STATE_OPEN:
+                # The black-box moment: dump what led up to the trip.
+                recorder.dump("breaker_open", breaker=self.name)
 
     def allow(self, now: float) -> bool:
         """Whether a compute-path request may proceed at time *now*.

@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.flight import flight
 from ..service.api import parse_request
 from ..service.loadgen import _read_http_response, preset_pool
 from ..sweep.executor import SweepExecutor
@@ -535,4 +536,19 @@ async def run_chaos(
         host, port, pool, recovery_slo_s, timeout_s
     )
     await _collect_metrics(host, port, report)
-    return report.finalize()
+    report.finalize()
+    if report.violations:
+        recorder = flight()
+        if recorder.enabled:
+            recorder.record(
+                "chaos", "invariant_violation",
+                seed=seed, violations=list(report.violations),
+            )
+            recorder.dump(
+                "chaos_violation",
+                seed=seed,
+                violations=list(report.violations),
+                error_rate=report.error_rate,
+                wrong_results=report.wrong_results,
+            )
+    return report

@@ -22,6 +22,7 @@ import os
 from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
+from ..obs.flight import flight
 from ..telemetry.state import get_telemetry, metrics
 from .plan import FaultDecision, FaultPlan
 
@@ -113,6 +114,11 @@ def fire(point: str) -> Optional[FaultDecision]:
     metrics().counter(
         "faults.injected", point=point, mode=decision.mode
     ).add(1)
+    recorder = flight()
+    if recorder.enabled:
+        recorder.record(
+            "fault", "inject", point=point, mode=decision.mode
+        )
     telemetry = get_telemetry()
     if telemetry.enabled:
         with telemetry.recorder.span(

@@ -42,6 +42,7 @@ from collections import deque
 from multiprocessing import connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.flight import flight
 from ..sweep.fingerprint import canonical_json
 from ..telemetry.state import get_telemetry, metrics, span as tele_span
 from .injector import active_plan, fire
@@ -338,6 +339,7 @@ class SupervisedWorkerPool:
         assigned: Dict[int, Tuple[int, float]] = {}  # slot -> (task, started)
         spans_out: List[dict] = []
         remaining = n
+        black_box = flight()
         budget = [
             self.restart_limit
             if self.restart_limit is not None
@@ -383,6 +385,13 @@ class SupervisedWorkerPool:
                         continue  # dead worker; the health check reaps it
                     pending.popleft()
                     assigned[handle.slot] = (task_id, time.time())
+                    if black_box.enabled:
+                        black_box.record(
+                            "pool", "task_assigned",
+                            task=task_id, kind=kind, slot=handle.slot,
+                            worker_pid=handle.proc.pid,
+                            attempt=attempts[task_id] + 1,
+                        )
             # 2. drain completed results.
             busy = [
                 h.conn for h in self._handles if h.slot in assigned
@@ -430,6 +439,27 @@ class SupervisedWorkerPool:
                 if not handle.proc.is_alive():
                     self.registry.counter("sweep.pool.worker_crashes").add(1)
                     assigned.pop(handle.slot, None)
+                    if black_box.enabled:
+                        black_box.record(
+                            "pool", "worker_crash",
+                            slot=handle.slot,
+                            worker_pid=handle.proc.pid,
+                            exitcode=handle.proc.exitcode,
+                            task=entry[0] if entry is not None else None,
+                            kind=kind,
+                            elapsed_s=(
+                                round(now - entry[1], 6)
+                                if entry is not None else None
+                            ),
+                        )
+                        black_box.dump(
+                            "worker_crash",
+                            slot=handle.slot,
+                            worker_pid=handle.proc.pid,
+                            exitcode=handle.proc.exitcode,
+                            task=entry[0] if entry is not None else None,
+                            kind=kind,
+                        )
                     if entry is not None:
                         retry_or_quarantine(
                             entry[0],
@@ -447,6 +477,12 @@ class SupervisedWorkerPool:
                     ):
                         self.registry.counter("sweep.pool.task_timeouts").add(1)
                         assigned.pop(handle.slot, None)
+                        if black_box.enabled:
+                            black_box.record(
+                                "pool", "task_timeout",
+                                task=task_id, kind=kind, slot=handle.slot,
+                                elapsed_s=round(elapsed, 6),
+                            )
                         finish(
                             task_id,
                             failure_record(
@@ -463,6 +499,12 @@ class SupervisedWorkerPool:
                     ):
                         self.registry.counter("sweep.pool.hangs_detected").add(1)
                         assigned.pop(handle.slot, None)
+                        if black_box.enabled:
+                            black_box.record(
+                                "pool", "worker_hang",
+                                task=task_id, kind=kind, slot=handle.slot,
+                                elapsed_s=round(elapsed, 6),
+                            )
                         retry_or_quarantine(
                             task_id,
                             f"worker heartbeat lost after {elapsed:.1f}s "

@@ -1,0 +1,180 @@
+"""The flight recorder: a per-process black box for post-mortems.
+
+Every process (coordinator, HTTP shard, pool worker) can keep a small
+fixed-size ring of recent observability events — fault injections,
+breaker transitions, task assignments, chaos probes — and dump it to a
+timestamped JSON file when something crash-adjacent happens: a worker
+death, a breaker opening, a chaos invariant failure, or SIGTERM.  The
+dump answers "what was this process doing in the seconds before it
+died", which logs scraped after the fact cannot.
+
+Off by default.  Activation is via the ``REPRO_FLIGHT_DIR`` environment
+variable (so forked shards and spawned pool workers inherit it), the
+``--flight-dir`` CLI flag, or :func:`configure_flight`.  While disabled,
+:meth:`FlightRecorder.record` is a single attribute check.
+
+Dumps are written atomically (temp + rename) and rate-limited per
+reason, so a breaker flapping open cannot flood the disk.  Pretty-print
+one with ``repro obs blackbox <dump.json>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..telemetry.state import get_telemetry
+
+__all__ = [
+    "FLIGHT_ENV",
+    "FlightRecorder",
+    "configure_flight",
+    "flight",
+]
+
+#: Environment variable naming the dump directory (enables the recorder).
+FLIGHT_ENV = "REPRO_FLIGHT_DIR"
+
+#: Ring capacity (events) — a few seconds of a busy process.
+DEFAULT_CAPACITY = 2048
+
+#: Recent finished telemetry spans included in a dump (when telemetry on).
+_SPAN_TAIL = 256
+
+#: Minimum seconds between dumps for the same reason.
+_DUMP_MIN_INTERVAL_S = 5.0
+
+#: Dump document format tag.
+DUMP_FORMAT = "repro-flight-recorder"
+
+
+class FlightRecorder:
+    """Fixed-size ring of events plus the dump-on-death machinery."""
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.directory = directory
+        self.enabled = bool(directory)
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._last_dump: Dict[str, float] = {}
+
+    # -- recording ------------------------------------------------------------
+    def record(self, kind: str, name: str, /, **data: Any) -> None:
+        """Append one event; a no-op attribute check while disabled.
+
+        *kind* and *name* are positional-only so event payloads may
+        carry keys of the same names (``kind=`` is a natural payload
+        key for pool events).
+        """
+        if not self.enabled:
+            return
+        event = {"t": time.time(), "kind": kind, "name": name}
+        if data:
+            event["data"] = data
+        with self._lock:
+            self._ring.append(event)
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+        self._last_dump.clear()
+
+    # -- dumping --------------------------------------------------------------
+    def dump(self, reason: str, /, **extra: Any) -> Optional[Path]:
+        """Write the ring (plus telemetry context) to a timestamped file.
+
+        Returns the path, or ``None`` when disabled, rate-limited, or
+        the write fails (a dying process must never die *harder* because
+        its black box could not flush).
+        """
+        if not self.enabled or self.directory is None:
+            return None
+        now = time.time()
+        with self._lock:
+            last = self._last_dump.get(reason, 0.0)
+            if now - last < _DUMP_MIN_INTERVAL_S:
+                return None
+            self._last_dump[reason] = now
+            events = list(self._ring)
+        doc: Dict[str, Any] = {
+            "format": DUMP_FORMAT,
+            "version": 1,
+            "reason": reason,
+            "pid": os.getpid(),
+            "dumped_at": now,
+            "events": events,
+        }
+        if extra:
+            doc["context"] = extra
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            spans = telemetry.recorder.snapshot()[-_SPAN_TAIL:]
+            doc["spans"] = [sp.to_dict() for sp in spans]
+        doc["metrics"] = telemetry.registry.snapshot()
+        name = f"flight-{os.getpid()}-{int(now * 1000)}-{_slug(reason)}.json"
+        path = Path(self.directory) / name
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(doc, indent=1, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:
+            return None
+        return path
+
+
+def _slug(reason: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in reason)[:40]
+
+
+# -- the process-global recorder ----------------------------------------------
+
+_FLIGHT: Optional[FlightRecorder] = None
+_FLIGHT_LOCK = threading.Lock()
+
+
+def flight() -> FlightRecorder:
+    """The process-global recorder, resolved lazily from the environment.
+
+    The first call decides: ``REPRO_FLIGHT_DIR`` set means enabled with
+    that directory, unset means a permanently disabled recorder whose
+    :meth:`~FlightRecorder.record` is a single attribute check.
+    """
+    global _FLIGHT
+    recorder = _FLIGHT
+    if recorder is None:
+        with _FLIGHT_LOCK:
+            recorder = _FLIGHT
+            if recorder is None:
+                directory = os.environ.get(FLIGHT_ENV) or None
+                recorder = _FLIGHT = FlightRecorder(directory)
+    return recorder
+
+
+def configure_flight(
+    directory: Optional[str], capacity: int = DEFAULT_CAPACITY
+) -> FlightRecorder:
+    """(Re)configure the global recorder and export the env for children."""
+    global _FLIGHT
+    with _FLIGHT_LOCK:
+        _FLIGHT = FlightRecorder(directory, capacity=capacity)
+        if directory:
+            os.environ[FLIGHT_ENV] = str(directory)
+        else:
+            os.environ.pop(FLIGHT_ENV, None)
+        return _FLIGHT

@@ -1,0 +1,130 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+Renders the :class:`~repro.telemetry.metrics.MetricsRegistry` in the
+plain-text format every Prometheus-compatible scraper understands:
+``# TYPE`` headers, label escaping, and *cumulative* histogram buckets
+(``_bucket{le="..."}`` / ``_sum`` / ``_count`` with a final
+``le="+Inf"``), translated from the registry's per-bucket counts.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names
+(``service.latency_seconds``) become underscored
+(``service_latency_seconds``) and are prefixed ``repro_`` unless they
+already carry it — so ``service.requests`` scrapes as
+``repro_service_requests``.
+
+Served on ``GET /metrics`` when the client's ``Accept`` header asks for
+``text/plain`` or OpenMetrics; JSON stays the default for the existing
+tooling (loadgen, chaos harness, CI assertions).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from ..telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["PROM_CONTENT_TYPE", "prometheus_text", "wants_prometheus"]
+
+#: The Content-Type Prometheus expects for text exposition.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def wants_prometheus(accept: str) -> bool:
+    """Content negotiation: does this Accept header prefer text format?"""
+    accept = (accept or "").lower()
+    return "text/plain" in accept or "openmetrics" in accept
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    if not sanitized.startswith("repro_"):
+        sanitized = "repro_" + sanitized
+    return sanitized
+
+
+def _label_str(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_LABEL_OK.sub("_", k)}="{_escape(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The full exposition document (trailing newline included)."""
+    by_name: Dict[str, List[Any]] = {}
+    order: List[str] = []
+    for metric in registry.collect():
+        name = _metric_name(metric.name)
+        if name not in by_name:
+            by_name[name] = []
+            order.append(name)
+        by_name[name].append(metric)
+    lines: List[str] = []
+    for name in order:
+        group = by_name[name]
+        first = group[0]
+        if isinstance(first, Counter):
+            prom_type = "counter"
+        elif isinstance(first, Gauge):
+            prom_type = "gauge"
+        elif isinstance(first, Histogram):
+            prom_type = "histogram"
+        else:  # pragma: no cover - registry only holds the three kinds
+            prom_type = "untyped"
+        lines.append(f"# TYPE {name} {prom_type}")
+        for metric in group:
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(
+                    metric.boundaries, metric.bucket_counts
+                ):
+                    cumulative += count
+                    le = 'le="%s"' % _fmt(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_label_str(metric.labels, le)}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket"
+                    + _label_str(metric.labels, 'le="+Inf"')
+                    + f" {metric.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_str(metric.labels)} "
+                    f"{_fmt(metric.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(metric.labels)} {metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(metric.labels)} {_fmt(metric.value)}"
+                )
+    return "\n".join(lines) + "\n"

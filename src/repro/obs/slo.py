@@ -1,0 +1,224 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`Objective` names one signal derived from the tsdb —
+``error_rate``, ``degraded_rate``, ``latency_p99``, or
+``breaker_open_seconds`` — a threshold, and a set of evaluation windows.
+The :class:`SLOEngine` evaluates every objective over every window and
+reports a violation only when **all** of an objective's windows exceed
+the threshold (scaled by ``burn_rate``): the short window gives fast
+detection, the long window filters out blips, the standard multi-window
+burn-rate construction.
+
+The engine is pure over the :class:`~repro.obs.tsdb.TimeSeriesStore`:
+no clocks, no globals — ``evaluate(now)`` is a function of the frames,
+which keeps the whole subsystem unit-testable with synthetic frames.
+
+Objectives load from JSON (inline or a file) via
+:func:`parse_slo_config`::
+
+    [{"name": "errors", "signal": "error_rate", "threshold": 0.01,
+      "windows": [60, 300]}]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SpecError
+from .tsdb import TimeSeriesStore
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "SLOEngine",
+    "parse_slo_config",
+]
+
+#: Signals an objective can reference.
+SIGNALS = (
+    "error_rate",
+    "degraded_rate",
+    "latency_p99",
+    "breaker_open_seconds",
+)
+
+#: ``breaker.state`` gauge value meaning "open" (see repro.faults.breaker).
+_BREAKER_OPEN = 2.0
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective: signal <= threshold over each window."""
+
+    name: str
+    signal: str
+    threshold: float
+    windows: Tuple[float, ...] = (60.0, 300.0)
+    burn_rate: float = 1.0
+    #: Minimum request deltas for ratio signals to be meaningful; below
+    #: this the window reports healthy (no traffic, no verdict).
+    min_events: int = 1
+
+    def __post_init__(self) -> None:
+        if self.signal not in SIGNALS:
+            raise SpecError(
+                f"unknown SLO signal {self.signal!r}; expected one of "
+                f"{', '.join(SIGNALS)}"
+            )
+        if not self.windows:
+            raise SpecError(f"objective {self.name!r} needs >= 1 window")
+
+
+#: The stock production objectives (docs/OBSERVABILITY.md documents each).
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective(name="error-rate", signal="error_rate", threshold=0.01),
+    Objective(name="degraded-rate", signal="degraded_rate", threshold=0.5),
+    Objective(
+        name="latency-p99",
+        signal="latency_p99",
+        threshold=0.5,
+        windows=(60.0,),
+    ),
+    Objective(
+        name="breaker-open",
+        signal="breaker_open_seconds",
+        threshold=30.0,
+        windows=(300.0,),
+    ),
+)
+
+
+def parse_slo_config(spec: Optional[str]) -> Tuple[Objective, ...]:
+    """Objectives from ``None`` (defaults), inline JSON, or a file path."""
+    if spec is None or not spec.strip():
+        return DEFAULT_OBJECTIVES
+    text = spec.strip()
+    if not text.startswith(("[", "{")):
+        try:
+            text = Path(spec).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SpecError(f"cannot read SLO config {spec!r}: {exc}") from None
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"SLO config is not valid JSON: {exc}") from None
+    if isinstance(raw, dict):
+        raw = raw.get("objectives", [raw])
+    if not isinstance(raw, list):
+        raise SpecError("SLO config must be a JSON list of objectives")
+    objectives = []
+    for entry in raw:
+        if not isinstance(entry, dict):
+            raise SpecError(f"SLO objective must be an object, got {entry!r}")
+        unknown = set(entry) - {
+            "name", "signal", "threshold", "windows", "burn_rate",
+            "min_events",
+        }
+        if unknown:
+            raise SpecError(
+                f"unknown SLO objective fields: {', '.join(sorted(unknown))}"
+            )
+        try:
+            objectives.append(
+                Objective(
+                    name=str(entry["name"]),
+                    signal=str(entry["signal"]),
+                    threshold=float(entry["threshold"]),
+                    windows=tuple(
+                        float(w) for w in entry.get("windows", (60.0, 300.0))
+                    ),
+                    burn_rate=float(entry.get("burn_rate", 1.0)),
+                    min_events=int(entry.get("min_events", 1)),
+                )
+            )
+        except KeyError as exc:
+            raise SpecError(f"SLO objective missing field {exc}") from None
+    if not objectives:
+        raise SpecError("SLO config defines no objectives")
+    return tuple(objectives)
+
+
+class SLOEngine:
+    """Evaluates objectives over the tsdb; produces the /health verdict."""
+
+    def __init__(
+        self,
+        tsdb: TimeSeriesStore,
+        objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+    ) -> None:
+        self.tsdb = tsdb
+        self.objectives = tuple(objectives)
+
+    # -- signals --------------------------------------------------------------
+    def _signal(
+        self, objective: Objective, window_s: float, now: Optional[float]
+    ) -> Optional[float]:
+        tsdb = self.tsdb
+        if objective.signal == "error_rate":
+            requests = tsdb.counter_delta("service.requests", window_s, now)
+            if requests < objective.min_events:
+                return None
+            errors = tsdb.counter_delta(
+                "service.completed", window_s, now, status="error"
+            )
+            return errors / requests
+        if objective.signal == "degraded_rate":
+            requests = tsdb.counter_delta("service.requests", window_s, now)
+            if requests < objective.min_events:
+                return None
+            degraded = tsdb.counter_delta("service.degraded", window_s, now)
+            return degraded / requests
+        if objective.signal == "latency_p99":
+            return tsdb.histogram_percentile(
+                "service.latency_seconds", 0.99, window_s, now
+            )
+        if objective.signal == "breaker_open_seconds":
+            return tsdb.gauge_seconds(
+                "breaker.state", window_s, _BREAKER_OPEN, now
+            )
+        raise AssertionError(objective.signal)  # guarded in __post_init__
+
+    # -- evaluation -----------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """The full verdict document served on ``GET /health``."""
+        results: List[Dict[str, Any]] = []
+        healthy = True
+        for objective in self.objectives:
+            limit = objective.threshold * objective.burn_rate
+            windows: List[Dict[str, Any]] = []
+            violated_all = True
+            for window_s in objective.windows:
+                value = self._signal(objective, window_s, now)
+                violated = value is not None and value > limit
+                if not violated:
+                    violated_all = False
+                windows.append(
+                    {
+                        "window_s": window_s,
+                        "value": value,
+                        "violated": violated,
+                    }
+                )
+            alerting = violated_all and bool(objective.windows)
+            if alerting:
+                healthy = False
+            results.append(
+                {
+                    "name": objective.name,
+                    "signal": objective.signal,
+                    "threshold": objective.threshold,
+                    "burn_rate": objective.burn_rate,
+                    "limit": limit,
+                    "windows": windows,
+                    "alerting": alerting,
+                }
+            )
+        return {
+            "healthy": healthy,
+            "frames": len(self.tsdb),
+            "span_s": round(self.tsdb.span_s(), 3),
+            "objectives": results,
+        }

@@ -1,0 +1,171 @@
+"""Distributed trace context: minting, propagation, async-safe spans.
+
+A :class:`TraceContext` names one request's causal tree: a 128-bit trace
+id shared by every span the request touches (in any process), the span
+id of the immediate parent, and a sampling bit.  It travels on the
+``x-repro-trace`` HTTP header (``<trace_id>;<parent_id>;<sampled>``) and
+inside :attr:`~repro.service.admission.PendingRequest.extra` between the
+service stages.
+
+Sampling is **deterministic from the request fingerprint**: the decision
+hashes the cache key, not a random draw, so repeated runs of the same
+workload trace the *same* requests — a trace captured in CI reproduces
+locally.
+
+The module also provides :func:`open_span` / :func:`close_span`: manual
+span lifetimes for the asyncio side of the service.  The telemetry
+recorder's context-manager spans use a thread-local *stack*, which is
+correct on dedicated threads but interleaves wrongly across ``await``
+boundaries (two concurrent requests on the event loop would adopt each
+other's spans as parents).  Manual spans bypass the stack entirely:
+parentage is explicit, and the span is recorded on close.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from ..telemetry.spans import Span, _EPOCH
+from ..telemetry.state import get_telemetry
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "close_span",
+    "mint_context",
+    "open_span",
+    "sample_decision",
+]
+
+#: HTTP header carrying the propagated context.
+TRACE_HEADER = "x-repro-trace"
+
+#: Sampling-hash denominator: 53 bits of the fingerprint digest map to
+#: [0, 1) exactly in a float.
+_SAMPLE_BITS = 53
+_SAMPLE_DENOM = float(1 << _SAMPLE_BITS)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's propagated identity: trace id, parent span, sampling."""
+
+    trace_id: str
+    parent_id: Optional[str] = None
+    sampled: bool = True
+
+    def to_header(self) -> str:
+        """Serialize for the ``x-repro-trace`` header."""
+        return f"{self.trace_id};{self.parent_id or '-'};{int(self.sampled)}"
+
+    @classmethod
+    def from_header(cls, text: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a header value; ``None`` for missing or malformed input."""
+        if not text:
+            return None
+        parts = text.strip().split(";")
+        if len(parts) != 3:
+            return None
+        trace_id, parent_id, sampled = parts
+        if not trace_id or not _is_hex(trace_id):
+            return None
+        if sampled not in ("0", "1"):
+            return None
+        return cls(
+            trace_id=trace_id,
+            parent_id=None if parent_id in ("", "-") else parent_id,
+            sampled=sampled == "1",
+        )
+
+    def child(self, parent_id: str) -> "TraceContext":
+        """The same trace, re-rooted under *parent_id*."""
+        return replace(self, parent_id=parent_id)
+
+
+def _is_hex(text: str) -> bool:
+    try:
+        int(text, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def sample_decision(fingerprint: str, rate: float) -> bool:
+    """Deterministic sampling: hash the fingerprint against *rate*.
+
+    The draw is a pure function of the fingerprint, so every process —
+    and every run — agrees on which requests are traced.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    digest = hashlib.sha256(fingerprint.encode("utf-8")).digest()
+    draw = int.from_bytes(digest[:8], "big") >> (64 - _SAMPLE_BITS)
+    return draw / _SAMPLE_DENOM < rate
+
+
+def mint_context(
+    fingerprint: str, request_id: str, rate: float
+) -> Optional[TraceContext]:
+    """Mint a context at service admission, or ``None`` when unsampled.
+
+    The trace id is 128 bits of ``sha256(fingerprint:request_id)`` — the
+    *request id* differentiates coalesced duplicates (each gets its own
+    trace) while the *fingerprint* alone drives the sampling decision,
+    keeping the traced set stable across runs.
+    """
+    if not sample_decision(fingerprint, rate):
+        return None
+    digest = hashlib.sha256(
+        f"{fingerprint}:{request_id}".encode("utf-8")
+    ).hexdigest()
+    return TraceContext(trace_id=digest[:32], sampled=True)
+
+
+# -- async-safe manual spans --------------------------------------------------
+
+
+def open_span(
+    name: str,
+    category: str = "service",
+    parent_id: Optional[str] = None,
+    **attributes: Any,
+) -> Span:
+    """Start a span with explicit parentage, off the thread-local stack.
+
+    The caller owns the span and must pass it to :func:`close_span`.
+    Safe to call from asyncio coroutines: nothing is pushed on the
+    recorder's stack, so interleaved requests cannot corrupt parentage.
+    """
+    import os
+    import threading
+
+    recorder = get_telemetry().recorder
+    t0 = time.perf_counter()
+    sp = Span(
+        name=name,
+        category=category,
+        span_id=recorder.new_id(),
+        parent_id=parent_id,
+        start=_EPOCH + t0,
+        pid=os.getpid(),
+        tid=threading.get_ident(),
+        attributes=dict(attributes),
+    )
+    sp.attributes["_t0"] = t0
+    return sp
+
+
+def close_span(span: Span, **attributes: Any) -> Span:
+    """Finish a span from :func:`open_span` and record it."""
+    t0 = span.attributes.pop("_t0", None)
+    if t0 is not None:
+        span.duration = time.perf_counter() - t0
+    if attributes:
+        span.attributes.update(attributes)
+    get_telemetry().recorder.record(span)
+    return span

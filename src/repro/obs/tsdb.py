@@ -1,0 +1,227 @@
+"""Bounded ring-buffer time series over the metrics registry.
+
+The :class:`TimeSeriesStore` snapshots the process-global
+:class:`~repro.telemetry.metrics.MetricsRegistry` at a fixed interval
+into a ``deque(maxlen=capacity)`` of *frames* — so memory is bounded by
+``capacity × instruments``, and the oldest frames age out exactly like a
+Prometheus retention window.
+
+Counters and histograms are cumulative, so windowed queries are frame
+*deltas*: the rate over the last ``w`` seconds is ``latest − base``
+where *base* is the newest frame at least ``w`` old.  When the buffer
+does not yet reach back ``w`` seconds the base is implicit zero — which
+is exact for a process whose counters started at zero, i.e. every repro
+service.  The SLO engine (:mod:`repro.obs.slo`) runs entirely on these
+queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..telemetry.metrics import MetricsRegistry
+
+__all__ = ["Frame", "TimeSeriesStore"]
+
+#: One metric key: (name, sorted (label, value) pairs).
+Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class Frame:
+    """One point-in-time capture of every instrument."""
+
+    __slots__ = ("t", "counters", "gauges", "hists")
+
+    def __init__(self, t: float) -> None:
+        self.t = t
+        self.counters: Dict[Key, float] = {}
+        self.gauges: Dict[Key, float] = {}
+        # (count, sum, bucket_counts tuple, boundaries tuple)
+        self.hists: Dict[Key, Tuple[int, float, tuple, tuple]] = {}
+
+
+def _key(entry: Dict[str, Any]) -> Key:
+    return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+
+class TimeSeriesStore:
+    """Ring buffer of registry frames with windowed delta queries."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        capacity: int = 600,
+        interval_s: float = 1.0,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("tsdb capacity must be >= 2")
+        self.registry = registry
+        self.capacity = int(capacity)
+        self.interval_s = float(interval_s)
+        self._frames: "deque[Frame]" = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    # -- ingestion ------------------------------------------------------------
+    def sample(self, now: Optional[float] = None) -> Frame:
+        """Capture one frame of the registry; returns it."""
+        frame = Frame(time.time() if now is None else now)
+        for entry in self.registry.snapshot():
+            kind = entry["type"]
+            if kind == "counter":
+                frame.counters[_key(entry)] = float(entry["value"] or 0)
+            elif kind == "gauge":
+                if entry["value"] is not None:
+                    frame.gauges[_key(entry)] = float(entry["value"])
+            elif kind == "histogram":
+                frame.hists[_key(entry)] = (
+                    int(entry["count"]),
+                    float(entry["sum"]),
+                    tuple(entry["bucket_counts"]),
+                    tuple(entry["boundaries"]),
+                )
+        with self._lock:
+            self._frames.append(frame)
+        return frame
+
+    def frames(self) -> List[Frame]:
+        with self._lock:
+            return list(self._frames)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    # -- window resolution ----------------------------------------------------
+    def _window(
+        self, window_s: float, now: Optional[float]
+    ) -> Tuple[Optional[Frame], Optional[Frame]]:
+        """(base, latest): base is the newest frame <= now - window_s."""
+        frames = self.frames()
+        if not frames:
+            return None, None
+        latest = frames[-1]
+        cutoff = (latest.t if now is None else now) - window_s
+        base: Optional[Frame] = None
+        for frame in frames:
+            if frame.t <= cutoff:
+                base = frame
+            else:
+                break
+        return base, latest
+
+    # -- queries --------------------------------------------------------------
+    def counter_delta(
+        self,
+        name: str,
+        window_s: float,
+        now: Optional[float] = None,
+        **labels: str,
+    ) -> float:
+        """Increase of a counter over the window, summed across label
+        sets matching the given label subset."""
+        base, latest = self._window(window_s, now)
+        if latest is None:
+            return 0.0
+        want = {(k, str(v)) for k, v in labels.items()}
+        total = 0.0
+        for key, value in latest.counters.items():
+            if key[0] != name or not want.issubset(set(key[1])):
+                continue
+            prior = base.counters.get(key, 0.0) if base is not None else 0.0
+            total += max(0.0, value - prior)
+        return total
+
+    def histogram_percentile(
+        self,
+        name: str,
+        q: float,
+        window_s: float,
+        now: Optional[float] = None,
+        **labels: str,
+    ) -> Optional[float]:
+        """Approximate percentile from bucket-count deltas over the window.
+
+        Linear interpolation within the winning bucket; ``None`` when no
+        observation landed in the window.  The overflow bucket reports
+        its lower bound (the histogram cannot see past it).
+        """
+        base, latest = self._window(window_s, now)
+        if latest is None:
+            return None
+        want = {(k, str(v)) for k, v in labels.items()}
+        merged: Optional[List[float]] = None
+        boundaries: tuple = ()
+        for key, (_, _, buckets, bounds) in latest.hists.items():
+            if key[0] != name or not want.issubset(set(key[1])):
+                continue
+            prior = (
+                base.hists.get(key, (0, 0.0, (0,) * len(buckets), bounds))
+                if base is not None
+                else (0, 0.0, (0,) * len(buckets), bounds)
+            )
+            delta = [
+                max(0.0, b - p) for b, p in zip(buckets, prior[2])
+            ]
+            if merged is None:
+                merged = delta
+                boundaries = bounds
+            elif bounds == boundaries:
+                merged = [m + d for m, d in zip(merged, delta)]
+        if merged is None:
+            return None
+        total = sum(merged)
+        if total <= 0:
+            return None
+        rank = q * total
+        running = 0.0
+        for i, count in enumerate(merged):
+            if count <= 0:
+                continue
+            if running + count >= rank:
+                if i >= len(boundaries):
+                    return boundaries[-1] if boundaries else None
+                lo = boundaries[i - 1] if i > 0 else 0.0
+                hi = boundaries[i]
+                frac = (rank - running) / count
+                return lo + (hi - lo) * min(1.0, max(0.0, frac))
+            running += count
+        return boundaries[-1] if boundaries else None
+
+    def gauge_seconds(
+        self,
+        name: str,
+        window_s: float,
+        value: float,
+        now: Optional[float] = None,
+        **labels: str,
+    ) -> float:
+        """Seconds (approximated at frame resolution) a gauge matched
+        *value* inside the window, summed across matching label sets."""
+        frames = self.frames()
+        if len(frames) < 2:
+            return 0.0
+        cutoff = (frames[-1].t if now is None else now) - window_s
+        want = {(k, str(v)) for k, v in labels.items()}
+        seconds = 0.0
+        for prev, cur in zip(frames, frames[1:]):
+            if cur.t <= cutoff:
+                continue
+            dt = cur.t - max(prev.t, cutoff)
+            if dt <= 0:
+                continue
+            for key, gauge_value in prev.gauges.items():
+                if key[0] != name or not want.issubset(set(key[1])):
+                    continue
+                if gauge_value == value:
+                    seconds += dt
+        return seconds
+
+    def span_s(self) -> float:
+        """Wall-clock distance between the oldest and newest frames."""
+        frames = self.frames()
+        if len(frames) < 2:
+            return 0.0
+        return frames[-1].t - frames[0].t

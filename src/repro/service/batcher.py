@@ -24,6 +24,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Dict, List, Optional
 
+from ..obs.trace import close_span, open_span
 from ..telemetry.metrics import MetricsRegistry
 from .admission import PendingRequest
 from .api import SimResponse
@@ -42,6 +43,11 @@ class MicroBatch:
     #: fingerprint key -> every pending request that wants this result,
     #: in arrival order (the first is the "owner", the rest coalesced).
     entries: Dict[str, List[PendingRequest]] = field(default_factory=dict)
+    #: Span id of this batch's ``service.batch`` span when tracing; the
+    #: scheduler parents its dispatch span under it.
+    trace_span_id: Optional[str] = None
+    #: Trace ids of every sampled request that joined the batch.
+    trace_ids: tuple = ()
 
     @property
     def unique(self) -> int:
@@ -65,6 +71,7 @@ class MicroBatcher:
         max_batch: int = 64,
         window_s: float = 0.002,
         registry: Optional[MetricsRegistry] = None,
+        trace: bool = False,
     ):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -75,6 +82,9 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.window_s = window_s
         self.registry = registry or MetricsRegistry()
+        #: When on, batches that gathered sampled requests get a
+        #: ``service.batch`` span linking back (flow_in) to each one.
+        self.trace = trace
         self._task: Optional[asyncio.Task] = None
         self._inflight: "set[asyncio.Task]" = set()
 
@@ -157,8 +167,43 @@ class MicroBatcher:
             self.registry.histogram(
                 "service.batch_size", boundaries=BATCH_BUCKETS
             ).observe(group.waiters)
-            task = asyncio.get_running_loop().create_task(
-                self.dispatch(group)
-            )
+            coro = self.dispatch(group)
+            if self.trace:
+                coro = self._traced_dispatch(group, coro)
+            task = asyncio.get_running_loop().create_task(coro)
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
+
+    async def _traced_dispatch(self, group: MicroBatch, coro) -> None:
+        """Wrap one dispatch in a ``service.batch`` span with links.
+
+        The batch is the coalescing point of the trace graph: one span,
+        with a flow link *in* from every sampled request that joined —
+        a batch of N requests renders as N arrows converging on it.
+        Batches with no sampled waiters dispatch untraced.
+        """
+        links = []
+        for waiters in group.entries.values():
+            for pending in waiters:
+                ctx = pending.extra.get("trace")
+                if ctx is not None:
+                    links.append(ctx)
+        if not links:
+            await coro
+            return
+        group.trace_ids = tuple(ctx.trace_id for ctx in links)
+        span = open_span(
+            "service.batch",
+            category="service",
+            kind=group.kind,
+            unique=group.unique,
+            waiters=group.waiters,
+            flow_in=list(group.trace_ids),
+        )
+        group.trace_span_id = span.span_id
+        try:
+            await coro
+        except BaseException:
+            close_span(span, error=True)
+            raise
+        close_span(span)

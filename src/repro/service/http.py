@@ -27,6 +27,8 @@ from dataclasses import replace
 
 from .._version import __version__
 from ..faults.injector import fire
+from ..obs.promtext import prometheus_text, wants_prometheus, PROM_CONTENT_TYPE
+from ..obs.trace import TRACE_HEADER, TraceContext, close_span, open_span
 from .api import (
     ServiceValidationError, SimRequest, SimResponse, next_request_id,
     parse_request,
@@ -62,8 +64,23 @@ _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
-    504: "Gateway Timeout",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
+
+
+class _RawBody:
+    """A pre-encoded response body with its own Content-Type.
+
+    Routes return JSON-serializable documents by default; the few that
+    negotiate another representation (Prometheus text on ``/metrics``)
+    wrap it in this.
+    """
+
+    __slots__ = ("content_type", "payload")
+
+    def __init__(self, content_type: str, payload: bytes):
+        self.content_type = content_type
+        self.payload = payload
 
 
 class ServiceHTTPServer:
@@ -171,7 +188,9 @@ class ServiceHTTPServer:
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
                 try:
-                    status, doc = await self._route(method, path, body)
+                    status, doc = await self._route(
+                        method, path, headers, body
+                    )
                 except _HTTPError as exc:
                     status, doc = exc.status, {"error": str(exc)}
                 except Exception as exc:  # never kill the connection loop
@@ -227,10 +246,15 @@ class ServiceHTTPServer:
         doc: Any,
         keep_alive: bool,
     ) -> None:
-        payload = _json_bytes(doc)
+        if isinstance(doc, _RawBody):
+            payload = doc.payload
+            content_type = doc.content_type
+        else:
+            payload = _json_bytes(doc)
+            content_type = "application/json"
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(payload)}",
             f"Server: repro-service/{__version__}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
@@ -244,13 +268,18 @@ class ServiceHTTPServer:
 
     # -- routing --------------------------------------------------------------
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Any]:
         path = path.split("?", 1)[0]
         if path == "/healthz":
             if method != "GET":
                 raise _HTTPError(405, "use GET /healthz")
             return 200, self.service.health()
+        if path == "/health":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /health")
+            healthy, doc = self.service.slo_report()
+            return (200 if healthy else 503), doc
         if path == "/metrics":
             if method != "GET":
                 raise _HTTPError(405, "use GET /metrics")
@@ -267,16 +296,19 @@ class ServiceHTTPServer:
                     ("quarantined", cache.quarantined),
                 ):
                     registry.gauge(f"cache.{name}").set(float(value))
+            if wants_prometheus(headers.get("accept", "")):
+                text = prometheus_text(self.service.registry)
+                return 200, _RawBody(PROM_CONTENT_TYPE, text.encode("utf-8"))
             return 200, {"metrics": self.service.registry.snapshot()}
         if path == "/simulate":
             if method != "POST":
                 raise _HTTPError(405, "use POST /simulate")
-            response = await self._simulate_body(body)
+            response = await self._simulate_body(body, headers)
             return response.http_status(), response.to_dict()
         if path == "/batch":
             if method != "POST":
                 raise _HTTPError(405, "use POST /batch")
-            return await self._simulate_batch(self._decode(body))
+            return await self._simulate_batch(self._decode(body), headers)
         raise _HTTPError(404, f"no route for {path}")
 
     @staticmethod
@@ -286,7 +318,9 @@ class ServiceHTTPServer:
         except (UnicodeDecodeError, ValueError) as exc:
             raise _HTTPError(400, f"body is not valid JSON: {exc}") from exc
 
-    async def _simulate_body(self, body: bytes) -> SimResponse:
+    async def _simulate_body(
+        self, body: bytes, headers: Dict[str, str]
+    ) -> SimResponse:
         cached = self._parse_cache.get(body)
         if cached is None:
             obj = self._decode(body)
@@ -296,7 +330,8 @@ class ServiceHTTPServer:
                     default_timeout_s=self.service.settings.default_timeout_s,
                 )
             except ServiceValidationError:
-                return await self._simulate_one(obj)  # shared error path
+                # shared error path
+                return await self._simulate_one(obj, headers)
             explicit_id = isinstance(obj, dict) and "request_id" in obj
             if len(self._parse_cache) >= PARSE_CACHE_MAX:
                 self._parse_cache.clear()  # steady workloads re-warm fast
@@ -305,9 +340,47 @@ class ServiceHTTPServer:
             request, explicit_id = cached
             if not explicit_id:
                 request = replace(request, request_id=next_request_id())
-        return await self.service.submit(request)
+        return await self._submit(request, headers)
 
-    async def _simulate_one(self, obj: Any) -> SimResponse:
+    async def _submit(
+        self, request: SimRequest, headers: Dict[str, str]
+    ) -> SimResponse:
+        """Submit, minting/propagating a trace context when sampling.
+
+        The context rides the ``x-repro-trace`` *header* (never the
+        JSON body — the API rejects unknown body fields, and the parse
+        memo above stays valid because identical bodies parse the same
+        regardless of tracing).  A sampled request gets an
+        ``http.request`` root span here; everything below hangs off it.
+        """
+        service = self.service
+        if not service.tracing:
+            return await service.submit(request)
+        ctx = service.trace_for(
+            request, TraceContext.from_header(headers.get(TRACE_HEADER))
+        )
+        if ctx is None:
+            return await service.submit(request)
+        hspan = open_span(
+            "http.request",
+            category="service",
+            parent_id=ctx.parent_id,
+            trace_id=ctx.trace_id,
+            request_id=request.request_id,
+        )
+        try:
+            response = await service.submit(
+                request, trace=ctx.child(hspan.span_id)
+            )
+        except BaseException:
+            close_span(hspan, error=True)
+            raise
+        close_span(hspan, status=response.status)
+        return response
+
+    async def _simulate_one(
+        self, obj: Any, headers: Dict[str, str]
+    ) -> SimResponse:
         try:
             request = parse_request(
                 obj, default_timeout_s=self.service.settings.default_timeout_s
@@ -320,9 +393,11 @@ class ServiceHTTPServer:
             if isinstance(obj, dict):
                 request_id = str(obj.get("request_id", ""))[:64]
             return SimResponse.error(request_id, "invalid_request", str(exc))
-        return await self.service.submit(request)
+        return await self._submit(request, headers)
 
-    async def _simulate_batch(self, obj: Any) -> Tuple[int, Any]:
+    async def _simulate_batch(
+        self, obj: Any, headers: Dict[str, str]
+    ) -> Tuple[int, Any]:
         if not isinstance(obj, dict) or not isinstance(
             obj.get("requests"), list
         ):
@@ -333,6 +408,6 @@ class ServiceHTTPServer:
                 413, f"batch of {len(entries)} exceeds {MAX_BATCH_REQUESTS}"
             )
         responses = await asyncio.gather(
-            *(self._simulate_one(entry) for entry in entries)
+            *(self._simulate_one(entry, headers) for entry in entries)
         )
         return 200, {"responses": [r.to_dict() for r in responses]}

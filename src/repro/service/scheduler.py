@@ -36,16 +36,21 @@ the in-process test/benchmark harnesses both sit on top of it.
 from __future__ import annotations
 
 import asyncio
+import platform
 import random
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from .._version import __version__
 from ..core.machine import Machine
 from ..errors import ReproError
 from ..faults.breaker import CircuitBreaker
 from ..faults.degrade import analytic_estimate
 from ..faults.injector import fire
+from ..obs.slo import SLOEngine, parse_slo_config
+from ..obs.trace import TraceContext, close_span, mint_context, open_span
+from ..obs.tsdb import TimeSeriesStore
 from ..sweep.executor import SweepExecutor
 from ..sweep.result_cache import open_result_cache
 from ..telemetry.metrics import MetricsRegistry
@@ -81,6 +86,19 @@ class ServiceSettings:
     breaker_threshold: int = 5
     breaker_cooldown_s: float = 2.0
     hedge_delay_s: Optional[float] = None  # None = hedged retry off
+    #: Distributed-tracing sample rate in [0, 1]; 0 = tracing off.
+    #: Requires telemetry to be enabled (``repro serve --trace-sample``
+    #: flips it on) — the decision per request is deterministic from the
+    #: request fingerprint (see repro.obs.trace).
+    trace_sample: float = 0.0
+    #: Seconds between tsdb frames; 0 = continuous monitoring off.
+    tsdb_interval_s: float = 0.0
+    #: Ring capacity of the tsdb (frames retained).
+    tsdb_capacity: int = 600
+    #: SLO objectives: None = defaults, else inline JSON or a file path
+    #: (see repro.obs.slo.parse_slo_config).  Only read when the tsdb
+    #: is on — the SLO engine evaluates over its frames.
+    slo_config: Optional[str] = None
 
 
 class Scheduler:
@@ -172,9 +190,35 @@ class Scheduler:
                 continue
             self._resolve(batch.entries[key], record, "coalesced", started)
 
+    def _traced_run(
+        self,
+        kind: str,
+        payloads: List[tuple],
+        parent_id: str,
+        trace_ids: tuple,
+    ) -> List[dict]:
+        """Executor run wrapped in a ``scheduler.dispatch`` span.
+
+        Runs *on the dispatch thread*, so the span sits on that thread's
+        stack: the executor's ``sweep.stage`` span nests under it
+        naturally, and worker spans shipped back re-parent below the
+        stage — stitching the cross-thread (and cross-process) tree
+        under the batch span named by *parent_id*.
+        """
+        recorder = get_telemetry().recorder
+        with recorder.span(
+            "scheduler.dispatch",
+            category="service",
+            parent_id=parent_id,
+            kind=kind,
+            points=len(payloads),
+            trace_ids=list(trace_ids),
+        ):
+            return self.executor.run(kind, payloads, f"service-{kind}")
+
     async def _run_dispatch(
         self, loop: "asyncio.AbstractEventLoop", kind: str,
-        payloads: List[tuple],
+        payloads: List[tuple], batch: Optional[MicroBatch] = None,
     ) -> List[dict]:
         """One dispatch to the executor, optionally hedged.
 
@@ -184,8 +228,18 @@ class Scheduler:
         so either result is correct).  The loser's outcome is consumed
         and discarded.
         """
+        trace_span_id = batch.trace_span_id if batch is not None else None
 
         def run() -> "asyncio.Future":
+            if trace_span_id is not None and get_telemetry().enabled:
+                return loop.run_in_executor(
+                    self._pool,
+                    self._traced_run,
+                    kind,
+                    payloads,
+                    trace_span_id,
+                    batch.trace_ids,
+                )
             return loop.run_in_executor(
                 self._pool,
                 self.executor.run,
@@ -246,7 +300,7 @@ class Scheduler:
                             "injected dispatch timeout"
                         )
                 records = await self._run_dispatch(
-                    loop, batch.kind, payloads
+                    loop, batch.kind, payloads, batch
                 )
                 break
             except Exception as exc:
@@ -403,13 +457,45 @@ class ReductionService:
             burst=self.settings.burst,
             registry=self.registry,
         )
+        # Tracing needs both the knob and the telemetry layer: with
+        # telemetry off there is no recorder to hold the spans.
+        self._tracing = (
+            self.settings.trace_sample > 0 and get_telemetry().enabled
+        )
+        if self._tracing:
+            # Traced service runs keep the slab fast path: the trace
+            # contract is the request tree (batch -> dispatch -> stage
+            # -> worker -> slab.evaluate), not per-point scalar spans.
+            self.executor.trace_slab = True
         self.batcher = MicroBatcher(
             self.admission.queue,
             self.scheduler.dispatch,
             max_batch=self.settings.max_batch,
             window_s=self.settings.batch_window_s,
             registry=self.registry,
+            trace=self._tracing,
         )
+        # Continuous monitoring: a tsdb sampling loop plus the SLO
+        # engine over it, both off unless tsdb_interval_s > 0.
+        self.tsdb: Optional[TimeSeriesStore] = None
+        self.slo: Optional[SLOEngine] = None
+        if self.settings.tsdb_interval_s > 0:
+            self.tsdb = TimeSeriesStore(
+                self.registry,
+                capacity=self.settings.tsdb_capacity,
+                interval_s=self.settings.tsdb_interval_s,
+            )
+            self.slo = SLOEngine(
+                self.tsdb, parse_slo_config(self.settings.slo_config)
+            )
+        self._sampler_task: Optional["asyncio.Task"] = None
+        # Scrape attribution: who/what produced these numbers.
+        self.registry.gauge(
+            "build_info",
+            version=__version__,
+            python=platform.python_version(),
+            machine=self.executor.machine_fingerprint[:12],
+        ).set(1.0)
         self._started = False
         # Hot-path instrument handles, resolved once: registry lookups
         # sort label tuples and take a lock, which shows up at load.
@@ -432,26 +518,112 @@ class ReductionService:
     # -- lifecycle ------------------------------------------------------------
     async def start(self) -> None:
         self.batcher.start()
+        if self.tsdb is not None and self._sampler_task is None:
+            self.tsdb.sample()  # base frame: windowed deltas start here
+            self._sampler_task = asyncio.get_running_loop().create_task(
+                self._sample_loop(), name="repro-obs-tsdb"
+            )
         self._started = True
+
+    async def _sample_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.settings.tsdb_interval_s)
+            self.tsdb.sample()
 
     async def stop(self) -> None:
         """Graceful: stop admitting, drain the queue, stop the batcher."""
         self.admission.close()
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
         if self._started:
             await self.batcher.drain()
             await self.batcher.stop()
         self.scheduler.shutdown()
         self._started = False
 
+    # -- tracing --------------------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """Whether this instance samples distributed traces."""
+        return self._tracing
+
+    def trace_for(
+        self,
+        request: SimRequest,
+        incoming: Optional[TraceContext] = None,
+    ) -> Optional[TraceContext]:
+        """The context this request should carry, or ``None`` (unsampled).
+
+        An *incoming* context (from the ``x-repro-trace`` header) wins:
+        its sampling bit is honored either way, so an upstream that
+        decided to trace keeps its trace id here.  Without one, the
+        decision hashes the request fingerprint against
+        ``trace_sample`` — deterministic, so repeated runs trace the
+        same requests.
+        """
+        if not self._tracing:
+            return None
+        if incoming is not None:
+            return incoming if incoming.sampled else None
+        try:
+            kind, payload = request.payload()
+            key = self.scheduler.cache_key(kind, payload)
+        except ReproError:
+            return None  # the untraced path will produce the error
+        return mint_context(
+            key, request.request_id, self.settings.trace_sample
+        )
+
     # -- the front door -------------------------------------------------------
-    async def submit(self, request: SimRequest) -> SimResponse:
+    async def submit(
+        self,
+        request: SimRequest,
+        trace: Optional[TraceContext] = None,
+    ) -> SimResponse:
         """Run one request through the full pipeline; always responds.
 
         Admission rejections come back immediately as explicit
         ``rejected`` responses; admitted requests resolve when their
         batch does (every path through the scheduler resolves the
         future, so a submit never hangs).
+
+        *trace* (from :meth:`trace_for`) wraps the whole submission in
+        a ``service.request`` span and propagates the context to the
+        batch that serves it.
         """
+        if trace is None or not self._tracing:
+            return await self._submit(request, None, None)
+        rspan = open_span(
+            "service.request",
+            category="service",
+            parent_id=trace.parent_id,
+            trace_id=trace.trace_id,
+            request_id=request.request_id,
+        )
+        try:
+            response = await self._submit(request, trace, rspan)
+        except BaseException:
+            close_span(rspan, error=True)
+            raise
+        close_span(
+            rspan,
+            status=response.status,
+            source=getattr(response, "source", None) or "none",
+            degraded=bool(getattr(response, "degraded", False)),
+        )
+        return response
+
+    async def _submit(
+        self,
+        request: SimRequest,
+        trace: Optional[TraceContext],
+        rspan: Optional[Any],
+    ) -> SimResponse:
         if not self._started:
             await self.start()
         loop = asyncio.get_running_loop()
@@ -514,6 +686,13 @@ class ReductionService:
             enqueued_at=now,
             deadline=(now + timeout) if timeout is not None else None,
         )
+        if trace is not None and rspan is not None:
+            # The request is about to join a batch: mark the flow start
+            # (the exporter turns it into a Chrome flow arrow into the
+            # batch span) and hand the batcher a context re-rooted under
+            # this request's span.
+            rspan.set(flow_out=trace.trace_id)
+            pending.extra["trace"] = trace.child(rspan.span_id)
         reason = self.admission.enqueue(pending)
         if reason is not None:
             if reason == QUEUE_FULL and self.settings.degrade:
@@ -550,6 +729,25 @@ class ReductionService:
         )
 
     # -- introspection --------------------------------------------------------
+    def slo_report(self) -> Tuple[bool, Dict[str, Any]]:
+        """The ``GET /health`` verdict: (healthy, JSON document).
+
+        Without the SLO engine (tsdb off) the service is trivially
+        healthy — /health then degrades to a richer /healthz.  With it,
+        the engine's multi-window verdict decides 200 vs 503.
+        """
+        base = self.health()
+        if self.slo is None or self.tsdb is None:
+            doc: Dict[str, Any] = {"healthy": True, "slo_enabled": False}
+            doc.update(base)
+            return True, doc
+        if len(self.tsdb) == 0:
+            self.tsdb.sample()
+        report = self.slo.evaluate()
+        report["slo_enabled"] = True
+        report["service"] = base
+        return bool(report["healthy"]), report
+
     def health(self) -> Dict[str, Any]:
         return {
             "status": "ok" if not self.admission.closed else "draining",

@@ -260,7 +260,10 @@ def _task_gpu_slab(machine: Machine, payload: tuple) -> dict:
         elif decision.mode == "wrong_result":
             mangle = True
     points = shm.unpack_gpu_slab_request(header)
-    records = evaluate_gpu_slab(machine, points)
+    with tele_span(
+        "slab.evaluate", category="sweep", points=len(points)
+    ):
+        records = evaluate_gpu_slab(machine, points)
     response = shm.pack_gpu_slab_response(header["shm"], records)
     if mangle and response["nbytes"]:
         segment = shm.attach_segment(response["shm"])
@@ -347,6 +350,11 @@ class SweepExecutor:
             task_timeout_s, machine.config
         )
         self._pool: Optional[Any] = None
+        #: Traced-service override: keep the slab fast path even with
+        #: telemetry enabled.  Distributed traces want the request tree
+        #: (stage -> worker -> slab.evaluate), not per-point scalar
+        #: spans, so the service sets this when sampling traces.
+        self.trace_slab = False
         if stats is None:
             # When profiling, back the stage counters by the global
             # telemetry registry so they appear in exported traces.
@@ -366,6 +374,11 @@ class SweepExecutor:
         # warm cache spend most of their time there.  Payloads are
         # frozen dataclasses / ints / None, hence hashable.
         self._key_memo: Dict[Any, str] = {}
+
+    @property
+    def machine_fingerprint(self) -> str:
+        """The machine's cache fingerprint (scrape/build attribution)."""
+        return self._machine_fp
 
     # -- cache keys -----------------------------------------------------------
     def cache_key(self, kind: str, payload: Any) -> str:
@@ -478,7 +491,7 @@ class SweepExecutor:
             kind == "gpu_point"
             and self.machine.config.slab
             and self.task_timeout_s is None
-            and not get_telemetry().enabled
+            and (not get_telemetry().enabled or self.trace_slab)
         )
         if self.task_timeout_s is None and (
             self.workers == 1 or len(payloads) < 2

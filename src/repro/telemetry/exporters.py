@@ -44,7 +44,16 @@ SIM_PID = 0
 
 
 def _wall_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
-    """Complete ("X") events for wall-clock spans, ts in microseconds."""
+    """Complete ("X") events for wall-clock spans, ts in microseconds.
+
+    Spans carrying cross-process trace-context attributes additionally
+    emit Chrome *flow* events: ``flow_out`` (a flow id string, set by a
+    producing span such as ``service.request`` at enqueue) becomes a
+    flow-start (``ph: "s"``), and ``flow_in`` (a list of flow ids on a
+    consuming span such as ``service.batch``) becomes flow-finishes
+    (``ph: "f"``, binding-point ``e``) — so Perfetto draws arrows from
+    each request to the batch that served it, across processes.
+    """
     if not spans:
         return []
     t0 = min(sp.start for sp in spans)
@@ -54,18 +63,49 @@ def _wall_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
         args["span_id"] = sp.span_id
         if sp.parent_id is not None:
             args["parent_id"] = sp.parent_id
+        start_us = (sp.start - t0) * 1e6
         events.append(
             {
                 "name": sp.name,
                 "cat": sp.category,
                 "ph": "X",
-                "ts": (sp.start - t0) * 1e6,
+                "ts": start_us,
                 "dur": sp.duration * 1e6,
                 "pid": sp.pid,
                 "tid": sp.tid,
                 "args": args,
             }
         )
+        flow_out = sp.attributes.get("flow_out")
+        if isinstance(flow_out, str):
+            events.append(
+                {
+                    "name": "trace",
+                    "cat": "obs.flow",
+                    "ph": "s",
+                    "id": flow_out,
+                    "ts": start_us,
+                    "pid": sp.pid,
+                    "tid": sp.tid,
+                }
+            )
+        flow_in = sp.attributes.get("flow_in")
+        if isinstance(flow_in, (list, tuple)):
+            for fid in flow_in:
+                if not isinstance(fid, str):
+                    continue
+                events.append(
+                    {
+                        "name": "trace",
+                        "cat": "obs.flow",
+                        "ph": "f",
+                        "bp": "e",
+                        "id": fid,
+                        "ts": start_us,
+                        "pid": sp.pid,
+                        "tid": sp.tid,
+                    }
+                )
     return events
 
 

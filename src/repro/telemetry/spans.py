@@ -129,19 +129,46 @@ class SpanRecorder:
     def _new_id(self) -> str:
         return f"{os.getpid():x}-{threading.get_ident():x}-{next(self._seq):x}"
 
+    def new_id(self) -> str:
+        """Allocate a fresh span id (for externally managed spans)."""
+        return self._new_id()
+
+    def record(self, span: Span) -> None:
+        """Append an externally finished span to the finished list.
+
+        Used by :mod:`repro.obs.trace` for request/batch spans whose
+        lifetime crosses ``await`` points: the thread-local stack would
+        interleave wrongly under asyncio, so those spans are opened and
+        closed explicitly and never touch the stack.
+        """
+        with self._lock:
+            self.finished.append(span)
+
     # -- recording ------------------------------------------------------------
     @contextmanager
     def span(
-        self, name: str, category: str = "repro", **attributes: Any
+        self,
+        name: str,
+        category: str = "repro",
+        *,
+        parent_id: Optional[str] = None,
+        **attributes: Any,
     ) -> Iterator[Span]:
-        """Open a child of the current span for the duration of the block."""
+        """Open a child of the current span for the duration of the block.
+
+        ``parent_id`` overrides the stack parent — used when the logical
+        parent lives on another thread (e.g. a dispatch span parented
+        under an asyncio-side batch span).
+        """
         stack = self._stack()
         t0 = time.perf_counter()
         sp = Span(
             name=name,
             category=category,
             span_id=self._new_id(),
-            parent_id=stack[-1].span_id if stack else None,
+            parent_id=parent_id
+            if parent_id is not None
+            else (stack[-1].span_id if stack else None),
             start=_EPOCH + t0,
             pid=os.getpid(),
             tid=threading.get_ident(),

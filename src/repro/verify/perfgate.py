@@ -1,6 +1,6 @@
 """Perf-regression gate: time the hot paths, compare to a baseline.
 
-Five benchmarks cover the tier-1-critical paths the repo's earlier PRs
+Six benchmarks cover the tier-1-critical paths the repo's earlier PRs
 optimized, each reported as the **best of N repeats** (minimum is the
 standard noise-robust statistic for microbenchmarks):
 
@@ -17,7 +17,10 @@ standard noise-robust statistic for microbenchmarks):
   slab evaluation (:mod:`repro.sim.batch`) over >= 1024 distinct points;
 * ``pool_transport`` — the shared-memory slab transport roundtrip
   (:mod:`repro.sweep.shm`): pack, attach, unpack, collate, unlink for a
-  4096-point chunk.
+  4096-point chunk;
+* ``telemetry_overhead`` — the sim microbench unit of work with the
+  telemetry layer *enabled* (span recording on), alongside the disabled
+  time, so the cost of observability itself is gated.
 
 ``repro verify perf`` writes the current numbers to ``BENCH_verify.json``
 and compares them against the committed baseline with a noise-aware
@@ -240,12 +243,43 @@ def _bench_pool_transport(machine: Machine, repeats: int) -> Dict[str, Any]:
     }
 
 
+def _bench_telemetry_overhead(
+    machine: Machine, repeats: int
+) -> Dict[str, Any]:
+    """Enabled-vs-disabled telemetry cost of the sim-microbench unit."""
+    from ..telemetry.state import configure, get_telemetry
+
+    case = case_by_name("C1")
+    config = KernelConfig(teams=4096, v=4, threads=256)
+
+    def once() -> None:
+        measure_gpu_reduction(machine, case, config, trials=200, verify=True)
+
+    previous = get_telemetry().enabled
+    try:
+        configure(enabled=False)
+        once()  # warm compile/workload caches out of the timed region
+        disabled = _best(once, repeats)
+        configure(enabled=True, reset=True)
+        once()
+        enabled = _best(once, repeats)
+    finally:
+        configure(enabled=previous, reset=True)
+    return {
+        "seconds": enabled,
+        "disabled_s": disabled,
+        "overhead_s": max(0.0, enabled - disabled),
+        "overhead_ratio": enabled / disabled if disabled > 0 else 1.0,
+    }
+
+
 _BENCHES = {
     "sim_microbench": _bench_sim_microbench,
     "warm_cache_sweep": _bench_warm_cache_sweep,
     "service_p99": _bench_service_p99,
     "slab_microbench": _bench_slab_microbench,
     "pool_transport": _bench_pool_transport,
+    "telemetry_overhead": _bench_telemetry_overhead,
 }
 
 

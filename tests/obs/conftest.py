@@ -1,0 +1,44 @@
+"""Observability test fixtures.
+
+Both the telemetry layer and the flight recorder are process-global (by
+design: instrumentation sites reach them without plumbing), so every
+test goes through a fixture that saves the flag and environment
+variable, resets to a known state, and restores everything afterwards —
+tests in other directories always see both in their default (disabled,
+empty) state.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs.flight import FLIGHT_ENV, configure_flight
+from repro.telemetry import TELEMETRY_ENV, configure, get_telemetry
+
+
+@pytest.fixture()
+def telemetry():
+    """The global Telemetry, enabled and empty; restored on teardown."""
+    saved_env = os.environ.get(TELEMETRY_ENV)
+    saved_enabled = get_telemetry().enabled
+    tel = configure(enabled=True, reset=True)
+    yield tel
+    configure(enabled=saved_enabled, reset=True)
+    if saved_env is None:
+        os.environ.pop(TELEMETRY_ENV, None)
+    else:
+        os.environ[TELEMETRY_ENV] = saved_env
+
+
+@pytest.fixture()
+def flight_dir(tmp_path):
+    """The global FlightRecorder, enabled into a temp dir; restored after."""
+    saved_env = os.environ.get(FLIGHT_ENV)
+    directory = tmp_path / "flight"
+    configure_flight(str(directory))
+    yield directory
+    configure_flight(None)
+    if saved_env is not None:
+        os.environ[FLIGHT_ENV] = saved_env

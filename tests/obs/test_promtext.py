@@ -1,0 +1,126 @@
+"""Prometheus text exposition: names, labels, cumulative histograms."""
+
+from repro.obs.promtext import (
+    PROM_CONTENT_TYPE,
+    prometheus_text,
+    wants_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _lines(registry):
+    text = prometheus_text(registry)
+    assert text.endswith("\n")
+    return text.splitlines()
+
+
+class TestNegotiation:
+    def test_json_stays_default(self):
+        assert wants_prometheus("") is False
+        assert wants_prometheus("application/json") is False
+        assert wants_prometheus("*/*") is False
+
+    def test_text_and_openmetrics_opt_in(self):
+        assert wants_prometheus("text/plain") is True
+        assert wants_prometheus("TEXT/PLAIN; charset=utf-8") is True
+        assert wants_prometheus(
+            "application/openmetrics-text; version=1.0.0"
+        ) is True
+
+    def test_content_type_pins_the_version(self):
+        assert "version=0.0.4" in PROM_CONTENT_TYPE
+
+
+class TestScalars:
+    def test_counter_name_sanitized_and_prefixed(self):
+        registry = MetricsRegistry()
+        registry.counter("service.requests").add(5)
+        lines = _lines(registry)
+        assert "# TYPE repro_service_requests counter" in lines
+        assert "repro_service_requests 5" in lines
+
+    def test_existing_prefix_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_build_info", version="1.0.0").set(1.0)
+        lines = _lines(registry)
+        assert 'repro_build_info{version="1.0.0"} 1.0' in lines
+        assert not any("repro_repro_" in line for line in lines)
+
+    def test_build_info_gauge_renders(self):
+        # The gauge the service registers for scrape attribution.
+        registry = MetricsRegistry()
+        registry.gauge(
+            "build_info", version="1.0.0", python="3.11.0", machine="abc123"
+        ).set(1.0)
+        [type_line, sample] = _lines(registry)
+        assert type_line == "# TYPE repro_build_info gauge"
+        assert sample == (
+            'repro_build_info{machine="abc123",python="3.11.0",'
+            'version="1.0.0"} 1.0'
+        )
+
+    def test_labels_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "service.rejected", reason='quo"te', client="a\\b\nc"
+        ).add(2)
+        lines = _lines(registry)
+        assert (
+            'repro_service_rejected{client="a\\\\b\\nc",reason="quo\\"te"} 2'
+            in lines
+        )
+
+    def test_unset_gauge_is_zero(self):
+        registry = MetricsRegistry()
+        registry.gauge("cache.hit_ratio")
+        assert "repro_cache_hit_ratio 0" in _lines(registry)
+
+
+class TestHistograms:
+    def test_cumulative_buckets_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", boundaries=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        lines = _lines(registry)
+        assert "# TYPE repro_lat histogram" in lines
+        assert 'repro_lat_bucket{le="1.0"} 1' in lines
+        assert 'repro_lat_bucket{le="2.0"} 2' in lines
+        assert 'repro_lat_bucket{le="+Inf"} 3' in lines
+        assert "repro_lat_sum 7.0" in lines
+        assert "repro_lat_count 3" in lines
+
+    def test_histogram_labels_ride_every_series(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "service.latency_seconds", boundaries=(0.5,), source="cache"
+        ).observe(0.1)
+        lines = _lines(registry)
+        assert (
+            'repro_service_latency_seconds_bucket{source="cache",le="0.5"} 1'
+            in lines
+        )
+        assert (
+            'repro_service_latency_seconds_bucket{source="cache",le="+Inf"} 1'
+            in lines
+        )
+        assert 'repro_service_latency_seconds_count{source="cache"} 1' in lines
+
+
+class TestDocument:
+    def test_every_line_parses_as_prometheus(self):
+        import re
+
+        registry = MetricsRegistry()
+        registry.counter("service.requests").add(3)
+        registry.counter("service.completed", status="ok").add(2)
+        registry.gauge("breaker.state", breaker="service").set(0.0)
+        registry.histogram("lat", boundaries=(1.0,)).observe(0.5)
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+]+$|"
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*\{[^}]*le=\"\+Inf\"[^}]*\} [0-9]+$"
+        )
+        for line in _lines(registry):
+            if line.startswith("# TYPE "):
+                continue
+            assert sample_re.match(line), line

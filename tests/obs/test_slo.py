@@ -1,0 +1,226 @@
+"""SLO config parsing and multi-window burn-rate evaluation."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    SLOEngine,
+    parse_slo_config,
+)
+from repro.obs.tsdb import TimeSeriesStore
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestParseConfig:
+    def test_none_and_blank_give_defaults(self):
+        assert parse_slo_config(None) == DEFAULT_OBJECTIVES
+        assert parse_slo_config("   ") == DEFAULT_OBJECTIVES
+
+    def test_inline_list(self):
+        (obj,) = parse_slo_config(
+            '[{"name": "err", "signal": "error_rate", "threshold": 0.05,'
+            ' "windows": [30, 120], "burn_rate": 2.0, "min_events": 10}]'
+        )
+        assert obj == Objective(
+            name="err", signal="error_rate", threshold=0.05,
+            windows=(30.0, 120.0), burn_rate=2.0, min_events=10,
+        )
+
+    def test_inline_single_object(self):
+        (obj,) = parse_slo_config(
+            '{"name": "p99", "signal": "latency_p99", "threshold": 1.5}'
+        )
+        assert obj.signal == "latency_p99"
+        assert obj.windows == (60.0, 300.0)  # defaults
+
+    def test_objectives_wrapper(self):
+        parsed = parse_slo_config(
+            '{"objectives": [{"name": "a", "signal": "error_rate",'
+            ' "threshold": 0.1}]}'
+        )
+        assert [o.name for o in parsed] == ["a"]
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps([
+            {"name": "deg", "signal": "degraded_rate", "threshold": 0.2}
+        ]))
+        (obj,) = parse_slo_config(str(path))
+        assert obj.name == "deg"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "/nonexistent/slo.json",  # unreadable path
+            "[not json",  # invalid JSON
+            '"just a string"',  # not a list/object
+            "[42]",  # entry is not an object
+            "[]",  # no objectives
+            '[{"name": "x", "signal": "bogus", "threshold": 1}]',
+            '[{"name": "x", "signal": "error_rate"}]',  # missing threshold
+            '[{"name": "x", "signal": "error_rate", "threshold": 1,'
+            ' "windows": []}]',
+            '[{"name": "x", "signal": "error_rate", "threshold": 1,'
+            ' "frobnicate": 2}]',  # unknown field
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(SpecError):
+            parse_slo_config(spec)
+
+
+def _engine(objectives):
+    registry = MetricsRegistry()
+    tsdb = TimeSeriesStore(registry)
+    return registry, tsdb, SLOEngine(tsdb, objectives)
+
+
+_ERROR_RATE = Objective(
+    name="err", signal="error_rate", threshold=0.01, windows=(30.0, 1000.0)
+)
+
+
+class TestEngine:
+    def test_no_traffic_is_healthy(self):
+        _, tsdb, engine = _engine([_ERROR_RATE])
+        tsdb.sample(now=0.0)
+        report = engine.evaluate(now=0.0)
+        assert report["healthy"] is True
+        [objective] = report["objectives"]
+        assert all(w["value"] is None for w in objective["windows"])
+        assert objective["alerting"] is False
+
+    def test_alerts_when_every_window_violates(self):
+        registry, tsdb, engine = _engine([_ERROR_RATE])
+        tsdb.sample(now=0.0)
+        registry.counter("service.requests").add(10)
+        registry.counter("service.completed", status="error").add(5)
+        tsdb.sample(now=100.0)
+        report = engine.evaluate(now=100.0)
+        assert report["healthy"] is False
+        [objective] = report["objectives"]
+        assert objective["alerting"] is True
+        assert all(w["violated"] for w in objective["windows"])
+        assert objective["windows"][0]["value"] == pytest.approx(0.5)
+
+    def test_short_burn_alone_does_not_alert(self):
+        # A burst of errors violates the 30 s window but dilutes to
+        # under threshold over the long window: no alert (that is the
+        # flap-suppression half of the multi-window construction).
+        registry, tsdb, engine = _engine([_ERROR_RATE])
+        registry.counter("service.requests").add(1000)
+        tsdb.sample(now=0.0)
+        registry.counter("service.requests").add(10)
+        registry.counter("service.completed", status="error").add(5)
+        tsdb.sample(now=990.0)
+        report = engine.evaluate(now=990.0)
+        [objective] = report["objectives"]
+        short, long_ = objective["windows"]
+        assert short["violated"] is True
+        assert long_["violated"] is False
+        assert objective["alerting"] is False
+        assert report["healthy"] is True
+
+    def test_burn_rate_scales_the_limit(self):
+        objective = Objective(
+            name="err", signal="error_rate", threshold=0.01,
+            windows=(60.0,), burn_rate=100.0,
+        )
+        registry, tsdb, engine = _engine([objective])
+        tsdb.sample(now=0.0)
+        registry.counter("service.requests").add(100)
+        registry.counter("service.completed", status="error").add(50)
+        tsdb.sample(now=30.0)
+        report = engine.evaluate(now=30.0)
+        # 50% errors but the limit is 0.01 * 100 = 1.0: no alert.
+        assert report["objectives"][0]["limit"] == pytest.approx(1.0)
+        assert report["healthy"] is True
+
+    def test_min_events_suppresses_thin_windows(self):
+        objective = Objective(
+            name="err", signal="error_rate", threshold=0.01,
+            windows=(60.0,), min_events=100,
+        )
+        registry, tsdb, engine = _engine([objective])
+        tsdb.sample(now=0.0)
+        registry.counter("service.requests").add(2)
+        registry.counter("service.completed", status="error").add(2)
+        tsdb.sample(now=30.0)
+        report = engine.evaluate(now=30.0)
+        assert report["objectives"][0]["windows"][0]["value"] is None
+        assert report["healthy"] is True
+
+    def test_degraded_rate_signal(self):
+        objective = Objective(
+            name="deg", signal="degraded_rate", threshold=0.5, windows=(60.0,)
+        )
+        registry, tsdb, engine = _engine([objective])
+        tsdb.sample(now=0.0)
+        registry.counter("service.requests").add(10)
+        registry.counter("service.degraded", reason="breaker_open").add(9)
+        tsdb.sample(now=30.0)
+        report = engine.evaluate(now=30.0)
+        assert report["healthy"] is False
+        assert report["objectives"][0]["windows"][0]["value"] == pytest.approx(
+            0.9
+        )
+
+    def test_latency_p99_signal(self):
+        objective = Objective(
+            name="p99", signal="latency_p99", threshold=0.5, windows=(60.0,)
+        )
+        registry, tsdb, engine = _engine([objective])
+        hist = registry.histogram(
+            "service.latency_seconds", boundaries=(0.1, 1.0, 5.0),
+            source="cache",
+        )
+        for _ in range(100):
+            hist.observe(0.9)
+        tsdb.sample(now=10.0)
+        report = engine.evaluate(now=10.0)
+        assert report["healthy"] is False
+        value = report["objectives"][0]["windows"][0]["value"]
+        assert 0.5 < value <= 1.0
+
+    def test_breaker_open_seconds_signal(self):
+        objective = Objective(
+            name="brk", signal="breaker_open_seconds", threshold=5.0,
+            windows=(300.0,),
+        )
+        registry, tsdb, engine = _engine([objective])
+        registry.gauge("breaker.state", breaker="service").set(2.0)  # open
+        tsdb.sample(now=0.0)
+        tsdb.sample(now=20.0)
+        report = engine.evaluate(now=20.0)
+        assert report["healthy"] is False
+        assert report["objectives"][0]["windows"][0]["value"] == pytest.approx(
+            20.0
+        )
+
+    def test_report_shape(self):
+        _, tsdb, engine = _engine(DEFAULT_OBJECTIVES)
+        tsdb.sample(now=0.0)
+        report = engine.evaluate(now=0.0)
+        assert set(report) == {"healthy", "frames", "span_s", "objectives"}
+        assert len(report["objectives"]) == len(DEFAULT_OBJECTIVES)
+        for entry in report["objectives"]:
+            assert set(entry) == {
+                "name", "signal", "threshold", "burn_rate", "limit",
+                "windows", "alerting",
+            }
+
+
+class TestObjective:
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(SpecError):
+            Objective(name="x", signal="nope", threshold=1.0)
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(SpecError):
+            Objective(
+                name="x", signal="error_rate", threshold=1.0, windows=()
+            )

@@ -1,0 +1,142 @@
+"""Ring-buffer time series: frames, windowed deltas, percentiles, dwell."""
+
+import pytest
+
+from repro.obs.tsdb import TimeSeriesStore
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _store(capacity=600):
+    registry = MetricsRegistry()
+    return registry, TimeSeriesStore(registry, capacity=capacity)
+
+
+class TestRing:
+    def test_capacity_must_hold_a_delta(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(MetricsRegistry(), capacity=1)
+
+    def test_frames_age_out(self):
+        _, store = _store(capacity=2)
+        for t in (0.0, 1.0, 2.0):
+            store.sample(now=t)
+        assert len(store) == 2
+        assert [f.t for f in store.frames()] == [1.0, 2.0]
+
+    def test_span_s(self):
+        _, store = _store()
+        assert store.span_s() == 0.0
+        store.sample(now=10.0)
+        assert store.span_s() == 0.0
+        store.sample(now=25.0)
+        assert store.span_s() == 15.0
+
+
+class TestCounterDelta:
+    def test_delta_against_base_frame(self):
+        registry, store = _store()
+        counter = registry.counter("service.requests")
+        counter.add(5)
+        store.sample(now=100.0)
+        counter.add(3)
+        store.sample(now=160.0)
+        # Window reaches back to t=130: the t=100 frame is the base.
+        assert store.counter_delta("service.requests", 30.0, now=160.0) == 3
+
+    def test_implicit_zero_base_for_fresh_process(self):
+        registry, store = _store()
+        registry.counter("service.requests").add(8)
+        store.sample(now=160.0)
+        # No frame is old enough: the base is implicit zero, which is
+        # exact for counters that started with the process.
+        assert store.counter_delta("service.requests", 300.0, now=160.0) == 8
+
+    def test_label_subset_matching(self):
+        registry, store = _store()
+        registry.counter("service.completed", status="ok").add(7)
+        registry.counter("service.completed", status="error").add(2)
+        store.sample(now=10.0)
+        assert (
+            store.counter_delta(
+                "service.completed", 60.0, now=10.0, status="error"
+            )
+            == 2
+        )
+        # No labels: sums across every label set of the name.
+        assert store.counter_delta("service.completed", 60.0, now=10.0) == 9
+
+    def test_empty_store_is_zero(self):
+        _, store = _store()
+        assert store.counter_delta("service.requests", 60.0) == 0.0
+
+
+class TestHistogramPercentile:
+    def test_interpolates_within_bucket(self):
+        registry, store = _store()
+        hist = registry.histogram("lat", boundaries=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        store.sample(now=10.0)
+        # rank 0.5 of 2 falls halfway into the first bucket [0, 1.0).
+        assert store.histogram_percentile("lat", 0.25, 60.0, now=10.0) == 0.5
+
+    def test_windowed_delta_ignores_old_observations(self):
+        registry, store = _store()
+        hist = registry.histogram("lat", boundaries=(1.0, 2.0))
+        hist.observe(0.1)
+        store.sample(now=0.0)
+        for _ in range(10):
+            hist.observe(1.5)
+        store.sample(now=100.0)
+        # Window 50 s: only the ten 1.5 s observations count, so the
+        # median lands in the (1.0, 2.0] bucket.
+        value = store.histogram_percentile("lat", 0.5, 50.0, now=100.0)
+        assert 1.0 < value <= 2.0
+
+    def test_overflow_reports_last_bound(self):
+        registry, store = _store()
+        registry.histogram("lat", boundaries=(1.0, 2.0)).observe(50.0)
+        store.sample(now=10.0)
+        assert store.histogram_percentile("lat", 0.99, 60.0, now=10.0) == 2.0
+
+    def test_no_observations_is_none(self):
+        registry, store = _store()
+        registry.histogram("lat", boundaries=(1.0, 2.0))
+        store.sample(now=10.0)
+        assert store.histogram_percentile("lat", 0.99, 60.0, now=10.0) is None
+        assert store.histogram_percentile("nope", 0.99, 60.0) is None
+
+
+class TestGaugeSeconds:
+    def test_dwell_time_at_value(self):
+        registry, store = _store()
+        gauge = registry.gauge("breaker.state")
+        gauge.set(2.0)
+        store.sample(now=0.0)
+        store.sample(now=10.0)
+        gauge.set(0.0)
+        store.sample(now=20.0)
+        # Frames at 0/10/20: the gauge read 2.0 at frames 0 and 10, so
+        # both inter-frame intervals count as open time.
+        assert store.gauge_seconds(
+            "breaker.state", 100.0, 2.0, now=20.0
+        ) == pytest.approx(20.0)
+
+    def test_window_clamps_partial_intervals(self):
+        registry, store = _store()
+        registry.gauge("breaker.state").set(2.0)
+        store.sample(now=0.0)
+        store.sample(now=10.0)
+        store.sample(now=20.0)
+        # Window [5, 20]: the first interval contributes only its
+        # in-window half.
+        assert store.gauge_seconds(
+            "breaker.state", 15.0, 2.0, now=20.0
+        ) == pytest.approx(15.0)
+
+    def test_other_values_do_not_count(self):
+        registry, store = _store()
+        registry.gauge("breaker.state").set(1.0)
+        store.sample(now=0.0)
+        store.sample(now=10.0)
+        assert store.gauge_seconds("breaker.state", 60.0, 2.0, now=10.0) == 0.0

@@ -21,12 +21,13 @@ def report():
 
 
 class TestSuite:
-    def test_covers_the_five_hot_paths(self, report):
+    def test_covers_the_six_hot_paths(self, report):
         assert sorted(report.benchmarks) == [
             "pool_transport",
             "service_p99",
             "sim_microbench",
             "slab_microbench",
+            "telemetry_overhead",
             "warm_cache_sweep",
         ]
         for entry in report.benchmarks.values():
@@ -100,6 +101,7 @@ class TestBaseline:
             "service_p99",
             "sim_microbench",
             "slab_microbench",
+            "telemetry_overhead",
             "warm_cache_sweep",
         ]
         # The slab benchmarks also publish their amortized per-point

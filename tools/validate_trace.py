@@ -10,8 +10,10 @@ Two layers of checking:
    dependency).
 2. **Semantics** — things a JSON Schema can't say: every ``parent_id``
    refers to a span in the same file, children lie within their parent's
-   interval, sim-lane events never overlap within a lane, and (opt-in)
-   the trace covers a minimum set of subsystem categories.
+   interval, sim-lane events never overlap within a lane, every flow
+   finish (``ph: "f"``) has a matching flow start (``ph: "s"`` with the
+   same ``id``), and (opt-in) the trace covers a minimum set of
+   subsystem categories.
 
 Exit status 0 means the file is a well-formed repro telemetry trace.
 
@@ -73,12 +75,16 @@ def _structural_check(doc: Dict[str, Any]) -> None:
         for key in REQUIRED_EVENT_KEYS:
             if key not in event:
                 _fail(f"traceEvents[{i}] missing required key {key!r}")
-        if event["ph"] not in ("X", "M"):
+        if event["ph"] not in ("X", "M", "s", "f"):
             _fail(f"traceEvents[{i}] has unexpected ph {event['ph']!r}")
         if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
             _fail(f"traceEvents[{i}] has invalid ts {event['ts']!r}")
         if event["ph"] == "X" and "dur" not in event:
             _fail(f"traceEvents[{i}] is a complete event without dur")
+        if event["ph"] in ("s", "f") and not isinstance(
+            event.get("id"), str
+        ):
+            _fail(f"traceEvents[{i}] is a flow event without a string id")
     for j, metric in enumerate(doc.get("otherData", {}).get("metrics", [])):
         if metric.get("type") not in ("counter", "gauge", "histogram"):
             _fail(f"metrics[{j}] has unexpected type {metric.get('type')!r}")
@@ -129,6 +135,18 @@ def _check_semantics(doc: Dict[str, Any], require_categories: List[str]) -> Dict
                     f"sim lane tid={tid}: {a['name']!r} overlaps {b['name']!r}"
                 )
 
+    # Flow arrows are closed: a finish without a start renders as a
+    # dangling arrowhead in the viewer (and means a link got dropped).
+    flow_starts = {
+        e.get("id") for e in events if e.get("ph") == "s"
+    }
+    for event in events:
+        if event.get("ph") == "f" and event.get("id") not in flow_starts:
+            _fail(
+                f"flow finish id {event.get('id')!r} has no matching "
+                "flow start"
+            )
+
     categories = {e.get("cat") for e in complete if e.get("cat")}
     missing = [c for c in require_categories if c not in categories]
     if missing:
@@ -139,6 +157,7 @@ def _check_semantics(doc: Dict[str, Any], require_categories: List[str]) -> Dict
     return {
         "events": len(events),
         "spans": len(spans),
+        "flows": len(flow_starts),
         "sim_lanes": len(by_lane),
         "categories": sorted(categories),
         "metrics": len(doc.get("otherData", {}).get("metrics", [])),
@@ -174,7 +193,8 @@ def main(argv: List[str] = None) -> int:
 
     print(
         f"OK: {args.trace} — {summary['events']} events, "
-        f"{summary['spans']} spans, {summary['sim_lanes']} sim lanes, "
+        f"{summary['spans']} spans, {summary['flows']} flows, "
+        f"{summary['sim_lanes']} sim lanes, "
         f"{summary['metrics']} metrics; categories: "
         f"{', '.join(summary['categories'])} (validated via {how})"
     )
