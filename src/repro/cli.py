@@ -24,6 +24,11 @@ Commands
     Run the reduction-as-a-service HTTP front end (:mod:`repro.service`):
     ``/simulate``, ``/batch``, ``/healthz``, ``/metrics``.  Off unless
     invoked; see docs/SERVICE.md.
+``job``
+    Durable streaming-sweep jobs (:mod:`repro.jobs`): ``run`` one in
+    this process (blocking, resumable), or ``submit``/``status``/
+    ``watch``/``cancel``/``resume`` against a ``serve --jobs-dir``
+    instance's ``/jobs`` API.  See docs/JOBS.md.
 ``loadtest``
     Drive a service (an in-process one by default, or ``--url``) with
     overlapping Fig.-1 sweep points and report latency percentiles.
@@ -255,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "SO_REUSEPORT (POSIX; they share the "
                               "persistent result cache, so read-through "
                               "dedupe stays global)")
+    p_serve.add_argument("--jobs-dir", metavar="DIR", default=None,
+                         help="enable the durable-jobs API (/jobs): job "
+                              "directories, shards and checkpoints live "
+                              "under DIR (default: REPRO_JOBS_DIR, else "
+                              "jobs are disabled)")
+    p_serve.add_argument("--jobs-max-running", type=int, default=1,
+                         help="background jobs run concurrently by the "
+                              "in-service manager (the rest queue FIFO)")
     _add_service_knobs(p_serve)
 
     p_load = sub.add_parser(
@@ -293,6 +306,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="storm a service under a seeded fault plan and assert the "
              "resilience invariants (exit 1 on any violation)",
     )
+    p_chaos.add_argument("--scenario", choices=["service", "job-kill"],
+                         default="service",
+                         help="'service': storm a live service; "
+                              "'job-kill': SIGKILL-shape real job-runner "
+                              "subprocesses mid-sweep, resume, and "
+                              "require zero wrong/duplicated points and "
+                              "a byte-identical result (see docs/JOBS.md)")
+    p_chaos.add_argument("--job-kills", type=int, default=3,
+                         help="runner processes to kill in the job-kill "
+                              "scenario")
     p_chaos.add_argument("--url", default=None,
                          help="target service URL (default: start an "
                               "in-process server — over a throwaway "
@@ -344,7 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--kinds", default=None,
                        help="comma-separated case kinds to run "
                             "(exec,directive,reject,sweep-cache,coexec,"
-                            "service); default: all")
+                            "service,jobs-resume); default: all")
         p.add_argument("--time-budget", type=float, default=None,
                        metavar="SECONDS",
                        help="stop after this much wall time (the case "
@@ -406,6 +429,106 @@ def build_parser() -> argparse.ArgumentParser:
     p_vperf.add_argument("--update-baseline", action="store_true",
                          help="also overwrite the committed baseline with "
                               "the current numbers")
+
+    p_job = sub.add_parser(
+        "job",
+        help="durable streaming-sweep jobs: run one locally, or drive a "
+             "server's /jobs lifecycle API (see docs/JOBS.md)",
+    )
+    job_sub = p_job.add_subparsers(dest="job_command", required=True)
+
+    def add_job_spec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spec", metavar="FILE", default=None,
+                       help="job spec as a JSON document file ('-' reads "
+                            "stdin); overrides the grid flags below")
+        p.add_argument("--case", choices=["C1", "C2", "C3", "C4"],
+                       default="C1")
+        p.add_argument("--teams", default="4096", metavar="LIST",
+                       help="comma-separated team counts (powers of two)")
+        p.add_argument("--v", default="4", metavar="LIST",
+                       help="comma-separated v values (powers of two)")
+        p.add_argument("--threads", default="256", metavar="LIST",
+                       help="comma-separated thread counts")
+        p.add_argument("--trials", type=int, default=200)
+        p.add_argument("--verify", action="store_true",
+                       help="functionally verify every point")
+        p.add_argument("--checkpoint-interval", type=int, default=1024,
+                       help="points between durable checkpoints (a crash "
+                            "loses at most one interval)")
+        p.add_argument("--shard-records", type=int, default=8192,
+                       help="records per JSONL result shard")
+        p.add_argument("--label", default="",
+                       help="free-form label carried in the job status")
+        p.add_argument("--archive", action="store_true",
+                       help="pack a content-addressed archive on DONE")
+
+    def add_job_url(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default="http://127.0.0.1:8077",
+                       help="service base URL (a `repro serve --jobs-dir` "
+                            "instance)")
+        p.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request HTTP timeout (seconds)")
+
+    p_jrun = job_sub.add_parser(
+        "run",
+        help="run (or resume) one job in this process, blocking until "
+             "DONE — no server needed",
+    )
+    add_job_spec_args(p_jrun)
+    p_jrun.add_argument("--dir", metavar="DIR", default=None,
+                        help="job directory (default: <jobs root>/<job "
+                             "id>, root from REPRO_JOBS_DIR else "
+                             "~/.cache/repro-jobs)")
+    p_jrun.add_argument("--resume", action="store_true",
+                        help="load the spec from DIR/spec.json (grid "
+                             "flags ignored); requires --dir")
+    p_jrun.add_argument("--max-points", type=int, default=None,
+                        help="pause cleanly (state CHECKPOINTED) after "
+                             "this many newly-resolved points")
+    p_jrun.add_argument("--fsync", action="store_true",
+                        help="fsync every checkpoint (survives machine "
+                             "crash, not just process crash; slower)")
+    p_jrun.add_argument("--quiet", action="store_true",
+                        help="suppress per-checkpoint progress lines")
+
+    p_jsubmit = job_sub.add_parser(
+        "submit", help="POST the spec to a server's /jobs (idempotent)"
+    )
+    add_job_spec_args(p_jsubmit)
+    add_job_url(p_jsubmit)
+
+    p_jstatus = job_sub.add_parser(
+        "status", help="one job's status, or every known job without ID"
+    )
+    p_jstatus.add_argument("id", nargs="?", default=None)
+    add_job_url(p_jstatus)
+
+    p_jwatch = job_sub.add_parser(
+        "watch",
+        help="poll a job until it reaches a terminal state, optionally "
+             "streaming its results",
+    )
+    p_jwatch.add_argument("id")
+    p_jwatch.add_argument("--interval", type=float, default=1.0,
+                          help="poll interval (seconds)")
+    p_jwatch.add_argument("--stream-out", metavar="FILE", default=None,
+                          help="follow the durable JSONL results into "
+                               "FILE ('-' = stdout)")
+    add_job_url(p_jwatch)
+
+    p_jcancel = job_sub.add_parser(
+        "cancel",
+        help="cancel (running jobs stop at their next checkpoint and "
+             "stay resumable)",
+    )
+    p_jcancel.add_argument("id")
+    add_job_url(p_jcancel)
+
+    p_jresume = job_sub.add_parser(
+        "resume", help="requeue an interrupted/cancelled/failed job"
+    )
+    p_jresume.add_argument("id")
+    add_job_url(p_jresume)
 
     p_slo = sub.add_parser(
         "slo",
@@ -567,6 +690,8 @@ def _cmd_cache(args, machine: Machine, executor) -> int:
 
 
 def _service_settings(args):
+    import os
+
     from .service import ServiceSettings
 
     # --slo without an explicit ring interval still needs frames to
@@ -574,7 +699,13 @@ def _service_settings(args):
     tsdb_interval_s = args.metrics_interval
     if args.slo and tsdb_interval_s <= 0:
         tsdb_interval_s = 1.0
+    # Only `serve` exposes the jobs knobs; loadtest/chaos share the rest.
+    jobs_dir = getattr(args, "jobs_dir", None) or os.environ.get(
+        "REPRO_JOBS_DIR"
+    )
     return ServiceSettings(
+        jobs_dir=jobs_dir,
+        jobs_max_running=getattr(args, "jobs_max_running", 1),
         max_queue=args.max_queue,
         rate_limit=args.rate_limit,
         burst=args.burst,
@@ -872,9 +1003,21 @@ def _cmd_chaos(args, machine: Machine, executor) -> int:
     import tempfile
     from urllib.parse import urlsplit
 
-    from .faults.chaos import run_chaos
+    from .faults.chaos import run_chaos, run_job_kill_chaos
 
     _configure_observability(args)
+
+    if args.scenario == "job-kill":
+        report = run_job_kill_chaos(
+            machine, seed=args.seed, kills=args.job_kills,
+            timeout_s=args.duration * 20 if args.duration else 300.0,
+        )
+        print(report.render())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            print(f"chaos report written to {args.out}")
+        return 0 if report.passed else 1
 
     async def _storm(host: str, port: int):
         return await run_chaos(
@@ -926,6 +1069,196 @@ def _cmd_chaos(args, machine: Machine, executor) -> int:
             _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
         print(f"chaos report written to {args.out}")
     return 0 if report.passed else 1
+
+
+def _job_spec_from_args(args):
+    """Build the validated JobSpec from --spec FILE or the grid flags."""
+    import json as _json
+
+    from .errors import SpecError
+    from .jobs import parse_job_spec
+
+    if args.spec:
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        try:
+            doc = _json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"--spec is not valid JSON: {exc}") from exc
+        return parse_job_spec(doc)
+
+    def csv_ints(text: str, name: str):
+        try:
+            return [int(part) for part in text.split(",") if part.strip()]
+        except ValueError as exc:
+            raise SpecError(
+                f"--{name} must be comma-separated integers, got {text!r}"
+            ) from exc
+
+    return parse_job_spec({
+        "case": args.case,
+        "teams": csv_ints(args.teams, "teams"),
+        "v": csv_ints(args.v, "v"),
+        "threads": csv_ints(args.threads, "threads"),
+        "trials": args.trials,
+        "verify": args.verify,
+        "checkpoint_interval": args.checkpoint_interval,
+        "shard_records": args.shard_records,
+        "label": args.label,
+        "archive": args.archive,
+    })
+
+
+def _job_http(method: str, url: str, timeout_s: float, body=None):
+    """One JSON-over-HTTP exchange; returns ``(status, raw bytes)``."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    data = None
+    headers = {}
+    if body is not None:
+        data = _json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _job_http_json(method: str, url: str, timeout_s: float, body=None):
+    import json as _json
+
+    status, raw = _job_http(method, url, timeout_s, body)
+    try:
+        doc = _json.loads(raw.decode("utf-8")) if raw else {}
+    except ValueError:
+        doc = {"error": raw.decode("utf-8", "replace")[:200]}
+    return status, doc
+
+
+def _cmd_job(args, machine: Machine, executor) -> int:
+    """``repro job run|submit|status|watch|cancel|resume``."""
+    import json as _json
+    import os
+    from pathlib import Path
+
+    from .jobs import load_job_spec, run_job
+
+    if args.job_command == "run":
+        if args.resume:
+            if not args.dir:
+                print("error: --resume needs --dir (the job directory "
+                      "to pick up)", file=sys.stderr)
+                return 2
+            directory = Path(args.dir)
+            spec = load_job_spec(directory)
+        else:
+            spec = _job_spec_from_args(args)
+            if args.dir:
+                directory = Path(args.dir)
+            else:
+                root = Path(
+                    os.environ.get("REPRO_JOBS_DIR")
+                    or Path.home() / ".cache" / "repro-jobs"
+                )
+                directory = root / spec.job_id(executor.machine_fingerprint)
+        total = spec.total_points()
+
+        def progress(done: int, state: str) -> None:
+            if not args.quiet:
+                print(f"{state} {done}/{total}", flush=True)
+
+        state = run_job(
+            directory, spec, executor,
+            max_points=args.max_points,
+            progress=progress,
+            fsync=args.fsync,
+        )
+        print(_json.dumps(
+            dict(state, directory=str(directory)),
+            indent=2, sort_keys=True,
+        ))
+        return 0 if state.get("state") in ("DONE", "CHECKPOINTED") else 1
+
+    # -- network subcommands against a `serve --jobs-dir` instance.
+    base = args.url.rstrip("/")
+    if args.job_command == "submit":
+        spec = _job_spec_from_args(args)
+        status, doc = _job_http_json(
+            "POST", f"{base}/jobs", args.timeout, spec.to_dict()
+        )
+    elif args.job_command == "status":
+        if args.id:
+            status, doc = _job_http_json(
+                "GET", f"{base}/jobs/{args.id}", args.timeout
+            )
+        else:
+            status, doc = _job_http_json("GET", f"{base}/jobs", args.timeout)
+    elif args.job_command == "cancel":
+        status, doc = _job_http_json(
+            "DELETE", f"{base}/jobs/{args.id}", args.timeout
+        )
+    elif args.job_command == "resume":
+        status, doc = _job_http_json(
+            "POST", f"{base}/jobs/{args.id}/resume", args.timeout
+        )
+    else:  # watch
+        return _job_watch(args, base)
+    print(_json.dumps(doc, indent=2, sort_keys=True))
+    return 0 if status < 400 else 1
+
+
+def _job_watch(args, base: str) -> int:
+    """Poll one job to a terminal state, following its result stream."""
+    import time as _time
+
+    stream_out = None
+    if args.stream_out == "-":
+        stream_out = sys.stdout.buffer
+    elif args.stream_out:
+        stream_out = open(args.stream_out, "ab")
+    offset = 0
+    last = None
+    try:
+        while True:
+            status, doc = _job_http_json(
+                "GET", f"{base}/jobs/{args.id}", args.timeout
+            )
+            if status >= 400:
+                print(f"error: {doc.get('error', f'HTTP {status}')}",
+                      file=sys.stderr)
+                return 1
+            if stream_out is not None:
+                http_status, raw = _job_http(
+                    "GET", f"{base}/jobs/{args.id}/stream?offset={offset}",
+                    args.timeout,
+                )
+                if http_status < 400 and raw:
+                    stream_out.write(raw)
+                    stream_out.flush()
+                    offset += raw.count(b"\n")
+            snapshot = (doc.get("state"), doc.get("points_done"))
+            if snapshot != last:
+                print(f"{doc.get('state')} "
+                      f"{doc.get('points_done')}/{doc.get('points_total')}",
+                      flush=True)
+                last = snapshot
+            if doc.get("state") in ("DONE", "FAILED", "CANCELLED"):
+                if doc.get("error"):
+                    print(f"error: {doc['error']}", file=sys.stderr)
+                return 0 if doc.get("state") == "DONE" else 1
+            _time.sleep(max(0.05, args.interval))
+    finally:
+        if stream_out is not None and stream_out is not sys.stdout.buffer:
+            stream_out.close()
 
 
 def _cmd_slo(args, machine: Machine, executor) -> int:
@@ -1137,6 +1470,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
+    "job": _cmd_job,
     "slo": _cmd_slo,
     "obs": _cmd_obs,
     "verify": _cmd_verify,

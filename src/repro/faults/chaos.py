@@ -41,7 +41,13 @@ from ..service.loadgen import _read_http_response, preset_pool
 from ..sweep.executor import SweepExecutor
 from .plan import FaultPlan
 
-__all__ = ["ChaosReport", "compute_truth", "run_chaos"]
+__all__ = [
+    "ChaosReport",
+    "JobKillReport",
+    "compute_truth",
+    "run_chaos",
+    "run_job_kill_chaos",
+]
 
 
 @dataclass
@@ -489,6 +495,257 @@ async def _collect_metrics(
             report.breaker_transitions[key] = (
                 report.breaker_transitions.get(key, 0) + value
             )
+
+
+@dataclass
+class JobKillReport:
+    """Outcome of the kill-mid-job chaos scenario (``--scenario job-kill``).
+
+    Real runner subprocesses are SIGKILL-shaped dead (``os._exit`` via
+    the ``job.point:crash`` fault, which loses the buffered store tail
+    exactly like a kill) at seeded random point indices, the job is
+    resumed until DONE, and the final directory is held to the same bar
+    as the differential resume oracle: byte-identical to an
+    uninterrupted run, zero wrong / duplicated / missing points.
+    """
+
+    seed: int = 0
+    requested_kills: int = 0
+    kills: int = 0
+    runs: int = 0
+    points_total: int = 0
+    points_done: int = 0
+    completed: bool = False
+    byte_identical: bool = False
+    wrong_points: int = 0
+    duplicated_points: int = 0
+    missing_points: int = 0
+    wall_seconds: float = 0.0
+    violations: List[str] = field(default_factory=list)
+
+    def finalize(self) -> "JobKillReport":
+        self.violations = []
+        if not self.completed:
+            self.violations.append(
+                f"job never reached DONE ({self.points_done}/"
+                f"{self.points_total} points after {self.runs} runs)"
+            )
+        if self.kills < 1:
+            self.violations.append(
+                "no runner process was actually killed - the scenario "
+                "exercised nothing"
+            )
+        if self.wrong_points:
+            self.violations.append(
+                f"{self.wrong_points} wrong result points (must be 0)"
+            )
+        if self.duplicated_points:
+            self.violations.append(
+                f"{self.duplicated_points} duplicated points (must be 0)"
+            )
+        if self.missing_points:
+            self.violations.append(
+                f"{self.missing_points} missing points (must be 0)"
+            )
+        if self.completed and not self.byte_identical:
+            self.violations.append(
+                "resumed job directory is not byte-identical to the "
+                "uninterrupted run"
+            )
+        return self
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": "job-kill",
+            "seed": self.seed,
+            "requested_kills": self.requested_kills,
+            "kills": self.kills,
+            "runs": self.runs,
+            "points_total": self.points_total,
+            "points_done": self.points_done,
+            "completed": self.completed,
+            "byte_identical": self.byte_identical,
+            "wrong_points": self.wrong_points,
+            "duplicated_points": self.duplicated_points,
+            "missing_points": self.missing_points,
+            "wall_seconds": self.wall_seconds,
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"job-kill chaos: {self.kills} kills over {self.runs} runner "
+            f"processes in {self.wall_seconds:.1f} s - "
+            f"{self.points_done}/{self.points_total} points, "
+            f"{'DONE' if self.completed else 'NOT DONE'}",
+            f"byte-identical to uninterrupted run: "
+            f"{'yes' if self.byte_identical else 'NO'}; "
+            f"wrong={self.wrong_points} duplicated={self.duplicated_points} "
+            f"missing={self.missing_points}",
+        ]
+        if self.violations:
+            lines.append("FAIL:")
+            lines.extend(f"  - {v}" for v in self.violations)
+        else:
+            lines.append("PASS: kill-mid-job invariants held")
+        return "\n".join(lines)
+
+
+def _job_records(directory: Any) -> List[Dict[str, Any]]:
+    """Every raw shard line of a job directory, parsed, in file order."""
+    from ..jobs.store import SHARD_DIR
+
+    out: List[Dict[str, Any]] = []
+    for shard in sorted(directory.glob(f"{SHARD_DIR}/shard-*.jsonl")):
+        for line in shard.read_bytes().splitlines():
+            out.append(json.loads(line))
+    return out
+
+
+def run_job_kill_chaos(
+    machine: Any,
+    seed: int = 7,
+    kills: int = 3,
+    timeout_s: float = 300.0,
+    spec: Any = None,
+) -> JobKillReport:
+    """Kill real ``repro job run`` subprocesses mid-sweep, resume, verify.
+
+    Each killed attempt sets ``REPRO_FAULTS`` to
+    ``job.point:crash:after=K`` with a seeded random ``K``, so the child
+    dies by ``os._exit`` at an exact point index — the buffered store
+    tail is lost, as under a real SIGKILL.  Rerunning the identical
+    command resumes (the job runner is resume-native); once DONE the
+    directory must match an uninterrupted in-process run byte for byte.
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+    from pathlib import Path
+
+    from ..jobs.api import JobSpec
+    from ..jobs.manager import read_state, run_job
+    from ..jobs.store import SHARD_DIR
+
+    if spec is None:
+        # Small enough for CI, but crossing several checkpoint intervals
+        # and shard rotations so kills land in interesting places.
+        spec = JobSpec(
+            case="C1",
+            teams=(64, 128, 256),
+            v=(2, 4),
+            threads=(32, 64),
+            trials=5,
+            checkpoint_interval=4,
+            shard_records=5,
+        )
+    rng = random.Random(seed)
+    report = JobKillReport(
+        seed=seed,
+        requested_kills=max(1, kills),
+        points_total=spec.total_points(),
+    )
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-job-") as tmp:
+        root = Path(tmp)
+        truth_dir = root / "truth"
+        executor = SweepExecutor(machine, workers=1, cache=None)
+        try:
+            run_job(truth_dir, spec, executor)
+        finally:
+            executor.close()
+
+        job_dir = root / "job"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parents[2])
+            + os.pathsep + env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        command = [
+            sys.executable, "-m", "repro", "--no-cache", "job", "run",
+            "--quiet", "--dir", str(job_dir),
+            "--case", spec.case,
+            "--teams", ",".join(map(str, spec.teams)),
+            "--v", ",".join(map(str, spec.v)),
+            "--threads", ",".join(map(str, spec.threads)),
+            "--trials", str(spec.trials),
+            "--checkpoint-interval", str(spec.checkpoint_interval),
+            "--shard-records", str(spec.shard_records),
+        ]
+        deadline = started + timeout_s
+        while report.runs < report.requested_kills + 4:
+            state = read_state(job_dir) if job_dir.is_dir() else None
+            if state is not None and state.get("state") == "DONE":
+                break
+            run_env = dict(env)
+            run_env.pop("REPRO_FAULTS", None)
+            done = int((state or {}).get("points_done", 0))
+            remaining = spec.total_points() - done
+            if report.kills < report.requested_kills and remaining > 1:
+                # Crash at a seeded random index of the *remaining*
+                # stream (excluding the last point, where resolving the
+                # chunk can finish the job before the probe fires).
+                k = rng.randrange(0, remaining - 1)
+                run_env["REPRO_FAULTS"] = (
+                    f"seed={seed + report.runs};job.point:crash:after={k}"
+                )
+            proc = subprocess.run(
+                command, env=run_env, capture_output=True,
+                timeout=max(1.0, deadline - time.perf_counter()),
+            )
+            report.runs += 1
+            if proc.returncode == 3:
+                report.kills += 1
+
+        final = read_state(job_dir) if job_dir.is_dir() else None
+        report.points_done = int((final or {}).get("points_done", 0))
+        report.completed = bool(final and final.get("state") == "DONE")
+        if report.completed:
+            truth_records = _job_records(truth_dir)
+            job_records = _job_records(job_dir)
+            truth_by_index = {e["i"]: e for e in truth_records}
+            seen: Dict[int, int] = {}
+            for entry in job_records:
+                seen[entry["i"]] = seen.get(entry["i"], 0) + 1
+                expected = truth_by_index.get(entry["i"])
+                if expected is None or expected["r"] != entry["r"]:
+                    report.wrong_points += 1
+            report.duplicated_points = sum(
+                n - 1 for n in seen.values() if n > 1
+            )
+            report.missing_points = len(
+                set(truth_by_index) - set(seen)
+            )
+            names = sorted(
+                p.name for p in (truth_dir / SHARD_DIR).glob("shard-*.jsonl")
+            )
+            report.byte_identical = all(
+                (truth_dir / rel).read_bytes() == (job_dir / rel).read_bytes()
+                for rel in ["manifest.json"]
+                + [f"{SHARD_DIR}/{name}" for name in names]
+            ) and names == sorted(
+                p.name for p in (job_dir / SHARD_DIR).glob("shard-*.jsonl")
+            )
+    report.wall_seconds = time.perf_counter() - started
+    report.finalize()
+    if report.violations:
+        recorder = flight()
+        if recorder.enabled:
+            recorder.record(
+                "chaos", "job_kill_violation",
+                seed=seed, violations=list(report.violations),
+            )
+            recorder.dump(
+                "chaos_violation", scenario="job-kill", seed=seed,
+                violations=list(report.violations),
+            )
+    return report
 
 
 async def run_chaos(

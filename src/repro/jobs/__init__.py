@@ -1,0 +1,58 @@
+"""Durable, resumable sweep jobs (``repro job``, ``POST /jobs``).
+
+The paper's study is a parameter sweep; this package is what lets the
+repro run sweeps 1000x larger than ``reproduce_paper.py`` — grids that
+fit neither one process's memory nor one process's lifetime:
+
+* :mod:`repro.jobs.store` — the streaming result store: append-only
+  JSONL shards with count-based rotation and an atomically-updated
+  manifest, written one point at a time so collation never holds the
+  result set in memory.
+* :mod:`repro.jobs.checkpoint` — periodic durable progress markers
+  keyed by the canonical per-case digest
+  (:func:`repro.verify.fuzzer.case_digest`), so a restarted job skips
+  completed points *exactly* and a crash loses at most one interval.
+* :mod:`repro.jobs.manager` — :func:`~repro.jobs.manager.run_job` (the
+  synchronous PENDING -> RUNNING -> CHECKPOINTED -> DONE/FAILED/
+  CANCELLED state machine) and :class:`~repro.jobs.manager.JobManager`
+  (background threads behind submit/poll/cancel/stream/resume).
+* :mod:`repro.jobs.api` — :class:`~repro.jobs.api.JobSpec` and the
+  strict spec validation the HTTP front end and CLI share.
+* :mod:`repro.jobs.archive` — the content-addressed post-run archiver.
+
+Resume correctness is enforced from the outside: the
+:mod:`repro.verify.differential` resume oracle requires an interrupted-
+then-resumed job's manifest and shards to be byte-identical to an
+uninterrupted run's, and the kill-mid-job chaos scenario
+(:func:`repro.faults.chaos.run_job_kill_chaos`) SIGKILLs real runner
+processes until that holds under fire.  See docs/JOBS.md.
+"""
+
+from .api import JobSpec, parse_job_spec
+from .archive import archive_job
+from .checkpoint import read_checkpoint, write_checkpoint
+from .manager import (
+    JOB_STATES,
+    JobCancelled,
+    JobManager,
+    load_job_spec,
+    read_state,
+    run_job,
+)
+from .store import ResultStore, atomic_write_json
+
+__all__ = [
+    "JOB_STATES",
+    "JobCancelled",
+    "JobManager",
+    "JobSpec",
+    "ResultStore",
+    "archive_job",
+    "atomic_write_json",
+    "load_job_spec",
+    "parse_job_spec",
+    "read_checkpoint",
+    "read_state",
+    "run_job",
+    "write_checkpoint",
+]

@@ -1,0 +1,134 @@
+"""Post-run archiver: content-addressed packing of a finished job.
+
+``archive_job`` copies a completed job's durable artifacts — result
+shards, the sealed manifest, the spec/run configuration, and (when
+present) the repo's ``BENCH_verify.json`` perf snapshot plus a snapshot
+of the live metrics registry — into a directory named by the SHA-256 of
+the sealed manifest.  Because the manifest already digests every shard
+and carries the spec and machine fingerprint, that one hash addresses
+the entire result set: two archives with the same name are bitwise the
+same sweep, which is what lets the ``jobs-smoke`` CI diff a resumed
+run's archive against a single-shot one by name alone.
+
+The archive is built in a temp directory and renamed into place, so a
+partially-written archive is never observable under its final name; an
+archive that already exists is trusted (content addressing makes
+re-packing a no-op by construction).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..errors import SpecError
+from ..telemetry.state import get_telemetry
+from .store import SHARD_DIR, atomic_write_json, read_json
+
+__all__ = ["ARCHIVE_FORMAT", "archive_job"]
+
+#: Archive index document format tag.
+ARCHIVE_FORMAT = "repro-jobs-archive"
+
+#: Hex digits of the manifest digest used as the archive directory name.
+_ADDR_LEN = 16
+
+
+def _file_sha256(path: Path) -> str:
+    sha = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            sha.update(block)
+    return sha.hexdigest()
+
+
+def archive_job(
+    directory: "Path | str",
+    bench_path: "Path | str | None" = None,
+    out_root: "Path | str | None" = None,
+) -> Path:
+    """Pack the completed job in *directory*; returns the archive path.
+
+    Raises :class:`~repro.errors.SpecError` unless the job's manifest is
+    sealed (``complete: true``) — archiving a moving target would pin a
+    content address to bytes that are still changing.
+    """
+    directory = Path(directory)
+    manifest_file = directory / "manifest.json"
+    manifest = read_json(manifest_file)
+    if not isinstance(manifest, dict) or not manifest.get("complete"):
+        raise SpecError(
+            f"{directory} has no sealed manifest; only DONE jobs archive"
+        )
+    content_id = _file_sha256(manifest_file)
+    out_root = Path(out_root) if out_root else directory / "archive"
+    out_dir = out_root / content_id[:_ADDR_LEN]
+    if out_dir.is_dir():
+        return out_dir  # content-addressed: already packed
+
+    out_root.mkdir(parents=True, exist_ok=True)
+    tmp = Path(
+        tempfile.mkdtemp(prefix=".packing-", dir=str(out_root))
+    )
+    try:
+        files: Dict[str, str] = {}
+
+        def pack(source: Path, arcname: str) -> None:
+            target = tmp / arcname
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(source, target)
+            files[arcname] = _file_sha256(target)
+
+        pack(manifest_file, "manifest.json")
+        pack(directory / "spec.json", "spec.json")
+        checkpoint = directory / "checkpoint.json"
+        if checkpoint.is_file():
+            pack(checkpoint, "checkpoint.json")
+        for entry in manifest.get("shards", []):
+            name = entry.get("name")
+            if name:
+                pack(directory / SHARD_DIR / name, f"{SHARD_DIR}/{name}")
+        if bench_path is None:
+            from ..verify.perfgate import default_baseline_path
+
+            bench_path = default_baseline_path()
+        bench_path = Path(bench_path)
+        if bench_path.is_file():
+            pack(bench_path, "BENCH_verify.json")
+        # Telemetry snapshot: whatever counters/gauges this process has
+        # accumulated by archive time (checkpoints, cache traffic, ...).
+        telemetry: Dict[str, Any] = {
+            "metrics": get_telemetry().registry.snapshot(),
+        }
+        (tmp / "telemetry.json").write_text(
+            json.dumps(telemetry, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        files["telemetry.json"] = _file_sha256(tmp / "telemetry.json")
+        atomic_write_json(
+            tmp / "ARCHIVE.json",
+            {
+                "format": ARCHIVE_FORMAT,
+                "version": 1,
+                "content_id": content_id,
+                "job_id": manifest.get("job_id"),
+                "points_total": manifest.get("points_total"),
+                "results_sha256": manifest.get("results_sha256"),
+                "files": files,
+            },
+        )
+        try:
+            tmp.rename(out_dir)
+        except OSError:
+            if out_dir.is_dir():  # lost a benign race to another packer
+                shutil.rmtree(tmp, ignore_errors=True)
+            else:
+                raise
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return out_dir

@@ -1,0 +1,97 @@
+"""Checkpoint documents: the durable progress marker of a running job.
+
+A checkpoint is written atomically after every ``checkpoint_interval``
+resolved points (and at cancel/pause), *after* the store has flushed the
+same points, so the invariant on disk is always::
+
+    durable shard prefix  >=  checkpoint.points_done
+
+A crash therefore loses at most the lines buffered since the last
+checkpoint — one interval — and never the checkpoint's own claim.  The
+document is keyed by the job's spec digest and the canonical points
+digest (built from :func:`repro.verify.fuzzer.case_digest` per point),
+so a resume against a *different* spec or machine fingerprint is
+detected instead of silently mixing result streams.
+
+Resume does not trust the checkpoint count blindly: the store's
+:meth:`~repro.jobs.store.ResultStore.recover` re-validates every durable
+line against the spec's expected digest sequence, and the checkpoint is
+only used as a cross-check (a durable prefix *shorter* than the
+checkpoint claims means the directory was tampered with or the
+filesystem lost acknowledged writes — a loud error, not a quiet rerun).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..errors import SpecError
+from .store import atomic_write_json, read_json
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+#: Checkpoint document format tag.
+CHECKPOINT_FORMAT = "repro-jobs-checkpoint"
+
+
+def checkpoint_path(directory: "Path | str") -> Path:
+    return Path(directory) / "checkpoint.json"
+
+
+def write_checkpoint(
+    directory: "Path | str",
+    job_id: str,
+    spec_digest: str,
+    points_digest: str,
+    points_done: int,
+    points_total: int,
+    fsync: bool = False,
+) -> Dict[str, Any]:
+    """Atomically write the checkpoint document; returns it."""
+    doc = {
+        "format": CHECKPOINT_FORMAT,
+        "version": 1,
+        "job_id": job_id,
+        "spec_digest": spec_digest,
+        "points_digest": points_digest,
+        "points_done": int(points_done),
+        "points_total": int(points_total),
+    }
+    atomic_write_json(checkpoint_path(directory), doc, fsync=fsync)
+    return doc
+
+
+def read_checkpoint(
+    directory: "Path | str",
+    job_id: Optional[str] = None,
+    spec_digest: Optional[str] = None,
+) -> Optional[Dict[str, Any]]:
+    """Load and sanity-check a checkpoint, or ``None`` when absent.
+
+    When *job_id* / *spec_digest* are given, a checkpoint written for a
+    different job or spec raises :class:`~repro.errors.SpecError` — the
+    caller is about to append to shards that belong to someone else.
+    """
+    doc = read_json(checkpoint_path(directory))
+    if doc is None:
+        return None
+    if not isinstance(doc, dict) or doc.get("format") != CHECKPOINT_FORMAT:
+        raise SpecError(
+            f"{checkpoint_path(directory)} is not a jobs checkpoint"
+        )
+    if job_id is not None and doc.get("job_id") != job_id:
+        raise SpecError(
+            f"checkpoint belongs to job {doc.get('job_id')!r}, "
+            f"not {job_id!r}"
+        )
+    if spec_digest is not None and doc.get("spec_digest") != spec_digest:
+        raise SpecError(
+            "checkpoint spec digest mismatch: the job directory was "
+            "created from a different spec or machine configuration"
+        )
+    return doc

@@ -3,12 +3,20 @@
 A deliberately small server — enough protocol to serve JSON clients and
 the load harness, nothing more:
 
-====================  =====================================================
-``POST /simulate``    one request object -> one response object
-``POST /batch``       ``{"requests": [...]}`` -> ``{"responses": [...]}``
-``GET  /healthz``     liveness + queue depth + cache summary
-``GET  /metrics``     JSON snapshot of the telemetry metrics registry
-====================  =====================================================
+==========================  ===============================================
+``POST /simulate``          one request object -> one response object
+``POST /batch``             ``{"requests": [...]}`` -> ``{"responses":
+                            [...]}``
+``GET  /healthz``           liveness + queue depth + cache summary
+``GET  /metrics``           JSON snapshot of the telemetry metrics registry
+``POST /jobs``              submit a durable streaming-sweep job (202)
+``GET  /jobs``              list known jobs
+``GET  /jobs/<id>``         one job's lifecycle status
+``GET  /jobs/<id>/stream``  durable JSONL results from ``?offset=N``
+                            (record offset; count lines to page)
+``POST /jobs/<id>/resume``  requeue an interrupted job
+``DELETE /jobs/<id>``       cancel (stops at the next checkpoint)
+==========================  ===============================================
 
 Status mapping: validation failures are 400, admission rejections 429
 (``Retry-After`` included), queued-deadline expiry 504, compute failure
@@ -270,7 +278,7 @@ class ServiceHTTPServer:
     async def _route(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Any]:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
                 raise _HTTPError(405, "use GET /healthz")
@@ -309,7 +317,93 @@ class ServiceHTTPServer:
             if method != "POST":
                 raise _HTTPError(405, "use POST /batch")
             return await self._simulate_batch(self._decode(body), headers)
+        if path == "/jobs" or path.startswith("/jobs/"):
+            return await self._route_jobs(method, path, query, body)
         raise _HTTPError(404, f"no route for {path}")
+
+    # -- durable jobs ---------------------------------------------------------
+    def _jobs_manager(self) -> Any:
+        manager = self.service.jobs
+        if manager is None:
+            raise _HTTPError(
+                503, "jobs disabled (start the server with --jobs-dir)"
+            )
+        return manager
+
+    async def _route_jobs(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> Tuple[int, Any]:
+        """The job-lifecycle routes (see repro.jobs and docs/JOBS.md).
+
+        Manager calls take locks and touch disk, so every one runs on
+        the default thread pool — the event loop keeps serving
+        ``/simulate`` while a submit recovers a large job directory.
+        """
+        from ..errors import SpecError
+
+        manager = self._jobs_manager()
+        loop = asyncio.get_running_loop()
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 1:  # /jobs
+            if method == "POST":
+                try:
+                    from ..jobs import parse_job_spec
+
+                    spec = parse_job_spec(self._decode(body))
+                except SpecError as exc:
+                    raise _HTTPError(400, str(exc)) from exc
+                doc = await loop.run_in_executor(None, manager.submit, spec)
+                return 202, doc
+            if method == "GET":
+                docs = await loop.run_in_executor(None, manager.list_jobs)
+                return 200, {"jobs": docs}
+            raise _HTTPError(405, "use POST /jobs or GET /jobs")
+        job_id = parts[1]
+        if len(parts) == 2:  # /jobs/<id>
+            if method == "GET":
+                doc = await loop.run_in_executor(None, manager.get, job_id)
+            elif method == "DELETE":
+                doc = await loop.run_in_executor(None, manager.cancel, job_id)
+            else:
+                raise _HTTPError(405, "use GET or DELETE /jobs/<id>")
+            if doc is None:
+                raise _HTTPError(404, f"no job {job_id}")
+            return 200, doc
+        if len(parts) == 3 and parts[2] == "stream":  # /jobs/<id>/stream
+            if method != "GET":
+                raise _HTTPError(405, "use GET /jobs/<id>/stream")
+            offset = self._query_int(query, "offset", 0)
+            limit = self._query_int(query, "limit", 4096)
+            data = await loop.run_in_executor(
+                None, manager.stream, job_id, offset, limit
+            )
+            if data is None:
+                raise _HTTPError(404, f"no job {job_id}")
+            return 200, _RawBody("application/x-ndjson", data)
+        if len(parts) == 3 and parts[2] == "resume":  # /jobs/<id>/resume
+            if method != "POST":
+                raise _HTTPError(405, "use POST /jobs/<id>/resume")
+            doc = await loop.run_in_executor(None, manager.resume, job_id)
+            if doc is None:
+                raise _HTTPError(404, f"no job {job_id}")
+            return 202, doc
+        raise _HTTPError(404, f"no route for {path}")
+
+    @staticmethod
+    def _query_int(query: str, name: str, default: int) -> int:
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == name:
+                try:
+                    parsed = int(value)
+                except ValueError as exc:
+                    raise _HTTPError(
+                        400, f"query parameter {name} must be an integer"
+                    ) from exc
+                if parsed < 0:
+                    raise _HTTPError(400, f"{name} must be >= 0")
+                return parsed
+        return default
 
     @staticmethod
     def _decode(body: bytes) -> Any:

@@ -99,6 +99,11 @@ class ServiceSettings:
     #: (see repro.obs.slo.parse_slo_config).  Only read when the tsdb
     #: is on — the SLO engine evaluates over its frames.
     slo_config: Optional[str] = None
+    #: Directory for durable streaming-sweep jobs (``POST /jobs``);
+    #: None = the job routes answer 503 (``repro serve --jobs-dir``).
+    jobs_dir: Optional[str] = None
+    #: Concurrent background jobs the in-service manager runs.
+    jobs_max_running: int = 1
 
 
 class Scheduler:
@@ -514,6 +519,31 @@ class ReductionService:
         #: pure function of fields the fingerprint already hashes, so
         #: repeats of a point can share it.
         self._summary_cache: Dict[str, Dict[str, Any]] = {}
+        #: Lazy durable-jobs manager (see the ``jobs`` property).
+        self._jobs: Optional[Any] = None
+
+    @property
+    def jobs(self) -> Optional[Any]:
+        """The durable-jobs manager, or ``None`` when jobs are disabled.
+
+        Built lazily on first use (import of :mod:`repro.jobs` deferred:
+        that package imports the sweep/verify layers and would cycle at
+        module level).  Shares the service's machine and persistent
+        result cache, so job points and ``/simulate`` traffic warm each
+        other.
+        """
+        if self.settings.jobs_dir is None:
+            return None
+        if self._jobs is None:
+            from ..jobs import JobManager
+
+            self._jobs = JobManager(
+                self.settings.jobs_dir,
+                self.machine,
+                cache=self.executor.cache,
+                max_running=self.settings.jobs_max_running,
+            )
+        return self._jobs
 
     # -- lifecycle ------------------------------------------------------------
     async def start(self) -> None:
@@ -533,6 +563,12 @@ class ReductionService:
     async def stop(self) -> None:
         """Graceful: stop admitting, drain the queue, stop the batcher."""
         self.admission.close()
+        if self._jobs is not None:
+            # Cancel-at-next-checkpoint, then join: the durable prefix
+            # of every running job stays resumable after restart.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._jobs.shutdown
+            )
         if self._sampler_task is not None:
             self._sampler_task.cancel()
             try:

@@ -60,13 +60,41 @@ class RemoteAccessRecord:
     duration: float
 
 
-class Trace:
-    """Append-only event log with typed accessors."""
+#: Default per-list retention window.  Far above anything one paper
+#: experiment records, far below what a million-point streamed job
+#: would otherwise accumulate in the coordinator.
+DEFAULT_RETENTION = 8192
 
-    def __init__(self) -> None:
+
+class Trace:
+    """Append-only event log with typed accessors.
+
+    Retention is bounded: each list keeps at least the newest
+    ``retention`` records (eviction drops the oldest in blocks, so up to
+    ``2 * retention`` may be resident).  The machine-scoped trace would
+    otherwise grow without bound under :mod:`repro.jobs` streamed sweeps
+    — the coordinator's RSS must stay independent of point count.
+    ``n_launches`` counts every launch ever recorded; the windowed
+    queries (``grid_sizes``, ``migrated_bytes``, ``to_events``) see the
+    retained tail, which covers any single experiment.
+    """
+
+    def __init__(self, retention: int = DEFAULT_RETENTION) -> None:
+        self.retention = max(1, int(retention))
         self.kernel_launches: List[KernelLaunchRecord] = []
         self.migrations: List[MigrationRecord] = []
         self.remote_accesses: List[RemoteAccessRecord] = []
+        self._dropped_launches = 0
+        self._dropped_migrations = 0
+        self._dropped_remote_accesses = 0
+
+    def _evict(self, records: List[Any]) -> int:
+        """Drop the oldest half once a list doubles past the window."""
+        if len(records) >= 2 * self.retention:
+            drop = len(records) - self.retention
+            del records[:drop]
+            return drop
+        return 0
 
     # -- recording ----------------------------------------------------------
     # Each record_* call also mirrors the record into the global telemetry
@@ -75,6 +103,7 @@ class Trace:
     # consistent with this trace by construction.
     def record_launch(self, record: KernelLaunchRecord) -> None:
         self.kernel_launches.append(record)
+        self._dropped_launches += self._evict(self.kernel_launches)
         telemetry = get_telemetry()
         if telemetry.enabled:
             reg = telemetry.registry
@@ -83,6 +112,7 @@ class Trace:
 
     def record_migration(self, record: MigrationRecord) -> None:
         self.migrations.append(record)
+        self._dropped_migrations += self._evict(self.migrations)
         telemetry = get_telemetry()
         if telemetry.enabled:
             reg = telemetry.registry
@@ -93,6 +123,7 @@ class Trace:
 
     def record_remote_access(self, record: RemoteAccessRecord) -> None:
         self.remote_accesses.append(record)
+        self._dropped_remote_accesses += self._evict(self.remote_accesses)
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.registry.counter(
@@ -102,7 +133,8 @@ class Trace:
     # -- queries --------------------------------------------------------------
     @property
     def n_launches(self) -> int:
-        return len(self.kernel_launches)
+        """Every launch ever recorded (including evicted ones)."""
+        return self._dropped_launches + len(self.kernel_launches)
 
     def last_launch(self) -> Optional[KernelLaunchRecord]:
         return self.kernel_launches[-1] if self.kernel_launches else None
@@ -126,6 +158,9 @@ class Trace:
         self.kernel_launches.clear()
         self.migrations.clear()
         self.remote_accesses.clear()
+        self._dropped_launches = 0
+        self._dropped_migrations = 0
+        self._dropped_remote_accesses = 0
 
     def summary(self) -> str:
         """One-line counts summary (sizes human-readable via util.units)."""

@@ -39,7 +39,16 @@ import os
 import pickle
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..config import ReproConfig
 from ..core.cases import Case
@@ -82,6 +91,10 @@ _MEMO_KEY_CAP = 65536
 #: per-task latency so the supervisor's heartbeat hang detection keeps
 #: meaning, and bounds segment size.
 _SLAB_CHUNK_CAP = 65536
+
+#: Default chunk width for :meth:`SweepExecutor.run_streaming` — the
+#: coordinator's peak resident set is O(this), never O(total points).
+DEFAULT_STREAM_CHUNK = 1024
 
 
 def resolve_workers(workers: "int | str | None", config: ReproConfig) -> int:
@@ -416,6 +429,56 @@ class SweepExecutor:
         # few microseconds per point, where even a no-op span generator
         # is measurable.
         return self._run_stage(kind, payloads, stage, None)
+
+    def run_streaming(
+        self,
+        kind: str,
+        payloads: Iterable[tuple],
+        stage: str,
+        sink: Callable[[int, dict], None],
+        chunk_size: int = DEFAULT_STREAM_CHUNK,
+        checkpoint: Optional[Callable[[int], None]] = None,
+        start_index: int = 0,
+    ) -> int:
+        """Resolve *payloads* lazily, handing each record to *sink* in order.
+
+        The bounded-memory collation path: payloads are drawn from the
+        iterable ``chunk_size`` at a time, each chunk resolves through
+        the normal cache -> pool -> serial pipeline, and every record is
+        passed to ``sink(index, record)`` — in strict submission order —
+        then dropped, so the coordinator never holds more than one
+        chunk of results regardless of sweep size.  ``checkpoint(done)``
+        (when given) runs after each chunk's records have all been
+        sunk, with the cumulative count resolved so far; raising from it
+        aborts the run (the :mod:`repro.jobs` cancel path).  Indices
+        start at ``start_index`` (a resumed job's first missing point).
+
+        Returns the number of points resolved.
+        """
+        if chunk_size < 1:
+            raise SpecError(f"chunk_size must be >= 1, got {chunk_size}")
+        done = 0
+        index = start_index
+        iterator = iter(payloads)
+        while True:
+            chunk: List[tuple] = []
+            for payload in iterator:
+                chunk.append(payload)
+                if len(chunk) >= chunk_size:
+                    break
+            if not chunk:
+                break
+            records = self.run(kind, chunk, stage)
+            chunk.clear()
+            for j, record in enumerate(records):
+                sink(index + j, record)
+                records[j] = None  # type: ignore[call-overload]
+            index += len(records)
+            done += len(records)
+            del records
+            if checkpoint is not None:
+                checkpoint(done)
+        return done
 
     def _run_stage(
         self, kind: str, payloads: List[tuple], stage: str, sp: Any

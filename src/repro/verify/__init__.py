@@ -35,7 +35,13 @@ from .differential import (
     FuzzReport,
     run_fuzz,
 )
-from .fuzzer import CASE_KINDS, FuzzCase, case_list_digest, generate_cases
+from .fuzzer import (
+    CASE_KINDS,
+    FuzzCase,
+    case_digest,
+    case_list_digest,
+    generate_cases,
+)
 from .oracles import (
     OracleTolerances,
     kahan_sum,
@@ -59,6 +65,7 @@ __all__ = [
     "FuzzReport",
     "GoldenCorpus",
     "OracleTolerances",
+    "case_digest",
     "case_list_digest",
     "compare_benchmarks",
     "default_baseline_path",

@@ -33,6 +33,12 @@ dtype-aware :class:`~repro.verify.oracles.OracleTolerances` becomes a
     the in-process service pipeline (admission -> batcher -> scheduler)
     must return the byte-identical raw record the direct executor path
     computes (presentation-only ``summary`` stripped).
+``jobs-resume``
+    a streaming job (:mod:`repro.jobs`) paused at a checkpoint boundary
+    and resumed in a fresh executor must leave a sealed manifest and
+    result shards **byte-identical** to an uninterrupted run's (one
+    deterministic scenario per run, not a generated case — see
+    :func:`check_job_resume`).
 
 The runner probes the :mod:`repro.faults` point ``verify.oracle`` once
 per ``exec`` case; when a plan fires it the device value is corrupted
@@ -76,7 +82,13 @@ from ..util.units import gb_per_s
 from .fuzzer import FuzzCase, case_list_digest, generate_cases
 from .oracles import OracleTolerances, serial_ground_truth, tolerances_for
 
-__all__ = ["DifferentialRunner", "Divergence", "FuzzReport", "run_fuzz"]
+__all__ = [
+    "DifferentialRunner",
+    "Divergence",
+    "FuzzReport",
+    "check_job_resume",
+    "run_fuzz",
+]
 
 #: Fault-injection point probed once per ``exec`` case (see module doc).
 ORACLE_FAULT_POINT = "verify.oracle"
@@ -673,6 +685,105 @@ class DifferentialRunner:
             )
 
 
+#: Synthetic kind name under which the jobs resume oracle reports (it is
+#: one deterministic scenario per run, not a generated fuzz-case kind, so
+#: the seed-stable case-list digest is untouched by its existence).
+JOB_RESUME_KIND = "jobs-resume"
+
+
+def check_job_resume(
+    machine: Optional[Machine] = None,
+    interrupt_at: int = 5,
+) -> Tuple[List[Divergence], int]:
+    """The resume oracle: interrupted-then-resumed == uninterrupted.
+
+    Runs one small multi-shard job twice — straight through, and paused
+    at a checkpoint boundary then resumed in a fresh executor — and
+    requires the sealed manifest and every result shard to be
+    **byte-identical** between the two directories.  Returns
+    ``(divergences, checks performed)``.
+    """
+    from pathlib import Path
+
+    from ..jobs.api import JobSpec
+    from ..jobs.manager import run_job
+    from ..jobs.store import SHARD_DIR
+
+    machine = machine or Machine()
+    # Small enough for CI, shaped to cross both a checkpoint interval
+    # and a shard rotation before the interruption point.
+    spec = JobSpec(
+        case="C1",
+        teams=(64, 128, 256),
+        v=(2, 4),
+        threads=(32, 64),
+        trials=5,
+        checkpoint_interval=4,
+        shard_records=5,
+    )
+    out: List[Divergence] = []
+    checks = 0
+
+    def expect(check: str, condition: bool, **detail: Any) -> None:
+        nonlocal checks
+        checks += 1
+        if not condition:
+            out.append(
+                Divergence(
+                    case_id="job-resume",
+                    index=-1,
+                    kind=JOB_RESUME_KIND,
+                    check=check,
+                    detail=detail,
+                )
+            )
+
+    def run(directory: Path, **kwargs: Any) -> Dict[str, Any]:
+        # A fresh single-worker executor per phase mimics the separate
+        # processes of a real kill-and-restart.
+        executor = SweepExecutor(machine, workers=1, cache=None)
+        try:
+            return run_job(directory, spec, executor, **kwargs)
+        finally:
+            executor.close()
+
+    with tempfile.TemporaryDirectory(prefix="repro-verify-jobs-") as tmp:
+        single = Path(tmp) / "single"
+        resumed = Path(tmp) / "resumed"
+        truth = run(single)
+        expect("single-shot-completes", truth.get("state") == "DONE",
+               state=truth.get("state"), error=truth.get("error"))
+
+        paused = run(resumed, max_points=interrupt_at)
+        expect(
+            "interrupt-pauses-mid-run",
+            paused.get("state") == "CHECKPOINTED"
+            and 0 < int(paused.get("points_done", 0)) < spec.total_points(),
+            state=paused.get("state"),
+            points_done=paused.get("points_done"),
+        )
+        final = run(resumed)
+        expect("resume-completes", final.get("state") == "DONE",
+               state=final.get("state"), error=final.get("error"))
+
+        names_a = sorted(
+            p.name for p in (single / SHARD_DIR).glob("shard-*.jsonl")
+        )
+        names_b = sorted(
+            p.name for p in (resumed / SHARD_DIR).glob("shard-*.jsonl")
+        )
+        expect("same-shard-layout", names_a == names_b,
+               single=names_a, resumed=names_b)
+        for rel in ["manifest.json"] + [
+            f"{SHARD_DIR}/{name}" for name in names_a
+        ]:
+            blob_a = (single / rel).read_bytes()
+            blob_b = (resumed / rel).read_bytes()
+            expect(f"byte-identical:{rel}", blob_a == blob_b,
+                   bytes_single=len(blob_a), bytes_resumed=len(blob_b))
+    return out, checks
+
+
 def run_fuzz(
     seed: int,
     count: int,
@@ -687,22 +798,46 @@ def run_fuzz(
     the wall-clock budget is spent — the CI smoke job uses this to pin
     its cost; the report's ``exhausted`` flag records whether the whole
     case list was covered.
+
+    The ``jobs-resume`` oracle (:func:`check_job_resume`) runs once on
+    top of the generated case list — in the default all-kinds run, or
+    when requested by name in *kinds*.
     """
-    cases = generate_cases(seed, count, kinds=kinds)
+    want_jobs = kinds is None or JOB_RESUME_KIND in kinds
+    gen_kinds = kinds
+    if kinds is not None and JOB_RESUME_KIND in kinds:
+        gen_kinds = tuple(k for k in kinds if k != JOB_RESUME_KIND)
+    if gen_kinds is not None and not gen_kinds:
+        cases = []  # only the jobs oracle was requested
+    else:
+        cases = generate_cases(seed, count, kinds=gen_kinds)
     digest = case_list_digest(cases)
     runner = runner or DifferentialRunner(machine)
     divergences: List[Divergence] = []
     by_kind: Dict[str, int] = {}
     started = time.monotonic()
     cases_run = 0
+    exhausted = True
     for case in cases:
         if time_budget_s is not None and (
             time.monotonic() - started >= time_budget_s
         ):
+            exhausted = False
             break
         divergences.extend(runner.check_case(case))
         by_kind[case.kind] = by_kind.get(case.kind, 0) + 1
         cases_run += 1
+    if want_jobs and (
+        time_budget_s is None
+        or time.monotonic() - started < time_budget_s
+    ):
+        job_divergences, job_checks = check_job_resume(runner.machine)
+        divergences.extend(job_divergences)
+        runner.checks += job_checks
+        by_kind[JOB_RESUME_KIND] = by_kind.get(JOB_RESUME_KIND, 0) + 1
+        cases_run += 1
+    elif want_jobs:
+        exhausted = False
     return FuzzReport(
         seed=seed,
         requested=count,
@@ -713,5 +848,5 @@ def run_fuzz(
         duration_s=time.monotonic() - started,
         by_kind=by_kind,
         divergences=divergences,
-        exhausted=cases_run == len(cases),
+        exhausted=exhausted,
     )

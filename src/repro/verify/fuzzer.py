@@ -50,6 +50,7 @@ from ..sweep.fingerprint import canonical_json
 __all__ = [
     "CASE_KINDS",
     "FuzzCase",
+    "case_digest",
     "case_list_digest",
     "generate_cases",
 ]
@@ -159,9 +160,7 @@ class FuzzCase:
     @property
     def case_id(self) -> str:
         """Stable content hash of this case (used in reports)."""
-        return hashlib.sha256(
-            canonical_json(self.to_dict()).encode()
-        ).hexdigest()[:16]
+        return case_digest(self)
 
     def describe(self) -> str:
         if self.kind in ("directive", "reject"):
@@ -377,6 +376,25 @@ def generate_cases(
             continue
         cases.append(case)
     return cases
+
+
+#: Hex length of a per-case digest (64 SHA-256 nibbles truncated).
+CASE_DIGEST_LEN = 16
+
+
+def case_digest(case: Any) -> str:
+    """The canonical per-case digest: SHA-256 of canonical JSON, truncated.
+
+    Accepts anything with a ``to_dict()`` method (a :class:`FuzzCase`)
+    or a plain JSON-serializable document.  This is the *public* form of
+    :attr:`FuzzCase.case_id` — checkpoint/resume in :mod:`repro.jobs`
+    keys completed sweep points by this digest, so it must stay stable
+    across platforms and releases the way the fuzzer's case ids do.
+    """
+    doc = case.to_dict() if hasattr(case, "to_dict") else case
+    return hashlib.sha256(
+        canonical_json(doc).encode()
+    ).hexdigest()[:CASE_DIGEST_LEN]
 
 
 def case_list_digest(cases: Sequence[FuzzCase]) -> str:

@@ -4,8 +4,15 @@ import asyncio
 
 import pytest
 
+from repro import Machine
 from repro.faults import injector
-from repro.faults.chaos import ChaosReport, compute_truth, run_chaos
+from repro.faults.chaos import (
+    ChaosReport,
+    JobKillReport,
+    compute_truth,
+    run_chaos,
+    run_job_kill_chaos,
+)
 from repro.service import ReductionService, ServiceHTTPServer, ServiceSettings
 from repro.service.loadgen import preset_pool
 from repro.sweep.executor import SweepExecutor
@@ -134,3 +141,59 @@ class TestChaosRun:
         )
         assert report.passed, report.violations
         assert report.to_dict()["passed"] is True
+
+
+class TestJobKillReport:
+    def test_clean_report_passes(self):
+        report = JobKillReport(
+            requested_kills=1, kills=1, runs=2, points_total=12,
+            points_done=12, completed=True, byte_identical=True,
+        )
+        assert report.finalize().passed
+        assert report.to_dict()["scenario"] == "job-kill"
+        assert "PASS" in report.render()
+
+    def test_never_done_violates(self):
+        report = JobKillReport(requested_kills=1, kills=1, points_total=12)
+        assert not report.finalize().passed
+        assert any("DONE" in v for v in report.violations)
+
+    def test_zero_kills_exercised_nothing(self):
+        report = JobKillReport(
+            requested_kills=1, kills=0, points_total=12, points_done=12,
+            completed=True, byte_identical=True,
+        )
+        assert not report.finalize().passed
+        assert any("exercised nothing" in v for v in report.violations)
+
+    def test_wrong_or_duplicated_points_violate(self):
+        report = JobKillReport(
+            kills=1, completed=True, byte_identical=True,
+            wrong_points=1, duplicated_points=2, missing_points=3,
+        )
+        assert not report.finalize().passed
+        assert len(report.violations) == 3
+
+    def test_divergent_bytes_violate(self):
+        report = JobKillReport(
+            kills=1, completed=True, byte_identical=False,
+        )
+        assert not report.finalize().passed
+        assert any("byte-identical" in v for v in report.violations)
+
+
+class TestJobKillScenario:
+    def test_kill_mid_job_recovers_byte_identical(self):
+        # Truth runs in-process on a default machine — the same
+        # fingerprint the `repro job run` subprocesses compute.
+        report = run_job_kill_chaos(
+            Machine(), seed=5, kills=1, timeout_s=240.0,
+        )
+        assert report.kills >= 1
+        assert report.runs > 1
+        assert report.completed
+        assert report.byte_identical
+        assert report.wrong_points == 0
+        assert report.duplicated_points == 0
+        assert report.missing_points == 0
+        assert report.passed, report.violations

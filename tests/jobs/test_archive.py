@@ -1,0 +1,90 @@
+"""Content-addressed archiver: packing, addressing, idempotence."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.jobs import JobSpec, archive_job, run_job
+from repro.jobs.store import read_json
+from repro.sweep.executor import SweepExecutor
+
+SPEC = JobSpec(
+    case="C1", teams=(64, 128), v=(2,), threads=(32,), trials=3,
+    checkpoint_interval=2, shard_records=2,
+)
+
+
+@pytest.fixture()
+def done_job(machine, tmp_path):
+    executor = SweepExecutor(machine, workers=1, cache=None)
+    try:
+        run_job(tmp_path / "job", SPEC, executor)
+    finally:
+        executor.close()
+    return tmp_path / "job"
+
+
+class TestArchive:
+    def test_packs_the_durable_artifacts(self, done_job, tmp_path):
+        out = archive_job(done_job, out_root=tmp_path / "archives")
+        index = read_json(out / "ARCHIVE.json")
+        assert index["format"] == "repro-jobs-archive"
+        assert out.name == index["content_id"][:16]
+        for name in ("manifest.json", "spec.json", "checkpoint.json",
+                     "telemetry.json"):
+            assert (out / name).is_file(), name
+        manifest = read_json(out / "manifest.json")
+        for entry in manifest["shards"]:
+            assert (out / "shards" / entry["name"]).is_file()
+        # Every packed file is digest-indexed.
+        assert set(index["files"]) >= {
+            "manifest.json", "spec.json", "shards/shard-00000.jsonl",
+        }
+        assert index["results_sha256"] == manifest["results_sha256"]
+
+    def test_content_addressed_repack_is_noop(self, done_job, tmp_path):
+        first = archive_job(done_job, out_root=tmp_path / "archives")
+        marker = first / "marker"
+        marker.write_text("untouched")
+        again = archive_job(done_job, out_root=tmp_path / "archives")
+        assert again == first
+        assert marker.read_text() == "untouched"
+
+    def test_identical_jobs_share_an_address(
+        self, machine, tmp_path
+    ):
+        executor = SweepExecutor(machine, workers=1, cache=None)
+        try:
+            run_job(tmp_path / "a", SPEC, executor)
+            run_job(tmp_path / "b", SPEC, executor)
+        finally:
+            executor.close()
+        out_a = archive_job(tmp_path / "a", out_root=tmp_path / "arch-a")
+        out_b = archive_job(tmp_path / "b", out_root=tmp_path / "arch-b")
+        assert out_a.name == out_b.name
+
+    def test_unsealed_manifest_refuses_to_archive(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"complete": False})
+        )
+        with pytest.raises(SpecError, match="sealed"):
+            archive_job(tmp_path)
+
+    def test_archive_spec_flag_packs_on_completion(
+        self, machine, tmp_path
+    ):
+        spec = JobSpec(
+            case="C1", teams=(64,), v=(2,), threads=(32,), trials=2,
+            checkpoint_interval=2, shard_records=2, archive=True,
+        )
+        executor = SweepExecutor(machine, workers=1, cache=None)
+        try:
+            run_job(tmp_path / "job", spec, executor)
+        finally:
+            executor.close()
+        (out,) = [
+            p for p in (tmp_path / "job" / "archive").iterdir()
+            if p.is_dir()
+        ]
+        assert (out / "ARCHIVE.json").is_file()

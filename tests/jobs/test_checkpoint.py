@@ -1,0 +1,63 @@
+"""Checkpoint documents: round trip, cross-checks, atomicity."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.jobs.checkpoint import (
+    CHECKPOINT_FORMAT,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.jobs.store import atomic_write_json
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        doc = write_checkpoint(
+            tmp_path, "j1", "spec-d", "points-d", 5, 12
+        )
+        assert doc["format"] == CHECKPOINT_FORMAT
+        assert read_checkpoint(tmp_path) == doc
+        assert read_checkpoint(tmp_path, "j1", "spec-d") == doc
+
+    def test_absent_is_none(self, tmp_path):
+        assert read_checkpoint(tmp_path) is None
+
+    def test_carries_no_wall_clock(self, tmp_path):
+        a = write_checkpoint(tmp_path / "a", "j1", "s", "p", 5, 12)
+        b = write_checkpoint(tmp_path / "b", "j1", "s", "p", 5, 12)
+        assert a == b
+        assert (tmp_path / "a" / "checkpoint.json").read_bytes() == \
+            (tmp_path / "b" / "checkpoint.json").read_bytes()
+
+
+class TestCrossChecks:
+    def test_wrong_job_id_raises(self, tmp_path):
+        write_checkpoint(tmp_path, "j1", "spec-d", "points-d", 5, 12)
+        with pytest.raises(SpecError, match="belongs to job"):
+            read_checkpoint(tmp_path, job_id="j2")
+
+    def test_wrong_spec_digest_raises(self, tmp_path):
+        write_checkpoint(tmp_path, "j1", "spec-d", "points-d", 5, 12)
+        with pytest.raises(SpecError, match="spec digest"):
+            read_checkpoint(tmp_path, "j1", "different")
+
+    def test_foreign_document_raises(self, tmp_path):
+        (tmp_path / "checkpoint.json").write_text('{"format": "nope"}')
+        with pytest.raises(SpecError, match="not a jobs checkpoint"):
+            read_checkpoint(tmp_path)
+
+
+class TestAtomicWrite:
+    def test_writes_deterministic_json(self, tmp_path):
+        path = atomic_write_json(tmp_path / "doc.json", {"b": 2, "a": 1})
+        assert json.loads(path.read_text()) == {"a": 1, "b": 2}
+        # sort_keys: key order is canonical, so bytes are reproducible.
+        again = atomic_write_json(tmp_path / "doc2.json", {"a": 1, "b": 2})
+        assert path.read_bytes() == again.read_bytes()
+
+    def test_leaves_no_temp_droppings(self, tmp_path):
+        atomic_write_json(tmp_path / "doc.json", {"a": 1}, fsync=True)
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]

@@ -1,0 +1,103 @@
+"""Property: a SIGKILL at *any* point index never costs byte-identity.
+
+Each example crashes a real ``repro job run`` subprocess at a
+hypothesis-drawn point index via the ``job.point:crash:after=K`` fault
+(``os._exit`` — the buffered store tail is lost, as under a real
+SIGKILL), reruns the identical command to DONE, and requires the
+directory's manifest and shards to match an uninterrupted run byte for
+byte — the resume oracle's invariant, quantified over the kill site.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Machine
+from repro.jobs import JobSpec, read_state, run_job
+from repro.sweep.executor import SweepExecutor
+
+#: 6 points over 2 checkpoint intervals and 2 shards.
+SPEC = JobSpec(
+    case="C1", teams=(64, 128, 256), v=(2,), threads=(32, 64),
+    trials=3, checkpoint_interval=2, shard_records=4,
+)
+
+_REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _command(job_dir):
+    return [
+        sys.executable, "-m", "repro", "--no-cache", "job", "run",
+        "--quiet", "--dir", str(job_dir),
+        "--case", SPEC.case,
+        "--teams", ",".join(map(str, SPEC.teams)),
+        "--v", ",".join(map(str, SPEC.v)),
+        "--threads", ",".join(map(str, SPEC.threads)),
+        "--trials", str(SPEC.trials),
+        "--checkpoint-interval", str(SPEC.checkpoint_interval),
+        "--shard-records", str(SPEC.shard_records),
+    ]
+
+
+def _env(faults=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(_REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return env
+
+
+def _job_bytes(directory):
+    out = {"manifest.json": (directory / "manifest.json").read_bytes()}
+    for path in sorted((directory / "shards").iterdir()):
+        out[path.name] = path.read_bytes()
+    return out
+
+
+@pytest.fixture(scope="module")
+def truth_bytes(tmp_path_factory):
+    """An uninterrupted run on the subprocess's (default) machine."""
+    directory = tmp_path_factory.mktemp("truth") / "job"
+    executor = SweepExecutor(Machine(), workers=1, cache=None)
+    try:
+        state = run_job(directory, SPEC, executor)
+    finally:
+        executor.close()
+    assert state["state"] == "DONE"
+    return _job_bytes(directory)
+
+
+@settings(
+    max_examples=5, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(kill_at=st.integers(min_value=0,
+                           max_value=SPEC.total_points() - 2))
+def test_kill_anywhere_resume_is_byte_identical(truth_bytes, kill_at):
+    with tempfile.TemporaryDirectory(prefix="repro-resume-prop-") as tmp:
+        job_dir = Path(tmp) / "job"
+        crashed = subprocess.run(
+            _command(job_dir),
+            env=_env(f"seed=1;job.point:crash:after={kill_at}"),
+            capture_output=True, timeout=120,
+        )
+        # os._exit(3) at the drawn index: no flush, no atexit.
+        assert crashed.returncode == 3, crashed.stderr.decode()
+        interrupted = read_state(job_dir)
+        assert interrupted is None or interrupted["state"] != "DONE"
+
+        resumed = subprocess.run(
+            _command(job_dir), env=_env(),
+            capture_output=True, timeout=120,
+        )
+        assert resumed.returncode == 0, resumed.stderr.decode()
+        assert read_state(job_dir)["state"] == "DONE"
+        assert _job_bytes(job_dir) == truth_bytes

@@ -1,0 +1,148 @@
+"""Streamed sweeps: chunked sink delivery and bounded coordinator RSS."""
+
+import tracemalloc
+
+import pytest
+
+from repro import Machine, ReproConfig
+from repro.core.cases import case_by_name
+from repro.core.optimized import KernelConfig
+from repro.errors import SpecError
+from repro.sweep.executor import SweepExecutor
+
+
+@pytest.fixture(scope="module")
+def tiny_machine():
+    """Tiny functional cap: point cost is dominated by coordination."""
+    return Machine(config=ReproConfig(functional_elements_cap=1 << 10))
+
+
+@pytest.fixture(scope="module")
+def streaming_executor(tiny_machine):
+    executor = SweepExecutor(tiny_machine, workers=1, cache=None)
+    yield executor
+    executor.close()
+
+
+def _payloads(n, trials=2):
+    case = case_by_name("C1")
+    for i in range(n):
+        yield (
+            case,
+            KernelConfig(teams=1 << (4 + i % 12), v=4, threads=256),
+            trials,
+            False,
+        )
+
+
+class TestStreaming:
+    def test_sink_sees_every_point_in_order(self, streaming_executor):
+        seen = []
+        done = streaming_executor.run_streaming(
+            "gpu_point", _payloads(10), stage="t",
+            sink=lambda i, r: seen.append(i), chunk_size=3,
+        )
+        assert done == 10
+        assert seen == list(range(10))
+
+    def test_records_match_the_batch_path(self, streaming_executor):
+        batch = streaming_executor.run("gpu_point", list(_payloads(7)),
+                                       stage="t")
+        streamed = {}
+        streaming_executor.run_streaming(
+            "gpu_point", _payloads(7), stage="t",
+            sink=streamed.__setitem__, chunk_size=2,
+        )
+        assert [streamed[i] for i in range(7)] == batch
+
+    def test_checkpoint_fires_per_chunk_with_cumulative_count(
+        self, streaming_executor
+    ):
+        counts = []
+        streaming_executor.run_streaming(
+            "gpu_point", _payloads(10), stage="t",
+            sink=lambda i, r: None, chunk_size=4,
+            checkpoint=counts.append,
+        )
+        assert counts == [4, 8, 10]
+
+    def test_checkpoint_raise_aborts_the_run(self, streaming_executor):
+        seen = []
+
+        def checkpoint(done):
+            if done >= 4:
+                raise RuntimeError("stop here")
+
+        with pytest.raises(RuntimeError, match="stop here"):
+            streaming_executor.run_streaming(
+                "gpu_point", _payloads(100), stage="t",
+                sink=lambda i, r: seen.append(i), chunk_size=4,
+                checkpoint=checkpoint,
+            )
+        assert len(seen) == 4  # the aborted chunk's records were sunk
+
+    def test_start_index_offsets_the_sink(self, streaming_executor):
+        seen = []
+        streaming_executor.run_streaming(
+            "gpu_point", _payloads(5), stage="t",
+            sink=lambda i, r: seen.append(i), start_index=37,
+        )
+        assert seen == [37, 38, 39, 40, 41]
+
+    def test_chunk_size_must_be_positive(self, streaming_executor):
+        with pytest.raises(SpecError, match="chunk_size"):
+            streaming_executor.run_streaming(
+                "gpu_point", _payloads(1), stage="t",
+                sink=lambda i, r: None, chunk_size=0,
+            )
+
+
+class TestBoundedMemory:
+    """The ISSUE acceptance: coordinator RSS independent of point count.
+
+    The coordinator must hold one chunk at a time — never the payload
+    list, never the resolved records, and (since the trace retention
+    window landed) never an unbounded launch log.  Measured with
+    tracemalloc so the ceiling is about allocations this process
+    retains, robust to allocator/OS noise.
+    """
+
+    def _peak(self, executor, n):
+        sunk = [0]
+
+        def sink(index, record):
+            sunk[0] += 1
+
+        tracemalloc.start()
+        try:
+            executor.run_streaming(
+                "gpu_point", _payloads(n), stage="rss", sink=sink
+            )
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert sunk[0] == n
+        return peak
+
+    def test_100k_points_stay_under_an_absolute_ceiling(
+        self, streaming_executor
+    ):
+        # Warm code/workload caches out of the measured region.
+        self._peak(streaming_executor, 2_000)
+        peak = self._peak(streaming_executor, 100_000)
+        assert peak < 32 * 1024 * 1024, f"peak RSS {peak / 1e6:.1f} MB"
+
+    def test_peak_is_independent_of_point_count(self, streaming_executor):
+        self._peak(streaming_executor, 2_000)
+        small = self._peak(streaming_executor, 10_000)
+        large = self._peak(streaming_executor, 100_000)
+        # 10x the points must not cost 10x the coordinator memory; allow
+        # generous noise plus a fixed floor for transient buffers.
+        assert large < 3 * small + 4 * 1024 * 1024, (
+            f"peak grew {small / 1e6:.1f} -> {large / 1e6:.1f} MB"
+        )
+
+    def test_trace_retention_is_bounded(self, tiny_machine):
+        trace = tiny_machine.trace
+        assert trace.n_launches >= len(trace.kernel_launches)
+        assert len(trace.kernel_launches) <= 2 * trace.retention

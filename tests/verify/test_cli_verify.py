@@ -76,6 +76,7 @@ class TestExitZero:
         assert set(doc["benchmarks"]) == {
             "sim_microbench", "warm_cache_sweep", "service_p99",
             "slab_microbench", "pool_transport", "telemetry_overhead",
+            "checkpoint_overhead", "stream_write",
         }
 
 

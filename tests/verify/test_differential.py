@@ -6,7 +6,9 @@ import pytest
 
 from repro.faults.injector import injected
 from repro.verify.differential import (
+    JOB_RESUME_KIND,
     ORACLE_FAULT_POINT,
+    check_job_resume,
     DifferentialRunner,
     run_fuzz,
 )
@@ -81,3 +83,31 @@ class TestBudget:
         first = runner.checks
         runner.check_case(case)
         assert runner.checks == 2 * first
+
+
+class TestJobResumeOracle:
+    def test_clean_resume_has_no_divergences(self, machine):
+        divergences, checks = check_job_resume(machine)
+        assert divergences == []
+        assert checks >= 6
+
+    def test_run_fuzz_runs_the_oracle_on_request(self, machine):
+        report = run_fuzz(
+            42, 1, kinds=[JOB_RESUME_KIND], machine=machine
+        )
+        assert report.ok, [d.describe() for d in report.divergences]
+        assert report.by_kind == {JOB_RESUME_KIND: 1}
+        assert report.cases_run == 1
+        assert report.exhausted
+
+    def test_other_kinds_skip_the_oracle(self, machine):
+        report = run_fuzz(42, 2, kinds=["exec"], machine=machine)
+        assert JOB_RESUME_KIND not in report.by_kind
+
+    def test_zero_budget_skips_and_marks_not_exhausted(self, machine):
+        report = run_fuzz(
+            42, 1, kinds=[JOB_RESUME_KIND], machine=machine,
+            time_budget_s=0.0,
+        )
+        assert report.cases_run == 0
+        assert not report.exhausted

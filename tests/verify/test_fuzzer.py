@@ -5,7 +5,9 @@ import pytest
 from repro.errors import SpecError
 from repro.openmp.parser import parse_pragma
 from repro.verify.fuzzer import (
+    CASE_DIGEST_LEN,
     CASE_KINDS,
+    case_digest,
     REJECT_MUTATIONS,
     case_list_digest,
     generate_cases,
@@ -79,3 +81,31 @@ class TestErrors:
     def test_unknown_kind_rejected(self):
         with pytest.raises(SpecError, match="unknown case kinds"):
             generate_cases(1, 5, kinds=["exec", "frobnicate"])
+
+
+class TestCaseDigest:
+    """The public per-case digest that keys jobs checkpoint/resume."""
+
+    def test_matches_fuzzcase_case_id(self):
+        case = generate_cases(3, 1)[0]
+        assert case_digest(case) == case.case_id
+
+    def test_accepts_plain_documents(self):
+        doc = {"kind": "gpu_point", "teams": 64, "v": 2}
+        digest = case_digest(doc)
+        assert len(digest) == CASE_DIGEST_LEN
+        int(digest, 16)  # hex
+
+    def test_key_order_is_canonicalized(self):
+        assert case_digest({"a": 1, "b": 2}) == case_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_distinct_documents_distinct_digests(self):
+        assert case_digest({"teams": 64}) != case_digest({"teams": 128})
+
+    def test_pinned_value_never_drifts(self):
+        # Resumable job directories outlive releases: the digest of a
+        # fixed document is part of the on-disk format.
+        assert case_digest({"kind": "gpu_point", "teams": 64}) == \
+            "caf9e23fa919583f"
