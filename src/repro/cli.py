@@ -270,6 +270,81 @@ def build_parser() -> argparse.ArgumentParser:
                               "in-service manager (the rest queue FIFO)")
     _add_service_knobs(p_serve)
 
+    p_node = sub.add_parser(
+        "node",
+        help="run a cluster worker node: the full service stack plus "
+             "registration and heartbeats against a coordinator "
+             "(see docs/CLUSTER.md)",
+    )
+    p_node.add_argument("--coordinator", metavar="URL", required=True,
+                        help="coordinator base URL, e.g. http://host:8078")
+    p_node.add_argument("--host", default="127.0.0.1")
+    p_node.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0: ephemeral; the node "
+                             "reports its bound address when joining)")
+    p_node.add_argument("--node-id", default=None,
+                        help="stable identity to rejoin under (default: "
+                             "the coordinator mints one)")
+    p_node.add_argument("--quiet", action="store_true",
+                        help="suppress the startup line")
+    _add_service_knobs(p_node)
+
+    p_coord = sub.add_parser(
+        "coordinator",
+        help="run the cluster coordinator: heartbeat membership, "
+             "consistent-hash request routing with hedged retry, and "
+             "cross-node durable jobs (see docs/CLUSTER.md)",
+    )
+    p_coord.add_argument("--host", default="127.0.0.1")
+    p_coord.add_argument("--port", type=int, default=8078,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_coord.add_argument("--lease", type=float, default=3.0,
+                         help="heartbeat lease seconds (a node idle "
+                              "longer turns SUSPECT)")
+    p_coord.add_argument("--grace", type=float, default=6.0,
+                         help="extra SUSPECT seconds before a node is "
+                              "DEAD, removed from the ring, and its "
+                              "in-flight chunks re-assigned")
+    p_coord.add_argument("--vnodes", type=int, default=64,
+                         help="virtual nodes per member on the hash ring")
+    p_coord.add_argument("--max-attempts", type=int, default=3,
+                         help="distinct nodes tried per request or chunk")
+    p_coord.add_argument("--hedge-delay", type=float, default=None,
+                         help="seconds before a slow forward is hedged "
+                              "on the next ring candidate (default: off)")
+    p_coord.add_argument("--retry-backoff", type=float, default=0.05,
+                         help="base seconds of exponential backoff "
+                              "between forward attempts")
+    p_coord.add_argument("--forward-timeout", type=float, default=30.0,
+                         help="per-forward HTTP timeout (seconds)")
+    p_coord.add_argument("--no-degrade", action="store_true",
+                         help="when the whole ring is unavailable, "
+                              "return 503 instead of the analytic "
+                              "degraded answer")
+    p_coord.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive forward failures that open a "
+                              "node's circuit breaker")
+    p_coord.add_argument("--breaker-cooldown", type=float, default=2.0,
+                         help="seconds a node's breaker stays open "
+                              "before half-open probes")
+    p_coord.add_argument("--default-timeout", type=float, default=30.0,
+                         help="deadline for requests without timeout_s")
+    p_coord.add_argument("--any-machine", action="store_true",
+                         help="accept nodes whose machine fingerprint "
+                              "differs from the coordinator's (results "
+                              "are then no longer byte-reproducible)")
+    p_coord.add_argument("--jobs-dir", metavar="DIR", default=None,
+                         help="enable the durable-jobs API; job chunks "
+                              "fan out over the ring (default: "
+                              "REPRO_JOBS_DIR, else jobs are disabled)")
+    p_coord.add_argument("--jobs-max-running", type=int, default=1,
+                         help="cluster jobs run concurrently")
+    p_coord.add_argument("--flight-dir", metavar="DIR", default=None,
+                         help="enable the crash flight recorder (dumps "
+                              "on node loss and SIGTERM)")
+    p_coord.add_argument("--quiet", action="store_true",
+                         help="suppress the startup line")
+
     p_load = sub.add_parser(
         "loadtest",
         help="replay overlapping sweep points against a service and "
@@ -306,16 +381,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="storm a service under a seeded fault plan and assert the "
              "resilience invariants (exit 1 on any violation)",
     )
-    p_chaos.add_argument("--scenario", choices=["service", "job-kill"],
+    p_chaos.add_argument("--scenario",
+                         choices=["service", "job-kill", "node-kill"],
                          default="service",
                          help="'service': storm a live service; "
                               "'job-kill': SIGKILL-shape real job-runner "
                               "subprocesses mid-sweep, resume, and "
                               "require zero wrong/duplicated points and "
-                              "a byte-identical result (see docs/JOBS.md)")
+                              "a byte-identical result (see docs/JOBS.md); "
+                              "'node-kill': SIGKILL a live cluster worker "
+                              "node mid-storm and mid-job and require "
+                              "loss detection, zero wrong results and a "
+                              "byte-identical job (see docs/CLUSTER.md)")
     p_chaos.add_argument("--job-kills", type=int, default=3,
                          help="runner processes to kill in the job-kill "
                               "scenario")
+    p_chaos.add_argument("--nodes", type=int, default=3,
+                         help="worker nodes to start in the node-kill "
+                              "scenario (one of them dies)")
     p_chaos.add_argument("--url", default=None,
                          help="target service URL (default: start an "
                               "in-process server — over a throwaway "
@@ -796,6 +879,25 @@ def _serve_one(
     return 0
 
 
+def _latest_flight_dump(pid: int) -> Optional[str]:
+    """The newest flight-recorder dump PID wrote, if the recorder is on.
+
+    Shards dump on SIGTERM and on crash-shaped deaths; pointing at the
+    file from the supervisor's reap log turns "shard 2 died" into an
+    immediately openable black box (``repro obs blackbox <path>``).
+    """
+    import glob
+    import os
+
+    directory = os.environ.get("REPRO_FLIGHT_DIR")
+    if not directory:
+        return None
+    paths = glob.glob(os.path.join(directory, f"flight-{pid}-*.json"))
+    if not paths:
+        return None
+    return max(paths, key=lambda p: os.path.getmtime(p))
+
+
 #: A shard that lived at least this long resets its failure streak.
 SHARD_STABLE_S = 30.0
 
@@ -899,16 +1001,20 @@ def _serve_sharded(args, machine: Machine, executor) -> int:
                 fast_failures[slot] = 0
             fast_failures[slot] += 1
             if fast_failures[slot] > SHARD_MAX_FAST_FAILURES:
+                dump = _latest_flight_dump(pid)
                 print(f"shard {slot} died {fast_failures[slot] - 1} times "
-                      f"in a row (last exit {child}); giving up on it",
+                      f"in a row (last exit {child}); giving up on it"
+                      + (f"; last flight dump: {dump}" if dump else ""),
                       file=sys.stderr, flush=True)
                 code = code or (child if child > 0 else 1)
                 continue
             delay = min(5.0, 0.25 * (2 ** (fast_failures[slot] - 1)))
             restarts += 1
+            dump = _latest_flight_dump(pid)
             print(f"shard {slot} (pid {pid}) died with exit {child} "
                   f"after {lived:.1f}s; restarting in {delay:.2f}s "
-                  f"(restart #{restarts})",
+                  f"(restart #{restarts})"
+                  + (f"; last flight dump: {dump}" if dump else ""),
                   file=sys.stderr, flush=True)
             _time.sleep(delay)
             if terminating:
@@ -941,6 +1047,141 @@ def _cmd_serve(args, machine: Machine, executor) -> int:
     if args.shards > 1:
         return _serve_sharded(args, machine, executor)
     return _serve_one(args, machine, executor, args.host, args.port)
+
+
+def _cmd_node(args, machine: Machine, executor) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from .cluster import NodeAgent, NodeHTTPServer
+    from .obs.flight import flight
+    from .service import ReductionService
+
+    _configure_observability(args)
+    service = ReductionService(
+        machine, executor=executor, settings=_service_settings(args)
+    )
+    server = NodeHTTPServer(service, args.host, args.port)
+    agent = NodeAgent(args.coordinator, server, node_id=args.node_id)
+
+    async def _run() -> None:
+        bound_host, bound_port = await server.start()
+        agent.start()
+        if not args.quiet:
+            print(f"repro node listening on "
+                  f"http://{bound_host}:{bound_port}, joining "
+                  f"{args.coordinator} (Ctrl-C stops)", flush=True)
+        serve_task = asyncio.ensure_future(server.serve_forever())
+
+        def _on_term() -> None:
+            recorder = flight()
+            if recorder.enabled:
+                recorder.record("node", "sigterm", pid=os.getpid(),
+                                node_id=agent.node_id or "")
+                recorder.dump("sigterm", role="node",
+                              node_id=agent.node_id or "")
+            serve_task.cancel()
+
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_term)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+        try:
+            await serve_task
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+            await agent.stop()
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        if not args.quiet:
+            print("shutting down")
+    return 0
+
+
+def _cmd_coordinator(args, machine: Machine, executor) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from .cluster import CoordinatorHTTPServer, CoordinatorSettings
+    from .obs.flight import flight
+
+    if args.flight_dir:
+        from .obs import configure_flight
+
+        configure_flight(args.flight_dir)
+    settings = CoordinatorSettings(
+        lease_s=args.lease,
+        grace_s=args.grace,
+        vnodes=args.vnodes,
+        max_attempts=args.max_attempts,
+        retry_backoff_s=args.retry_backoff,
+        hedge_delay_s=args.hedge_delay,
+        forward_timeout_s=args.forward_timeout,
+        degrade=not args.no_degrade,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        default_timeout_s=args.default_timeout,
+        require_machine_match=not args.any_machine,
+        jobs_dir=args.jobs_dir or os.environ.get("REPRO_JOBS_DIR"),
+        jobs_max_running=args.jobs_max_running,
+        jobs_workers=args.workers,
+    )
+    server = CoordinatorHTTPServer(
+        machine, settings, args.host, args.port, cache=executor.cache
+    )
+
+    async def _run() -> None:
+        bound_host, bound_port = await server.start()
+        if not args.quiet:
+            print(f"repro coordinator listening on "
+                  f"http://{bound_host}:{bound_port} "
+                  f"(lease {settings.lease_s:g}s + grace "
+                  f"{settings.grace_s:g}s, {settings.vnodes} vnodes, "
+                  f"jobs={'on' if settings.jobs_dir else 'off'}; "
+                  "Ctrl-C stops)", flush=True)
+        serve_task = asyncio.ensure_future(server.serve_forever())
+
+        def _on_term() -> None:
+            recorder = flight()
+            if recorder.enabled:
+                recorder.record("coordinator", "sigterm", pid=os.getpid(),
+                                host=bound_host, port=bound_port)
+                recorder.dump("sigterm", role="coordinator")
+            serve_task.cancel()
+
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_term)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+        try:
+            await serve_task
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        if not args.quiet:
+            print("shutting down")
+    return 0
 
 
 def _cmd_loadtest(args, machine: Machine, executor) -> int:
@@ -1003,9 +1244,35 @@ def _cmd_chaos(args, machine: Machine, executor) -> int:
     import tempfile
     from urllib.parse import urlsplit
 
-    from .faults.chaos import run_chaos, run_job_kill_chaos
+    from .faults.chaos import (
+        run_chaos,
+        run_job_kill_chaos,
+        run_node_kill_chaos,
+    )
 
     _configure_observability(args)
+
+    if args.scenario == "node-kill":
+        report = asyncio.run(
+            run_node_kill_chaos(
+                machine,
+                seed=args.seed,
+                nodes=args.nodes,
+                duration_s=args.duration,
+                clients=args.clients,
+                unique_points=args.unique_points,
+                error_budget=args.error_budget,
+                recovery_slo_s=args.recovery_slo,
+                preset=args.preset,
+                functional_cap=args.functional_cap,
+            )
+        )
+        print(report.render())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            print(f"chaos report written to {args.out}")
+        return 0 if report.passed else 1
 
     if args.scenario == "job-kill":
         report = run_job_kill_chaos(
@@ -1468,6 +1735,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "node": _cmd_node,
+    "coordinator": _cmd_coordinator,
     "loadtest": _cmd_loadtest,
     "chaos": _cmd_chaos,
     "job": _cmd_job,

@@ -1,0 +1,46 @@
+"""repro.cluster — coordinator/worker clustering with node-loss recovery.
+
+The layer that lets every prior subsystem survive losing a machine:
+
+- :mod:`.membership` — heartbeat leases, ALIVE → SUSPECT → DEAD.
+- :mod:`.ring` — consistent-hash routing with virtual nodes.
+- :mod:`.assigner` — exactly-once re-assignment, digest-deduped
+  completion (the zero-wrong-results fence).
+- :mod:`.node` — a worker: the full service stack + registration and
+  the ``/cluster/compute`` chunk endpoint (``repro node``).
+- :mod:`.coordinator` — membership + forwarding + cluster jobs
+  (``repro coordinator``).
+
+See docs/CLUSTER.md for the membership lifecycle, ring semantics, and
+the node-loss recovery walkthrough.
+"""
+
+from .assigner import Assigner
+from .coordinator import (
+    ClusterJobExecutor,
+    ClusterJobManager,
+    ClusterState,
+    CoordinatorHTTPServer,
+    CoordinatorSettings,
+)
+from .membership import ALIVE, DEAD, Membership, NodeInfo, SUSPECT
+from .node import NodeAgent, NodeHTTPServer
+from .ring import DEFAULT_VNODES, HashRing
+
+__all__ = [
+    "ALIVE",
+    "Assigner",
+    "ClusterJobExecutor",
+    "ClusterJobManager",
+    "ClusterState",
+    "CoordinatorHTTPServer",
+    "CoordinatorSettings",
+    "DEAD",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "Membership",
+    "NodeAgent",
+    "NodeHTTPServer",
+    "NodeInfo",
+    "SUSPECT",
+]

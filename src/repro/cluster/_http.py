@@ -1,0 +1,124 @@
+"""Minimal stdlib HTTP/1.1 JSON clients for intra-cluster calls.
+
+Two shapes, because the cluster speaks HTTP from two worlds:
+
+- :func:`request_json` — asyncio, used inside the coordinator's and the
+  node agent's event loops (forwarding ``/simulate``, heartbeats).
+- :func:`sync_request_json` — blocking ``urllib``, used from job-runner
+  threads (the cluster job executor dispatches chunks from the thread
+  :func:`repro.jobs.manager.run_job` runs on, not from the event loop).
+
+Both raise :class:`ClusterHTTPError` on transport failure and return
+``(status, document)`` otherwise — non-2xx is a *routing* signal the
+caller classifies, not an exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..service.loadgen import _read_http_response
+
+__all__ = [
+    "ClusterHTTPError",
+    "request_json",
+    "split_base_url",
+    "sync_request_json",
+]
+
+
+class ClusterHTTPError(Exception):
+    """Transport-level failure talking to a cluster peer."""
+
+
+def split_base_url(url: str) -> Tuple[str, int]:
+    """``http://host:port`` -> ``(host, port)``; strict on scheme."""
+    parts = urlsplit(url)
+    if parts.scheme != "http" or not parts.hostname:
+        raise ValueError(f"cluster URLs must be http://host:port, got {url!r}")
+    return parts.hostname, parts.port or 80
+
+
+async def request_json(
+    base_url: str,
+    method: str,
+    path: str,
+    doc: Any = None,
+    timeout_s: float = 10.0,
+) -> Tuple[int, Any]:
+    """One connection-per-call JSON request against a cluster peer."""
+    host, port = split_base_url(base_url)
+    body = b"" if doc is None else json.dumps(
+        doc, separators=(",", ":")
+    ).encode()
+    frame = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        "Connection: close\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("latin-1") + body
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout_s
+        )
+    except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+        raise ClusterHTTPError(f"connect {base_url}: {exc}") from exc
+    try:
+        writer.write(frame)
+        await writer.drain()
+        status, payload = await asyncio.wait_for(
+            _read_http_response(reader), timeout_s
+        )
+        return status, payload
+    except (
+        ConnectionError, OSError, asyncio.TimeoutError,
+        asyncio.IncompleteReadError, ValueError,
+    ) as exc:
+        raise ClusterHTTPError(f"{method} {base_url}{path}: {exc}") from exc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def sync_request_json(
+    base_url: str,
+    method: str,
+    path: str,
+    doc: Any = None,
+    timeout_s: float = 30.0,
+) -> Tuple[int, Any]:
+    """Blocking twin of :func:`request_json` (job-runner threads)."""
+    body: Optional[bytes] = None if doc is None else json.dumps(
+        doc, separators=(",", ":")
+    ).encode()
+    request = urllib.request.Request(
+        f"{base_url}{path}",
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            raw = response.read()
+            status = response.status
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        status = exc.code
+    except (urllib.error.URLError, ConnectionError, OSError) as exc:
+        raise ClusterHTTPError(f"{method} {base_url}{path}: {exc}") from exc
+    try:
+        payload = json.loads(raw.decode("utf-8")) if raw else None
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ClusterHTTPError(
+            f"{method} {base_url}{path}: non-JSON body"
+        ) from exc
+    return status, payload

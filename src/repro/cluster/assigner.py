@@ -1,0 +1,136 @@
+"""Exactly-once re-assignment with digest-deduped completion.
+
+The failure this module exists for: a worker is declared DEAD (its
+lease + grace expired), its in-flight chunk is re-enqueued on a
+replacement — and then the original node, which was merely slow, comes
+back with its answer.  Without fencing that chunk is computed twice and
+the second answer could silently overwrite the first.
+
+Two rules close the race:
+
+1. **Exactly-once re-enqueue** — :meth:`reassign_for` detaches every
+   in-flight key of the dead node and returns each key at most once per
+   assignment; a second DEAD transition for the same node (flapping)
+   returns nothing until the key is assigned again.
+2. **Last-write-rejected** — the *first* completion for a key wins and
+   records its result digest (keys are the PR-5 ``case_digest`` of the
+   chunk; digests are the ``case_digest`` of the records).  Every later
+   completion is rejected: ``duplicate`` when its digest matches the
+   accepted one (benign — deterministic compute arriving twice),
+   ``conflict`` when it differs (the alarm: two nodes disagreed about
+   the same deterministic chunk, so one of them is wrong).  Conflicts
+   are the zero-wrong-result tripwire — the caller must fail loudly,
+   never pick one.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+__all__ = ["Assigner", "COMPLETED_KEYS_MAX"]
+
+#: Completed-key digests retained for dedupe (FIFO eviction).  A slow
+#: zombie answering after 64k further chunks is indistinguishable from
+#: a new key — acceptable: the store layer still verifies digests.
+COMPLETED_KEYS_MAX = 65536
+
+#: Verdicts :meth:`Assigner.complete` can return.
+ACCEPTED = "accepted"
+DUPLICATE = "duplicate"
+CONFLICT = "conflict"
+UNKNOWN = "unknown"
+
+
+class Assigner:
+    """Thread-safe in-flight assignment table for one coordinator."""
+
+    def __init__(self, max_completed: int = COMPLETED_KEYS_MAX):
+        self._lock = threading.Lock()
+        self._in_flight: Dict[str, str] = {}          # key -> node_id
+        self._orphaned: set = set()                   # detached, awaiting re-assign
+        self._completed: "OrderedDict[str, str]" = OrderedDict()  # key -> digest
+        self.assignments = 0
+        self.reassignments = 0
+        self.duplicates = 0
+        self.conflicts = 0
+        self._max_completed = max(1, int(max_completed))
+
+    # -- assignment -----------------------------------------------------------
+    def assign(self, key: str, node_id: str) -> None:
+        """Record that *key* is in flight on *node_id*."""
+        with self._lock:
+            self._in_flight[key] = node_id
+            self._orphaned.discard(key)
+            self.assignments += 1
+
+    def owner(self, key: str) -> Optional[str]:
+        with self._lock:
+            return self._in_flight.get(key)
+
+    def release(self, key: str) -> None:
+        """Drop *key* without completing it (caller is retrying itself)."""
+        with self._lock:
+            self._in_flight.pop(key, None)
+            self._orphaned.discard(key)
+
+    def reassign_for(self, node_id: str) -> List[str]:
+        """Keys in flight on a now-DEAD node, each returned exactly once.
+
+        Returned keys are detached (*orphaned*): a second call for the
+        same node — or the same key before it is re-assigned — returns
+        nothing, so a flapping node cannot double-enqueue work.
+        """
+        with self._lock:
+            keys = sorted(
+                key for key, owner in self._in_flight.items()
+                if owner == node_id and key not in self._orphaned
+            )
+            for key in keys:
+                del self._in_flight[key]
+                self._orphaned.add(key)
+            self.reassignments += len(keys)
+            return keys
+
+    # -- completion -----------------------------------------------------------
+    def complete(self, key: str, node_id: str, digest: str) -> str:
+        """First result for *key* wins; later writes are rejected.
+
+        Returns ``accepted``, ``duplicate`` (same digest — benign),
+        ``conflict`` (different digest — a wrong result exists
+        somewhere; the caller must treat this as fatal), or ``unknown``
+        (never assigned — refused outright).
+        """
+        with self._lock:
+            accepted = self._completed.get(key)
+            if accepted is not None:
+                if accepted == digest:
+                    self.duplicates += 1
+                    return DUPLICATE
+                self.conflicts += 1
+                return CONFLICT
+            if (
+                self._in_flight.get(key) is None
+                and key not in self._orphaned
+            ):
+                return UNKNOWN
+            self._in_flight.pop(key, None)
+            self._orphaned.discard(key)
+            self._completed[key] = digest
+            while len(self._completed) > self._max_completed:
+                self._completed.popitem(last=False)
+            return ACCEPTED
+
+    # -- introspection --------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "in_flight": len(self._in_flight),
+                "orphaned": len(self._orphaned),
+                "completed": len(self._completed),
+                "assignments": self.assignments,
+                "reassignments": self.reassignments,
+                "duplicates": self.duplicates,
+                "conflicts": self.conflicts,
+            }

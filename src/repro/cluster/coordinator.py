@@ -1,0 +1,780 @@
+"""The cluster coordinator: membership, routing, recovery, jobs.
+
+One process owns the cluster picture and never computes simulation
+points itself (except as a last-resort local fallback for job chunks
+when the whole ring is gone):
+
+- **Membership** (:mod:`.membership`): worker nodes join over HTTP and
+  renew heartbeat leases; a tick task expires them ALIVE → SUSPECT →
+  DEAD.  Every transition lands in the flight recorder, the
+  ``cluster.membership_transitions`` counter, and per-state /
+  per-node gauges.
+- **Routing** (:mod:`.ring`): request fingerprints and job-chunk
+  digests map onto worker nodes through a consistent-hash ring, so a
+  node loss remaps only that node's arc.
+- **Recovery** (:mod:`.assigner`): a DEAD node's in-flight chunks are
+  detached exactly once and recomputed elsewhere; completions are
+  first-write-wins with digest dedupe, so a slow "dead" node racing
+  its replacement can never smuggle in a duplicate or conflicting
+  result.
+- **Forwarding**: ``/simulate`` walks the ring's preference list with
+  hedged retry (a second node is raced after ``hedge_delay_s``),
+  exponential backoff, and per-node circuit breakers — a flapping node
+  is quarantined rather than hammered.  Only when *no* node is
+  dispatchable does the coordinator degrade through
+  :func:`repro.faults.degrade.analytic_estimate` (flagged
+  ``degraded: true``), exactly like the single-box service.
+- **Jobs**: the standard ``/jobs`` API backed by
+  :class:`ClusterJobManager`, whose executor ships chunks to nodes as
+  ``(spec, start, count)`` index ranges — nodes rebuild identical
+  payload tuples from the spec, which is what keeps a cluster job's
+  result stream byte-identical to a single-node run.
+
+The ``cluster.assign`` fault point fires on every dispatch decision
+(modes: ``error`` — the assignment is dropped before it reaches the
+node; ``slow``), which is how chaos exercises the retry machinery
+deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..faults.breaker import CircuitBreaker
+from ..faults.degrade import analytic_estimate
+from ..faults.injector import fire
+from ..jobs.manager import JobManager, _ManagedJob
+from ..obs.flight import flight
+from ..obs.promtext import (
+    PROM_CONTENT_TYPE, prometheus_text, wants_prometheus,
+)
+from ..service.api import (
+    ServiceValidationError, SimResponse, parse_request, summarize_record,
+)
+from ..service.http import BaseHTTPServer, _HTTPError, _RawBody
+from ..sweep.executor import SweepExecutor
+from ..sweep.fingerprint import (
+    CACHE_VERSION, fingerprint, machine_fingerprint_data,
+)
+from ..telemetry.state import metrics
+from ..verify.fuzzer import case_digest
+from . import assigner as assign_mod
+from ._http import ClusterHTTPError, request_json, sync_request_json
+from .assigner import Assigner
+from .membership import ALIVE, DEAD, Membership, NodeInfo, SUSPECT
+from .ring import DEFAULT_VNODES, HashRing
+
+__all__ = [
+    "ClusterJobExecutor",
+    "ClusterJobManager",
+    "ClusterState",
+    "CoordinatorHTTPServer",
+    "CoordinatorSettings",
+]
+
+_STATE_GAUGE = {ALIVE: 0.0, SUSPECT: 1.0, DEAD: 2.0}
+
+
+@dataclass
+class CoordinatorSettings:
+    """Deployment knobs for one coordinator (CLI: ``repro coordinator``)."""
+
+    lease_s: float = 3.0
+    grace_s: float = 6.0
+    vnodes: int = DEFAULT_VNODES
+    #: Distinct nodes tried per request/chunk before giving up.
+    max_attempts: int = 3
+    #: Base of the exponential retry backoff between failed attempts.
+    retry_backoff_s: float = 0.05
+    #: Race a second node after this long without an answer (None/0
+    #: disables hedging; hedges share the ``max_attempts`` budget).
+    hedge_delay_s: Optional[float] = None
+    forward_timeout_s: float = 30.0
+    #: Answer compute requests analytically when the ring is empty.
+    degrade: bool = True
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 2.0
+    default_timeout_s: float = 30.0
+    #: Reject joins whose machine fingerprint differs from ours — mixed
+    #: fingerprints would break result byte-identity and cache dedupe.
+    require_machine_match: bool = True
+    jobs_dir: Optional[str] = None
+    jobs_max_running: int = 1
+    jobs_workers: "int | str | None" = 1
+
+
+class ClusterState:
+    """Membership + ring + assigner + per-node breakers, under one roof.
+
+    Thread-safe: the coordinator's event loop and the job-runner
+    threads both route through here.
+    """
+
+    def __init__(
+        self,
+        settings: CoordinatorSettings,
+        machine_fingerprint: str,
+        registry: Any = None,
+    ):
+        self.settings = settings
+        self.machine_fingerprint = machine_fingerprint
+        self.registry = registry or metrics()
+        self.membership = Membership(
+            lease_s=settings.lease_s, grace_s=settings.grace_s
+        )
+        self.ring = HashRing(vnodes=settings.vnodes)
+        self.assigner = Assigner()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    # -- join / heartbeat -----------------------------------------------------
+    def register(self, doc: Any) -> Tuple[int, Dict[str, Any]]:
+        if not isinstance(doc, dict) or not isinstance(doc.get("url"), str):
+            return 400, {"error": "join body must carry a node url"}
+        machine = str(doc.get("machine", ""))
+        if (
+            self.settings.require_machine_match
+            and machine != self.machine_fingerprint
+        ):
+            self.registry.counter("cluster.joins_rejected").add(1)
+            return 409, {
+                "error": "machine fingerprint mismatch: node results "
+                         "would not be byte-identical to this cluster's",
+                "expected": self.machine_fingerprint,
+                "got": machine,
+            }
+        node_id = doc.get("node_id") or None
+        previous = (
+            self.membership.get(node_id) if isinstance(node_id, str) else None
+        )
+        node = self.membership.join(
+            url=doc["url"],
+            machine=machine,
+            capabilities=doc.get("capabilities") or {},
+            node_id=node_id if isinstance(node_id, str) else None,
+        )
+        self.ring.add(node.node_id)
+        self._breakers.pop(node.node_id, None)  # fresh slate on (re)join
+        self.registry.counter("cluster.joins_accepted").add(1)
+        recorder = flight()
+        if recorder.enabled:
+            recorder.record(
+                "cluster", "node_joined",
+                node_id=node.node_id, url=node.url,
+                generation=node.generation,
+                rejoin=previous is not None,
+            )
+        self.refresh_gauges()
+        return 200, {
+            "node_id": node.node_id,
+            "generation": node.generation,
+            "lease_s": self.settings.lease_s,
+        }
+
+    def heartbeat(self, doc: Any) -> Tuple[int, Dict[str, Any]]:
+        if not isinstance(doc, dict):
+            return 400, {"error": "heartbeat body must be an object"}
+        verdict = self.membership.renew(
+            str(doc.get("node_id", "")), int(doc.get("generation", -1))
+        )
+        self.registry.counter(
+            "cluster.heartbeats", verdict=verdict
+        ).add(1)
+        return 200, {"status": verdict}
+
+    # -- lease expiry ---------------------------------------------------------
+    def tick(self) -> List[Tuple[str, str, str]]:
+        """Advance lease expiries; apply ring/assigner consequences."""
+        transitions = self.membership.tick()
+        recorder = flight()
+        for node_id, from_state, to_state in transitions:
+            self.registry.counter(
+                "cluster.membership_transitions", to=to_state
+            ).add(1)
+            if recorder.enabled:
+                recorder.record(
+                    "cluster", "membership_transition",
+                    node_id=node_id, from_state=from_state,
+                    to_state=to_state,
+                )
+            if to_state == DEAD:
+                self.ring.remove(node_id)
+                orphans = self.assigner.reassign_for(node_id)
+                self.registry.counter("cluster.nodes_lost").add(1)
+                if orphans:
+                    self.registry.counter(
+                        "cluster.chunks_reassigned"
+                    ).add(len(orphans))
+                if recorder.enabled:
+                    recorder.record(
+                        "cluster", "node_dead",
+                        node_id=node_id, reassigned=len(orphans),
+                    )
+                    recorder.dump("node-dead", node_id=node_id)
+        if transitions:
+            self.refresh_gauges()
+        return transitions
+
+    # -- routing --------------------------------------------------------------
+    def breaker_for(self, node_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(node_id)
+        if breaker is None:
+            breaker = self._breakers[node_id] = CircuitBreaker(
+                name=f"node:{node_id}",
+                failure_threshold=self.settings.breaker_threshold,
+                cooldown_s=self.settings.breaker_cooldown_s,
+                registry=self.registry,
+            )
+        return breaker
+
+    def next_candidate(
+        self, key: str, tried: Set[str]
+    ) -> Optional[NodeInfo]:
+        """The best untried node for *key*: ring order, ALIVE before
+        SUSPECT, quarantined (breaker-open) nodes skipped."""
+        preference = self.ring.preference(key, count=len(self.ring) or 1)
+        now = time.monotonic()
+        suspect: Optional[NodeInfo] = None
+        for node_id in preference:
+            if node_id in tried:
+                continue
+            node = self.membership.get(node_id)
+            if node is None or node.state == DEAD:
+                continue
+            if not self.breaker_for(node_id).allow(now):
+                continue
+            if node.state == ALIVE:
+                return node
+            if suspect is None:
+                suspect = node
+        return suspect
+
+    def note_success(self, node: NodeInfo) -> None:
+        self.breaker_for(node.node_id).record_success()
+
+    def note_failure(self, node: NodeInfo) -> None:
+        self.breaker_for(node.node_id).record_failure(time.monotonic())
+        self.registry.counter(
+            "cluster.forward_failures", node=node.node_id
+        ).add(1)
+
+    # -- introspection --------------------------------------------------------
+    def refresh_gauges(self) -> None:
+        counts = self.membership.counts()
+        for state, count in counts.items():
+            self.registry.gauge("cluster.nodes", state=state).set(
+                float(count)
+            )
+        for node in self.membership.nodes():
+            self.registry.gauge(
+                "cluster.node_state", node=node.node_id
+            ).set(_STATE_GAUGE.get(node.state, 2.0))
+
+    def describe(self) -> Dict[str, Any]:
+        counts = self.membership.counts()
+        return {
+            "status": "ok" if counts[ALIVE] else (
+                "degraded" if counts[SUSPECT] else "empty"
+            ),
+            "machine": self.machine_fingerprint,
+            "counts": counts,
+            "nodes": [n.to_dict() for n in self.membership.nodes()],
+            "ring": self.ring.describe(),
+            "assigner": self.assigner.stats(),
+        }
+
+
+class ClusterJobExecutor:
+    """Executor-shaped adapter that ships job chunks across the ring.
+
+    Implements exactly the surface :func:`repro.jobs.manager.run_job`
+    uses (``machine_fingerprint``, ``run_streaming``, ``close``).  Each
+    chunk travels as ``(spec, start, count)``; the node's records come
+    back with a digest the coordinator re-derives and registers with
+    the assigner (first-write-wins).  A digest *conflict* raises — the
+    job fails loudly rather than stream a wrong result.  When no node
+    is dispatchable the chunk is computed on the local fallback
+    executor: a cluster of zero nodes behaves exactly like ``repro job
+    run`` on one box.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        settings: CoordinatorSettings,
+        spec: Any,
+        local: SweepExecutor,
+    ):
+        self.state = state
+        self.settings = settings
+        self.spec = spec
+        self.spec_doc = spec.to_dict()
+        self.local = local
+
+    @property
+    def machine_fingerprint(self) -> str:
+        return self.local.machine_fingerprint
+
+    def close(self) -> None:
+        self.local.close()
+
+    def run(self, kind: str, payloads: Any, stage: str) -> List[dict]:
+        return self.local.run(kind, payloads, stage)
+
+    def run_streaming(
+        self,
+        kind: str,
+        payloads: Any,
+        stage: str,
+        sink: Any,
+        chunk_size: int = 1024,
+        checkpoint: Any = None,
+        start_index: int = 0,
+    ) -> int:
+        done = 0
+        index = start_index
+        iterator = iter(payloads)
+        while True:
+            chunk = list(itertools.islice(iterator, max(1, chunk_size)))
+            if not chunk:
+                break
+            records = self._resolve_chunk(kind, chunk, index, stage)
+            for j, record in enumerate(records):
+                sink(index + j, record)
+            index += len(records)
+            done += len(records)
+            if checkpoint is not None:
+                checkpoint(done)
+        return done
+
+    def _chunk_key(self, start: int, count: int) -> str:
+        return case_digest(
+            {
+                "cluster_chunk": self.spec.spec_digest,
+                "machine": self.machine_fingerprint,
+                "start": start,
+                "count": count,
+            }
+        )
+
+    def _resolve_chunk(
+        self, kind: str, chunk: List[tuple], start: int, stage: str
+    ) -> List[dict]:
+        state = self.state
+        settings = self.settings
+        key = self._chunk_key(start, len(chunk))
+        tried: Set[str] = set()
+        failures = 0
+        while len(tried) < max(1, settings.max_attempts):
+            node = state.next_candidate(key, tried)
+            if node is None:
+                break
+            tried.add(node.node_id)
+            state.assigner.assign(key, node.node_id)
+            decision = fire("cluster.assign")
+            if decision is not None:
+                if decision.mode == "slow":
+                    time.sleep(
+                        decision.delay_s
+                        if decision.delay_s is not None else 0.02
+                    )
+                elif decision.mode == "error":
+                    # The assignment is lost before it reaches the node.
+                    state.assigner.release(key)
+                    failures += 1
+                    continue
+            try:
+                status, doc = sync_request_json(
+                    node.url, "POST", "/cluster/compute",
+                    {
+                        "spec": self.spec_doc,
+                        "start": start,
+                        "count": len(chunk),
+                    },
+                    timeout_s=settings.forward_timeout_s,
+                )
+            except ClusterHTTPError:
+                state.note_failure(node)
+                state.assigner.release(key)
+                failures += 1
+                time.sleep(
+                    min(1.0, settings.retry_backoff_s * (2 ** failures))
+                )
+                continue
+            records = (doc or {}).get("records") if status == 200 else None
+            if (
+                not isinstance(records, list)
+                or len(records) != len(chunk)
+                or (doc or {}).get("machine") != self.machine_fingerprint
+            ):
+                state.note_failure(node)
+                state.assigner.release(key)
+                failures += 1
+                continue
+            digest = case_digest(records)
+            if digest != (doc or {}).get("digest"):
+                # The payload was damaged in transit (or the node lied):
+                # never stream it.
+                state.note_failure(node)
+                state.assigner.release(key)
+                failures += 1
+                continue
+            verdict = state.assigner.complete(key, node.node_id, digest)
+            if verdict == assign_mod.CONFLICT:
+                state.registry.counter("cluster.chunk_conflicts").add(1)
+                raise RuntimeError(
+                    f"conflicting results for chunk {key} (points "
+                    f"{start}..{start + len(chunk) - 1}): two nodes "
+                    "disagree about a deterministic chunk — failing the "
+                    "job rather than stream a wrong result"
+                )
+            state.note_success(node)
+            state.registry.counter("cluster.chunks_remote").add(1)
+            return records
+        # Ring empty or every candidate exhausted: degrade to local
+        # compute (identical results — same machine fingerprint).
+        state.registry.counter("cluster.chunks_local").add(1)
+        return self.local.run(kind, chunk, stage)
+
+
+class ClusterJobManager(JobManager):
+    """A :class:`JobManager` whose jobs execute across the ring."""
+
+    def __init__(
+        self,
+        root: Any,
+        machine: Any,
+        state: ClusterState,
+        settings: CoordinatorSettings,
+        cache: Any = None,
+        workers: "int | str | None" = None,
+        max_running: int = 1,
+        fsync: bool = False,
+    ):
+        super().__init__(
+            root, machine, cache=cache, workers=workers,
+            max_running=max_running, fsync=fsync,
+        )
+        self.state = state
+        self.settings = settings
+
+    def _make_executor(self, job: _ManagedJob) -> ClusterJobExecutor:
+        local = SweepExecutor(
+            self.machine, workers=self.workers, cache=self.cache
+        )
+        return ClusterJobExecutor(
+            self.state, self.settings, job.spec, local
+        )
+
+
+class CoordinatorHTTPServer(BaseHTTPServer):
+    """The coordinator's HTTP surface.
+
+    =========================  =========================================
+    ``POST /cluster/join``     node registration (capability +
+                               machine-fingerprint metadata)
+    ``POST /cluster/heartbeat``  lease renewal
+    ``GET  /healthz``          liveness + node counts
+    ``GET  /health``           full cluster state (ring, members,
+                               assigner); 503 when no node is ALIVE
+    ``GET  /metrics``          telemetry registry (JSON or Prometheus)
+    ``POST /simulate``         forwarded over the ring (hedged retry,
+                               breakers, degrade)
+    ``POST /batch``            per-entry forwarding, one 200 envelope
+    ``/jobs...``               durable jobs on the cluster executor
+    =========================  =========================================
+    """
+
+    def __init__(
+        self,
+        machine: Any,
+        settings: Optional[CoordinatorSettings] = None,
+        host: str = "127.0.0.1",
+        port: int = 8078,
+        cache: Any = None,
+    ):
+        super().__init__(host, port)
+        self.machine = machine
+        self.settings = settings or CoordinatorSettings()
+        self.registry = metrics()
+        self.machine_fingerprint = fingerprint(
+            machine_fingerprint_data(machine)
+        )
+        self.state = ClusterState(
+            self.settings, self.machine_fingerprint, self.registry
+        )
+        self.jobs: Optional[ClusterJobManager] = None
+        self._cache = cache
+        self._tick_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    async def _on_start(self) -> None:
+        if self.settings.jobs_dir:
+            self.jobs = ClusterJobManager(
+                self.settings.jobs_dir,
+                self.machine,
+                self.state,
+                self.settings,
+                cache=self._cache,
+                workers=self.settings.jobs_workers,
+                max_running=self.settings.jobs_max_running,
+            )
+        self._tick_task = asyncio.ensure_future(self._tick_forever())
+        self.state.refresh_gauges()
+
+    async def _on_stop(self) -> None:
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            try:
+                await self._tick_task
+            except asyncio.CancelledError:
+                pass
+            self._tick_task = None
+        if self.jobs is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.jobs.shutdown
+            )
+
+    async def _tick_forever(self) -> None:
+        interval = max(0.05, self.settings.lease_s / 2.0)
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                self.state.tick()
+            except Exception:
+                # The tick loop must survive anything: a failed tick
+                # only delays expiry by one interval.
+                self.registry.counter("cluster.tick_errors").add(1)
+
+    # -- routing --------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Any]:
+        path, _, query = path.partition("?")
+        if path == "/cluster/join":
+            if method != "POST":
+                raise _HTTPError(405, "use POST /cluster/join")
+            return self.state.register(self._decode(body))
+        if path == "/cluster/heartbeat":
+            if method != "POST":
+                raise _HTTPError(405, "use POST /cluster/heartbeat")
+            return self.state.heartbeat(self._decode(body))
+        if path == "/healthz":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /healthz")
+            counts = self.state.membership.counts()
+            return 200, {
+                "status": "ok" if counts[ALIVE] else "degraded",
+                "role": "coordinator",
+                "nodes": counts,
+            }
+        if path == "/health":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /health")
+            doc = self.state.describe()
+            healthy = doc["counts"][ALIVE] > 0
+            return (200 if healthy else 503), doc
+        if path == "/metrics":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /metrics")
+            if wants_prometheus(headers.get("accept", "")):
+                text = prometheus_text(self.registry)
+                return 200, _RawBody(PROM_CONTENT_TYPE, text.encode("utf-8"))
+            return 200, {"metrics": self.registry.snapshot()}
+        if path == "/simulate":
+            if method != "POST":
+                raise _HTTPError(405, "use POST /simulate")
+            return await self._forward_simulate(body)
+        if path == "/batch":
+            if method != "POST":
+                raise _HTTPError(405, "use POST /batch")
+            return await self._forward_batch(self._decode(body))
+        if path == "/jobs" or path.startswith("/jobs/"):
+            return await self._route_jobs(method, path, query, body)
+        raise _HTTPError(404, f"no route for {path}")
+
+    def _jobs_manager(self) -> Any:
+        if self.jobs is None:
+            raise _HTTPError(
+                503, "jobs disabled (start the coordinator with --jobs-dir)"
+            )
+        return self.jobs
+
+    # -- forwarding -----------------------------------------------------------
+    def _routing_key(self, request: Any) -> str:
+        # Byte-for-byte the sweep executor's cache key, so the
+        # coordinator's routing/degrade fingerprints line up with what
+        # worker nodes (and chaos ground truth) report.
+        kind, payload = request.payload()
+        return fingerprint(
+            {
+                "version": CACHE_VERSION,
+                "machine": self.machine_fingerprint,
+                "kind": kind,
+                "payload": payload,
+            }
+        )
+
+    async def _forward_simulate(self, body: bytes) -> Tuple[int, Any]:
+        obj = self._decode(body)
+        try:
+            request = parse_request(
+                obj, default_timeout_s=self.settings.default_timeout_s
+            )
+        except ServiceValidationError as exc:
+            self.registry.counter(
+                "service.rejected", reason="invalid_request"
+            ).add(1)
+            request_id = ""
+            if isinstance(obj, dict):
+                request_id = str(obj.get("request_id", ""))[:64]
+            response = SimResponse.error(
+                request_id, "invalid_request", str(exc)
+            )
+            return response.http_status(), response.to_dict()
+        key = self._routing_key(request)
+        started = asyncio.get_running_loop().time()
+        forwarded = await self._dispatch(key, obj)
+        if forwarded is not None:
+            return forwarded
+        if self.settings.degrade:
+            self.registry.counter(
+                "cluster.degraded", reason="ring_unavailable"
+            ).add(1)
+            record = analytic_estimate(self.machine, request)
+            response = SimResponse(
+                status="ok",
+                request_id=request.request_id,
+                fingerprint=key,
+                source="degraded",
+                degraded=True,
+                result=summarize_record(request, record),
+                queue_seconds=0.0,
+                service_seconds=round(
+                    asyncio.get_running_loop().time() - started, 9
+                ),
+            )
+            return 200, response.to_dict()
+        response = SimResponse.error(
+            request.request_id, "no_nodes",
+            "no worker node is dispatchable and degradation is off",
+        )
+        return 503, response.to_dict()
+
+    async def _dispatch(
+        self, key: str, obj: Any
+    ) -> Optional[Tuple[int, Any]]:
+        """Hedged-retry forward over the preference list.
+
+        Returns the first usable node answer, or ``None`` when the ring
+        is empty / every attempt failed (the caller degrades).  A 5xx
+        (or transport error) counts against the node's breaker and the
+        next candidate is tried after an exponential backoff; any
+        non-5xx answer is authoritative and passed through.
+        """
+        settings = self.settings
+        state = self.state
+        pending: Dict[asyncio.Task, NodeInfo] = {}
+        tried: Set[str] = set()
+        launched = 0
+        failures = 0
+
+        async def launch_next() -> bool:
+            nonlocal launched, failures
+            while launched < max(1, settings.max_attempts):
+                node = state.next_candidate(key, tried)
+                if node is None:
+                    return False
+                tried.add(node.node_id)
+                launched += 1
+                decision = fire("cluster.assign")
+                if decision is not None:
+                    if decision.mode == "slow":
+                        await asyncio.sleep(
+                            decision.delay_s
+                            if decision.delay_s is not None else 0.02
+                        )
+                    elif decision.mode == "error":
+                        state.note_failure(node)
+                        failures += 1
+                        continue
+                task = asyncio.ensure_future(
+                    request_json(
+                        node.url, "POST", "/simulate", obj,
+                        timeout_s=settings.forward_timeout_s,
+                    )
+                )
+                pending[task] = node
+                return True
+            return False
+
+        try:
+            await launch_next()
+            while pending:
+                hedge = (
+                    settings.hedge_delay_s
+                    if settings.hedge_delay_s
+                    and launched < settings.max_attempts
+                    else None
+                )
+                done, _ = await asyncio.wait(
+                    pending, timeout=hedge,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    # The primary is slow: race the next ring candidate.
+                    if await launch_next():
+                        self.registry.counter("cluster.hedges").add(1)
+                    else:
+                        # Nobody left to hedge onto — wait out the
+                        # in-flight attempts without a timer.
+                        launched = max(launched, settings.max_attempts)
+                    continue
+                for task in done:
+                    node = pending.pop(task)
+                    try:
+                        status, doc = task.result()
+                    except ClusterHTTPError:
+                        status, doc = 0, None
+                    except asyncio.CancelledError:
+                        continue
+                    if status and status < 500 and isinstance(doc, dict):
+                        state.note_success(node)
+                        self.registry.counter(
+                            "cluster.forwarded", node=node.node_id
+                        ).add(1)
+                        return status, doc
+                    state.note_failure(node)
+                    failures += 1
+                if not pending:
+                    if launched >= settings.max_attempts:
+                        break
+                    await asyncio.sleep(
+                        min(1.0, settings.retry_backoff_s * (2 ** failures))
+                    )
+                    self.registry.counter("cluster.retries").add(1)
+                    if not await launch_next():
+                        break
+            return None
+        finally:
+            for task in pending:
+                task.cancel()
+
+    async def _forward_batch(self, obj: Any) -> Tuple[int, Any]:
+        if not isinstance(obj, dict) or not isinstance(
+            obj.get("requests"), list
+        ):
+            raise _HTTPError(400, "/batch body must be {'requests': [...]}")
+        entries = obj["requests"]
+        bodies = [
+            json.dumps(entry, separators=(",", ":")).encode()
+            for entry in entries
+        ]
+        results = await asyncio.gather(
+            *(self._forward_simulate(body) for body in bodies)
+        )
+        return 200, {"responses": [doc for _status, doc in results]}

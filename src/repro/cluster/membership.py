@@ -1,0 +1,188 @@
+"""Heartbeat-lease membership: join / renew / expire with suspect→dead.
+
+Every worker node holds a *lease* it must renew by heartbeating before
+``lease_s`` elapses.  A node that misses its lease turns ``SUSPECT`` —
+it stays routable (the ring keeps it; a GC pause or a dropped packet
+should not reshuffle the keyspace) but the coordinator stops preferring
+it.  After a further ``grace_s`` without a renewal it turns ``DEAD``:
+the ring drops it and its in-flight assignments are re-enqueued.
+
+Zombie fencing: each successful join mints a *generation* number, and
+renewals must quote it.  A node that was declared DEAD and later wakes
+up renews with a stale generation and is told to re-join — it can never
+silently resurrect into a ring that already re-assigned its work (the
+assigner's digest dedupe is the second line of defense; see
+``assigner.py``).
+
+The clock is injected (``clock=`` callable) so the state machine is
+deterministic under test and benchable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "Membership",
+    "NodeInfo",
+    "SUSPECT",
+]
+
+ALIVE = "ALIVE"
+SUSPECT = "SUSPECT"
+DEAD = "DEAD"
+
+#: Verdicts :meth:`Membership.renew` can return.
+RENEW_OK = "ok"
+RENEW_STALE = "stale"      # generation mismatch: zombie from before a rejoin
+RENEW_UNKNOWN = "unknown"  # never joined, or DEAD — must re-join
+
+
+@dataclass
+class NodeInfo:
+    """One worker node as the coordinator sees it."""
+
+    node_id: str
+    url: str
+    machine: str = ""
+    capabilities: Dict[str, Any] = field(default_factory=dict)
+    generation: int = 1
+    state: str = ALIVE
+    joined_at: float = 0.0
+    last_renewal: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "url": self.url,
+            "machine": self.machine,
+            "capabilities": dict(self.capabilities),
+            "generation": self.generation,
+            "state": self.state,
+            "joined_at": self.joined_at,
+            "last_renewal": self.last_renewal,
+        }
+
+
+class Membership:
+    """Thread-safe lease table with the ALIVE → SUSPECT → DEAD machine.
+
+    ``tick()`` advances expiries and returns the transitions it caused;
+    the coordinator turns those into ring changes, re-assignments,
+    gauges, and flight-recorder entries.  DEAD nodes are kept (so a
+    zombie heartbeat can be told ``unknown`` instead of silently
+    re-admitted) until a re-join replaces them.
+    """
+
+    def __init__(
+        self,
+        lease_s: float = 3.0,
+        grace_s: float = 6.0,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
+        if grace_s < 0:
+            raise ValueError(f"grace_s must be >= 0, got {grace_s}")
+        self.lease_s = float(lease_s)
+        self.grace_s = float(grace_s)
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._nodes: Dict[str, NodeInfo] = {}
+        self._generation = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def join(
+        self,
+        url: str,
+        machine: str = "",
+        capabilities: Optional[Dict[str, Any]] = None,
+        node_id: Optional[str] = None,
+    ) -> NodeInfo:
+        """Admit (or re-admit) a node; mints an id when none is given.
+
+        Re-joining an existing id bumps the generation — outstanding
+        renewals quoting the old generation become ``stale``.
+        """
+        now = self._clock()
+        with self._lock:
+            self._generation += 1
+            node = NodeInfo(
+                node_id=node_id or f"node-{uuid.uuid4().hex[:12]}",
+                url=url,
+                machine=machine,
+                capabilities=dict(capabilities or {}),
+                generation=self._generation,
+                state=ALIVE,
+                joined_at=now,
+                last_renewal=now,
+            )
+            self._nodes[node.node_id] = node
+            return node
+
+    def renew(self, node_id: str, generation: int) -> str:
+        """Heartbeat: returns ``ok``, ``stale``, or ``unknown``."""
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is None or node.state == DEAD:
+                return RENEW_UNKNOWN
+            if int(generation) != node.generation:
+                return RENEW_STALE
+            node.last_renewal = self._clock()
+            if node.state == SUSPECT:
+                node.state = ALIVE
+            return RENEW_OK
+
+    def tick(self, now: Optional[float] = None) -> List[Tuple[str, str, str]]:
+        """Expire leases; returns ``(node_id, from_state, to_state)``.
+
+        ALIVE past its lease turns SUSPECT; SUSPECT past lease + grace
+        turns DEAD.  Both can happen in one tick after a long stall.
+        """
+        now = self._clock() if now is None else now
+        transitions: List[Tuple[str, str, str]] = []
+        with self._lock:
+            for node in self._nodes.values():
+                idle = now - node.last_renewal
+                if node.state == ALIVE and idle > self.lease_s:
+                    node.state = SUSPECT
+                    transitions.append((node.node_id, ALIVE, SUSPECT))
+                if node.state == SUSPECT and idle > self.lease_s + self.grace_s:
+                    node.state = DEAD
+                    transitions.append((node.node_id, SUSPECT, DEAD))
+        return transitions
+
+    def forget(self, node_id: str) -> bool:
+        """Drop a DEAD node's tombstone entirely (tests/admin)."""
+        with self._lock:
+            return self._nodes.pop(node_id, None) is not None
+
+    # -- introspection --------------------------------------------------------
+    def get(self, node_id: str) -> Optional[NodeInfo]:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    def nodes(self) -> List[NodeInfo]:
+        with self._lock:
+            return sorted(self._nodes.values(), key=lambda n: n.node_id)
+
+    def routable(self) -> List[NodeInfo]:
+        """Nodes that should be on the ring (ALIVE or SUSPECT)."""
+        with self._lock:
+            return sorted(
+                (n for n in self._nodes.values() if n.state != DEAD),
+                key=lambda n: n.node_id,
+            )
+
+    def counts(self) -> Dict[str, int]:
+        out = {ALIVE: 0, SUSPECT: 0, DEAD: 0}
+        with self._lock:
+            for node in self._nodes.values():
+                out[node.state] = out.get(node.state, 0) + 1
+        return out

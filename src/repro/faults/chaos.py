@@ -44,9 +44,11 @@ from .plan import FaultPlan
 __all__ = [
     "ChaosReport",
     "JobKillReport",
+    "NodeKillReport",
     "compute_truth",
     "run_chaos",
     "run_job_kill_chaos",
+    "run_node_kill_chaos",
 ]
 
 
@@ -607,6 +609,42 @@ def _job_records(directory: Any) -> List[Dict[str, Any]]:
     return out
 
 
+def _compare_job_dirs(truth_dir: Any, job_dir: Any) -> Dict[str, Any]:
+    """The differential-oracle verdict for two completed job dirs.
+
+    Returns wrong/duplicated/missing point counts and whether the
+    manifest + every shard file match byte for byte.
+    """
+    from ..jobs.store import SHARD_DIR
+
+    truth_records = _job_records(truth_dir)
+    job_records = _job_records(job_dir)
+    truth_by_index = {e["i"]: e for e in truth_records}
+    seen: Dict[int, int] = {}
+    wrong = 0
+    for entry in job_records:
+        seen[entry["i"]] = seen.get(entry["i"], 0) + 1
+        expected = truth_by_index.get(entry["i"])
+        if expected is None or expected["r"] != entry["r"]:
+            wrong += 1
+    names = sorted(
+        p.name for p in (truth_dir / SHARD_DIR).glob("shard-*.jsonl")
+    )
+    byte_identical = all(
+        (truth_dir / rel).read_bytes() == (job_dir / rel).read_bytes()
+        for rel in ["manifest.json"]
+        + [f"{SHARD_DIR}/{name}" for name in names]
+    ) and names == sorted(
+        p.name for p in (job_dir / SHARD_DIR).glob("shard-*.jsonl")
+    )
+    return {
+        "wrong_points": wrong,
+        "duplicated_points": sum(n - 1 for n in seen.values() if n > 1),
+        "missing_points": len(set(truth_by_index) - set(seen)),
+        "byte_identical": byte_identical,
+    }
+
+
 def run_job_kill_chaos(
     machine: Any,
     seed: int = 7,
@@ -631,7 +669,6 @@ def run_job_kill_chaos(
 
     from ..jobs.api import JobSpec
     from ..jobs.manager import read_state, run_job
-    from ..jobs.store import SHARD_DIR
 
     if spec is None:
         # Small enough for CI, but crossing several checkpoint intervals
@@ -707,31 +744,11 @@ def run_job_kill_chaos(
         report.points_done = int((final or {}).get("points_done", 0))
         report.completed = bool(final and final.get("state") == "DONE")
         if report.completed:
-            truth_records = _job_records(truth_dir)
-            job_records = _job_records(job_dir)
-            truth_by_index = {e["i"]: e for e in truth_records}
-            seen: Dict[int, int] = {}
-            for entry in job_records:
-                seen[entry["i"]] = seen.get(entry["i"], 0) + 1
-                expected = truth_by_index.get(entry["i"])
-                if expected is None or expected["r"] != entry["r"]:
-                    report.wrong_points += 1
-            report.duplicated_points = sum(
-                n - 1 for n in seen.values() if n > 1
-            )
-            report.missing_points = len(
-                set(truth_by_index) - set(seen)
-            )
-            names = sorted(
-                p.name for p in (truth_dir / SHARD_DIR).glob("shard-*.jsonl")
-            )
-            report.byte_identical = all(
-                (truth_dir / rel).read_bytes() == (job_dir / rel).read_bytes()
-                for rel in ["manifest.json"]
-                + [f"{SHARD_DIR}/{name}" for name in names]
-            ) and names == sorted(
-                p.name for p in (job_dir / SHARD_DIR).glob("shard-*.jsonl")
-            )
+            verdict = _compare_job_dirs(truth_dir, job_dir)
+            report.wrong_points = verdict["wrong_points"]
+            report.duplicated_points = verdict["duplicated_points"]
+            report.missing_points = verdict["missing_points"]
+            report.byte_identical = verdict["byte_identical"]
     report.wall_seconds = time.perf_counter() - started
     report.finalize()
     if report.violations:
@@ -743,6 +760,413 @@ def run_job_kill_chaos(
             )
             recorder.dump(
                 "chaos_violation", scenario="job-kill", seed=seed,
+                violations=list(report.violations),
+            )
+    return report
+
+
+@dataclass
+class NodeKillReport:
+    """Outcome of the node-kill cluster chaos scenario (``--scenario
+    node-kill``).
+
+    A coordinator plus N real worker-node subprocesses run a seeded
+    request storm *and* a streaming job at the same time; one node is
+    SIGKILLed while the job is mid-flight.  The cluster must detect the
+    loss (membership DEAD), re-route around it, and still deliver: zero
+    wrong results in the storm, a DONE job whose directory is
+    byte-identical to an uninterrupted single-node run, and zero digest
+    conflicts on re-assigned chunks.
+    """
+
+    seed: int = 0
+    nodes_requested: int = 0
+    nodes_joined: int = 0
+    kills: int = 0
+    job_state_at_kill: str = ""
+    node_loss_detected: bool = False
+    chunks_remote: int = 0
+    chunks_local: int = 0
+    chunks_reassigned: int = 0
+    chunk_conflicts: int = 0
+    resumes: int = 0
+    points_total: int = 0
+    points_done: int = 0
+    completed: bool = False
+    byte_identical: bool = False
+    wrong_points: int = 0
+    duplicated_points: int = 0
+    missing_points: int = 0
+    storm: Optional[Dict[str, Any]] = None
+    wall_seconds: float = 0.0
+    violations: List[str] = field(default_factory=list)
+
+    def finalize(self) -> "NodeKillReport":
+        self.violations = []
+        if self.nodes_joined < self.nodes_requested:
+            self.violations.append(
+                f"only {self.nodes_joined}/{self.nodes_requested} worker "
+                "nodes joined the cluster"
+            )
+        if self.kills < 1:
+            self.violations.append(
+                "no worker node was actually killed - the scenario "
+                "exercised nothing"
+            )
+        elif self.job_state_at_kill not in ("RUNNING", "CHECKPOINTED"):
+            # CHECKPOINTED is the durable between-intervals state a
+            # live run passes through at every checkpoint - both mean
+            # the sweep was genuinely in flight when the node died.
+            self.violations.append(
+                "the node was killed while the job was "
+                f"{self.job_state_at_kill or 'not yet submitted'!r}, not "
+                "mid-flight"
+            )
+        if self.kills and not self.node_loss_detected:
+            self.violations.append(
+                "membership never declared the killed node DEAD"
+            )
+        if self.chunk_conflicts:
+            self.violations.append(
+                f"{self.chunk_conflicts} chunk digest conflicts (a "
+                "re-assigned chunk produced a different result - must "
+                "be 0)"
+            )
+        if not self.completed:
+            self.violations.append(
+                f"job never reached DONE ({self.points_done}/"
+                f"{self.points_total} points after {self.resumes} resumes)"
+            )
+        if self.wrong_points:
+            self.violations.append(
+                f"{self.wrong_points} wrong result points (must be 0)"
+            )
+        if self.duplicated_points:
+            self.violations.append(
+                f"{self.duplicated_points} duplicated points (must be 0)"
+            )
+        if self.missing_points:
+            self.violations.append(
+                f"{self.missing_points} missing points (must be 0)"
+            )
+        if self.completed and not self.byte_identical:
+            self.violations.append(
+                "the cluster job directory is not byte-identical to the "
+                "uninterrupted single-node run"
+            )
+        for violation in (self.storm or {}).get("violations", []):
+            self.violations.append(f"storm: {violation}")
+        return self
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": "node-kill",
+            "seed": self.seed,
+            "nodes_requested": self.nodes_requested,
+            "nodes_joined": self.nodes_joined,
+            "kills": self.kills,
+            "job_state_at_kill": self.job_state_at_kill,
+            "node_loss_detected": self.node_loss_detected,
+            "chunks_remote": self.chunks_remote,
+            "chunks_local": self.chunks_local,
+            "chunks_reassigned": self.chunks_reassigned,
+            "chunk_conflicts": self.chunk_conflicts,
+            "resumes": self.resumes,
+            "points_total": self.points_total,
+            "points_done": self.points_done,
+            "completed": self.completed,
+            "byte_identical": self.byte_identical,
+            "wrong_points": self.wrong_points,
+            "duplicated_points": self.duplicated_points,
+            "missing_points": self.missing_points,
+            "storm": self.storm,
+            "wall_seconds": self.wall_seconds,
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+    def render(self) -> str:
+        storm = self.storm or {}
+        lines = [
+            f"node-kill chaos: {self.nodes_joined}/{self.nodes_requested} "
+            f"nodes, {self.kills} killed (job {self.job_state_at_kill or '?'} "
+            f"at kill), loss detected: "
+            f"{'yes' if self.node_loss_detected else 'NO'}, "
+            f"{self.wall_seconds:.1f} s",
+            f"job: {self.points_done}/{self.points_total} points, "
+            f"{'DONE' if self.completed else 'NOT DONE'} after "
+            f"{self.resumes} resumes; chunks remote={self.chunks_remote} "
+            f"local={self.chunks_local} reassigned={self.chunks_reassigned} "
+            f"conflicts={self.chunk_conflicts}",
+            f"byte-identical to single-node run: "
+            f"{'yes' if self.byte_identical else 'NO'}; "
+            f"wrong={self.wrong_points} duplicated={self.duplicated_points} "
+            f"missing={self.missing_points}",
+            f"storm: {storm.get('sent', 0)} requests, "
+            f"{storm.get('wrong_results', 0)} wrong, error rate "
+            f"{storm.get('error_rate', 0.0):.4f}, recovered in "
+            f"{storm.get('recovery_seconds', 0.0):.1f} s",
+        ]
+        if self.violations:
+            lines.append("FAIL:")
+            lines.extend(f"  - {v}" for v in self.violations)
+        else:
+            lines.append("PASS: node-loss invariants held")
+        return "\n".join(lines)
+
+
+def _counter_total(snapshot: List[Dict[str, Any]], name: str) -> int:
+    return int(
+        sum(
+            entry.get("value", 0) or 0
+            for entry in snapshot
+            if entry.get("type") == "counter" and entry.get("name") == name
+        )
+    )
+
+
+async def run_node_kill_chaos(
+    machine: Any,
+    seed: int = 7,
+    nodes: int = 3,
+    duration_s: float = 8.0,
+    clients: int = 4,
+    unique_points: int = 4,
+    error_budget: float = 0.05,
+    recovery_slo_s: float = 15.0,
+    timeout_s: float = 300.0,
+    preset: str = "small",
+    spec: Any = None,
+    functional_cap: Optional[int] = None,
+) -> NodeKillReport:
+    """SIGKILL a live worker node mid-storm and mid-job; verify recovery.
+
+    The coordinator runs in-process (so the report can read membership
+    and the assigner directly); the worker nodes are real ``repro node``
+    subprocesses.  ``functional_cap`` must match the ``machine`` the
+    caller passes, or the nodes' fingerprints will not match and every
+    join is rejected.
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+    from pathlib import Path
+
+    from ..cluster import CoordinatorHTTPServer, CoordinatorSettings
+    from ..cluster.membership import ALIVE, DEAD
+    from ..jobs.api import JobSpec
+    from ..jobs.manager import run_job
+
+    if spec is None:
+        # One point per chunk over a 12-point grid: with 12 ring
+        # lookups, the odds that *no* chunk routes to the victim node
+        # (which would let the job finish without exercising the loss
+        # path) are negligible.
+        spec = JobSpec(
+            case="C1",
+            teams=(64, 128, 256),
+            v=(2, 4),
+            threads=(32, 64),
+            trials=5,
+            checkpoint_interval=1,
+            shard_records=4,
+        )
+    report = NodeKillReport(
+        seed=seed,
+        nodes_requested=max(1, nodes),
+        points_total=spec.total_points(),
+    )
+    started = time.perf_counter()
+    deadline = started + timeout_s
+    loop = asyncio.get_running_loop()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-node-") as tmp:
+        root = Path(tmp)
+        truth_dir = root / "truth"
+        executor = SweepExecutor(machine, workers=1, cache=None)
+        try:
+            await loop.run_in_executor(
+                None, run_job, truth_dir, spec, executor
+            )
+        finally:
+            executor.close()
+
+        settings = CoordinatorSettings(
+            lease_s=1.0,
+            grace_s=2.0,
+            # Hedging keeps the storm clean while the victim is frozen
+            # pre-kill: a forward stuck on it races the next candidate.
+            hedge_delay_s=0.25,
+            forward_timeout_s=10.0,
+            jobs_dir=str(root / "jobs"),
+            jobs_workers=1,
+        )
+        server = CoordinatorHTTPServer(
+            machine, settings, host="127.0.0.1", port=0
+        )
+        await server.start()
+        procs: List[Any] = []
+        try:
+            env = dict(os.environ)
+            env.pop("REPRO_FAULTS", None)
+            env["PYTHONPATH"] = (
+                str(Path(__file__).resolve().parents[2])
+                + os.pathsep + env.get("PYTHONPATH", "")
+            ).rstrip(os.pathsep)
+            command = [sys.executable, "-m", "repro", "--workers", "1",
+                       "--no-cache"]
+            if functional_cap is not None:
+                command += ["--functional-cap", str(functional_cap)]
+            command += [
+                "node", "--coordinator", server.address,
+                "--host", "127.0.0.1", "--port", "0", "--quiet",
+            ]
+            for _ in range(report.nodes_requested):
+                procs.append(
+                    subprocess.Popen(
+                        command, env=env,
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL,
+                    )
+                )
+            join_deadline = time.perf_counter() + 60.0
+            while time.perf_counter() < join_deadline:
+                counts = server.state.membership.counts()
+                report.nodes_joined = counts[ALIVE]
+                if counts[ALIVE] >= report.nodes_requested:
+                    break
+                await asyncio.sleep(0.1)
+            if report.nodes_joined < report.nodes_requested:
+                report.wall_seconds = time.perf_counter() - started
+                return report.finalize()
+
+            storm_task = asyncio.ensure_future(
+                run_chaos(
+                    server.host, server.port, machine,
+                    seed=seed,
+                    duration_s=duration_s,
+                    clients=clients,
+                    unique_points=unique_points,
+                    error_budget=error_budget,
+                    recovery_slo_s=recovery_slo_s,
+                    timeout_s=30.0,
+                    preset=preset,
+                )
+            )
+            # run_chaos computes its ground truth synchronously before
+            # its first await, blocking the loop; this sleep resumes
+            # once the storm is actually underway, so the job - and the
+            # kill - genuinely overlap it.
+            await asyncio.sleep(0.1)
+            job_id = server.jobs.submit(spec)["id"]
+            # Freeze the victim immediately (no await in between: the
+            # job thread has barely started).  The first chunk the ring
+            # routes to it now hangs in flight, pinning the job in
+            # RUNNING until the kill - which makes "killed mid-job"
+            # deterministic instead of a race against a fast sweep.
+            import signal as _signal
+
+            procs[0].send_signal(_signal.SIGSTOP)
+
+            async def _kill_one_mid_job() -> None:
+                while time.perf_counter() < deadline:
+                    status = server.jobs.get(job_id)
+                    state = (status or {}).get("state", "")
+                    if state in ("RUNNING", "CHECKPOINTED"):
+                        # Give the chunk destined for the frozen node
+                        # time to be dispatched and hang.
+                        await asyncio.sleep(0.5)
+                        status = server.jobs.get(job_id)
+                        report.job_state_at_kill = (
+                            (status or {}).get("state", "")
+                        )
+                        procs[0].kill()
+                        procs[0].wait()
+                        report.kills += 1
+                        return
+                    if state in ("DONE", "FAILED", "CANCELLED"):
+                        # Too late: the gate on job_state_at_kill fails.
+                        report.job_state_at_kill = state
+                        procs[0].kill()
+                        procs[0].wait()
+                        report.kills += 1
+                        return
+                    await asyncio.sleep(0.01)
+
+            await _kill_one_mid_job()
+            storm_report = await storm_task
+            report.storm = storm_report.to_dict()
+
+            # Lease + grace at these settings is ~2.5 s; the storm
+            # almost always outlives detection, but don't race it.
+            loss_deadline = time.perf_counter() + 4.0 * (
+                settings.lease_s + settings.grace_s
+            )
+            while time.perf_counter() < loss_deadline:
+                if server.state.membership.counts()[DEAD] >= 1:
+                    report.node_loss_detected = True
+                    break
+                await asyncio.sleep(0.1)
+
+            def _wait_job() -> Optional[Dict[str, Any]]:
+                return server.jobs.wait(
+                    job_id, max(1.0, deadline - time.perf_counter())
+                )
+
+            status = await loop.run_in_executor(None, _wait_job)
+            for _ in range(3):
+                if (status or {}).get("state") == "DONE":
+                    break
+                if time.perf_counter() >= deadline:
+                    break
+                report.resumes += 1
+                server.jobs.resume(job_id)
+                status = await loop.run_in_executor(None, _wait_job)
+            report.points_done = int((status or {}).get("points_done", 0))
+            report.completed = (status or {}).get("state") == "DONE"
+            if report.completed:
+                verdict = _compare_job_dirs(
+                    truth_dir, server.jobs.directory_for(job_id)
+                )
+                report.wrong_points = verdict["wrong_points"]
+                report.duplicated_points = verdict["duplicated_points"]
+                report.missing_points = verdict["missing_points"]
+                report.byte_identical = verdict["byte_identical"]
+
+            snapshot = server.registry.snapshot()
+            report.chunks_remote = _counter_total(
+                snapshot, "cluster.chunks_remote"
+            )
+            report.chunks_local = _counter_total(
+                snapshot, "cluster.chunks_local"
+            )
+            report.chunks_reassigned = _counter_total(
+                snapshot, "cluster.chunks_reassigned"
+            )
+            report.chunk_conflicts = _counter_total(
+                snapshot, "cluster.chunk_conflicts"
+            )
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+            await server.stop()
+    report.wall_seconds = time.perf_counter() - started
+    report.finalize()
+    if report.violations:
+        recorder = flight()
+        if recorder.enabled:
+            recorder.record(
+                "chaos", "node_kill_violation",
+                seed=seed, violations=list(report.violations),
+            )
+            recorder.dump(
+                "chaos_violation", scenario="node-kill", seed=seed,
                 violations=list(report.violations),
             )
     return report

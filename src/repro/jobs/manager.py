@@ -436,6 +436,13 @@ class JobManager:
                 # terminal transition; its durable truth is whatever the
                 # last checkpoint pinned.
                 job.state = "CHECKPOINTED"
+                if doc.get("pid") != os.getpid():
+                    # Persist the conversion (a dead owner can never do
+                    # it): a stale RUNNING on disk would otherwise make
+                    # every other reader — `repro job resume` included —
+                    # see a phantom live job until a manual cancel.
+                    _write_state(directory, job_id, "CHECKPOINTED",
+                                 job.done, job.total, error=job.error)
             if job.state != "DONE":
                 # The state document only records transitions; the
                 # checkpoint is the per-interval progress claim.
@@ -574,10 +581,15 @@ class JobManager:
             job.thread.start()
             running += 1
 
-    def _run(self, job: _ManagedJob) -> None:
-        executor = SweepExecutor(
+    def _make_executor(self, job: _ManagedJob) -> Any:
+        """The executor one job run uses (factory so subclasses — the
+        cluster job manager — can substitute a distributed one)."""
+        return SweepExecutor(
             self.machine, workers=self.workers, cache=self.cache
         )
+
+    def _run(self, job: _ManagedJob) -> None:
+        executor = self._make_executor(job)
 
         def progress(done: int, state: str) -> None:
             job.done = done

@@ -23,6 +23,11 @@ Status mapping: validation failures are 400, admission rejections 429
 500.  ``/batch`` always answers 200 with per-request statuses inside, so
 one bad request cannot mask its batch-mates.  Connections are keep-alive
 (HTTP/1.1 default) with an idle timeout; request bodies are capped.
+
+The protocol plumbing (connection loop, framing, keep-alive reaping,
+the jobs routes) lives in :class:`BaseHTTPServer` so other front ends —
+the cluster coordinator and worker node in :mod:`repro.cluster` — reuse
+it verbatim and only supply their own ``_route``.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from .api import (
 )
 from .scheduler import ReductionService
 
-__all__ = ["ServiceHTTPServer"]
+__all__ = ["BaseHTTPServer", "ServiceHTTPServer"]
 
 #: Largest accepted request body (a /batch of a few thousand requests).
 MAX_BODY_BYTES = 4 << 20
@@ -69,8 +74,8 @@ class _HTTPError(Exception):
 
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 410: "Gone", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
@@ -91,32 +96,35 @@ class _RawBody:
         self.payload = payload
 
 
-class ServiceHTTPServer:
-    """Serves one :class:`ReductionService` instance over HTTP."""
+class BaseHTTPServer:
+    """Protocol plumbing shared by every repro HTTP front end.
+
+    Subclasses implement ``_route`` (and optionally the ``_on_start`` /
+    ``_on_stop`` lifecycle hooks and ``_jobs_manager`` for the /jobs
+    routes).
+    """
 
     def __init__(
         self,
-        service: ReductionService,
         host: str = "127.0.0.1",
         port: int = 8077,
         reuse_port: bool = False,
     ):
-        self.service = service
         self.host = host
         self.port = port
         self.reuse_port = reuse_port
         self._server: Optional[asyncio.AbstractServer] = None
-        # Sweep replays repeat identical /simulate bodies thousands of
-        # times; memoizing the validated parse by raw body bytes removes
-        # json.loads + parse_request from the cache-hit path.  Values are
-        # (frozen request, client-supplied-id?) — generated ids must stay
-        # unique, so those are re-stamped per hit.
-        self._parse_cache: Dict[bytes, Tuple[SimRequest, bool]] = {}
 
     # -- lifecycle ------------------------------------------------------------
+    async def _on_start(self) -> None:
+        """Hook: bring up whatever the routes serve (before binding)."""
+
+    async def _on_stop(self) -> None:
+        """Hook: tear down what ``_on_start`` brought up."""
+
     async def start(self) -> Tuple[str, int]:
         """Bind and start serving; returns the bound (host, port)."""
-        await self.service.start()
+        await self._on_start()
         # backlog: hundreds of load-generator clients connect in the same
         # millisecond; the default backlog (100) drops SYNs, and the
         # retransmit timeout (~1 s) would dominate tail latency.
@@ -136,7 +144,7 @@ class ServiceHTTPServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.service.stop()
+        await self._on_stop()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -278,57 +286,13 @@ class ServiceHTTPServer:
     async def _route(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Any]:
-        path, _, query = path.partition("?")
-        if path == "/healthz":
-            if method != "GET":
-                raise _HTTPError(405, "use GET /healthz")
-            return 200, self.service.health()
-        if path == "/health":
-            if method != "GET":
-                raise _HTTPError(405, "use GET /health")
-            healthy, doc = self.service.slo_report()
-            return (200 if healthy else 503), doc
-        if path == "/metrics":
-            if method != "GET":
-                raise _HTTPError(405, "use GET /metrics")
-            cache = self.service.executor.cache
-            if cache is not None:
-                # Mirror the cache's own counters (including the
-                # self-healing ones) so chaos reports and dashboards
-                # read one endpoint.
-                registry = self.service.registry
-                for name, value in (
-                    ("hits", cache.hits), ("misses", cache.misses),
-                    ("stores", cache.stores), ("evictions", cache.evictions),
-                    ("checksum_failures", cache.checksum_failures),
-                    ("quarantined", cache.quarantined),
-                ):
-                    registry.gauge(f"cache.{name}").set(float(value))
-            if wants_prometheus(headers.get("accept", "")):
-                text = prometheus_text(self.service.registry)
-                return 200, _RawBody(PROM_CONTENT_TYPE, text.encode("utf-8"))
-            return 200, {"metrics": self.service.registry.snapshot()}
-        if path == "/simulate":
-            if method != "POST":
-                raise _HTTPError(405, "use POST /simulate")
-            response = await self._simulate_body(body, headers)
-            return response.http_status(), response.to_dict()
-        if path == "/batch":
-            if method != "POST":
-                raise _HTTPError(405, "use POST /batch")
-            return await self._simulate_batch(self._decode(body), headers)
-        if path == "/jobs" or path.startswith("/jobs/"):
-            return await self._route_jobs(method, path, query, body)
         raise _HTTPError(404, f"no route for {path}")
 
     # -- durable jobs ---------------------------------------------------------
     def _jobs_manager(self) -> Any:
-        manager = self.service.jobs
-        if manager is None:
-            raise _HTTPError(
-                503, "jobs disabled (start the server with --jobs-dir)"
-            )
-        return manager
+        raise _HTTPError(
+            503, "jobs disabled (start the server with --jobs-dir)"
+        )
 
     async def _route_jobs(
         self, method: str, path: str, query: str, body: bytes
@@ -411,6 +375,87 @@ class ServiceHTTPServer:
             return json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
             raise _HTTPError(400, f"body is not valid JSON: {exc}") from exc
+
+
+class ServiceHTTPServer(BaseHTTPServer):
+    """Serves one :class:`ReductionService` instance over HTTP."""
+
+    def __init__(
+        self,
+        service: ReductionService,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        reuse_port: bool = False,
+    ):
+        super().__init__(host, port, reuse_port=reuse_port)
+        self.service = service
+        # Sweep replays repeat identical /simulate bodies thousands of
+        # times; memoizing the validated parse by raw body bytes removes
+        # json.loads + parse_request from the cache-hit path.  Values are
+        # (frozen request, client-supplied-id?) — generated ids must stay
+        # unique, so those are re-stamped per hit.
+        self._parse_cache: Dict[bytes, Tuple[SimRequest, bool]] = {}
+
+    async def _on_start(self) -> None:
+        await self.service.start()
+
+    async def _on_stop(self) -> None:
+        await self.service.stop()
+
+    # -- routing --------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Any]:
+        path, _, query = path.partition("?")
+        if path == "/healthz":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /healthz")
+            return 200, self.service.health()
+        if path == "/health":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /health")
+            healthy, doc = self.service.slo_report()
+            return (200 if healthy else 503), doc
+        if path == "/metrics":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /metrics")
+            cache = self.service.executor.cache
+            if cache is not None:
+                # Mirror the cache's own counters (including the
+                # self-healing ones) so chaos reports and dashboards
+                # read one endpoint.
+                registry = self.service.registry
+                for name, value in (
+                    ("hits", cache.hits), ("misses", cache.misses),
+                    ("stores", cache.stores), ("evictions", cache.evictions),
+                    ("checksum_failures", cache.checksum_failures),
+                    ("quarantined", cache.quarantined),
+                ):
+                    registry.gauge(f"cache.{name}").set(float(value))
+            if wants_prometheus(headers.get("accept", "")):
+                text = prometheus_text(self.service.registry)
+                return 200, _RawBody(PROM_CONTENT_TYPE, text.encode("utf-8"))
+            return 200, {"metrics": self.service.registry.snapshot()}
+        if path == "/simulate":
+            if method != "POST":
+                raise _HTTPError(405, "use POST /simulate")
+            response = await self._simulate_body(body, headers)
+            return response.http_status(), response.to_dict()
+        if path == "/batch":
+            if method != "POST":
+                raise _HTTPError(405, "use POST /batch")
+            return await self._simulate_batch(self._decode(body), headers)
+        if path == "/jobs" or path.startswith("/jobs/"):
+            return await self._route_jobs(method, path, query, body)
+        raise _HTTPError(404, f"no route for {path}")
+
+    def _jobs_manager(self) -> Any:
+        manager = self.service.jobs
+        if manager is None:
+            raise _HTTPError(
+                503, "jobs disabled (start the server with --jobs-dir)"
+            )
+        return manager
 
     async def _simulate_body(
         self, body: bytes, headers: Dict[str, str]

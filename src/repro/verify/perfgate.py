@@ -425,6 +425,68 @@ def _bench_checkpoint_overhead(
     }
 
 
+def _bench_ring_lookup(machine: Machine, repeats: int) -> Dict[str, Any]:
+    """Owner lookups against a populated consistent-hash ring.
+
+    16 nodes x 64 vnodes is a bigger ring than any realistic deployment
+    of this repo; the coordinator does one lookup (plus a preference
+    walk on retry) per forwarded request and per job chunk, so lookup
+    cost rides every cluster hot path.
+    """
+    from ..cluster.ring import HashRing
+
+    ring = HashRing()
+    for index in range(16):
+        ring.add(f"node-{index:02d}")
+    keys = [f"case-digest-{i}" for i in range(10_000)]
+
+    def once() -> None:
+        for key in keys:
+            ring.lookup(key)
+
+    once()  # warm the sorted-points cache out of the timed region
+    seconds = _best(once, repeats)
+    return {
+        "seconds": seconds,
+        "lookups": len(keys),
+        "per_lookup_s": seconds / len(keys),
+    }
+
+
+def _bench_membership_tick(machine: Machine, repeats: int) -> Dict[str, Any]:
+    """Lease sweeps over a 64-node membership table.
+
+    The coordinator ticks at ``lease_s / 2``; a tick walks every node
+    comparing idle time against lease and grace.  The steady state
+    (everyone renewing, no transitions) is the case that runs forever,
+    so that is what the gate times.
+    """
+    from ..cluster.membership import Membership
+
+    clock = [1000.0]
+    membership = Membership(lease_s=3.0, grace_s=6.0,
+                            clock=lambda: clock[0])
+    nodes = [membership.join(f"http://10.0.0.{i}:8077") for i in range(64)]
+    ticks = 1000
+
+    def once() -> None:
+        for _ in range(ticks):
+            membership.tick()
+
+    # Keep every lease fresh: transitions allocate, steady state must
+    # not.  The injected clock never crosses lease_s between renewals.
+    for node in nodes:
+        membership.renew(node.node_id, node.generation)
+    once()
+    seconds = _best(once, repeats)
+    return {
+        "seconds": seconds,
+        "ticks": ticks,
+        "nodes": len(nodes),
+        "per_tick_s": seconds / ticks,
+    }
+
+
 _BENCHES = {
     "sim_microbench": _bench_sim_microbench,
     "warm_cache_sweep": _bench_warm_cache_sweep,
@@ -434,6 +496,8 @@ _BENCHES = {
     "telemetry_overhead": _bench_telemetry_overhead,
     "stream_write": _bench_stream_write,
     "checkpoint_overhead": _bench_checkpoint_overhead,
+    "ring_lookup": _bench_ring_lookup,
+    "membership_tick": _bench_membership_tick,
 }
 
 

@@ -1,0 +1,107 @@
+"""Assigner: exactly-once re-enqueue, first-write-wins completion."""
+
+from repro.cluster.assigner import (
+    ACCEPTED,
+    Assigner,
+    CONFLICT,
+    DUPLICATE,
+    UNKNOWN,
+)
+
+
+class TestAssignment:
+    def test_assign_and_owner(self):
+        assigner = Assigner()
+        assigner.assign("k1", "node-a")
+        assert assigner.owner("k1") == "node-a"
+        assert assigner.owner("k2") is None
+
+    def test_release_drops_without_completing(self):
+        assigner = Assigner()
+        assigner.assign("k1", "node-a")
+        assigner.release("k1")
+        assert assigner.owner("k1") is None
+        assert assigner.complete("k1", "node-a", "d") == UNKNOWN
+
+
+class TestReassign:
+    def test_reassign_returns_the_dead_nodes_keys_sorted(self):
+        assigner = Assigner()
+        assigner.assign("b", "dead")
+        assigner.assign("a", "dead")
+        assigner.assign("c", "alive")
+        assert assigner.reassign_for("dead") == ["a", "b"]
+        assert assigner.owner("c") == "alive"
+
+    def test_reassign_is_exactly_once(self):
+        assigner = Assigner()
+        assigner.assign("k1", "dead")
+        assert assigner.reassign_for("dead") == ["k1"]
+        # A flapping node (second DEAD transition) must not re-enqueue.
+        assert assigner.reassign_for("dead") == []
+
+    def test_reassigned_key_can_be_assigned_again(self):
+        assigner = Assigner()
+        assigner.assign("k1", "dead")
+        assigner.reassign_for("dead")
+        assigner.assign("k1", "replacement")
+        assert assigner.owner("k1") == "replacement"
+        assert assigner.complete("k1", "replacement", "d") == ACCEPTED
+
+
+class TestCompletion:
+    def test_first_write_wins(self):
+        assigner = Assigner()
+        assigner.assign("k1", "node-a")
+        assert assigner.complete("k1", "node-a", "digest") == ACCEPTED
+
+    def test_same_digest_is_a_benign_duplicate(self):
+        assigner = Assigner()
+        assigner.assign("k1", "node-a")
+        assigner.complete("k1", "node-a", "digest")
+        assert assigner.complete("k1", "node-b", "digest") == DUPLICATE
+
+    def test_different_digest_is_a_conflict(self):
+        assigner = Assigner()
+        assigner.assign("k1", "node-a")
+        assigner.complete("k1", "node-a", "digest")
+        assert assigner.complete("k1", "node-b", "other") == CONFLICT
+        assert assigner.stats()["conflicts"] == 1
+
+    def test_unassigned_completion_is_refused(self):
+        assigner = Assigner()
+        assert assigner.complete("never", "node-a", "d") == UNKNOWN
+
+    def test_orphaned_key_completion_is_accepted(self):
+        # The dead node's answer arriving after detachment but before
+        # re-assignment: still the first write, still correct.
+        assigner = Assigner()
+        assigner.assign("k1", "dead")
+        assigner.reassign_for("dead")
+        assert assigner.complete("k1", "dead", "digest") == ACCEPTED
+
+    def test_completed_digests_evict_fifo(self):
+        assigner = Assigner(max_completed=2)
+        for key in ("k1", "k2", "k3"):
+            assigner.assign(key, "n")
+            assigner.complete(key, "n", f"d-{key}")
+        # k1 evicted: a re-completion is UNKNOWN (never assigned now),
+        # not a duplicate.
+        assert assigner.complete("k1", "n", "d-k1") == UNKNOWN
+        assert assigner.complete("k3", "n", "d-k3") == DUPLICATE
+
+
+class TestStats:
+    def test_stats_counts_everything(self):
+        assigner = Assigner()
+        assigner.assign("k1", "a")
+        assigner.assign("k2", "a")
+        assigner.reassign_for("a")
+        assigner.assign("k1", "b")
+        assigner.complete("k1", "b", "d")
+        stats = assigner.stats()
+        assert stats["assignments"] == 3
+        assert stats["reassignments"] == 2
+        assert stats["completed"] == 1
+        assert stats["in_flight"] == 0
+        assert stats["orphaned"] == 1  # k2 still awaiting re-assignment

@@ -1,0 +1,165 @@
+"""Membership lease machine: join/renew/expire, zombie fencing."""
+
+import pytest
+
+from repro.cluster.membership import (
+    ALIVE,
+    DEAD,
+    Membership,
+    RENEW_OK,
+    RENEW_STALE,
+    RENEW_UNKNOWN,
+    SUSPECT,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def membership(clock):
+    return Membership(lease_s=3.0, grace_s=6.0, clock=clock)
+
+
+class TestJoinRenew:
+    def test_join_mints_an_id_and_is_alive(self, membership):
+        node = membership.join("http://n:1", machine="fp", node_id=None)
+        assert node.node_id.startswith("node-")
+        assert node.state == ALIVE
+        assert membership.get(node.node_id) is not None
+
+    def test_generations_are_monotonic(self, membership):
+        first = membership.join("http://n:1")
+        second = membership.join("http://n:2")
+        assert second.generation > first.generation
+
+    def test_renew_ok(self, membership):
+        node = membership.join("http://n:1")
+        assert membership.renew(node.node_id, node.generation) == RENEW_OK
+
+    def test_renew_unknown_node(self, membership):
+        assert membership.renew("nope", 1) == RENEW_UNKNOWN
+
+    def test_renew_with_stale_generation(self, membership):
+        node = membership.join("http://n:1")
+        rejoined = membership.join("http://n:1", node_id=node.node_id)
+        assert rejoined.generation > node.generation
+        assert membership.renew(node.node_id, node.generation) == RENEW_STALE
+        assert (
+            membership.renew(node.node_id, rejoined.generation) == RENEW_OK
+        )
+
+    def test_invalid_lease_rejected(self):
+        with pytest.raises(ValueError):
+            Membership(lease_s=0)
+        with pytest.raises(ValueError):
+            Membership(grace_s=-1)
+
+
+class TestExpiry:
+    def test_alive_turns_suspect_after_lease(self, membership, clock):
+        node = membership.join("http://n:1")
+        clock.advance(3.5)
+        transitions = membership.tick()
+        assert transitions == [(node.node_id, ALIVE, SUSPECT)]
+        assert membership.get(node.node_id).state == SUSPECT
+
+    def test_renewal_revives_a_suspect(self, membership, clock):
+        node = membership.join("http://n:1")
+        clock.advance(3.5)
+        membership.tick()
+        assert membership.renew(node.node_id, node.generation) == RENEW_OK
+        assert membership.get(node.node_id).state == ALIVE
+
+    def test_suspect_turns_dead_after_grace(self, membership, clock):
+        node = membership.join("http://n:1")
+        clock.advance(3.5)
+        membership.tick()
+        clock.advance(6.0)  # idle total 9.5 > lease 3 + grace 6
+        transitions = membership.tick()
+        assert transitions == [(node.node_id, SUSPECT, DEAD)]
+
+    def test_long_stall_crosses_both_transitions_in_one_tick(
+        self, membership, clock
+    ):
+        node = membership.join("http://n:1")
+        clock.advance(60.0)
+        transitions = membership.tick()
+        assert transitions == [
+            (node.node_id, ALIVE, SUSPECT),
+            (node.node_id, SUSPECT, DEAD),
+        ]
+
+    def test_dead_node_cannot_renew(self, membership, clock):
+        node = membership.join("http://n:1")
+        clock.advance(60.0)
+        membership.tick()
+        assert (
+            membership.renew(node.node_id, node.generation) == RENEW_UNKNOWN
+        )
+
+    def test_dead_node_can_rejoin_with_fresh_generation(
+        self, membership, clock
+    ):
+        node = membership.join("http://n:1")
+        clock.advance(60.0)
+        membership.tick()
+        rejoined = membership.join("http://n:1", node_id=node.node_id)
+        assert rejoined.state == ALIVE
+        assert rejoined.generation > node.generation
+
+
+class TestIntrospection:
+    def test_routable_excludes_dead(self, membership, clock):
+        stays = membership.join("http://a:1")
+        dies = membership.join("http://b:1")
+        clock.advance(60.0)
+        membership.renew(stays.node_id, stays.generation)
+        membership.tick()
+        routable = [n.node_id for n in membership.routable()]
+        assert stays.node_id in routable
+        assert dies.node_id not in routable
+
+    def test_suspect_stays_routable(self, membership, clock):
+        node = membership.join("http://a:1")
+        clock.advance(3.5)
+        membership.tick()
+        assert [n.node_id for n in membership.routable()] == [node.node_id]
+
+    def test_counts(self, membership, clock):
+        membership.join("http://a:1")
+        assert membership.counts() == {ALIVE: 1, SUSPECT: 0, DEAD: 0}
+        clock.advance(60.0)
+        membership.tick()
+        assert membership.counts() == {ALIVE: 0, SUSPECT: 0, DEAD: 1}
+
+    def test_forget_drops_the_tombstone(self, membership, clock):
+        node = membership.join("http://a:1")
+        clock.advance(60.0)
+        membership.tick()
+        assert membership.forget(node.node_id) is True
+        assert membership.forget(node.node_id) is False
+        assert membership.get(node.node_id) is None
+
+    def test_to_dict_round_trips_the_fields(self, membership):
+        node = membership.join(
+            "http://a:1", machine="fp", capabilities={"workers": 2}
+        )
+        doc = node.to_dict()
+        assert doc["url"] == "http://a:1"
+        assert doc["machine"] == "fp"
+        assert doc["capabilities"] == {"workers": 2}
+        assert doc["state"] == ALIVE

@@ -1,0 +1,117 @@
+"""Consistent-hash ring: determinism, minimal remap, preference lists."""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, ring_hash
+
+
+def _keys(n=200):
+    return [f"key-{i}" for i in range(n)]
+
+
+class TestRingBasics:
+    def test_empty_ring_has_no_owner(self):
+        ring = HashRing()
+        assert ring.lookup("anything") is None
+        assert ring.preference("anything") == []
+        assert len(ring) == 0
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(vnodes=8)
+        assert ring.add("a") is True
+        assert ring.add("a") is False
+        assert "a" in ring
+        assert ring.remove("a") is True
+        assert ring.remove("a") is False
+        assert "a" not in ring
+
+    def test_lookup_is_deterministic_across_instances(self):
+        first = HashRing(vnodes=16)
+        second = HashRing(vnodes=16)
+        for node in ("a", "b", "c"):
+            first.add(node)
+        for node in ("c", "a", "b"):  # insertion order must not matter
+            second.add(node)
+        for key in _keys():
+            assert first.lookup(key) == second.lookup(key)
+
+    def test_ring_hash_is_stable(self):
+        assert ring_hash("x") == ring_hash("x")
+        assert 0 <= ring_hash("x") < 2 ** 64
+
+    def test_describe_reports_vnode_counts(self):
+        ring = HashRing(vnodes=DEFAULT_VNODES)
+        ring.add("a")
+        ring.add("b")
+        described = ring.describe()
+        assert set(described) == {"a", "b"}
+        # Collisions across 64-bit sha256 truncations are vanishingly
+        # rare, so every vnode lands its own point.
+        assert described["a"] == DEFAULT_VNODES
+        assert described["b"] == DEFAULT_VNODES
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(vnodes=4)
+        ring.add("only")
+        assert all(ring.lookup(k) == "only" for k in _keys(50))
+
+
+class TestMinimalRemap:
+    def test_adding_a_node_never_moves_keys_between_survivors(self):
+        ring = HashRing(vnodes=32)
+        for node in ("a", "b", "c", "d"):
+            ring.add(node)
+        before = {k: ring.lookup(k) for k in _keys()}
+        ring.add("e")
+        for key, owner in before.items():
+            after = ring.lookup(key)
+            assert after in (owner, "e")
+
+    def test_removing_a_node_only_moves_its_own_keys(self):
+        ring = HashRing(vnodes=32)
+        for node in ("a", "b", "c", "d"):
+            ring.add(node)
+        before = {k: ring.lookup(k) for k in _keys()}
+        ring.remove("b")
+        for key, owner in before.items():
+            if owner != "b":
+                assert ring.lookup(key) == owner
+
+    def test_remap_volume_is_roughly_keys_over_nodes(self):
+        ring = HashRing(vnodes=64)
+        for i in range(7):
+            ring.add(f"n{i}")
+        keys = _keys(800)
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add("n7")
+        moved = sum(1 for k in keys if ring.lookup(k) != before[k])
+        # Expected 800/8 = 100; generous slack for hash variance.
+        assert moved <= 3 * len(keys) // 8 + 16
+
+
+class TestPreference:
+    def test_preference_starts_with_the_owner(self):
+        ring = HashRing(vnodes=16)
+        for node in ("a", "b", "c"):
+            ring.add(node)
+        for key in _keys(50):
+            pref = ring.preference(key, count=3)
+            assert pref[0] == ring.lookup(key)
+
+    def test_preference_is_distinct_and_capped(self):
+        ring = HashRing(vnodes=16)
+        for node in ("a", "b", "c"):
+            ring.add(node)
+        pref = ring.preference("some-key", count=10)
+        assert len(pref) == 3
+        assert len(set(pref)) == 3
+
+    def test_preference_count_one(self):
+        ring = HashRing(vnodes=16)
+        ring.add("a")
+        ring.add("b")
+        assert len(ring.preference("k", count=1)) == 1

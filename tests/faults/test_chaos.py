@@ -9,9 +9,11 @@ from repro.faults import injector
 from repro.faults.chaos import (
     ChaosReport,
     JobKillReport,
+    NodeKillReport,
     compute_truth,
     run_chaos,
     run_job_kill_chaos,
+    run_node_kill_chaos,
 )
 from repro.service import ReductionService, ServiceHTTPServer, ServiceSettings
 from repro.service.loadgen import preset_pool
@@ -196,4 +198,80 @@ class TestJobKillScenario:
         assert report.wrong_points == 0
         assert report.duplicated_points == 0
         assert report.missing_points == 0
+        assert report.passed, report.violations
+
+
+def _clean_node_kill_report(**overrides):
+    base = dict(
+        nodes_requested=3, nodes_joined=3, kills=1,
+        job_state_at_kill="RUNNING", node_loss_detected=True,
+        chunks_remote=10, chunks_reassigned=1, points_total=12,
+        points_done=12, completed=True, byte_identical=True,
+    )
+    base.update(overrides)
+    return NodeKillReport(**base)
+
+
+class TestNodeKillReport:
+    def test_clean_report_passes(self):
+        report = _clean_node_kill_report()
+        assert report.finalize().passed
+        assert report.to_dict()["scenario"] == "node-kill"
+        assert "PASS" in report.render()
+
+    def test_zero_kills_exercised_nothing(self):
+        report = _clean_node_kill_report(kills=0)
+        assert not report.finalize().passed
+        assert any("exercised nothing" in v for v in report.violations)
+
+    def test_kill_after_job_done_violates(self):
+        report = _clean_node_kill_report(job_state_at_kill="DONE")
+        assert not report.finalize().passed
+        assert any("mid-flight" in v for v in report.violations)
+
+    def test_kill_at_checkpoint_interval_is_still_mid_flight(self):
+        # A live run oscillates RUNNING <-> CHECKPOINTED at every
+        # checkpoint interval; both count as mid-flight.
+        report = _clean_node_kill_report(job_state_at_kill="CHECKPOINTED")
+        assert report.finalize().passed
+
+    def test_undetected_node_loss_violates(self):
+        report = _clean_node_kill_report(node_loss_detected=False)
+        assert not report.finalize().passed
+        assert any("DEAD" in v for v in report.violations)
+
+    def test_chunk_conflicts_violate(self):
+        report = _clean_node_kill_report(chunk_conflicts=1)
+        assert not report.finalize().passed
+        assert any("conflict" in v for v in report.violations)
+
+    def test_partial_join_violates(self):
+        report = _clean_node_kill_report(nodes_joined=2)
+        assert not report.finalize().passed
+
+    def test_storm_violations_are_prefixed(self):
+        report = _clean_node_kill_report(
+            storm={"violations": ["error rate 0.5 over budget"]}
+        )
+        assert not report.finalize().passed
+        assert report.violations == ["storm: error rate 0.5 over budget"]
+
+    def test_divergent_bytes_violate(self):
+        report = _clean_node_kill_report(byte_identical=False)
+        assert not report.finalize().passed
+        assert any("byte-identical" in v for v in report.violations)
+
+
+class TestNodeKillScenario:
+    def test_node_kill_recovers_byte_identical(self, machine):
+        report = asyncio.run(run_node_kill_chaos(
+            machine, seed=11, nodes=2, duration_s=3.0, clients=2,
+            timeout_s=240.0, functional_cap=1 << 16,
+        ))
+        assert report.nodes_joined == 2
+        assert report.kills >= 1
+        assert report.node_loss_detected
+        assert report.completed
+        assert report.byte_identical
+        assert report.chunk_conflicts == 0
         assert report.passed, report.violations

@@ -189,6 +189,47 @@ class TestJobManager:
         fresh = self._manager(tmp_path, machine)
         assert fresh.get(doc["id"])["state"] == "CHECKPOINTED"
 
+    def test_foreign_dead_running_is_persisted_as_checkpointed(
+        self, tmp_path, machine
+    ):
+        from repro.jobs.store import atomic_write_json
+
+        manager = self._manager(tmp_path, machine)
+        doc = manager.submit(SPEC)
+        manager.wait(doc["id"], timeout_s=60)
+        directory = manager.directory_for(doc["id"])
+        state = read_json(directory / "state.json")
+        state["state"] = "RUNNING"
+        state["points_done"] = 8
+        state["pid"] = 999_999_999  # a pid that cannot be ours
+        atomic_write_json(directory / "state.json", state)
+        fresh = self._manager(tmp_path, machine)
+        assert fresh.get(doc["id"])["state"] == "CHECKPOINTED"
+        # The conversion is durable: the dead owner can never rewrite
+        # its own stale RUNNING, so the recovering manager must.
+        assert read_state(directory)["state"] == "CHECKPOINTED"
+
+    def test_own_pid_running_is_not_rewritten_on_disk(
+        self, tmp_path, machine
+    ):
+        import os
+
+        from repro.jobs.store import atomic_write_json
+
+        manager = self._manager(tmp_path, machine)
+        doc = manager.submit(SPEC)
+        manager.wait(doc["id"], timeout_s=60)
+        directory = manager.directory_for(doc["id"])
+        state = read_json(directory / "state.json")
+        state["state"] = "RUNNING"
+        state["pid"] = os.getpid()
+        atomic_write_json(directory / "state.json", state)
+        fresh = self._manager(tmp_path, machine)
+        assert fresh.get(doc["id"])["state"] == "CHECKPOINTED"
+        # Same process: the runner thread may still be mid-write, so
+        # recovery must not race it on disk.
+        assert read_state(directory)["state"] == "RUNNING"
+
     def test_resume_completes_interrupted_directory(
         self, tmp_path, machine, executor
     ):

@@ -1,0 +1,94 @@
+"""Property: the consistent-hash ring remaps minimally, never laterally.
+
+Quantified over drawn node sets and key pools:
+
+1. Adding one node moves at most ``~keys/nodes`` keys (with generous
+   slack for hash variance), and every moved key moves *to the new
+   node* — never between two nodes that were present before and after.
+2. Removing one node moves exactly the keys that node owned, and each
+   of them moves to a surviving node; every other key keeps its owner.
+
+These are the invariants the cluster's recovery story leans on: losing
+a worker reroutes only that worker's share of fingerprints, so a node
+death cannot stampede the cache/dedupe locality of the survivors.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ring import HashRing
+
+node_ids = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+extra_node = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", min_size=1, max_size=12
+)
+
+key_count = st.integers(min_value=1, max_value=300)
+
+
+def _build(nodes, vnodes=32):
+    ring = HashRing(vnodes=vnodes)
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+def _owners(ring, n_keys):
+    return {f"key-{i}": ring.lookup(f"key-{i}") for i in range(n_keys)}
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=node_ids, new=extra_node, n_keys=key_count)
+def test_adding_a_node_remaps_minimally_and_never_laterally(
+    nodes, new, n_keys
+):
+    ring = _build(nodes)
+    before = _owners(ring, n_keys)
+    ring.add(new)
+    after = _owners(ring, n_keys)
+    moved = 0
+    for key, owner in before.items():
+        if after[key] != owner:
+            moved += 1
+            # A moved key moves to the newcomer, never to a survivor.
+            assert after[key] == new
+    # Expected n_keys/len(after-nodes); 3x plus an absolute floor for
+    # small pools covers hash variance without hiding a real bug.
+    assert moved <= 3 * n_keys // (len(nodes) + 1) + 16
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=node_ids, n_keys=key_count, victim_index=st.integers(0, 7))
+def test_removing_a_node_moves_only_its_own_keys(
+    nodes, n_keys, victim_index
+):
+    ring = _build(nodes)
+    victim = sorted(nodes)[victim_index % len(nodes)]
+    before = _owners(ring, n_keys)
+    ring.remove(victim)
+    after = _owners(ring, n_keys)
+    for key, owner in before.items():
+        if owner == victim:
+            # The victim's keys land on survivors.
+            assert after[key] in nodes and after[key] != victim
+        else:
+            # Everyone else's keys never move.
+            assert after[key] == owner
+
+
+@settings(max_examples=25, deadline=None)
+@given(nodes=node_ids, new=extra_node, n_keys=key_count)
+def test_add_then_remove_is_an_exact_inverse(nodes, new, n_keys):
+    ring = _build(nodes)
+    before = _owners(ring, n_keys)
+    ring.add(new)
+    ring.remove(new)
+    assert _owners(ring, n_keys) == before

@@ -90,3 +90,31 @@ class TestCoexec:
     def test_no_unified_memory(self, capsys):
         assert main(["coexec", "C1", "--no-unified-memory",
                      "--trials", "50"]) == 0
+
+
+class TestLatestFlightDump:
+    def test_returns_newest_dump_for_pid(self, tmp_path, monkeypatch):
+        import os
+        import time
+
+        from repro.cli import _latest_flight_dump
+
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        old = tmp_path / "flight-123-1000-sigterm.json"
+        new = tmp_path / "flight-123-2000-crash.json"
+        other = tmp_path / "flight-456-3000-sigterm.json"
+        for path in (old, new, other):
+            path.write_text("{}")
+        now = time.time()
+        os.utime(old, (now - 10, now - 10))
+        os.utime(new, (now, now))
+        assert _latest_flight_dump(123) == str(new)
+        assert _latest_flight_dump(456) == str(other)
+
+    def test_none_without_recorder_or_dumps(self, tmp_path, monkeypatch):
+        from repro.cli import _latest_flight_dump
+
+        monkeypatch.delenv("REPRO_FLIGHT_DIR", raising=False)
+        assert _latest_flight_dump(123) is None
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        assert _latest_flight_dump(123) is None

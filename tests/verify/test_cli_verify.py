@@ -77,6 +77,7 @@ class TestExitZero:
             "sim_microbench", "warm_cache_sweep", "service_p99",
             "slab_microbench", "pool_transport", "telemetry_overhead",
             "checkpoint_overhead", "stream_write",
+            "ring_lookup", "membership_tick",
         }
 
 

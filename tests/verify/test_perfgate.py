@@ -21,10 +21,12 @@ def report():
 
 
 class TestSuite:
-    def test_covers_the_eight_hot_paths(self, report):
+    def test_covers_the_ten_hot_paths(self, report):
         assert sorted(report.benchmarks) == [
             "checkpoint_overhead",
+            "membership_tick",
             "pool_transport",
+            "ring_lookup",
             "service_p99",
             "sim_microbench",
             "slab_microbench",
@@ -51,6 +53,20 @@ class TestSuite:
         # Append is a canonical-JSON encode + buffered write; it must
         # stay far below the cost of resolving a point.
         assert entry["per_record_s"] < 1e-3
+
+    def test_cluster_benches_publish_amortized_costs(self, report):
+        ring = report.benchmarks["ring_lookup"]
+        assert ring["per_lookup_s"] == pytest.approx(
+            ring["seconds"] / ring["lookups"]
+        )
+        # One lookup per forwarded request / job chunk: it must stay
+        # far below the cost of resolving a point.
+        assert ring["per_lookup_s"] < 1e-3
+        tick = report.benchmarks["membership_tick"]
+        assert tick["nodes"] == 64
+        # A tick fires every lease_s/2 on the coordinator loop; the
+        # steady-state sweep must be effectively free.
+        assert tick["per_tick_s"] < 1e-3
 
     def test_meta_records_environment(self, report):
         assert report.meta["statistic"] == "best"
@@ -116,7 +132,9 @@ class TestBaseline:
         doc = json.loads(path.read_text())
         assert sorted(doc["benchmarks"]) == [
             "checkpoint_overhead",
+            "membership_tick",
             "pool_transport",
+            "ring_lookup",
             "service_p99",
             "sim_microbench",
             "slab_microbench",
