@@ -175,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: REPRO_FAULTS, else off; see docs/RESILIENCE.md)",
     )
     parser.add_argument(
+        "--machine-profile", metavar="NAME", default=None,
+        help="named hardware profile to simulate: gh200 (the calibrated "
+             "paper testbed, default), v100, or a100 (PCIe comparison "
+             "nodes; see docs/EXPERIMENTS.md)",
+    )
+    parser.add_argument(
         "--no-slab", action="store_true",
         help="disable the batch-vectorized slab hot path and use the "
              "point-at-a-time scalar pipeline (the differential oracle; "
@@ -215,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="elements accumulated per loop iteration")
     p_sum.add_argument("--threads", type=int, default=256)
     p_sum.add_argument("--seed", type=int, default=0)
+    p_sum.add_argument("--op", default="+",
+                       choices=["+", "min", "max", "argmax", "dot"],
+                       help="reduction identifier (dot derives its second "
+                            "operand from --seed; argmax reports the "
+                            "first index of the maximum)")
     add_trace_out(p_sum)
 
     p_sweep = sub.add_parser("sweep", help="regenerate a Figure 1 panel")
@@ -692,15 +703,26 @@ def _cmd_describe(args, machine: Machine, executor) -> int:
 
 def _cmd_sum(args, machine: Machine, executor) -> int:
     st = scalar_type(args.dtype)
-    rng = np.random.default_rng(args.seed)
-    if st.is_integer:
-        data = rng.integers(-100, 100, size=args.elements).astype(st.numpy)
-    else:
-        data = rng.random(args.elements).astype(st.numpy)
-    result = offload_sum(data, teams=args.teams, v=args.v,
-                         threads=args.threads, machine=machine)
+
+    def draw(rng):
+        if st.is_integer:
+            return rng.integers(-100, 100, size=args.elements).astype(st.numpy)
+        return rng.random(args.elements).astype(st.numpy)
+
+    data = draw(np.random.default_rng(args.seed))
+    second = None
+    if args.op == "dot":
+        # Same seed decorrelation as Machine.workload_pair.
+        second = draw(np.random.default_rng(args.seed ^ 0x9E3779B9))
+    result = offload_sum(
+        data, teams=args.teams, v=args.v, threads=args.threads,
+        machine=machine, identifier=args.op,
+        result_type="int64" if args.op == "argmax" else None,
+        second=second,
+    )
     geo = result.kernel.geometry
-    print(f"sum        = {result.value}")
+    label = "sum" if args.op == "+" else args.op
+    print(f"{label:<10} = {result.value}")
     print(f"geometry   = grid {geo.grid} x block {geo.block} "
           f"(v={result.kernel.elements_per_iteration})")
     print(f"kernel     = {format_time(result.seconds)}")
@@ -1829,6 +1851,8 @@ def _dispatch(
         overrides["faults"] = args.faults
     if getattr(args, "no_slab", False):
         overrides["slab"] = False
+    if getattr(args, "machine_profile", None):
+        overrides["machine_profile"] = args.machine_profile
     if overrides:
         from dataclasses import replace as _replace
 

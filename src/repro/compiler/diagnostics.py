@@ -32,3 +32,8 @@ UNSUPPORTED_INCREMENT = "NVHPC-OMP-134"
 
 #: Diagnostic code for non-canonical loops (standard violation).
 NON_CANONICAL_LOOP = "OMP-CANON-001"
+
+#: Diagnostic code for an operand-arity mismatch: a two-array reduction
+#: identifier (``dot``) compiled against a program that declares a single
+#: input array, or vice versa.
+OPERAND_ARITY = "NVHPC-OMP-201"

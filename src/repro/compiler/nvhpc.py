@@ -25,7 +25,7 @@ from ..hardware.spec import GpuSpec
 from ..openmp.canonical import ForLoop, check_canonical, nvhpc_supported
 from ..openmp.directives import Directive
 from ..openmp.parser import parse_pragma
-from ..openmp.reduction_ops import get_reduction_op
+from ..openmp.reduction_ops import required_arrays, validate_reduction
 from ..openmp.runtime import DeviceRuntime, LaunchGeometry
 from ..gpu.kernels import ReductionKernel
 from ..gpu.strategies import ReductionStrategy
@@ -33,6 +33,7 @@ from ..telemetry.state import span as tele_span
 from .diagnostics import (
     Diagnostic,
     NON_CANONICAL_LOOP,
+    OPERAND_ARITY,
     Severity,
     UNSUPPORTED_INCREMENT,
 )
@@ -54,6 +55,8 @@ class ReductionLoopProgram:
     element_type: ScalarType
     result_type: ScalarType
     name: str = "sum_reduction"
+    #: Input arrays the loop body reads per element (2 for a dot product).
+    arrays: int = 1
 
     def directive(self) -> Directive:
         if isinstance(self.pragma, Directive):
@@ -78,6 +81,7 @@ class CompiledReduction:
     flags: CompilerFlags
     name: str
     diagnostics: Tuple[Diagnostic, ...] = field(default_factory=tuple)
+    arrays: int = 1
 
     @property
     def unified_memory(self) -> bool:
@@ -107,6 +111,7 @@ class CompiledReduction:
             result_type=self.result_type,
             identifier=self.identifier,
             strategy=strategy or ReductionStrategy.TREE,
+            arrays=self.arrays,
         )
 
 
@@ -167,7 +172,16 @@ class NvhpcCompiler:
             identifier = "+"
         else:
             identifier = reduction.identifier
-        get_reduction_op(identifier, program.result_type)  # validates
+        validate_reduction(identifier, program.result_type)
+        if required_arrays(identifier) != program.arrays:
+            diag = Diagnostic(
+                Severity.ERROR,
+                OPERAND_ARITY,
+                f"reduction-identifier {identifier!r} consumes "
+                f"{required_arrays(identifier)} input array(s), but the "
+                f"program declares {program.arrays}",
+            )
+            raise CompileError(diag.message, diagnostics=[diag])
 
         element_type = scalar_type(program.element_type)
         result_type = scalar_type(program.result_type)
@@ -180,4 +194,5 @@ class NvhpcCompiler:
             flags=self.flags,
             name=program.name,
             diagnostics=tuple(diagnostics),
+            arrays=program.arrays,
         )

@@ -80,6 +80,15 @@ class ReproConfig:
         scalar pipeline — the differential oracle the slab path is
         byte-identical to.  Not part of cache fingerprints *because* of
         that byte-identity: both paths produce the same records.
+    machine_profile:
+        Named hardware profile (see :mod:`repro.hardware.profiles`) the
+        :class:`~repro.core.machine.Machine` resolves its system from
+        when no explicit system is passed.  ``"gh200"`` (the default) is
+        the calibrated paper testbed and produces a system byte-identical
+        to the pre-profile behaviour; ``"v100"`` and ``"a100"`` are the
+        PCIe comparison nodes.  The profile is *indirectly* part of cache
+        fingerprints: the resolved system object is fingerprinted, so
+        results from different profiles never collide.
     flight_dir:
         When set, building a :class:`~repro.core.machine.Machine` from
         this config enables the crash flight recorder
@@ -99,6 +108,7 @@ class ReproConfig:
     sweep_task_timeout_s: Optional[float] = None
     faults: Optional[str] = None
     slab: bool = True
+    machine_profile: str = "gh200"
     flight_dir: Optional[str] = None
 
     def rng(self) -> np.random.Generator:

@@ -22,7 +22,8 @@ from ..config import DEFAULT_CONFIG, ReproConfig
 from ..gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from ..gpu.kernels import ReductionKernel
 from ..gpu.perf import KernelTiming, estimate_kernel_time
-from ..hardware.system import GraceHopperSystem, grace_hopper
+from ..hardware.profiles import system_for_profile
+from ..hardware.system import GraceHopperSystem
 from ..memory.unified import UnifiedMemoryManager
 from ..openmp.icv import ICVSet
 from ..openmp.runtime import DeviceRuntime
@@ -42,9 +43,11 @@ class Machine:
         config: Optional[ReproConfig] = None,
         icvs: Optional[ICVSet] = None,
     ):
-        self.system = system or grace_hopper()
-        self.calibration = calibration or DEFAULT_CALIBRATION
         self.config = config or DEFAULT_CONFIG
+        # An explicit system wins; otherwise the config's named profile
+        # resolves it ("gh200" reproduces the historical grace_hopper()).
+        self.system = system or system_for_profile(self.config.machine_profile)
+        self.calibration = calibration or DEFAULT_CALIBRATION
         if self.config.telemetry:
             from ..telemetry.state import configure
 
@@ -129,6 +132,41 @@ class Machine:
                 if data is None:
                     rng = self.config.rng()
                     n = key[1]
+                    if case.element_type.is_integer:
+                        info = np.iinfo(case.element_type.numpy)
+                        low = max(info.min, -100)
+                        high = min(info.max, 100)
+                        data = rng.integers(low, high + 1, size=n).astype(
+                            case.element_type.numpy
+                        )
+                    else:
+                        data = rng.random(n).astype(case.element_type.numpy)
+                    data.setflags(write=False)
+                    self._workload_cache[key] = data
+        return data
+
+    #: Seed XOR applied for the second operand of two-array reductions, so
+    #: ``y`` is deterministic but decorrelated from ``x``.
+    _PAIR_SEED_XOR = 0x9E3779B9
+
+    def workload_pair(self, case: Case) -> np.ndarray:
+        """Deterministic *second* input array for two-array reductions.
+
+        Same distribution and size as :meth:`workload` but drawn from an
+        independent stream (``config.seed ^ _PAIR_SEED_XOR``), cached and
+        shared by the scalar, slab, and differential paths so ``dot``
+        results stay byte-identical across them.
+        """
+        key = ("pair", case.element_type.name, self.functional_elements(case))
+        data = self._workload_cache.get(key)
+        if data is None:
+            with self._workload_lock:
+                data = self._workload_cache.get(key)
+                if data is None:
+                    rng = np.random.default_rng(
+                        self.config.seed ^ self._PAIR_SEED_XOR
+                    )
+                    n = key[2]
                     if case.element_type.is_integer:
                         info = np.iinfo(case.element_type.numpy)
                         low = max(info.min, -100)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from dataclasses import replace as dc_replace
 from typing import Optional
 
 import numpy as np
@@ -23,6 +24,7 @@ from ..compiler.nvhpc import CompiledReduction
 from ..dtypes import INT8, ScalarType, scalar_type
 from ..gpu.exec_model import execute_reduction
 from ..gpu.kernels import ReductionKernel
+from ..openmp.reduction_ops import required_arrays
 from ..gpu.perf import KernelTiming
 from ..util.units import gb_per_s
 from .baseline import baseline_program
@@ -114,15 +116,17 @@ class OffloadReducer:
         else:
             program = optimized_program(case, config)
         if identifier != "+":
-            # Re-target the reduction clause for non-sum reductions.
-            pragma = program.pragma.replace("reduction(+:sum)",
-                                            f"reduction({identifier}:sum)")
-            program = type(program)(
-                pragma=pragma,
-                loop=program.loop,
-                element_type=program.element_type,
-                result_type=program.result_type,
-                name=program.name,
+            # Re-target the reduction clause for non-sum reductions; the
+            # name suffix keeps the compile cache per-identifier and the
+            # arrays count carries dot's second operand through arity
+            # validation.
+            program = dc_replace(
+                program,
+                pragma=program.pragma.replace(
+                    "reduction(+:sum)", f"reduction({identifier}:sum)"
+                ),
+                name=f"{program.name}_{identifier}",
+                arrays=required_arrays(identifier),
             )
         self.case = case
         self.config = config
@@ -133,21 +137,33 @@ class OffloadReducer:
             strategy=strategy,
         )
 
-    def reduce(self, data: np.ndarray, verify: Optional[bool] = None) -> OffloadResult:
+    def reduce(
+        self,
+        data: np.ndarray,
+        verify: Optional[bool] = None,
+        second: Optional[np.ndarray] = None,
+    ) -> OffloadResult:
         """Reduce *data*; returns value + modelled timing.
 
         ``data`` must match the reducer's element type; its length may be
         smaller than the declared size (the schedule shape is applied to
-        the actual data, the timing to the declared size).
+        the actual data, the timing to the declared size).  Two-array
+        identifiers (``dot``) take the second operand via ``second``.
         """
         timing = self.machine.run_kernel(self.kernel)
-        value = execute_reduction(np.ascontiguousarray(data), self.kernel)
+        value = execute_reduction(
+            np.ascontiguousarray(data), self.kernel, second=second
+        )
         do_verify = (
             self.machine.config.strict_verify if verify is None else verify
         )
         if do_verify:
             verify_result(
-                value, data, self.kernel.result_type, self.kernel.identifier
+                value,
+                data,
+                self.kernel.result_type,
+                self.kernel.identifier,
+                second=second,
             )
         return OffloadResult(value=value, kernel=self.kernel, timing=timing)
 
@@ -159,6 +175,8 @@ def offload_sum(
     v: int = 1,
     threads: int = DEFAULT_THREADS,
     machine: Optional[Machine] = None,
+    identifier: str = "+",
+    second: Optional[np.ndarray] = None,
 ) -> OffloadResult:
     """Sum *data* with OpenMP offload semantics on the simulated GH node.
 
@@ -172,6 +190,11 @@ def offload_sum(
         The paper's tuning parameters.  ``teams=None`` runs the baseline
         Listing 2 (runtime-heuristic geometry, V forced to 1); otherwise
         the optimized Listing 5 with ``num_teams(teams/v)``.
+    identifier, second:
+        Reduction identifier (``"+"`` by default; also ``min``/``max``/
+        ``argmax``/``dot`` and the other OpenMP spellings).  ``dot``
+        requires its second operand array via ``second``; ``argmax``
+        requires ``result_type="int64"``.
 
     Returns
     -------
@@ -200,5 +223,6 @@ def offload_sum(
         result_type=result_type,
         config=config,
         machine=machine,
+        identifier=identifier,
     )
-    return reducer.reduce(arr)
+    return reducer.reduce(arr, second=second)

@@ -14,7 +14,7 @@ size-capped workload and verifies it against the host reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Optional
 
 import numpy as np
@@ -25,6 +25,7 @@ from ..gpu.exec_model import execute_reduction
 from ..gpu.kernels import ReductionKernel
 from ..gpu.perf import KernelTiming
 from ..openmp.data_env import DeviceDataEnvironment
+from ..openmp.reduction_ops import required_arrays
 from ..telemetry.state import get_telemetry
 from ..util.units import gb_per_s
 from .baseline import baseline_program
@@ -76,11 +77,15 @@ def measure_gpu_reduction(
     config: Optional[KernelConfig] = None,
     trials: int = TRIALS,
     verify: Optional[bool] = None,
+    op: str = "+",
 ) -> Measurement:
     """Measure *case* on the GPU with Listing 6's loop.
 
     ``config=None`` measures the baseline (Listing 2, runtime heuristics);
     otherwise the optimized Listing 5 at the given parameter point.
+    ``op`` selects the reduction identifier; the default ``"+"`` is the
+    paper's sum, and alternative identifiers (``min``/``max``/``argmax``/
+    ``dot``) rewrite the listing's reduction clause before compiling.
     """
     if trials <= 0:
         raise MeasurementError(f"trials must be positive, got {trials}")
@@ -99,7 +104,10 @@ def measure_gpu_reduction(
     memo = None
     if machine.config.slab and not get_telemetry().enabled:
         memo = machine.__dict__.setdefault("_measure_memo", {})
-        key = (case, config, trials, do_verify)
+        # Sum keeps the historical 4-tuple key so pre-op memo behaviour
+        # (and any key a test pins) is unchanged; other ops append theirs.
+        key = ((case, config, trials, do_verify) if op == "+"
+               else (case, config, trials, do_verify, op))
         hit = memo.get(key)
         if hit is not None:
             measurement, launch = hit
@@ -112,6 +120,18 @@ def measure_gpu_reduction(
     else:
         program = optimized_program(case, config)
         env = config.env()
+    if op != "+":
+        # Rewrite the listing's clause for the alternative identifier.
+        # The program is a frozen value object, so the compile cache keys
+        # the rewritten variant independently of the sum program.
+        program = dc_replace(
+            program,
+            pragma=program.pragma.replace(
+                "reduction(+:sum)", f"reduction({op}:sum)"
+            ),
+            name=f"{program.name}_{op}",
+            arrays=required_arrays(op),
+        )
     compiled = cached_compile(program)
     kernel = compiled.launch(machine.runtime, env)
 
@@ -124,6 +144,8 @@ def measure_gpu_reduction(
         machine.link, machine.gpu.memory.capacity_bytes
     )
     env.map_to("in", case.input_bytes)          # untimed setup transfer
+    if kernel.arrays > 1:
+        env.map_to("in2", case.input_bytes)     # dot's second operand
     env.map_alloc("sum", case.result_type.size)
 
     timing = machine.run_kernel(kernel)
@@ -132,16 +154,20 @@ def measure_gpu_reduction(
     elapsed = trials * trial_seconds
 
     data = machine.workload(case)
-    value = execute_reduction(data, kernel)
+    second = machine.workload_pair(case) if op == "dot" else None
+    value = execute_reduction(data, kernel, second)
     if do_verify:
-        verify_result(value, data, case.result_type, kernel.identifier)
+        verify_result(value, data, case.result_type, kernel.identifier,
+                      second)
 
     measurement = Measurement(
         case=case,
         config=config,
         trials=trials,
         elapsed_seconds=elapsed,
-        bandwidth_gbs=gb_per_s(case.input_bytes * trials, elapsed),
+        # kernel.input_bytes == case.input_bytes for single-array ops;
+        # dot streams both operands, so its metric counts both.
+        bandwidth_gbs=gb_per_s(kernel.input_bytes * trials, elapsed),
         kernel=kernel,
         kernel_timing=timing,
         value=value,

@@ -11,6 +11,7 @@ summation.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
@@ -21,9 +22,22 @@ from ..openmp.reduction_ops import get_reduction_op
 __all__ = ["reference_result", "float_tolerance", "verify_result"]
 
 
-def reference_result(data: np.ndarray, result_type, identifier: str = "+"):
-    """Host-side reference: one whole-array reduction in R."""
+def reference_result(data: np.ndarray, result_type, identifier: str = "+",
+                     second: Optional[np.ndarray] = None):
+    """Host-side reference: one whole-array reduction in R.
+
+    ``argmax`` references ``np.argmax`` (first index of the maximum);
+    ``dot`` widens products to R and sums them in one pass.
+    """
     rtype = scalar_type(result_type)
+    if identifier == "argmax":
+        return rtype.numpy.type(int(np.argmax(data)) if data.size else -1)
+    if identifier == "dot":
+        if second is None:
+            raise ValueError("dot verification requires the second operand")
+        products = (data.astype(rtype.numpy, copy=False)
+                    * second.astype(rtype.numpy, copy=False))
+        return products.sum(dtype=rtype.numpy)
     op = get_reduction_op(identifier, rtype)
     return op.reduce_array(data, rtype.numpy)
 
@@ -38,16 +52,35 @@ def float_tolerance(result_type, n_elements: int) -> float:
     return max(32.0 * eps * math.sqrt(max(n_elements, 1)), 4.0 * eps)
 
 
-def verify_result(actual, data: np.ndarray, result_type, identifier: str = "+"):
+#: Identifiers whose result depends on accumulation grouping for floats.
+#: min/max/argmax are grouping-exact even in floating point (comparisons
+#: do not round), so they verify with equality like the integer path.
+_GROUPING_SENSITIVE = ("+", "-", "*", "dot")
+
+
+def verify_result(actual, data: np.ndarray, result_type, identifier: str = "+",
+                  second: Optional[np.ndarray] = None):
     """Check *actual* against the host reference; returns the reference.
 
     Raises
     ------
     VerificationError
-        On an exact mismatch (integers) or out-of-tolerance result (floats).
+        On an exact mismatch (integers and grouping-exact identifiers) or
+        an out-of-tolerance result (grouping-sensitive float reductions).
     """
     rtype = scalar_type(result_type)
-    expected = reference_result(data, rtype, identifier)
+    expected = reference_result(data, rtype, identifier, second)
+    if not rtype.is_integer and identifier not in _GROUPING_SENSITIVE:
+        # Exact float comparison via bit-for-bit equality (NaN-safe: a
+        # NaN result never equals the reference and fails).
+        if not (float(actual) == float(expected)):
+            raise VerificationError(
+                f"{identifier} reduction mismatch: device={float(actual)!r} "
+                f"host={float(expected)!r}",
+                expected=expected,
+                actual=actual,
+            )
+        return expected
     if rtype.is_integer:
         if int(actual) != int(expected):
             raise VerificationError(

@@ -20,7 +20,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class of all errors raised by the :mod:`repro` library."""
+    """Base class of all errors raised by the :mod:`repro` library.
+
+    Errors that correspond to a *stable, documented* front-end diagnostic
+    carry a short machine-readable ``code`` (e.g. ``"OMP-RED-101"``) so
+    that reject-path tests and the fuzzer can pin the contract without
+    string-matching messages.  ``code`` is ``None`` for errors that have
+    no published diagnostic.
+    """
+
+    code: "str | None" = None
 
 
 class SpecError(ReproError, ValueError):
@@ -42,14 +51,22 @@ class DirectiveSyntaxError(OpenMPError, ValueError):
         Character offset of the first unparsable token, or ``None``.
     """
 
-    def __init__(self, message: str, pragma: str = "", position: "int | None" = None):
+    def __init__(self, message: str, pragma: str = "", position: "int | None" = None,
+                 code: "str | None" = None):
         super().__init__(message)
         self.pragma = pragma
         self.position = position
+        if code is not None:
+            self.code = code
 
 
 class ClauseError(OpenMPError, ValueError):
     """A clause is malformed, duplicated, or invalid for its directive."""
+
+    def __init__(self, message: str, code: "str | None" = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
 
 
 class CanonicalLoopError(OpenMPError, ValueError):
@@ -71,6 +88,11 @@ class CompileError(OpenMPError):
 
 class UnsupportedReductionError(OpenMPError, ValueError):
     """The reduction-identifier is not one the runtime implements."""
+
+    def __init__(self, message: str, code: "str | None" = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
 
 
 class MemoryModelError(ReproError, RuntimeError):

@@ -22,7 +22,7 @@ hardware.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,19 @@ from ..telemetry.state import span as tele_span
 from .kernels import ReductionKernel
 
 __all__ = ["execute_reduction", "thread_chunk_starts"]
+
+# Extended identifiers the executor lowers outside the ufunc table:
+#
+# * ``argmax`` — each thread tracks ``(best_value, best_index)`` and the
+#   combine keeps the larger value, breaking ties toward the *lower*
+#   index.  Because static chunks are contiguous and combined in thread
+#   then team order, that hierarchy provably returns the first index of
+#   the global maximum — i.e. exactly ``np.argmax`` — for every launch
+#   geometry, so the executor computes it directly.
+# * ``dot`` — products are widened to R first (``sum += (R)x[i]*(R)y[i]``)
+#   and then accumulated with the ordinary ``+`` hierarchy, so the float
+#   grouping (and integer wraparound) is the sum reduction's over the
+#   product array.
 
 _UFUNCS = {
     "+": np.add,
@@ -75,26 +88,48 @@ def thread_chunk_starts(
     return starts_iter * v, team_starts
 
 
-def execute_reduction(data: np.ndarray, kernel: ReductionKernel):
+def execute_reduction(data: np.ndarray, kernel: ReductionKernel,
+                      second: Optional[np.ndarray] = None):
     """Run *kernel*'s reduction over *data*; returns a scalar of type R.
 
     *data* may be shorter than ``kernel.elements`` (the functional layer
     runs on size-capped arrays while the performance model reasons about
     the declared size); the schedule shape (grid/block/V) is applied to the
-    actual length.
+    actual length.  Two-array identifiers (``dot``) take the second
+    operand via *second*.
     """
     with tele_span("execute_reduction", category="gpu",
                    kernel=kernel.name, elements=int(data.size),
                    grid=kernel.geometry.grid, block=kernel.geometry.block):
-        return _execute_reduction(data, kernel)
+        return _execute_reduction(data, kernel, second)
 
 
-def _execute_reduction(data: np.ndarray, kernel: ReductionKernel):
+def _execute_reduction(data: np.ndarray, kernel: ReductionKernel,
+                       second: Optional[np.ndarray] = None):
     if data.ndim != 1:
         raise ValueError(f"expected a 1-D array, got shape {data.shape}")
     rtype = kernel.result_type.numpy
     ident = kernel.identifier
+    if ident == "dot":
+        if second is None:
+            raise UnsupportedReductionError(
+                "reduction-identifier 'dot' requires a second input array"
+            )
+        if second.shape != data.shape or second.dtype != data.dtype:
+            raise ValueError(
+                f"dot operands must match: {data.dtype}{data.shape} vs "
+                f"{second.dtype}{second.shape}"
+            )
+    elif second is not None:
+        raise ValueError(
+            f"identifier {ident!r} reduces a single array, got a second "
+            "operand"
+        )
     if data.size == 0:
+        if ident == "argmax":
+            return rtype.type(-1)
+        if ident == "dot":
+            return rtype.type(0)
         return rtype.type(kernel.op.identity_for(kernel.result_type))
     if data.dtype != kernel.element_type.numpy:
         raise ValueError(
@@ -102,7 +137,14 @@ def _execute_reduction(data: np.ndarray, kernel: ReductionKernel):
             f"{kernel.element_type.numpy}"
         )
 
-    if ident in _LOGICAL:
+    if ident == "argmax":
+        # Geometry-independent by construction (see module notes).
+        return rtype.type(int(np.argmax(data)))
+
+    if ident == "dot":
+        ufunc = _UFUNCS["+"]
+        values = data.astype(rtype, copy=False) * second.astype(rtype, copy=False)
+    elif ident in _LOGICAL:
         ufunc = _LOGICAL[ident]
         values = (data != 0).astype(rtype)
     elif ident in _UFUNCS:

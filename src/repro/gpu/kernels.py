@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 from ..dtypes import ScalarType, scalar_type
 from ..errors import LaunchError
-from ..openmp.reduction_ops import ReductionOp, get_reduction_op
+from ..openmp.reduction_ops import (
+    ReductionOp,
+    get_reduction_op,
+    required_arrays,
+    validate_reduction,
+)
 from ..openmp.runtime import LaunchGeometry
 from ..util.validation import check_positive_int
 from .strategies import ReductionStrategy
@@ -39,6 +44,9 @@ class ReductionKernel:
         The listing's ``T`` and ``R``.
     identifier:
         OpenMP reduction-identifier (``"+"`` for the paper).
+    arrays:
+        Input arrays the kernel streams (2 for ``dot``, else 1).  Input
+        traffic scales with it.
     """
 
     name: str
@@ -49,6 +57,7 @@ class ReductionKernel:
     result_type: ScalarType
     identifier: str = "+"
     strategy: ReductionStrategy = ReductionStrategy.TREE
+    arrays: int = 1
 
     def __post_init__(self) -> None:
         check_positive_int(self.elements, "elements")
@@ -62,7 +71,13 @@ class ReductionKernel:
         # Freeze-friendly validation of the types / op combination.
         object.__setattr__(self, "element_type", scalar_type(self.element_type))
         object.__setattr__(self, "result_type", scalar_type(self.result_type))
-        get_reduction_op(self.identifier, self.result_type)
+        validate_reduction(self.identifier, self.result_type)
+        if self.arrays != required_arrays(self.identifier):
+            raise LaunchError(
+                f"reduction-identifier {self.identifier!r} consumes "
+                f"{required_arrays(self.identifier)} input array(s), "
+                f"kernel declares {self.arrays}"
+            )
 
     @property
     def op(self) -> ReductionOp:
@@ -80,8 +95,12 @@ class ReductionKernel:
 
     @property
     def input_bytes(self) -> int:
-        """Bytes of input traffic — the numerator of the paper's metric."""
-        return self.elements * self.element_type.size
+        """Bytes of input traffic — the numerator of the paper's metric.
+
+        Two-array reductions (``dot``) stream both operands, doubling
+        the traffic the memory term of the time model must move.
+        """
+        return self.arrays * self.elements * self.element_type.size
 
     @property
     def iterations_per_thread(self) -> int:

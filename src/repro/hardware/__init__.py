@@ -14,6 +14,14 @@ from .grace import grace_cpu, GRACE_LPDDR5X
 from .hopper import hopper_gpu, HOPPER_HBM3
 from .nvlink import nvlink_c2c
 from .system import GraceHopperSystem, grace_hopper
+from .volta import volta_gpu, volta_system
+from .ampere import ampere_gpu, ampere_system
+from .profiles import (
+    DEFAULT_PROFILE,
+    MACHINE_PROFILES,
+    profile_names,
+    system_for_profile,
+)
 
 __all__ = [
     "CpuSpec",
@@ -27,4 +35,12 @@ __all__ = [
     "HOPPER_HBM3",
     "GraceHopperSystem",
     "grace_hopper",
+    "volta_gpu",
+    "volta_system",
+    "ampere_gpu",
+    "ampere_system",
+    "DEFAULT_PROFILE",
+    "MACHINE_PROFILES",
+    "profile_names",
+    "system_for_profile",
 ]

@@ -1,0 +1,93 @@
+"""A100-class node preset (PAPERS.md: "Portability and Scalability of
+OpenMP Offloading on State-of-the-art Accelerators").
+
+An Ampere-generation PCIe testbed: an EPYC-class host, a 40 GB HBM2e
+A100, and a PCIe Gen4 x16 link.  Like the ``v100`` profile, numbers are
+published architecture figures, not a calibration fit.
+"""
+
+from __future__ import annotations
+
+from ..util.units import GiB
+from .spec import CpuSpec, GpuSpec, LinkSpec, MemorySpec
+from .system import GraceHopperSystem
+
+__all__ = ["AMPERE_HBM2E", "EPYC_DDR4", "ampere_gpu", "epyc_cpu",
+           "pcie4_link", "ampere_system"]
+
+#: A100-40GB HBM2e stack: 1555 GB/s peak.
+AMPERE_HBM2E = MemorySpec(
+    name="HBM2e",
+    capacity_bytes=40 * GiB,
+    peak_bandwidth_gbs=1555.0,
+    latency_ns=470.0,
+    page_bytes=64 * 1024,
+)
+
+#: Host DDR4 on a Rome/Milan-class EPYC socket (8 channels).
+EPYC_DDR4 = MemorySpec(
+    name="DDR4-3200",
+    capacity_bytes=256 * GiB,
+    peak_bandwidth_gbs=205.0,
+    latency_ns=95.0,
+    page_bytes=64 * 1024,
+)
+
+
+def ampere_gpu(
+    sms: int = 108,
+    clock_ghz: float = 1.41,
+    memory: MemorySpec = AMPERE_HBM2E,
+) -> GpuSpec:
+    """Build the A100 spec (GA100: 108 SMs, 64 warps / 32 blocks per SM)."""
+    return GpuSpec(
+        name="NVIDIA A100 (Ampere)",
+        sms=sms,
+        clock_ghz=clock_ghz,
+        warp_size=32,
+        max_warps_per_sm=64,
+        max_blocks_per_sm=32,
+        max_threads_per_block=1024,
+        memory=memory,
+        issue_rate_ipc=2.0,
+        kernel_launch_latency_us=4.5,
+    )
+
+
+def epyc_cpu(
+    cores: int = 64,
+    clock_ghz: float = 2.45,
+    stream_efficiency: float = 0.85,
+    memory: MemorySpec = EPYC_DDR4,
+) -> CpuSpec:
+    """Build the EPYC-class host spec (AVX2: 32-byte SIMD)."""
+    return CpuSpec(
+        name="AMD EPYC (Milan)",
+        cores=cores,
+        clock_ghz=clock_ghz,
+        simd_width_bytes=32,
+        memory=memory,
+        stream_efficiency=stream_efficiency,
+        core_stream_gbs=20.0,
+    )
+
+
+def pcie4_link(
+    bandwidth_gbs: float = 32.0,
+    remote_read_gbs: float = 26.0,
+    migration_gbs: float = 9.0,
+    latency_us: float = 1.1,
+) -> LinkSpec:
+    """PCIe Gen4 x16: ~32 GB/s per direction."""
+    return LinkSpec(
+        name="PCIe Gen4 x16",
+        bandwidth_gbs=bandwidth_gbs,
+        remote_read_gbs=remote_read_gbs,
+        migration_gbs=migration_gbs,
+        latency_us=latency_us,
+    )
+
+
+def ampere_system() -> GraceHopperSystem:
+    """EPYC (64c) + A100 (40 GB HBM2e) + PCIe Gen4 — the ``a100`` profile."""
+    return GraceHopperSystem(cpu=epyc_cpu(), gpu=ampere_gpu(), link=pcie4_link())

@@ -1,0 +1,53 @@
+"""Named machine-profile registry.
+
+A *profile* maps a short stable name to a system factory.  The calibrated
+paper testbed is ``"gh200"`` (the default everywhere); ``"v100"`` and
+``"a100"`` are the PCIe-attached comparison nodes from the related
+compiler-assessment studies (PAPERS.md).  Profile selection flows through
+:attr:`repro.config.ReproConfig.machine_profile` and the CLI's global
+``--machine-profile`` flag.
+
+Cache isolation comes for free: the system object is part of every
+machine fingerprint, so results computed under different profiles can
+never collide in the sweep cache — and the default profile produces a
+system byte-identical to the pre-profile ``grace_hopper()``, keeping all
+existing cache keys and golden fixtures valid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..errors import SpecError
+from .ampere import ampere_system
+from .system import GraceHopperSystem, grace_hopper
+from .volta import volta_system
+
+__all__ = ["MACHINE_PROFILES", "DEFAULT_PROFILE", "profile_names",
+           "system_for_profile"]
+
+#: Registry of named system factories, in preference order.
+MACHINE_PROFILES: Dict[str, Callable[[], GraceHopperSystem]] = {
+    "gh200": grace_hopper,
+    "v100": volta_system,
+    "a100": ampere_system,
+}
+
+DEFAULT_PROFILE = "gh200"
+
+
+def profile_names() -> Tuple[str, ...]:
+    """The registered profile names, default first."""
+    return tuple(MACHINE_PROFILES)
+
+
+def system_for_profile(name: str) -> GraceHopperSystem:
+    """Build the system for profile *name* (raises for unknown names)."""
+    try:
+        factory = MACHINE_PROFILES[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown machine profile {name!r}; expected one of "
+            f"{', '.join(MACHINE_PROFILES)}"
+        ) from None
+    return factory()

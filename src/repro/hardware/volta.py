@@ -1,0 +1,95 @@
+"""V100-class node preset (PAPERS.md: "Performance Assessment of OpenMP
+Compilers Targeting NVIDIA V100 GPUs").
+
+A Volta-generation PCIe testbed in the style of the compiler-assessment
+studies: a Xeon-class host, a 16 GB HBM2 V100, and a PCIe Gen3 x16 link.
+Numbers are published vendor/architecture figures, not a calibration fit
+— cross-profile sweeps compare *shapes* (saturation, crossovers), while
+absolute GB/s is only calibrated for the GH200 profile.
+"""
+
+from __future__ import annotations
+
+from ..util.units import GiB
+from .spec import CpuSpec, GpuSpec, LinkSpec, MemorySpec
+from .system import GraceHopperSystem
+
+__all__ = ["VOLTA_HBM2", "XEON_DDR4", "volta_gpu", "xeon_cpu", "pcie3_link",
+           "volta_system"]
+
+#: V100 SXM2/PCIe HBM2 stack: 16 GB at a 900 GB/s peak.
+VOLTA_HBM2 = MemorySpec(
+    name="HBM2",
+    capacity_bytes=16 * GiB,
+    peak_bandwidth_gbs=900.0,
+    latency_ns=425.0,
+    page_bytes=64 * 1024,
+)
+
+#: Host DDR4 on a dual-socket Skylake-class node (one socket modelled).
+XEON_DDR4 = MemorySpec(
+    name="DDR4-2666",
+    capacity_bytes=192 * GiB,
+    peak_bandwidth_gbs=128.0,
+    latency_ns=90.0,
+    page_bytes=64 * 1024,
+)
+
+
+def volta_gpu(
+    sms: int = 80,
+    clock_ghz: float = 1.53,
+    memory: MemorySpec = VOLTA_HBM2,
+) -> GpuSpec:
+    """Build the V100 spec (GV100: 80 SMs, 64 warps / 32 blocks per SM)."""
+    return GpuSpec(
+        name="NVIDIA V100 (Volta)",
+        sms=sms,
+        clock_ghz=clock_ghz,
+        warp_size=32,
+        max_warps_per_sm=64,
+        max_blocks_per_sm=32,
+        max_threads_per_block=1024,
+        memory=memory,
+        issue_rate_ipc=2.0,
+        kernel_launch_latency_us=6.0,
+    )
+
+
+def xeon_cpu(
+    cores: int = 20,
+    clock_ghz: float = 2.4,
+    stream_efficiency: float = 0.82,
+    memory: MemorySpec = XEON_DDR4,
+) -> CpuSpec:
+    """Build the Skylake-class host spec (AVX-512: 64-byte SIMD)."""
+    return CpuSpec(
+        name="Intel Xeon (Skylake)",
+        cores=cores,
+        clock_ghz=clock_ghz,
+        simd_width_bytes=64,
+        memory=memory,
+        stream_efficiency=stream_efficiency,
+        core_stream_gbs=14.0,
+    )
+
+
+def pcie3_link(
+    bandwidth_gbs: float = 16.0,
+    remote_read_gbs: float = 12.0,
+    migration_gbs: float = 6.0,
+    latency_us: float = 1.3,
+) -> LinkSpec:
+    """PCIe Gen3 x16: ~16 GB/s per direction, driver-mediated UM faults."""
+    return LinkSpec(
+        name="PCIe Gen3 x16",
+        bandwidth_gbs=bandwidth_gbs,
+        remote_read_gbs=remote_read_gbs,
+        migration_gbs=migration_gbs,
+        latency_us=latency_us,
+    )
+
+
+def volta_system() -> GraceHopperSystem:
+    """Xeon (20c) + V100 (16 GB HBM2) + PCIe Gen3 — the ``v100`` profile."""
+    return GraceHopperSystem(cpu=xeon_cpu(), gpu=volta_gpu(), link=pcie3_link())

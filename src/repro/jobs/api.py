@@ -28,6 +28,10 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 from ..core.cases import PAPER_CASES, case_by_name
 from ..core.optimized import KernelConfig
 from ..errors import SpecError
+from ..openmp.reduction_ops import (
+    ALL_REDUCTION_IDENTIFIERS,
+    validate_reduction,
+)
 from ..verify.fuzzer import case_digest
 
 #: Matches :data:`repro.service.api.MAX_TRIALS` (not imported: the
@@ -68,10 +72,11 @@ class JobSpec:
     shard_records: int = 8192
     label: str = ""
     archive: bool = False
+    op: str = "+"
 
     # -- documents ------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "case": self.case,
             "teams": list(self.teams),
             "v": list(self.v),
@@ -83,6 +88,11 @@ class JobSpec:
             "label": self.label,
             "archive": self.archive,
         }
+        # Emitted only for extended identifiers: resumable sum jobs on
+        # disk keep their spec digests (and therefore their job ids).
+        if self.op != "+":
+            doc["op"] = self.op
+        return doc
 
     @property
     def spec_digest(self) -> str:
@@ -106,15 +116,20 @@ class JobSpec:
                     yield teams, v, threads
 
     def payloads(self) -> Iterator[tuple]:
-        """Lazy ``gpu_point`` executor payloads in point order."""
+        """Lazy ``gpu_point`` executor payloads in point order.
+
+        Sum jobs build the historical 4-tuples (cache-fingerprint
+        stable); extended identifiers append the op element.
+        """
         case = case_by_name(self.case)
         for teams, v, threads in self.points():
-            yield (
+            base = (
                 case,
                 KernelConfig(teams=teams, v=v, threads=threads),
                 self.trials,
                 self.verify,
             )
+            yield base if self.op == "+" else base + (self.op,)
 
     def point_digests(self, machine_fingerprint: str) -> Iterator[str]:
         """Lazy canonical per-point digests (the checkpoint/resume key).
@@ -125,18 +140,19 @@ class JobSpec:
         on the very first line instead of splicing incompatible results.
         """
         for teams, v, threads in self.points():
-            yield case_digest(
-                {
-                    "kind": "gpu_point",
-                    "machine": machine_fingerprint,
-                    "case": self.case,
-                    "teams": teams,
-                    "v": v,
-                    "threads": threads,
-                    "trials": self.trials,
-                    "verify": self.verify,
-                }
-            )
+            doc: Dict[str, Any] = {
+                "kind": "gpu_point",
+                "machine": machine_fingerprint,
+                "case": self.case,
+                "teams": teams,
+                "v": v,
+                "threads": threads,
+                "trials": self.trials,
+                "verify": self.verify,
+            }
+            if self.op != "+":
+                doc["op"] = self.op
+            yield case_digest(doc)
 
     def points_digest(self, machine_fingerprint: str) -> str:
         """SHA-256 over the whole per-point digest stream (incremental).
@@ -179,7 +195,7 @@ def _int_field(value: Any, name: str, lo: int, hi: int) -> int:
 _FIELDS = frozenset(
     (
         "case", "teams", "v", "threads", "trials", "verify",
-        "checkpoint_interval", "shard_records", "label", "archive",
+        "checkpoint_interval", "shard_records", "label", "archive", "op",
     )
 )
 
@@ -230,6 +246,19 @@ def parse_job_spec(obj: Any) -> JobSpec:
     archive = obj.get("archive", False)
     if not isinstance(verify, bool) or not isinstance(archive, bool):
         raise SpecError("verify/archive must be booleans")
+    op = obj.get("op", "+")
+    if not isinstance(op, str):
+        raise SpecError(f"op must be a string, got {op!r}")
+    if op not in ALL_REDUCTION_IDENTIFIERS:
+        raise SpecError(
+            f"op must be one of {sorted(ALL_REDUCTION_IDENTIFIERS)}, "
+            f"got {op!r}"
+        )
+    if op != "+":
+        try:
+            validate_reduction(op, case_by_name(case).result_type)
+        except Exception as exc:
+            raise SpecError(str(exc)) from exc
     spec = JobSpec(
         case=case,
         teams=teams,
@@ -246,6 +275,7 @@ def parse_job_spec(obj: Any) -> JobSpec:
         ),
         label=label,
         archive=archive,
+        op=op,
     )
     if spec.total_points() > MAX_POINTS:
         raise SpecError(

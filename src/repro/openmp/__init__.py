@@ -32,7 +32,16 @@ from .clauses import (
 from .directives import Directive, DirectiveKind
 from .parser import parse_pragma
 from .canonical import ForLoop, check_canonical, nvhpc_supported
-from .reduction_ops import ReductionOp, get_reduction_op, REDUCTION_OPS
+from .reduction_ops import (
+    ReductionOp,
+    get_reduction_op,
+    REDUCTION_OPS,
+    ExtendedReduction,
+    EXTENDED_REDUCTIONS,
+    ALL_REDUCTION_IDENTIFIERS,
+    validate_reduction,
+    required_arrays,
+)
 from .icv import ICVSet
 from .heuristics import default_num_teams, default_thread_limit, DEFAULT_GRID_CAP
 from .runtime import DeviceRuntime, LaunchGeometry
@@ -57,6 +66,11 @@ __all__ = [
     "ReductionOp",
     "get_reduction_op",
     "REDUCTION_OPS",
+    "ExtendedReduction",
+    "EXTENDED_REDUCTIONS",
+    "ALL_REDUCTION_IDENTIFIERS",
+    "validate_reduction",
+    "required_arrays",
     "ICVSet",
     "default_num_teams",
     "default_thread_limit",

@@ -26,7 +26,14 @@ from .clauses import (
     ThreadLimit,
 )
 
-__all__ = ["DirectiveKind", "Directive"]
+__all__ = ["DirectiveKind", "Directive", "FUSED_DUPLICATE_VAR"]
+
+#: Stable diagnostic code: one list item named by more than one reduction
+#: clause (or twice within a clause) on the same directive.  OpenMP 5.1
+#: §5.5.8 forbids a variable from appearing in more than one reduction
+#: clause, and a fused multi-reduction directive must keep its
+#: accumulators disjoint.
+FUSED_DUPLICATE_VAR = "OMP-RED-201"
 
 
 class DirectiveKind(enum.Enum):
@@ -110,6 +117,19 @@ class Directive:
                     f"'#pragma omp {self.kind.value}'"
                 )
             seen.add(ctype)
+        reduction_vars: "set[str]" = set()
+        for clause in self.clauses:
+            if not isinstance(clause, Reduction):
+                continue
+            for item in clause.items:
+                if item in reduction_vars:
+                    raise ClauseError(
+                        f"list item {item!r} appears in more than one "
+                        f"reduction clause on "
+                        f"'#pragma omp {self.kind.value}'",
+                        code=FUSED_DUPLICATE_VAR,
+                    )
+                reduction_vars.add(item)
         if self.kind is DirectiveKind.TARGET_UPDATE:
             if not any(isinstance(c, Map) for c in self.clauses):
                 raise ClauseError(

@@ -39,7 +39,8 @@ _KINDS_BY_LENGTH = sorted(
     DirectiveKind, key=lambda k: len(k.value.split()), reverse=True
 )
 
-_REDUCTION_IDENTIFIERS = ("+", "*", "-", "&&", "||", "&", "|", "^", "max", "min")
+_REDUCTION_IDENTIFIERS = ("+", "*", "-", "&&", "||", "&", "|", "^", "max", "min",
+                          "argmax", "dot")
 
 
 def _normalize(text: str) -> str:

@@ -4,19 +4,50 @@ Every identifier couples the C operator spelling with its identity value
 and a NumPy combiner.  The paper only exercises ``+``, but the runtime
 implements the full implicit set so the library is usable as a general
 offload-reduction layer.
+
+Beyond the implicit set, two *extended* reduction identifiers are
+registered for the scenario-diversity study (ROADMAP item 4):
+
+* ``argmax`` — index of the first occurrence of the global maximum
+  (lowest index wins on ties; the empty reduction yields ``-1``).  The
+  result is an element *index*, so the accumulator is pinned to
+  ``int64``.
+* ``dot`` — two-array inner product ``sum += (R) x[i] * (R) y[i]``:
+  products are widened to the result type first, then accumulated with
+  the ordinary ``+`` hierarchy, so its grouping semantics are exactly
+  the sum reduction's over the product array.
+
+Extended identifiers are not :class:`ReductionOp` instances — argmax
+carries index state through the combine and dot consumes two arrays —
+so they live in :data:`EXTENDED_REDUCTIONS` and executors special-case
+them.  :func:`validate_reduction` is the unified front-end check that
+accepts both families.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..dtypes import ScalarType, scalar_type
 from ..errors import UnsupportedReductionError
 
-__all__ = ["ReductionOp", "REDUCTION_OPS", "get_reduction_op"]
+__all__ = [
+    "ReductionOp",
+    "REDUCTION_OPS",
+    "get_reduction_op",
+    "ExtendedReduction",
+    "EXTENDED_REDUCTIONS",
+    "ALL_REDUCTION_IDENTIFIERS",
+    "validate_reduction",
+    "required_arrays",
+    "ARGMAX_RESULT_TYPE",
+]
+
+#: Stable diagnostic code: ``argmax`` with a non-``int64`` accumulator.
+ARGMAX_RESULT_TYPE = "OMP-RED-101"
 
 
 @dataclass(frozen=True)
@@ -175,6 +206,67 @@ REDUCTION_OPS: Dict[str, ReductionOp] = {
         integer_only=True,
     ),
 }
+
+
+@dataclass(frozen=True)
+class ExtendedReduction:
+    """A reduction identifier outside the OpenMP implicit set.
+
+    Parameters
+    ----------
+    identifier:
+        Source spelling (``"argmax"``, ``"dot"``).
+    arrays:
+        Number of input arrays the op consumes per element.
+    result_names:
+        Allowed result-type names, or ``None`` for any registered type.
+    """
+
+    identifier: str
+    arrays: int = 1
+    result_names: Optional[Tuple[str, ...]] = None
+
+
+EXTENDED_REDUCTIONS: Dict[str, ExtendedReduction] = {
+    "argmax": ExtendedReduction("argmax", arrays=1, result_names=("int64",)),
+    "dot": ExtendedReduction("dot", arrays=2),
+}
+
+
+#: Every identifier the front end accepts (implicit set + extended set).
+ALL_REDUCTION_IDENTIFIERS = tuple(REDUCTION_OPS) + tuple(EXTENDED_REDUCTIONS)
+
+
+def required_arrays(identifier: str) -> int:
+    """Input arrays *identifier* consumes (1 for every implicit op)."""
+    ext = EXTENDED_REDUCTIONS.get(identifier)
+    return ext.arrays if ext is not None else 1
+
+
+def validate_reduction(identifier: str, result_type=None) -> None:
+    """Unified identifier/result-type check over both op families.
+
+    Raises
+    ------
+    UnsupportedReductionError
+        For unknown identifiers, integer-only implicit identifiers on
+        floating types, or extended identifiers with a disallowed
+        accumulator type (stable code :data:`ARGMAX_RESULT_TYPE` for the
+        argmax case).
+    """
+    ext = EXTENDED_REDUCTIONS.get(identifier)
+    if ext is None:
+        get_reduction_op(identifier, result_type)
+        return
+    if result_type is not None and ext.result_names is not None:
+        st = scalar_type(result_type)
+        if st.name not in ext.result_names:
+            raise UnsupportedReductionError(
+                f"reduction-identifier {identifier!r} requires result type "
+                f"{' or '.join(ext.result_names)} (the accumulator is an "
+                f"element index), got {st.name}",
+                code=ARGMAX_RESULT_TYPE,
+            )
 
 
 def get_reduction_op(identifier: str, result_type=None) -> ReductionOp:

@@ -34,6 +34,7 @@ from ..core.timing import TRIALS
 from ..errors import ReproError
 from ..openmp.clauses import NumTeams, Reduction, ThreadLimit
 from ..openmp.parser import parse_pragma
+from ..openmp.reduction_ops import ALL_REDUCTION_IDENTIFIERS, validate_reduction
 from ..sweep.executor import CoexecRequest
 
 __all__ = [
@@ -156,6 +157,7 @@ class SimRequest:
     trials: int = TRIALS
     client_id: str = "anon"
     timeout_s: Optional[float] = None
+    op: str = "+"
     request_id: str = field(default_factory=next_request_id)
 
     def payload(self) -> Tuple[str, tuple]:
@@ -163,10 +165,14 @@ class SimRequest:
 
         These are exactly the tuples :meth:`~repro.sweep.executor.
         SweepExecutor.run` fingerprints and caches, so service results
-        share cache entries with CLI sweeps byte for byte.
+        share cache entries with CLI sweeps byte for byte.  Sum requests
+        keep the historical 4-tuple payload (and therefore every
+        existing cache fingerprint); extended identifiers append theirs.
         """
         if self.experiment == "gpu":
-            return "gpu_point", (self.case, self.config, self.trials, False)
+            base = (self.case, self.config, self.trials, False)
+            return "gpu_point", (base if self.op == "+"
+                                 else base + (self.op,))
         return "coexec_sweep", (
             CoexecRequest(
                 case=self.case,
@@ -185,6 +191,8 @@ class SimRequest:
             if self.experiment == "coexec"
             else ""
         )
+        if self.op != "+":
+            extra += f" op={self.op}"
         return (
             f"{self.experiment}:{self.case.name} [{cfg}] "
             f"trials={self.trials}{extra}"
@@ -197,7 +205,7 @@ def parse_request(obj: Any, default_timeout_s: Optional[float] = None) -> SimReq
     unknown = set(obj) - {
         "experiment", "case", "dtype", "result_dtype", "elements",
         "directive", "teams", "v", "threads", "site", "unified_memory",
-        "trials", "client_id", "timeout_s", "request_id",
+        "trials", "client_id", "timeout_s", "request_id", "op",
     }
     _require(not unknown, f"unknown request fields: {sorted(unknown)}")
 
@@ -305,6 +313,23 @@ def parse_request(obj: Any, default_timeout_s: Optional[float] = None) -> SimReq
         )
         timeout_s = float(timeout_s)
 
+    op = obj.get("op", "+")
+    _require(isinstance(op, str), "'op' must be a reduction identifier string")
+    if op != "+":
+        _require(
+            experiment == "gpu",
+            "extended reduction identifiers are gpu-experiment only",
+        )
+        _require(
+            op in ALL_REDUCTION_IDENTIFIERS,
+            f"op must be one of {list(ALL_REDUCTION_IDENTIFIERS)}, "
+            f"got {op!r}",
+        )
+        try:
+            validate_reduction(op, case.result_type)
+        except ReproError as exc:
+            raise ServiceValidationError(str(exc)) from exc
+
     client_id = str(obj.get("client_id", "anon"))[:128]
     kwargs: Dict[str, Any] = {}
     if "request_id" in obj:
@@ -318,6 +343,7 @@ def parse_request(obj: Any, default_timeout_s: Optional[float] = None) -> SimReq
         trials=trials,
         client_id=client_id,
         timeout_s=timeout_s,
+        op=op,
         **kwargs,
     )
 
@@ -406,6 +432,8 @@ def summarize_record(request: SimRequest, record: Dict[str, Any]) -> Dict[str, A
             "input_gb": request.case.input_bytes / 1e9,
             "trials": request.trials,
         }
+        if request.op != "+":
+            doc["summary"]["op"] = request.op
     else:
         measurements = record.get("measurements", ())
         best = max(measurements, key=lambda m: m["bandwidth_gbs"], default=None)

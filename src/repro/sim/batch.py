@@ -51,6 +51,7 @@ from ..errors import LaunchError, MeasurementError, MemoryModelError
 from ..gpu.exec_model import _execute_reduction
 from ..gpu.kernels import ReductionKernel
 from ..openmp.heuristics import default_num_teams, default_thread_limit
+from ..openmp.reduction_ops import required_arrays
 from ..openmp.runtime import LaunchGeometry
 from ..telemetry.state import metrics
 from .tables import ModelTables, tables_for
@@ -64,17 +65,20 @@ SLAB_POINT_BUCKETS: Tuple[float, ...] = (
 )
 
 
-def _resolve_point(machine, tables: ModelTables, case, config) -> tuple:
+def _resolve_point(machine, tables: ModelTables, case, config,
+                   op: str = "+") -> tuple:
     """Launch geometry + kernel name for one point, scalar-path order.
 
     Mirrors ``cached_compile(program).launch(...)`` →
     :meth:`~repro.openmp.runtime.DeviceRuntime.resolve_launch` without
     building program/directive objects: clause values first, then ICVs,
     then the heuristics, then the device thread limit check, then the
-    round-up to a whole warp.
+    round-up to a whole warp.  Non-sum identifiers append the scalar
+    path's ``_{op}`` program-name suffix.
     """
     gpu = tables.gpu
     icvs = machine.runtime.icvs
+    suffix = "" if op == "+" else f"_{op}"
     if config is not None:
         if case.elements % config.v:
             raise LaunchError(
@@ -85,7 +89,7 @@ def _resolve_point(machine, tables: ModelTables, case, config) -> tuple:
         # thread_limit(threads) / num_teams(teams/V) clause evaluations.
         block = config.threads
         grid, from_clause = config.teams // config.v, True
-        name = f"{case.name.lower()}_optimized_v{v}"
+        name = f"{case.name.lower()}_optimized{suffix}_v{v}"
     else:
         v = 1
         if icvs.teams_thread_limit is not None:
@@ -98,7 +102,7 @@ def _resolve_point(machine, tables: ModelTables, case, config) -> tuple:
             grid, from_clause = icvs.num_teams, False
         else:
             grid, from_clause = default_num_teams(case.elements, block), False
-        name = f"{case.name.lower()}_baseline_v{v}"
+        name = f"{case.name.lower()}_baseline{suffix}_v{v}"
     if block > gpu.max_threads_per_block:
         raise LaunchError(
             f"thread_limit {block} exceeds device maximum "
@@ -109,20 +113,30 @@ def _resolve_point(machine, tables: ModelTables, case, config) -> tuple:
     return grid, block, from_clause, v, name
 
 
-def _validate_point(tables: ModelTables, case, grid: int, block: int) -> None:
+def _validate_point(tables: ModelTables, case, grid: int, block: int,
+                    arrays: int = 1) -> None:
     """The scalar path's post-launch checks, in its order."""
-    # DeviceDataEnvironment: map_to("in", M*sizeof(T)), map_alloc("sum", R).
+    # DeviceDataEnvironment: map_to("in", M*sizeof(T)) [, map_to("in2",
+    # ...) for two-array ops], map_alloc("sum", R).
     capacity = tables.device_capacity_bytes
     if case.input_bytes > capacity:
         raise MemoryModelError(
             f"device memory exhausted mapping 'in': "
             f"0 + {case.input_bytes} > {capacity}"
         )
+    mapped = case.input_bytes
+    if arrays > 1:
+        if mapped + case.input_bytes > capacity:
+            raise MemoryModelError(
+                f"device memory exhausted mapping 'in2': "
+                f"{mapped} + {case.input_bytes} > {capacity}"
+            )
+        mapped += case.input_bytes
     rsize = case.result_type.size
-    if case.input_bytes + rsize > capacity:
+    if mapped + rsize > capacity:
         raise MemoryModelError(
             f"device memory exhausted mapping 'sum': "
-            f"{case.input_bytes} + {rsize} > {capacity}"
+            f"{mapped} + {rsize} > {capacity}"
         )
     # occupancy(): the warps-per-SM residency bound.
     wpb = -(-block // tables.warp_size)
@@ -134,21 +148,25 @@ def _validate_point(tables: ModelTables, case, grid: int, block: int) -> None:
 
 
 def _value_for(machine, case, grid: int, block: int, v: int, name: str,
-               do_verify: bool):
+               do_verify: bool, op: str = "+"):
     """Functional value for one point, memoized on *machine*.
 
-    Integer results are geometry-independent; float results key on the
-    full schedule shape.  Verification (against the host reference) runs
-    once per distinct value key and is skipped on memo hits — it can
-    only ever pass, since the value is computed from the same workload
-    the reference reduces.
+    Integer sums are geometry-independent; float sums key on the full
+    schedule shape.  Non-sum identifiers always key on the full shape
+    plus the op and run the *same* hierarchical executor as the scalar
+    path (byte-identity by construction).  Verification (against the
+    host reference) runs once per distinct value key and is skipped on
+    memo hits — it can only ever pass, since the value is computed from
+    the same workload the reference reduces.
     """
     memo = getattr(machine, "_slab_value_cache", None)
     if memo is None:
         memo = machine._slab_value_cache = {}
     etype, rtype = case.element_type, case.result_type
     n = machine.functional_elements(case)
-    if rtype.is_integer:
+    if op != "+":
+        key = (op, etype.name, rtype.name, n, grid, block, v)
+    elif rtype.is_integer:
         key = (etype.name, rtype.name, n)
     else:
         key = (etype.name, rtype.name, n, grid, block, v)
@@ -156,8 +174,9 @@ def _value_for(machine, case, grid: int, block: int, v: int, name: str,
     if hit is not None and (not do_verify or hit[1]):
         return hit[0]
     data = machine.workload(case)
+    second = machine.workload_pair(case) if op == "dot" else None
     if hit is None:
-        if rtype.is_integer:
+        if op == "+" and rtype.is_integer:
             # Modular addition is associative: every grouping yields the
             # same wrapped sum, so skip the hierarchical schedule.
             value = rtype.numpy.type(np.add.reduce(data, dtype=rtype.numpy))
@@ -170,12 +189,14 @@ def _value_for(machine, case, grid: int, block: int, v: int, name: str,
                 elements_per_iteration=v,
                 element_type=etype,
                 result_type=rtype,
+                identifier=op,
+                arrays=required_arrays(op),
             )
-            value = _execute_reduction(data, kernel)
+            value = _execute_reduction(data, kernel, second)
     else:
         value = hit[0]
     if do_verify:
-        verify_result(value, data, rtype, "+")
+        verify_result(value, data, rtype, op, second)
     memo[key] = (value, do_verify or (hit is not None and hit[1]))
     return value
 
@@ -189,7 +210,8 @@ def evaluate_gpu_slab(machine, payloads: Sequence[tuple]) -> List[dict]:
         The :class:`~repro.core.machine.Machine` the points run on.
     payloads:
         ``(case, config, trials, verify)`` tuples, exactly as built by
-        :meth:`~repro.sweep.executor.SweepExecutor.gpu_points`.
+        :meth:`~repro.sweep.executor.SweepExecutor.gpu_points`; non-sum
+        reductions append a fifth ``op`` element (identifier string).
 
     Returns
     -------
@@ -223,11 +245,15 @@ def evaluate_gpu_slab(machine, payloads: Sequence[tuple]) -> List[dict]:
     scalar_motion = np.empty(n, dtype=np.float64)
     from_clause: List[bool] = [False] * n
     names: List[str] = [""] * n
-    for i, (case, config, trials, _verify) in enumerate(payloads):
+    ops: List[str] = ["+"] * n
+    for i, payload in enumerate(payloads):
+        case, config, trials, _verify = payload[:4]
+        op = payload[4] if len(payload) > 4 else "+"
+        ops[i] = op
         if trials <= 0:
             raise MeasurementError(f"trials must be positive, got {trials}")
-        g, b, fc, v, name = _resolve_point(machine, tables, case, config)
-        _validate_point(tables, case, g, b)
+        g, b, fc, v, name = _resolve_point(machine, tables, case, config, op)
+        _validate_point(tables, case, g, b, required_arrays(op))
         grid[i] = g
         block[i] = b
         v_arr[i] = v
@@ -237,7 +263,9 @@ def evaluate_gpu_slab(machine, payloads: Sequence[tuple]) -> List[dict]:
         erow = tables.elements[case.element_type.name]
         rrow = tables.results[case.result_type.name]
         esize[i] = erow.size
-        input_bytes[i] = case.input_bytes
+        # Mirrors kernel.input_bytes: dot streams both operands, so its
+        # memory term and bandwidth numerator count both arrays.
+        input_bytes[i] = case.input_bytes * required_arrays(op)
         trials_arr[i] = trials
         ceiling[i] = erow.ceiling_gbs
         elem_issue[i] = erow.elem_issue
@@ -294,7 +322,8 @@ def evaluate_gpu_slab(machine, payloads: Sequence[tuple]) -> List[dict]:
 
     # -- pass 3: launch trace (submission order, like the serial loop).
     record_launch = machine.trace.record_launch
-    for i, (case, _config, _trials, _verify) in enumerate(payloads):
+    for i, payload in enumerate(payloads):
+        case = payload[0]
         record_launch(
             KernelLaunchRecord(
                 time=0.0,
@@ -310,11 +339,12 @@ def evaluate_gpu_slab(machine, payloads: Sequence[tuple]) -> List[dict]:
     # -- pass 4: functional values + records.
     strict = machine.config.strict_verify
     records: List[dict] = []
-    for i, (case, _config, _trials, verify) in enumerate(payloads):
+    for i, payload in enumerate(payloads):
+        case, verify = payload[0], payload[3]
         do_verify = strict if verify is None else verify
         value = _value_for(
             machine, case, int(grid[i]), int(block[i]), int(v_arr[i]),
-            names[i], do_verify,
+            names[i], do_verify, ops[i],
         )
         records.append(
             {

@@ -202,8 +202,12 @@ class CoexecRequest:
 
 
 def _task_gpu_point(machine: Machine, payload: tuple) -> dict:
-    case, config, trials, verify = payload
-    m = measure_gpu_reduction(machine, case, config, trials=trials, verify=verify)
+    # Sum payloads stay 4-tuples (their cache fingerprints predate the op
+    # axis); non-sum ops ride in a 5th element.
+    case, config, trials, verify = payload[:4]
+    op = payload[4] if len(payload) > 4 else "+"
+    m = measure_gpu_reduction(machine, case, config, trials=trials,
+                              verify=verify, op=op)
     return {
         "bandwidth_gbs": m.bandwidth_gbs,
         "elapsed_seconds": m.elapsed_seconds,
@@ -706,13 +710,21 @@ class SweepExecutor:
         trials: int = TRIALS,
         verify: Optional[bool] = False,
         stage: str = "gpu-sweep",
+        op: str = "+",
     ) -> List[dict]:
         """Measure *case* at every config; returns the result records.
 
         ``config=None`` entries measure the baseline.  Each record has
-        ``bandwidth_gbs``, ``elapsed_seconds`` and ``value``.
+        ``bandwidth_gbs``, ``elapsed_seconds`` and ``value``.  ``op``
+        selects the reduction identifier; the default sum builds the
+        historical 4-tuple payloads so existing cache entries keep their
+        fingerprints.
         """
-        payloads = [(case, config, trials, verify) for config in configs]
+        payloads = [
+            ((case, config, trials, verify) if op == "+"
+             else (case, config, trials, verify, op))
+            for config in configs
+        ]
         return self.run("gpu_point", payloads, stage)
 
     def gpu_bandwidths(

@@ -61,8 +61,16 @@ __all__ = [
 #: Name prefix of every segment this module creates (leak tests scan it).
 SEGMENT_PREFIX = "repro-slab-"
 
-#: Request columns, in buffer order (all int64).
-_REQUEST_COLUMNS = ("case_idx", "teams", "v", "threads", "trials", "verify")
+#: Request columns, in buffer order (all int64).  ``op`` carries the
+#: reduction identifier as an index into :data:`_OP_CODES` — 0 (sum)
+#: round-trips back to the historical 4-tuple payload shape.
+_REQUEST_COLUMNS = ("case_idx", "teams", "v", "threads", "trials", "verify",
+                    "op")
+
+#: Transport-only encoding of reduction identifiers (never persisted —
+#: cache fingerprints see the payload tuples, not this buffer layout).
+_OP_CODES = ("+", "-", "*", "max", "min", "&", "|", "^", "&&", "||",
+             "argmax", "dot")
 
 #: Response columns, in buffer order (all 8-byte; dtype per column).
 _RESPONSE_COLUMNS = (
@@ -224,7 +232,9 @@ def pack_gpu_slab_request(payloads: Sequence[tuple]) -> Dict[str, Any]:
     cases: List[Any] = []
     case_index: Dict[Any, int] = {}
     columns = np.empty((len(_REQUEST_COLUMNS), n), dtype=np.int64)
-    for i, (case, config, trials, verify) in enumerate(payloads):
+    for i, payload in enumerate(payloads):
+        case, config, trials, verify = payload[:4]
+        op = payload[4] if len(payload) > 4 else "+"
         idx = case_index.get(case)
         if idx is None:
             idx = case_index[case] = len(cases)
@@ -240,6 +250,7 @@ def pack_gpu_slab_request(payloads: Sequence[tuple]) -> Dict[str, Any]:
             columns[3, i] = config.threads
         columns[4, i] = trials
         columns[5, i] = -1 if verify is None else int(bool(verify))
+        columns[6, i] = _OP_CODES.index(op)
     segment = create_segment(columns.nbytes)
     expect_segment(response_name(segment.name))
     view = np.ndarray(columns.shape, dtype=np.int64, buffer=segment.buf)
@@ -285,7 +296,9 @@ def unpack_gpu_slab_request(header: Dict[str, Any]) -> List[tuple]:
             )
         flag = int(columns[5, i])
         verify = None if flag < 0 else bool(flag)
-        payloads.append((case, config, int(columns[4, i]), verify))
+        op = _OP_CODES[int(columns[6, i])]
+        base = (case, config, int(columns[4, i]), verify)
+        payloads.append(base if op == "+" else base + (op,))
     return payloads
 
 

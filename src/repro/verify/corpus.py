@@ -105,10 +105,61 @@ def _entry_coexec(executor: SweepExecutor) -> Dict[str, Any]:
     return {"case": case.name, "config": config.label(), "sites": out}
 
 
+#: The op-matrix entry's scenarios: reduction identifier -> paper cases
+#: whose result type admits it (argmax demands an int64 accumulator, so
+#: it pins to C2, the paper's int8->int64 pairing).
+_OP_MATRIX = {
+    "+": ("C1", "C3"),
+    "min": ("C1", "C3"),
+    "max": ("C1", "C3"),
+    "argmax": ("C2",),
+    "dot": ("C1", "C3"),
+}
+
+
+def _entry_op_matrix(executor: SweepExecutor) -> Dict[str, Any]:
+    """Extended-op records on every machine profile.
+
+    One gpu_point per (profile, identifier, case) at the paper-optimized
+    config — the cross-profile contract: min/max/argmax/dot values must
+    be profile-independent (the functional result never depends on the
+    modelled hardware), while timings pin each profile's model.
+    """
+    from dataclasses import replace as dc_replace
+
+    from ..hardware.profiles import MACHINE_PROFILES
+
+    base_config = executor.machine.config
+    profiles: Dict[str, Any] = {}
+    for profile in sorted(MACHINE_PROFILES):
+        machine = Machine(
+            config=dc_replace(base_config, machine_profile=profile)
+        )
+        ex = SweepExecutor(machine, workers=1, cache=None)
+        ops: Dict[str, Any] = {}
+        for op, case_names in _OP_MATRIX.items():
+            rows = {}
+            for case_name in case_names:
+                case = case_by_name(case_name)
+                records = ex.gpu_points(
+                    case,
+                    [paper_optimized_config(case)],
+                    trials=TRIALS,
+                    verify=False,
+                    stage="golden-op-matrix",
+                    op=op,
+                )
+                rows[case_name] = records[0]
+            ops[op] = rows
+        profiles[profile] = ops
+    return {"profiles": profiles}
+
+
 _ENTRIES = {
     "table1": _entry_table1,
     "fig1": _entry_fig1,
     "coexec": _entry_coexec,
+    "op_matrix": _entry_op_matrix,
 }
 
 

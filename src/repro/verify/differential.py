@@ -33,6 +33,17 @@ dtype-aware :class:`~repro.verify.oracles.OracleTolerances` becomes a
     the in-process service pipeline (admission -> batcher -> scheduler)
     must return the byte-identical raw record the direct executor path
     computes (presentation-only ``summary`` stripped).
+``op-exec``
+    an extended identifier (``min``/``max``/``argmax``/``dot`` or the
+    fused ``sum+max`` pair) on its drawn machine profile: device vs host
+    vs exact serial oracles, op-specific metamorphic transforms
+    (min/max permutation invariance, argmax tie-break determinism, dot
+    scale-linearity), measurement determinism, the two-operand-aware
+    bandwidth identity, and the slab-vs-scalar byte-identity oracle.
+``op-reject``
+    extended-op misuse must fail with a pinned error class and stable
+    diagnostic code (``OMP-RED-101``/``OMP-RED-201``/``NVHPC-OMP-201``)
+    on every attempt.
 ``jobs-resume``
     a streaming job (:mod:`repro.jobs`) paused at a checkpoint boundary
     and resumed in a fresh executor must leave a sealed manifest and
@@ -58,7 +69,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..compiler.cache import cached_compile
-from ..compiler.diagnostics import NON_CANONICAL_LOOP, UNSUPPORTED_INCREMENT
+from ..compiler.diagnostics import (
+    NON_CANONICAL_LOOP,
+    OPERAND_ARITY,
+    UNSUPPORTED_INCREMENT,
+)
 from ..compiler.nvhpc import NvhpcCompiler, ReductionLoopProgram
 from ..core.cases import Case
 from ..core.coexec import AllocationSite, measure_coexec_sweep
@@ -73,8 +88,10 @@ from ..faults.injector import fire
 from ..gpu.exec_model import execute_reduction
 from ..cpu.exec_model import execute_host_reduction
 from ..openmp.canonical import ForLoop, listing4_loop, listing5_loop
-from ..openmp.clauses import NumTeams, ThreadLimit
+from ..openmp.clauses import NumTeams, Reduction, ThreadLimit
+from ..openmp.directives import FUSED_DUPLICATE_VAR
 from ..openmp.parser import parse_pragma
+from ..openmp.reduction_ops import ARGMAX_RESULT_TYPE, required_arrays
 from ..sweep.executor import SweepExecutor
 from ..sweep.fingerprint import canonical_json
 from ..sweep.result_cache import open_result_cache
@@ -199,9 +216,31 @@ class DifferentialRunner:
             icvs=self.machine.runtime.icvs,
         )
         self.compiler = NvhpcCompiler()
+        #: Lazily-built (slab, scalar) machine twins per named profile —
+        #: op cases run on the profile they drew, against its own slab /
+        #: scalar differential pair.
+        self._profile_machines: Dict[str, Tuple[Machine, Machine]] = {}
         #: Total comparisons performed (reported for visibility — a run
         #: with zero divergences but also near-zero checks is a red flag).
         self.checks = 0
+
+    def _machines_for(self, profile: Optional[str]) -> Tuple[Machine, Machine]:
+        """The (slab, scalar-oracle) machine pair for *profile*."""
+        if profile is None or profile == self.machine.config.machine_profile:
+            return self.machine, self.scalar_machine
+        pair = self._profile_machines.get(profile)
+        if pair is None:
+            cfg = dc_replace(self.machine.config, machine_profile=profile)
+            slab = Machine(config=cfg)
+            scalar = Machine(
+                system=slab.system,
+                calibration=slab.calibration,
+                config=dc_replace(cfg, slab=False),
+                icvs=slab.runtime.icvs,
+            )
+            pair = (slab, scalar)
+            self._profile_machines[profile] = pair
+        return pair
 
     # -- plumbing -------------------------------------------------------------
     def _agree(
@@ -285,6 +324,8 @@ class DifferentialRunner:
             "sweep-cache": self._check_sweep_cache,
             "coexec": self._check_coexec,
             "service": self._check_service,
+            "op-exec": self._check_op_exec,
+            "op-reject": self._check_op_reject,
         }[case.kind]
         handler(case, out)
         return out
@@ -682,6 +723,278 @@ class DifferentialRunner:
                 case, "service-vs-direct",
                 canonical_json(raw) == canonical_json(direct),
                 out, service=raw, direct=direct,
+            )
+
+
+    # -- op-exec: extended identifiers across machine profiles -----------------
+
+    #: Seed perturbation for dot's second fuzz operand (same constant the
+    #: machine workload pair uses, applied to the fuzz data seed).
+    _PAIR_SEED_XOR = 0x9E3779B9
+
+    def _op_kernel(self, case: FuzzCase, case_obj: Case, op: str,
+                   machine: Machine):
+        """Compile+launch the case's program with its clause rewritten to *op*."""
+        config = self._config(case)
+        if config is None:
+            program = baseline_program(case_obj)
+            env = None
+        else:
+            program = optimized_program(case_obj, config)
+            env = config.env()
+        if op != "+":
+            program = dc_replace(
+                program,
+                pragma=program.pragma.replace(
+                    "reduction(+:sum)", f"reduction({op}:sum)"
+                ),
+                name=f"{program.name}_{op}",
+                arrays=required_arrays(op),
+            )
+        return cached_compile(program).launch(machine.runtime, env), config
+
+    def _check_op_exec(self, case: FuzzCase, out: List[Divergence]) -> None:
+        machine, scalar_machine = self._machines_for(case.profile)
+        case_obj = self._case_obj(case)
+        data = generate_workload(
+            case.workload, case.dtype, case.elements, seed=case.data_seed
+        )
+        if case.op == "sum+max":
+            self._fused_directive_checks(case, out)
+            sub_ops: Tuple[str, ...] = ("+", "max")
+        else:
+            sub_ops = (case.op,)
+        for op in sub_ops:
+            second = None
+            if op == "dot":
+                second = generate_workload(
+                    case.workload, case.dtype, case.elements,
+                    seed=case.data_seed ^ self._PAIR_SEED_XOR,
+                )
+            kernel, config = self._op_kernel(case, case_obj, op, machine)
+            tol = tolerances_for(data, case.result_dtype, op, second)
+            device = execute_reduction(data, kernel, second)
+            serial = serial_ground_truth(data, case.result_dtype, op, second)
+            host = execute_host_reduction(
+                data, machine.cpu, case.result_dtype, op, second
+            )
+            tag = f"[{op}]" if case.op == "sum+max" else ""
+            self._expect(
+                case, f"op-device-determinism{tag}",
+                bool(np.array_equal(
+                    device, execute_reduction(data, kernel, second)
+                )),
+                out, op=op,
+            )
+            self._agree(case, f"op-device-vs-serial{tag}", device, serial,
+                        tol, out, op=op)
+            self._agree(case, f"op-host-vs-serial{tag}", host, serial,
+                        tol, out, op=op)
+            self._agree(case, f"op-device-vs-host{tag}", device, host,
+                        tol, out, op=op)
+            self._op_metamorphic(case, op, kernel, data, second, serial,
+                                 tol, out)
+            self._op_measurement(case, case_obj, config, op, machine,
+                                 scalar_machine, out)
+
+    def _fused_directive_checks(self, case: FuzzCase,
+                                out: List[Divergence]) -> None:
+        """Parse-level contract for the fused two-clause reduction."""
+        pragma = (
+            "#pragma omp target teams distribute parallel for "
+            "reduction(+:sum) reduction(max:peak)"
+        )
+        d1 = parse_pragma(pragma)
+        self._expect(
+            case, "fused-parse-determinism", d1 == parse_pragma(pragma),
+            out, pragma=pragma,
+        )
+        reductions = [c for c in d1.clauses if isinstance(c, Reduction)]
+        self._expect(
+            case, "fused-clause-count",
+            len(reductions) == 2
+            and {r.identifier for r in reductions} == {"+", "max"},
+            out, pragma=pragma,
+            identifiers=sorted(r.identifier for r in reductions),
+        )
+
+    def _op_metamorphic(self, case, op, kernel, data, second, serial, tol,
+                        out) -> None:
+        if op in ("+", "min", "max"):
+            # Order invariance: exact for min/max (and wrapped integers),
+            # within tolerance for float sums.
+            perm = np.random.default_rng(
+                case.data_seed ^ 0x5EED
+            ).permutation(data.size)
+            self._agree(
+                case, f"op-metamorphic-permutation[{op}]",
+                execute_reduction(data[perm], kernel), serial, tol, out,
+                op=op,
+            )
+        elif op == "argmax":
+            # Tie-break determinism: duplicate the maximum at another
+            # index; the FIRST (lowest) index must still win, on both
+            # the device hierarchy and the serial scan.
+            if data.size >= 2:
+                i0 = int(serial)
+                tied = data.copy()
+                if i0 == data.size - 1:
+                    j, expected = 0, 0
+                else:
+                    j, expected = data.size - 1, i0
+                tied[j] = data[i0]
+                self._agree(
+                    case, "op-metamorphic-argmax-tie",
+                    execute_reduction(tied, kernel), expected, tol, out,
+                    tie_index=j,
+                )
+                self._agree(
+                    case, "op-metamorphic-argmax-tie-serial",
+                    serial_ground_truth(tied, case.result_dtype, "argmax"),
+                    expected, tol, out, tie_index=j,
+                )
+        elif op == "dot":
+            # Scale-linearity: (c*x)·y == c*(x·y) — exact mod 2**bits
+            # semantics fold into the serial oracle for integers, float
+            # agreement is bounded by the scaled conditioning.
+            c = 3
+            scaled = data * np.asarray(c, dtype=data.dtype)
+            if tol.result_type.is_integer:
+                self._agree(
+                    case, "op-metamorphic-dot-scale",
+                    execute_reduction(scaled, kernel, second),
+                    serial_ground_truth(
+                        scaled, case.result_dtype, "dot", second
+                    ),
+                    tol, out,
+                )
+            else:
+                scale_tol = tolerances_for(
+                    scaled, case.result_dtype, "dot", second
+                )
+                self._agree(
+                    case, "op-metamorphic-dot-scale",
+                    execute_reduction(scaled, kernel, second),
+                    c * float(serial), scale_tol, out,
+                )
+
+    def _op_measurement(self, case, case_obj, config, op, machine,
+                        scalar_machine, out) -> None:
+        tag = f"[{op}]" if case.op == "sum+max" else ""
+        m1 = measure_gpu_reduction(
+            machine, case_obj, config, trials=case.trials, verify=True,
+            op=op,
+        )
+        m2 = measure_gpu_reduction(
+            machine, case_obj, config, trials=case.trials, verify=True,
+            op=op,
+        )
+        self._expect(
+            case, f"op-measurement-determinism{tag}",
+            m1.elapsed_seconds == m2.elapsed_seconds
+            and m1.bandwidth_gbs == m2.bandwidth_gbs
+            and bool(np.array_equal(m1.value, m2.value)),
+            out, op=op,
+            elapsed=(m1.elapsed_seconds, m2.elapsed_seconds),
+        )
+        # Listing-6 identity, with dot's two-operand traffic counted.
+        implied = gb_per_s(
+            case_obj.input_bytes * required_arrays(op) * case.trials,
+            m1.elapsed_seconds,
+        )
+        self._expect(
+            case, f"op-bandwidth-identity{tag}",
+            abs(m1.bandwidth_gbs - implied)
+            <= _IDENTITY_RTOL * max(abs(implied), 1.0),
+            out, op=op, bandwidth=m1.bandwidth_gbs, implied=implied,
+        )
+        # The measured value reduces the machine workload (pair); the
+        # serial oracle must agree on those arrays too.
+        wdata = machine.workload(case_obj)
+        wsecond = machine.workload_pair(case_obj) if op == "dot" else None
+        self._agree(
+            case, f"op-measurement-vs-serial{tag}", m1.value,
+            serial_ground_truth(wdata, case.result_dtype, op, wsecond),
+            tolerances_for(wdata, case.result_dtype, op, wsecond), out,
+            op=op,
+        )
+        # Slab vs scalar oracle on this profile: the batch-vectorized
+        # path must match the point-at-a-time pipeline byte for byte.
+        slab_recs = SweepExecutor(
+            machine, workers=1, cache=None
+        ).gpu_points(case_obj, [config], trials=case.trials, verify=False,
+                     op=op)
+        scalar_recs = SweepExecutor(
+            scalar_machine, workers=1, cache=None
+        ).gpu_points(case_obj, [config], trials=case.trials, verify=False,
+                     op=op)
+        self._expect(
+            case, f"op-slab-vs-scalar{tag}",
+            canonical_json(slab_recs) == canonical_json(scalar_recs),
+            out, op=op, slab=slab_recs, scalar=scalar_recs,
+        )
+
+    # -- op-reject: stable diagnostics for extended-op misuse ------------------
+
+    #: Contract table: mutation -> (error class, required diagnostic code).
+    OP_REJECT_CONTRACT: Dict[str, Tuple[str, Optional[str]]] = {
+        "unknown-op-spelling": ("DirectiveSyntaxError", None),
+        "fused-duplicate-var": ("ClauseError", FUSED_DUPLICATE_VAR),
+        "dot-missing-pair": ("CompileError", OPERAND_ARITY),
+        "argmax-float-result": ("UnsupportedReductionError",
+                                ARGMAX_RESULT_TYPE),
+        "fused-bad-identifier": ("DirectiveSyntaxError", None),
+    }
+
+    def _op_reject_attempt(
+        self, case: FuzzCase
+    ) -> Tuple[str, Tuple[str, ...], str]:
+        """One full front-end attempt on an op-reject case."""
+        case_obj = self._case_obj(case)
+        try:
+            program = ReductionLoopProgram(
+                pragma=case.pragma,
+                loop=listing5_loop(case.elements, case.v),
+                element_type=case_obj.element_type,
+                result_type=case_obj.result_type,
+                name=f"fz{case.index}_op_reject",
+            )
+            NvhpcCompiler().compile(program)
+        except ReproError as exc:
+            codes = tuple(
+                d.code for d in getattr(exc, "diagnostics", ()) or ()
+            )
+            own = getattr(exc, "code", None)
+            if own and own not in codes:
+                codes = codes + (own,)
+            return type(exc).__name__, codes, str(exc)
+        return "accepted", (), ""
+
+    def _check_op_reject(self, case: FuzzCase, out: List[Divergence]) -> None:
+        first = self._op_reject_attempt(case)
+        second = self._op_reject_attempt(case)
+        self._expect(
+            case, "op-reject-refuses", first[0] != "accepted", out,
+            mutation=case.mutation, pragma=case.pragma,
+        )
+        self._expect(
+            case, "op-reject-stability", first == second, out,
+            first=list(first[:2]), second=list(second[:2]),
+            mutation=case.mutation,
+        )
+        expected_class, expected_code = self.OP_REJECT_CONTRACT[
+            case.mutation or ""
+        ]
+        self._expect(
+            case, "op-reject-error-class", first[0] == expected_class, out,
+            expected=expected_class, got=first[0], mutation=case.mutation,
+        )
+        if expected_code is not None:
+            self._expect(
+                case, "op-reject-diagnostic-code",
+                expected_code in first[1], out,
+                expected=expected_code, got=list(first[1]),
+                mutation=case.mutation,
             )
 
 

@@ -35,6 +35,24 @@ Case kinds (see :data:`CASE_KINDS`):
     The same point submitted through the in-process service scheduler
     (admission -> batcher -> scheduler) and through the direct executor
     path; the raw result records must be byte-identical.
+``op-exec``
+    An *extended-identifier* execution case — ``min`` / ``max`` /
+    ``argmax`` / ``dot`` or the fused ``sum+max`` clause pair — on one
+    of the named machine profiles (:data:`PROFILES`), differentially
+    checked against the exact oracles plus op-specific metamorphic
+    transforms and the slab-vs-scalar byte-identity oracle.
+``op-reject``
+    A deliberately-invalid *extended* reduction (unknown identifier
+    spelling, fused duplicate list item, ``dot`` without its pair,
+    ``argmax`` into a float result, fused clause with a bad second
+    identifier); the front end must refuse it with the same stable
+    diagnostic code every time.
+
+The op kinds ride an *interleaved* stream: every fourth emitted slot is
+an op case drawn from a disjoint index namespace
+(:data:`OP_INDEX_BASE`), so the historical kinds keep their exact
+``(seed, index)`` draws — adding ops renumbered **nothing** and every
+pre-existing per-case digest is unchanged.
 """
 
 from __future__ import annotations
@@ -50,12 +68,20 @@ from ..sweep.fingerprint import canonical_json
 __all__ = [
     "CASE_KINDS",
     "FuzzCase",
+    "OPS",
+    "OP_CASE_KINDS",
+    "OP_INDEX_BASE",
+    "OP_REJECT_MUTATIONS",
+    "PROFILES",
     "case_digest",
     "case_list_digest",
     "generate_cases",
 ]
 
 #: Case kinds and their relative weights in a generated stream.
+#: Frozen: the weights parameterize the historical ``(seed, index)``
+#: draws; the op kinds live on a separate interleaved stream instead of
+#: a new row here precisely so these never change.
 CASE_KINDS: Tuple[Tuple[str, int], ...] = (
     ("exec", 55),
     ("directive", 15),
@@ -64,6 +90,21 @@ CASE_KINDS: Tuple[Tuple[str, int], ...] = (
     ("coexec", 5),
     ("service", 5),
 )
+
+#: Kinds of the interleaved extended-op stream (not weight-drawn: every
+#: fourth emitted slot is an op case, every eighth op case a reject).
+OP_CASE_KINDS: Tuple[str, ...] = ("op-exec", "op-reject")
+
+#: Index namespace for op-stream draws — disjoint from the historical
+#: stream's 0..N indexes so no existing draw is ever re-rolled.
+OP_INDEX_BASE = 1_000_000
+
+#: Extended reduction spellings the op stream exercises (``sum+max`` is
+#: the fused two-clause form).
+OPS: Tuple[str, ...] = ("min", "max", "argmax", "dot", "sum+max")
+
+#: Machine profiles the op stream cycles through.
+PROFILES: Tuple[str, ...] = ("gh200", "v100", "a100")
 
 _DTYPES = ("int8", "int32", "int64", "float32", "float64")
 
@@ -88,6 +129,17 @@ REJECT_MUTATIONS = (
     "non-offload-directive",
     "listing4-increment",
     "noncanonical-test-op",
+)
+
+#: Mutation families for ``op-reject`` cases.  Each maps to a stable
+#: diagnostic contract: the front end must refuse with the same error
+#: class and code on every attempt.
+OP_REJECT_MUTATIONS = (
+    "unknown-op-spelling",     # reduction(argmin:sum) etc. -> parse error
+    "fused-duplicate-var",     # same list item in two clauses -> OMP-RED-201
+    "dot-missing-pair",        # dot with a 1-array loop -> NVHPC-OMP-201
+    "argmax-float-result",     # argmax into float R -> OMP-RED-101
+    "fused-bad-identifier",    # valid clause + reduction(avg:...) -> parse
 )
 
 
@@ -132,6 +184,8 @@ class FuzzCase:
     unified_memory: bool = True
     pragma: Optional[str] = None
     mutation: Optional[str] = None
+    op: Optional[str] = None
+    profile: Optional[str] = None
     extras: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -153,6 +207,13 @@ class FuzzCase:
             "pragma": self.pragma,
             "mutation": self.mutation,
         }
+        # Op-stream fields are emitted only when set so every historical
+        # case document — and therefore every pinned per-case digest —
+        # is byte-identical to the pre-op releases.
+        if self.op is not None:
+            doc["op"] = self.op
+        if self.profile is not None:
+            doc["profile"] = self.profile
         if self.extras:
             doc["extras"] = dict(self.extras)
         return doc
@@ -163,16 +224,18 @@ class FuzzCase:
         return case_digest(self)
 
     def describe(self) -> str:
-        if self.kind in ("directive", "reject"):
+        if self.kind in ("directive", "reject", "op-reject"):
             return f"#{self.index} {self.kind}[{self.mutation or 'valid'}]"
         cfg = (
             "baseline"
             if self.teams is None
             else f"teams={self.teams} v={self.v} threads={self.threads}"
         )
+        tags = f" op={self.op}" if self.op else ""
+        tags += f" profile={self.profile}" if self.profile else ""
         return (
             f"#{self.index} {self.kind} {self.dtype}->{self.result_dtype} "
-            f"M={self.elements} [{cfg}] {self.workload}"
+            f"M={self.elements} [{cfg}] {self.workload}{tags}"
         )
 
 
@@ -317,6 +380,80 @@ def _reject_case(seed: int, index: int) -> FuzzCase:
     )
 
 
+def _op_exec_case(seed: int, index: int) -> FuzzCase:
+    """One extended-op execution case (op x dtype x profile)."""
+    op = _choice(seed, index, "op", OPS)
+    profile = _choice(seed, index, "profile", PROFILES)
+    dtype = _choice(seed, index, "dtype", _DTYPES)
+    if op == "argmax":
+        result_dtype = "int64"  # index semantics: R is pinned
+    else:
+        result_dtype = _result_dtype_for(seed, index, dtype)
+    teams, v, threads = _config_draw(seed, index)
+    base = _choice(seed, index, "elements", _BASE_ELEMENTS)
+    workload = _choice(seed, index, "workload", _WORKLOADS)
+    if op == "dot" and dtype == "float32" and workload == "extremes":
+        # Products of two ±1e18 extremes summed over a large M overflow
+        # float32 to ±inf along grouping-dependent paths; the oracle
+        # comparison would then depend on accumulation order.  Dot keeps
+        # the other five distributions on float32.
+        workload = "uniform"
+    return FuzzCase(
+        index=index,
+        seed=seed,
+        kind="op-exec",
+        dtype=dtype,
+        result_dtype=result_dtype,
+        elements=base * v,
+        teams=teams,
+        v=v,
+        threads=threads,
+        workload=workload,
+        data_seed=int(_draw(seed, index, "data-seed") * (1 << 31)),
+        trials=_choice(seed, index, "trials", (1, 5, 20)),
+        op=op,
+        profile=profile,
+    )
+
+
+def _op_reject_case(seed: int, index: int) -> FuzzCase:
+    """One extended-op reject case with a stable-diagnostic contract."""
+    mutation = _choice(seed, index, "op-mutation", OP_REJECT_MUTATIONS)
+    profile = _choice(seed, index, "profile", PROFILES)
+    v = _choice(seed, index, "v", [x for x in _V if x > 1])
+    base = _choice(seed, index, "elements", _BASE_ELEMENTS)
+    head = "#pragma omp target teams distribute parallel for "
+    result_dtype = "int64"
+    if mutation == "unknown-op-spelling":
+        ident = _choice(seed, index, "bad-op",
+                        ("argmin", "maximum", "amax", "minmax"))
+        pragma = head + f"reduction({ident}:sum)"
+    elif mutation == "fused-duplicate-var":
+        second = _choice(seed, index, "dup-op", ("max", "min", "*"))
+        pragma = head + f"reduction(+:sum) reduction({second}:sum)"
+    elif mutation == "dot-missing-pair":
+        pragma = head + "reduction(dot:sum)"
+    elif mutation == "argmax-float-result":
+        pragma = head + "reduction(argmax:sum)"
+        result_dtype = _choice(seed, index, "float-r",
+                               ("float32", "float64"))
+    else:  # fused-bad-identifier
+        bad = _choice(seed, index, "bad-op", ("avg", "median", "<<"))
+        pragma = head + f"reduction(max:peak) reduction({bad}:sum)"
+    return FuzzCase(
+        index=index,
+        seed=seed,
+        kind="op-reject",
+        dtype=_choice(seed, index, "dtype", _DTYPES),
+        result_dtype=result_dtype,
+        elements=base * v,
+        v=v,
+        pragma=pragma,
+        mutation=mutation,
+        profile=profile,
+    )
+
+
 def _sweep_cache_case(seed: int, index: int) -> FuzzCase:
     case = _exec_case(seed, index, "sweep-cache")
     # A batch of distinct points: vary teams around the drawn one.
@@ -333,14 +470,20 @@ def generate_cases(
 ) -> List[FuzzCase]:
     """Generate *count* cases for *seed* (deterministic, order-stable).
 
-    ``kinds`` restricts generation to a subset of :data:`CASE_KINDS`
-    names (the full stream is still drawn, so case *i* is identical
-    whether or not other kinds are filtered out — filtering never
-    renumbers).
+    ``kinds`` restricts generation to a subset of :data:`CASE_KINDS` /
+    :data:`OP_CASE_KINDS` names (the full stream is still drawn, so case
+    *i* is identical whether or not other kinds are filtered out —
+    filtering never renumbers).
+
+    Every fourth emitted slot is an op-stream case (every eighth op case
+    an ``op-reject``) drawn from the disjoint :data:`OP_INDEX_BASE`
+    index namespace; the other slots replay the historical weighted
+    stream with its original 0-based indexes, so every pre-op case keeps
+    its exact draws and per-case digest.
     """
     if count < 1:
         raise SpecError(f"cases must be >= 1, got {count}")
-    known = tuple(name for name, _ in CASE_KINDS)
+    known = tuple(name for name, _ in CASE_KINDS) + OP_CASE_KINDS
     if kinds is not None:
         unknown = sorted(set(kinds) - set(known))
         if unknown:
@@ -350,28 +493,39 @@ def generate_cases(
             )
     cases: List[FuzzCase] = []
     index = 0
+    op_index = 0
+    slot = 0
     while len(cases) < count:
-        kind = _weighted_kind(seed, index)
-        if kind == "exec":
-            case = _exec_case(seed, index, "exec")
-        elif kind == "directive":
-            _, case = _valid_pragma(seed, index)
-        elif kind == "reject":
-            case = _reject_case(seed, index)
-        elif kind == "sweep-cache":
-            case = _sweep_cache_case(seed, index)
-        elif kind == "coexec":
-            base = _exec_case(seed, index, "coexec")
-            # Co-execution sweeps time out of proportion with M; keep
-            # the functional sizes small and the p grid coarse.
-            case = FuzzCase(
-                **{**base.__dict__,
-                   "elements": min(base.elements, 4096 * base.v),
-                   "trials": 5}
-            )
+        if slot % 4 == 3:
+            op_slot = OP_INDEX_BASE + op_index
+            if op_index % 8 == 7:
+                case = _op_reject_case(seed, op_slot)
+            else:
+                case = _op_exec_case(seed, op_slot)
+            op_index += 1
         else:
-            case = _exec_case(seed, index, "service")
-        index += 1
+            kind = _weighted_kind(seed, index)
+            if kind == "exec":
+                case = _exec_case(seed, index, "exec")
+            elif kind == "directive":
+                _, case = _valid_pragma(seed, index)
+            elif kind == "reject":
+                case = _reject_case(seed, index)
+            elif kind == "sweep-cache":
+                case = _sweep_cache_case(seed, index)
+            elif kind == "coexec":
+                base = _exec_case(seed, index, "coexec")
+                # Co-execution sweeps time out of proportion with M; keep
+                # the functional sizes small and the p grid coarse.
+                case = FuzzCase(
+                    **{**base.__dict__,
+                       "elements": min(base.elements, 4096 * base.v),
+                       "trials": 5}
+                )
+            else:
+                case = _exec_case(seed, index, "service")
+            index += 1
+        slot += 1
         if kinds is not None and case.kind not in kinds:
             continue
         cases.append(case)

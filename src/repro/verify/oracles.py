@@ -37,6 +37,7 @@ import numpy as np
 from ..dtypes import ScalarType, scalar_type
 
 __all__ = [
+    "GROUPING_EXACT_IDENTIFIERS",
     "OracleTolerances",
     "kahan_sum",
     "naive_sum",
@@ -83,23 +84,75 @@ def pairwise_sum(data, dtype=np.float64) -> float:
     return float(rec(0, len(data)))
 
 
-def serial_ground_truth(data: np.ndarray, result_type):
+def _wrap(value: int, bits: int) -> int:
+    """Two's-complement wrap of an exact Python int into *bits* bits."""
+    return ((int(value) + (1 << (bits - 1))) % (1 << bits)) - (1 << (bits - 1))
+
+
+def serial_ground_truth(data: np.ndarray, result_type, identifier: str = "+",
+                        second=None):
     """The independent serial reference, in the accumulator type R.
 
-    Integers: the exact sum in Python arbitrary precision, wrapped once
-    into R's two's complement — by associativity this equals *any*
-    grouping of wrapped partial sums, so every correct executor must
-    match it bit for bit.  Floats: float64 Kahan summation (error far
-    below any float32/float64 grouping tolerance), returned as float.
+    ``+`` — integers: the exact sum in Python arbitrary precision,
+    wrapped once into R's two's complement (by associativity this equals
+    *any* grouping of wrapped partial sums, so every correct executor
+    must match it bit for bit); floats: float64 Kahan summation (error
+    far below any float32/float64 grouping tolerance).
+
+    ``min`` / ``max`` — a pure-Python comparison scan (no NumPy ufunc
+    involved); grouping-exact for every dtype, so executors must match
+    bit for bit.
+
+    ``argmax`` — a pure-Python first-index-of-maximum scan (lowest index
+    wins on ties), the OpenMP user-defined-reduction tie-break contract.
+
+    ``dot`` — integers: the exact big-int sum of exact products, wrapped
+    once (modular arithmetic makes per-product wrapping in R equivalent);
+    floats: Kahan summation over exactly-computed float64 products.
     """
     rtype = scalar_type(result_type)
+    if identifier == "argmax":
+        if data.size == 0:
+            return rtype.numpy.type(-1)
+        lst = data.tolist()
+        best_i = 0
+        best = lst[0]
+        for i, x in enumerate(lst):
+            if x > best:
+                best, best_i = x, i
+        return rtype.numpy.type(best_i)
+    if identifier in ("min", "max"):
+        if data.size == 0:
+            if rtype.is_integer:
+                info = np.iinfo(rtype.numpy)
+                return rtype.numpy.type(
+                    info.max if identifier == "min" else info.min
+                )
+            return rtype.numpy.type(
+                np.inf if identifier == "min" else -np.inf
+            )
+        best = data.tolist()[0]
+        for x in data.tolist()[1:]:
+            if (x < best) if identifier == "min" else (x > best):
+                best = x
+        return rtype.numpy.type(best)
+    if identifier == "dot":
+        if second is None:
+            raise ValueError("dot ground truth requires the second operand")
+        if rtype.is_integer:
+            exact = sum(
+                int(x) * int(y)
+                for x, y in zip(data.tolist(), second.tolist())
+            )
+            return rtype.numpy.type(_wrap(exact, rtype.bits))
+        if data.size == 0:
+            return rtype.numpy.type(0)
+        products = (data.astype(np.float64, copy=False)
+                    * second.astype(np.float64, copy=False))
+        return rtype.numpy.type(kahan_sum(products, np.float64))
     if rtype.is_integer:
         exact = int(sum(int(x) for x in data.tolist())) if data.size else 0
-        bits = rtype.bits
-        wrapped = ((exact + (1 << (bits - 1))) % (1 << bits)) - (
-            1 << (bits - 1)
-        )
-        return rtype.numpy.type(wrapped)
+        return rtype.numpy.type(_wrap(exact, rtype.bits))
     if data.size == 0:
         return rtype.numpy.type(0)
     return rtype.numpy.type(
@@ -109,20 +162,25 @@ def serial_ground_truth(data: np.ndarray, result_type):
 
 @dataclass(frozen=True)
 class OracleTolerances:
-    """Dtype-aware agreement rules for one case.
+    """Dtype- and identifier-aware agreement rules for one case.
 
-    ``abs_sum`` is ``sum(|x_i|)`` computed in float64 — the conditioning
-    scale of the input.  Integer cases ignore it (agreement is exact).
+    ``abs_sum`` is the conditioning scale of the input in float64 —
+    ``sum(|x_i|)`` for single-array reductions, ``sum(|x_i * y_i|)`` for
+    ``dot``.  Integer cases ignore it (agreement is exact), as do
+    grouping-exact identifiers (``min``/``max``/``argmax``: comparisons
+    do not round, so every grouping of a float reduction returns the
+    same bits — ``exact`` is set and paths must match exactly).
     """
 
     result_type: ScalarType
     n_elements: int
     abs_sum: float = 0.0
+    exact: bool = False
 
     @property
     def absolute_bound(self) -> float:
         """Largest legitimate difference between two float groupings."""
-        if self.result_type.is_integer:
+        if self.result_type.is_integer or self.exact:
             return 0.0
         eps = float(np.finfo(self.result_type.numpy).eps)
         n = max(self.n_elements, 1)
@@ -135,27 +193,49 @@ class OracleTolerances:
         fa, fb = float(a), float(b)
         if math.isnan(fa) or math.isnan(fb):
             return math.isnan(fa) and math.isnan(fb)
-        if math.isinf(fa) or math.isinf(fb):
+        if self.exact or math.isinf(fa) or math.isinf(fb):
             return fa == fb
         return abs(fa - fb) <= self.absolute_bound
 
     def describe(self) -> str:
         if self.result_type.is_integer:
             return f"{self.result_type.name}: exact"
+        if self.exact:
+            return f"{self.result_type.name}: exact (grouping-insensitive)"
         return (
             f"{self.result_type.name}: |a-b| <= {self.absolute_bound:.3g} "
             f"(n={self.n_elements}, sum|x|={self.abs_sum:.3g})"
         )
 
 
-def tolerances_for(data: np.ndarray, result_type) -> OracleTolerances:
-    """Build the tolerance rule for a concrete input array."""
+#: Identifiers whose float result is independent of grouping (comparison
+#: selections never round), so cross-path agreement must be exact.
+GROUPING_EXACT_IDENTIFIERS = ("min", "max", "argmax")
+
+
+def tolerances_for(data: np.ndarray, result_type, identifier: str = "+",
+                   second=None) -> OracleTolerances:
+    """Build the tolerance rule for a concrete input (pair) and identifier."""
     rtype = scalar_type(result_type)
+    exact = identifier in GROUPING_EXACT_IDENTIFIERS
     abs_sum = 0.0
-    if not rtype.is_integer and data.size:
-        abs_sum = float(
-            np.abs(data.astype(np.float64, copy=False)).sum()
-        )
+    if not rtype.is_integer and not exact and data.size:
+        if identifier == "dot":
+            if second is None:
+                raise ValueError(
+                    "dot tolerances require the second operand"
+                )
+            abs_sum = float(
+                np.abs(
+                    data.astype(np.float64, copy=False)
+                    * second.astype(np.float64, copy=False)
+                ).sum()
+            )
+        else:
+            abs_sum = float(
+                np.abs(data.astype(np.float64, copy=False)).sum()
+            )
     return OracleTolerances(
-        result_type=rtype, n_elements=int(data.size), abs_sum=abs_sum
+        result_type=rtype, n_elements=int(data.size), abs_sum=abs_sum,
+        exact=exact,
     )

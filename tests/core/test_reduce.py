@@ -83,7 +83,7 @@ class TestOffloadReducer:
         import repro.core.reduce as reduce_mod
 
         monkeypatch.setattr(
-            reduce_mod, "execute_reduction", lambda data, kernel: np.int32(13)
+            reduce_mod, "execute_reduction", lambda data, kernel, second=None: np.int32(13)
         )
         with pytest.raises(VerificationError):
             reducer.reduce(np.ones(256, dtype=np.int32))
@@ -93,7 +93,7 @@ class TestOffloadReducer:
         import repro.core.reduce as reduce_mod
 
         monkeypatch.setattr(
-            reduce_mod, "execute_reduction", lambda data, kernel: np.int32(13)
+            reduce_mod, "execute_reduction", lambda data, kernel, second=None: np.int32(13)
         )
         r = reducer.reduce(np.ones(256, dtype=np.int32), verify=False)
         assert int(r.value) == 13

@@ -27,8 +27,8 @@ class TestBrokenExecutorCaught:
     def _sabotage(self, monkeypatch, module, delta):
         real = module.execute_reduction
 
-        def broken(data, kernel):
-            value = real(data, kernel)
+        def broken(data, kernel, second=None):
+            value = real(data, kernel, second)
             return value.dtype.type(value + delta)
 
         monkeypatch.setattr(module, "execute_reduction", broken)
@@ -55,7 +55,9 @@ class TestBrokenExecutorCaught:
         real = timing_mod.execute_reduction
         monkeypatch.setattr(
             timing_mod, "execute_reduction",
-            lambda data, kernel: np.float32(real(data, kernel) * 1.001),
+            lambda data, kernel, second=None: np.float32(
+                real(data, kernel, second) * 1.001
+            ),
         )
         with pytest.raises(VerificationError):
             measure_gpu_reduction(machine, C3, trials=1)

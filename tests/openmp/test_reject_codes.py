@@ -1,0 +1,107 @@
+"""Stable diagnostic codes on the extended-op reject paths.
+
+Downstream consumers (the fuzzer's op-reject contract, service/job 400
+bodies, CI log triage) match on these code strings, not on message
+text — so each code is pinned literally here, and each reject path is
+driven end to end through the real front end to prove the code actually
+reaches the raised exception.
+"""
+
+import pytest
+
+from repro.compiler.diagnostics import OPERAND_ARITY
+from repro.compiler.nvhpc import NvhpcCompiler, ReductionLoopProgram
+from repro.openmp.canonical import listing5_loop
+from repro.errors import (
+    ClauseError,
+    CompileError,
+    DirectiveSyntaxError,
+    ReproError,
+    UnsupportedReductionError,
+)
+from repro.openmp.directives import FUSED_DUPLICATE_VAR
+from repro.openmp.parser import parse_pragma
+from repro.openmp.reduction_ops import ARGMAX_RESULT_TYPE, validate_reduction
+
+PRAGMA = "#pragma omp target teams distribute parallel for"
+
+
+def _program(pragma, result_type="int32", arrays=1):
+    return ReductionLoopProgram(
+        pragma=pragma,
+        loop=listing5_loop(1024, 1),
+        element_type="int32",
+        result_type=result_type,
+        name="reject_codes_test",
+        arrays=arrays,
+    )
+
+
+class TestCodeValuesArePinned:
+    """The literal strings are the public contract."""
+
+    def test_pinned_literals(self):
+        assert ARGMAX_RESULT_TYPE == "OMP-RED-101"
+        assert FUSED_DUPLICATE_VAR == "OMP-RED-201"
+        assert OPERAND_ARITY == "NVHPC-OMP-201"
+
+    def test_base_error_default_code_is_none(self):
+        assert ReproError("x").code is None
+
+
+class TestArgmaxResultType:
+    def test_validate_rejects_float_accumulator_with_code(self):
+        with pytest.raises(UnsupportedReductionError) as exc:
+            validate_reduction("argmax", "float32")
+        assert exc.value.code == ARGMAX_RESULT_TYPE
+
+    def test_compile_path_carries_the_same_code(self):
+        with pytest.raises(UnsupportedReductionError) as exc:
+            NvhpcCompiler().compile(
+                _program(f"{PRAGMA} reduction(argmax:sum)",
+                         result_type="float64")
+            )
+        assert exc.value.code == ARGMAX_RESULT_TYPE
+
+    def test_int64_accumulator_accepted(self):
+        validate_reduction("argmax", "int64")  # must not raise
+
+
+class TestFusedDuplicateVar:
+    def test_duplicate_var_across_clauses_rejected_with_code(self):
+        with pytest.raises(ClauseError) as exc:
+            parse_pragma(
+                f"{PRAGMA} reduction(+:sum) reduction(max:sum)"
+            )
+        assert exc.value.code == FUSED_DUPLICATE_VAR
+
+    def test_distinct_vars_fuse_fine(self):
+        d = parse_pragma(f"{PRAGMA} reduction(+:sum) reduction(max:peak)")
+        idents = sorted(
+            c.identifier for c in d.clauses if hasattr(c, "identifier")
+        )
+        assert idents == ["+", "max"]
+
+
+class TestOperandArity:
+    def test_dot_without_second_array_is_a_compile_diagnostic(self):
+        with pytest.raises(CompileError) as exc:
+            NvhpcCompiler().compile(
+                _program(f"{PRAGMA} reduction(dot:sum)", arrays=1)
+            )
+        assert OPERAND_ARITY in [d.code for d in exc.value.diagnostics]
+
+    def test_dot_with_two_arrays_compiles(self):
+        compiled = NvhpcCompiler().compile(
+            _program(f"{PRAGMA} reduction(dot:sum)", arrays=2)
+        )
+        assert compiled.arrays == 2
+
+
+class TestUnknownSpelling:
+    @pytest.mark.parametrize(
+        "spelling", ["argmin", "maximum", "amax", "minmax", "avg"]
+    )
+    def test_unknown_op_spellings_are_syntax_errors(self, spelling):
+        with pytest.raises((DirectiveSyntaxError, ReproError)):
+            parse_pragma(f"{PRAGMA} reduction({spelling}:sum)")

@@ -1,0 +1,168 @@
+"""Property-based tests for the extended reduction identifiers.
+
+Two invariants the fuzzer can only sample are proven here over
+adversarial inputs that hypothesis shrinks to minimal counterexamples:
+
+* ``argmax`` is *first-index-of-the-global-max* under every device
+  partitioning — ties must resolve to the lowest index no matter how
+  the grid/block/V schedule slices the array, and the winning index is
+  stable under appending smaller elements.
+* ``dot`` matches exact rational arithmetic: integer dot products equal
+  the two's-complement wrap of the exact value, and float dot products
+  stay within the condition-aware oracle bound of the exact
+  :class:`fractions.Fraction` inner product.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.exec_model import execute_reduction
+from repro.gpu.kernels import ReductionKernel
+from repro.openmp.runtime import LaunchGeometry
+from repro.verify.oracles import serial_ground_truth, tolerances_for
+
+
+def _kernel(grid, block, v, t="int32", r=None, identifier="+", arrays=1):
+    return ReductionKernel(
+        name="k",
+        geometry=LaunchGeometry(grid=grid, block=block, from_clause=True),
+        elements=1 << 20,  # declared size; data may be shorter
+        elements_per_iteration=v,
+        element_type=t,
+        result_type=r or t,
+        identifier=identifier,
+        arrays=arrays,
+    )
+
+
+geometry = st.tuples(
+    st.sampled_from([1, 2, 7, 64, 1024]),        # grid
+    st.sampled_from([32, 64, 128, 256]),         # block
+    st.sampled_from([1, 2, 4, 8, 32]),           # v
+)
+
+# Tiny value range on purpose: dense ties are the adversarial case.
+tie_heavy_arrays = st.lists(
+    st.integers(min_value=-3, max_value=3),
+    min_size=1, max_size=2000,
+).map(lambda xs: np.array(xs, dtype=np.int32))
+
+int32_arrays = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    min_size=1, max_size=1000,
+).map(lambda xs: np.array(xs, dtype=np.int32))
+
+float32_arrays = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, width=32),
+    min_size=1, max_size=1000,
+).map(lambda xs: np.array(xs, dtype=np.float32))
+
+
+class TestArgmaxTieBreaking:
+    @given(data=tie_heavy_arrays, geo=geometry)
+    @settings(max_examples=60, deadline=None)
+    def test_ties_resolve_to_the_lowest_index(self, data, geo):
+        grid, block, v = geo
+        k = _kernel(grid, block, v, r="int64", identifier="argmax")
+        out = execute_reduction(data, k)
+        assert out == int(np.argmax(data))
+        # np.argmax documents first-occurrence; assert it explicitly so
+        # the property doesn't silently inherit the oracle's semantics.
+        assert data[out] == data.max()
+        assert not np.any(data[:out] == data.max())
+
+    @given(data=tie_heavy_arrays, geo=geometry)
+    @settings(max_examples=40, deadline=None)
+    def test_device_serial_and_host_paths_agree(self, data, geo):
+        grid, block, v = geo
+        k = _kernel(grid, block, v, r="int64", identifier="argmax")
+        device = execute_reduction(data, k)
+        assert device == serial_ground_truth(data, "int64", "argmax")
+
+    @given(
+        data=tie_heavy_arrays, geo=geometry,
+        tail=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_winner_stable_under_appending_smaller_elements(
+        self, data, geo, tail
+    ):
+        # Appending values strictly below the max must not move the
+        # winning index, whatever partition the longer array lands on.
+        grid, block, v = geo
+        k = _kernel(grid, block, v, r="int64", identifier="argmax")
+        before = execute_reduction(data, k)
+        extended = np.concatenate(
+            [data, np.full(tail, data.min() - 1, dtype=np.int32)]
+        )
+        assert execute_reduction(extended, k) == before
+
+    @given(data=tie_heavy_arrays, geo=geometry)
+    @settings(max_examples=30, deadline=None)
+    def test_result_is_int64_scalar_in_range(self, data, geo):
+        grid, block, v = geo
+        k = _kernel(grid, block, v, r="int64", identifier="argmax")
+        out = execute_reduction(data, k)
+        assert out.dtype == np.int64
+        assert 0 <= int(out) < data.size
+
+
+class TestDotVersusExactRational:
+    @given(pair=st.tuples(int32_arrays, int32_arrays), geo=geometry)
+    @settings(max_examples=50, deadline=None)
+    def test_int32_dot_wraps_the_exact_rational_value(self, pair, geo):
+        a, b = pair
+        n = min(a.size, b.size)
+        a, b = a[:n], b[:n]
+        grid, block, v = geo
+        k = _kernel(grid, block, v, identifier="dot", arrays=2)
+        out = execute_reduction(a, k, second=b)
+        exact = sum(
+            Fraction(int(x)) * Fraction(int(y)) for x, y in zip(a, b)
+        )
+        wrapped = int((int(exact) + 2**31) % 2**32 - 2**31)
+        assert int(out) == wrapped
+
+    @given(pair=st.tuples(float32_arrays, float32_arrays), geo=geometry)
+    @settings(max_examples=50, deadline=None)
+    def test_float32_dot_within_oracle_bound_of_exact_rational(
+        self, pair, geo
+    ):
+        a, b = pair
+        n = min(a.size, b.size)
+        a, b = a[:n], b[:n]
+        grid, block, v = geo
+        k = _kernel(grid, block, v, t="float32", identifier="dot", arrays=2)
+        out = execute_reduction(a, k, second=b)
+        # Every float32 is an exact rational, so the Fraction inner
+        # product is the true mathematical dot product.
+        exact = sum(
+            Fraction(float(x)) * Fraction(float(y)) for x, y in zip(a, b)
+        )
+        tol = tolerances_for(a, "float32", "dot", second=b)
+        assert abs(float(out) - float(exact)) <= tol.absolute_bound + 1e-30
+
+    @given(pair=st.tuples(float32_arrays, float32_arrays), geo=geometry)
+    @settings(max_examples=30, deadline=None)
+    def test_dot_is_symmetric(self, pair, geo):
+        a, b = pair
+        n = min(a.size, b.size)
+        a, b = a[:n], b[:n]
+        grid, block, v = geo
+        k = _kernel(grid, block, v, t="float32", identifier="dot", arrays=2)
+        # x.y and y.x run the identical partition tree element-wise, so
+        # symmetry holds bit-for-bit even in float.
+        assert execute_reduction(a, k, second=b) == execute_reduction(
+            b, k, second=a
+        )
+
+    @given(data=int32_arrays, geo=geometry)
+    @settings(max_examples=25, deadline=None)
+    def test_dot_with_ones_is_the_sum(self, data, geo):
+        grid, block, v = geo
+        ones = np.ones_like(data)
+        k = _kernel(grid, block, v, identifier="dot", arrays=2)
+        out = execute_reduction(data, k, second=ones)
+        assert out == data.sum(dtype=np.int32)

@@ -7,6 +7,11 @@ from repro.openmp.parser import parse_pragma
 from repro.verify.fuzzer import (
     CASE_DIGEST_LEN,
     CASE_KINDS,
+    OP_CASE_KINDS,
+    OP_INDEX_BASE,
+    OP_REJECT_MUTATIONS,
+    OPS,
+    PROFILES,
     case_digest,
     REJECT_MUTATIONS,
     case_list_digest,
@@ -51,7 +56,7 @@ class TestDeterminism:
 class TestValidity:
     def test_all_kinds_appear_in_a_long_stream(self):
         kinds = {c.kind for c in generate_cases(0, 400)}
-        assert kinds == {name for name, _ in CASE_KINDS}
+        assert kinds == {name for name, _ in CASE_KINDS} | set(OP_CASE_KINDS)
 
     def test_elements_always_divisible_by_v(self):
         for c in generate_cases(11, 150):
@@ -71,6 +76,50 @@ class TestValidity:
     def test_describe_mentions_kind(self):
         for c in generate_cases(1, 10):
             assert c.kind in c.describe() or c.kind in ("directive", "reject")
+
+
+class TestOpStream:
+    """The interleaved extended-op stream must not disturb old draws."""
+
+    def test_every_fourth_slot_is_an_op_case(self):
+        cases = generate_cases(42, 40)
+        for i, c in enumerate(cases):
+            assert (c.kind in OP_CASE_KINDS) == (i % 4 == 3)
+
+    def test_op_indexes_are_namespaced(self):
+        for c in generate_cases(42, 400):
+            if c.kind in OP_CASE_KINDS:
+                assert c.index >= OP_INDEX_BASE
+                assert c.profile in PROFILES
+            else:
+                assert c.index < OP_INDEX_BASE
+                assert c.op is None and c.profile is None
+
+    def test_all_ops_and_profiles_reached_at_seed_42(self):
+        execs = [c for c in generate_cases(42, 200) if c.kind == "op-exec"]
+        assert {c.op for c in execs} == set(OPS)
+        assert {c.profile for c in execs} == set(PROFILES)
+
+    def test_op_reject_families_covered(self):
+        seen = {
+            c.mutation
+            for c in generate_cases(9, 1200)
+            if c.kind == "op-reject"
+        }
+        assert seen == set(OP_REJECT_MUTATIONS)
+
+    def test_argmax_result_is_always_int64(self):
+        for c in generate_cases(3, 600):
+            if c.kind == "op-exec" and c.op == "argmax":
+                assert c.result_dtype == "int64"
+
+    def test_historical_documents_carry_no_op_fields(self):
+        # Old-kind case documents are byte-identical to pre-op releases,
+        # so every pinned per-case digest survives the op stream.
+        for c in generate_cases(7, 100):
+            if c.kind not in OP_CASE_KINDS:
+                doc = c.to_dict()
+                assert "op" not in doc and "profile" not in doc
 
 
 class TestErrors:
